@@ -1,0 +1,115 @@
+// B2 — cost of transition-effect machinery (Definition 2.1): composing
+// pure effects and folding value-carrying trans-info, as a function of
+// the number of touched tuples and of composition chain length.
+//
+// Run: ./build/bench/bench_effect_composition
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "rules/effect.h"
+#include "rules/trans_info.h"
+
+namespace sopr {
+namespace {
+
+TransitionEffect MakeEffect(int tuples, uint32_t seed) {
+  std::mt19937 rng(seed);
+  TransitionEffect e;
+  TableEffect& t = e.tables["t"];
+  for (int i = 0; i < tuples; ++i) {
+    TupleHandle h = rng() % (tuples * 4) + 1;
+    switch (rng() % 3) {
+      case 0:
+        t.inserted.insert(h);
+        break;
+      case 1:
+        if (t.inserted.count(h) == 0) t.deleted.insert(h);
+        break;
+      default:
+        if (t.inserted.count(h) == 0 && t.deleted.count(h) == 0) {
+          t.updated[h].insert(rng() % 4);
+        }
+        break;
+    }
+  }
+  return e;
+}
+
+void BM_ComposePair(benchmark::State& state) {
+  const int tuples = static_cast<int>(state.range(0));
+  TransitionEffect e1 = MakeEffect(tuples, 1);
+  TransitionEffect e2 = MakeEffect(tuples, 2);
+  for (auto _ : state) {
+    TransitionEffect c = TransitionEffect::Compose(e1, e2);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * tuples * 2);
+}
+BENCHMARK(BM_ComposePair)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ComposeChain(benchmark::State& state) {
+  // Left-fold a chain of k effects of fixed size (the shape of a long
+  // rule cascade).
+  const int chain = static_cast<int>(state.range(0));
+  std::vector<TransitionEffect> effects;
+  effects.reserve(chain);
+  for (int i = 0; i < chain; ++i) effects.push_back(MakeEffect(64, i + 10));
+  for (auto _ : state) {
+    TransitionEffect acc;
+    for (const TransitionEffect& e : effects) {
+      acc = TransitionEffect::Compose(acc, e);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_ComposeChain)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+DmlEffect MakeDmlEffect(int tuples, TupleHandle base) {
+  DmlEffect op;
+  op.table = "t";
+  for (int i = 0; i < tuples; ++i) {
+    DmlEffect::UpdatedTuple u;
+    u.handle = base + i;
+    u.columns = {0};
+    u.old_row = Row{Value::Int(i), Value::Int(i * 2)};
+    op.updated.push_back(std::move(u));
+  }
+  return op;
+}
+
+void BM_TransInfoApplyOp(benchmark::State& state) {
+  // Value-carrying fold: the per-operation cost inside a block.
+  const int tuples = static_cast<int>(state.range(0));
+  DmlEffect op = MakeDmlEffect(tuples, 1);
+  for (auto _ : state) {
+    TransInfo info;
+    info.ApplyOp(op);
+    benchmark::DoNotOptimize(info);
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+}
+BENCHMARK(BM_TransInfoApplyOp)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_TransInfoCompose(benchmark::State& state) {
+  // modify-trans-info between transitions (the Figure 1 hot path).
+  const int tuples = static_cast<int>(state.range(0));
+  TransInfo base;
+  base.ApplyOp(MakeDmlEffect(tuples, 1));
+  TransInfo later;
+  later.ApplyOp(MakeDmlEffect(tuples, tuples / 2 + 1));  // half overlap
+  for (auto _ : state) {
+    TransInfo info = base;
+    info.Compose(later);
+    benchmark::DoNotOptimize(info);
+  }
+  state.SetItemsProcessed(state.iterations() * tuples * 2);
+}
+BENCHMARK(BM_TransInfoCompose)->Arg(16)->Arg(128)->Arg(1024);
+
+}  // namespace
+}  // namespace sopr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// B4 — rule selection (§4.4): overhead of picking among R triggered
+// rules under each tie-break strategy and with a priority DAG.
+//
+// Run: ./build/bench/bench_selection
+
+#include <benchmark/benchmark.h>
+
+#include "rules/selection.h"
+
+namespace sopr {
+namespace {
+
+std::vector<SelectionCandidate> MakeCandidates(int n) {
+  std::vector<SelectionCandidate> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(SelectionCandidate{"rule" + std::to_string(i),
+                                     static_cast<uint64_t>(i),
+                                     static_cast<uint64_t>((i * 37) % n)});
+  }
+  return out;
+}
+
+void BM_SelectNoPriorities(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto tie = static_cast<TieBreak>(state.range(1));
+  auto candidates = MakeCandidates(n);
+  PriorityGraph empty;
+  for (auto _ : state) {
+    int pick = SelectRule(candidates, empty, tie);
+    benchmark::DoNotOptimize(pick);
+  }
+  state.SetLabel(TieBreakName(tie));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SelectNoPriorities)
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({512, 0})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({512, 1})
+    ->Args({8, 2})
+    ->Args({64, 2})
+    ->Args({512, 2});
+
+void BM_SelectWithPriorityChain(benchmark::State& state) {
+  // Worst case for the partial order: a full chain rule0 > rule1 > ... so
+  // dominance checks traverse deep paths.
+  const int n = static_cast<int>(state.range(0));
+  auto candidates = MakeCandidates(n);
+  PriorityGraph chain;
+  for (int i = 0; i + 1 < n; ++i) {
+    benchmark::DoNotOptimize(
+        chain.AddEdge("rule" + std::to_string(i), "rule" + std::to_string(i + 1)));
+  }
+  for (auto _ : state) {
+    int pick = SelectRule(candidates, chain, TieBreak::kCreationOrder);
+    benchmark::DoNotOptimize(pick);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SelectWithPriorityChain)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_PriorityGraphAddEdgeWithCycleCheck(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PriorityGraph g;
+    for (int i = 0; i + 1 < n; ++i) {
+      benchmark::DoNotOptimize(g.AddEdge("r" + std::to_string(i),
+                                         "r" + std::to_string(i + 1)));
+    }
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PriorityGraphAddEdgeWithCycleCheck)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace sopr
+
+BENCHMARK_MAIN();

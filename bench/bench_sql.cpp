@@ -1,0 +1,132 @@
+// B8 — substrate sanity: SQL front-end and executor throughput (parse,
+// point select, join, aggregate, update) so rule-system numbers can be
+// normalized against the engine's baseline cost.
+//
+// Run: ./build/bench/bench_sql
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "sql/parser.h"
+
+namespace sopr {
+namespace {
+
+void BM_ParseSelect(benchmark::State& state) {
+  const std::string sql =
+      "select e.name, d.mgr_no, salary * 1.1 from emp e, dept d "
+      "where e.dept_no = d.dept_no and salary > "
+      "(select avg(salary) from emp e2 where e2.dept_no = e.dept_no) "
+      "order by salary desc";
+  for (auto _ : state) {
+    auto stmt = Parser::ParseStatement(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseSelect);
+
+void BM_ParseCreateRule(benchmark::State& state) {
+  const std::string sql =
+      "create rule r when inserted into emp or updated emp.salary "
+      "if (select sum(salary) from new updated emp.salary) > "
+      "(select sum(salary) from old updated emp.salary) "
+      "then update emp set salary = 0.95 * salary where dept_no = 2; "
+      "update emp set salary = 0.85 * salary where dept_no = 3";
+  for (auto _ : state) {
+    auto stmt = Parser::ParseStatement(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseCreateRule);
+
+Engine* MakeEmpEngine(int rows) {
+  auto* engine = new Engine();
+  BenchCheck(engine->Execute(
+                 "create table emp (name string, emp_no int, "
+                 "salary double, dept_no int)"),
+             "emp");
+  std::string sql = "insert into emp values ";
+  for (int i = 0; i < rows; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "('e" + std::to_string(i) + "', " + std::to_string(i) + ", " +
+           std::to_string(1000 + (i * 37) % 9000) + ", " +
+           std::to_string(i % 10) + ")";
+  }
+  BenchCheck(engine->Execute(sql), "rows");
+  return engine;
+}
+
+void BM_PointSelect(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  std::unique_ptr<Engine> engine(MakeEmpEngine(rows));
+  for (auto _ : state) {
+    auto r = engine->Query("select name from emp where emp_no = 17");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PointSelect)->Arg(100)->Arg(1000);
+
+void BM_GroupByAggregate(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  std::unique_ptr<Engine> engine(MakeEmpEngine(rows));
+  for (auto _ : state) {
+    auto r = engine->Query(
+        "select dept_no, avg(salary), count(*) from emp group by dept_no");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_GroupByAggregate)->Arg(100)->Arg(1000);
+
+void BM_CorrelatedSubquery(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  std::unique_ptr<Engine> engine(MakeEmpEngine(rows));
+  for (auto _ : state) {
+    auto r = engine->Query(
+        "select name from emp e1 where salary > "
+        "1.5 * (select avg(salary) from emp e2 "
+        "       where e2.dept_no = e1.dept_no)");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_CorrelatedSubquery)->Arg(100)->Arg(400);
+
+void BM_SetUpdate(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  std::unique_ptr<Engine> engine(MakeEmpEngine(rows));
+  for (auto _ : state) {
+    BenchCheck(engine->Execute("update emp set salary = salary + 1"),
+               "update");
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SetUpdate)->Arg(100)->Arg(1000);
+
+void BM_TransactionRollbackCost(benchmark::State& state) {
+  // Undo-log replay cost for a batch insert that is rolled back.
+  const int rows = static_cast<int>(state.range(0));
+  Engine engine;
+  CreateOrdersSchema(&engine);
+  BenchCheck(engine.Execute(
+                 "create rule veto when inserted into orders then rollback"),
+             "veto");
+  const std::string batch = OrdersBatch(rows);
+  for (auto _ : state) {
+    Status s = engine.Execute(batch);
+    if (s.code() != StatusCode::kRolledBack) {
+      state.SkipWithError("expected rollback");
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_TransactionRollbackCost)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace sopr
+
+BENCHMARK_MAIN();

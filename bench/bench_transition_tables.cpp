@@ -1,0 +1,130 @@
+// B5 — transition table materialization: cost of building `inserted t` /
+// `deleted t` / `old|new updated t.c` relations from trans-info, and of a
+// rule condition that queries them, as a function of touched-tuple count.
+//
+// Run: ./build/bench/bench_transition_tables
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "query/executor.h"
+#include "rules/transition_tables.h"
+#include "sql/parser.h"
+
+namespace sopr {
+namespace {
+
+/// A database with one table of `n` rows plus trans-info claiming all of
+/// them were updated and half of a shadow population was deleted.
+struct Fixture {
+  explicit Fixture(int n) {
+    BenchCheck(db.CreateTable(TableSchema("t", {{"a", ValueType::kInt},
+                                                {"b", ValueType::kInt}})),
+               "t");
+    for (int i = 0; i < n; ++i) {
+      auto h = db.InsertRow("t", Row{Value::Int(i), Value::Int(i * 2)});
+      BenchCheck(h.status(), "insert");
+      DmlEffect upd;
+      upd.table = "t";
+      DmlEffect::UpdatedTuple u;
+      u.handle = h.value();
+      u.columns = {1};
+      u.old_row = Row{Value::Int(i), Value::Int(i)};
+      upd.updated.push_back(std::move(u));
+      info.ApplyOp(upd);
+    }
+    // Deleted tuples exist only in the trans-info (values carried).
+    DmlEffect del;
+    del.table = "t";
+    for (int i = 0; i < n / 2; ++i) {
+      auto h = db.InsertRow("t", Row{Value::Int(-i), Value::Int(-i)});
+      BenchCheck(h.status(), "shadow");
+      BenchCheck(db.DeleteRow("t", h.value()), "shadow del");
+      del.deleted.emplace_back(h.value(), Row{Value::Int(-i), Value::Int(-i)});
+    }
+    info.ApplyOp(del);
+    db.CommitAll();
+  }
+
+  Database db;
+  TransInfo info;
+};
+
+void BM_MaterializeInserted(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Database db;
+  BenchCheck(db.CreateTable(TableSchema("t", {{"a", ValueType::kInt},
+                                              {"b", ValueType::kInt}})),
+             "t");
+  TransInfo info;
+  DmlEffect ins;
+  ins.table = "t";
+  for (int i = 0; i < n; ++i) {
+    auto h = db.InsertRow("t", Row{Value::Int(i), Value::Int(i)});
+    ins.inserted.push_back(h.value());
+  }
+  info.ApplyOp(ins);
+  TransitionTableResolver resolver(&db, &info);
+  TableRef ref{TableRefKind::kInserted, "t", "", ""};
+  for (auto _ : state) {
+    auto rel = resolver.Resolve(ref);
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MaterializeInserted)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MaterializeDeleted(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Fixture fx(n);
+  TransitionTableResolver resolver(&fx.db, &fx.info);
+  TableRef ref{TableRefKind::kDeleted, "t", "", ""};
+  for (auto _ : state) {
+    auto rel = resolver.Resolve(ref);
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetItemsProcessed(state.iterations() * (n / 2));
+}
+BENCHMARK(BM_MaterializeDeleted)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MaterializeNewUpdatedColumn(benchmark::State& state) {
+  // `new updated t.b` needs a current-value lookup per handle.
+  const int n = static_cast<int>(state.range(0));
+  Fixture fx(n);
+  TransitionTableResolver resolver(&fx.db, &fx.info);
+  TableRef ref{TableRefKind::kNewUpdated, "t", "b", ""};
+  for (auto _ : state) {
+    auto rel = resolver.Resolve(ref);
+    benchmark::DoNotOptimize(rel);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MaterializeNewUpdatedColumn)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ConditionOverTransitionTables(benchmark::State& state) {
+  // The Example 3.2 condition shape: two aggregates over old/new updated.
+  const int n = static_cast<int>(state.range(0));
+  Fixture fx(n);
+  TransitionTableResolver resolver(&fx.db, &fx.info);
+  Executor executor(&fx.db, &resolver);
+  auto cond = Parser::ParseExpression(
+      "(select sum(b) from new updated t.b) > "
+      "(select sum(b) from old updated t.b)");
+  BenchCheck(cond.status(), "condition");
+  for (auto _ : state) {
+    Scope scope;
+    EvalContext ctx;
+    ctx.runner = &executor;
+    auto held = EvaluatePredicate(*cond.value(), scope, ctx);
+    if (!held.ok()) state.SkipWithError("condition failed");
+    benchmark::DoNotOptimize(held);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConditionOverTransitionTables)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace sopr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+#ifndef SOPR_BENCH_BENCH_UTIL_H_
+#define SOPR_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "engine/engine.h"
+
+namespace sopr {
+
+inline void BenchCheck(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << "benchmark setup failed (" << what << "): " << status
+              << "\n";
+    std::abort();
+  }
+}
+
+/// Creates the orders/audit schema used by the set-vs-instance and
+/// cascade benchmarks.
+inline void CreateOrdersSchema(Engine* engine) {
+  BenchCheck(engine->Execute("create table orders (id int, qty int)"),
+             "create orders");
+  BenchCheck(engine->Execute("create table audit (id int, tag int)"),
+             "create audit");
+}
+
+/// One multi-row insert touching `n` order tuples: "insert into orders
+/// values (0, 0), (1, 10), ...".
+inline std::string OrdersBatch(int n) {
+  std::string sql = "insert into orders values ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) sql += ", ";
+    sql += "(" + std::to_string(i) + ", " + std::to_string(i * 10) + ")";
+  }
+  return sql;
+}
+
+}  // namespace sopr
+
+#endif  // SOPR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,102 @@
+// Bulk loading with active rules: CSV import runs in set-oriented
+// batches (each batch = one operation block = one transition), so
+// validation and derived-data rules fire once per batch instead of once
+// per row — the paper's set-orientation argument applied to ETL. Also
+// shows `create index` speeding up the enrichment rule's lookups and
+// CSV export of the derived table.
+//
+// Build & run:  cmake --build build && ./build/examples/bulk_load
+
+#include <iostream>
+
+#include "engine/engine.h"
+#include "io/csv.h"
+#include "query/result_set.h"
+
+namespace {
+
+void Check(const sopr::Status& status) {
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  sopr::Engine engine;
+
+  Check(engine.Execute(
+      "create table readings (sensor_id int, temp double, ts int)"));
+  Check(engine.Execute(
+      "create table sensors (sensor_id int, location string)"));
+  Check(engine.Execute(
+      "create table alerts (location string, temp double, ts int)"));
+  Check(engine.Execute("create table stats (batch_size int)"));
+
+  Check(engine.Execute(
+      "insert into sensors values (1, 'reactor'), (2, 'turbine'), "
+      "(3, 'cooling')"));
+  // Index for the enrichment join below.
+  Check(engine.Execute("create index on sensors (sensor_id)"));
+
+  // Rule 1: overheated readings (joined against the sensor registry)
+  // produce alerts — one set-oriented join per batch.
+  Check(engine.Execute(
+      "create rule overheat "
+      "when inserted into readings "
+      "if exists (select * from inserted readings where temp > 90) "
+      "then insert into alerts "
+      "  (select s.location, r.temp, r.ts "
+      "   from inserted readings r, sensors s "
+      "   where r.sensor_id = s.sensor_id and r.temp > 90)"));
+
+  // Rule 2: record how many readings each batch contained (visible proof
+  // that the loader is set-oriented).
+  Check(engine.Execute(
+      "create rule batch_stats when inserted into readings "
+      "then insert into stats (select count(*) from inserted readings)"));
+
+  // Rule 3: readings from unknown sensors veto the whole batch.
+  Check(engine.Execute(
+      "create rule unknown_sensor when inserted into readings "
+      "if exists (select * from inserted readings "
+      "           where sensor_id not in (select sensor_id from sensors)) "
+      "then rollback"));
+
+  // Build a CSV feed: 10 readings, two of them hot.
+  std::string csv = "sensor_id,temp,ts\n";
+  for (int i = 0; i < 10; ++i) {
+    int sensor = i % 3 + 1;
+    double temp = (i == 4 || i == 9) ? 95.5 : 60.0 + i;
+    csv += std::to_string(sensor) + "," + std::to_string(temp) + "," +
+           std::to_string(1000 + i) + "\n";
+  }
+
+  sopr::CsvOptions options;
+  options.batch_rows = 4;  // 10 rows -> batches of 4, 4, 2
+  auto imported = sopr::ImportCsv(&engine, "readings", csv, options);
+  Check(imported.status());
+  std::cout << "Imported " << imported.value() << " readings in batches of "
+            << options.batch_rows << ".\n\nBatch sizes the rules saw:\n"
+            << sopr::FormatResult(
+                   engine.Query("select batch_size from stats").value())
+            << "\nAlerts raised (joined against the indexed sensor table):\n"
+            << sopr::FormatResult(
+                   engine.Query("select * from alerts order by ts").value());
+
+  // A bad feed: sensor 99 is unknown; the batch rolls back atomically.
+  std::cout << "\nImporting a feed with an unknown sensor:\n";
+  auto bad = sopr::ImportCsv(&engine, "readings",
+                             "sensor_id,temp,ts\n1,70,2000\n99,71,2001\n");
+  std::cout << "  -> " << bad.status() << "\n";
+  std::cout << "  readings table still has "
+            << engine.TableSize("readings").ValueOr(0) << " rows\n";
+
+  // Export the alerts as CSV.
+  auto exported = sopr::ExportCsv(&engine, "select * from alerts order by ts");
+  Check(exported.status());
+  std::cout << "\nAlerts exported as CSV:\n" << exported.value();
+  return 0;
+}

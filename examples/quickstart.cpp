@@ -1,0 +1,56 @@
+// Quickstart: define a table, a set-oriented production rule, and watch
+// it fire. This is the paper's Example 3.1 ("cascaded delete") in a dozen
+// lines of API.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <iostream>
+
+#include "engine/engine.h"
+#include "query/result_set.h"
+
+int main() {
+  sopr::Engine engine;
+
+  // The paper's §3.1 schema: emp(name, emp_no, salary, dept_no),
+  // dept(dept_no, mgr_no).
+  auto check = [](const sopr::Status& status) {
+    if (!status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      std::exit(1);
+    }
+  };
+
+  check(engine.Execute(
+      "create table emp (name string, emp_no int, salary double, "
+      "dept_no int)"));
+  check(engine.Execute("create table dept (dept_no int, mgr_no int)"));
+
+  check(engine.Execute("insert into dept values (1, 10), (2, 20)"));
+  check(engine.Execute(
+      "insert into emp values ('Jane', 10, 90000, 1), "
+      "('Mary', 20, 70000, 1), ('Bill', 40, 25000, 2)"));
+
+  // Example 3.1: whenever departments are deleted, delete all employees
+  // in the deleted departments. Note `deleted dept`: the rule's condition
+  // and action can query the SET of deleted tuples (a transition table).
+  check(engine.Execute(
+      "create rule cascade_delete "
+      "when deleted from dept "
+      "then delete from emp "
+      "     where dept_no in (select dept_no from deleted dept)"));
+
+  std::cout << "Before:\n";
+  std::cout << sopr::FormatResult(
+      engine.Query("select * from emp order by name").value());
+
+  // Deleting department 2 automatically deletes Bill.
+  check(engine.Execute("delete from dept where dept_no = 2"));
+
+  std::cout << "\nAfter `delete from dept where dept_no = 2` "
+               "(rule fired automatically):\n";
+  std::cout << sopr::FormatResult(
+      engine.Query("select * from emp order by name").value());
+
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Interactive shell for the sopr engine: type SQL (tables, rules,
+// queries, operation blocks) and watch rules fire. Meta-commands:
+//
+//   \tables            list tables
+//   \rules             list rules with their definitions
+//   \analyze           run static rule analysis (§6): trigger graph +
+//                      loop / order-sensitivity warnings
+//   \trace on|off      print rule consideration/firing traces per block
+//   \begin \commit \rollback \process
+//                      explicit transaction control (§5.3 triggering
+//                      points)
+//   \help \quit
+//
+// Statements end with ';'. Multiple DML statements before the ';' form
+// one operation block (= one transaction), e.g.:
+//
+//   sopr> delete from emp where name = 'Jane'
+//    ...>   ; -- executes the block, fires rules, commits
+//
+// Build & run:  cmake --build build && ./build/examples/sopr_shell
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.h"
+#include "engine/explain.h"
+#include "io/dump.h"
+#include "query/result_set.h"
+#include "rules/analysis.h"
+#include "rules/trace_format.h"
+
+namespace {
+
+bool g_trace = true;
+
+void PrintTrace(const sopr::ExecutionTrace& trace) {
+  if (!g_trace) return;
+  sopr::TraceFormatOptions options;
+  options.show_retrieved = true;
+  options.indent = "-- ";
+  std::cout << sopr::FormatTrace(trace, options);
+}
+
+void ListTables(sopr::Engine& engine) {
+  for (const std::string& name : engine.db().catalog().TableNames()) {
+    auto schema = engine.db().catalog().GetTable(name);
+    if (schema.ok()) {
+      std::cout << "  " << schema.value()->ToString() << "  ("
+                << engine.TableSize(name).ValueOr(0) << " rows)\n";
+    }
+  }
+}
+
+void ListRules(sopr::Engine& engine) {
+  for (const std::string& name : engine.rules().RuleNames()) {
+    auto rule = engine.rules().GetRule(name);
+    if (rule.ok()) {
+      std::cout << "  " << rule.value()->def().ToString() << "\n";
+    }
+  }
+}
+
+void Analyze(sopr::Engine& engine) {
+  std::vector<const sopr::Rule*> rules;
+  for (const std::string& name : engine.rules().RuleNames()) {
+    auto rule = engine.rules().GetRule(name);
+    if (rule.ok()) rules.push_back(rule.value());
+  }
+  sopr::RuleAnalyzer analyzer(rules, &engine.rules().priorities());
+  if (analyzer.edges().empty()) {
+    std::cout << "  no may-trigger edges\n";
+  }
+  for (const sopr::TriggerEdge& e : analyzer.edges()) {
+    std::cout << "  " << e.from << " -> " << e.to << "  [" << e.via << "]\n";
+  }
+  for (const sopr::AnalysisWarning& w : analyzer.Analyze()) {
+    std::cout << "  warning: " << w.ToString() << "\n";
+  }
+}
+
+void Help() {
+  std::cout
+      << "Statements end with ';'. DML statements before the ';' form one\n"
+         "operation block (one transaction). Meta-commands:\n"
+         "  \\tables  \\rules  \\analyze  \\explain <select>\n"
+         "  \\dump  \\trace on|off\n"
+         "  \\begin  \\process  \\commit  \\rollback\n"
+         "  \\help  \\quit\n";
+}
+
+/// Handles a meta-command line; returns false for \quit.
+bool HandleMeta(sopr::Engine& engine, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd, arg;
+  in >> cmd >> arg;
+  if (cmd == "\\quit" || cmd == "\\q") return false;
+  if (cmd == "\\help") {
+    Help();
+  } else if (cmd == "\\tables") {
+    ListTables(engine);
+  } else if (cmd == "\\rules") {
+    ListRules(engine);
+  } else if (cmd == "\\analyze") {
+    Analyze(engine);
+  } else if (cmd == "\\explain") {
+    std::string rest;
+    std::getline(in, rest);
+    auto plan = sopr::ExplainSelect(&engine, arg + rest);
+    std::cout << (plan.ok() ? plan.value() : plan.status().ToString() + "\n");
+  } else if (cmd == "\\dump") {
+    auto dump = sopr::DumpDatabase(&engine);
+    std::cout << (dump.ok() ? dump.value() : dump.status().ToString() + "\n");
+  } else if (cmd == "\\trace") {
+    g_trace = (arg != "off");
+    std::cout << "trace " << (g_trace ? "on" : "off") << "\n";
+  } else if (cmd == "\\begin") {
+    sopr::Status s = engine.Begin();
+    std::cout << (s.ok() ? "transaction started" : s.ToString()) << "\n";
+  } else if (cmd == "\\process") {
+    auto trace = engine.ProcessRules();
+    if (trace.ok()) {
+      PrintTrace(trace.value());
+      std::cout << "rules processed\n";
+    } else {
+      std::cout << trace.status() << "\n";
+    }
+  } else if (cmd == "\\commit") {
+    auto trace = engine.Commit();
+    if (trace.ok()) {
+      PrintTrace(trace.value());
+      std::cout << "committed\n";
+    } else {
+      std::cout << trace.status() << "\n";
+    }
+  } else if (cmd == "\\rollback") {
+    sopr::Status s = engine.Rollback();
+    std::cout << (s.ok() ? "rolled back" : s.ToString()) << "\n";
+  } else {
+    std::cout << "unknown command " << cmd << " (try \\help)\n";
+  }
+  return true;
+}
+
+void ExecuteSql(sopr::Engine& engine, const std::string& sql) {
+  // Single select outside a transaction -> plain query.
+  auto query = engine.Query(sql);
+  if (query.ok()) {
+    std::cout << sopr::FormatResult(query.value());
+    return;
+  }
+
+  if (engine.in_transaction()) {
+    sopr::Status s = engine.Run(sql);
+    std::cout << (s.ok() ? "staged (rules run at \\process or \\commit)"
+                         : s.ToString())
+              << "\n";
+    return;
+  }
+
+  // DDL or an operation block.
+  auto trace = engine.ExecuteBlock(sql);
+  if (trace.ok()) {
+    PrintTrace(trace.value());
+    std::cout << (trace.value().rolled_back ? "rolled back" : "ok") << "\n";
+    return;
+  }
+  sopr::Status ddl = engine.Execute(sql);
+  std::cout << (ddl.ok() ? "ok" : ddl.ToString()) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  sopr::Engine engine;
+  std::cout << "sopr shell — set-oriented production rules "
+               "(Widom & Finkelstein, SIGMOD 1990)\n"
+               "Type \\help for commands, \\quit to exit.\n";
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "sopr> " : " ...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    // Meta-commands act immediately (only at statement start).
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (!HandleMeta(engine, line)) break;
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    // Execute once the buffer ends with ';' (ignoring trailing blanks).
+    size_t end = buffer.find_last_not_of(" \t\n");
+    if (end != std::string::npos && buffer[end] == ';') {
+      std::string sql = buffer.substr(0, end);  // strip the terminator
+      buffer.clear();
+      if (!sql.empty()) ExecuteSql(engine, sql);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "baseline/instance_engine.h"
+
+#include "expr/evaluator.h"
+#include "rules/transition_tables.h"
+
+namespace sopr {
+
+Status InstanceEngine::DefineRule(std::shared_ptr<const CreateRuleStmt> def) {
+  if (def->action_is_rollback) {
+    return Status::NotImplemented(
+        "instance-oriented baseline does not support rollback actions");
+  }
+  for (const auto& rule : rules_) {
+    if (rule->name() == def->name) {
+      return Status::CatalogError("rule already exists: " + def->name);
+    }
+  }
+  SOPR_ASSIGN_OR_RETURN(std::shared_ptr<Rule> rule,
+                        Rule::Create(std::move(def), db_->catalog()));
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+void InstanceEngine::EnqueueMatches(const DmlEffect& op,
+                                    std::deque<WorkItem>* queue) const {
+  for (const auto& rule : rules_) {
+    for (const ResolvedTransPred& pred : rule->when()) {
+      if (pred.table != op.table) continue;
+      switch (pred.kind) {
+        case BasicTransPred::Kind::kInsertedInto:
+          for (TupleHandle h : op.inserted) {
+            WorkItem item{rule.get(), TransInfo()};
+            DmlEffect single;
+            single.table = op.table;
+            single.inserted.push_back(h);
+            item.singleton.ApplyOp(single);
+            queue->push_back(std::move(item));
+          }
+          break;
+        case BasicTransPred::Kind::kDeletedFrom:
+          for (const auto& [h, row] : op.deleted) {
+            WorkItem item{rule.get(), TransInfo()};
+            DmlEffect single;
+            single.table = op.table;
+            single.deleted.emplace_back(h, row);
+            item.singleton.ApplyOp(single);
+            queue->push_back(std::move(item));
+          }
+          break;
+        case BasicTransPred::Kind::kUpdated:
+          for (const DmlEffect::UpdatedTuple& u : op.updated) {
+            bool matches = pred.column == ResolvedTransPred::kAnyColumn;
+            if (!matches) {
+              for (size_t c : u.columns) {
+                if (c == pred.column) {
+                  matches = true;
+                  break;
+                }
+              }
+            }
+            if (!matches) continue;
+            WorkItem item{rule.get(), TransInfo()};
+            DmlEffect single;
+            single.table = op.table;
+            single.updated.push_back(u);
+            item.singleton.ApplyOp(single);
+            queue->push_back(std::move(item));
+          }
+          break;
+        case BasicTransPred::Kind::kSelectedFrom:
+          break;  // not supported in the baseline
+      }
+    }
+  }
+}
+
+Result<InstanceStats> InstanceEngine::ExecuteBlock(
+    const std::vector<const Stmt*>& ops) {
+  InstanceStats stats;
+  UndoLog::Mark mark = db_->UndoMark();
+
+  std::deque<WorkItem> queue;
+  DatabaseResolver base_resolver(db_);
+  Executor base_executor(db_, &base_resolver);
+
+  auto abort = [&](const Status& cause) -> Status {
+    SOPR_RETURN_NOT_OK(db_->RollbackTo(mark));
+    return cause;
+  };
+
+  for (const Stmt* op : ops) {
+    if (op->kind == StmtKind::kSelect) continue;  // retrieval-only
+    auto effect = base_executor.ExecuteDml(*op);
+    if (!effect.ok()) return abort(effect.status());
+    EnqueueMatches(effect.value(), &queue);
+  }
+
+  while (!queue.empty()) {
+    if (++stats.invocations > max_invocations_) {
+      return abort(Status::LimitExceeded(
+          "instance-oriented cascade exceeded " +
+          std::to_string(max_invocations_) + " invocations"));
+    }
+    WorkItem item = std::move(queue.front());
+    queue.pop_front();
+
+    // For updated/deleted singletons the tuple may already have been
+    // deleted by an earlier instance; `inserted`/`new updated` transition
+    // tables would dangle. Skip stale work conservatively.
+    bool stale = false;
+    for (const auto& [table, info] : item.singleton.tables()) {
+      SOPR_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
+      for (TupleHandle h : info.ins) {
+        if (!t->Contains(h)) stale = true;
+      }
+      for (const auto& [h, u] : info.upd) {
+        (void)u;
+        if (!t->Contains(h)) stale = true;
+      }
+    }
+    if (stale) continue;
+
+    TransitionTableResolver resolver(db_, &item.singleton);
+    Executor executor(db_, &resolver);
+
+    bool holds = true;
+    if (item.rule->condition() != nullptr) {
+      Scope scope;
+      EvalContext ctx;
+      ctx.runner = &executor;
+      auto held = EvaluatePredicate(*item.rule->condition(), scope, ctx);
+      if (!held.ok()) return abort(held.status());
+      holds = (held.value() == TriBool::kTrue);
+    }
+    if (!holds) continue;
+
+    ++stats.actions_executed;
+    for (const StmtPtr& op : item.rule->action()) {
+      if (op->kind == StmtKind::kSelect) continue;
+      auto effect = executor.ExecuteDml(*op);
+      if (!effect.ok()) return abort(effect.status());
+      EnqueueMatches(effect.value(), &queue);
+    }
+  }
+
+  db_->CommitAll();
+  return stats;
+}
+
+}  // namespace sopr

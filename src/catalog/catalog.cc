@@ -1,0 +1,61 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+Status Catalog::AddTable(TableSchema schema) {
+  std::string key = ToLower(schema.name());
+  if (key.empty()) {
+    return Status::CatalogError("table name must be non-empty");
+  }
+  if (tables_.count(key) > 0) {
+    return Status::CatalogError("table already exists: " + schema.name());
+  }
+  if (schema.num_columns() == 0) {
+    return Status::CatalogError("table " + schema.name() +
+                                " must have at least one column");
+  }
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    for (size_t j = i + 1; j < schema.num_columns(); ++j) {
+      if (EqualsIgnoreCase(schema.columns()[i].name,
+                           schema.columns()[j].name)) {
+        return Status::CatalogError("duplicate column " +
+                                    schema.columns()[i].name + " in table " +
+                                    schema.name());
+      }
+    }
+  }
+  order_.push_back(key);
+  tables_.emplace(std::move(key), std::move(schema));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(std::string_view name) {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::CatalogError("no such table: " + std::string(name));
+  }
+  tables_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), key), order_.end());
+  return Status::OK();
+}
+
+bool Catalog::HasTable(std::string_view name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Result<const TableSchema*> Catalog::GetTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::CatalogError("no such table: " + std::string(name));
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::TableNames() const { return order_; }
+
+}  // namespace sopr

@@ -1,0 +1,41 @@
+#ifndef SOPR_CATALOG_CATALOG_H_
+#define SOPR_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+
+namespace sopr {
+
+/// Name → schema registry for all tables in the database. Names are
+/// case-insensitive (stored lowercased).
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table. Fails on duplicate name or empty/duplicate columns.
+  Status AddTable(TableSchema schema);
+
+  Status DropTable(std::string_view name);
+
+  bool HasTable(std::string_view name) const;
+
+  /// Looks up a schema. Fails with CatalogError if absent.
+  Result<const TableSchema*> GetTable(std::string_view name) const;
+
+  /// All table names in registration order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_CATALOG_CATALOG_H_

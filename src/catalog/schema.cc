@@ -1,0 +1,48 @@
+#include "catalog/schema.h"
+
+#include "common/string_util.h"
+#include "types/row.h"
+
+namespace sopr {
+
+std::optional<size_t> TableSchema::FindColumn(
+    std::string_view column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, column_name)) return i;
+  }
+  return std::nullopt;
+}
+
+Status TableSchema::CheckRow(const Row& row) const {
+  if (row.size() != columns_.size()) {
+    return Status::TypeError("table " + name_ + " expects " +
+                             std::to_string(columns_.size()) +
+                             " values, got " + std::to_string(row.size()));
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Value& v = row.at(i);
+    if (v.is_null()) continue;
+    ValueType want = columns_[i].type;
+    ValueType got = v.type();
+    if (got == want) continue;
+    if (want == ValueType::kDouble && got == ValueType::kInt) continue;
+    return Status::TypeError("column " + name_ + "." + columns_[i].name +
+                             " has type " + ValueTypeName(want) + ", got " +
+                             ValueTypeName(got) + " value " + v.ToString());
+  }
+  return Status::OK();
+}
+
+std::string TableSchema::ToString() const {
+  std::string out = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace sopr

@@ -1,0 +1,46 @@
+#ifndef SOPR_CATALOG_SCHEMA_H_
+#define SOPR_CATALOG_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/value.h"
+
+namespace sopr {
+
+/// One column of a table: a (case-insensitively unique) name and a type.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// The fixed schema of a table (the paper assumes a fixed schema, §2 fn 1).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Index of `column_name` (case-insensitive), or nullopt.
+  std::optional<size_t> FindColumn(std::string_view column_name) const;
+
+  /// Validates a row against this schema: arity, and per-column type
+  /// (NULL is accepted for any column; ints coerce to double columns).
+  Status CheckRow(const class Row& row) const;
+
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_CATALOG_SCHEMA_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace sopr {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kCatalogError:
+      return "CatalogError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kConstraintError:
+      return "ConstraintError";
+    case StatusCode::kRolledBack:
+      return "RolledBack";
+    case StatusCode::kLimitExceeded:
+      return "LimitExceeded";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace sopr

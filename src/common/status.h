@@ -1,0 +1,133 @@
+#ifndef SOPR_COMMON_STATUS_H_
+#define SOPR_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sopr {
+
+/// Error categories used across the engine. Mirrors the Status idiom of
+/// Arrow/RocksDB: no exceptions cross API boundaries; every fallible
+/// operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kParseError,        // SQL text could not be parsed
+  kCatalogError,      // unknown/duplicate table, column, or rule
+  kTypeError,         // expression typing violation
+  kExecutionError,    // runtime evaluation failure (e.g. div by zero)
+  kConstraintError,   // declarative constraint violation
+  kRolledBack,        // a rule executed `rollback`; transaction undone
+  kLimitExceeded,     // rule-cascade runaway guard tripped
+  kNotImplemented,
+  kInternal,
+};
+
+/// Human-readable name for a StatusCode (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a message. Cheap to move;
+/// OK status carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status CatalogError(std::string msg) {
+    return Status(StatusCode::kCatalogError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status ConstraintError(std::string msg) {
+    return Status(StatusCode::kConstraintError, std::move(msg));
+  }
+  static Status RolledBack(std::string msg) {
+    return Status(StatusCode::kRolledBack, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "ParseError: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Value-or-error, in the style of arrow::Result. The error message of a
+/// failed Result is available via status().
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagate a non-OK Status from the current function.
+#define SOPR_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::sopr::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+/// Evaluate a Result-returning expression; on error propagate the Status,
+/// otherwise bind the value to `lhs`.
+#define SOPR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define SOPR_CONCAT_(a, b) a##b
+#define SOPR_CONCAT(a, b) SOPR_CONCAT_(a, b)
+
+#define SOPR_ASSIGN_OR_RETURN(lhs, expr) \
+  SOPR_ASSIGN_OR_RETURN_IMPL(SOPR_CONCAT(_sopr_result_, __LINE__), lhs, expr)
+
+}  // namespace sopr
+
+#endif  // SOPR_COMMON_STATUS_H_

@@ -1,0 +1,24 @@
+#ifndef SOPR_COMMON_STRING_UTIL_H_
+#define SOPR_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sopr {
+
+/// ASCII lowercase copy (SQL identifiers and keywords are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// True if `a` and `b` are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Join `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+}  // namespace sopr
+
+#endif  // SOPR_COMMON_STRING_UTIL_H_

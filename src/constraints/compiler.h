@@ -1,0 +1,45 @@
+#ifndef SOPR_CONSTRAINTS_COMPILER_H_
+#define SOPR_CONSTRAINTS_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/constraint.h"
+#include "engine/engine.h"
+
+namespace sopr {
+
+/// Semi-automatic translation of high-level integrity constraints into
+/// sets of production rules, following the direction of §6 and [CW90]
+/// ("Deriving production rules for constraint maintenance"). Each Add*
+/// call compiles the constraint to one or more `create rule` statements,
+/// installs them in the engine, and returns the installed rule names.
+class ConstraintCompiler {
+ public:
+  explicit ConstraintCompiler(Engine* engine) : engine_(engine) {}
+
+  Result<std::vector<std::string>> AddReferential(
+      const ReferentialConstraint& constraint);
+  Result<std::vector<std::string>> AddDomain(const DomainConstraint& constraint);
+  Result<std::vector<std::string>> AddUnique(const UniqueConstraint& constraint);
+  Result<std::vector<std::string>> AddAggregate(
+      const AggregateConstraint& constraint);
+
+  /// Every `create rule` statement this compiler has issued, in order
+  /// (useful for inspection, docs, and tests).
+  const std::vector<std::string>& generated_sql() const {
+    return generated_sql_;
+  }
+
+ private:
+  /// Installs one generated rule; records the SQL on success.
+  Status Install(const std::string& sql);
+
+  Engine* engine_;
+  std::vector<std::string> generated_sql_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_CONSTRAINTS_COMPILER_H_

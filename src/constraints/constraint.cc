@@ -1,0 +1,36 @@
+#include "constraints/constraint.h"
+
+#include <cctype>
+
+namespace sopr {
+
+const char* ViolationActionName(ViolationAction action) {
+  switch (action) {
+    case ViolationAction::kRollback:
+      return "rollback";
+    case ViolationAction::kCascade:
+      return "cascade";
+    case ViolationAction::kSetNull:
+      return "set-null";
+  }
+  return "?";
+}
+
+Status ValidateIdentifier(const std::string& id, const char* what) {
+  if (id.empty()) {
+    return Status::InvalidArgument(std::string(what) + " must be non-empty");
+  }
+  if (!std::isalpha(static_cast<unsigned char>(id[0])) && id[0] != '_') {
+    return Status::InvalidArgument(std::string(what) + " '" + id +
+                                   "' must start with a letter or '_'");
+  }
+  for (char c : id) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return Status::InvalidArgument(std::string(what) + " '" + id +
+                                     "' contains invalid character");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sopr

@@ -1,0 +1,65 @@
+#ifndef SOPR_CONSTRAINTS_CONSTRAINT_H_
+#define SOPR_CONSTRAINTS_CONSTRAINT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace sopr {
+
+/// What a generated enforcement rule does when the constraint would be
+/// violated.
+enum class ViolationAction {
+  kRollback,  // abort the transaction (the paper's rollback action)
+  kCascade,   // referential only: propagate the delete to children
+  kSetNull,   // referential only: orphan children by nulling the FK
+};
+
+const char* ViolationActionName(ViolationAction action);
+
+/// child.child_column references parent.parent_column. Generated rules
+/// enforce: (a) the chosen action when parent rows are deleted, and
+/// (b) rollback when a child is inserted/updated with a dangling
+/// reference. NULL child values are always allowed (SQL convention).
+struct ReferentialConstraint {
+  std::string name;
+  std::string child_table;
+  std::string child_column;
+  std::string parent_table;
+  std::string parent_column;
+  ViolationAction on_parent_delete = ViolationAction::kRollback;
+};
+
+/// `predicate_sql` must hold for every row of `table` (checked on insert
+/// and on update of `column`). The predicate references columns of the
+/// table directly, e.g. "salary >= 0".
+struct DomainConstraint {
+  std::string name;
+  std::string table;
+  std::string column;         // the column whose updates re-check
+  std::string predicate_sql;  // e.g. "salary >= 0 and salary < 10000000"
+};
+
+/// No two non-NULL rows of `table` may share a value of `column`.
+struct UniqueConstraint {
+  std::string name;
+  std::string table;
+  std::string column;
+};
+
+/// A database-wide predicate over aggregates that must hold after every
+/// transition touching `table`, e.g. "(select sum(salary) from emp) <
+/// 10000000".
+struct AggregateConstraint {
+  std::string name;
+  std::string table;          // triggering table
+  std::string predicate_sql;  // full SQL predicate (self-contained)
+};
+
+/// Basic identifier sanity for constraint/table/column names used when
+/// splicing SQL.
+Status ValidateIdentifier(const std::string& id, const char* what);
+
+}  // namespace sopr
+
+#endif  // SOPR_CONSTRAINTS_CONSTRAINT_H_

@@ -1,0 +1,165 @@
+#include "engine/engine.h"
+
+namespace sopr {
+
+namespace {
+
+bool IsDdl(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kCreateTable:
+    case StmtKind::kCreateIndex:
+    case StmtKind::kCreateRule:
+    case StmtKind::kCreatePriority:
+    case StmtKind::kDropRule:
+    case StmtKind::kDropTable:
+    case StmtKind::kSetRuleEnabled:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status Engine::ExecuteDdl(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kCreateTable: {
+      const auto& ct = static_cast<const CreateTableStmt&>(stmt);
+      std::vector<ColumnDef> columns;
+      columns.reserve(ct.columns.size());
+      for (const auto& [name, type] : ct.columns) {
+        columns.push_back(ColumnDef{name, type});
+      }
+      return db_->CreateTable(TableSchema(ct.table, std::move(columns)));
+    }
+    case StmtKind::kCreateIndex: {
+      const auto& ci = static_cast<const CreateIndexStmt&>(stmt);
+      SOPR_ASSIGN_OR_RETURN(Table * table, db_->GetTable(ci.table));
+      auto column = table->schema().FindColumn(ci.column);
+      if (!column) {
+        return Status::CatalogError("no column " + ci.column + " in table " +
+                                    ci.table);
+      }
+      return table->CreateIndex(*column);
+    }
+    case StmtKind::kSetRuleEnabled: {
+      const auto& sre = static_cast<const SetRuleEnabledStmt&>(stmt);
+      return rules_->SetRuleEnabled(sre.name, sre.enabled);
+    }
+    case StmtKind::kCreatePriority: {
+      const auto& cp = static_cast<const CreatePriorityStmt&>(stmt);
+      return rules_->AddPriority(cp.higher, cp.lower);
+    }
+    case StmtKind::kDropRule: {
+      const auto& dr = static_cast<const DropRuleStmt&>(stmt);
+      return rules_->DropRule(dr.name);
+    }
+    case StmtKind::kDropTable: {
+      const auto& dt = static_cast<const DropTableStmt&>(stmt);
+      // A table still referenced by a rule cannot be dropped: the rule
+      // would dangle (its predicates and transition tables name it).
+      for (const std::string& rule_name : rules_->RuleNames()) {
+        auto rule = rules_->GetRule(rule_name);
+        if (!rule.ok()) continue;
+        if (RuleReferencesTable(*rule.value(), dt.table)) {
+          return Status::InvalidArgument("cannot drop table " + dt.table +
+                                         ": referenced by rule " + rule_name);
+        }
+      }
+      return db_->DropTable(dt.table);
+    }
+    default:
+      return Status::Internal("not DDL");
+  }
+}
+
+Status Engine::Execute(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
+
+  if (IsDdl(*stmts[0])) {
+    for (StmtPtr& stmt : stmts) {
+      if (!IsDdl(*stmt)) {
+        return Status::InvalidArgument(
+            "cannot mix DDL and DML in one script: " + stmt->ToString());
+      }
+      if (stmt->kind == StmtKind::kCreateRule) {
+        std::shared_ptr<const CreateRuleStmt> def(
+            static_cast<const CreateRuleStmt*>(stmt.release()));
+        SOPR_RETURN_NOT_OK(rules_->DefineRule(std::move(def)));
+      } else {
+        SOPR_RETURN_NOT_OK(ExecuteDdl(*stmt));
+      }
+    }
+    return Status::OK();
+  }
+
+  SOPR_ASSIGN_OR_RETURN(ExecutionTrace trace, ExecuteBlockParsed(stmts));
+  if (trace.rolled_back) {
+    return Status::RolledBack("transaction rolled back by rule " +
+                              trace.rollback_rule);
+  }
+  return Status::OK();
+}
+
+Result<ExecutionTrace> Engine::ExecuteBlock(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
+  for (const StmtPtr& stmt : stmts) {
+    if (IsDdl(*stmt)) {
+      return Status::InvalidArgument("ExecuteBlock expects DML, got: " +
+                                     stmt->ToString());
+    }
+  }
+  return ExecuteBlockParsed(stmts);
+}
+
+Result<ExecutionTrace> Engine::ExecuteBlockParsed(
+    const std::vector<StmtPtr>& stmts) {
+  std::vector<const Stmt*> ops;
+  ops.reserve(stmts.size());
+  for (const StmtPtr& stmt : stmts) ops.push_back(stmt.get());
+  return rules_->ExecuteBlock(ops);
+}
+
+Result<QueryResult> Engine::Query(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("Query expects a select statement");
+  }
+  DatabaseResolver resolver(db_.get());
+  Executor executor(db_.get(), &resolver,
+                    rules_->options().optimize_queries);
+  return executor.ExecuteSelect(static_cast<const SelectStmt&>(*stmt));
+}
+
+Status Engine::Run(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
+  std::vector<const Stmt*> ops;
+  ops.reserve(stmts.size());
+  for (const StmtPtr& stmt : stmts) {
+    if (IsDdl(*stmt)) {
+      return Status::InvalidArgument("Run expects DML, got: " +
+                                     stmt->ToString());
+    }
+    ops.push_back(stmt.get());
+  }
+  return rules_->RunOps(ops);
+}
+
+Result<ExecutionTrace> Engine::ProcessRules() {
+  ExecutionTrace trace;
+  SOPR_RETURN_NOT_OK(rules_->ProcessRules(&trace));
+  return trace;
+}
+
+Result<ExecutionTrace> Engine::Commit() {
+  ExecutionTrace trace;
+  SOPR_RETURN_NOT_OK(rules_->Commit(&trace));
+  return trace;
+}
+
+Result<size_t> Engine::TableSize(const std::string& table) const {
+  SOPR_ASSIGN_OR_RETURN(const Table* t, db_->GetTable(table));
+  return t->size();
+}
+
+}  // namespace sopr

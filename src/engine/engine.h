@@ -1,0 +1,81 @@
+#ifndef SOPR_ENGINE_ENGINE_H_
+#define SOPR_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/executor.h"
+#include "rules/rule_engine.h"
+#include "sql/parser.h"
+#include "storage/database.h"
+
+namespace sopr {
+
+/// Top-level facade: a single-user relational database with the paper's
+/// set-oriented production rules, driven by SQL text.
+///
+/// Usage:
+///   Engine engine;
+///   engine.Execute("create table emp (name string, emp_no int, "
+///                  "salary double, dept_no int)");
+///   engine.Execute("create rule r1 when deleted from dept then ...");
+///   engine.Execute("insert into emp values ('Jane', 1, 50000, 2)");
+///   auto result = engine.Query("select * from emp");
+///
+/// Every call to Execute with DML runs as one transaction: the statements
+/// form a single externally-generated operation block, after which rules
+/// are processed to quiescence and the transaction commits (§4). DDL
+/// (create table / create rule / priorities / drop rule) executes
+/// immediately and is not transactional.
+class Engine {
+ public:
+  explicit Engine(RuleEngineOptions options = {})
+      : db_(std::make_unique<Database>()),
+        rules_(std::make_unique<RuleEngine>(db_.get(), options)) {}
+
+  /// Executes DDL or a DML operation block. Returns
+  /// StatusCode::kRolledBack if a rule's rollback action fired.
+  Status Execute(const std::string& sql);
+
+  /// Like Execute for DML, but returns the full execution trace (rule
+  /// considerations, firings, retrieved result sets).
+  Result<ExecutionTrace> ExecuteBlock(const std::string& sql);
+
+  /// Runs a read-only query outside any transaction. Does not trigger
+  /// rules (use ExecuteBlock with a select inside a transaction for the
+  /// §5.1 select-triggering extension).
+  Result<QueryResult> Query(const std::string& sql);
+
+  // --- §5.3 explicit transaction control with rule triggering points ---
+  Status Begin() { return rules_->Begin(); }
+  /// Executes DML statements in the open transaction without processing
+  /// rules.
+  Status Run(const std::string& sql);
+  /// Explicit rule triggering point.
+  Result<ExecutionTrace> ProcessRules();
+  /// Final rule processing + commit.
+  Result<ExecutionTrace> Commit();
+  Status Rollback() { return rules_->RollbackTransaction(); }
+  bool in_transaction() const { return rules_->in_transaction(); }
+
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+  RuleEngine& rules() { return *rules_; }
+  const RuleEngine& rules() const { return *rules_; }
+
+  /// Convenience for tests/examples: number of rows currently in `table`.
+  Result<size_t> TableSize(const std::string& table) const;
+
+ private:
+  Status ExecuteDdl(const Stmt& stmt);
+  Result<ExecutionTrace> ExecuteBlockParsed(const std::vector<StmtPtr>& stmts);
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<RuleEngine> rules_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_ENGINE_ENGINE_H_

@@ -1,0 +1,106 @@
+#include "engine/explain.h"
+
+#include "query/planner.h"
+#include "sql/parser.h"
+
+namespace sopr {
+
+Result<std::string> ExplainSelect(Engine* engine, const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("explain expects a select statement");
+  }
+  const auto& select = static_cast<const SelectStmt&>(*stmt);
+
+  DatabaseResolver resolver(&engine->db());
+  std::vector<QueryPlan::BindingInfo> bindings;
+  bindings.reserve(select.from.size());
+  for (const TableRef& ref : select.from) {
+    SOPR_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          resolver.ResolveSchema(ref));
+    bindings.push_back(QueryPlan::BindingInfo{ref.binding_name(), schema});
+  }
+  QueryPlan plan = QueryPlan::Analyze(select.where.get(), bindings);
+
+  std::string out;
+
+  out += "from:     ";
+  for (size_t i = 0; i < select.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select.from[i].ToString();
+    auto size = engine->TableSize(select.from[i].table);
+    if (size.ok()) {
+      out += " [" + std::to_string(size.value()) + " rows]";
+    }
+  }
+  out += "\n";
+
+  out += "pushed:   ";
+  if (plan.pushed().empty()) {
+    out += "(none)";
+  } else {
+    bool first = true;
+    for (const QueryPlan::PushedFilter& filter : plan.pushed()) {
+      if (!first) out += "; ";
+      first = false;
+      out += bindings[filter.binding].name + ": " +
+             filter.conjunct->ToString();
+      // Report index-assisted scans for `col = literal`.
+      if (auto hint =
+              FindEqLiteral(filter.conjunct,
+                            *bindings[filter.binding].schema)) {
+        auto table = engine->db().GetTable(select.from[filter.binding].table);
+        if (table.ok() && select.from[filter.binding].kind ==
+                              TableRefKind::kBase &&
+            table.value()->GetIndex(hint->first) != nullptr) {
+          out += " [index scan]";
+        }
+      }
+    }
+  }
+  out += "\n";
+
+  out += "join:     ";
+  if (plan.joins().empty()) {
+    out += select.from.size() > 1 ? "(cross product)" : "(single table)";
+  } else {
+    bool first = true;
+    for (const QueryPlan::JoinEdge& edge : plan.joins()) {
+      if (!first) out += "; ";
+      first = false;
+      out += bindings[edge.left_binding].name + "." +
+             bindings[edge.left_binding].schema->columns()[edge.left_column]
+                 .name +
+             " = " + bindings[edge.right_binding].name + "." +
+             bindings[edge.right_binding]
+                 .schema->columns()[edge.right_column]
+                 .name +
+             " (hash)";
+    }
+  }
+  out += "\n";
+
+  out += "order:    ";
+  std::vector<size_t> order = plan.JoinOrder(bindings.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += bindings[order[i]].name;
+  }
+  out += "\n";
+
+  out += "residual: ";
+  if (plan.residual().empty()) {
+    out += "(none)";
+  } else {
+    bool first = true;
+    for (const Expr* conjunct : plan.residual()) {
+      if (!first) out += "; ";
+      first = false;
+      out += conjunct->ToString();
+    }
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace sopr

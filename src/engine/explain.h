@@ -1,0 +1,27 @@
+#ifndef SOPR_ENGINE_EXPLAIN_H_
+#define SOPR_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace sopr {
+
+/// Renders the query plan the optimizer would use for a select statement:
+/// per-relation pushed filters (with index usage), hash-join edges, the
+/// greedy join order, and residual predicates. Purely analytical — the
+/// query is not executed.
+///
+///   explain> select * from emp e, dept d
+///            where e.dept_no = d.dept_no and salary > 5
+///   from:     emp e [2 rows], dept d [4 rows]
+///   pushed:   e: (salary > 5)
+///   join:     e.dept_no = d.dept_no (hash)
+///   order:    e, d
+///   residual: (none)
+Result<std::string> ExplainSelect(Engine* engine, const std::string& sql);
+
+}  // namespace sopr
+
+#endif  // SOPR_ENGINE_EXPLAIN_H_

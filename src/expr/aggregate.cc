@@ -1,0 +1,74 @@
+#include "expr/aggregate.h"
+
+namespace sopr {
+
+Status AggregateAccumulator::Add(const Value& v) {
+  if (v.is_null()) return Status::OK();  // SQL: aggregates ignore NULLs
+  if (distinct_) {
+    for (const Value& s : seen_) {
+      if (s.StructurallyEquals(v)) return Status::OK();
+    }
+    seen_.push_back(v);
+  }
+  switch (func_) {
+    case AggFunc::kCount:
+      ++count_;
+      return Status::OK();
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      if (!v.IsNumeric()) {
+        return Status::TypeError(std::string(AggFuncName(func_)) +
+                                 " requires numeric input, got " +
+                                 v.ToString());
+      }
+      ++count_;
+      if (v.type() == ValueType::kInt && sum_is_int_) {
+        int64_t next;
+        if (__builtin_add_overflow(int_sum_, v.AsInt(), &next)) {
+          sum_ = static_cast<double>(int_sum_) +
+                 static_cast<double>(v.AsInt());
+          sum_is_int_ = false;
+        } else {
+          int_sum_ = next;
+        }
+      } else {
+        if (sum_is_int_) {
+          sum_ = static_cast<double>(int_sum_);
+          sum_is_int_ = false;
+        }
+        sum_ += v.NumericAsDouble();
+      }
+      return Status::OK();
+    case AggFunc::kMin:
+      ++count_;
+      if (min_.is_null() || v.SqlLess(min_) == TriBool::kTrue) min_ = v;
+      return Status::OK();
+    case AggFunc::kMax:
+      ++count_;
+      if (max_.is_null() || max_.SqlLess(v) == TriBool::kTrue) max_ = v;
+      return Status::OK();
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+Result<Value> AggregateAccumulator::Finish() const {
+  switch (func_) {
+    case AggFunc::kCount:
+      return Value::Int(count_);
+    case AggFunc::kSum:
+      if (count_ == 0) return Value::Null();
+      return sum_is_int_ ? Value::Int(int_sum_) : Value::Double(sum_);
+    case AggFunc::kAvg: {
+      if (count_ == 0) return Value::Null();
+      double total = sum_is_int_ ? static_cast<double>(int_sum_) : sum_;
+      return Value::Double(total / static_cast<double>(count_));
+    }
+    case AggFunc::kMin:
+      return count_ == 0 ? Value::Null() : min_;
+    case AggFunc::kMax:
+      return count_ == 0 ? Value::Null() : max_;
+  }
+  return Status::Internal("unhandled aggregate function");
+}
+
+}  // namespace sopr

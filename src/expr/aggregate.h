@@ -1,0 +1,40 @@
+#ifndef SOPR_EXPR_AGGREGATE_H_
+#define SOPR_EXPR_AGGREGATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace sopr {
+
+/// Streaming accumulator for one aggregate function with SQL semantics:
+/// NULL inputs are skipped; `sum/avg/min/max` over zero non-NULL inputs is
+/// NULL; `count` is 0. `distinct` dedupes structurally.
+class AggregateAccumulator {
+ public:
+  AggregateAccumulator(AggFunc func, bool distinct)
+      : func_(func), distinct_(distinct) {}
+
+  /// Feed one input value. For count(*), feed Value::Bool(true) per row.
+  Status Add(const Value& v);
+
+  /// Final aggregate value.
+  Result<Value> Finish() const;
+
+ private:
+  AggFunc func_;
+  bool distinct_;
+  std::vector<Value> seen_;  // only used when distinct_
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  bool sum_is_int_ = true;
+  int64_t int_sum_ = 0;
+  Value min_;
+  Value max_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_EXPR_AGGREGATE_H_

@@ -1,0 +1,251 @@
+#include "io/csv.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delimiter,
+                                              std::vector<bool>* was_quoted) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted_field = false;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i <= line.size()) {
+    if (i == line.size()) {
+      if (in_quotes) {
+        return Status::ParseError("unterminated quoted CSV field");
+      }
+      fields.push_back(std::move(current));
+      if (was_quoted != nullptr) was_quoted->push_back(quoted_field);
+      break;
+    }
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      in_quotes = true;
+      quoted_field = true;
+      ++i;
+      continue;
+    }
+    if (c == delimiter) {
+      fields.push_back(std::move(current));
+      if (was_quoted != nullptr) was_quoted->push_back(quoted_field);
+      current.clear();
+      quoted_field = false;
+      ++i;
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  return fields;
+}
+
+namespace {
+
+/// Coerces one CSV field to a column type.
+Result<Value> FieldToValue(const std::string& field, bool quoted,
+                           ValueType type, bool empty_is_null) {
+  if (field.empty() && !quoted && empty_is_null) return Value::Null();
+  switch (type) {
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeError("not an int: '" + field + "'");
+      }
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::TypeError("not a double: '" + field + "'");
+      }
+      return Value::Double(v);
+    }
+    case ValueType::kBool: {
+      std::string lower = ToLower(field);
+      if (lower == "true" || lower == "1") return Value::Bool(true);
+      if (lower == "false" || lower == "0") return Value::Bool(false);
+      return Status::TypeError("not a bool: '" + field + "'");
+    }
+    case ValueType::kString:
+    case ValueType::kNull:
+      return Value::String(field);
+  }
+  return Status::TypeError("unsupported column type");
+}
+
+/// Renders one value as a CSV field.
+std::string ValueToField(const Value& v, char delimiter) {
+  if (v.is_null()) return "";
+  std::string raw;
+  switch (v.type()) {
+    case ValueType::kString:
+      raw = v.AsString();
+      break;
+    case ValueType::kBool:
+      return v.AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(v.AsInt());
+    case ValueType::kDouble: {
+      std::string s = v.ToString();  // renders e.g. 2.0
+      return s;
+    }
+    default:
+      raw = v.ToString();
+      break;
+  }
+  bool needs_quotes = raw.empty() || raw.find(delimiter) != std::string::npos ||
+                      raw.find('"') != std::string::npos ||
+                      raw.find('\n') != std::string::npos;
+  if (!needs_quotes) return raw;
+  std::string out = "\"";
+  for (char c : raw) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+Result<size_t> ImportCsv(Engine* engine, const std::string& table,
+                         const std::string& csv, const CsvOptions& options) {
+  SOPR_ASSIGN_OR_RETURN(const Table* t, engine->db().GetTable(table));
+  const TableSchema& schema = t->schema();
+
+  // Split into physical lines, respecting quoted newlines.
+  std::vector<std::string> lines;
+  {
+    std::string current;
+    bool in_quotes = false;
+    for (char c : csv) {
+      if (c == '"') in_quotes = !in_quotes;
+      if (c == '\n' && !in_quotes) {
+        lines.push_back(std::move(current));
+        current.clear();
+        continue;
+      }
+      if (c != '\r' || in_quotes) current += c;
+    }
+    if (!current.empty()) lines.push_back(std::move(current));
+  }
+
+  size_t imported = 0;
+  size_t line_no = 0;
+  std::vector<Row> batch;
+
+  auto flush = [&]() -> Status {
+    if (batch.empty()) return Status::OK();
+    // One multi-row insert = one operation block = one transaction, so
+    // rules see the whole batch as a single set-oriented transition.
+    InsertStmt stmt;
+    stmt.table = table;
+    for (Row& row : batch) {
+      std::vector<ExprPtr> exprs;
+      exprs.reserve(row.size());
+      for (size_t c = 0; c < row.size(); ++c) {
+        exprs.push_back(
+            std::make_unique<LiteralExpr>(std::move(row.at(c))));
+      }
+      stmt.rows.push_back(std::move(exprs));
+    }
+    std::vector<const Stmt*> ops{&stmt};
+    SOPR_ASSIGN_OR_RETURN(ExecutionTrace trace,
+                          engine->rules().ExecuteBlock(ops));
+    if (trace.rolled_back) {
+      return Status::RolledBack("CSV batch vetoed by rule " +
+                                trace.rollback_rule + " after " +
+                                std::to_string(imported) + " committed rows");
+    }
+    imported += batch.size();
+    batch.clear();
+    return Status::OK();
+  };
+
+  bool first = true;
+  for (const std::string& line : lines) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (first && options.has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    std::vector<bool> quoted;
+    auto fields = SplitCsvLine(line, options.delimiter, &quoted);
+    if (!fields.ok()) {
+      return Status(fields.status().code(),
+                    "line " + std::to_string(line_no) + ": " +
+                        fields.status().message());
+    }
+    if (fields.value().size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": expected " +
+          std::to_string(schema.num_columns()) + " fields, got " +
+          std::to_string(fields.value().size()));
+    }
+    Row row;
+    for (size_t c = 0; c < fields.value().size(); ++c) {
+      auto v = FieldToValue(fields.value()[c], quoted[c],
+                            schema.columns()[c].type, options.empty_is_null);
+      if (!v.ok()) {
+        return Status(v.status().code(), "line " + std::to_string(line_no) +
+                                             ", column " +
+                                             schema.columns()[c].name + ": " +
+                                             v.status().message());
+      }
+      row.Append(std::move(v).value());
+    }
+    batch.push_back(std::move(row));
+    if (batch.size() >= options.batch_rows) {
+      SOPR_RETURN_NOT_OK(flush());
+    }
+  }
+  SOPR_RETURN_NOT_OK(flush());
+  return imported;
+}
+
+Result<std::string> ExportCsv(Engine* engine, const std::string& select_sql,
+                              const CsvOptions& options) {
+  SOPR_ASSIGN_OR_RETURN(QueryResult result, engine->Query(select_sql));
+  std::string out;
+  if (options.has_header) {
+    for (size_t c = 0; c < result.columns.size(); ++c) {
+      if (c > 0) out += options.delimiter;
+      out += result.columns[c];
+    }
+    out += "\n";
+  }
+  for (const Row& row : result.rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += options.delimiter;
+      out += ValueToField(row.at(c), options.delimiter);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sopr

@@ -1,0 +1,50 @@
+#ifndef SOPR_IO_CSV_H_
+#define SOPR_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace sopr {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Skip the first line (column headers).
+  bool has_header = true;
+  /// Unquoted empty fields become NULL.
+  bool empty_is_null = true;
+  /// Rows per transaction during import; rules fire per batch (one
+  /// set-oriented transition per batch, demonstrating the paper's model
+  /// on bulk loads).
+  size_t batch_rows = 1024;
+};
+
+/// Splits one CSV line into fields. Supports RFC-4180-style quoting:
+/// fields may be wrapped in double quotes; "" inside quotes is a literal
+/// quote; delimiters and newlines inside quotes are data. `was_quoted`
+/// (optional, parallel to the result) reports per-field quoting, so
+/// `""` (quoted empty) can be distinguished from an empty field.
+Result<std::vector<std::string>> SplitCsvLine(
+    const std::string& line, char delimiter,
+    std::vector<bool>* was_quoted = nullptr);
+
+/// Imports CSV text into an existing table. Fields are coerced to the
+/// table's column types (int/double parsed, bool accepts true/false/0/1,
+/// strings taken verbatim). Each batch of rows is one transaction /
+/// operation block, so production rules see set-oriented transitions.
+/// Returns the number of rows inserted. Any error (parse, arity, type,
+/// rule rollback) aborts the current batch and stops the import,
+/// reporting rows successfully committed so far in the error message.
+Result<size_t> ImportCsv(Engine* engine, const std::string& table,
+                         const std::string& csv, const CsvOptions& options = {});
+
+/// Exports a table (or any query result) as CSV text with a header line.
+/// NULL becomes an empty field; strings are quoted when necessary.
+Result<std::string> ExportCsv(Engine* engine, const std::string& select_sql,
+                              const CsvOptions& options = {});
+
+}  // namespace sopr
+
+#endif  // SOPR_IO_CSV_H_

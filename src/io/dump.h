@@ -1,0 +1,28 @@
+#ifndef SOPR_IO_DUMP_H_
+#define SOPR_IO_DUMP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace sopr {
+
+/// Serializes the whole database — table schemas, indexes, data, rules,
+/// and priorities — as a SQL script that `RestoreDatabase` (or any
+/// sequence of Engine::Execute calls) replays into an empty engine.
+/// Data is emitted as multi-row inserts in handle order. Rules are
+/// emitted last and deactivated-rule state is preserved via
+/// `deactivate rule`. Note: tuple handles themselves are NOT preserved
+/// (they are an engine-internal identity), and runtime-only settings
+/// (procedures, detached flags, reset policies) are not serializable.
+Result<std::string> DumpDatabase(Engine* engine);
+
+/// Replays a dump into `engine`. Rules are created after the data is
+/// loaded, so loading does not trigger them (matching the state at dump
+/// time). The engine should be empty; name collisions fail cleanly.
+Status RestoreDatabase(Engine* engine, const std::string& dump);
+
+}  // namespace sopr
+
+#endif  // SOPR_IO_DUMP_H_

@@ -1,0 +1,738 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "expr/aggregate.h"
+
+namespace sopr {
+
+Result<Relation> DatabaseResolver::Resolve(const TableRef& ref) {
+  if (ref.kind != TableRefKind::kBase) {
+    return Status::CatalogError(
+        "transition table '" + ref.ToString() +
+        "' can only be referenced inside a production rule");
+  }
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  Relation rel;
+  rel.schema = &table->schema();
+  rel.rows.reserve(table->size());
+  rel.handles.reserve(table->size());
+  for (const auto& [handle, row] : table->rows()) {
+    rel.handles.push_back(handle);
+    rel.rows.push_back(row);
+  }
+  return rel;
+}
+
+Result<const TableSchema*> DatabaseResolver::ResolveSchema(
+    const TableRef& ref) {
+  if (ref.kind != TableRefKind::kBase) {
+    return Status::CatalogError(
+        "transition table '" + ref.ToString() +
+        "' can only be referenced inside a production rule");
+  }
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  return &table->schema();
+}
+
+Result<Relation> DatabaseResolver::ResolveEq(const TableRef& ref,
+                                             size_t column,
+                                             const Value& value) {
+  if (ref.kind != TableRefKind::kBase) return Resolve(ref);
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  const ColumnIndex* index = table->GetIndex(column);
+  if (index == nullptr) return Resolve(ref);
+  Relation rel;
+  rel.schema = &table->schema();
+  const std::set<TupleHandle>* handles = index->Lookup(value);
+  if (handles != nullptr) {
+    rel.rows.reserve(handles->size());
+    rel.handles.reserve(handles->size());
+    for (TupleHandle h : *handles) {
+      SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
+      rel.handles.push_back(h);
+      rel.rows.push_back(*row);
+    }
+  }
+  return rel;
+}
+
+namespace {
+
+/// Output column name for a select item.
+std::string ItemName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr*>(item.expr.get())->column;
+  }
+  return item.expr->ToString();
+}
+
+/// True when the select needs the aggregate path.
+bool NeedsAggregation(const SelectStmt& stmt) {
+  if (!stmt.group_by.empty()) return true;
+  if (stmt.having != nullptr) return true;
+  for (const SelectItem& item : stmt.items) {
+    if (!item.star && ContainsAggregate(*item.expr)) return true;
+  }
+  return false;
+}
+
+/// Checks that a non-aggregate expression in a grouped query is legal:
+/// textually one of the group-by expressions, a literal, or composed of
+/// legal parts.
+bool IsLegalGroupExpr(const Expr& expr,
+                      const std::vector<ExprPtr>& group_by) {
+  if (expr.kind == ExprKind::kAggregate) return true;
+  for (const ExprPtr& g : group_by) {
+    if (g->ToString() == expr.ToString()) return true;
+  }
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kUnary:
+      return IsLegalGroupExpr(*static_cast<const UnaryExpr&>(expr).operand,
+                              group_by);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return IsLegalGroupExpr(*b.left, group_by) &&
+             IsLegalGroupExpr(*b.right, group_by);
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::RunSubquery(const SelectStmt& select,
+                                          const Scope* outer) {
+  return ExecuteSelect(select, outer, nullptr);
+}
+
+Result<QueryResult> Executor::ExecuteSelect(
+    const SelectStmt& stmt, const Scope* outer,
+    std::vector<SelectedTuple>* selected) {
+  if (stmt.from.empty()) {
+    return Status::ExecutionError("select requires a FROM clause");
+  }
+
+  // Resolve schemas first so planning can run before materialization.
+  std::vector<QueryPlan::BindingInfo> binding_infos;
+  binding_infos.reserve(stmt.from.size());
+  for (const TableRef& ref : stmt.from) {
+    SOPR_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          resolver_->ResolveSchema(ref));
+    binding_infos.push_back(
+        QueryPlan::BindingInfo{ref.binding_name(), schema});
+  }
+
+  // Plan: pushed single-relation filters, hash equijoin edges, residual
+  // conjuncts. With optimization off the whole WHERE is residual, which
+  // reduces to the classic cross-product-then-filter pipeline.
+  QueryPlan plan;
+  std::vector<const Expr*> naive_residual;
+  if (optimize_) {
+    plan = QueryPlan::Analyze(stmt.where.get(), binding_infos);
+  } else if (stmt.where != nullptr) {
+    naive_residual.push_back(stmt.where.get());
+  }
+  const std::vector<const Expr*>& residual =
+      optimize_ ? plan.residual() : naive_residual;
+
+  // Materialize each relation, using an equality-index hint when a pushed
+  // filter is `column = literal` (the filter is still re-applied below,
+  // so an implementation without the index is equally correct).
+  auto eq_hint = [&](size_t binding)
+      -> std::optional<std::pair<size_t, const Value*>> {
+    for (const QueryPlan::PushedFilter& filter : plan.pushed()) {
+      if (filter.binding != binding) continue;
+      if (filter.conjunct->kind != ExprKind::kBinary) continue;
+      const auto& binary = static_cast<const BinaryExpr&>(*filter.conjunct);
+      if (binary.op != BinaryOp::kEq) continue;
+      const Expr* column_side = binary.left.get();
+      const Expr* literal_side = binary.right.get();
+      if (column_side->kind != ExprKind::kColumnRef ||
+          literal_side->kind != ExprKind::kLiteral) {
+        std::swap(column_side, literal_side);
+      }
+      if (column_side->kind != ExprKind::kColumnRef ||
+          literal_side->kind != ExprKind::kLiteral) {
+        continue;
+      }
+      const auto& ref = static_cast<const ColumnRefExpr&>(*column_side);
+      auto col = binding_infos[binding].schema->FindColumn(ref.column);
+      if (!col) continue;
+      const Value& v = static_cast<const LiteralExpr&>(*literal_side).value;
+      if (v.is_null()) continue;
+      return std::make_pair(*col, &v);
+    }
+    return std::nullopt;
+  };
+
+  std::vector<Relation> relations;
+  relations.reserve(stmt.from.size());
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    auto hint = eq_hint(i);
+    if (hint) {
+      SOPR_ASSIGN_OR_RETURN(
+          Relation rel,
+          resolver_->ResolveEq(stmt.from[i], hint->first, *hint->second));
+      relations.push_back(std::move(rel));
+    } else {
+      SOPR_ASSIGN_OR_RETURN(Relation rel, resolver_->Resolve(stmt.from[i]));
+      relations.push_back(std::move(rel));
+    }
+  }
+
+  Scope scope(outer);
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    SOPR_RETURN_NOT_OK(
+        scope.AddBinding(stmt.from[i].binding_name(), relations[i].schema));
+  }
+
+  EvalContext ctx;
+  ctx.runner = this;
+
+  // 1. Pushed filters: shrink each relation before joining.
+  for (const QueryPlan::PushedFilter& filter : plan.pushed()) {
+    Relation& rel = relations[filter.binding];
+    std::vector<Row> kept_rows;
+    std::vector<TupleHandle> kept_handles;
+    for (size_t r = 0; r < rel.rows.size(); ++r) {
+      scope.SetRow(filter.binding, &rel.rows[r]);
+      SOPR_ASSIGN_OR_RETURN(TriBool t,
+                            EvaluatePredicate(*filter.conjunct, scope, ctx));
+      if (t == TriBool::kTrue) {
+        kept_rows.push_back(std::move(rel.rows[r]));
+        kept_handles.push_back(rel.handles[r]);
+      }
+    }
+    rel.rows = std::move(kept_rows);
+    rel.handles = std::move(kept_handles);
+    scope.SetRow(filter.binding, nullptr);
+  }
+
+  // 2. Join in greedy left-deep order; hash join where edges exist.
+  std::vector<size_t> order = plan.JoinOrder(relations.size());
+  std::vector<Combo> combos;
+  std::vector<size_t> joined;
+  for (size_t step = 0; step < order.size(); ++step) {
+    size_t next = order[step];
+    const Relation& rel = relations[next];
+    if (step == 0) {
+      combos.reserve(rel.rows.size());
+      for (size_t r = 0; r < rel.rows.size(); ++r) {
+        Combo combo;
+        combo.rows.assign(relations.size(), nullptr);
+        combo.row_indices.assign(relations.size(), 0);
+        combo.rows[next] = &rel.rows[r];
+        combo.row_indices[next] = r;
+        combos.push_back(std::move(combo));
+      }
+      joined.push_back(next);
+      continue;
+    }
+    std::vector<QueryPlan::JoinEdge> edges = plan.EdgesTo(joined, next);
+    std::vector<Combo> next_combos;
+    if (!edges.empty()) {
+      // Hash join: build on `next` keyed by its edge columns (numerics
+      // normalized to double so 2 joins with 2.0); NULL keys never match.
+      auto normalize = [](const Value& v) {
+        return v.IsNumeric() ? Value::Double(v.NumericAsDouble()) : v;
+      };
+      std::map<Row, std::vector<size_t>> hash;
+      for (size_t r = 0; r < rel.rows.size(); ++r) {
+        Row key;
+        bool has_null = false;
+        for (const QueryPlan::JoinEdge& edge : edges) {
+          const Value& v = rel.rows[r].at(edge.right_column);
+          if (v.is_null()) has_null = true;
+          key.Append(normalize(v));
+        }
+        if (!has_null) hash[std::move(key)].push_back(r);
+      }
+      for (const Combo& combo : combos) {
+        Row key;
+        bool has_null = false;
+        for (const QueryPlan::JoinEdge& edge : edges) {
+          const Value& v = combo.rows[edge.left_binding]->at(edge.left_column);
+          if (v.is_null()) has_null = true;
+          key.Append(normalize(v));
+        }
+        if (has_null) continue;
+        auto it = hash.find(key);
+        if (it == hash.end()) continue;
+        for (size_t r : it->second) {
+          Combo out = combo;
+          out.rows[next] = &rel.rows[r];
+          out.row_indices[next] = r;
+          next_combos.push_back(std::move(out));
+        }
+      }
+    } else {
+      // Cross product with the next relation.
+      next_combos.reserve(combos.size() * rel.rows.size());
+      for (const Combo& combo : combos) {
+        for (size_t r = 0; r < rel.rows.size(); ++r) {
+          Combo out = combo;
+          out.rows[next] = &rel.rows[r];
+          out.row_indices[next] = r;
+          next_combos.push_back(std::move(out));
+        }
+      }
+    }
+    combos = std::move(next_combos);
+    joined.push_back(next);
+  }
+  if (!relations.empty() && combos.empty() && relations.size() != joined.size()) {
+    combos.clear();  // defensive: some relation was empty
+  }
+
+  // 3. Residual conjuncts over full combos.
+  if (!residual.empty()) {
+    std::vector<Combo> filtered;
+    filtered.reserve(combos.size());
+    for (Combo& combo : combos) {
+      for (size_t i = 0; i < relations.size(); ++i) {
+        scope.SetRow(i, combo.rows[i]);
+      }
+      bool keep = true;
+      for (const Expr* conjunct : residual) {
+        SOPR_ASSIGN_OR_RETURN(TriBool t,
+                              EvaluatePredicate(*conjunct, scope, ctx));
+        if (t != TriBool::kTrue) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) filtered.push_back(std::move(combo));
+    }
+    combos = std::move(filtered);
+  }
+
+  // 4. §5.1 select tracking over the surviving combos.
+  if (selected != nullptr) {
+    for (const Combo& combo : combos) {
+      for (size_t i = 0; i < relations.size(); ++i) {
+        if (stmt.from[i].kind == TableRefKind::kBase &&
+            relations[i].handles[combo.row_indices[i]] != kInvalidHandle) {
+          selected->push_back(
+              SelectedTuple{ToLower(stmt.from[i].table),
+                            relations[i].handles[combo.row_indices[i]]});
+        }
+      }
+    }
+  }
+
+  QueryResult result;
+  std::vector<Row> order_keys;  // parallel to result.rows
+  if (NeedsAggregation(stmt)) {
+    SOPR_ASSIGN_OR_RETURN(result, ExecuteAggregateSelect(stmt, relations,
+                                                         &scope, combos,
+                                                         &order_keys));
+  } else {
+    SOPR_ASSIGN_OR_RETURN(result, ExecutePlainSelect(stmt, relations, &scope,
+                                                     combos, &order_keys));
+  }
+  SOPR_RETURN_NOT_OK(ApplyOrderAndDistinct(stmt, &result, &order_keys));
+  return result;
+}
+
+Result<QueryResult> Executor::ExecutePlainSelect(
+    const SelectStmt& stmt, const std::vector<Relation>& relations,
+    Scope* scope, const std::vector<Combo>& combos,
+    std::vector<Row>* order_keys) {
+  QueryResult result;
+
+  // Output column names.
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (const Relation& rel : relations) {
+        for (const ColumnDef& col : rel.schema->columns()) {
+          result.columns.push_back(col.name);
+        }
+      }
+    } else {
+      result.columns.push_back(ItemName(item));
+    }
+  }
+
+  EvalContext ctx;
+  ctx.runner = this;
+  for (const Combo& combo : combos) {
+    for (size_t i = 0; i < combo.rows.size(); ++i) {
+      scope->SetRow(i, combo.rows[i]);
+    }
+    Row out;
+    for (const SelectItem& item : stmt.items) {
+      if (item.star) {
+        for (const Row* row : combo.rows) {
+          for (size_t c = 0; c < row->size(); ++c) out.Append(row->at(c));
+        }
+      } else {
+        SOPR_ASSIGN_OR_RETURN(Value v, Evaluate(*item.expr, *scope, ctx));
+        out.Append(std::move(v));
+      }
+    }
+    result.rows.push_back(std::move(out));
+    if (!stmt.order_by.empty()) {
+      Row keys;
+      for (const OrderByItem& item : stmt.order_by) {
+        SOPR_ASSIGN_OR_RETURN(Value v, Evaluate(*item.expr, *scope, ctx));
+        keys.Append(std::move(v));
+      }
+      order_keys->push_back(std::move(keys));
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Executor::ExecuteAggregateSelect(
+    const SelectStmt& stmt, const std::vector<Relation>& relations,
+    Scope* scope, const std::vector<Combo>& combos,
+    std::vector<Row>* order_keys) {
+  (void)relations;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      return Status::TypeError("'*' cannot be used with aggregation");
+    }
+    if (!IsLegalGroupExpr(*item.expr, stmt.group_by)) {
+      return Status::TypeError("select item " + item.expr->ToString() +
+                               " must be an aggregate or appear in group by");
+    }
+  }
+
+  EvalContext ctx;
+  ctx.runner = this;
+
+  // Group combos by group-by key (whole-row structural comparison).
+  std::map<Row, std::vector<const Combo*>> groups;
+  if (stmt.group_by.empty()) {
+    groups.emplace(Row(), std::vector<const Combo*>());
+  }
+  for (const Combo& combo : combos) {
+    for (size_t i = 0; i < combo.rows.size(); ++i) {
+      scope->SetRow(i, combo.rows[i]);
+    }
+    Row key;
+    for (const ExprPtr& g : stmt.group_by) {
+      SOPR_ASSIGN_OR_RETURN(Value v, Evaluate(*g, *scope, ctx));
+      key.Append(std::move(v));
+    }
+    groups[key].push_back(&combo);
+  }
+
+  // Aggregate nodes needed across items, HAVING, and ORDER BY.
+  std::vector<const AggregateExpr*> agg_nodes;
+  for (const SelectItem& item : stmt.items) {
+    CollectAggregates(*item.expr, &agg_nodes);
+  }
+  if (stmt.having != nullptr) CollectAggregates(*stmt.having, &agg_nodes);
+  for (const OrderByItem& item : stmt.order_by) {
+    CollectAggregates(*item.expr, &agg_nodes);
+  }
+
+  QueryResult result;
+  for (const SelectItem& item : stmt.items) {
+    result.columns.push_back(ItemName(item));
+  }
+
+  for (const auto& [key, group] : groups) {
+    (void)key;
+    // Compute every aggregate over the group.
+    std::map<const Expr*, Value> agg_values;
+    for (const AggregateExpr* node : agg_nodes) {
+      AggregateAccumulator acc(node->func, node->distinct);
+      for (const Combo* combo : group) {
+        for (size_t i = 0; i < combo->rows.size(); ++i) {
+          scope->SetRow(i, combo->rows[i]);
+        }
+        if (node->argument == nullptr) {
+          SOPR_RETURN_NOT_OK(acc.Add(Value::Bool(true)));  // count(*)
+        } else {
+          EvalContext arg_ctx;
+          arg_ctx.runner = this;
+          SOPR_ASSIGN_OR_RETURN(Value v,
+                                Evaluate(*node->argument, *scope, arg_ctx));
+          SOPR_RETURN_NOT_OK(acc.Add(v));
+        }
+      }
+      SOPR_ASSIGN_OR_RETURN(Value final_value, acc.Finish());
+      agg_values.emplace(node, std::move(final_value));
+    }
+
+    // Bind the first combo (if any) for group-by column references.
+    if (!group.empty()) {
+      for (size_t i = 0; i < group[0]->rows.size(); ++i) {
+        scope->SetRow(i, group[0]->rows[i]);
+      }
+    } else {
+      for (size_t i = 0; i < scope->num_bindings(); ++i) {
+        scope->SetRow(i, nullptr);
+      }
+    }
+
+    EvalContext group_ctx;
+    group_ctx.runner = this;
+    group_ctx.aggregates = &agg_values;
+
+    if (stmt.having != nullptr) {
+      SOPR_ASSIGN_OR_RETURN(TriBool t,
+                            EvaluatePredicate(*stmt.having, *scope, group_ctx));
+      if (t != TriBool::kTrue) continue;
+    }
+
+    Row out;
+    for (const SelectItem& item : stmt.items) {
+      SOPR_ASSIGN_OR_RETURN(Value v, Evaluate(*item.expr, *scope, group_ctx));
+      out.Append(std::move(v));
+    }
+    result.rows.push_back(std::move(out));
+    if (!stmt.order_by.empty()) {
+      Row keys;
+      for (const OrderByItem& item : stmt.order_by) {
+        SOPR_ASSIGN_OR_RETURN(Value v,
+                              Evaluate(*item.expr, *scope, group_ctx));
+        keys.Append(std::move(v));
+      }
+      order_keys->push_back(std::move(keys));
+    }
+  }
+  return result;
+}
+
+Status Executor::ApplyOrderAndDistinct(const SelectStmt& stmt,
+                                       QueryResult* result,
+                                       std::vector<Row>* order_keys) {
+  // Sort first (keys are parallel to rows), then dedupe; a stable sort
+  // keeps the first occurrence deterministic.
+  if (!stmt.order_by.empty()) {
+    struct Keyed {
+      Row keys;
+      Row row;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(result->rows.size());
+    for (size_t i = 0; i < result->rows.size(); ++i) {
+      keyed.push_back(
+          Keyed{std::move((*order_keys)[i]), std::move(result->rows[i])});
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const Keyed& a, const Keyed& b) {
+                       for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+                         const Value& va = a.keys.at(i);
+                         const Value& vb = b.keys.at(i);
+                         bool less = va.StructurallyLess(vb);
+                         bool greater = vb.StructurallyLess(va);
+                         if (!less && !greater) continue;
+                         return stmt.order_by[i].ascending ? less : greater;
+                       }
+                       return false;
+                     });
+    result->rows.clear();
+    for (Keyed& k : keyed) result->rows.push_back(std::move(k.row));
+  }
+
+  if (stmt.distinct) {
+    std::vector<Row> unique;
+    for (Row& row : result->rows) {
+      bool seen = false;
+      for (const Row& u : unique) {
+        if (u == row) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) unique.push_back(std::move(row));
+    }
+    result->rows = std::move(unique);
+  }
+  return Status::OK();
+}
+
+Status Executor::SnapshotForDml(
+    const Table& table, const Expr* where, const TableSchema& schema,
+    std::vector<std::pair<TupleHandle, Row>>* snapshot) {
+  if (optimize_ && where != nullptr) {
+    if (auto hint = FindEqLiteral(where, schema)) {
+      const ColumnIndex* index = table.GetIndex(hint->first);
+      if (index != nullptr) {
+        const std::set<TupleHandle>* handles = index->Lookup(*hint->second);
+        if (handles != nullptr) {
+          snapshot->reserve(handles->size());
+          for (TupleHandle h : *handles) {
+            SOPR_ASSIGN_OR_RETURN(const Row* row, table.Get(h));
+            snapshot->emplace_back(h, *row);
+          }
+        }
+        return Status::OK();
+      }
+    }
+  }
+  snapshot->reserve(table.size());
+  for (const auto& [handle, row] : table.rows()) {
+    snapshot->emplace_back(handle, row);
+  }
+  return Status::OK();
+}
+
+Row Executor::CoerceRow(Row row, const TableSchema& schema) {
+  for (size_t i = 0; i < row.size() && i < schema.num_columns(); ++i) {
+    if (schema.columns()[i].type == ValueType::kDouble &&
+        row.at(i).type() == ValueType::kInt) {
+      row.at(i) = Value::Double(static_cast<double>(row.at(i).AsInt()));
+    }
+  }
+  return row;
+}
+
+Result<DmlEffect> Executor::ExecuteInsert(const InsertStmt& stmt) {
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+
+  DmlEffect effect;
+  effect.table = ToLower(stmt.table);
+
+  std::vector<Row> to_insert;
+  if (stmt.select != nullptr) {
+    SOPR_ASSIGN_OR_RETURN(QueryResult result, ExecuteSelect(*stmt.select));
+    to_insert = std::move(result.rows);
+  } else {
+    Scope scope;  // no row bindings: VALUES may still use scalar subqueries
+    EvalContext ctx;
+    ctx.runner = this;
+    for (const std::vector<ExprPtr>& row_exprs : stmt.rows) {
+      Row row;
+      for (const ExprPtr& e : row_exprs) {
+        SOPR_ASSIGN_OR_RETURN(Value v, Evaluate(*e, scope, ctx));
+        row.Append(std::move(v));
+      }
+      to_insert.push_back(std::move(row));
+    }
+  }
+
+  for (Row& row : to_insert) {
+    SOPR_ASSIGN_OR_RETURN(
+        TupleHandle handle,
+        db_->InsertRow(stmt.table, CoerceRow(std::move(row), schema)));
+    effect.inserted.push_back(handle);
+  }
+  return effect;
+}
+
+Result<DmlEffect> Executor::ExecuteDelete(const DeleteStmt& stmt) {
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+
+  DmlEffect effect;
+  effect.table = ToLower(stmt.table);
+
+  // Snapshot, then evaluate the predicate against the pre-statement
+  // state. A `column = literal` conjunct with an index narrows the
+  // snapshot; the full predicate is still evaluated per row.
+  std::vector<std::pair<TupleHandle, Row>> snapshot;
+  SOPR_RETURN_NOT_OK(
+      SnapshotForDml(*table, stmt.where.get(), schema, &snapshot));
+
+  Scope scope;
+  SOPR_RETURN_NOT_OK(scope.AddBinding(ToLower(stmt.table), &schema));
+  EvalContext ctx;
+  ctx.runner = this;
+
+  for (auto& [handle, row] : snapshot) {
+    bool match = true;
+    if (stmt.where != nullptr) {
+      scope.SetRow(0, &row);
+      SOPR_ASSIGN_OR_RETURN(TriBool t,
+                            EvaluatePredicate(*stmt.where, scope, ctx));
+      match = (t == TriBool::kTrue);
+    }
+    if (match) effect.deleted.emplace_back(handle, std::move(row));
+  }
+
+  for (const auto& [handle, row] : effect.deleted) {
+    (void)row;
+    SOPR_RETURN_NOT_OK(db_->DeleteRow(stmt.table, handle));
+  }
+  return effect;
+}
+
+Result<DmlEffect> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(stmt.table));
+  const TableSchema& schema = table->schema();
+
+  DmlEffect effect;
+  effect.table = ToLower(stmt.table);
+
+  // Resolve assigned column indices once.
+  std::vector<size_t> assigned_cols;
+  assigned_cols.reserve(stmt.assignments.size());
+  for (const UpdateStmt::Assignment& a : stmt.assignments) {
+    auto idx = schema.FindColumn(a.column);
+    if (!idx) {
+      return Status::CatalogError("no column " + a.column + " in table " +
+                                  stmt.table);
+    }
+    assigned_cols.push_back(*idx);
+  }
+
+  std::vector<std::pair<TupleHandle, Row>> snapshot;
+  SOPR_RETURN_NOT_OK(
+      SnapshotForDml(*table, stmt.where.get(), schema, &snapshot));
+
+  Scope scope;
+  SOPR_RETURN_NOT_OK(scope.AddBinding(ToLower(stmt.table), &schema));
+  EvalContext ctx;
+  ctx.runner = this;
+
+  std::vector<std::pair<TupleHandle, Row>> new_rows;
+  for (auto& [handle, row] : snapshot) {
+    scope.SetRow(0, &row);
+    bool match = true;
+    if (stmt.where != nullptr) {
+      SOPR_ASSIGN_OR_RETURN(TriBool t,
+                            EvaluatePredicate(*stmt.where, scope, ctx));
+      match = (t == TriBool::kTrue);
+    }
+    if (!match) continue;
+    Row new_row = row;
+    for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+      SOPR_ASSIGN_OR_RETURN(
+          Value v, Evaluate(*stmt.assignments[i].value, scope, ctx));
+      new_row.at(assigned_cols[i]) = std::move(v);
+    }
+    new_row = CoerceRow(std::move(new_row), schema);
+
+    DmlEffect::UpdatedTuple updated;
+    updated.handle = handle;
+    updated.columns = assigned_cols;
+    updated.old_row = std::move(row);
+    effect.updated.push_back(std::move(updated));
+    new_rows.emplace_back(handle, std::move(new_row));
+  }
+
+  for (auto& [handle, new_row] : new_rows) {
+    SOPR_RETURN_NOT_OK(db_->UpdateRow(stmt.table, handle, std::move(new_row)));
+  }
+  return effect;
+}
+
+Result<DmlEffect> Executor::ExecuteDml(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kInsert:
+      return ExecuteInsert(static_cast<const InsertStmt&>(stmt));
+    case StmtKind::kDelete:
+      return ExecuteDelete(static_cast<const DeleteStmt&>(stmt));
+    case StmtKind::kUpdate:
+      return ExecuteUpdate(static_cast<const UpdateStmt&>(stmt));
+    default:
+      return Status::InvalidArgument("not a DML statement: " +
+                                     stmt.ToString());
+  }
+}
+
+}  // namespace sopr

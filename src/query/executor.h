@@ -1,0 +1,156 @@
+#ifndef SOPR_QUERY_EXECUTOR_H_
+#define SOPR_QUERY_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/evaluator.h"
+#include "query/planner.h"
+#include "sql/ast.h"
+#include "storage/database.h"
+#include "storage/tuple_handle.h"
+
+namespace sopr {
+
+/// A materialized relation: schema plus rows. `handles[i]` identifies
+/// `rows[i]` when the relation comes from stored tuples (base tables and
+/// transition tables); kInvalidHandle otherwise.
+struct Relation {
+  const TableSchema* schema = nullptr;
+  std::vector<Row> rows;
+  std::vector<TupleHandle> handles;
+};
+
+/// Maps FROM items to materialized relations. The base implementation
+/// resolves only stored tables; the rule engine layers transition tables
+/// on top (§3 of the paper).
+class TableResolver {
+ public:
+  virtual ~TableResolver() = default;
+  virtual Result<Relation> Resolve(const TableRef& ref) = 0;
+
+  /// Schema of the relation `ref` denotes, without materializing rows
+  /// (transition tables share their base table's schema).
+  virtual Result<const TableSchema*> ResolveSchema(const TableRef& ref) = 0;
+
+  /// Like Resolve, but the caller promises it will only keep rows whose
+  /// `column` equals `value`; implementations with an index may return
+  /// just those rows. The default ignores the hint (the caller always
+  /// re-applies the predicate, so a superset is safe).
+  virtual Result<Relation> ResolveEq(const TableRef& ref, size_t column,
+                                     const Value& value) {
+    (void)column;
+    (void)value;
+    return Resolve(ref);
+  }
+};
+
+/// Resolves base tables from a Database by snapshotting their rows.
+/// Transition-table references fail — they only exist inside rules.
+class DatabaseResolver : public TableResolver {
+ public:
+  explicit DatabaseResolver(const Database* db) : db_(db) {}
+  Result<Relation> Resolve(const TableRef& ref) override;
+  Result<const TableSchema*> ResolveSchema(const TableRef& ref) override;
+  /// Uses the table's equality index on `column` when one exists.
+  Result<Relation> ResolveEq(const TableRef& ref, size_t column,
+                             const Value& value) override;
+
+ private:
+  const Database* db_;
+};
+
+/// The per-statement affected set (§2.1), with the value information the
+/// rule system needs to build transition tables: deleted rows carry their
+/// pre-image, updated tuples carry the updated column indices and the
+/// pre-image of the whole tuple.
+struct DmlEffect {
+  std::string table;  // lowercased target table
+
+  struct UpdatedTuple {
+    TupleHandle handle = kInvalidHandle;
+    std::vector<size_t> columns;  // indices of assigned columns
+    Row old_row;
+  };
+
+  std::vector<TupleHandle> inserted;
+  std::vector<std::pair<TupleHandle, Row>> deleted;
+  std::vector<UpdatedTuple> updated;
+};
+
+/// Tuples read by a top-level select, for the §5.1 "selected" extension.
+struct SelectedTuple {
+  std::string table;  // lowercased
+  TupleHandle handle = kInvalidHandle;
+};
+
+/// Set-oriented executor for the paper's SQL subset. Stateless between
+/// statements; all mutations flow through the Database (which records
+/// undo information). DML evaluates its full target set against the
+/// pre-statement state before applying any mutation, so statements never
+/// observe their own partial effects.
+class Executor : public SubqueryRunner {
+ public:
+  /// `db` may be mutated by DML; `resolver` supplies FROM relations
+  /// (including transition tables when running inside a rule). When
+  /// `optimize` is true (default), WHERE conjuncts are pushed down and
+  /// `a.x = b.y` predicates run as hash equijoins; when false, the plain
+  /// cross-product-then-filter pipeline runs (used for differential
+  /// testing and the optimizer ablation benchmark).
+  Executor(Database* db, TableResolver* resolver, bool optimize = true)
+      : db_(db), resolver_(resolver), optimize_(optimize) {}
+
+  /// Runs a select. `outer` provides correlation bindings for subqueries.
+  /// When `selected` is non-null, handles of base-table tuples that
+  /// participated in result rows are appended (§5.1 extension).
+  Result<QueryResult> ExecuteSelect(const SelectStmt& stmt,
+                                    const Scope* outer = nullptr,
+                                    std::vector<SelectedTuple>* selected = nullptr);
+
+  Result<DmlEffect> ExecuteInsert(const InsertStmt& stmt);
+  Result<DmlEffect> ExecuteDelete(const DeleteStmt& stmt);
+  Result<DmlEffect> ExecuteUpdate(const UpdateStmt& stmt);
+
+  /// Dispatches on statement kind (DML only).
+  Result<DmlEffect> ExecuteDml(const Stmt& stmt);
+
+  // SubqueryRunner:
+  Result<QueryResult> RunSubquery(const SelectStmt& select,
+                                  const Scope* outer) override;
+
+ private:
+  struct Combo {
+    std::vector<const Row*> rows;      // one per FROM binding
+    std::vector<size_t> row_indices;   // parallel: index into the relation
+  };
+
+  Result<QueryResult> ExecutePlainSelect(
+      const SelectStmt& stmt, const std::vector<Relation>& relations,
+      Scope* scope, const std::vector<Combo>& combos,
+      std::vector<Row>* order_keys);
+  Result<QueryResult> ExecuteAggregateSelect(
+      const SelectStmt& stmt, const std::vector<Relation>& relations,
+      Scope* scope, const std::vector<Combo>& combos,
+      std::vector<Row>* order_keys);
+  Status ApplyOrderAndDistinct(const SelectStmt& stmt, QueryResult* result,
+                               std::vector<Row>* order_keys);
+
+  /// Snapshot of a DML target table, narrowed through an equality index
+  /// when `where` has a `column = literal` conjunct and one exists.
+  Status SnapshotForDml(const Table& table, const Expr* where,
+                        const TableSchema& schema,
+                        std::vector<std::pair<TupleHandle, Row>>* snapshot);
+
+  /// Coerces int literals into double columns so stored types match the
+  /// schema exactly.
+  static Row CoerceRow(Row row, const TableSchema& schema);
+
+  Database* db_;
+  TableResolver* resolver_;
+  bool optimize_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_QUERY_EXECUTOR_H_

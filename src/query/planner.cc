@@ -1,0 +1,295 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sopr {
+
+namespace {
+
+/// Splits a predicate into top-level AND conjuncts.
+void SplitConjuncts(const Expr* expr, std::vector<const Expr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == ExprKind::kBinary) {
+    const auto& binary = static_cast<const BinaryExpr&>(*expr);
+    if (binary.op == BinaryOp::kAnd) {
+      SplitConjuncts(binary.left.get(), out);
+      SplitConjuncts(binary.right.get(), out);
+      return;
+    }
+  }
+  out->push_back(expr);
+}
+
+/// Tracks which local FROM bindings an expression references. `unknown`
+/// becomes true for anything that cannot be proven local: outer
+/// references, ambiguous names, unqualified names inside subqueries.
+struct RefCollector {
+  const std::vector<QueryPlan::BindingInfo>* bindings;
+  std::set<size_t> refs;
+  bool unknown = false;
+
+  /// Binding names introduced by enclosing subquery FROM lists (these
+  /// shadow our bindings for references within the subquery).
+  std::vector<std::string> shadowed;
+
+  bool IsShadowed(const std::string& name) const {
+    return std::find(shadowed.begin(), shadowed.end(), name) !=
+           shadowed.end();
+  }
+
+  void VisitColumn(const ColumnRefExpr& ref, bool inside_subquery) {
+    if (!ref.qualifier.empty()) {
+      if (IsShadowed(ref.qualifier)) return;  // belongs to the subquery
+      for (size_t i = 0; i < bindings->size(); ++i) {
+        if ((*bindings)[i].name == ref.qualifier) {
+          refs.insert(i);
+          return;
+        }
+      }
+      unknown = true;  // outer scope or error
+      return;
+    }
+    if (inside_subquery) {
+      // An unqualified name inside a subquery usually resolves to the
+      // subquery's own FROM; we cannot know without its schemas.
+      unknown = true;
+      return;
+    }
+    // Unqualified at our level: unique containing binding or unknown.
+    int found = -1;
+    for (size_t i = 0; i < bindings->size(); ++i) {
+      if ((*bindings)[i].schema->FindColumn(ref.column)) {
+        if (found >= 0) {
+          unknown = true;  // ambiguous
+          return;
+        }
+        found = static_cast<int>(i);
+      }
+    }
+    if (found >= 0) {
+      refs.insert(static_cast<size_t>(found));
+    } else {
+      unknown = true;  // outer scope or error
+    }
+  }
+
+  void VisitSelect(const SelectStmt& select, size_t depth);
+
+  void Visit(const Expr& expr, size_t depth) {
+    switch (expr.kind) {
+      case ExprKind::kLiteral:
+        return;
+      case ExprKind::kColumnRef:
+        VisitColumn(static_cast<const ColumnRefExpr&>(expr), depth > 0);
+        return;
+      case ExprKind::kUnary:
+        Visit(*static_cast<const UnaryExpr&>(expr).operand, depth);
+        return;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        Visit(*b.left, depth);
+        Visit(*b.right, depth);
+        return;
+      }
+      case ExprKind::kInList: {
+        const auto& in = static_cast<const InListExpr&>(expr);
+        Visit(*in.operand, depth);
+        for (const ExprPtr& item : in.items) Visit(*item, depth);
+        return;
+      }
+      case ExprKind::kInSubquery: {
+        const auto& in = static_cast<const InSubqueryExpr&>(expr);
+        Visit(*in.operand, depth);
+        VisitSelect(*in.subquery, depth + 1);
+        return;
+      }
+      case ExprKind::kExists:
+        VisitSelect(*static_cast<const ExistsExpr&>(expr).subquery,
+                    depth + 1);
+        return;
+      case ExprKind::kScalarSubquery:
+        VisitSelect(*static_cast<const ScalarSubqueryExpr&>(expr).subquery,
+                    depth + 1);
+        return;
+      case ExprKind::kAggregate: {
+        const auto& agg = static_cast<const AggregateExpr&>(expr);
+        if (agg.argument) Visit(*agg.argument, depth);
+        return;
+      }
+      case ExprKind::kIsNull:
+        Visit(*static_cast<const IsNullExpr&>(expr).operand, depth);
+        return;
+      case ExprKind::kBetween: {
+        const auto& b = static_cast<const BetweenExpr&>(expr);
+        Visit(*b.operand, depth);
+        Visit(*b.low, depth);
+        Visit(*b.high, depth);
+        return;
+      }
+    }
+  }
+};
+
+void RefCollector::VisitSelect(const SelectStmt& select, size_t depth) {
+  size_t added = 0;
+  for (const TableRef& ref : select.from) {
+    shadowed.push_back(ref.binding_name());
+    ++added;
+  }
+  for (const SelectItem& item : select.items) {
+    if (item.expr) Visit(*item.expr, depth);
+  }
+  if (select.where) Visit(*select.where, depth);
+  for (const ExprPtr& g : select.group_by) Visit(*g, depth);
+  if (select.having) Visit(*select.having, depth);
+  for (const OrderByItem& o : select.order_by) Visit(*o.expr, depth);
+  shadowed.resize(shadowed.size() - added);
+}
+
+/// If `expr` is `col = col` over two distinct local bindings, returns the
+/// join edge.
+std::optional<QueryPlan::JoinEdge> AsJoinEdge(
+    const Expr& expr, const std::vector<QueryPlan::BindingInfo>& bindings) {
+  if (expr.kind != ExprKind::kBinary) return std::nullopt;
+  const auto& binary = static_cast<const BinaryExpr&>(expr);
+  if (binary.op != BinaryOp::kEq) return std::nullopt;
+  if (binary.left->kind != ExprKind::kColumnRef ||
+      binary.right->kind != ExprKind::kColumnRef) {
+    return std::nullopt;
+  }
+
+  auto resolve = [&bindings](const ColumnRefExpr& ref)
+      -> std::optional<std::pair<size_t, size_t>> {
+    if (!ref.qualifier.empty()) {
+      for (size_t i = 0; i < bindings.size(); ++i) {
+        if (bindings[i].name == ref.qualifier) {
+          auto col = bindings[i].schema->FindColumn(ref.column);
+          if (!col) return std::nullopt;
+          return std::make_pair(i, *col);
+        }
+      }
+      return std::nullopt;
+    }
+    std::optional<std::pair<size_t, size_t>> found;
+    for (size_t i = 0; i < bindings.size(); ++i) {
+      auto col = bindings[i].schema->FindColumn(ref.column);
+      if (col) {
+        if (found) return std::nullopt;  // ambiguous
+        found = std::make_pair(i, *col);
+      }
+    }
+    return found;
+  };
+
+  auto left = resolve(static_cast<const ColumnRefExpr&>(*binary.left));
+  auto right = resolve(static_cast<const ColumnRefExpr&>(*binary.right));
+  if (!left || !right || left->first == right->first) return std::nullopt;
+  return QueryPlan::JoinEdge{left->first, left->second, right->first,
+                             right->second};
+}
+
+}  // namespace
+
+QueryPlan QueryPlan::Analyze(const Expr* where,
+                             const std::vector<BindingInfo>& bindings) {
+  QueryPlan plan;
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(where, &conjuncts);
+
+  for (const Expr* conjunct : conjuncts) {
+    RefCollector collector;
+    collector.bindings = &bindings;
+    collector.Visit(*conjunct, 0);
+
+    if (collector.unknown) {
+      plan.residual_.push_back(conjunct);
+      continue;
+    }
+    if (collector.refs.size() <= 1) {
+      size_t binding = collector.refs.empty() ? 0 : *collector.refs.begin();
+      plan.pushed_.push_back(PushedFilter{binding, conjunct});
+      continue;
+    }
+    if (collector.refs.size() == 2) {
+      if (auto edge = AsJoinEdge(*conjunct, bindings)) {
+        plan.joins_.push_back(*edge);
+        continue;
+      }
+    }
+    plan.residual_.push_back(conjunct);
+  }
+  return plan;
+}
+
+std::vector<QueryPlan::JoinEdge> QueryPlan::EdgesTo(
+    const std::vector<size_t>& joined, size_t next) const {
+  std::vector<JoinEdge> out;
+  for (const JoinEdge& edge : joins_) {
+    bool left_in = std::find(joined.begin(), joined.end(),
+                             edge.left_binding) != joined.end();
+    bool right_in = std::find(joined.begin(), joined.end(),
+                              edge.right_binding) != joined.end();
+    if (left_in && edge.right_binding == next) {
+      out.push_back(edge);
+    } else if (right_in && edge.left_binding == next) {
+      // Orient so that `left` is in the joined set.
+      out.push_back(JoinEdge{edge.right_binding, edge.right_column,
+                             edge.left_binding, edge.left_column});
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> QueryPlan::JoinOrder(size_t num_bindings) const {
+  std::vector<size_t> order;
+  std::vector<bool> used(num_bindings, false);
+  if (num_bindings == 0) return order;
+  order.push_back(0);
+  used[0] = true;
+  while (order.size() < num_bindings) {
+    size_t pick = num_bindings;
+    // Prefer a relation connected by an equijoin edge.
+    for (size_t i = 0; i < num_bindings && pick == num_bindings; ++i) {
+      if (used[i]) continue;
+      if (!EdgesTo(order, i).empty()) pick = i;
+    }
+    // Fall back to the next unjoined relation (cross product).
+    for (size_t i = 0; i < num_bindings && pick == num_bindings; ++i) {
+      if (!used[i]) pick = i;
+    }
+    used[pick] = true;
+    order.push_back(pick);
+  }
+  return order;
+}
+
+std::optional<std::pair<size_t, const Value*>> FindEqLiteral(
+    const Expr* where, const TableSchema& schema) {
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(where, &conjuncts);
+  for (const Expr* conjunct : conjuncts) {
+    if (conjunct->kind != ExprKind::kBinary) continue;
+    const auto& binary = static_cast<const BinaryExpr&>(*conjunct);
+    if (binary.op != BinaryOp::kEq) continue;
+    const Expr* column_side = binary.left.get();
+    const Expr* literal_side = binary.right.get();
+    if (column_side->kind != ExprKind::kColumnRef ||
+        literal_side->kind != ExprKind::kLiteral) {
+      std::swap(column_side, literal_side);
+    }
+    if (column_side->kind != ExprKind::kColumnRef ||
+        literal_side->kind != ExprKind::kLiteral) {
+      continue;
+    }
+    const auto& ref = static_cast<const ColumnRefExpr&>(*column_side);
+    auto col = schema.FindColumn(ref.column);
+    if (!col) continue;
+    const Value& v = static_cast<const LiteralExpr&>(*literal_side).value;
+    if (v.is_null()) continue;
+    return std::make_pair(*col, &v);
+  }
+  return std::nullopt;
+}
+
+}  // namespace sopr

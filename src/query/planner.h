@@ -1,0 +1,78 @@
+#ifndef SOPR_QUERY_PLANNER_H_
+#define SOPR_QUERY_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "sql/ast.h"
+
+namespace sopr {
+
+/// Lightweight single-query planner supporting the paper's §1 point that
+/// set-oriented rule processing benefits from ordinary relational
+/// optimization: WHERE conjuncts are classified so the executor can
+///   * push single-relation predicates down to the scan,
+///   * execute `a.x = b.y` predicates as hash equijoins,
+///   * keep everything else as a residual filter over the joined rows.
+/// The analysis is purely name-based (no rows touched) and conservative:
+/// anything it cannot prove single-relation stays residual, so optimized
+/// and naive execution are always semantically identical.
+class QueryPlan {
+ public:
+  /// One FROM binding as the planner sees it.
+  struct BindingInfo {
+    std::string name;  // binding name (alias or table)
+    const TableSchema* schema = nullptr;
+  };
+
+  /// A conjunct pushed down to one relation.
+  struct PushedFilter {
+    size_t binding = 0;  // index into the FROM list
+    const Expr* conjunct = nullptr;
+  };
+
+  /// An equijoin edge: left.binding.column == right.binding.column.
+  struct JoinEdge {
+    size_t left_binding = 0;
+    size_t left_column = 0;
+    size_t right_binding = 0;
+    size_t right_column = 0;
+  };
+
+  /// Analyzes `where` over the given bindings. Never fails: unresolvable
+  /// or ambiguous references simply make the conjunct residual (the
+  /// executor will surface the real error when it evaluates it).
+  static QueryPlan Analyze(const Expr* where,
+                           const std::vector<BindingInfo>& bindings);
+
+  const std::vector<PushedFilter>& pushed() const { return pushed_; }
+  const std::vector<JoinEdge>& joins() const { return joins_; }
+  const std::vector<const Expr*>& residual() const { return residual_; }
+
+  /// Greedy left-deep join order: starts from binding 0, repeatedly picks
+  /// a relation connected to the joined set by an equijoin edge, then
+  /// falls back to the next unjoined relation (cross product).
+  std::vector<size_t> JoinOrder(size_t num_bindings) const;
+
+  /// Equijoin edges between the already-joined set and `next`.
+  std::vector<JoinEdge> EdgesTo(const std::vector<size_t>& joined,
+                                size_t next) const;
+
+ private:
+  std::vector<PushedFilter> pushed_;
+  std::vector<JoinEdge> joins_;
+  std::vector<const Expr*> residual_;
+};
+
+/// Scans the top-level AND conjuncts of `where` for `column = literal`
+/// (either orientation) where `column` belongs to `schema`. Used by the
+/// single-table DML paths to narrow their scan through an equality
+/// index. NULL literals are skipped (they never match).
+std::optional<std::pair<size_t, const Value*>> FindEqLiteral(
+    const Expr* where, const TableSchema& schema);
+
+}  // namespace sopr
+
+#endif  // SOPR_QUERY_PLANNER_H_

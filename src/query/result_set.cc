@@ -1,0 +1,57 @@
+#include "query/result_set.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sopr {
+
+std::string FormatResult(const QueryResult& result) {
+  std::vector<size_t> widths(result.columns.size(), 0);
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    widths[c] = result.columns[c].size();
+  }
+  cells.reserve(result.rows.size());
+  for (const Row& row : result.rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::string s = row.at(c).ToString();
+      if (c < widths.size()) widths[c] = std::max(widths[c], s.size());
+      line.push_back(std::move(s));
+    }
+    cells.push_back(std::move(line));
+  }
+
+  auto pad = [](const std::string& s, size_t w) {
+    std::string out = s;
+    out.resize(w, ' ');
+    return out;
+  };
+
+  std::string out;
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    if (c > 0) out += " | ";
+    out += pad(result.columns[c], widths[c]);
+  }
+  out += "\n";
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += pad(line[c], c < widths.size() ? widths[c] : line[c].size());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void SortRows(QueryResult* result) {
+  std::sort(result->rows.begin(), result->rows.end());
+}
+
+}  // namespace sopr

@@ -1,0 +1,19 @@
+#ifndef SOPR_QUERY_RESULT_SET_H_
+#define SOPR_QUERY_RESULT_SET_H_
+
+#include <string>
+
+#include "expr/evaluator.h"
+
+namespace sopr {
+
+/// Renders a query result as an aligned ASCII table (for examples and the
+/// experiment harness).
+std::string FormatResult(const QueryResult& result);
+
+/// Sorts rows structurally (used by tests to compare unordered results).
+void SortRows(QueryResult* result);
+
+}  // namespace sopr
+
+#endif  // SOPR_QUERY_RESULT_SET_H_

@@ -1,0 +1,270 @@
+#include "rules/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+std::string WriteOp::ToString() const {
+  switch (kind) {
+    case BasicTransPred::Kind::kInsertedInto:
+      return "insert into " + table;
+    case BasicTransPred::Kind::kDeletedFrom:
+      return "delete from " + table;
+    case BasicTransPred::Kind::kUpdated:
+      return "update " + table + "(" + Join(columns, ",") + ")";
+    case BasicTransPred::Kind::kSelectedFrom:
+      return "select from " + table;
+  }
+  return "?";
+}
+
+std::string AnalysisWarning::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kSelfTrigger:
+      out = "self-trigger: ";
+      break;
+    case Kind::kCycle:
+      out = "cycle: ";
+      break;
+    case Kind::kOrderSensitive:
+      out = "order-sensitive: ";
+      break;
+    case Kind::kOpaqueAction:
+      out = "opaque-action: ";
+      break;
+  }
+  out += Join(rules, " -> ");
+  if (!detail.empty()) out += " (" + detail + ")";
+  return out;
+}
+
+std::vector<WriteOp> RuleAnalyzer::ActionWrites(const Rule& rule) {
+  std::vector<WriteOp> writes;
+  for (const StmtPtr& op : rule.action()) {
+    switch (op->kind) {
+      case StmtKind::kInsert: {
+        const auto& ins = static_cast<const InsertStmt&>(*op);
+        writes.push_back(WriteOp{BasicTransPred::Kind::kInsertedInto,
+                                 ToLower(ins.table),
+                                 {}});
+        break;
+      }
+      case StmtKind::kDelete: {
+        const auto& del = static_cast<const DeleteStmt&>(*op);
+        writes.push_back(WriteOp{BasicTransPred::Kind::kDeletedFrom,
+                                 ToLower(del.table),
+                                 {}});
+        break;
+      }
+      case StmtKind::kUpdate: {
+        const auto& upd = static_cast<const UpdateStmt&>(*op);
+        WriteOp w;
+        w.kind = BasicTransPred::Kind::kUpdated;
+        w.table = ToLower(upd.table);
+        for (const UpdateStmt::Assignment& a : upd.assignments) {
+          w.columns.push_back(ToLower(a.column));
+        }
+        writes.push_back(std::move(w));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return writes;
+}
+
+namespace {
+
+/// May `write` satisfy basic predicate `pred` (unresolved, by name)?
+bool WriteMayTriggerPred(const WriteOp& write, const BasicTransPred& pred) {
+  if (write.table != ToLower(pred.table)) return false;
+  if (write.kind != pred.kind) return false;
+  if (pred.kind == BasicTransPred::Kind::kUpdated && !pred.column.empty()) {
+    return std::find(write.columns.begin(), write.columns.end(),
+                     ToLower(pred.column)) != write.columns.end();
+  }
+  return true;
+}
+
+/// Tables a rule reads (condition + action FROM clauses and subqueries).
+std::set<std::string> ReadTables(const Rule& rule) {
+  std::vector<const TableRef*> refs;
+  if (rule.condition() != nullptr) {
+    CollectTableRefsFromExpr(*rule.condition(), &refs);
+  }
+  for (const StmtPtr& op : rule.action()) CollectTableRefs(*op, &refs);
+  std::set<std::string> out;
+  for (const TableRef* ref : refs) out.insert(ToLower(ref->table));
+  return out;
+}
+
+std::set<std::string> WriteTables(const Rule& rule) {
+  std::set<std::string> out;
+  for (const WriteOp& w : RuleAnalyzer::ActionWrites(rule)) {
+    out.insert(w.table);
+  }
+  return out;
+}
+
+bool Intersects(const std::set<std::string>& a,
+                const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool RuleAnalyzer::WriteMayTrigger(const WriteOp& write,
+                                   const ResolvedTransPred& pred,
+                                   const Rule& target_rule) {
+  // Match against the unresolved predicates so column names compare.
+  for (const BasicTransPred& p : target_rule.def().when) {
+    if (WriteMayTriggerPred(write, p)) {
+      // Only count if this unresolved pred matches the resolved one's
+      // table and kind.
+      if (ToLower(p.table) == pred.table && p.kind == pred.kind) return true;
+    }
+  }
+  return false;
+}
+
+RuleAnalyzer::RuleAnalyzer(std::vector<const Rule*> rules,
+                           const PriorityGraph* priorities)
+    : rules_(std::move(rules)), priorities_(priorities) {
+  for (const Rule* from : rules_) {
+    std::vector<WriteOp> writes = ActionWrites(*from);
+    for (const Rule* to : rules_) {
+      for (const WriteOp& w : writes) {
+        bool may = false;
+        for (const BasicTransPred& pred : to->def().when) {
+          if (WriteMayTriggerPred(w, pred)) {
+            may = true;
+            edges_.push_back(TriggerEdge{
+                from->name(), to->name(),
+                w.ToString() + " matches '" + pred.ToString() + "'"});
+            break;
+          }
+        }
+        if (may) break;  // one edge per rule pair
+      }
+    }
+  }
+}
+
+bool RuleAnalyzer::EdgeExists(const std::string& from,
+                              const std::string& to) const {
+  for (const TriggerEdge& e : edges_) {
+    if (e.from == from && e.to == to) return true;
+  }
+  return false;
+}
+
+std::vector<AnalysisWarning> RuleAnalyzer::Analyze() const {
+  std::vector<AnalysisWarning> warnings;
+
+  // Opaque actions: external procedure calls hide writes from this
+  // analysis, so loop/order results for such rules are incomplete.
+  for (const Rule* rule : rules_) {
+    for (const StmtPtr& op : rule->action()) {
+      if (op->kind == StmtKind::kCall) {
+        AnalysisWarning w;
+        w.kind = AnalysisWarning::Kind::kOpaqueAction;
+        w.rules = {rule->name()};
+        w.detail = "action calls procedure '" +
+                   static_cast<const CallStmt&>(*op).procedure +
+                   "'; its database writes are not statically visible";
+        warnings.push_back(std::move(w));
+        break;
+      }
+    }
+  }
+
+  // Self-triggers.
+  for (const Rule* rule : rules_) {
+    if (EdgeExists(rule->name(), rule->name())) {
+      AnalysisWarning w;
+      w.kind = AnalysisWarning::Kind::kSelfTrigger;
+      w.rules = {rule->name()};
+      w.detail =
+          "the rule's action may satisfy its own transition predicate; "
+          "divergence is possible if the condition never becomes false";
+      warnings.push_back(std::move(w));
+    }
+  }
+
+  // Cycles of length >= 2 via mutual reachability (rule counts are small).
+  auto reachable = [&](const std::string& from,
+                       const std::string& to) -> bool {
+    std::set<std::string> visited;
+    std::vector<std::string> stack{from};
+    while (!stack.empty()) {
+      std::string cur = stack.back();
+      stack.pop_back();
+      for (const TriggerEdge& e : edges_) {
+        if (e.from != cur) continue;
+        if (e.to == to) return true;
+        if (visited.insert(e.to).second) stack.push_back(e.to);
+      }
+    }
+    return false;
+  };
+
+  std::set<std::set<std::string>> reported;
+  for (const Rule* a : rules_) {
+    for (const Rule* b : rules_) {
+      if (a->name() >= b->name()) continue;
+      if (reachable(a->name(), b->name()) && reachable(b->name(), a->name())) {
+        std::set<std::string> key{a->name(), b->name()};
+        if (!reported.insert(key).second) continue;
+        AnalysisWarning w;
+        w.kind = AnalysisWarning::Kind::kCycle;
+        w.rules = {a->name(), b->name()};
+        w.detail = "each rule's action may (transitively) trigger the other";
+        warnings.push_back(std::move(w));
+      }
+    }
+  }
+
+  // Order-sensitive unordered pairs: both rules write a common table, or
+  // one writes what the other reads, and no priority orders them.
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    for (size_t j = i + 1; j < rules_.size(); ++j) {
+      const Rule& a = *rules_[i];
+      const Rule& b = *rules_[j];
+      if (priorities_ != nullptr && (priorities_->Higher(a.name(), b.name()) ||
+                                     priorities_->Higher(b.name(), a.name()))) {
+        continue;
+      }
+      std::set<std::string> wa = WriteTables(a);
+      std::set<std::string> wb = WriteTables(b);
+      std::set<std::string> ra = ReadTables(a);
+      std::set<std::string> rb = ReadTables(b);
+      std::string why;
+      if (Intersects(wa, wb)) {
+        why = "both actions write a common table";
+      } else if (Intersects(wa, rb)) {
+        why = a.name() + " writes a table " + b.name() + " reads";
+      } else if (Intersects(wb, ra)) {
+        why = b.name() + " writes a table " + a.name() + " reads";
+      }
+      if (!why.empty()) {
+        AnalysisWarning w;
+        w.kind = AnalysisWarning::Kind::kOrderSensitive;
+        w.rules = {a.name(), b.name()};
+        w.detail = why + "; consider `create rule priority`";
+        warnings.push_back(std::move(w));
+      }
+    }
+  }
+
+  return warnings;
+}
+
+}  // namespace sopr

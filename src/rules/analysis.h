@@ -1,0 +1,80 @@
+#ifndef SOPR_RULES_ANALYSIS_H_
+#define SOPR_RULES_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "rules/rule.h"
+#include "rules/selection.h"
+
+namespace sopr {
+
+/// A conservative "may write" descriptor for one operation in a rule's
+/// action: the table, the kind of change, and (for updates) the columns.
+struct WriteOp {
+  BasicTransPred::Kind kind = BasicTransPred::Kind::kInsertedInto;
+  std::string table;                 // lowercased
+  std::vector<std::string> columns;  // update only; empty = n/a
+
+  std::string ToString() const;
+};
+
+/// Edge of the triggering graph: executing `from`'s action may satisfy a
+/// basic transition predicate of `to`.
+struct TriggerEdge {
+  std::string from;
+  std::string to;
+  std::string via;  // human-readable: which write matches which predicate
+};
+
+/// A warning produced by static analysis (§6: "a facility that issues
+/// warnings of potential loops and conflicts as rules are defined").
+struct AnalysisWarning {
+  enum class Kind {
+    kSelfTrigger,      // a rule may trigger itself (potential divergence)
+    kCycle,            // a cycle of rules may trigger forever
+    kOrderSensitive,   // two unordered rules may interleave differently
+    kOpaqueAction,     // action calls an external procedure (§5.2): its
+                       // writes are invisible to static analysis
+  };
+  Kind kind;
+  std::vector<std::string> rules;  // involved rules, in cycle order
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Static analyzer over a set of rules: builds the triggering graph and
+/// reports potential infinite loops (self-triggers and cycles) and
+/// order-sensitive unordered rule pairs. All analyses are conservative
+/// (syntactic may-trigger, ignoring conditions), as the paper proposes.
+class RuleAnalyzer {
+ public:
+  explicit RuleAnalyzer(std::vector<const Rule*> rules,
+                        const PriorityGraph* priorities = nullptr);
+
+  /// Conservative write set of a rule's action.
+  static std::vector<WriteOp> ActionWrites(const Rule& rule);
+
+  /// True if `write` may satisfy `pred`.
+  static bool WriteMayTrigger(const WriteOp& write,
+                              const ResolvedTransPred& pred,
+                              const Rule& target_rule);
+
+  const std::vector<TriggerEdge>& edges() const { return edges_; }
+
+  /// All warnings: self-triggers, elementary cycles (deduplicated by
+  /// rule set), and order-sensitive pairs lacking a priority.
+  std::vector<AnalysisWarning> Analyze() const;
+
+ private:
+  bool EdgeExists(const std::string& from, const std::string& to) const;
+
+  std::vector<const Rule*> rules_;
+  const PriorityGraph* priorities_;
+  std::vector<TriggerEdge> edges_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_ANALYSIS_H_

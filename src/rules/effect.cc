@@ -1,0 +1,140 @@
+#include "rules/effect.h"
+
+namespace sopr {
+
+namespace {
+
+TableEffect ComposeTable(const TableEffect& e1, const TableEffect& e2) {
+  TableEffect out;
+
+  // I = (I1 ∪ I2) − D2.
+  for (TupleHandle h : e1.inserted) {
+    if (e2.deleted.count(h) == 0) out.inserted.insert(h);
+  }
+  for (TupleHandle h : e2.inserted) {
+    // Handles are never reused, so h cannot be in D2; inserted as-is.
+    out.inserted.insert(h);
+  }
+
+  // D = (D1 ∪ D2) − I1.
+  for (TupleHandle h : e1.deleted) out.deleted.insert(h);
+  for (TupleHandle h : e2.deleted) {
+    if (e1.inserted.count(h) == 0) out.deleted.insert(h);
+  }
+
+  // U = (U1 ∪ U2) − (D2 ∪ I1), column sets unioned per handle.
+  for (const auto& [h, cols] : e1.updated) {
+    if (e2.deleted.count(h) == 0) {
+      out.updated[h].insert(cols.begin(), cols.end());
+    }
+  }
+  for (const auto& [h, cols] : e2.updated) {
+    if (e1.inserted.count(h) == 0 && e2.deleted.count(h) == 0) {
+      out.updated[h].insert(cols.begin(), cols.end());
+    }
+  }
+
+  // S = (S1 ∪ S2) − D2 (extension; see DESIGN.md).
+  for (TupleHandle h : e1.selected) {
+    if (e2.deleted.count(h) == 0) out.selected.insert(h);
+  }
+  for (TupleHandle h : e2.selected) {
+    if (e2.deleted.count(h) == 0) out.selected.insert(h);
+  }
+
+  return out;
+}
+
+}  // namespace
+
+bool TransitionEffect::Empty() const {
+  for (const auto& [name, effect] : tables) {
+    (void)name;
+    if (!effect.Empty()) return false;
+  }
+  return true;
+}
+
+const TableEffect& TransitionEffect::ForTable(const std::string& table) const {
+  static const TableEffect* kEmpty = new TableEffect();
+  auto it = tables.find(table);
+  return it == tables.end() ? *kEmpty : it->second;
+}
+
+TransitionEffect TransitionEffect::Compose(const TransitionEffect& first,
+                                           const TransitionEffect& second) {
+  TransitionEffect out;
+  for (const auto& [name, effect] : first.tables) {
+    TableEffect composed = ComposeTable(effect, second.ForTable(name));
+    if (!composed.Empty()) out.tables.emplace(name, std::move(composed));
+  }
+  for (const auto& [name, effect] : second.tables) {
+    if (first.tables.count(name) > 0) continue;  // already composed above
+    TableEffect composed = ComposeTable(TableEffect(), effect);
+    if (!composed.Empty()) out.tables.emplace(name, std::move(composed));
+  }
+  return out;
+}
+
+bool TransitionEffect::WellFormed() const {
+  for (const auto& [name, e] : tables) {
+    (void)name;
+    for (TupleHandle h : e.inserted) {
+      if (e.deleted.count(h) > 0 || e.updated.count(h) > 0) return false;
+    }
+    for (TupleHandle h : e.deleted) {
+      if (e.updated.count(h) > 0) return false;
+    }
+  }
+  return true;
+}
+
+std::string TransitionEffect::ToString() const {
+  std::string out;
+  for (const auto& [name, e] : tables) {
+    if (e.Empty()) continue;
+    if (!out.empty()) out += "; ";
+    out += name + ": I={";
+    bool first = true;
+    for (TupleHandle h : e.inserted) {
+      if (!first) out += ",";
+      out += std::to_string(h);
+      first = false;
+    }
+    out += "} D={";
+    first = true;
+    for (TupleHandle h : e.deleted) {
+      if (!first) out += ",";
+      out += std::to_string(h);
+      first = false;
+    }
+    out += "} U={";
+    first = true;
+    for (const auto& [h, cols] : e.updated) {
+      if (!first) out += ",";
+      out += std::to_string(h) + ":(";
+      bool fc = true;
+      for (size_t c : cols) {
+        if (!fc) out += ",";
+        out += std::to_string(c);
+        fc = false;
+      }
+      out += ")";
+      first = false;
+    }
+    out += "}";
+    if (!e.selected.empty()) {
+      out += " S={";
+      first = true;
+      for (TupleHandle h : e.selected) {
+        if (!first) out += ",";
+        out += std::to_string(h);
+        first = false;
+      }
+      out += "}";
+    }
+  }
+  return out.empty() ? "<empty>" : out;
+}
+
+}  // namespace sopr

@@ -1,0 +1,59 @@
+#ifndef SOPR_RULES_EFFECT_H_
+#define SOPR_RULES_EFFECT_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "storage/tuple_handle.h"
+
+namespace sopr {
+
+/// The [I, D, U] components of a transition effect (§2.2) restricted to
+/// one table, plus the optional S component of the §5.1 data-retrieval
+/// extension. A handle appears in at most one of I/D/U (paper invariant).
+struct TableEffect {
+  std::set<TupleHandle> inserted;                    // I
+  std::set<TupleHandle> deleted;                     // D
+  std::map<TupleHandle, std::set<size_t>> updated;   // U: handle → columns
+  std::set<TupleHandle> selected;                    // S (§5.1)
+
+  bool Empty() const {
+    return inserted.empty() && deleted.empty() && updated.empty() &&
+           selected.empty();
+  }
+  bool operator==(const TableEffect& other) const = default;
+};
+
+/// A transition effect over the whole database, keyed by (lowercased)
+/// table name. Since a tuple handle belongs to exactly one table,
+/// composition distributes over tables.
+struct TransitionEffect {
+  std::map<std::string, TableEffect> tables;
+
+  bool Empty() const;
+
+  /// The table's effect, or an empty one.
+  const TableEffect& ForTable(const std::string& table) const;
+
+  /// Definition 2.1: the effect of indivisibly executing the transition
+  /// with effect `first` followed by the transition with effect `second`:
+  ///   I = (I1 ∪ I2) − D2
+  ///   D = (D1 ∪ D2) − I1
+  ///   U = (U1 ∪ U2) − (D2 ∪ I1)   (handle-wise; columns union per handle)
+  /// The S component (our extension) composes as S = (S1 ∪ S2) − D2.
+  static TransitionEffect Compose(const TransitionEffect& first,
+                                  const TransitionEffect& second);
+
+  /// Verifies the paper's invariant that a handle appears in at most one
+  /// of I, D, U per table. Used by tests and debug assertions.
+  bool WellFormed() const;
+
+  std::string ToString() const;
+
+  bool operator==(const TransitionEffect& other) const = default;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_EFFECT_H_

@@ -1,0 +1,277 @@
+#include "rules/rule.h"
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+void CollectTableRefsFromExpr(const Expr& expr,
+                              std::vector<const TableRef*>* out) {
+  switch (expr.kind) {
+    case ExprKind::kUnary:
+      CollectTableRefsFromExpr(*static_cast<const UnaryExpr&>(expr).operand, out);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      CollectTableRefsFromExpr(*b.left, out);
+      CollectTableRefsFromExpr(*b.right, out);
+      return;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      CollectTableRefsFromExpr(*in.operand, out);
+      for (const ExprPtr& item : in.items) CollectTableRefsFromExpr(*item, out);
+      return;
+    }
+    case ExprKind::kInSubquery: {
+      const auto& in = static_cast<const InSubqueryExpr&>(expr);
+      CollectTableRefsFromExpr(*in.operand, out);
+      CollectTableRefs(*in.subquery, out);
+      return;
+    }
+    case ExprKind::kExists:
+      CollectTableRefs(*static_cast<const ExistsExpr&>(expr).subquery, out);
+      return;
+    case ExprKind::kScalarSubquery:
+      CollectTableRefs(
+          *static_cast<const ScalarSubqueryExpr&>(expr).subquery, out);
+      return;
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      if (agg.argument) CollectTableRefsFromExpr(*agg.argument, out);
+      return;
+    }
+    case ExprKind::kIsNull:
+      CollectTableRefsFromExpr(*static_cast<const IsNullExpr&>(expr).operand, out);
+      return;
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      CollectTableRefsFromExpr(*b.operand, out);
+      CollectTableRefsFromExpr(*b.low, out);
+      CollectTableRefsFromExpr(*b.high, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void CollectTableRefs(const Stmt& stmt, std::vector<const TableRef*>* out) {
+  switch (stmt.kind) {
+    case StmtKind::kSelect: {
+      const auto& sel = static_cast<const SelectStmt&>(stmt);
+      for (const TableRef& ref : sel.from) out->push_back(&ref);
+      for (const SelectItem& item : sel.items) {
+        if (item.expr) CollectTableRefsFromExpr(*item.expr, out);
+      }
+      if (sel.where) CollectTableRefsFromExpr(*sel.where, out);
+      for (const ExprPtr& g : sel.group_by) CollectTableRefsFromExpr(*g, out);
+      if (sel.having) CollectTableRefsFromExpr(*sel.having, out);
+      for (const OrderByItem& o : sel.order_by) {
+        CollectTableRefsFromExpr(*o.expr, out);
+      }
+      return;
+    }
+    case StmtKind::kInsert: {
+      const auto& ins = static_cast<const InsertStmt&>(stmt);
+      for (const auto& row : ins.rows) {
+        for (const ExprPtr& e : row) CollectTableRefsFromExpr(*e, out);
+      }
+      if (ins.select) CollectTableRefs(*ins.select, out);
+      return;
+    }
+    case StmtKind::kDelete: {
+      const auto& del = static_cast<const DeleteStmt&>(stmt);
+      if (del.where) CollectTableRefsFromExpr(*del.where, out);
+      return;
+    }
+    case StmtKind::kUpdate: {
+      const auto& upd = static_cast<const UpdateStmt&>(stmt);
+      for (const UpdateStmt::Assignment& a : upd.assignments) {
+        CollectTableRefsFromExpr(*a.value, out);
+      }
+      if (upd.where) CollectTableRefsFromExpr(*upd.where, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+namespace {
+
+/// Does `ref` (a transition-table reference) correspond to one of the
+/// rule's basic transition predicates (§3's syntactic restriction)?
+bool RefCoveredByPred(const TableRef& ref, const BasicTransPred& pred) {
+  if (ToLower(pred.table) != ToLower(ref.table)) return false;
+  switch (ref.kind) {
+    case TableRefKind::kInserted:
+      return pred.kind == BasicTransPred::Kind::kInsertedInto;
+    case TableRefKind::kDeleted:
+      return pred.kind == BasicTransPred::Kind::kDeletedFrom;
+    case TableRefKind::kOldUpdated:
+    case TableRefKind::kNewUpdated:
+      if (pred.kind != BasicTransPred::Kind::kUpdated) return false;
+      // `updated t` (any column) covers both `updated t` and
+      // `updated t.c` transition tables; `updated t.c` covers only the
+      // same column.
+      return pred.column.empty() ||
+             ToLower(pred.column) == ToLower(ref.column);
+    case TableRefKind::kSelectedTt:
+      if (pred.kind != BasicTransPred::Kind::kSelectedFrom) return false;
+      return pred.column.empty() ||
+             ToLower(pred.column) == ToLower(ref.column);
+    default:
+      return true;  // base tables are always fine
+  }
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Rule>> Rule::Create(
+    std::shared_ptr<const CreateRuleStmt> def, const Catalog& catalog) {
+  auto rule = std::shared_ptr<Rule>(new Rule(std::move(def)));
+  const CreateRuleStmt& stmt = *rule->def_;
+
+  if (stmt.when.empty()) {
+    return Status::InvalidArgument("rule " + stmt.name +
+                                   " has no transition predicate");
+  }
+
+  // Resolve the `when` list against the catalog.
+  for (const BasicTransPred& pred : stmt.when) {
+    SOPR_ASSIGN_OR_RETURN(const TableSchema* schema,
+                          catalog.GetTable(pred.table));
+    ResolvedTransPred resolved;
+    resolved.kind = pred.kind;
+    resolved.table = ToLower(pred.table);
+    if (!pred.column.empty()) {
+      auto idx = schema->FindColumn(pred.column);
+      if (!idx) {
+        return Status::CatalogError("rule " + stmt.name + ": no column " +
+                                    pred.column + " in table " + pred.table);
+      }
+      resolved.column = *idx;
+    }
+    rule->when_.push_back(resolved);
+  }
+
+  // Collect all table references in the condition and action; check that
+  // transition tables correspond to basic predicates (§3) and that base
+  // tables exist.
+  std::vector<const TableRef*> refs;
+  if (stmt.condition) CollectTableRefsFromExpr(*stmt.condition, &refs);
+  for (const StmtPtr& op : stmt.action) {
+    CollectTableRefs(*op, &refs);
+    // DML target tables must exist.
+    std::string target;
+    switch (op->kind) {
+      case StmtKind::kInsert:
+        target = static_cast<const InsertStmt&>(*op).table;
+        break;
+      case StmtKind::kDelete:
+        target = static_cast<const DeleteStmt&>(*op).table;
+        break;
+      case StmtKind::kUpdate:
+        target = static_cast<const UpdateStmt&>(*op).table;
+        break;
+      default:
+        break;
+    }
+    if (!target.empty() && !catalog.HasTable(target)) {
+      return Status::CatalogError("rule " + stmt.name +
+                                  ": action references unknown table " +
+                                  target);
+    }
+  }
+  for (const TableRef* ref : refs) {
+    if (!catalog.HasTable(ref->table)) {
+      return Status::CatalogError("rule " + stmt.name +
+                                  ": unknown table " + ref->table);
+    }
+    if (!ref->is_transition()) continue;
+    bool covered = false;
+    for (const BasicTransPred& pred : stmt.when) {
+      if (RefCoveredByPred(*ref, pred)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return Status::InvalidArgument(
+          "rule " + stmt.name + ": transition table '" + ref->ToString() +
+          "' does not correspond to any basic transition predicate in the "
+          "rule's when clause");
+    }
+  }
+
+  return rule;
+}
+
+bool RuleReferencesTable(const Rule& rule, std::string_view table) {
+  std::string key = ToLower(table);
+  for (const BasicTransPred& pred : rule.def().when) {
+    if (ToLower(pred.table) == key) return true;
+  }
+  std::vector<const TableRef*> refs;
+  if (rule.condition() != nullptr) {
+    CollectTableRefsFromExpr(*rule.condition(), &refs);
+  }
+  for (const StmtPtr& op : rule.action()) {
+    CollectTableRefs(*op, &refs);
+    switch (op->kind) {
+      case StmtKind::kInsert:
+        if (ToLower(static_cast<const InsertStmt&>(*op).table) == key) {
+          return true;
+        }
+        break;
+      case StmtKind::kDelete:
+        if (ToLower(static_cast<const DeleteStmt&>(*op).table) == key) {
+          return true;
+        }
+        break;
+      case StmtKind::kUpdate:
+        if (ToLower(static_cast<const UpdateStmt&>(*op).table) == key) {
+          return true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  for (const TableRef* ref : refs) {
+    if (ToLower(ref->table) == key) return true;
+  }
+  return false;
+}
+
+bool Rule::Triggered(const TransitionEffect& effect) const {
+  for (const ResolvedTransPred& pred : when_) {
+    const TableEffect& e = effect.ForTable(pred.table);
+    switch (pred.kind) {
+      case BasicTransPred::Kind::kInsertedInto:
+        if (!e.inserted.empty()) return true;
+        break;
+      case BasicTransPred::Kind::kDeletedFrom:
+        if (!e.deleted.empty()) return true;
+        break;
+      case BasicTransPred::Kind::kUpdated:
+        if (pred.column == ResolvedTransPred::kAnyColumn) {
+          if (!e.updated.empty()) return true;
+        } else {
+          for (const auto& [h, cols] : e.updated) {
+            (void)h;
+            if (cols.count(pred.column) > 0) return true;
+          }
+        }
+        break;
+      case BasicTransPred::Kind::kSelectedFrom:
+        // Column-level select tracking is not distinguished; any selected
+        // tuple of the table triggers (documented §5.1 simplification).
+        if (!e.selected.empty()) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace sopr

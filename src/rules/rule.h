@@ -1,0 +1,71 @@
+#ifndef SOPR_RULES_RULE_H_
+#define SOPR_RULES_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "rules/effect.h"
+#include "sql/ast.h"
+
+namespace sopr {
+
+/// Collects every TableRef reachable from a statement/expression,
+/// including the FROM lists of embedded subqueries (used by rule
+/// validation and static analysis).
+void CollectTableRefs(const Stmt& stmt, std::vector<const TableRef*>* out);
+void CollectTableRefsFromExpr(const Expr& expr,
+                              std::vector<const TableRef*>* out);
+
+class Rule;
+
+/// True if the rule's when-list, condition, or action mentions `table`
+/// (as predicate target, FROM item, subquery source, or DML target).
+bool RuleReferencesTable(const Rule& rule, std::string_view table);
+
+/// A basic transition predicate with the column resolved to an index
+/// (kAnyColumn for `updated t` / `selected t`).
+struct ResolvedTransPred {
+  static constexpr size_t kAnyColumn = static_cast<size_t>(-1);
+
+  BasicTransPred::Kind kind = BasicTransPred::Kind::kInsertedInto;
+  std::string table;          // lowercased
+  size_t column = kAnyColumn;
+};
+
+/// An installed production rule: the parsed definition plus resolved
+/// transition predicates. Immutable after creation; all runtime state
+/// (trans-info, consideration timestamps) lives in the rule engine.
+class Rule {
+ public:
+  /// Validates the definition against the catalog: tables/columns in the
+  /// `when` list exist; transition tables referenced by condition/action
+  /// correspond to the rule's basic transition predicates (the paper's
+  /// syntactic restriction, §3); the action's target tables exist.
+  static Result<std::shared_ptr<Rule>> Create(
+      std::shared_ptr<const CreateRuleStmt> def, const Catalog& catalog);
+
+  const std::string& name() const { return def_->name; }
+  const CreateRuleStmt& def() const { return *def_; }
+  const std::vector<ResolvedTransPred>& when() const { return when_; }
+  const Expr* condition() const { return def_->condition.get(); }
+  bool action_is_rollback() const { return def_->action_is_rollback; }
+  const std::vector<StmtPtr>& action() const { return def_->action; }
+
+  /// True if any basic transition predicate is satisfied by `effect`
+  /// (the `when` list is a disjunction, §3).
+  bool Triggered(const TransitionEffect& effect) const;
+
+ private:
+  explicit Rule(std::shared_ptr<const CreateRuleStmt> def)
+      : def_(std::move(def)) {}
+
+  std::shared_ptr<const CreateRuleStmt> def_;
+  std::vector<ResolvedTransPred> when_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_RULE_H_

@@ -1,0 +1,568 @@
+#include "rules/rule_engine.h"
+
+#include "common/string_util.h"
+#include "rules/transition_tables.h"
+#include "sql/parser.h"
+
+namespace sopr {
+
+Result<QueryResult> ProcedureContext::Query(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument(
+        "ProcedureContext::Query expects a select statement");
+  }
+  return executor_->ExecuteSelect(static_cast<const SelectStmt&>(*stmt));
+}
+
+Status ProcedureContext::Execute(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
+  for (const StmtPtr& stmt : stmts) {
+    SOPR_ASSIGN_OR_RETURN(DmlEffect effect, executor_->ExecuteDml(*stmt));
+    accumulate_->ApplyOp(effect);
+  }
+  return Status::OK();
+}
+
+RuleEngine::RuleEngine(Database* db, RuleEngineOptions options)
+    : db_(db), options_(options) {}
+
+RuleEngine::RuleState* RuleEngine::FindState(const std::string& name) {
+  std::string key = ToLower(name);
+  for (auto& state : rules_) {
+    if (state->rule->name() == key) return state.get();
+  }
+  return nullptr;
+}
+
+const RuleEngine::RuleState* RuleEngine::FindState(
+    const std::string& name) const {
+  std::string key = ToLower(name);
+  for (const auto& state : rules_) {
+    if (state->rule->name() == key) return state.get();
+  }
+  return nullptr;
+}
+
+Status RuleEngine::DefineRule(std::shared_ptr<const CreateRuleStmt> def) {
+  if (in_txn_) {
+    return Status::InvalidArgument(
+        "rules cannot be defined inside a transaction");
+  }
+  if (FindState(def->name) != nullptr) {
+    return Status::CatalogError("rule already exists: " + def->name);
+  }
+  SOPR_ASSIGN_OR_RETURN(std::shared_ptr<Rule> rule,
+                        Rule::Create(std::move(def), db_->catalog()));
+  auto state = std::make_unique<RuleState>();
+  state->rule = std::move(rule);
+  state->creation_seq = next_creation_seq_++;
+  rules_.push_back(std::move(state));
+  return Status::OK();
+}
+
+Status RuleEngine::DropRule(const std::string& name) {
+  if (in_txn_) {
+    return Status::InvalidArgument(
+        "rules cannot be dropped inside a transaction");
+  }
+  std::string key = ToLower(name);
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if ((*it)->rule->name() == key) {
+      rules_.erase(it);
+      priorities_.RemoveRule(key);
+      return Status::OK();
+    }
+  }
+  return Status::CatalogError("no such rule: " + name);
+}
+
+Status RuleEngine::AddPriority(const std::string& higher,
+                               const std::string& lower) {
+  if (FindState(higher) == nullptr) {
+    return Status::CatalogError("no such rule: " + higher);
+  }
+  if (FindState(lower) == nullptr) {
+    return Status::CatalogError("no such rule: " + lower);
+  }
+  return priorities_.AddEdge(ToLower(higher), ToLower(lower));
+}
+
+Status RuleEngine::SetRuleEnabled(const std::string& name, bool enabled) {
+  RuleState* state = FindState(name);
+  if (state == nullptr) {
+    return Status::CatalogError("no such rule: " + name);
+  }
+  state->enabled = enabled;
+  return Status::OK();
+}
+
+Result<bool> RuleEngine::IsRuleEnabled(const std::string& name) const {
+  const RuleState* state = FindState(name);
+  if (state == nullptr) {
+    return Status::CatalogError("no such rule: " + name);
+  }
+  return state->enabled;
+}
+
+Status RuleEngine::SetResetPolicy(const std::string& name,
+                                  ResetPolicy policy) {
+  RuleState* state = FindState(name);
+  if (state == nullptr) {
+    return Status::CatalogError("no such rule: " + name);
+  }
+  state->reset_policy = policy;
+  return Status::OK();
+}
+
+Status RuleEngine::SetDetached(const std::string& name, bool detached) {
+  RuleState* state = FindState(name);
+  if (state == nullptr) {
+    return Status::CatalogError("no such rule: " + name);
+  }
+  if (detached && state->rule->action_is_rollback()) {
+    return Status::InvalidArgument(
+        "rule " + name +
+        " has a rollback action; detaching it is meaningless (a detached "
+        "action runs in its own transaction)");
+  }
+  state->detached = detached;
+  return Status::OK();
+}
+
+Status RuleEngine::RegisterProcedure(const std::string& name,
+                                     ProcedureFn fn) {
+  std::string key = ToLower(name);
+  if (procedures_.count(key) > 0) {
+    return Status::CatalogError("procedure already registered: " + name);
+  }
+  procedures_.emplace(std::move(key), std::move(fn));
+  return Status::OK();
+}
+
+void RuleEngine::ResetInfo(RuleState* state) {
+  if (options_.maintenance == MaintenanceMode::kPerRule) {
+    state->info.Clear();
+    state->effect = TransitionEffect();
+  } else {
+    state->log_start = log_.size();
+    state->cached.Clear();
+    state->cached_effect = TransitionEffect();
+    state->cached_upto = log_.size();
+  }
+}
+
+std::vector<std::string> RuleEngine::RuleNames() const {
+  std::vector<std::string> names;
+  names.reserve(rules_.size());
+  for (const auto& state : rules_) names.push_back(state->rule->name());
+  return names;
+}
+
+Result<const Rule*> RuleEngine::GetRule(const std::string& name) const {
+  const RuleState* state = FindState(name);
+  if (state == nullptr) {
+    return Status::CatalogError("no such rule: " + name);
+  }
+  return state->rule.get();
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Status RuleEngine::Begin() {
+  if (in_txn_) {
+    return Status::InvalidArgument("transaction already in progress");
+  }
+  in_txn_ = true;
+  txn_start_mark_ = db_->UndoMark();
+  pending_block_.Clear();
+  log_.clear();
+  txn_firings_ = 0;
+  consider_tick_ = 0;
+  global_composite_.Clear();
+  global_effect_ = TransitionEffect();
+  for (auto& state : rules_) {
+    state->info.Clear();
+    state->effect = TransitionEffect();
+    state->log_start = 0;
+    state->cached.Clear();
+    state->cached_effect = TransitionEffect();
+    state->cached_upto = 0;
+    state->last_considered = 0;
+    state->considered_in_state = false;
+  }
+  return Status::OK();
+}
+
+Status RuleEngine::AbortTransaction() {
+  Status undo = db_->RollbackTo(txn_start_mark_);
+  in_txn_ = false;
+  pending_block_.Clear();
+  log_.clear();
+  // Detached actions queued by the aborted transaction must not run
+  // (their trigger never committed). Deferrals from an enclosing
+  // committed transaction were already drained into RunDeferred's local
+  // queue, so clearing here is safe.
+  deferred_.clear();
+  return undo;
+}
+
+Status RuleEngine::RollbackTransaction() {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  return AbortTransaction();
+}
+
+Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
+                          ExecutionTrace* trace) {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  // External blocks may not reference transition tables, but they execute
+  // with the same resolver so that the error message is uniform.
+  DatabaseResolver resolver(db_);
+  Executor executor(db_, &resolver, options_.optimize_queries);
+  for (const Stmt* op : ops) {
+    if (op->kind == StmtKind::kSelect) {
+      std::vector<SelectedTuple> selected;
+      auto result = executor.ExecuteSelect(
+          static_cast<const SelectStmt&>(*op), nullptr,
+          options_.track_selects ? &selected : nullptr);
+      if (!result.ok()) {
+        SOPR_RETURN_NOT_OK(AbortTransaction());
+        return result.status();
+      }
+      if (trace != nullptr) {
+        trace->retrieved.push_back(std::move(result).value());
+      }
+      if (options_.track_selects) pending_block_.ApplySelect(selected);
+      continue;
+    }
+    if (op->kind == StmtKind::kProcessRules) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return Status::InvalidArgument(
+          "'process rules' is only valid inside a full operation block "
+          "(use ProcessRules() with the explicit transaction API)");
+    }
+    auto effect = executor.ExecuteDml(*op);
+    if (!effect.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return effect.status();
+    }
+    pending_block_.ApplyOp(effect.value());
+  }
+  return Status::OK();
+}
+
+void RuleEngine::PropagateTransition(const TransInfo& transition,
+                                     RuleState* source) {
+  if (options_.maintenance == MaintenanceMode::kPerRule) {
+    for (auto& state : rules_) {
+      if (state.get() == source &&
+          state->reset_policy == ResetPolicy::kOnExecution) {
+        state->info = transition;  // Figure 1: R gets new transition info
+      } else {
+        // All other rules compose; a kOnConsideration source was already
+        // reset at its consideration point, so its own transition
+        // composes in like any other.
+        state->info.Compose(transition);
+      }
+      state->effect = state->info.ToEffect();
+    }
+  } else {
+    log_.push_back(transition);
+    global_composite_.Compose(transition);
+    global_effect_ = global_composite_.ToEffect();
+    if (source != nullptr &&
+        source->reset_policy == ResetPolicy::kOnExecution) {
+      source->log_start = log_.size() - 1;
+      source->cached = transition;
+      source->cached_effect = source->cached.ToEffect();
+      source->cached_upto = log_.size();
+    }
+  }
+  // A new transition starts a new state: every rule may be (re)considered.
+  for (auto& state : rules_) state->considered_in_state = false;
+}
+
+RuleEngine::InfoView RuleEngine::ViewFor(RuleState* state) {
+  if (options_.maintenance == MaintenanceMode::kPerRule) {
+    return InfoView{&state->info, &state->effect};
+  }
+  if (state->log_start == 0) {
+    // Never fired this transaction: every such rule shares the global
+    // composite, so idle rules cost nothing per transition.
+    return InfoView{&global_composite_, &global_effect_};
+  }
+  // Fired before: lazily extend this rule's private cache.
+  size_t begin = std::max(state->cached_upto, state->log_start);
+  if (state->cached_upto < state->log_start) {
+    state->cached.Clear();
+    begin = state->log_start;
+  }
+  if (begin < log_.size()) {
+    for (size_t i = begin; i < log_.size(); ++i) {
+      state->cached.Compose(log_[i]);
+    }
+    state->cached_upto = log_.size();
+    state->cached_effect = state->cached.ToEffect();
+  }
+  return InfoView{&state->cached, &state->cached_effect};
+}
+
+Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
+  while (true) {
+    // Gather triggered rules that have not yet been rejected in the
+    // current state.
+    std::vector<SelectionCandidate> candidates;
+    std::vector<RuleState*> candidate_states;
+    for (auto& state : rules_) {
+      if (!state->enabled || state->considered_in_state) continue;
+      InfoView view = ViewFor(state.get());
+      if (view.info->Empty()) continue;
+      if (!state->rule->Triggered(*view.effect)) continue;
+      candidates.push_back(SelectionCandidate{state->rule->name(),
+                                              state->creation_seq,
+                                              state->last_considered});
+      candidate_states.push_back(state.get());
+    }
+
+    int pick = SelectRule(candidates, priorities_, options_.tie_break);
+    if (pick < 0) return Status::OK();  // quiescent
+
+    RuleState* state = candidate_states[static_cast<size_t>(pick)];
+    const Rule& rule = *state->rule;
+    state->last_considered = ++consider_tick_;
+    state->considered_in_state = true;
+
+    // check-condition: evaluate against the current state and the rule's
+    // transition tables. The info is copied so that the footnote 8
+    // consideration-reset below cannot invalidate the transition tables
+    // the condition and action are evaluated against.
+    TransInfo info = *ViewFor(state).info;
+    // Footnote 8 alternative: measure this rule's next composite
+    // transition from this consideration point onward. (The action's own
+    // transition, which happens after this point, is then included.)
+    if (state->reset_policy == ResetPolicy::kOnConsideration) {
+      ResetInfo(state);
+    }
+    TransitionTableResolver resolver(db_, &info);
+    Executor executor(db_, &resolver, options_.optimize_queries);
+    bool condition_holds = true;
+    if (rule.condition() != nullptr) {
+      Scope scope;
+      EvalContext ctx;
+      ctx.runner = &executor;
+      auto held = EvaluatePredicate(*rule.condition(), scope, ctx);
+      if (!held.ok()) {
+        SOPR_RETURN_NOT_OK(AbortTransaction());
+        return Status(held.status().code(),
+                      "rule " + rule.name() +
+                          " condition failed: " + held.status().message());
+      }
+      condition_holds = (held.value() == TriBool::kTrue);
+    }
+    if (trace != nullptr) {
+      trace->considered.push_back(Consideration{rule.name(), condition_holds});
+    }
+    if (!condition_holds) continue;  // try another rule in this state
+
+    if (rule.action_is_rollback()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      if (trace != nullptr) {
+        trace->rolled_back = true;
+        trace->rollback_rule = rule.name();
+      }
+      return Status::OK();
+    }
+
+    // Detached rules (§5.3): queue the action with a snapshot of its
+    // transition tables; it runs as its own transaction after commit.
+    if (state->detached) {
+      deferred_.push_back(DeferredFiring{state, info});
+      // Like a firing, the rule's composite transition restarts here.
+      ResetInfo(state);
+      continue;
+    }
+
+    // Execute the action's operation block; its ops compose into one
+    // transition (§2.1).
+    if (++txn_firings_ > options_.max_rule_firings) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return Status::LimitExceeded(
+          "rule cascade exceeded " +
+          std::to_string(options_.max_rule_firings) +
+          " firings in one transaction (possible infinite loop involving "
+          "rule " +
+          rule.name() + ")");
+    }
+    ++total_firings_;
+
+    TransInfo action_info;
+    SOPR_RETURN_NOT_OK(ExecuteAction(rule, info, &action_info, trace));
+
+    if (trace != nullptr) {
+      trace->firings.push_back(RuleFiring{rule.name(), action_info, false});
+    }
+    PropagateTransition(action_info, state);
+  }
+}
+
+Status RuleEngine::ExecuteAction(const Rule& rule, const TransInfo& info,
+                                 TransInfo* out, ExecutionTrace* trace) {
+  TransitionTableResolver resolver(db_, &info);
+  Executor executor(db_, &resolver, options_.optimize_queries);
+  for (const StmtPtr& op : rule.action()) {
+    if (op->kind == StmtKind::kCall) {
+      const auto& call = static_cast<const CallStmt&>(*op);
+      auto it = procedures_.find(call.procedure);
+      if (it == procedures_.end()) {
+        SOPR_RETURN_NOT_OK(AbortTransaction());
+        return Status::CatalogError("rule " + rule.name() +
+                                    ": no such procedure: " + call.procedure);
+      }
+      ProcedureContext context(&executor, out, rule.name());
+      Status proc_status = it->second(context);
+      if (!proc_status.ok()) {
+        SOPR_RETURN_NOT_OK(AbortTransaction());
+        return Status(proc_status.code(),
+                      "rule " + rule.name() + " procedure " + call.procedure +
+                          " failed: " + proc_status.message());
+      }
+      continue;
+    }
+    if (op->kind == StmtKind::kSelect) {
+      std::vector<SelectedTuple> selected;
+      auto result = executor.ExecuteSelect(
+          static_cast<const SelectStmt&>(*op), nullptr,
+          options_.track_selects ? &selected : nullptr);
+      if (!result.ok()) {
+        SOPR_RETURN_NOT_OK(AbortTransaction());
+        return Status(result.status().code(),
+                      "rule " + rule.name() +
+                          " action failed: " + result.status().message());
+      }
+      if (trace != nullptr) {
+        trace->retrieved.push_back(std::move(result).value());
+      }
+      if (options_.track_selects) out->ApplySelect(selected);
+      continue;
+    }
+    auto effect = executor.ExecuteDml(*op);
+    if (!effect.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return Status(effect.status().code(),
+                    "rule " + rule.name() +
+                        " action failed: " + effect.status().message());
+    }
+    out->ApplyOp(effect.value());
+  }
+  return Status::OK();
+}
+
+Status RuleEngine::RunDeferred(ExecutionTrace* trace) {
+  ++detached_depth_;
+  if (detached_depth_ == 1) detached_runs_ = 0;
+  std::vector<DeferredFiring> queue;
+  queue.swap(deferred_);
+  Status overall = Status::OK();
+  for (DeferredFiring& f : queue) {
+    if (++detached_runs_ > options_.max_rule_firings) {
+      deferred_.clear();
+      overall = Status::LimitExceeded(
+          "detached rule chain exceeded " +
+          std::to_string(options_.max_rule_firings) + " transactions");
+      break;
+    }
+    const Rule& rule = *f.state->rule;
+    Status begin = Begin();
+    if (!begin.ok()) {
+      overall = begin;
+      break;
+    }
+    ++total_firings_;
+    TransInfo action_info;
+    Status s = ExecuteAction(rule, f.info, &action_info, trace);
+    if (!s.ok()) {
+      // ExecuteAction aborted the detached transaction; the triggering
+      // transaction is already committed — record and continue.
+      if (trace != nullptr) {
+        trace->detached_errors.push_back(rule.name() + ": " + s.ToString());
+      }
+      continue;
+    }
+    if (trace != nullptr) {
+      trace->firings.push_back(RuleFiring{rule.name(), action_info, true});
+    }
+    // The detached action is this transaction's externally-generated
+    // block from every other rule's perspective.
+    pending_block_ = std::move(action_info);
+    Status c = Commit(trace);  // cascades + nested deferrals
+    if (c.code() == StatusCode::kLimitExceeded) {
+      // The runaway guard is an engine-level error: surface it.
+      overall = c;
+      break;
+    }
+    if (!c.ok() && trace != nullptr) {
+      trace->detached_errors.push_back(rule.name() + ": " + c.ToString());
+    }
+  }
+  --detached_depth_;
+  return overall;
+}
+
+Status RuleEngine::ProcessRules(ExecutionTrace* trace) {
+  if (!in_txn_) {
+    return Status::InvalidArgument("no transaction in progress");
+  }
+  if (!pending_block_.Empty()) {
+    // The externally-generated transition is complete; fold it into every
+    // rule's composite info (external transitions have no source rule).
+    PropagateTransition(pending_block_, nullptr);
+    pending_block_.Clear();
+  }
+  Status status = RunRuleLoop(trace);
+  if (!status.ok() && in_txn_) {
+    SOPR_RETURN_NOT_OK(AbortTransaction());
+  }
+  return status;
+}
+
+Status RuleEngine::Commit(ExecutionTrace* trace) {
+  SOPR_RETURN_NOT_OK(ProcessRules(trace));
+  if (in_txn_) {
+    db_->CommitAll();
+    in_txn_ = false;
+  }
+  if (!deferred_.empty()) {
+    SOPR_RETURN_NOT_OK(RunDeferred(trace));
+  }
+  return Status::OK();
+}
+
+Result<ExecutionTrace> RuleEngine::ExecuteBlock(
+    const std::vector<const Stmt*>& ops) {
+  SOPR_RETURN_NOT_OK(Begin());
+  ExecutionTrace trace;
+  // `process rules` markers (§5.3) split the script into segments, each
+  // an externally-generated transition followed by rule processing.
+  std::vector<const Stmt*> segment;
+  for (const Stmt* op : ops) {
+    if (op->kind == StmtKind::kProcessRules) {
+      SOPR_RETURN_NOT_OK(RunOps(segment, &trace));
+      segment.clear();
+      SOPR_RETURN_NOT_OK(ProcessRules(&trace));
+      if (!in_txn_) return trace;  // a rule rolled the transaction back
+      continue;
+    }
+    segment.push_back(op);
+  }
+  SOPR_RETURN_NOT_OK(RunOps(segment, &trace));
+  SOPR_RETURN_NOT_OK(Commit(&trace));
+  return trace;
+}
+
+}  // namespace sopr

@@ -1,0 +1,264 @@
+#ifndef SOPR_RULES_RULE_ENGINE_H_
+#define SOPR_RULES_RULE_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/executor.h"
+#include "rules/rule.h"
+#include "rules/selection.h"
+#include "rules/trans_info.h"
+#include "storage/database.h"
+
+namespace sopr {
+
+/// How composite transition information is maintained across rules.
+enum class MaintenanceMode {
+  /// The paper's Figure 1 algorithm: every rule's [ins, del, upd] is
+  /// eagerly updated after every transition (modify-trans-info).
+  kPerRule,
+  /// The optimization the paper hints at ("substantial need and room for
+  /// optimization"): transitions are appended to a shared log; each rule
+  /// keeps only a start index and composes lazily (with an incremental
+  /// cache) when it is actually considered.
+  kSharedLog,
+};
+
+struct RuleEngineOptions {
+  TieBreak tie_break = TieBreak::kCreationOrder;
+  MaintenanceMode maintenance = MaintenanceMode::kPerRule;
+  /// Runaway-cascade guard (the paper's footnote 7 suggests run-time
+  /// detection); exceeding it aborts and rolls back the transaction.
+  size_t max_rule_firings = 1000;
+  /// Enable the §5.1 extension: selects contribute an S component and
+  /// `selected` predicates/transition tables become live.
+  bool track_selects = false;
+  /// Query optimization (predicate pushdown + hash equijoins) for every
+  /// statement executed through the rule system. Off = plain
+  /// cross-product-then-filter (ablation benchmark B9).
+  bool optimize_queries = true;
+};
+
+/// Footnote 8 of the paper: which point a rule's composite transition is
+/// measured from. The main semantics resets a rule's trans-info when its
+/// action executes; the alternative resets whenever the rule is *chosen
+/// for consideration*, regardless of whether the condition held.
+enum class ResetPolicy {
+  kOnExecution,      // §4.2 default
+  kOnConsideration,  // footnote 8 alternative
+};
+
+/// Environment handed to an external procedure (§5.2): it may query the
+/// current state (with the triggering rule's transition tables in scope)
+/// and run DML whose effects become part of the rule's transition.
+class ProcedureContext {
+ public:
+  ProcedureContext(Executor* executor, TransInfo* accumulate,
+                   const std::string& rule)
+      : executor_(executor), accumulate_(accumulate), rule_(rule) {}
+
+  /// Runs a select; transition tables of the invoking rule are visible.
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Runs insert/delete/update statements; their affected sets fold into
+  /// the invoking rule's action transition (so they trigger other rules
+  /// exactly like inline action operations).
+  Status Execute(const std::string& sql);
+
+  /// Name of the invoking rule.
+  const std::string& rule() const { return rule_; }
+
+ private:
+  Executor* executor_;
+  TransInfo* accumulate_;
+  std::string rule_;
+};
+
+/// An external procedure callable from a rule action via `call <name>`.
+using ProcedureFn = std::function<Status(ProcedureContext&)>;
+
+/// One rule-condition evaluation, in order (for example traces).
+struct Consideration {
+  std::string rule;
+  bool condition_held = false;
+};
+
+/// One executed rule action.
+struct RuleFiring {
+  std::string rule;
+  /// Value-carrying effect of the action's transition (for traces).
+  TransInfo effect;
+  /// True when the action ran as a separate (detached) transaction.
+  bool detached = false;
+};
+
+/// What happened during one transaction's rule processing.
+struct ExecutionTrace {
+  std::vector<Consideration> considered;
+  std::vector<RuleFiring> firings;
+  /// Result sets of top-level select operations (in the external block
+  /// and in rule actions, in execution order).
+  std::vector<QueryResult> retrieved;
+  bool rolled_back = false;
+  std::string rollback_rule;  // set when a rule's rollback action fired
+  /// Errors from detached actions (their own transactions rolled back;
+  /// the triggering transaction stayed committed).
+  std::vector<std::string> detached_errors;
+};
+
+/// The production rule system of the paper: rule registry, priorities,
+/// and the §4 execution semantics. A transaction is one external
+/// operation block followed by rule processing to quiescence (or
+/// rollback); the §5.3 extension exposes explicit Begin / RunOps /
+/// ProcessRules / Commit for user-defined rule triggering points.
+class RuleEngine {
+ public:
+  explicit RuleEngine(Database* db, RuleEngineOptions options = {});
+  RuleEngine(const RuleEngine&) = delete;
+  RuleEngine& operator=(const RuleEngine&) = delete;
+
+  const RuleEngineOptions& options() const { return options_; }
+
+  // --- Rule DDL (only between transactions) ---
+  Status DefineRule(std::shared_ptr<const CreateRuleStmt> def);
+  Status DropRule(const std::string& name);
+  /// `create rule priority higher before lower`; both must exist and the
+  /// pair must not create a cycle.
+  Status AddPriority(const std::string& higher, const std::string& lower);
+  /// Extension: temporarily deactivate/reactivate a rule.
+  Status SetRuleEnabled(const std::string& name, bool enabled);
+  Result<bool> IsRuleEnabled(const std::string& name) const;
+  /// Footnote 8: per-rule choice of re-triggering semantics.
+  Status SetResetPolicy(const std::string& name, ResetPolicy policy);
+  /// §5.3: "the ability to specify that a rule's action should be
+  /// executed in a separate transaction". A detached rule's action is
+  /// queued when its condition holds and runs as its own transaction
+  /// AFTER the triggering transaction commits; a failure or rollback in
+  /// the detached action does not undo the triggering transaction.
+  /// Rollback-action rules cannot be detached.
+  Status SetDetached(const std::string& name, bool detached);
+  /// §5.2: registers an external procedure callable via `call <name>` in
+  /// rule actions. Fails on duplicate names.
+  Status RegisterProcedure(const std::string& name, ProcedureFn fn);
+
+  std::vector<std::string> RuleNames() const;
+  Result<const Rule*> GetRule(const std::string& name) const;
+  size_t num_rules() const { return rules_.size(); }
+  const PriorityGraph& priorities() const { return priorities_; }
+
+  // --- Transactions ---
+  /// Convenience: Begin + RunOps + Commit as a single transaction.
+  Result<ExecutionTrace> ExecuteBlock(const std::vector<const Stmt*>& ops);
+
+  Status Begin();
+  /// Executes operations of the external block, accumulating their
+  /// composite effect; rules are not yet considered. Failure of any
+  /// operation aborts (rolls back) the whole transaction.
+  Status RunOps(const std::vector<const Stmt*>& ops,
+                ExecutionTrace* trace = nullptr);
+  /// §5.3 rule triggering point: the externally-generated transition so
+  /// far is considered complete and rules are processed to quiescence.
+  Status ProcessRules(ExecutionTrace* trace);
+  /// Processes rules, then commits.
+  Status Commit(ExecutionTrace* trace);
+  /// Aborts the transaction, undoing everything since Begin.
+  Status RollbackTransaction();
+  bool in_transaction() const { return in_txn_; }
+
+  /// Total rule firings across all transactions (for benchmarks).
+  uint64_t total_firings() const { return total_firings_; }
+
+ private:
+  struct RuleState {
+    std::shared_ptr<Rule> rule;
+    uint64_t creation_seq = 0;
+    bool enabled = true;
+    // kPerRule mode: eagerly maintained composite info + its effect.
+    TransInfo info;
+    TransitionEffect effect;
+    // kSharedLog mode: compose log_[log_start..) lazily with a cache
+    // (only used once the rule has fired; before that the engine's
+    // global composite applies).
+    size_t log_start = 0;
+    TransInfo cached;
+    TransitionEffect cached_effect;
+    size_t cached_upto = 0;
+    uint64_t last_considered = 0;
+    bool considered_in_state = false;
+    ResetPolicy reset_policy = ResetPolicy::kOnExecution;
+    bool detached = false;
+  };
+
+  /// A detached action waiting for the triggering transaction to commit:
+  /// the rule plus a snapshot of its transition tables at deferral time.
+  struct DeferredFiring {
+    RuleState* state = nullptr;
+    TransInfo info;
+  };
+
+  RuleState* FindState(const std::string& name);
+  const RuleState* FindState(const std::string& name) const;
+
+  /// Composite info plus its projected effect for a rule. In kSharedLog
+  /// mode, rules that have not fired this transaction all share one
+  /// global composite (they would compose the identical log suffix), so
+  /// idle rules cost O(1) per transition — the optimization the paper
+  /// calls for in §4.3.
+  struct InfoView {
+    const TransInfo* info = nullptr;
+    const TransitionEffect* effect = nullptr;
+  };
+  InfoView ViewFor(RuleState* state);
+
+  /// Folds a completed transition into every rule's info. `source` is the
+  /// rule whose action produced it (nullptr for external transitions);
+  /// per Figure 1 the source rule's info is *reset* to just this
+  /// transition while all others compose.
+  void PropagateTransition(const TransInfo& transition, RuleState* source);
+
+  /// The select-eligible-rule loop of Figure 1 plus action execution.
+  Status RunRuleLoop(ExecutionTrace* trace);
+
+  /// Executes one rule's action operations against `info`'s transition
+  /// tables, folding affected sets into `out`.
+  Status ExecuteAction(const Rule& rule, const TransInfo& info,
+                       TransInfo* out, ExecutionTrace* trace);
+
+  /// Runs queued detached actions, each as its own transaction.
+  Status RunDeferred(ExecutionTrace* trace);
+
+  Status AbortTransaction();
+
+  /// Resets a rule's composite info to "nothing yet" (used by the
+  /// kOnConsideration policy).
+  void ResetInfo(RuleState* state);
+
+  Database* db_;
+  RuleEngineOptions options_;
+  std::vector<std::unique_ptr<RuleState>> rules_;
+  std::map<std::string, ProcedureFn> procedures_;
+  PriorityGraph priorities_;
+  uint64_t next_creation_seq_ = 0;
+
+  // Transaction state.
+  bool in_txn_ = false;
+  UndoLog::Mark txn_start_mark_ = 0;
+  TransInfo pending_block_;
+  std::vector<TransInfo> log_;  // kSharedLog: transitions this txn
+  TransInfo global_composite_;  // kSharedLog: composition of all of log_
+  TransitionEffect global_effect_;
+  std::vector<DeferredFiring> deferred_;
+  size_t detached_depth_ = 0;
+  size_t detached_runs_ = 0;
+  size_t txn_firings_ = 0;
+  uint64_t consider_tick_ = 0;
+  uint64_t total_firings_ = 0;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_RULE_ENGINE_H_

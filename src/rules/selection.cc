@@ -1,0 +1,109 @@
+#include "rules/selection.h"
+
+namespace sopr {
+
+const char* TieBreakName(TieBreak tie_break) {
+  switch (tie_break) {
+    case TieBreak::kCreationOrder:
+      return "creation-order";
+    case TieBreak::kLeastRecentlyConsidered:
+      return "least-recently-considered";
+    case TieBreak::kMostRecentlyConsidered:
+      return "most-recently-considered";
+  }
+  return "?";
+}
+
+Status PriorityGraph::AddEdge(const std::string& higher,
+                              const std::string& lower) {
+  if (higher == lower) {
+    return Status::InvalidArgument("rule priority cycle: " + higher +
+                                   " before itself");
+  }
+  if (Reachable(lower, higher)) {
+    return Status::InvalidArgument("rule priority cycle: " + lower +
+                                   " already precedes " + higher);
+  }
+  below_[higher].insert(lower);
+  return Status::OK();
+}
+
+void PriorityGraph::RemoveRule(const std::string& rule) {
+  below_.erase(rule);
+  for (auto& [name, lowers] : below_) {
+    (void)name;
+    lowers.erase(rule);
+  }
+}
+
+bool PriorityGraph::Reachable(const std::string& from,
+                              const std::string& to) const {
+  if (from == to) return true;
+  auto it = below_.find(from);
+  if (it == below_.end()) return false;
+  for (const std::string& next : it->second) {
+    if (Reachable(next, to)) return true;
+  }
+  return false;
+}
+
+bool PriorityGraph::Higher(const std::string& a, const std::string& b) const {
+  if (a == b) return false;
+  auto it = below_.find(a);
+  if (it == below_.end()) return false;
+  for (const std::string& next : it->second) {
+    if (next == b || Reachable(next, b)) return true;
+  }
+  return false;
+}
+
+size_t PriorityGraph::num_edges() const {
+  size_t n = 0;
+  for (const auto& [name, lowers] : below_) {
+    (void)name;
+    n += lowers.size();
+  }
+  return n;
+}
+
+int SelectRule(const std::vector<SelectionCandidate>& candidates,
+               const PriorityGraph& priorities, TieBreak tie_break) {
+  int best = -1;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    // Skip candidates dominated by another triggered candidate.
+    bool dominated = false;
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (i != j && priorities.Higher(candidates[j].name, candidates[i].name)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    if (best < 0) {
+      best = static_cast<int>(i);
+      continue;
+    }
+    const SelectionCandidate& cur = candidates[i];
+    const SelectionCandidate& b = candidates[static_cast<size_t>(best)];
+    bool better = false;
+    switch (tie_break) {
+      case TieBreak::kCreationOrder:
+        better = cur.creation_seq < b.creation_seq;
+        break;
+      case TieBreak::kLeastRecentlyConsidered:
+        better = cur.last_considered != b.last_considered
+                     ? cur.last_considered < b.last_considered
+                     : cur.creation_seq < b.creation_seq;
+        break;
+      case TieBreak::kMostRecentlyConsidered:
+        better = cur.last_considered != b.last_considered
+                     ? cur.last_considered > b.last_considered
+                     : cur.creation_seq < b.creation_seq;
+        break;
+    }
+    if (better) best = static_cast<int>(i);
+  }
+  return best;
+}
+
+}  // namespace sopr

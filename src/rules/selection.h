@@ -1,0 +1,64 @@
+#ifndef SOPR_RULES_SELECTION_H_
+#define SOPR_RULES_SELECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sopr {
+
+/// Tie-breaking strategy applied among triggered rules that are maximal
+/// in the priority partial order (§4.4 discusses all three).
+enum class TieBreak {
+  kCreationOrder,             // deterministic: oldest definition first
+  kLeastRecentlyConsidered,   // prefer rules considered least recently
+  kMostRecentlyConsidered,    // prefer rules considered most recently
+};
+
+const char* TieBreakName(TieBreak tie_break);
+
+/// The user-declared partial order on rules: `create rule priority A
+/// before B` adds the pair A > B. Any acyclic set of pairs induces a
+/// strict partial order (§4.4); cycles are rejected at definition time.
+class PriorityGraph {
+ public:
+  /// Adds higher > lower. Fails if it would create a cycle (including
+  /// higher == lower).
+  Status AddEdge(const std::string& higher, const std::string& lower);
+
+  /// Removes every pair mentioning `rule` (used by drop rule).
+  void RemoveRule(const std::string& rule);
+
+  /// True if `a` is strictly higher than `b` (transitively).
+  bool Higher(const std::string& a, const std::string& b) const;
+
+  /// Number of declared (direct) pairs.
+  size_t num_edges() const;
+
+ private:
+  bool Reachable(const std::string& from, const std::string& to) const;
+
+  std::map<std::string, std::set<std::string>> below_;  // direct edges
+};
+
+/// Per-rule bookkeeping the selector needs.
+struct SelectionCandidate {
+  std::string name;
+  uint64_t creation_seq = 0;
+  uint64_t last_considered = 0;  // 0 = never considered this transaction
+};
+
+/// Picks the next rule from `candidates` (all triggered): a rule with no
+/// strictly-higher triggered rule, tie-broken per `tie_break` and finally
+/// by creation order for determinism. Returns the index into
+/// `candidates`, or -1 if empty.
+int SelectRule(const std::vector<SelectionCandidate>& candidates,
+               const PriorityGraph& priorities, TieBreak tie_break);
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_SELECTION_H_

@@ -1,0 +1,38 @@
+#include "rules/trace_format.h"
+
+#include "query/result_set.h"
+
+namespace sopr {
+
+std::string FormatTrace(const ExecutionTrace& trace,
+                        const TraceFormatOptions& options) {
+  std::string out;
+  if (options.show_considered) {
+    for (const Consideration& c : trace.considered) {
+      out += options.indent + "considered " + c.rule + ": condition " +
+             (c.condition_held ? "held" : "false") + "\n";
+    }
+  }
+  if (options.show_firings) {
+    for (const RuleFiring& f : trace.firings) {
+      out += options.indent + "fired " + f.rule;
+      if (f.detached) out += " [detached]";
+      out += ": " + f.effect.ToEffect().ToString() + "\n";
+    }
+  }
+  if (options.show_retrieved) {
+    for (const QueryResult& r : trace.retrieved) {
+      out += FormatResult(r);
+    }
+  }
+  for (const std::string& error : trace.detached_errors) {
+    out += options.indent + "detached action failed: " + error + "\n";
+  }
+  if (trace.rolled_back) {
+    out += options.indent + "ROLLED BACK by rule " + trace.rollback_rule +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace sopr

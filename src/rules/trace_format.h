@@ -1,0 +1,29 @@
+#ifndef SOPR_RULES_TRACE_FORMAT_H_
+#define SOPR_RULES_TRACE_FORMAT_H_
+
+#include <string>
+
+#include "rules/rule_engine.h"
+
+namespace sopr {
+
+/// Options for rendering an ExecutionTrace.
+struct TraceFormatOptions {
+  bool show_considered = true;   // condition evaluations in order
+  bool show_firings = true;      // executed actions with their effects
+  bool show_retrieved = false;   // result sets retrieved by select ops
+  std::string indent = "  ";
+};
+
+/// Renders a trace as human-readable lines, e.g.:
+///   considered salary_guard: condition held
+///   fired salary_guard: emp: I={} D={6} U={}
+///   fired mgr_cascade [detached]: ...
+///   ROLLED BACK by rule capacity
+/// Used by the shell, examples, and the experiment harness.
+std::string FormatTrace(const ExecutionTrace& trace,
+                        const TraceFormatOptions& options = {});
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_TRACE_FORMAT_H_

@@ -1,0 +1,127 @@
+#include "rules/trans_info.h"
+
+namespace sopr {
+
+bool TransInfo::Empty() const {
+  for (const auto& [name, info] : tables_) {
+    (void)name;
+    if (!info.Empty()) return false;
+  }
+  return true;
+}
+
+const TableTransInfo& TransInfo::ForTable(const std::string& table) const {
+  static const TableTransInfo* kEmpty = new TableTransInfo();
+  auto it = tables_.find(table);
+  return it == tables_.end() ? *kEmpty : it->second;
+}
+
+void TransInfo::ApplyOp(const DmlEffect& op) {
+  TableTransInfo& t = tables_[op.table];
+
+  // Inserts: new handles, cannot collide with anything existing.
+  for (TupleHandle h : op.inserted) t.ins.insert(h);
+
+  // Deletes (paper: an insert followed by a delete is not considered at
+  // all; an update followed by a delete is a delete with the pre-update
+  // value).
+  for (const auto& [h, old_row] : op.deleted) {
+    t.sel.erase(h);
+    if (t.ins.count(h) > 0) {
+      t.ins.erase(h);
+      continue;
+    }
+    auto upd_it = t.upd.find(h);
+    if (upd_it != t.upd.end()) {
+      t.del.emplace(h, std::move(upd_it->second.old_row));
+      t.upd.erase(upd_it);
+    } else {
+      t.del.emplace(h, old_row);
+    }
+  }
+
+  // Updates (paper: insert-then-update is an insertion of the updated
+  // tuple; update-then-update keeps the first pre-image and unions the
+  // columns).
+  for (const DmlEffect::UpdatedTuple& u : op.updated) {
+    if (t.ins.count(u.handle) > 0) continue;
+    auto it = t.upd.find(u.handle);
+    if (it != t.upd.end()) {
+      it->second.columns.insert(u.columns.begin(), u.columns.end());
+    } else {
+      TableTransInfo::UpdInfo info;
+      info.columns.insert(u.columns.begin(), u.columns.end());
+      info.old_row = u.old_row;
+      t.upd.emplace(u.handle, std::move(info));
+    }
+  }
+}
+
+void TransInfo::ApplySelect(const std::vector<SelectedTuple>& selected) {
+  for (const SelectedTuple& s : selected) {
+    tables_[s.table].sel.insert(s.handle);
+  }
+}
+
+void TransInfo::Compose(const TransInfo& later) {
+  for (const auto& [name, l] : later.tables_) {
+    TableTransInfo& t = tables_[name];
+
+    for (TupleHandle h : l.ins) t.ins.insert(h);
+
+    for (const auto& [h, row] : l.del) {
+      t.sel.erase(h);
+      if (t.ins.count(h) > 0) {
+        // Inserted earlier in this composite transition, deleted now:
+        // net effect is nothing.
+        t.ins.erase(h);
+        continue;
+      }
+      auto upd_it = t.upd.find(h);
+      if (upd_it != t.upd.end()) {
+        // Figure 1 get-old-value: the tuple was updated earlier in this
+        // composite transition, so its pre-transition value is the one
+        // recorded in upd, not the value it had when `later` deleted it.
+        t.del.emplace(h, std::move(upd_it->second.old_row));
+        t.upd.erase(upd_it);
+      } else {
+        t.del.emplace(h, row);
+      }
+    }
+
+    for (const auto& [h, u] : l.upd) {
+      if (t.ins.count(h) > 0) continue;
+      auto it = t.upd.find(h);
+      if (it != t.upd.end()) {
+        it->second.columns.insert(u.columns.begin(), u.columns.end());
+      } else {
+        // Untouched by this info before `later`, so u.old_row (the value
+        // at the start of `later`) is also the pre-composite value.
+        t.upd.emplace(h, u);
+      }
+    }
+
+    for (TupleHandle h : l.sel) t.sel.insert(h);
+  }
+}
+
+TransitionEffect TransInfo::ToEffect() const {
+  TransitionEffect effect;
+  for (const auto& [name, t] : tables_) {
+    if (t.Empty()) continue;
+    TableEffect e;
+    e.inserted = t.ins;
+    for (const auto& [h, row] : t.del) {
+      (void)row;
+      e.deleted.insert(h);
+    }
+    for (const auto& [h, u] : t.upd) {
+      e.updated.emplace(h, u.columns);
+    }
+    e.selected = t.sel;
+    effect.tables.emplace(name, std::move(e));
+  }
+  return effect;
+}
+
+}  // namespace sopr

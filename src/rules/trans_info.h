@@ -1,0 +1,85 @@
+#ifndef SOPR_RULES_TRANS_INFO_H_
+#define SOPR_RULES_TRANS_INFO_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "query/executor.h"
+#include "rules/effect.h"
+#include "storage/tuple_handle.h"
+#include "types/row.h"
+
+namespace sopr {
+
+/// Per-table slice of a rule's composite transition information — the
+/// `[ins, del, upd]` triple of the Figure 1 algorithm, with the meanings:
+///   * `ins` — handles of inserted tuples (current values live in the DB);
+///   * `del` — deleted tuples with their full pre-transition values;
+///   * `upd` — updated tuples: the set of updated columns plus the value
+///     of the *whole tuple* at the start of the composite transition
+///     (the paper's (h, c, v) triples all share one v per handle).
+struct TableTransInfo {
+  struct UpdInfo {
+    std::set<size_t> columns;
+    Row old_row;
+    bool operator==(const UpdInfo& other) const = default;
+  };
+
+  std::set<TupleHandle> ins;
+  std::map<TupleHandle, Row> del;
+  std::map<TupleHandle, UpdInfo> upd;
+  std::set<TupleHandle> sel;  // §5.1 extension
+
+  bool Empty() const {
+    return ins.empty() && del.empty() && upd.empty() && sel.empty();
+  }
+  bool operator==(const TableTransInfo& other) const = default;
+};
+
+/// Composite transition information across all tables. This structure
+/// plays two roles, mirroring the paper:
+///   1. accumulated *within* an operation block, by folding each
+///      operation's affected set (`ApplyOp`, the inductive definition of
+///      E(B) in §2.2, with values captured at mutation time as the paper
+///      suggests in §4.3);
+///   2. maintained *between* transitions per rule (`Compose`, the
+///      modify-trans-info function of Figure 1).
+class TransInfo {
+ public:
+  bool Empty() const;
+
+  const std::map<std::string, TableTransInfo>& tables() const {
+    return tables_;
+  }
+  const TableTransInfo& ForTable(const std::string& table) const;
+
+  /// Folds one operation's affected set into this info (within-block
+  /// composition). `op.deleted` / `op.updated` carry pre-operation values
+  /// captured by the executor.
+  void ApplyOp(const DmlEffect& op);
+
+  /// Records tuples read by a select operation (§5.1 extension).
+  void ApplySelect(const std::vector<SelectedTuple>& selected);
+
+  /// Figure 1 modify-trans-info: folds the info of a *later* indivisible
+  /// transition into this one (Definition 2.1 lifted to carried values).
+  void Compose(const TransInfo& later);
+
+  /// Projects out the pure [I, D, U, S] handle sets for transition
+  /// predicate evaluation.
+  TransitionEffect ToEffect() const;
+
+  void Clear() { tables_.clear(); }
+
+  bool operator==(const TransInfo& other) const {
+    return tables_ == other.tables_;
+  }
+
+ private:
+  std::map<std::string, TableTransInfo> tables_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_TRANS_INFO_H_

@@ -1,0 +1,91 @@
+#include "rules/transition_tables.h"
+
+#include "common/string_util.h"
+#include "rules/rule.h"
+
+namespace sopr {
+
+Result<const TableSchema*> TransitionTableResolver::ResolveSchema(
+    const TableRef& ref) {
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  return &table->schema();
+}
+
+Result<Relation> TransitionTableResolver::ResolveEq(const TableRef& ref,
+                                                    size_t column,
+                                                    const Value& value) {
+  if (ref.kind == TableRefKind::kBase) {
+    return base_.ResolveEq(ref, column, value);
+  }
+  return Resolve(ref);
+}
+
+Result<Relation> TransitionTableResolver::Resolve(const TableRef& ref) {
+  if (ref.kind == TableRefKind::kBase) return base_.Resolve(ref);
+
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  const TableSchema& schema = table->schema();
+  const TableTransInfo& info = info_->ForTable(ToLower(ref.table));
+
+  // Column filter for `[old|new] updated t.c`.
+  size_t column_filter = ResolvedTransPred::kAnyColumn;
+  if (!ref.column.empty()) {
+    auto idx = schema.FindColumn(ref.column);
+    if (!idx) {
+      return Status::CatalogError("no column " + ref.column + " in table " +
+                                  ref.table);
+    }
+    column_filter = *idx;
+  }
+
+  Relation rel;
+  rel.schema = &schema;
+
+  switch (ref.kind) {
+    case TableRefKind::kInserted:
+      for (TupleHandle h : info.ins) {
+        SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
+        rel.handles.push_back(h);
+        rel.rows.push_back(*row);
+      }
+      break;
+
+    case TableRefKind::kDeleted:
+      for (const auto& [h, old_row] : info.del) {
+        rel.handles.push_back(h);
+        rel.rows.push_back(old_row);
+      }
+      break;
+
+    case TableRefKind::kOldUpdated:
+    case TableRefKind::kNewUpdated:
+      for (const auto& [h, upd] : info.upd) {
+        if (column_filter != ResolvedTransPred::kAnyColumn &&
+            upd.columns.count(column_filter) == 0) {
+          continue;
+        }
+        rel.handles.push_back(h);
+        if (ref.kind == TableRefKind::kOldUpdated) {
+          rel.rows.push_back(upd.old_row);
+        } else {
+          SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
+          rel.rows.push_back(*row);
+        }
+      }
+      break;
+
+    case TableRefKind::kSelectedTt:
+      for (TupleHandle h : info.sel) {
+        SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
+        rel.handles.push_back(h);
+        rel.rows.push_back(*row);
+      }
+      break;
+
+    case TableRefKind::kBase:
+      return Status::Internal("unreachable");
+  }
+  return rel;
+}
+
+}  // namespace sopr

@@ -1,0 +1,39 @@
+#ifndef SOPR_RULES_TRANSITION_TABLES_H_
+#define SOPR_RULES_TRANSITION_TABLES_H_
+
+#include "query/executor.h"
+#include "rules/trans_info.h"
+#include "storage/database.h"
+
+namespace sopr {
+
+/// Resolves FROM items inside a rule's condition/action: base tables come
+/// from the database, transition tables (§3) are materialized from the
+/// rule's composite transition information:
+///   * `inserted t`      — current values of tuples in info.ins;
+///   * `deleted t`       — pre-transition values stored in info.del;
+///   * `old updated t.c` — pre-transition values from info.upd, filtered
+///                         to tuples whose column c was updated;
+///   * `new updated t.c` — current values of the same tuples;
+///   * `selected t`      — current values of tuples in info.sel (§5.1).
+class TransitionTableResolver : public TableResolver {
+ public:
+  TransitionTableResolver(const Database* db, const TransInfo* info)
+      : db_(db), base_(db), info_(info) {}
+
+  Result<Relation> Resolve(const TableRef& ref) override;
+  Result<const TableSchema*> ResolveSchema(const TableRef& ref) override;
+  /// Base tables use the database's equality indexes; transition tables
+  /// ignore the hint (they are already small).
+  Result<Relation> ResolveEq(const TableRef& ref, size_t column,
+                             const Value& value) override;
+
+ private:
+  const Database* db_;
+  DatabaseResolver base_;
+  const TransInfo* info_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_RULES_TRANSITION_TABLES_H_

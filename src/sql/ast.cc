@@ -1,0 +1,273 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+std::string UnaryExpr::ToString() const {
+  if (op == UnaryOp::kNot) return "not (" + operand->ToString() + ")";
+  return "-(" + operand->ToString() + ")";
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left->ToString() + " " + BinaryOpName(op) + " " +
+         right->ToString() + ")";
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = operand->ToString();
+  out += negated ? " not in (" : " in (";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+InSubqueryExpr::InSubqueryExpr(ExprPtr operand,
+                               std::unique_ptr<SelectStmt> subquery,
+                               bool negated)
+    : Expr(ExprKind::kInSubquery),
+      operand(std::move(operand)),
+      subquery(std::move(subquery)),
+      negated(negated) {}
+
+InSubqueryExpr::~InSubqueryExpr() = default;
+
+std::string InSubqueryExpr::ToString() const {
+  return operand->ToString() + (negated ? " not in (" : " in (") +
+         subquery->ToString() + ")";
+}
+
+ExistsExpr::ExistsExpr(std::unique_ptr<SelectStmt> subquery)
+    : Expr(ExprKind::kExists), subquery(std::move(subquery)) {}
+
+ExistsExpr::~ExistsExpr() = default;
+
+std::string ExistsExpr::ToString() const {
+  return "exists (" + subquery->ToString() + ")";
+}
+
+ScalarSubqueryExpr::ScalarSubqueryExpr(std::unique_ptr<SelectStmt> subquery)
+    : Expr(ExprKind::kScalarSubquery), subquery(std::move(subquery)) {}
+
+ScalarSubqueryExpr::~ScalarSubqueryExpr() = default;
+
+std::string ScalarSubqueryExpr::ToString() const {
+  return "(" + subquery->ToString() + ")";
+}
+
+std::string AggregateExpr::ToString() const {
+  std::string out = AggFuncName(func);
+  out += "(";
+  if (distinct) out += "distinct ";
+  out += argument ? argument->ToString() : "*";
+  out += ")";
+  return out;
+}
+
+std::string IsNullExpr::ToString() const {
+  return operand->ToString() + (negated ? " is not null" : " is null");
+}
+
+std::string BetweenExpr::ToString() const {
+  return operand->ToString() + (negated ? " not between " : " between ") +
+         low->ToString() + " and " + high->ToString();
+}
+
+std::string TableRef::ToString() const {
+  std::string out;
+  switch (kind) {
+    case TableRefKind::kBase:
+      out = table;
+      break;
+    case TableRefKind::kInserted:
+      out = "inserted " + table;
+      break;
+    case TableRefKind::kDeleted:
+      out = "deleted " + table;
+      break;
+    case TableRefKind::kOldUpdated:
+      out = "old updated " + table;
+      if (!column.empty()) out += "." + column;
+      break;
+    case TableRefKind::kNewUpdated:
+      out = "new updated " + table;
+      if (!column.empty()) out += "." + column;
+      break;
+    case TableRefKind::kSelectedTt:
+      out = "selected " + table;
+      if (!column.empty()) out += "." + column;
+      break;
+  }
+  if (!alias.empty()) out += " " + alias;
+  return out;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "select ";
+  if (distinct) out += "distinct ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (items[i].star) {
+      out += "*";
+    } else {
+      out += items[i].expr->ToString();
+      if (!items[i].alias.empty()) out += " as " + items[i].alias;
+    }
+  }
+  out += " from ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].ToString();
+  }
+  if (where) out += " where " + where->ToString();
+  if (!group_by.empty()) {
+    out += " group by ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having) out += " having " + having->ToString();
+  if (!order_by.empty()) {
+    out += " order by ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (!order_by[i].ascending) out += " desc";
+    }
+  }
+  return out;
+}
+
+std::string InsertStmt::ToString() const {
+  std::string out = "insert into " + table;
+  if (select) {
+    out += " (" + select->ToString() + ")";
+    return out;
+  }
+  out += " values ";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) out += ", ";
+    out += "(";
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i > 0) out += ", ";
+      out += rows[r][i]->ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+std::string DeleteStmt::ToString() const {
+  std::string out = "delete from " + table;
+  if (where) out += " where " + where->ToString();
+  return out;
+}
+
+std::string UpdateStmt::ToString() const {
+  std::string out = "update " + table + " set ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].column + " = " + assignments[i].value->ToString();
+  }
+  if (where) out += " where " + where->ToString();
+  return out;
+}
+
+std::string CreateTableStmt::ToString() const {
+  std::string out = "create table " + table + " (";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].first;
+    out += " ";
+    out += ValueTypeName(columns[i].second);
+  }
+  out += ")";
+  return out;
+}
+
+std::string CreateIndexStmt::ToString() const {
+  std::string out = "create index ";
+  if (!name.empty()) out += name + " ";
+  out += "on " + table + " (" + column + ")";
+  return out;
+}
+
+std::string BasicTransPred::ToString() const {
+  switch (kind) {
+    case Kind::kInsertedInto:
+      return "inserted into " + table;
+    case Kind::kDeletedFrom:
+      return "deleted from " + table;
+    case Kind::kUpdated:
+      return column.empty() ? "updated " + table
+                            : "updated " + table + "." + column;
+    case Kind::kSelectedFrom:
+      return column.empty() ? "selected " + table
+                            : "selected " + table + "." + column;
+  }
+  return "?";
+}
+
+std::string CreateRuleStmt::ToString() const {
+  std::string out = "create rule " + name + " when ";
+  for (size_t i = 0; i < when.size(); ++i) {
+    if (i > 0) out += " or ";
+    out += when[i].ToString();
+  }
+  if (condition) out += " if " + condition->ToString();
+  out += " then ";
+  if (action_is_rollback) {
+    out += "rollback";
+  } else {
+    std::vector<std::string> parts;
+    parts.reserve(action.size());
+    for (const auto& stmt : action) parts.push_back(stmt->ToString());
+    out += Join(parts, "; ");
+  }
+  return out;
+}
+
+std::string CreatePriorityStmt::ToString() const {
+  return "create rule priority " + higher + " before " + lower;
+}
+
+std::string DropRuleStmt::ToString() const { return "drop rule " + name; }
+
+std::string DropTableStmt::ToString() const { return "drop table " + table; }
+
+std::string CallStmt::ToString() const { return "call " + procedure; }
+
+}  // namespace sopr

@@ -1,0 +1,411 @@
+#ifndef SOPR_SQL_AST_H_
+#define SOPR_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace sopr {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct SelectStmt;  // forward: subqueries embed selects
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kInList,
+  kInSubquery,
+  kExists,
+  kScalarSubquery,
+  kAggregate,
+  kIsNull,
+  kBetween,
+};
+
+/// Base of all expression nodes. Nodes are immutable after parsing and are
+/// shared by pointer between the statement that owns them and the
+/// evaluator; the owner holds unique_ptrs.
+struct Expr {
+  explicit Expr(ExprKind kind) : kind(kind) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  /// Round-trippable SQL-ish rendering (for traces/tests).
+  virtual std::string ToString() const = 0;
+
+  const ExprKind kind;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct LiteralExpr : Expr {
+  explicit LiteralExpr(Value v) : Expr(ExprKind::kLiteral), value(std::move(v)) {}
+  std::string ToString() const override { return value.ToString(); }
+
+  Value value;
+};
+
+/// `salary`, `e1.salary`, `t.*` is not an expression (handled in select
+/// lists separately).
+struct ColumnRefExpr : Expr {
+  ColumnRefExpr(std::string qualifier, std::string column)
+      : Expr(ExprKind::kColumnRef),
+        qualifier(std::move(qualifier)),
+        column(std::move(column)) {}
+  std::string ToString() const override {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+
+  std::string qualifier;  // table name or alias; may be empty
+  std::string column;
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+struct UnaryExpr : Expr {
+  UnaryExpr(UnaryOp op, ExprPtr operand)
+      : Expr(ExprKind::kUnary), op(op), operand(std::move(operand)) {}
+  std::string ToString() const override;
+
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+struct BinaryExpr : Expr {
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : Expr(ExprKind::kBinary),
+        op(op),
+        left(std::move(left)),
+        right(std::move(right)) {}
+  std::string ToString() const override;
+
+  BinaryOp op;
+  ExprPtr left;
+  ExprPtr right;
+};
+
+/// `x in (1, 2, 3)` / `x not in (...)`.
+struct InListExpr : Expr {
+  InListExpr(ExprPtr operand, std::vector<ExprPtr> items, bool negated)
+      : Expr(ExprKind::kInList),
+        operand(std::move(operand)),
+        items(std::move(items)),
+        negated(negated) {}
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  std::vector<ExprPtr> items;
+  bool negated;
+};
+
+/// `x in (select ...)` / `x not in (select ...)`.
+struct InSubqueryExpr : Expr {
+  InSubqueryExpr(ExprPtr operand, std::unique_ptr<SelectStmt> subquery,
+                 bool negated);
+  ~InSubqueryExpr() override;
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  std::unique_ptr<SelectStmt> subquery;
+  bool negated;
+};
+
+/// `exists (select ...)` / `not exists (...)` is parsed as kNot of this.
+struct ExistsExpr : Expr {
+  explicit ExistsExpr(std::unique_ptr<SelectStmt> subquery);
+  ~ExistsExpr() override;
+  std::string ToString() const override;
+
+  std::unique_ptr<SelectStmt> subquery;
+};
+
+/// `(select ...)` used as a scalar: must yield ≤1 row, 1 column; empty →
+/// NULL.
+struct ScalarSubqueryExpr : Expr {
+  explicit ScalarSubqueryExpr(std::unique_ptr<SelectStmt> subquery);
+  ~ScalarSubqueryExpr() override;
+  std::string ToString() const override;
+
+  std::unique_ptr<SelectStmt> subquery;
+};
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+/// `sum(salary)`, `count(*)` (argument == nullptr), `count(distinct x)`.
+struct AggregateExpr : Expr {
+  AggregateExpr(AggFunc func, ExprPtr argument, bool distinct)
+      : Expr(ExprKind::kAggregate),
+        func(func),
+        argument(std::move(argument)),
+        distinct(distinct) {}
+  std::string ToString() const override;
+
+  AggFunc func;
+  ExprPtr argument;  // nullptr for count(*)
+  bool distinct;
+};
+
+struct IsNullExpr : Expr {
+  IsNullExpr(ExprPtr operand, bool negated)
+      : Expr(ExprKind::kIsNull), operand(std::move(operand)), negated(negated) {}
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  bool negated;
+};
+
+struct BetweenExpr : Expr {
+  BetweenExpr(ExprPtr operand, ExprPtr low, ExprPtr high, bool negated)
+      : Expr(ExprKind::kBetween),
+        operand(std::move(operand)),
+        low(std::move(low)),
+        high(std::move(high)),
+        negated(negated) {}
+  std::string ToString() const override;
+
+  ExprPtr operand;
+  ExprPtr low;
+  ExprPtr high;
+  bool negated;
+};
+
+// ---------------------------------------------------------------------------
+// Table references (FROM items)
+// ---------------------------------------------------------------------------
+
+/// What a FROM item denotes: a stored table or one of the paper's
+/// transition tables (§3).
+enum class TableRefKind {
+  kBase,        // emp
+  kInserted,    // inserted emp
+  kDeleted,     // deleted emp
+  kOldUpdated,  // old updated emp[.salary]
+  kNewUpdated,  // new updated emp[.salary]
+  kSelectedTt,  // selected emp[.salary]   (§5.1 extension)
+};
+
+struct TableRef {
+  TableRefKind kind = TableRefKind::kBase;
+  std::string table;   // underlying table name
+  std::string column;  // only for [old|new] updated t.c / selected t.c
+  std::string alias;   // binding name; defaults to `table` when empty
+
+  /// The name this FROM item is referenced by in expressions.
+  const std::string& binding_name() const {
+    return alias.empty() ? table : alias;
+  }
+
+  std::string ToString() const;
+
+  bool is_transition() const { return kind != TableRefKind::kBase; }
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kSelect,
+  kInsert,
+  kDelete,
+  kUpdate,
+  kCreateTable,
+  kCreateIndex,
+  kCreateRule,
+  kCreatePriority,
+  kDropRule,
+  kDropTable,
+  kCall,
+  kProcessRules,
+  kSetRuleEnabled,
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind kind) : kind(kind) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  virtual std::string ToString() const = 0;
+
+  const StmtKind kind;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One item of a select list: an expression with an optional alias, or the
+/// bare `*` (star == true, expr == nullptr).
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;
+  bool star = false;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt : Stmt {
+  SelectStmt() : Stmt(StmtKind::kSelect) {}
+  std::string ToString() const override;
+
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null
+  std::vector<OrderByItem> order_by;
+};
+
+struct InsertStmt : Stmt {
+  InsertStmt() : Stmt(StmtKind::kInsert) {}
+  std::string ToString() const override;
+
+  std::string table;
+  /// Either one or more literal rows...
+  std::vector<std::vector<ExprPtr>> rows;
+  /// ...or a source query (insert into t (select ...)).
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct DeleteStmt : Stmt {
+  DeleteStmt() : Stmt(StmtKind::kDelete) {}
+  std::string ToString() const override;
+
+  std::string table;
+  ExprPtr where;  // may be null (delete all)
+};
+
+struct UpdateStmt : Stmt {
+  UpdateStmt() : Stmt(StmtKind::kUpdate) {}
+  std::string ToString() const override;
+
+  struct Assignment {
+    std::string column;
+    ExprPtr value;
+  };
+
+  std::string table;
+  std::vector<Assignment> assignments;
+  ExprPtr where;  // may be null (update all)
+};
+
+struct CreateTableStmt : Stmt {
+  CreateTableStmt() : Stmt(StmtKind::kCreateTable) {}
+  std::string ToString() const override;
+
+  std::string table;
+  std::vector<std::pair<std::string, ValueType>> columns;
+};
+
+/// `create index [name] on t (c)` — equality index used by the executor
+/// for `c = literal` predicates.
+struct CreateIndexStmt : Stmt {
+  CreateIndexStmt() : Stmt(StmtKind::kCreateIndex) {}
+  std::string ToString() const override;
+
+  std::string name;  // optional
+  std::string table;
+  std::string column;
+};
+
+/// One basic transition predicate of a rule's `when` list (§3).
+struct BasicTransPred {
+  enum class Kind { kInsertedInto, kDeletedFrom, kUpdated, kSelectedFrom };
+  Kind kind = Kind::kInsertedInto;
+  std::string table;
+  std::string column;  // only for `updated t.c` / `selected t.c`; empty = any
+
+  std::string ToString() const;
+};
+
+struct CreateRuleStmt : Stmt {
+  CreateRuleStmt() : Stmt(StmtKind::kCreateRule) {}
+  std::string ToString() const override;
+
+  std::string name;
+  std::vector<BasicTransPred> when;
+  ExprPtr condition;  // null = `if true`
+  bool action_is_rollback = false;
+  std::vector<StmtPtr> action;  // DML statements; empty iff rollback
+};
+
+/// `create rule priority A before B`.
+struct CreatePriorityStmt : Stmt {
+  CreatePriorityStmt() : Stmt(StmtKind::kCreatePriority) {}
+  std::string ToString() const override;
+
+  std::string higher;  // considered before `lower`
+  std::string lower;
+};
+
+struct DropRuleStmt : Stmt {
+  DropRuleStmt() : Stmt(StmtKind::kDropRule) {}
+  std::string ToString() const override;
+
+  std::string name;
+};
+
+struct DropTableStmt : Stmt {
+  DropTableStmt() : Stmt(StmtKind::kDropTable) {}
+  std::string ToString() const override;
+
+  std::string table;
+};
+
+/// `process rules` — the §5.3 extension at SQL level: inside an
+/// operation-block script it marks a rule triggering point (the
+/// externally-generated transition so far is considered complete and
+/// rules run to quiescence before the block continues).
+struct ProcessRulesStmt : Stmt {
+  ProcessRulesStmt() : Stmt(StmtKind::kProcessRules) {}
+  std::string ToString() const override { return "process rules"; }
+};
+
+/// `activate rule <name>` / `deactivate rule <name>` — temporarily
+/// disable a rule without dropping it.
+struct SetRuleEnabledStmt : Stmt {
+  SetRuleEnabledStmt() : Stmt(StmtKind::kSetRuleEnabled) {}
+  std::string ToString() const override {
+    return (enabled ? "activate rule " : "deactivate rule ") + name;
+  }
+
+  std::string name;
+  bool enabled = true;
+};
+
+/// `call <procedure>` — the §5.2 extension: a rule action may invoke a
+/// registered external procedure. The procedure's database effects (run
+/// through its ProcedureContext) still correspond to a sequence of DML
+/// operations, so rule semantics are unchanged.
+struct CallStmt : Stmt {
+  CallStmt() : Stmt(StmtKind::kCall) {}
+  std::string ToString() const override;
+
+  std::string procedure;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_SQL_AST_H_

@@ -1,0 +1,179 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+char Lexer::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  return i < source_.size() ? source_[i] : '\0';
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    // Skip whitespace and `--` comments.
+    while (!AtEnd()) {
+      if (std::isspace(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      } else if (Peek() == '-' && Peek(1) == '-') {
+        while (!AtEnd() && Peek() != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (AtEnd()) {
+      out.push_back(Token{TokenType::kEof, "", 0, 0.0, pos_});
+      return out;
+    }
+    SOPR_RETURN_NOT_OK(LexOne(&out));
+  }
+}
+
+Status Lexer::LexOne(std::vector<Token>* out) {
+  size_t start = pos_;
+  char c = Peek();
+
+  auto push = [&](TokenType type, size_t len) {
+    out->push_back(Token{type, source_.substr(start, len), 0, 0.0, start});
+    pos_ += len;
+  };
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    size_t len = 0;
+    while (std::isalnum(static_cast<unsigned char>(Peek(len))) ||
+           Peek(len) == '_') {
+      ++len;
+    }
+    std::string word = source_.substr(start, len);
+    std::string lower = ToLower(word);
+    TokenType type = LookupKeyword(lower);
+    out->push_back(Token{type, lower, 0, 0.0, start});
+    pos_ += len;
+    return Status::OK();
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    size_t len = 0;
+    bool is_double = false;
+    while (std::isdigit(static_cast<unsigned char>(Peek(len)))) ++len;
+    if (Peek(len) == '.' &&
+        std::isdigit(static_cast<unsigned char>(Peek(len + 1)))) {
+      is_double = true;
+      ++len;
+      while (std::isdigit(static_cast<unsigned char>(Peek(len)))) ++len;
+    }
+    if (Peek(len) == 'e' || Peek(len) == 'E') {
+      size_t elen = len + 1;
+      if (Peek(elen) == '+' || Peek(elen) == '-') ++elen;
+      if (std::isdigit(static_cast<unsigned char>(Peek(elen)))) {
+        is_double = true;
+        len = elen;
+        while (std::isdigit(static_cast<unsigned char>(Peek(len)))) ++len;
+      }
+    }
+    int64_t scale = 1;
+    size_t suffix = 0;
+    if (Peek(len) == 'K' || Peek(len) == 'k') {
+      scale = 1000;
+      suffix = 1;
+    } else if (Peek(len) == 'M' || Peek(len) == 'm') {
+      // Only treat as magnitude suffix if not the start of an identifier.
+      if (!std::isalnum(static_cast<unsigned char>(Peek(len + 1))) &&
+          Peek(len + 1) != '_') {
+        scale = 1000000;
+        suffix = 1;
+      }
+    }
+    if (suffix == 1 && scale == 1000 &&
+        (std::isalnum(static_cast<unsigned char>(Peek(len + 1))) ||
+         Peek(len + 1) == '_')) {
+      return Status::ParseError("malformed numeric literal at offset " +
+                                std::to_string(start));
+    }
+    std::string lexeme = source_.substr(start, len);
+    Token tok;
+    tok.offset = start;
+    tok.text = lexeme;
+    if (is_double) {
+      tok.type = TokenType::kDoubleLiteral;
+      tok.double_value = std::strtod(lexeme.c_str(), nullptr) *
+                         static_cast<double>(scale);
+    } else {
+      tok.type = TokenType::kIntLiteral;
+      tok.int_value = std::strtoll(lexeme.c_str(), nullptr, 10) * scale;
+    }
+    out->push_back(std::move(tok));
+    pos_ += len + suffix;
+    return Status::OK();
+  }
+
+  if (c == '\'') {
+    std::string text;
+    size_t i = pos_ + 1;
+    while (true) {
+      if (i >= source_.size()) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      if (source_[i] == '\'') {
+        if (i + 1 < source_.size() && source_[i + 1] == '\'') {
+          text += '\'';  // '' escapes a quote
+          i += 2;
+          continue;
+        }
+        break;
+      }
+      text += source_[i];
+      ++i;
+    }
+    out->push_back(Token{TokenType::kStringLiteral, text, 0, 0.0, start});
+    pos_ = i + 1;
+    return Status::OK();
+  }
+
+  switch (c) {
+    case '(': push(TokenType::kLParen, 1); return Status::OK();
+    case ')': push(TokenType::kRParen, 1); return Status::OK();
+    case ',': push(TokenType::kComma, 1); return Status::OK();
+    case ';': push(TokenType::kSemicolon, 1); return Status::OK();
+    case '.': push(TokenType::kDot, 1); return Status::OK();
+    case '*': push(TokenType::kStar, 1); return Status::OK();
+    case '+': push(TokenType::kPlus, 1); return Status::OK();
+    case '-': push(TokenType::kMinus, 1); return Status::OK();
+    case '/': push(TokenType::kSlash, 1); return Status::OK();
+    case '=': push(TokenType::kEq, 1); return Status::OK();
+    case '<':
+      if (Peek(1) == '>') {
+        push(TokenType::kNe, 2);
+      } else if (Peek(1) == '=') {
+        push(TokenType::kLe, 2);
+      } else {
+        push(TokenType::kLt, 1);
+      }
+      return Status::OK();
+    case '>':
+      if (Peek(1) == '=') {
+        push(TokenType::kGe, 2);
+      } else {
+        push(TokenType::kGt, 1);
+      }
+      return Status::OK();
+    case '!':
+      if (Peek(1) == '=') {
+        push(TokenType::kNe, 2);
+        return Status::OK();
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::ParseError("unexpected character '" + std::string(1, c) +
+                            "' at offset " + std::to_string(start));
+}
+
+}  // namespace sopr

@@ -1,0 +1,35 @@
+#ifndef SOPR_SQL_LEXER_H_
+#define SOPR_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace sopr {
+
+/// Hand-written SQL tokenizer. Identifiers and keywords are
+/// case-insensitive; string literals use single quotes with '' escaping;
+/// `--` starts a line comment. Numbers with a '.' or exponent lex as
+/// doubles, otherwise as 64-bit ints. Suffix `K`/`M` on a number scales by
+/// 1e3 / 1e6 — the paper writes salaries as "50K".
+class Lexer {
+ public:
+  explicit Lexer(std::string source) : source_(std::move(source)) {}
+
+  /// Tokenizes the whole input; the final token is always kEof.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Status LexOne(std::vector<Token>* out);
+  char Peek(size_t ahead = 0) const;
+  bool AtEnd() const { return pos_ >= source_.size(); }
+
+  std::string source_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_SQL_LEXER_H_

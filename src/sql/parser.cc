@@ -1,0 +1,752 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace sopr {
+
+namespace {
+
+/// Column type names accepted by `create table`. These are ordinary
+/// identifiers, not keywords.
+Result<ValueType> ParseTypeName(const std::string& name) {
+  if (name == "int" || name == "integer" || name == "bigint") {
+    return ValueType::kInt;
+  }
+  if (name == "double" || name == "float" || name == "real" ||
+      name == "numeric" || name == "decimal") {
+    return ValueType::kDouble;
+  }
+  if (name == "string" || name == "varchar" || name == "text" ||
+      name == "char") {
+    return ValueType::kString;
+  }
+  if (name == "bool" || name == "boolean") {
+    return ValueType::kBool;
+  }
+  return Status::ParseError("unknown column type: " + name);
+}
+
+bool IsDmlStart(TokenType type) {
+  return type == TokenType::kInsert || type == TokenType::kDelete ||
+         type == TokenType::kUpdate || type == TokenType::kSelect ||
+         type == TokenType::kCall;
+}
+
+/// Statements that may appear inside a rule action's op-block do NOT
+/// include `process rules` (a triggering point inside an action has no
+/// defined semantics), so the greedy action parse stops before it.
+
+}  // namespace
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // EOF token
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenType type) {
+  if (Check(type)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenType type, const char* context) {
+  if (Match(type)) return Status::OK();
+  return ErrorHere(std::string("expected ") + TokenTypeName(type) + " in " +
+                   context + ", got '" + Peek().ToString() + "'");
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " (at offset " +
+                            std::to_string(Peek().offset) + ")");
+}
+
+Result<std::vector<StmtPtr>> Parser::ParseScript(const std::string& sql) {
+  Lexer lexer(sql);
+  SOPR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  std::vector<StmtPtr> out;
+  while (!parser.Check(TokenType::kEof)) {
+    SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, parser.ParseOneStatement());
+    out.push_back(std::move(stmt));
+    if (!parser.Match(TokenType::kSemicolon)) break;
+  }
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.ErrorHere("unexpected trailing input");
+  }
+  if (out.empty()) {
+    return Status::ParseError("empty statement");
+  }
+  return out;
+}
+
+Result<StmtPtr> Parser::ParseStatement(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, ParseScript(sql));
+  if (stmts.size() != 1) {
+    return Status::ParseError("expected exactly one statement, got " +
+                              std::to_string(stmts.size()));
+  }
+  return std::move(stmts[0]);
+}
+
+Result<ExprPtr> Parser::ParseExpression(const std::string& sql) {
+  Lexer lexer(sql);
+  SOPR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  SOPR_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  if (!parser.Check(TokenType::kEof)) {
+    return parser.ErrorHere("unexpected trailing input after expression");
+  }
+  return expr;
+}
+
+Result<StmtPtr> Parser::ParseOneStatement() {
+  switch (Peek().type) {
+    case TokenType::kSelect: {
+      SOPR_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect());
+      return StmtPtr(std::move(sel));
+    }
+    case TokenType::kInsert:
+      return ParseInsert();
+    case TokenType::kDelete:
+      return ParseDelete();
+    case TokenType::kUpdate:
+      return ParseUpdate();
+    case TokenType::kCreate:
+      return ParseCreate();
+    case TokenType::kDrop:
+      return ParseDrop();
+    case TokenType::kCall: {
+      Advance();
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected procedure name after 'call'");
+      }
+      auto stmt = std::make_unique<CallStmt>();
+      stmt->procedure = Advance().text;
+      return StmtPtr(std::move(stmt));
+    }
+    case TokenType::kProcess: {
+      Advance();
+      // `process rules` ("rules" lexes as an identifier).
+      if (!Check(TokenType::kIdentifier) || Peek().text != "rules") {
+        return ErrorHere("expected 'rules' after 'process'");
+      }
+      Advance();
+      return StmtPtr(std::make_unique<ProcessRulesStmt>());
+    }
+    case TokenType::kActivate:
+    case TokenType::kDeactivate: {
+      bool enabled = Advance().type == TokenType::kActivate;
+      SOPR_RETURN_NOT_OK(Expect(TokenType::kRule, "activate/deactivate"));
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected rule name");
+      }
+      auto stmt = std::make_unique<SetRuleEnabledStmt>();
+      stmt->enabled = enabled;
+      stmt->name = Advance().text;
+      return StmtPtr(std::move(stmt));
+    }
+    default:
+      return ErrorHere("expected a statement, got '" + Peek().ToString() +
+                       "'");
+  }
+}
+
+Result<std::unique_ptr<SelectStmt>> Parser::ParseSelect() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kSelect, "select"));
+  auto stmt = std::make_unique<SelectStmt>();
+  stmt->distinct = Match(TokenType::kDistinct);
+
+  // Select list: `*` or expr [as alias] (, ...).
+  if (Match(TokenType::kStar)) {
+    SelectItem item;
+    item.star = true;
+    stmt->items.push_back(std::move(item));
+  } else {
+    while (true) {
+      SelectItem item;
+      SOPR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Match(TokenType::kAs)) {
+        if (!Check(TokenType::kIdentifier)) {
+          return ErrorHere("expected alias after 'as'");
+        }
+        item.alias = Advance().text;
+      } else if (Check(TokenType::kIdentifier)) {
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kFrom, "select"));
+  while (true) {
+    SOPR_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+    stmt->from.push_back(std::move(ref));
+    if (!Match(TokenType::kComma)) break;
+  }
+
+  if (Match(TokenType::kWhere)) {
+    SOPR_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (Match(TokenType::kGroup)) {
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kBy, "group by"));
+    while (true) {
+      SOPR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->group_by.push_back(std::move(e));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+  if (Match(TokenType::kHaving)) {
+    SOPR_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (Match(TokenType::kOrder)) {
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kBy, "order by"));
+    while (true) {
+      OrderByItem item;
+      SOPR_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (Match(TokenType::kDesc)) {
+        item.ascending = false;
+      } else {
+        Match(TokenType::kAsc);
+      }
+      stmt->order_by.push_back(std::move(item));
+      if (!Match(TokenType::kComma)) break;
+    }
+  }
+  return stmt;
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  switch (Peek().type) {
+    case TokenType::kInserted:
+      Advance();
+      ref.kind = TableRefKind::kInserted;
+      break;
+    case TokenType::kDeleted:
+      Advance();
+      ref.kind = TableRefKind::kDeleted;
+      break;
+    case TokenType::kOld:
+      Advance();
+      SOPR_RETURN_NOT_OK(Expect(TokenType::kUpdated, "old updated table"));
+      ref.kind = TableRefKind::kOldUpdated;
+      break;
+    case TokenType::kNew:
+      Advance();
+      SOPR_RETURN_NOT_OK(Expect(TokenType::kUpdated, "new updated table"));
+      ref.kind = TableRefKind::kNewUpdated;
+      break;
+    case TokenType::kSelected:
+      Advance();
+      ref.kind = TableRefKind::kSelectedTt;
+      break;
+    default:
+      ref.kind = TableRefKind::kBase;
+      break;
+  }
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name, got '" + Peek().ToString() + "'");
+  }
+  ref.table = Advance().text;
+  // `old updated t.c` / `new updated t.c` / `selected t.c` may name a
+  // column.
+  if ((ref.kind == TableRefKind::kOldUpdated ||
+       ref.kind == TableRefKind::kNewUpdated ||
+       ref.kind == TableRefKind::kSelectedTt) &&
+      Match(TokenType::kDot)) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column name after '.'");
+    }
+    ref.column = Advance().text;
+  }
+  if (Check(TokenType::kIdentifier)) {
+    ref.alias = Advance().text;
+  }
+  return ref;
+}
+
+Result<StmtPtr> Parser::ParseInsert() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kInsert, "insert"));
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kInto, "insert"));
+  auto stmt = std::make_unique<InsertStmt>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name in insert");
+  }
+  stmt->table = Advance().text;
+
+  if (Match(TokenType::kValues)) {
+    // values (e, e, ...) [, (e, e, ...)]*  — multi-row is a convenience
+    // extension; the paper shows single-row values. Bare `values e, e, ...`
+    // (no parens) is also accepted, matching the paper's typography.
+    bool parens = Check(TokenType::kLParen);
+    while (true) {
+      std::vector<ExprPtr> row;
+      if (parens) {
+        SOPR_RETURN_NOT_OK(Expect(TokenType::kLParen, "insert values"));
+      }
+      while (true) {
+        SOPR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (!Match(TokenType::kComma)) break;
+      }
+      if (parens) {
+        SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "insert values"));
+      }
+      stmt->rows.push_back(std::move(row));
+      if (!parens || !Match(TokenType::kComma)) break;
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  // insert into t (select ...) — also accept without parens.
+  bool paren = Match(TokenType::kLParen);
+  SOPR_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+  if (paren) {
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "insert select"));
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDelete() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kDelete, "delete"));
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kFrom, "delete"));
+  auto stmt = std::make_unique<DeleteStmt>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name in delete");
+  }
+  stmt->table = Advance().text;
+  if (Match(TokenType::kWhere)) {
+    SOPR_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseUpdate() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kUpdate, "update"));
+  auto stmt = std::make_unique<UpdateStmt>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name in update");
+  }
+  stmt->table = Advance().text;
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kSet, "update"));
+  while (true) {
+    UpdateStmt::Assignment assignment;
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column name in update set");
+    }
+    assignment.column = Advance().text;
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kEq, "update set"));
+    SOPR_ASSIGN_OR_RETURN(assignment.value, ParseExpr());
+    stmt->assignments.push_back(std::move(assignment));
+    if (!Match(TokenType::kComma)) break;
+  }
+  if (Match(TokenType::kWhere)) {
+    SOPR_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseCreate() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kCreate, "create"));
+  if (Check(TokenType::kTable)) return ParseCreateTable();
+  if (Check(TokenType::kRule)) return ParseCreateRule();
+  if (Check(TokenType::kIndex)) return ParseCreateIndex();
+  return ErrorHere("expected 'table', 'rule', or 'index' after 'create'");
+}
+
+Result<StmtPtr> Parser::ParseCreateTable() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kTable, "create table"));
+  auto stmt = std::make_unique<CreateTableStmt>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name in create table");
+  }
+  stmt->table = Advance().text;
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kLParen, "create table"));
+  while (true) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column name in create table");
+    }
+    std::string column = Advance().text;
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column type in create table");
+    }
+    SOPR_ASSIGN_OR_RETURN(ValueType type, ParseTypeName(Advance().text));
+    stmt->columns.emplace_back(std::move(column), type);
+    if (!Match(TokenType::kComma)) break;
+  }
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "create table"));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseCreateIndex() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kIndex, "create index"));
+  auto stmt = std::make_unique<CreateIndexStmt>();
+  if (Check(TokenType::kIdentifier)) {
+    stmt->name = Advance().text;
+  }
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kOn, "create index"));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name in create index");
+  }
+  stmt->table = Advance().text;
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kLParen, "create index"));
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected column name in create index");
+  }
+  stmt->column = Advance().text;
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "create index"));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<BasicTransPred> Parser::ParseBasicTransPred() {
+  BasicTransPred pred;
+  if (Match(TokenType::kInserted)) {
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kInto, "transition predicate"));
+    pred.kind = BasicTransPred::Kind::kInsertedInto;
+  } else if (Match(TokenType::kDeleted)) {
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kFrom, "transition predicate"));
+    pred.kind = BasicTransPred::Kind::kDeletedFrom;
+  } else if (Match(TokenType::kUpdated)) {
+    pred.kind = BasicTransPred::Kind::kUpdated;
+  } else if (Match(TokenType::kSelected)) {
+    pred.kind = BasicTransPred::Kind::kSelectedFrom;
+  } else {
+    return ErrorHere(
+        "expected 'inserted into', 'deleted from', 'updated', or 'selected' "
+        "in when clause");
+  }
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name in transition predicate");
+  }
+  pred.table = Advance().text;
+  if ((pred.kind == BasicTransPred::Kind::kUpdated ||
+       pred.kind == BasicTransPred::Kind::kSelectedFrom) &&
+      Match(TokenType::kDot)) {
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected column name in transition predicate");
+    }
+    pred.column = Advance().text;
+  }
+  return pred;
+}
+
+Result<StmtPtr> Parser::ParseCreateRule() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kRule, "create rule"));
+
+  // `create rule priority A before B`.
+  if (Check(TokenType::kPriority)) {
+    Advance();
+    auto stmt = std::make_unique<CreatePriorityStmt>();
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected rule name in create rule priority");
+    }
+    stmt->higher = Advance().text;
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kBefore, "create rule priority"));
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected rule name after 'before'");
+    }
+    stmt->lower = Advance().text;
+    return StmtPtr(std::move(stmt));
+  }
+
+  auto stmt = std::make_unique<CreateRuleStmt>();
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected rule name in create rule");
+  }
+  stmt->name = Advance().text;
+
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kWhen, "create rule"));
+  while (true) {
+    SOPR_ASSIGN_OR_RETURN(BasicTransPred pred, ParseBasicTransPred());
+    stmt->when.push_back(std::move(pred));
+    if (!Match(TokenType::kOr)) break;
+  }
+
+  if (Match(TokenType::kIf)) {
+    SOPR_ASSIGN_OR_RETURN(stmt->condition, ParseExpr());
+  }
+
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kThen, "create rule"));
+  if (Match(TokenType::kRollback)) {
+    stmt->action_is_rollback = true;
+    return StmtPtr(std::move(stmt));
+  }
+
+  // The action is an op-block: DML statements separated by `;`. We consume
+  // greedily while the token after `;` starts a DML statement.
+  while (true) {
+    if (!IsDmlStart(Peek().type)) {
+      return ErrorHere("expected a DML statement in rule action");
+    }
+    SOPR_ASSIGN_OR_RETURN(StmtPtr op, ParseOneStatement());
+    stmt->action.push_back(std::move(op));
+    if (Check(TokenType::kSemicolon) && IsDmlStart(Peek(1).type)) {
+      Advance();  // consume ';', continue the op-block
+      continue;
+    }
+    break;
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDrop() {
+  SOPR_RETURN_NOT_OK(Expect(TokenType::kDrop, "drop"));
+  if (Match(TokenType::kRule)) {
+    auto stmt = std::make_unique<DropRuleStmt>();
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected rule name in drop rule");
+    }
+    stmt->name = Advance().text;
+    return StmtPtr(std::move(stmt));
+  }
+  if (Match(TokenType::kTable)) {
+    auto stmt = std::make_unique<DropTableStmt>();
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected table name in drop table");
+    }
+    stmt->table = Advance().text;
+    return StmtPtr(std::move(stmt));
+  }
+  return ErrorHere("expected 'rule' or 'table' after 'drop'");
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() {
+  SOPR_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+  while (Check(TokenType::kOr)) {
+    Advance();
+    SOPR_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  SOPR_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+  while (Check(TokenType::kAnd)) {
+    Advance();
+    SOPR_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+    left = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(left),
+                                        std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (Match(TokenType::kNot)) {
+    SOPR_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+  }
+  return ParsePredicate();
+}
+
+Result<ExprPtr> Parser::ParsePredicate() {
+  SOPR_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+
+  // `is [not] null`
+  if (Match(TokenType::kIs)) {
+    bool negated = Match(TokenType::kNot);
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kNull, "is null"));
+    return ExprPtr(std::make_unique<IsNullExpr>(std::move(left), negated));
+  }
+
+  bool negated = false;
+  if (Check(TokenType::kNot) &&
+      (Peek(1).type == TokenType::kIn || Peek(1).type == TokenType::kBetween)) {
+    Advance();
+    negated = true;
+  }
+
+  if (Match(TokenType::kIn)) {
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kLParen, "in"));
+    if (Check(TokenType::kSelect)) {
+      SOPR_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelect());
+      SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "in subquery"));
+      return ExprPtr(std::make_unique<InSubqueryExpr>(
+          std::move(left), std::move(sub), negated));
+    }
+    std::vector<ExprPtr> items;
+    while (true) {
+      SOPR_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      items.push_back(std::move(e));
+      if (!Match(TokenType::kComma)) break;
+    }
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "in list"));
+    return ExprPtr(std::make_unique<InListExpr>(std::move(left),
+                                                std::move(items), negated));
+  }
+
+  if (Match(TokenType::kBetween)) {
+    SOPR_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+    SOPR_RETURN_NOT_OK(Expect(TokenType::kAnd, "between"));
+    SOPR_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+    return ExprPtr(std::make_unique<BetweenExpr>(
+        std::move(left), std::move(low), std::move(high), negated));
+  }
+
+  BinaryOp op;
+  switch (Peek().type) {
+    case TokenType::kEq: op = BinaryOp::kEq; break;
+    case TokenType::kNe: op = BinaryOp::kNe; break;
+    case TokenType::kLt: op = BinaryOp::kLt; break;
+    case TokenType::kLe: op = BinaryOp::kLe; break;
+    case TokenType::kGt: op = BinaryOp::kGt; break;
+    case TokenType::kGe: op = BinaryOp::kGe; break;
+    default:
+      return left;
+  }
+  Advance();
+  SOPR_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+  return ExprPtr(
+      std::make_unique<BinaryExpr>(op, std::move(left), std::move(right)));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  SOPR_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+  while (Check(TokenType::kPlus) || Check(TokenType::kMinus)) {
+    BinaryOp op =
+        Advance().type == TokenType::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+    SOPR_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  SOPR_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+  while (Check(TokenType::kStar) || Check(TokenType::kSlash)) {
+    BinaryOp op =
+        Advance().type == TokenType::kStar ? BinaryOp::kMul : BinaryOp::kDiv;
+    SOPR_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+    left = std::make_unique<BinaryExpr>(op, std::move(left), std::move(right));
+  }
+  return left;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenType::kMinus)) {
+    SOPR_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand)));
+  }
+  if (Match(TokenType::kPlus)) {
+    return ParseUnary();
+  }
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& tok = Peek();
+  switch (tok.type) {
+    case TokenType::kIntLiteral:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Int(tok.int_value)));
+    case TokenType::kDoubleLiteral:
+      Advance();
+      return ExprPtr(
+          std::make_unique<LiteralExpr>(Value::Double(tok.double_value)));
+    case TokenType::kStringLiteral:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::String(tok.text)));
+    case TokenType::kNull:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+    case TokenType::kTrue:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(true)));
+    case TokenType::kFalse:
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(false)));
+    case TokenType::kExists: {
+      Advance();
+      SOPR_RETURN_NOT_OK(Expect(TokenType::kLParen, "exists"));
+      SOPR_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelect());
+      SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "exists"));
+      return ExprPtr(std::make_unique<ExistsExpr>(std::move(sub)));
+    }
+    case TokenType::kLParen: {
+      Advance();
+      if (Check(TokenType::kSelect)) {
+        SOPR_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sub, ParseSelect());
+        SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "scalar subquery"));
+        return ExprPtr(std::make_unique<ScalarSubqueryExpr>(std::move(sub)));
+      }
+      SOPR_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "parenthesized expr"));
+      return inner;
+    }
+    case TokenType::kIdentifier: {
+      // Aggregate call?
+      if (Peek(1).type == TokenType::kLParen) {
+        AggFunc func;
+        bool is_agg = true;
+        if (tok.text == "count") {
+          func = AggFunc::kCount;
+        } else if (tok.text == "sum") {
+          func = AggFunc::kSum;
+        } else if (tok.text == "avg") {
+          func = AggFunc::kAvg;
+        } else if (tok.text == "min") {
+          func = AggFunc::kMin;
+        } else if (tok.text == "max") {
+          func = AggFunc::kMax;
+        } else {
+          is_agg = false;
+          func = AggFunc::kCount;
+        }
+        if (is_agg) {
+          Advance();  // function name
+          Advance();  // '('
+          bool distinct = Match(TokenType::kDistinct);
+          ExprPtr argument;
+          if (Match(TokenType::kStar)) {
+            if (func != AggFunc::kCount) {
+              return ErrorHere("'*' argument only valid for count");
+            }
+          } else {
+            SOPR_ASSIGN_OR_RETURN(argument, ParseExpr());
+          }
+          SOPR_RETURN_NOT_OK(Expect(TokenType::kRParen, "aggregate"));
+          return ExprPtr(std::make_unique<AggregateExpr>(
+              func, std::move(argument), distinct));
+        }
+        return ErrorHere("unknown function: " + tok.text);
+      }
+      // Column reference: ident or ident.ident.
+      Advance();
+      if (Match(TokenType::kDot)) {
+        if (Check(TokenType::kStar)) {
+          return ErrorHere("qualified '*' is not supported in expressions");
+        }
+        if (!Check(TokenType::kIdentifier)) {
+          return ErrorHere("expected column name after '.'");
+        }
+        std::string column = Advance().text;
+        return ExprPtr(std::make_unique<ColumnRefExpr>(tok.text, column));
+      }
+      return ExprPtr(std::make_unique<ColumnRefExpr>("", tok.text));
+    }
+    default:
+      return ErrorHere("expected an expression, got '" + tok.ToString() + "'");
+  }
+}
+
+}  // namespace sopr

@@ -1,0 +1,79 @@
+#ifndef SOPR_SQL_PARSER_H_
+#define SOPR_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace sopr {
+
+/// Recursive-descent parser for the paper's SQL subset:
+///
+///   op-block   ::= sql-op ; sql-op ; ... ; sql-op
+///   sql-op     ::= insert-op | delete-op | update-op | select-op
+///   ddl        ::= create table | create rule | create rule priority
+///                | drop rule
+///
+/// plus transition-table references (`inserted t`, `deleted t`,
+/// `old updated t[.c]`, `new updated t[.c]`, `selected t[.c]`) in FROM
+/// clauses, per §3 / §5.1 of the paper.
+///
+/// Identifiers are case-insensitive and normalized to lowercase.
+class Parser {
+ public:
+  /// Parses a script: one or more statements separated by `;`. Inside a
+  /// `create rule ... then` action, subsequent DML statements after `;`
+  /// are consumed greedily into the action (the paper's op-block syntax),
+  /// so a rule definition should be submitted on its own.
+  static Result<std::vector<StmtPtr>> ParseScript(const std::string& sql);
+
+  /// Parses exactly one statement (trailing `;` allowed).
+  static Result<StmtPtr> ParseStatement(const std::string& sql);
+
+  /// Parses a standalone expression (used by tests and the constraint
+  /// compiler).
+  static Result<ExprPtr> ParseExpression(const std::string& sql);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool Match(TokenType type);
+  Status Expect(TokenType type, const char* context);
+  Status ErrorHere(const std::string& message) const;
+
+  Result<StmtPtr> ParseOneStatement();
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+  Result<StmtPtr> ParseInsert();
+  Result<StmtPtr> ParseDelete();
+  Result<StmtPtr> ParseUpdate();
+  Result<StmtPtr> ParseCreate();
+  Result<StmtPtr> ParseCreateTable();
+  Result<StmtPtr> ParseCreateIndex();
+  Result<StmtPtr> ParseCreateRule();
+  Result<StmtPtr> ParseDrop();
+  Result<TableRef> ParseTableRef();
+  Result<BasicTransPred> ParseBasicTransPred();
+
+  Result<ExprPtr> ParseExpr();        // or-level
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();   // comparisons, in, between, is null
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_SQL_PARSER_H_

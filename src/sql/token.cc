@@ -1,0 +1,152 @@
+#include "sql/token.h"
+
+#include <map>
+
+namespace sopr {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEof: return "<eof>";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kIntLiteral: return "int literal";
+    case TokenType::kDoubleLiteral: return "double literal";
+    case TokenType::kStringLiteral: return "string literal";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kComma: return ",";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kDot: return ".";
+    case TokenType::kStar: return "*";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kSlash: return "/";
+    case TokenType::kEq: return "=";
+    case TokenType::kNe: return "<>";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kSelect: return "select";
+    case TokenType::kFrom: return "from";
+    case TokenType::kWhere: return "where";
+    case TokenType::kInsert: return "insert";
+    case TokenType::kInto: return "into";
+    case TokenType::kValues: return "values";
+    case TokenType::kDelete: return "delete";
+    case TokenType::kUpdate: return "update";
+    case TokenType::kSet: return "set";
+    case TokenType::kAnd: return "and";
+    case TokenType::kOr: return "or";
+    case TokenType::kNot: return "not";
+    case TokenType::kIn: return "in";
+    case TokenType::kExists: return "exists";
+    case TokenType::kIs: return "is";
+    case TokenType::kNull: return "null";
+    case TokenType::kBetween: return "between";
+    case TokenType::kCreate: return "create";
+    case TokenType::kDrop: return "drop";
+    case TokenType::kTable: return "table";
+    case TokenType::kIndex: return "index";
+    case TokenType::kOn: return "on";
+    case TokenType::kRule: return "rule";
+    case TokenType::kPriority: return "priority";
+    case TokenType::kBefore: return "before";
+    case TokenType::kWhen: return "when";
+    case TokenType::kIf: return "if";
+    case TokenType::kThen: return "then";
+    case TokenType::kRollback: return "rollback";
+    case TokenType::kCall: return "call";
+    case TokenType::kProcess: return "process";
+    case TokenType::kActivate: return "activate";
+    case TokenType::kDeactivate: return "deactivate";
+    case TokenType::kInserted: return "inserted";
+    case TokenType::kDeleted: return "deleted";
+    case TokenType::kUpdated: return "updated";
+    case TokenType::kSelected: return "selected";
+    case TokenType::kOld: return "old";
+    case TokenType::kNew: return "new";
+    case TokenType::kGroup: return "group";
+    case TokenType::kBy: return "by";
+    case TokenType::kHaving: return "having";
+    case TokenType::kOrder: return "order";
+    case TokenType::kAsc: return "asc";
+    case TokenType::kDesc: return "desc";
+    case TokenType::kDistinct: return "distinct";
+    case TokenType::kAs: return "as";
+    case TokenType::kTrue: return "true";
+    case TokenType::kFalse: return "false";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdentifier:
+    case TokenType::kIntLiteral:
+    case TokenType::kDoubleLiteral:
+      return text;
+    case TokenType::kStringLiteral:
+      return "'" + text + "'";
+    default:
+      return TokenTypeName(type);
+  }
+}
+
+TokenType LookupKeyword(const std::string& lower_word) {
+  static const std::map<std::string, TokenType>* kKeywords =
+      new std::map<std::string, TokenType>{
+          {"select", TokenType::kSelect},
+          {"from", TokenType::kFrom},
+          {"where", TokenType::kWhere},
+          {"insert", TokenType::kInsert},
+          {"into", TokenType::kInto},
+          {"values", TokenType::kValues},
+          {"delete", TokenType::kDelete},
+          {"update", TokenType::kUpdate},
+          {"set", TokenType::kSet},
+          {"and", TokenType::kAnd},
+          {"or", TokenType::kOr},
+          {"not", TokenType::kNot},
+          {"in", TokenType::kIn},
+          {"exists", TokenType::kExists},
+          {"is", TokenType::kIs},
+          {"null", TokenType::kNull},
+          {"between", TokenType::kBetween},
+          {"create", TokenType::kCreate},
+          {"drop", TokenType::kDrop},
+          {"table", TokenType::kTable},
+          {"index", TokenType::kIndex},
+          {"on", TokenType::kOn},
+          {"rule", TokenType::kRule},
+          {"priority", TokenType::kPriority},
+          {"before", TokenType::kBefore},
+          {"when", TokenType::kWhen},
+          {"if", TokenType::kIf},
+          {"then", TokenType::kThen},
+          {"rollback", TokenType::kRollback},
+          {"call", TokenType::kCall},
+          {"process", TokenType::kProcess},
+          {"activate", TokenType::kActivate},
+          {"deactivate", TokenType::kDeactivate},
+          {"inserted", TokenType::kInserted},
+          {"deleted", TokenType::kDeleted},
+          {"updated", TokenType::kUpdated},
+          {"selected", TokenType::kSelected},
+          {"old", TokenType::kOld},
+          {"new", TokenType::kNew},
+          {"group", TokenType::kGroup},
+          {"by", TokenType::kBy},
+          {"having", TokenType::kHaving},
+          {"order", TokenType::kOrder},
+          {"asc", TokenType::kAsc},
+          {"desc", TokenType::kDesc},
+          {"distinct", TokenType::kDistinct},
+          {"as", TokenType::kAs},
+          {"true", TokenType::kTrue},
+          {"false", TokenType::kFalse},
+      };
+  auto it = kKeywords->find(lower_word);
+  return it == kKeywords->end() ? TokenType::kIdentifier : it->second;
+}
+
+}  // namespace sopr

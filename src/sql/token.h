@@ -1,0 +1,104 @@
+#ifndef SOPR_SQL_TOKEN_H_
+#define SOPR_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sopr {
+
+/// Token kinds for the SQL subset of the paper (plus small conveniences:
+/// group by / order by / distinct / between / is null).
+enum class TokenType {
+  kEof = 0,
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kComma,
+  kSemicolon,
+  kDot,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,
+  kNe,  // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+
+  // Keywords (case-insensitive in source).
+  kSelect,
+  kFrom,
+  kWhere,
+  kInsert,
+  kInto,
+  kValues,
+  kDelete,
+  kUpdate,
+  kSet,
+  kAnd,
+  kOr,
+  kNot,
+  kIn,
+  kExists,
+  kIs,
+  kNull,
+  kBetween,
+  kCreate,
+  kDrop,
+  kTable,
+  kIndex,
+  kOn,
+  kRule,
+  kPriority,
+  kBefore,
+  kWhen,
+  kIf,
+  kThen,
+  kRollback,
+  kCall,
+  kProcess,
+  kActivate,
+  kDeactivate,
+  kInserted,
+  kDeleted,
+  kUpdated,
+  kSelected,
+  kOld,
+  kNew,
+  kGroup,
+  kBy,
+  kHaving,
+  kOrder,
+  kAsc,
+  kDesc,
+  kDistinct,
+  kAs,
+  kTrue,
+  kFalse,
+};
+
+const char* TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;      // identifier/keyword spelling or literal lexeme
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;  // byte offset into the source, for error messages
+
+  std::string ToString() const;
+};
+
+/// Keyword lookup: returns kIdentifier when `word` is not a keyword.
+TokenType LookupKeyword(const std::string& lower_word);
+
+}  // namespace sopr
+
+#endif  // SOPR_SQL_TOKEN_H_

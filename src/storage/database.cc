@@ -1,0 +1,88 @@
+#include "storage/database.h"
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+Status Database::CreateTable(TableSchema schema) {
+  std::string key = ToLower(schema.name());
+  SOPR_RETURN_NOT_OK(catalog_.AddTable(schema));
+  tables_.emplace(std::move(key), Table(std::move(schema)));
+  return Status::OK();
+}
+
+Status Database::DropTable(std::string_view name) {
+  SOPR_RETURN_NOT_OK(catalog_.DropTable(name));
+  tables_.erase(ToLower(name));
+  return Status::OK();
+}
+
+Result<Table*> Database::GetTable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::CatalogError("no such table: " + std::string(name));
+  }
+  return &it->second;
+}
+
+Result<const Table*> Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::CatalogError("no such table: " + std::string(name));
+  }
+  return &it->second;
+}
+
+Result<TupleHandle> Database::InsertRow(std::string_view table, Row row) {
+  SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  SOPR_RETURN_NOT_OK(t->schema().CheckRow(row));
+  TupleHandle handle = next_handle_++;
+  SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(row)));
+  undo_.RecordInsert(ToLower(table), handle);
+  return handle;
+}
+
+Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
+  SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
+  Row old_row = *row;
+  SOPR_RETURN_NOT_OK(t->Erase(handle));
+  undo_.RecordDelete(ToLower(table), handle, std::move(old_row));
+  return Status::OK();
+}
+
+Status Database::UpdateRow(std::string_view table, TupleHandle handle,
+                           Row new_row) {
+  SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  SOPR_RETURN_NOT_OK(t->schema().CheckRow(new_row));
+  SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
+  Row old_row = *row;
+  SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(new_row)));
+  undo_.RecordUpdate(ToLower(table), handle, std::move(old_row));
+  return Status::OK();
+}
+
+Status Database::RollbackTo(UndoLog::Mark mark) {
+  const auto& records = undo_.records();
+  for (size_t i = records.size(); i > mark; --i) {
+    const UndoRecord& rec = records[i - 1];
+    auto table_result = GetTable(rec.table);
+    if (!table_result.ok()) return table_result.status();
+    Table* t = table_result.value();
+    switch (rec.kind) {
+      case UndoRecord::Kind::kInsert:
+        SOPR_RETURN_NOT_OK(t->Erase(rec.handle));
+        break;
+      case UndoRecord::Kind::kDelete:
+        SOPR_RETURN_NOT_OK(t->Insert(rec.handle, rec.old_row));
+        break;
+      case UndoRecord::Kind::kUpdate:
+        SOPR_RETURN_NOT_OK(t->Replace(rec.handle, rec.old_row));
+        break;
+    }
+  }
+  undo_.TruncateTo(mark);
+  return Status::OK();
+}
+
+}  // namespace sopr

@@ -1,0 +1,69 @@
+#ifndef SOPR_STORAGE_DATABASE_H_
+#define SOPR_STORAGE_DATABASE_H_
+
+#include <map>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "storage/tuple_handle.h"
+#include "storage/undo_log.h"
+
+namespace sopr {
+
+/// A single-user relational database state: catalog + heap tables +
+/// transaction-scope undo log. This is the substrate the paper assumes
+/// ("multiple users, concurrent processing, and failures are all
+/// transparent", §2.1): mutations are applied immediately and can be
+/// rolled back to any earlier mark within the current transaction.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Catalog& catalog() const { return catalog_; }
+
+  /// DDL: creates the table (schema-checked by the catalog).
+  Status CreateTable(TableSchema schema);
+  Status DropTable(std::string_view name);
+
+  Result<Table*> GetTable(std::string_view name);
+  Result<const Table*> GetTable(std::string_view name) const;
+
+  /// DML primitives. Each validates against the schema, applies the
+  /// mutation, assigns/uses handles, and appends an undo record.
+  Result<TupleHandle> InsertRow(std::string_view table, Row row);
+  Status DeleteRow(std::string_view table, TupleHandle handle);
+  Status UpdateRow(std::string_view table, TupleHandle handle, Row new_row);
+
+  /// Number of handles ever allocated (monotonic, never reused).
+  TupleHandle last_handle() const { return next_handle_ - 1; }
+
+  /// --- Transaction support ---
+  /// Current undo-log position; rolling back to it undoes everything
+  /// logged afterwards.
+  UndoLog::Mark UndoMark() const { return undo_.mark(); }
+
+  /// Reverses all mutations logged after `mark` (most recent first) and
+  /// truncates the log. Tuple handles consumed meanwhile stay consumed —
+  /// handles are never reused even across rollback.
+  Status RollbackTo(UndoLog::Mark mark);
+
+  /// Commit point: forget undo information (the paper's model has no
+  /// post-commit rollback).
+  void CommitAll() { undo_.Clear(); }
+
+  size_t undo_log_size() const { return undo_.size(); }
+
+ private:
+  Catalog catalog_;
+  std::map<std::string, Table> tables_;  // key: lowercased name
+  UndoLog undo_;
+  TupleHandle next_handle_ = 1;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_STORAGE_DATABASE_H_

@@ -1,0 +1,24 @@
+#include "storage/index.h"
+
+namespace sopr {
+
+void ColumnIndex::Insert(const Value& key, TupleHandle handle) {
+  if (key.is_null()) return;
+  buckets_[NormalizeKey(key)].insert(handle);
+}
+
+void ColumnIndex::Erase(const Value& key, TupleHandle handle) {
+  if (key.is_null()) return;
+  auto it = buckets_.find(NormalizeKey(key));
+  if (it == buckets_.end()) return;
+  it->second.erase(handle);
+  if (it->second.empty()) buckets_.erase(it);
+}
+
+const std::set<TupleHandle>* ColumnIndex::Lookup(const Value& key) const {
+  if (key.is_null()) return nullptr;
+  auto it = buckets_.find(NormalizeKey(key));
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+}  // namespace sopr

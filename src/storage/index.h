@@ -1,0 +1,48 @@
+#ifndef SOPR_STORAGE_INDEX_H_
+#define SOPR_STORAGE_INDEX_H_
+
+#include <map>
+#include <set>
+
+#include "storage/tuple_handle.h"
+#include "types/value.h"
+
+namespace sopr {
+
+/// An equality index over one column of a table: normalized key value →
+/// handles of rows holding it. Numeric keys are normalized to double so
+/// `int 2` and `double 2.0` land in the same bucket (SQL equality).
+/// NULLs are not indexed — SQL equality with NULL never holds.
+class ColumnIndex {
+ public:
+  explicit ColumnIndex(size_t column) : column_(column) {}
+
+  size_t column() const { return column_; }
+
+  /// Normalization applied to keys on both insert and lookup.
+  static Value NormalizeKey(const Value& v) {
+    return v.IsNumeric() ? Value::Double(v.NumericAsDouble()) : v;
+  }
+
+  void Insert(const Value& key, TupleHandle handle);
+  void Erase(const Value& key, TupleHandle handle);
+
+  /// Handles whose (normalized) column value equals `key`, or nullptr.
+  const std::set<TupleHandle>* Lookup(const Value& key) const;
+
+  size_t num_keys() const { return buckets_.size(); }
+
+ private:
+  struct KeyLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.StructurallyLess(b);
+    }
+  };
+
+  size_t column_;
+  std::map<Value, std::set<TupleHandle>, KeyLess> buckets_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_STORAGE_INDEX_H_

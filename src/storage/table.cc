@@ -1,0 +1,81 @@
+#include "storage/table.h"
+
+namespace sopr {
+
+Status Table::Insert(TupleHandle handle, Row row) {
+  if (handle == kInvalidHandle) {
+    return Status::Internal("attempt to insert with invalid handle");
+  }
+  auto [it, inserted] = rows_.emplace(handle, std::move(row));
+  if (!inserted) {
+    return Status::Internal("duplicate tuple handle " +
+                            std::to_string(handle) + " in table " +
+                            schema_.name());
+  }
+  for (ColumnIndex& index : indexes_) {
+    index.Insert(it->second.at(index.column()), handle);
+  }
+  return Status::OK();
+}
+
+Status Table::Erase(TupleHandle handle) {
+  auto it = rows_.find(handle);
+  if (it == rows_.end()) {
+    return Status::Internal("no tuple with handle " + std::to_string(handle) +
+                            " in table " + schema_.name());
+  }
+  for (ColumnIndex& index : indexes_) {
+    index.Erase(it->second.at(index.column()), handle);
+  }
+  rows_.erase(it);
+  return Status::OK();
+}
+
+Status Table::Replace(TupleHandle handle, Row row) {
+  auto it = rows_.find(handle);
+  if (it == rows_.end()) {
+    return Status::Internal("no tuple with handle " + std::to_string(handle) +
+                            " in table " + schema_.name());
+  }
+  for (ColumnIndex& index : indexes_) {
+    index.Erase(it->second.at(index.column()), handle);
+  }
+  it->second = std::move(row);
+  for (ColumnIndex& index : indexes_) {
+    index.Insert(it->second.at(index.column()), handle);
+  }
+  return Status::OK();
+}
+
+Status Table::CreateIndex(size_t column) {
+  if (column >= schema_.num_columns()) {
+    return Status::InvalidArgument("no column #" + std::to_string(column) +
+                                   " in table " + schema_.name());
+  }
+  if (GetIndex(column) != nullptr) return Status::OK();  // idempotent
+  indexes_.emplace_back(column);
+  ColumnIndex& index = indexes_.back();
+  for (const auto& [handle, row] : rows_) {
+    index.Insert(row.at(column), handle);
+  }
+  return Status::OK();
+}
+
+const ColumnIndex* Table::GetIndex(size_t column) const {
+  for (const ColumnIndex& index : indexes_) {
+    if (index.column() == column) return &index;
+  }
+  return nullptr;
+}
+
+Result<const Row*> Table::Get(TupleHandle handle) const {
+  auto it = rows_.find(handle);
+  if (it == rows_.end()) {
+    return Status::ExecutionError("no tuple with handle " +
+                                  std::to_string(handle) + " in table " +
+                                  schema_.name());
+  }
+  return &it->second;
+}
+
+}  // namespace sopr

@@ -1,0 +1,68 @@
+#ifndef SOPR_STORAGE_TABLE_H_
+#define SOPR_STORAGE_TABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/tuple_handle.h"
+#include "types/row.h"
+
+namespace sopr {
+
+/// Heap storage for one table: handle → row. Duplicate rows are allowed
+/// (they have distinct handles, per the paper's model). Iteration order is
+/// ascending handle, i.e. insertion order, which keeps traces deterministic.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const TableSchema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Adds a row under a caller-supplied handle (the Database allocates
+  /// handles so they are unique across tables). Row must already be
+  /// schema-checked by the caller.
+  Status Insert(TupleHandle handle, Row row);
+
+  /// Removes the row; fails if the handle is absent.
+  Status Erase(TupleHandle handle);
+
+  /// Replaces the row in place; fails if the handle is absent.
+  Status Replace(TupleHandle handle, Row row);
+
+  bool Contains(TupleHandle handle) const { return rows_.count(handle) > 0; }
+
+  /// Fails with ExecutionError if the handle is absent.
+  Result<const Row*> Get(TupleHandle handle) const;
+
+  /// Ordered (handle, row) view for scans.
+  const std::map<TupleHandle, Row>& rows() const { return rows_; }
+
+  /// Builds an equality index on `column` (idempotent: a second request
+  /// on the same column is a no-op). Existing rows are indexed
+  /// immediately; subsequent mutations maintain it.
+  Status CreateIndex(size_t column);
+
+  /// The index on `column`, or nullptr.
+  const ColumnIndex* GetIndex(size_t column) const;
+
+  size_t num_indexes() const { return indexes_.size(); }
+
+ private:
+  TableSchema schema_;
+  std::map<TupleHandle, Row> rows_;
+  std::vector<ColumnIndex> indexes_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_STORAGE_TABLE_H_

@@ -1,0 +1,20 @@
+#ifndef SOPR_STORAGE_TUPLE_HANDLE_H_
+#define SOPR_STORAGE_TUPLE_HANDLE_H_
+
+#include <cstdint>
+
+namespace sopr {
+
+/// System tuple handle (§2): "a distinct, non-reusable value identifying
+/// the tuple and its containing table". Handles are assigned from a single
+/// database-wide monotonic counter and are never reused, so a handle that
+/// appears in a transition effect's D component still uniquely names the
+/// (now deleted) tuple.
+using TupleHandle = uint64_t;
+
+/// Zero is never assigned to a tuple.
+inline constexpr TupleHandle kInvalidHandle = 0;
+
+}  // namespace sopr
+
+#endif  // SOPR_STORAGE_TUPLE_HANDLE_H_

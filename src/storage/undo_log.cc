@@ -1,0 +1,28 @@
+#include "storage/undo_log.h"
+
+namespace sopr {
+
+void UndoLog::RecordInsert(std::string table, TupleHandle handle) {
+  records_.push_back(
+      UndoRecord{UndoRecord::Kind::kInsert, std::move(table), handle, Row()});
+}
+
+void UndoLog::RecordDelete(std::string table, TupleHandle handle,
+                           Row old_row) {
+  records_.push_back(UndoRecord{UndoRecord::Kind::kDelete, std::move(table),
+                                handle, std::move(old_row)});
+}
+
+void UndoLog::RecordUpdate(std::string table, TupleHandle handle,
+                           Row old_row) {
+  records_.push_back(UndoRecord{UndoRecord::Kind::kUpdate, std::move(table),
+                                handle, std::move(old_row)});
+}
+
+void UndoLog::TruncateTo(Mark m) {
+  if (m < records_.size()) {
+    records_.resize(m);
+  }
+}
+
+}  // namespace sopr

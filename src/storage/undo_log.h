@@ -1,0 +1,52 @@
+#ifndef SOPR_STORAGE_UNDO_LOG_H_
+#define SOPR_STORAGE_UNDO_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/tuple_handle.h"
+#include "types/row.h"
+
+namespace sopr {
+
+/// One reversible mutation. `old_row` is populated for deletes (the full
+/// deleted tuple) and updates (the pre-image).
+struct UndoRecord {
+  enum class Kind { kInsert, kDelete, kUpdate };
+  Kind kind;
+  std::string table;  // lowercased table name
+  TupleHandle handle = kInvalidHandle;
+  Row old_row;
+};
+
+/// Append-only log of mutations within the current transaction. The
+/// Database replays it backwards to implement the paper's `rollback`
+/// action (roll back to the transaction's start state S0). Marks allow
+/// partial rollback for nested scopes (used by failed operation blocks).
+class UndoLog {
+ public:
+  using Mark = size_t;
+
+  void RecordInsert(std::string table, TupleHandle handle);
+  void RecordDelete(std::string table, TupleHandle handle, Row old_row);
+  void RecordUpdate(std::string table, TupleHandle handle, Row old_row);
+
+  Mark mark() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  size_t size() const { return records_.size(); }
+
+  /// Records at and after `m`, newest last. Caller applies them in reverse.
+  const std::vector<UndoRecord>& records() const { return records_; }
+
+  /// Drop records from `m` onward (after they have been applied), or drop
+  /// everything up to `m` at commit.
+  void TruncateTo(Mark m);
+  void Clear() { records_.clear(); }
+
+ private:
+  std::vector<UndoRecord> records_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_STORAGE_UNDO_LOG_H_

@@ -1,0 +1,28 @@
+#include "types/row.h"
+
+namespace sopr {
+
+std::string Row::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool Row::operator<(const Row& other) const {
+  size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (values_[i].StructurallyLess(other.values_[i])) return true;
+    if (other.values_[i].StructurallyLess(values_[i])) return false;
+  }
+  return values_.size() < other.values_.size();
+}
+
+std::ostream& operator<<(std::ostream& os, const Row& row) {
+  return os << row.ToString();
+}
+
+}  // namespace sopr

@@ -1,0 +1,44 @@
+#ifndef SOPR_TYPES_ROW_H_
+#define SOPR_TYPES_ROW_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace sopr {
+
+/// A tuple: one Value per column of its table, in schema order.
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+  Row(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// "(v1, v2, ...)" rendering for traces and error messages.
+  std::string ToString() const;
+
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+  bool operator!=(const Row& other) const { return !(*this == other); }
+
+  /// Lexicographic structural order; used to sort result sets
+  /// deterministically in tests.
+  bool operator<(const Row& other) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Row& row);
+
+}  // namespace sopr
+
+#endif  // SOPR_TYPES_ROW_H_

@@ -1,0 +1,251 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+namespace sopr {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+TriBool TriNot(TriBool v) {
+  switch (v) {
+    case TriBool::kTrue:
+      return TriBool::kFalse;
+    case TriBool::kFalse:
+      return TriBool::kTrue;
+    case TriBool::kUnknown:
+      return TriBool::kUnknown;
+  }
+  return TriBool::kUnknown;
+}
+
+TriBool TriAnd(TriBool a, TriBool b) {
+  if (a == TriBool::kFalse || b == TriBool::kFalse) return TriBool::kFalse;
+  if (a == TriBool::kTrue && b == TriBool::kTrue) return TriBool::kTrue;
+  return TriBool::kUnknown;
+}
+
+TriBool TriOr(TriBool a, TriBool b) {
+  if (a == TriBool::kTrue || b == TriBool::kTrue) return TriBool::kTrue;
+  if (a == TriBool::kFalse && b == TriBool::kFalse) return TriBool::kFalse;
+  return TriBool::kUnknown;
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt;
+    case 3:
+      return ValueType::kDouble;
+    case 4:
+      return ValueType::kString;
+  }
+  return ValueType::kNull;
+}
+
+double Value::NumericAsDouble() const {
+  if (type() == ValueType::kInt) return static_cast<double>(AsInt());
+  return AsDouble();
+}
+
+TriBool Value::SqlEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return TriBool::kUnknown;
+  if (IsNumeric() && other.IsNumeric()) {
+    if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+      return AsInt() == other.AsInt() ? TriBool::kTrue : TriBool::kFalse;
+    }
+    return NumericAsDouble() == other.NumericAsDouble() ? TriBool::kTrue
+                                                        : TriBool::kFalse;
+  }
+  if (type() != other.type()) return TriBool::kUnknown;
+  bool eq = false;
+  switch (type()) {
+    case ValueType::kBool:
+      eq = AsBool() == other.AsBool();
+      break;
+    case ValueType::kString:
+      eq = AsString() == other.AsString();
+      break;
+    default:
+      return TriBool::kUnknown;
+  }
+  return eq ? TriBool::kTrue : TriBool::kFalse;
+}
+
+TriBool Value::SqlLess(const Value& other) const {
+  if (is_null() || other.is_null()) return TriBool::kUnknown;
+  if (IsNumeric() && other.IsNumeric()) {
+    if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+      return AsInt() < other.AsInt() ? TriBool::kTrue : TriBool::kFalse;
+    }
+    return NumericAsDouble() < other.NumericAsDouble() ? TriBool::kTrue
+                                                       : TriBool::kFalse;
+  }
+  if (type() == ValueType::kString && other.type() == ValueType::kString) {
+    return AsString() < other.AsString() ? TriBool::kTrue : TriBool::kFalse;
+  }
+  return TriBool::kUnknown;
+}
+
+bool Value::StructurallyEquals(const Value& other) const {
+  return data_ == other.data_;
+}
+
+bool Value::StructurallyLess(const Value& other) const {
+  ValueType ta = type();
+  ValueType tb = other.type();
+  // Numerics of different widths compare by value so that 2 == 2.0 sorts
+  // stably next to each other; ties broken by type tag.
+  if ((ta == ValueType::kInt || ta == ValueType::kDouble) &&
+      (tb == ValueType::kInt || tb == ValueType::kDouble)) {
+    double da = NumericAsDouble();
+    double db = other.NumericAsDouble();
+    if (da != db) return da < db;
+    return static_cast<int>(ta) < static_cast<int>(tb);
+  }
+  if (ta != tb) return static_cast<int>(ta) < static_cast<int>(tb);
+  switch (ta) {
+    case ValueType::kNull:
+      return false;
+    case ValueType::kBool:
+      return AsBool() < other.AsBool();
+    case ValueType::kString:
+      return AsString() < other.AsString();
+    default:
+      return false;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      double d = AsDouble();
+      if (d == static_cast<int64_t>(d) && std::abs(d) < 1e15) {
+        os << static_cast<int64_t>(d) << ".0";
+      } else {
+        os << d;
+      }
+      return os.str();
+    }
+    case ValueType::kString: {
+      // SQL-literal rendering: '' escapes an embedded quote, so ToString
+      // output re-parses (dumps, AST round-trips).
+      std::string out = "'";
+      for (char c : AsString()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+Status NumericOperandError(const char* op, const Value& a, const Value& b) {
+  return Status::TypeError(std::string("operator ") + op +
+                           " requires numeric operands, got " +
+                           ValueTypeName(a.type()) + " and " +
+                           ValueTypeName(b.type()));
+}
+
+}  // namespace
+
+Result<Value> Value::Add(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) {
+    // String concatenation via `+` is a convenience extension.
+    if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+      return Value::String(a.AsString() + b.AsString());
+    }
+    return NumericOperandError("+", a, b);
+  }
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+    int64_t sum;
+    // Overflow promotes to double rather than invoking UB.
+    if (!__builtin_add_overflow(a.AsInt(), b.AsInt(), &sum)) {
+      return Value::Int(sum);
+    }
+  }
+  return Value::Double(a.NumericAsDouble() + b.NumericAsDouble());
+}
+
+Result<Value> Value::Subtract(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) return NumericOperandError("-", a, b);
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+    int64_t difference;
+    if (!__builtin_sub_overflow(a.AsInt(), b.AsInt(), &difference)) {
+      return Value::Int(difference);
+    }
+  }
+  return Value::Double(a.NumericAsDouble() - b.NumericAsDouble());
+}
+
+Result<Value> Value::Multiply(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) return NumericOperandError("*", a, b);
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+    int64_t product;
+    if (!__builtin_mul_overflow(a.AsInt(), b.AsInt(), &product)) {
+      return Value::Int(product);
+    }
+  }
+  return Value::Double(a.NumericAsDouble() * b.NumericAsDouble());
+}
+
+Result<Value> Value::Divide(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.IsNumeric() || !b.IsNumeric()) return NumericOperandError("/", a, b);
+  if (b.NumericAsDouble() == 0.0) {
+    return Status::ExecutionError("division by zero");
+  }
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt &&
+      // INT64_MIN / -1 overflows; let the double path take it.
+      !(a.AsInt() == INT64_MIN && b.AsInt() == -1) &&
+      a.AsInt() % b.AsInt() == 0) {
+    return Value::Int(a.AsInt() / b.AsInt());
+  }
+  return Value::Double(a.NumericAsDouble() / b.NumericAsDouble());
+}
+
+Result<Value> Value::Negate(const Value& a) {
+  if (a.is_null()) return Value::Null();
+  if (a.type() == ValueType::kInt) {
+    if (a.AsInt() == INT64_MIN) return Value::Double(-a.NumericAsDouble());
+    return Value::Int(-a.AsInt());
+  }
+  if (a.type() == ValueType::kDouble) return Value::Double(-a.AsDouble());
+  return Status::TypeError(std::string("unary - requires a numeric operand, got ") +
+                           ValueTypeName(a.type()));
+}
+
+}  // namespace sopr

@@ -1,0 +1,106 @@
+#ifndef SOPR_TYPES_VALUE_H_
+#define SOPR_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sopr {
+
+/// Column / value types supported by the engine. The paper's examples use
+/// strings and numbers; we add booleans for predicate plumbing.
+enum class ValueType {
+  kNull = 0,  // the type of the NULL literal before coercion
+  kBool,
+  kInt,     // 64-bit signed
+  kDouble,  // IEEE double
+  kString,
+};
+
+const char* ValueTypeName(ValueType type);
+
+/// SQL three-valued logic truth value.
+enum class TriBool { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+TriBool TriNot(TriBool v);
+TriBool TriAnd(TriBool a, TriBool b);
+TriBool TriOr(TriBool a, TriBool b);
+
+/// A single SQL value: NULL or a typed scalar. Values are immutable once
+/// constructed and cheap to copy for numerics; strings are owned.
+class Value {
+ public:
+  /// NULL of indeterminate type.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Data(v)); }
+  static Value Int(int64_t v) { return Value(Data(v)); }
+  static Value Double(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  ValueType type() const;
+
+  /// Accessors. Caller must check type first; wrong-type access aborts in
+  /// debug builds via std::get.
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double (valid for kInt and kDouble).
+  double NumericAsDouble() const;
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// SQL equality: NULL compared to anything is kUnknown. Numeric values
+  /// compare across int/double; other cross-type comparisons are an error
+  /// reported as kUnknown (the engine type-checks earlier).
+  TriBool SqlEquals(const Value& other) const;
+  /// SQL ordering: returns kUnknown if either side is NULL.
+  TriBool SqlLess(const Value& other) const;
+
+  /// Exact structural equality used by containers and tests: NULL == NULL,
+  /// no cross-numeric coercion.
+  bool StructurallyEquals(const Value& other) const;
+
+  /// Total order for sorting result sets deterministically: NULLs first,
+  /// then by type, then by value (numerics compared as doubles).
+  bool StructurallyLess(const Value& other) const;
+
+  /// SQL literal rendering: NULL, true, 42, 3.5, 'text'.
+  std::string ToString() const;
+
+  /// Arithmetic with SQL NULL propagation. Division by zero is an error.
+  static Result<Value> Add(const Value& a, const Value& b);
+  static Result<Value> Subtract(const Value& a, const Value& b);
+  static Result<Value> Multiply(const Value& a, const Value& b);
+  static Result<Value> Divide(const Value& a, const Value& b);
+  static Result<Value> Negate(const Value& a);
+
+ private:
+  using Data =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+/// gtest-friendly operator: structural equality.
+inline bool operator==(const Value& a, const Value& b) {
+  return a.StructurallyEquals(b);
+}
+inline bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+}  // namespace sopr
+
+#endif  // SOPR_TYPES_VALUE_H_

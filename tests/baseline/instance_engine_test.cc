@@ -1,0 +1,196 @@
+// Instance-oriented baseline: semantics parity with the set-oriented
+// engine on simple rules, and the per-tuple invocation counts that drive
+// benchmark B1.
+
+#include "baseline/instance_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.CreateTable(TableSchema(
+        "orders", {{"id", ValueType::kInt}, {"qty", ValueType::kInt}})));
+    ASSERT_OK(db_.CreateTable(TableSchema(
+        "audit", {{"id", ValueType::kInt}, {"tag", ValueType::kInt}})));
+  }
+
+  void DefineRule(const std::string& sql) {
+    auto stmt = Parser::ParseStatement(sql);
+    ASSERT_TRUE(stmt.ok()) << stmt.status();
+    std::shared_ptr<const CreateRuleStmt> def(
+        static_cast<const CreateRuleStmt*>(stmt.value().release()));
+    ASSERT_OK(engine_.DefineRule(std::move(def)));
+  }
+
+  InstanceStats Execute(const std::string& sql) {
+    auto stmts = Parser::ParseScript(sql);
+    EXPECT_TRUE(stmts.ok()) << stmts.status();
+    std::vector<const Stmt*> ops;
+    for (const StmtPtr& s : stmts.value()) ops.push_back(s.get());
+    auto stats = engine_.ExecuteBlock(ops);
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    return stats.ok() ? stats.value() : InstanceStats{};
+  }
+
+  size_t TableSize(const std::string& name) {
+    auto t = db_.GetTable(name);
+    return t.ok() ? t.value()->size() : 0;
+  }
+
+  Database db_;
+  InstanceEngine engine_{&db_};
+};
+
+TEST_F(InstanceTest, OneInvocationPerAffectedTuple) {
+  DefineRule(
+      "create rule audit_ins when inserted into orders "
+      "then insert into audit (select id, 1 from inserted orders)");
+
+  InstanceStats stats = Execute(
+      "insert into orders values (1, 10); "
+      "insert into orders values (2, 20); "
+      "insert into orders values (3, 30)");
+
+  // Instance-oriented: 3 tuples -> 3 invocations, 3 action executions.
+  EXPECT_EQ(stats.invocations, 3u);
+  EXPECT_EQ(stats.actions_executed, 3u);
+  EXPECT_EQ(TableSize("audit"), 3u);
+}
+
+TEST_F(InstanceTest, ConditionFilteredPerTuple) {
+  DefineRule(
+      "create rule big when inserted into orders "
+      "if exists (select * from inserted orders where qty > 15) "
+      "then insert into audit (select id, 2 from inserted orders)");
+
+  InstanceStats stats = Execute(
+      "insert into orders values (1, 10); "
+      "insert into orders values (2, 20); "
+      "insert into orders values (3, 30)");
+
+  EXPECT_EQ(stats.invocations, 3u);
+  EXPECT_EQ(stats.actions_executed, 2u);  // only qty 20 and 30
+  EXPECT_EQ(TableSize("audit"), 2u);
+}
+
+TEST_F(InstanceTest, DeletedAndUpdatedPredicates) {
+  DefineRule(
+      "create rule del when deleted from orders "
+      "then insert into audit (select id, 3 from deleted orders)");
+  DefineRule(
+      "create rule upd when updated orders.qty "
+      "then insert into audit (select id, 4 from new updated orders.qty)");
+
+  Execute("insert into orders values (1, 10); insert into orders values (2, 20)");
+  InstanceStats stats = Execute("update orders set qty = qty + 1");
+  EXPECT_EQ(stats.actions_executed, 2u);
+  stats = Execute("delete from orders where id = 1");
+  EXPECT_EQ(stats.actions_executed, 1u);
+  EXPECT_EQ(TableSize("audit"), 3u);
+}
+
+TEST_F(InstanceTest, ColumnSensitiveUpdatePredicate) {
+  DefineRule(
+      "create rule upd when updated orders.qty "
+      "then insert into audit (select id, 4 from new updated orders.qty)");
+  Execute("insert into orders values (1, 10)");
+  InstanceStats stats = Execute("update orders set id = 5");
+  EXPECT_EQ(stats.invocations, 0u);  // id update does not match qty pred
+}
+
+TEST_F(InstanceTest, CascadesViaQueue) {
+  ASSERT_OK(db_.CreateTable(TableSchema(
+      "chain", {{"n", ValueType::kInt}})));
+  DefineRule(
+      "create rule down when inserted into chain "
+      "if exists (select * from inserted chain where n > 0) "
+      "then insert into chain (select n - 1 from inserted chain)");
+
+  InstanceStats stats = Execute("insert into chain values (4)");
+  // 4 -> 3 -> 2 -> 1 -> 0: five tuples total, five invocations.
+  EXPECT_EQ(TableSize("chain"), 5u);
+  EXPECT_EQ(stats.invocations, 5u);
+  EXPECT_EQ(stats.actions_executed, 4u);
+}
+
+TEST_F(InstanceTest, RunawayCascadeLimited) {
+  ASSERT_OK(db_.CreateTable(TableSchema("inf", {{"n", ValueType::kInt}})));
+  InstanceEngine limited(&db_, 50);
+  auto stmt = Parser::ParseStatement(
+      "create rule forever when inserted into inf "
+      "then insert into inf (select n + 1 from inserted inf)");
+  ASSERT_TRUE(stmt.ok());
+  std::shared_ptr<const CreateRuleStmt> def(
+      static_cast<const CreateRuleStmt*>(stmt.value().release()));
+  ASSERT_OK(limited.DefineRule(std::move(def)));
+
+  auto ops = Parser::ParseScript("insert into inf values (0)");
+  ASSERT_TRUE(ops.ok());
+  std::vector<const Stmt*> raw{ops.value()[0].get()};
+  auto stats = limited.ExecuteBlock(raw);
+  EXPECT_EQ(stats.status().code(), StatusCode::kLimitExceeded);
+  EXPECT_EQ(TableSize("inf"), 0u);  // rolled back
+}
+
+TEST_F(InstanceTest, RollbackRulesUnsupported) {
+  auto stmt = Parser::ParseStatement(
+      "create rule nope when inserted into orders then rollback");
+  ASSERT_TRUE(stmt.ok());
+  std::shared_ptr<const CreateRuleStmt> def(
+      static_cast<const CreateRuleStmt*>(stmt.value().release()));
+  EXPECT_EQ(engine_.DefineRule(std::move(def)).code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST_F(InstanceTest, StaleWorkSkipped) {
+  // Rule A deletes the tuple; rule B (enqueued for the same tuple) must
+  // not crash on the now-missing tuple.
+  DefineRule(
+      "create rule killer when inserted into orders "
+      "then delete from orders where id in (select id from inserted orders)");
+  DefineRule(
+      "create rule reader when inserted into orders "
+      "then insert into audit (select id, 9 from inserted orders)");
+
+  InstanceStats stats = Execute("insert into orders values (1, 10)");
+  (void)stats;
+  EXPECT_EQ(TableSize("orders"), 0u);
+  // reader's work item was stale (tuple deleted) and skipped.
+  EXPECT_EQ(TableSize("audit"), 0u);
+}
+
+TEST_F(InstanceTest, MatchesSetOrientedFinalStateOnMonotonicRules) {
+  // For insert-only audit rules the two execution disciplines agree on
+  // the final state (they differ in cost, which is benchmark B1).
+  Engine set_engine;
+  ASSERT_OK(set_engine.Execute("create table orders (id int, qty int)"));
+  ASSERT_OK(set_engine.Execute("create table audit (id int, tag int)"));
+  ASSERT_OK(set_engine.Execute(
+      "create rule audit_ins when inserted into orders "
+      "then insert into audit (select id, 1 from inserted orders)"));
+
+  DefineRule(
+      "create rule audit_ins when inserted into orders "
+      "then insert into audit (select id, 1 from inserted orders)");
+
+  std::string block =
+      "insert into orders values (1, 10); "
+      "insert into orders values (2, 20)";
+  ASSERT_OK(set_engine.Execute(block));
+  Execute(block);
+
+  ASSERT_OK_AND_ASSIGN(QueryResult set_audit,
+                       set_engine.Query("select id from audit order by id"));
+  EXPECT_EQ(set_audit.rows.size(), 2u);
+  EXPECT_EQ(TableSize("audit"), 2u);
+}
+
+}  // namespace
+}  // namespace sopr

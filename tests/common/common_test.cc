@@ -1,0 +1,127 @@
+// Common layer: Status/Result model, macros, string utilities, Row.
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "rules/trace_format.h"
+#include "test_util.h"
+#include "types/row.h"
+
+namespace sopr {
+namespace {
+
+TEST(Status, OkAndErrorStates) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::ParseError("bad token");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kParseError);
+  EXPECT_EQ(err.message(), "bad token");
+  EXPECT_EQ(err.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, AllCodesNamed) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kParseError,
+        StatusCode::kCatalogError, StatusCode::kTypeError,
+        StatusCode::kExecutionError, StatusCode::kConstraintError,
+        StatusCode::kRolledBack, StatusCode::kLimitExceeded,
+        StatusCode::kNotImplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Status UseResult(int v, int* out) {
+  SOPR_ASSIGN_OR_RETURN(*out, ParsePositive(v));
+  return Status::OK();
+}
+
+TEST(Result, ValueAndStatusPaths) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  EXPECT_EQ(good.ValueOr(-1), 42);
+
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.ValueOr(-1), -1);
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_OK(UseResult(5, &out));
+  EXPECT_EQ(out, 10);
+  EXPECT_EQ(UseResult(-5, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 10);  // unchanged on failure
+}
+
+TEST(StringUtil, ToLowerAndEquals) {
+  EXPECT_EQ(ToLower("MiXeD_123"), "mixed_123");
+  EXPECT_TRUE(EqualsIgnoreCase("Emp", "EMP"));
+  EXPECT_FALSE(EqualsIgnoreCase("emp", "dept"));
+  EXPECT_FALSE(EqualsIgnoreCase("emp", "emps"));
+}
+
+TEST(StringUtil, JoinAndTrim) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("z"), "z");
+}
+
+TEST(RowBasics, AppendAccessAndToString) {
+  Row row{Value::Int(1), Value::String("x")};
+  EXPECT_EQ(row.size(), 2u);
+  row.Append(Value::Null());
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(row.ToString(), "(1, 'x', NULL)");
+  EXPECT_EQ(row, (Row{Value::Int(1), Value::String("x"), Value::Null()}));
+  EXPECT_NE(row, (Row{Value::Int(1)}));
+}
+
+TEST(RowBasics, LexicographicOrder) {
+  EXPECT_LT((Row{Value::Int(1), Value::Int(9)}),
+            (Row{Value::Int(2), Value::Int(0)}));
+  EXPECT_LT((Row{Value::Int(1)}), (Row{Value::Int(1), Value::Int(0)}));
+  EXPECT_FALSE((Row{Value::Int(2)}) < (Row{Value::Int(1)}));
+}
+
+TEST(TraceFormat, RendersAllSections) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule guard when inserted into t "
+      "if exists (select * from inserted t where a < 0) then rollback"));
+  ASSERT_OK(engine.Execute(
+      "create rule echo when inserted into t "
+      "then select a from inserted t"));
+
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace good,
+                       engine.ExecuteBlock("insert into t values (1)"));
+  TraceFormatOptions options;
+  options.show_retrieved = true;
+  std::string text = FormatTrace(good, options);
+  EXPECT_NE(text.find("considered guard: condition false"),
+            std::string::npos);
+  EXPECT_NE(text.find("fired echo"), std::string::npos);
+
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace vetoed,
+                       engine.ExecuteBlock("insert into t values (-1)"));
+  EXPECT_NE(FormatTrace(vetoed).find("ROLLED BACK by rule guard"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sopr

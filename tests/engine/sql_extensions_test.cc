@@ -1,0 +1,133 @@
+// SQL-level extension statements: `process rules` (§5.3 triggering
+// points inside scripts), `activate/deactivate rule`, and the [WF89a]
+// result that boolean combinations of basic transition predicates are
+// expressible through rule conditions over transition tables.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+TEST(ProcessRulesStatement, SplitsBlockIntoTransitions) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  ASSERT_OK(engine.Execute("create table log (n int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule watch when inserted into t "
+      "then insert into log (select count(*) from inserted t)"));
+
+  // Without the marker the rule sees all three inserts at once; with the
+  // marker it sees {2 inserts} then {1 insert}.
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionTrace trace,
+      engine.ExecuteBlock("insert into t values (1); insert into t values (2); "
+                          "process rules; "
+                          "insert into t values (3)"));
+  ASSERT_EQ(trace.firings.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(QueryResult r,
+                       engine.Query("select n from log order by n"));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(1));
+  EXPECT_EQ(r.rows[1].at(0), Value::Int(2));
+}
+
+TEST(ProcessRulesStatement, RollbackAtTriggeringPointAbortsWholeBlock) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule veto when inserted into t "
+      "if exists (select * from inserted t where a < 0) then rollback"));
+
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionTrace trace,
+      engine.ExecuteBlock("insert into t values (-1); process rules; "
+                          "insert into t values (5)"));
+  EXPECT_TRUE(trace.rolled_back);
+  // The statement after the triggering point never ran.
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t"), Value::Int(0));
+}
+
+TEST(ProcessRulesStatement, LeadingAndTrailingMarkersAreHarmless) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionTrace trace,
+      engine.ExecuteBlock(
+          "process rules; insert into t values (1); process rules"));
+  (void)trace;
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t"), Value::Int(1));
+}
+
+TEST(ActivateDeactivate, SqlStatements) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  ASSERT_OK(engine.Execute("create table log (n int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule watch when inserted into t "
+      "then insert into log values (1)"));
+
+  ASSERT_OK(engine.Execute("deactivate rule watch"));
+  ASSERT_OK(engine.Execute("insert into t values (1)"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(0));
+
+  ASSERT_OK(engine.Execute("activate rule watch"));
+  ASSERT_OK(engine.Execute("insert into t values (2)"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(1));
+
+  EXPECT_EQ(engine.Execute("deactivate rule nosuch").code(),
+            StatusCode::kCatalogError);
+}
+
+// --- [WF89a]: boolean combinations of basic transition predicates --------
+
+TEST(BooleanCombinations, ConjunctionViaCondition) {
+  // "when inserted into a AND deleted from b" is not directly
+  // expressible (the when-list is a disjunction), but the condition can
+  // demand both transition tables be non-empty ([WF89a]).
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (x int)"));
+  ASSERT_OK(engine.Execute("create table b (x int)"));
+  ASSERT_OK(engine.Execute("create table log (n int)"));
+  ASSERT_OK(engine.Execute("insert into b values (1), (2)"));
+  ASSERT_OK(engine.Execute(
+      "create rule both when inserted into a or deleted from b "
+      "if exists (select * from inserted a) "
+      "   and exists (select * from deleted b) "
+      "then insert into log values (1)"));
+
+  // Insert only: triggered but the condition fails.
+  ASSERT_OK(engine.Execute("insert into a values (1)"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(0));
+  // Delete only: same.
+  ASSERT_OK(engine.Execute("delete from b where x = 1"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(0));
+  // Both in one transition: fires.
+  ASSERT_OK(engine.Execute(
+      "insert into a values (2); delete from b where x = 2"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(1));
+}
+
+TEST(BooleanCombinations, NegationViaCondition) {
+  // "inserted into a AND NOT deleted from b".
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (x int)"));
+  ASSERT_OK(engine.Execute("create table b (x int)"));
+  ASSERT_OK(engine.Execute("create table log (n int)"));
+  ASSERT_OK(engine.Execute("insert into b values (1)"));
+  ASSERT_OK(engine.Execute(
+      "create rule only_a when inserted into a or deleted from b "
+      "if not exists (select * from deleted b) "
+      "then insert into log values (1)"));
+
+  ASSERT_OK(engine.Execute("insert into a values (1)"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(1));
+  ASSERT_OK(engine.Execute(
+      "insert into a values (2); delete from b where x = 1"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(1));
+}
+
+}  // namespace
+}  // namespace sopr

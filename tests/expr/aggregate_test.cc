@@ -1,0 +1,139 @@
+// AggregateAccumulator unit tests: SQL NULL handling, distinct, type
+// promotion, and empty-input semantics for every function.
+
+#include "expr/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+Value Finish(AggregateAccumulator& acc) {
+  auto v = acc.Finish();
+  EXPECT_TRUE(v.ok()) << v.status();
+  return v.ok() ? std::move(v).value() : Value::Null();
+}
+
+TEST(Aggregate, CountStarAndCountColumn) {
+  AggregateAccumulator star(AggFunc::kCount, false);
+  // count(*) is fed one non-null marker per row.
+  for (int i = 0; i < 5; ++i) ASSERT_OK(star.Add(Value::Bool(true)));
+  EXPECT_EQ(Finish(star), Value::Int(5));
+
+  AggregateAccumulator col(AggFunc::kCount, false);
+  ASSERT_OK(col.Add(Value::Int(1)));
+  ASSERT_OK(col.Add(Value::Null()));  // skipped
+  ASSERT_OK(col.Add(Value::Int(2)));
+  EXPECT_EQ(Finish(col), Value::Int(2));
+}
+
+TEST(Aggregate, SumIntStaysInt) {
+  AggregateAccumulator acc(AggFunc::kSum, false);
+  ASSERT_OK(acc.Add(Value::Int(1)));
+  ASSERT_OK(acc.Add(Value::Int(2)));
+  ASSERT_OK(acc.Add(Value::Int(3)));
+  EXPECT_EQ(Finish(acc), Value::Int(6));
+}
+
+TEST(Aggregate, SumPromotesOnDouble) {
+  AggregateAccumulator acc(AggFunc::kSum, false);
+  ASSERT_OK(acc.Add(Value::Int(1)));
+  ASSERT_OK(acc.Add(Value::Double(2.5)));
+  ASSERT_OK(acc.Add(Value::Int(3)));
+  EXPECT_EQ(Finish(acc), Value::Double(6.5));
+}
+
+TEST(Aggregate, EmptyInputs) {
+  AggregateAccumulator count(AggFunc::kCount, false);
+  EXPECT_EQ(Finish(count), Value::Int(0));
+  AggregateAccumulator sum(AggFunc::kSum, false);
+  EXPECT_TRUE(Finish(sum).is_null());
+  AggregateAccumulator avg(AggFunc::kAvg, false);
+  EXPECT_TRUE(Finish(avg).is_null());
+  AggregateAccumulator mn(AggFunc::kMin, false);
+  EXPECT_TRUE(Finish(mn).is_null());
+  AggregateAccumulator mx(AggFunc::kMax, false);
+  EXPECT_TRUE(Finish(mx).is_null());
+}
+
+TEST(Aggregate, AllNullInputsBehaveLikeEmpty) {
+  AggregateAccumulator sum(AggFunc::kSum, false);
+  ASSERT_OK(sum.Add(Value::Null()));
+  ASSERT_OK(sum.Add(Value::Null()));
+  EXPECT_TRUE(Finish(sum).is_null());
+}
+
+TEST(Aggregate, AvgIsAlwaysDouble) {
+  AggregateAccumulator acc(AggFunc::kAvg, false);
+  ASSERT_OK(acc.Add(Value::Int(1)));
+  ASSERT_OK(acc.Add(Value::Int(2)));
+  EXPECT_EQ(Finish(acc), Value::Double(1.5));
+}
+
+TEST(Aggregate, MinMaxNumericAndString) {
+  AggregateAccumulator mn(AggFunc::kMin, false);
+  ASSERT_OK(mn.Add(Value::Int(5)));
+  ASSERT_OK(mn.Add(Value::Double(2.5)));
+  ASSERT_OK(mn.Add(Value::Int(7)));
+  EXPECT_EQ(Finish(mn), Value::Double(2.5));
+
+  AggregateAccumulator mx(AggFunc::kMax, false);
+  ASSERT_OK(mx.Add(Value::String("apple")));
+  ASSERT_OK(mx.Add(Value::String("pear")));
+  ASSERT_OK(mx.Add(Value::String("fig")));
+  EXPECT_EQ(Finish(mx), Value::String("pear"));
+}
+
+TEST(Aggregate, DistinctDeduplicates) {
+  AggregateAccumulator count(AggFunc::kCount, true);
+  ASSERT_OK(count.Add(Value::Int(1)));
+  ASSERT_OK(count.Add(Value::Int(1)));
+  ASSERT_OK(count.Add(Value::Int(2)));
+  ASSERT_OK(count.Add(Value::Null()));
+  EXPECT_EQ(Finish(count), Value::Int(2));
+
+  AggregateAccumulator sum(AggFunc::kSum, true);
+  ASSERT_OK(sum.Add(Value::Int(3)));
+  ASSERT_OK(sum.Add(Value::Int(3)));
+  ASSERT_OK(sum.Add(Value::Int(4)));
+  EXPECT_EQ(Finish(sum), Value::Int(7));
+}
+
+TEST(Aggregate, DistinctIsStructural) {
+  // 2 (int) and 2.0 (double) are structurally distinct values.
+  AggregateAccumulator count(AggFunc::kCount, true);
+  ASSERT_OK(count.Add(Value::Int(2)));
+  ASSERT_OK(count.Add(Value::Double(2.0)));
+  EXPECT_EQ(Finish(count), Value::Int(2));
+}
+
+TEST(Aggregate, SumRejectsNonNumeric) {
+  AggregateAccumulator acc(AggFunc::kSum, false);
+  EXPECT_EQ(acc.Add(Value::String("x")).code(), StatusCode::kTypeError);
+  AggregateAccumulator avg(AggFunc::kAvg, false);
+  EXPECT_EQ(avg.Add(Value::Bool(true)).code(), StatusCode::kTypeError);
+}
+
+TEST(Aggregate, IntSumOverflowPromotesToDouble) {
+  AggregateAccumulator acc(AggFunc::kSum, false);
+  ASSERT_OK(acc.Add(Value::Int(INT64_MAX)));
+  ASSERT_OK(acc.Add(Value::Int(INT64_MAX)));
+  auto v = acc.Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().type(), ValueType::kDouble);
+  EXPECT_GT(v.value().AsDouble(), 1.8e19);
+}
+
+TEST(Aggregate, LargeIntSumExactness) {
+  AggregateAccumulator acc(AggFunc::kSum, false);
+  // 2^53 + 1 is not representable as double; int accumulation keeps it.
+  int64_t big = (int64_t{1} << 53);
+  ASSERT_OK(acc.Add(Value::Int(big)));
+  ASSERT_OK(acc.Add(Value::Int(1)));
+  EXPECT_EQ(Finish(acc), Value::Int(big + 1));
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,202 @@
+// Scalar expression evaluation: scopes, name resolution, three-valued
+// logic, short-circuiting, and error paths — independent of the query
+// executor (no subquery runner).
+
+#include "expr/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest()
+      : schema_("emp", {{"name", ValueType::kString},
+                        {"salary", ValueType::kDouble},
+                        {"dept_no", ValueType::kInt}}),
+        row_({Value::String("Jane"), Value::Double(90000),
+              Value::Int(1)}) {}
+
+  void SetUp() override {
+    ASSERT_OK(scope_.AddBinding("emp", &schema_));
+    scope_.SetRow(0, &row_);
+  }
+
+  Value Eval(const std::string& expr_sql) {
+    auto expr = Parser::ParseExpression(expr_sql);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    EvalContext ctx;  // no runner: subqueries would fail
+    auto v = Evaluate(*expr.value(), scope_, ctx);
+    EXPECT_TRUE(v.ok()) << expr_sql << " -> " << v.status();
+    return v.ok() ? std::move(v).value() : Value::Null();
+  }
+
+  Status EvalError(const std::string& expr_sql) {
+    auto expr = Parser::ParseExpression(expr_sql);
+    EXPECT_TRUE(expr.ok()) << expr.status();
+    EvalContext ctx;
+    auto v = Evaluate(*expr.value(), scope_, ctx);
+    EXPECT_FALSE(v.ok()) << expr_sql;
+    return v.status();
+  }
+
+  TableSchema schema_;
+  Row row_;
+  Scope scope_;
+};
+
+TEST_F(EvaluatorTest, ColumnAndQualifiedColumn) {
+  EXPECT_EQ(Eval("name"), Value::String("Jane"));
+  EXPECT_EQ(Eval("emp.salary"), Value::Double(90000));
+  EXPECT_EQ(EvalError("nosuch").code(), StatusCode::kCatalogError);
+  EXPECT_EQ(EvalError("bad.salary").code(), StatusCode::kCatalogError);
+}
+
+TEST_F(EvaluatorTest, ArithmeticPrecedence) {
+  EXPECT_EQ(Eval("2 + 3 * 4"), Value::Int(14));
+  EXPECT_EQ(Eval("(2 + 3) * 4"), Value::Int(20));
+  EXPECT_EQ(Eval("-salary / 2"), Value::Double(-45000));
+  EXPECT_EQ(Eval("salary * 0.1 + dept_no"), Value::Double(9001));
+}
+
+TEST_F(EvaluatorTest, ComparisonsAndLogic) {
+  EXPECT_EQ(Eval("salary > 50000"), Value::Bool(true));
+  EXPECT_EQ(Eval("salary > 50000 and dept_no = 2"), Value::Bool(false));
+  EXPECT_EQ(Eval("salary > 50000 or dept_no = 2"), Value::Bool(true));
+  EXPECT_EQ(Eval("not (dept_no = 1)"), Value::Bool(false));
+  EXPECT_EQ(Eval("name = 'Jane'"), Value::Bool(true));
+  EXPECT_EQ(Eval("name <> 'Jane'"), Value::Bool(false));
+  EXPECT_EQ(Eval("salary >= 90000"), Value::Bool(true));
+  EXPECT_EQ(Eval("salary <= 89999"), Value::Bool(false));
+}
+
+TEST_F(EvaluatorTest, ThreeValuedLogicWithNull) {
+  EXPECT_TRUE(Eval("null = 1").is_null());
+  EXPECT_TRUE(Eval("null and true").is_null());
+  EXPECT_EQ(Eval("null and false"), Value::Bool(false));
+  EXPECT_EQ(Eval("null or true"), Value::Bool(true));
+  EXPECT_TRUE(Eval("null or false").is_null());
+  EXPECT_TRUE(Eval("not (null = 1)").is_null());
+  EXPECT_EQ(Eval("null is null"), Value::Bool(true));
+  EXPECT_EQ(Eval("salary is not null"), Value::Bool(true));
+}
+
+TEST_F(EvaluatorTest, ShortCircuitPreventsErrors) {
+  // Right operand would divide by zero; short-circuit avoids it.
+  EXPECT_EQ(Eval("false and (1 / 0 > 0)"), Value::Bool(false));
+  EXPECT_EQ(Eval("true or (1 / 0 > 0)"), Value::Bool(true));
+  // Without short-circuit the error surfaces.
+  EXPECT_EQ(EvalError("true and (1 / 0 > 0)").code(),
+            StatusCode::kExecutionError);
+}
+
+TEST_F(EvaluatorTest, InListSemantics) {
+  EXPECT_EQ(Eval("dept_no in (1, 2, 3)"), Value::Bool(true));
+  EXPECT_EQ(Eval("dept_no in (5, 6)"), Value::Bool(false));
+  EXPECT_EQ(Eval("dept_no not in (5, 6)"), Value::Bool(true));
+  // SQL subtlety: x NOT IN (..., NULL, ...) with no match is UNKNOWN.
+  EXPECT_TRUE(Eval("dept_no in (5, null)").is_null());
+  EXPECT_TRUE(Eval("dept_no not in (5, null)").is_null());
+  // ...but a positive match beats the NULL.
+  EXPECT_EQ(Eval("dept_no in (1, null)"), Value::Bool(true));
+}
+
+TEST_F(EvaluatorTest, BetweenSemantics) {
+  EXPECT_EQ(Eval("salary between 80000 and 100000"), Value::Bool(true));
+  EXPECT_EQ(Eval("salary between 0 and 50000"), Value::Bool(false));
+  EXPECT_EQ(Eval("salary not between 0 and 50000"), Value::Bool(true));
+  EXPECT_TRUE(Eval("salary between null and 100000").is_null());
+  // Inclusive bounds.
+  EXPECT_EQ(Eval("salary between 90000 and 90000"), Value::Bool(true));
+}
+
+TEST_F(EvaluatorTest, OuterScopeResolution) {
+  TableSchema inner_schema("dept", {{"dept_no", ValueType::kInt},
+                                    {"mgr_no", ValueType::kInt}});
+  Row inner_row{Value::Int(7), Value::Int(10)};
+  Scope inner(&scope_);
+  ASSERT_OK(inner.AddBinding("dept", &inner_schema));
+  inner.SetRow(0, &inner_row);
+
+  EvalContext ctx;
+  // Unqualified: inner binding wins for dept columns; falls through to
+  // outer for emp columns.
+  auto mgr = Parser::ParseExpression("mgr_no");
+  auto v1 = Evaluate(*mgr.value(), inner, ctx);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1.value(), Value::Int(10));
+
+  auto sal = Parser::ParseExpression("salary");
+  auto v2 = Evaluate(*sal.value(), inner, ctx);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2.value(), Value::Double(90000));
+
+  // Inner `dept_no` shadows outer emp.dept_no.
+  auto dn = Parser::ParseExpression("dept_no");
+  auto v3 = Evaluate(*dn.value(), inner, ctx);
+  ASSERT_TRUE(v3.ok());
+  EXPECT_EQ(v3.value(), Value::Int(7));
+
+  // Qualified access still reaches the outer binding.
+  auto q = Parser::ParseExpression("emp.dept_no");
+  auto v4 = Evaluate(*q.value(), inner, ctx);
+  ASSERT_TRUE(v4.ok());
+  EXPECT_EQ(v4.value(), Value::Int(1));
+}
+
+TEST_F(EvaluatorTest, AmbiguousUnqualifiedNameAtSameLevel) {
+  TableSchema other("emp2", {{"salary", ValueType::kDouble}});
+  Scope both;
+  ASSERT_OK(both.AddBinding("a", &schema_));
+  ASSERT_OK(both.AddBinding("b", &other));
+  EvalContext ctx;
+  auto expr = Parser::ParseExpression("salary");
+  auto v = Evaluate(*expr.value(), both, ctx);
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCatalogError);
+}
+
+TEST_F(EvaluatorTest, PredicateConversion) {
+  auto expr = Parser::ParseExpression("salary");
+  EvalContext ctx;
+  auto t = EvaluatePredicate(*expr.value(), scope_, ctx);
+  EXPECT_FALSE(t.ok());  // double is not a predicate
+  EXPECT_EQ(t.status().code(), StatusCode::kTypeError);
+
+  auto good = Parser::ParseExpression("salary > 0");
+  auto t2 = EvaluatePredicate(*good.value(), scope_, ctx);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2.value(), TriBool::kTrue);
+}
+
+TEST_F(EvaluatorTest, SubqueryWithoutRunnerIsInternalError) {
+  EXPECT_EQ(EvalError("exists (select * from emp)").code(),
+            StatusCode::kInternal);
+}
+
+TEST_F(EvaluatorTest, AggregateOutsideContextIsTypeError) {
+  EXPECT_EQ(EvalError("sum(salary)").code(), StatusCode::kTypeError);
+}
+
+TEST_F(EvaluatorTest, ContainsAndCollectAggregates) {
+  auto a = Parser::ParseExpression("1 + sum(salary) / count(*)");
+  EXPECT_TRUE(ContainsAggregate(*a.value()));
+  std::vector<const AggregateExpr*> nodes;
+  CollectAggregates(*a.value(), &nodes);
+  EXPECT_EQ(nodes.size(), 2u);
+
+  auto b = Parser::ParseExpression("salary + 1 > 2");
+  EXPECT_FALSE(ContainsAggregate(*b.value()));
+
+  // Aggregates inside subqueries do NOT count at this level.
+  auto c = Parser::ParseExpression(
+      "salary > (select avg(salary) from emp)");
+  EXPECT_FALSE(ContainsAggregate(*c.value()));
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,272 @@
+// Large integrated case study, in the spirit of the [CW90] companion
+// paper ("a fairly large case study"): an order-management domain where
+// a dozen interacting rules — hand-written and compiler-generated —
+// enforce business policy across five tables. Exercises rule interaction
+// at a scale none of the unit tests do: priorities, cascades across three
+// tables, aggregate guards, rollback propagation, and triggering points.
+
+#include <gtest/gtest.h>
+
+#include "constraints/compiler.h"
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class CaseStudy : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Schema: customers place orders for products; order_lines reference
+    // both; an audit trail records noteworthy events.
+    ASSERT_OK(engine_.Execute(
+        "create table customers (cust_id int, name string, credit double, "
+        "status string)"));
+    ASSERT_OK(engine_.Execute(
+        "create table products (prod_id int, price double, stock int)"));
+    ASSERT_OK(engine_.Execute(
+        "create table orders (order_id int, cust_id int, total double)"));
+    ASSERT_OK(engine_.Execute(
+        "create table order_lines (order_id int, prod_id int, qty int)"));
+    ASSERT_OK(engine_.Execute("create table audit (event string, key int)"));
+
+    // Compiler-generated referential constraints.
+    ConstraintCompiler compiler(&engine_);
+    ReferentialConstraint lines_orders;
+    lines_orders.name = "lines_orders";
+    lines_orders.child_table = "order_lines";
+    lines_orders.child_column = "order_id";
+    lines_orders.parent_table = "orders";
+    lines_orders.parent_column = "order_id";
+    lines_orders.on_parent_delete = ViolationAction::kCascade;
+    ASSERT_OK(compiler.AddReferential(lines_orders).status());
+
+    ReferentialConstraint orders_customers;
+    orders_customers.name = "orders_customers";
+    orders_customers.child_table = "orders";
+    orders_customers.child_column = "cust_id";
+    orders_customers.parent_table = "customers";
+    orders_customers.parent_column = "cust_id";
+    orders_customers.on_parent_delete = ViolationAction::kCascade;
+    ASSERT_OK(compiler.AddReferential(orders_customers).status());
+
+    UniqueConstraint unique_orders;
+    unique_orders.name = "order_key";
+    unique_orders.table = "orders";
+    unique_orders.column = "order_id";
+    ASSERT_OK(compiler.AddUnique(unique_orders).status());
+
+    // Hand-written business rules.
+    // R1: new order lines decrement product stock (set-oriented: one
+    // update handles all lines of a batch).
+    ASSERT_OK(engine_.Execute(
+        "create rule take_stock when inserted into order_lines "
+        "then update products set stock = stock - "
+        "       (select sum(qty) from inserted order_lines l "
+        "        where l.prod_id = products.prod_id) "
+        "     where prod_id in (select prod_id from inserted order_lines)"));
+
+    // R2: negative stock is impossible — abort the whole transaction.
+    ASSERT_OK(engine_.Execute(
+        "create rule stock_guard when updated products.stock "
+        "if exists (select * from new updated products.stock "
+        "           where stock < 0) "
+        "then rollback"));
+
+    // R3: new order lines recompute the order total from current prices.
+    ASSERT_OK(engine_.Execute(
+        "create rule total_order when inserted into order_lines "
+        "then update orders set total = "
+        "       (select sum(l.qty * p.price) from order_lines l, products p "
+        "        where l.prod_id = p.prod_id "
+        "          and l.order_id = orders.order_id) "
+        "     where order_id in (select order_id from inserted order_lines)"));
+
+    // R4: orders above a customer's credit limit are vetoed.
+    ASSERT_OK(engine_.Execute(
+        "create rule credit_guard when updated orders.total "
+        "if exists (select * from orders o, customers c "
+        "           where o.cust_id = c.cust_id and o.total > c.credit) "
+        "then rollback"));
+
+    // R5: big orders flip the customer to 'vip'.
+    ASSERT_OK(engine_.Execute(
+        "create rule vip when updated orders.total "
+        "then update customers set status = 'vip' "
+        "     where cust_id in (select cust_id from new updated orders.total "
+        "                       where total > 900)"));
+
+    // R6: audit deleted customers.
+    ASSERT_OK(engine_.Execute(
+        "create rule audit_cust when deleted from customers "
+        "then insert into audit "
+        "  (select 'customer-deleted', cust_id from deleted customers)"));
+
+    // R7: audit stock depletion below 3.
+    ASSERT_OK(engine_.Execute(
+        "create rule audit_low when updated products.stock "
+        "if exists (select * from new updated products.stock where stock < 3) "
+        "then insert into audit "
+        "  (select 'low-stock', prod_id from new updated products.stock "
+        "   where stock < 3 and prod_id not in "
+        "     (select key from audit where event = 'low-stock'))"));
+
+    // Guards run before bookkeeping.
+    ASSERT_OK(engine_.Execute(
+        "create rule priority stock_guard before take_stock"));
+    ASSERT_OK(engine_.Execute(
+        "create rule priority credit_guard before vip"));
+
+    // Seed data.
+    ASSERT_OK(engine_.Execute(
+        "insert into customers values (1, 'Acme', 1000, 'normal'), "
+        "(2, 'Tiny', 50, 'normal')"));
+    ASSERT_OK(engine_.Execute(
+        "insert into products values (10, 25.0, 20), (11, 100.0, 5), "
+        "(12, 4.0, 2)"));
+  }
+
+  Engine engine_;
+};
+
+TEST_F(CaseStudy, NormalOrderFlow) {
+  ASSERT_OK(engine_.Execute("insert into orders values (100, 1, 0)"));
+  // One block with two lines: every rule sees the SET of new lines.
+  ASSERT_OK(engine_.Execute(
+      "insert into order_lines values (100, 10, 4); "
+      "insert into order_lines values (100, 11, 2)"));
+
+  // Stock decremented once per product.
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select stock from products where prod_id = 10"),
+            Value::Int(16));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select stock from products where prod_id = 11"),
+            Value::Int(3));
+  // Total recomputed: 4*25 + 2*100 = 300.
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select total from orders where order_id = 100"),
+            Value::Double(300));
+  // No VIP flip (300 <= 900), no audit events.
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select status from customers where cust_id = 1"),
+            Value::String("normal"));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from audit"),
+            Value::Int(0));
+}
+
+TEST_F(CaseStudy, BigOrderFlipsVip) {
+  ASSERT_OK(engine_.Execute("insert into orders values (100, 1, 0)"));
+  ASSERT_OK(engine_.Execute(
+      "insert into order_lines values (100, 11, 5), (100, 10, 18)"));
+  // total = 5*100 + 18*25 = 950 <= 1000 credit, > 900 -> vip.
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select total from orders where order_id = 100"),
+            Value::Double(950));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select status from customers where cust_id = 1"),
+            Value::String("vip"));
+  // Product 11 hit 0 and product 10 hit 2: both below the low-stock
+  // threshold of 3, each audited exactly once.
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select count(*) from audit where event = 'low-stock'"),
+            Value::Int(2));
+}
+
+TEST_F(CaseStudy, OverdraftRollsEverythingBack) {
+  ASSERT_OK(engine_.Execute("insert into orders values (200, 2, 0)"));
+  // Tiny's credit is 50; 3 * 25 = 75 > 50 -> credit_guard rolls back.
+  Status s = engine_.Execute("insert into order_lines values (200, 10, 3)");
+  EXPECT_EQ(s.code(), StatusCode::kRolledBack);
+  // The lines, the stock decrement, and the total update are ALL undone.
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from order_lines"),
+            Value::Int(0));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select stock from products where prod_id = 10"),
+            Value::Int(20));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select total from orders where order_id = 200"),
+            Value::Double(0));
+}
+
+TEST_F(CaseStudy, OversellRollsBack) {
+  ASSERT_OK(engine_.Execute("insert into orders values (100, 1, 0)"));
+  // 30 units of product 10 (stock 20): stock_guard vetoes first.
+  Status s = engine_.Execute("insert into order_lines values (100, 10, 30)");
+  EXPECT_EQ(s.code(), StatusCode::kRolledBack);
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select stock from products where prod_id = 10"),
+            Value::Int(20));
+}
+
+TEST_F(CaseStudy, CustomerDeletionCascadesThroughThreeTables) {
+  ASSERT_OK(engine_.Execute("insert into orders values (100, 1, 0)"));
+  ASSERT_OK(engine_.Execute("insert into order_lines values (100, 10, 1)"));
+  ASSERT_OK(engine_.Execute("insert into orders values (101, 1, 0)"));
+  ASSERT_OK(engine_.Execute("insert into order_lines values (101, 10, 1)"));
+
+  // Deleting the customer cascades: orders -> order_lines; audit records
+  // the deletion. (Stock is NOT restored — returns are business logic we
+  // deliberately left out.)
+  ASSERT_OK(engine_.Execute("delete from customers where cust_id = 1"));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from orders"),
+            Value::Int(0));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from order_lines"),
+            Value::Int(0));
+  EXPECT_EQ(
+      QueryScalar(&engine_,
+                  "select count(*) from audit where event = 'customer-deleted'"),
+      Value::Int(1));
+}
+
+TEST_F(CaseStudy, DuplicateOrderIdRejected) {
+  ASSERT_OK(engine_.Execute("insert into orders values (100, 1, 0)"));
+  EXPECT_EQ(engine_.Execute("insert into orders values (100, 2, 0)").code(),
+            StatusCode::kRolledBack);
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from orders"),
+            Value::Int(1));
+}
+
+TEST_F(CaseStudy, DanglingOrderRejected) {
+  EXPECT_EQ(engine_.Execute("insert into orders values (300, 99, 0)").code(),
+            StatusCode::kRolledBack);
+}
+
+TEST_F(CaseStudy, TriggeringPointSplitsStockAccounting) {
+  // §5.3: force rule processing between two line batches of one
+  // transaction; each batch's stock accounting is applied separately but
+  // the whole thing still commits atomically.
+  ASSERT_OK(engine_.Execute("insert into orders values (100, 1, 0)"));
+  ASSERT_OK(engine_.Begin());
+  ASSERT_OK(engine_.Run("insert into order_lines values (100, 10, 2)"));
+  ASSERT_OK(engine_.ProcessRules().status());
+  ASSERT_OK(engine_.Run("insert into order_lines values (100, 10, 3)"));
+  ASSERT_OK(engine_.Commit().status());
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select stock from products where prod_id = 10"),
+            Value::Int(15));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select total from orders where order_id = 100"),
+            Value::Double(125));
+}
+
+TEST_F(CaseStudy, MixedBatchAcrossCustomers) {
+  // A single transaction with orders for two customers, one of which
+  // violates credit: the WHOLE batch rolls back (transaction-granular
+  // atomicity, §4).
+  ASSERT_OK(engine_.Execute(
+      "insert into orders values (100, 1, 0); "
+      "insert into orders values (200, 2, 0)"));
+  Status s = engine_.Execute(
+      "insert into order_lines values (100, 10, 1); "
+      "insert into order_lines values (200, 11, 1)");  // 100 > Tiny's 50
+  EXPECT_EQ(s.code(), StatusCode::kRolledBack);
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from order_lines"),
+            Value::Int(0));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select stock from products where prod_id = 11"),
+            Value::Int(5));
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,176 @@
+// CSV import/export: quoting, NULLs, type coercion, batch-as-transition
+// rule semantics, and round-tripping.
+
+#include "io/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+TEST(SplitCsvLine, PlainFields) {
+  ASSERT_OK_AND_ASSIGN(auto fields, SplitCsvLine("a,b,c", ','));
+  EXPECT_EQ(fields, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_OK_AND_ASSIGN(fields, SplitCsvLine("one", ','));
+  EXPECT_EQ(fields, (std::vector<std::string>{"one"}));
+  ASSERT_OK_AND_ASSIGN(fields, SplitCsvLine(",,", ','));
+  EXPECT_EQ(fields, (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(SplitCsvLine, QuotedFields) {
+  std::vector<bool> quoted;
+  ASSERT_OK_AND_ASSIGN(auto fields,
+                       SplitCsvLine("\"a,b\",\"he said \"\"hi\"\"\",plain",
+                                    ',', &quoted));
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a,b");
+  EXPECT_EQ(fields[1], "he said \"hi\"");
+  EXPECT_EQ(fields[2], "plain");
+  EXPECT_EQ(quoted, (std::vector<bool>{true, true, false}));
+}
+
+TEST(SplitCsvLine, QuotedEmptyVsEmpty) {
+  std::vector<bool> quoted;
+  ASSERT_OK_AND_ASSIGN(auto fields, SplitCsvLine("\"\",", ',', &quoted));
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_TRUE(quoted[0]);
+  EXPECT_FALSE(quoted[1]);
+}
+
+TEST(SplitCsvLine, UnterminatedQuoteFails) {
+  EXPECT_FALSE(SplitCsvLine("\"oops", ',').ok());
+}
+
+class CsvImportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute(
+        "create table emp (name string, emp_no int, salary double, "
+        "active bool)"));
+  }
+  Engine engine_;
+};
+
+TEST_F(CsvImportTest, BasicImportWithHeader) {
+  const char* csv =
+      "name,emp_no,salary,active\n"
+      "Jane,10,90000.5,true\n"
+      "Bill,40,25000,false\n";
+  ASSERT_OK_AND_ASSIGN(size_t n, ImportCsv(&engine_, "emp", csv));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select salary from emp where name = 'Jane'"),
+            Value::Double(90000.5));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select count(*) from emp where active = false"),
+            Value::Int(1));
+}
+
+TEST_F(CsvImportTest, EmptyFieldsBecomeNull) {
+  const char* csv = "name,emp_no,salary,active\nGhost,,,\n";
+  ASSERT_OK_AND_ASSIGN(size_t n, ImportCsv(&engine_, "emp", csv));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select count(*) from emp where salary is null"),
+            Value::Int(1));
+  // Quoted empty string is an empty STRING, not NULL.
+  ASSERT_OK(ImportCsv(&engine_, "emp", "name,e,s,a\n\"\",1,2,true\n").status());
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select count(*) from emp where name = ''"),
+            Value::Int(1));
+}
+
+TEST_F(CsvImportTest, TypeErrorsReportLineAndColumn) {
+  const char* csv = "h1,h2,h3,h4\nJane,not_an_int,5,true\n";
+  auto result = ImportCsv(&engine_, "emp", csv);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("emp_no"), std::string::npos);
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from emp"), Value::Int(0));
+}
+
+TEST_F(CsvImportTest, ArityMismatchFails) {
+  auto result = ImportCsv(&engine_, "emp", "h\nonly,two\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CsvImportTest, BatchIsOneSetOrientedTransition) {
+  ASSERT_OK(engine_.Execute("create table log (n int)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule watch when inserted into emp "
+      "then insert into log (select count(*) from inserted emp)"));
+  CsvOptions options;
+  options.batch_rows = 2;  // 5 data rows -> batches of 2, 2, 1
+  const char* csv =
+      "h,h,h,h\n"
+      "a,1,1,true\nb,2,2,true\nc,3,3,true\nd,4,4,true\ne,5,5,true\n";
+  ASSERT_OK_AND_ASSIGN(size_t n, ImportCsv(&engine_, "emp", csv, options));
+  EXPECT_EQ(n, 5u);
+  ASSERT_OK_AND_ASSIGN(QueryResult log,
+                       engine_.Query("select n from log order by n desc"));
+  ASSERT_EQ(log.rows.size(), 3u);
+  EXPECT_EQ(log.rows[0].at(0), Value::Int(2));
+  EXPECT_EQ(log.rows[2].at(0), Value::Int(1));
+}
+
+TEST_F(CsvImportTest, RuleRollbackStopsImport) {
+  ASSERT_OK(engine_.Execute(
+      "create rule cap when inserted into emp "
+      "if (select count(*) from emp) > 3 then rollback"));
+  CsvOptions options;
+  options.batch_rows = 2;
+  const char* csv =
+      "h,h,h,h\n"
+      "a,1,1,true\nb,2,2,true\nc,3,3,true\nd,4,4,true\ne,5,5,true\n";
+  auto result = ImportCsv(&engine_, "emp", csv, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kRolledBack);
+  // First batch (2 rows) committed; second batch of 2 vetoed (count 4>3).
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from emp"), Value::Int(2));
+}
+
+TEST_F(CsvImportTest, RoundTrip) {
+  const char* csv =
+      "name,emp_no,salary,active\n"
+      "\"quoted, name\",1,2.5,true\n"
+      "plain,2,,false\n";
+  ASSERT_OK(ImportCsv(&engine_, "emp", csv).status());
+  ASSERT_OK_AND_ASSIGN(
+      std::string out,
+      ExportCsv(&engine_, "select * from emp order by emp_no"));
+  // Re-import into a second engine and compare contents.
+  Engine second;
+  ASSERT_OK(second.Execute(
+      "create table emp (name string, emp_no int, salary double, "
+      "active bool)"));
+  ASSERT_OK_AND_ASSIGN(size_t n, ImportCsv(&second, "emp", out));
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(QueryScalar(&second,
+                        "select name from emp where emp_no = 1"),
+            Value::String("quoted, name"));
+  EXPECT_EQ(QueryScalar(&second,
+                        "select count(*) from emp where salary is null"),
+            Value::Int(1));
+}
+
+TEST_F(CsvImportTest, ExportFormatsValues) {
+  ASSERT_OK(engine_.Execute(
+      "insert into emp values ('a\"b', 7, 1.5, true)"));
+  ASSERT_OK_AND_ASSIGN(std::string out,
+                       ExportCsv(&engine_, "select * from emp"));
+  EXPECT_NE(out.find("name,emp_no,salary,active"), std::string::npos);
+  EXPECT_NE(out.find("\"a\"\"b\",7,1.5,true"), std::string::npos);
+}
+
+TEST_F(CsvImportTest, MissingTableFails) {
+  EXPECT_FALSE(ImportCsv(&engine_, "nosuch", "a\n1\n").ok());
+}
+
+}  // namespace
+}  // namespace sopr

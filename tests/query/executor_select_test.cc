@@ -1,0 +1,285 @@
+// Query executor tests: projection, joins, subqueries, aggregation,
+// grouping, ordering, NULL semantics.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "query/result_set.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class SelectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreatePaperSchema(&engine_);
+    LoadOrgChart(&engine_);
+  }
+
+  QueryResult Q(const std::string& sql) {
+    auto result = engine_.Query(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    return result.ok() ? std::move(result).value() : QueryResult{};
+  }
+
+  Engine engine_;
+};
+
+TEST_F(SelectTest, StarProjectsAllColumns) {
+  QueryResult r = Q("select * from dept");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"dept_no", "mgr_no"}));
+  EXPECT_EQ(r.rows.size(), 4u);
+}
+
+TEST_F(SelectTest, ExpressionProjectionAndAlias) {
+  QueryResult r = Q("select name, salary / 1000 k from emp where name = 'Sam'");
+  EXPECT_EQ(r.columns, (std::vector<std::string>{"name", "k"}));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].at(1), Value::Double(40.0));
+}
+
+TEST_F(SelectTest, CrossJoinAndQualifiedColumns) {
+  QueryResult r = Q(
+      "select e.name, d.mgr_no from emp e, dept d "
+      "where e.dept_no = d.dept_no and d.dept_no = 3 order by e.name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Sam"));
+  EXPECT_EQ(r.rows[1].at(0), Value::String("Sue"));
+  EXPECT_EQ(r.rows[0].at(1), Value::Int(30));
+}
+
+TEST_F(SelectTest, SelfJoinWithAliases) {
+  // Colleagues in the same department.
+  QueryResult r = Q(
+      "select e1.name, e2.name from emp e1, emp e2 "
+      "where e1.dept_no = e2.dept_no and e1.emp_no < e2.emp_no "
+      "order by e1.name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Mary"));
+  EXPECT_EQ(r.rows[0].at(1), Value::String("Jim"));
+  EXPECT_EQ(r.rows[1].at(0), Value::String("Sam"));
+  EXPECT_EQ(r.rows[1].at(1), Value::String("Sue"));
+}
+
+TEST_F(SelectTest, DuplicateBindingWithoutAliasFails) {
+  auto result = engine_.Query("select * from emp, emp");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCatalogError);
+}
+
+TEST_F(SelectTest, InSubquery) {
+  QueryResult r = Q(
+      "select name from emp where dept_no in "
+      "(select dept_no from dept where mgr_no = 10) order by name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Jim"));
+  EXPECT_EQ(r.rows[1].at(0), Value::String("Mary"));
+}
+
+TEST_F(SelectTest, CorrelatedSubquery) {
+  // Employees above their department's average.
+  QueryResult r = Q(
+      "select name from emp e1 where salary > "
+      "(select avg(salary) from emp e2 where e2.dept_no = e1.dept_no) "
+      "order by name");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Mary"));
+  EXPECT_EQ(r.rows[1].at(0), Value::String("Sue"));
+}
+
+TEST_F(SelectTest, ExistsAndNotExists) {
+  QueryResult r = Q(
+      "select dept_no from dept d where exists "
+      "(select * from emp e where e.dept_no = d.dept_no) order by dept_no");
+  ASSERT_EQ(r.rows.size(), 4u);
+
+  r = Q("select dept_no from dept d where not exists "
+        "(select * from emp e where e.dept_no = d.dept_no and salary > 60000)"
+        " order by dept_no");
+  // Depts whose members all earn <= 60000: 2 (Bill 25K), 3 (Sam, Sue).
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(2));
+  EXPECT_EQ(r.rows[1].at(0), Value::Int(3));
+}
+
+TEST_F(SelectTest, ScalarSubqueryEmptyIsNull) {
+  QueryResult r = Q(
+      "select name from emp where salary = "
+      "(select salary from emp where name = 'nobody')");
+  EXPECT_TRUE(r.rows.empty());  // NULL comparison is unknown, filtered out
+}
+
+TEST_F(SelectTest, ScalarSubqueryMultiRowFails) {
+  auto result = engine_.Query(
+      "select name from emp where salary = (select salary from emp)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(SelectTest, AggregatesUngrouped) {
+  QueryResult r = Q(
+      "select count(*), count(salary), sum(salary), avg(salary), "
+      "min(salary), max(salary) from emp");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(6));
+  EXPECT_EQ(r.rows[0].at(1), Value::Int(6));
+  EXPECT_EQ(r.rows[0].at(2), Value::Double(332000));
+  EXPECT_EQ(r.rows[0].at(3), Value::Double(332000.0 / 6));
+  EXPECT_EQ(r.rows[0].at(4), Value::Double(25000));
+  EXPECT_EQ(r.rows[0].at(5), Value::Double(90000));
+}
+
+TEST_F(SelectTest, AggregatesOnEmptyInput) {
+  QueryResult r = Q(
+      "select count(*), sum(salary), avg(salary), min(salary) from emp "
+      "where salary < 0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(0));
+  EXPECT_TRUE(r.rows[0].at(1).is_null());
+  EXPECT_TRUE(r.rows[0].at(2).is_null());
+  EXPECT_TRUE(r.rows[0].at(3).is_null());
+}
+
+TEST_F(SelectTest, AggregatesIgnoreNulls) {
+  ASSERT_OK(engine_.Execute("insert into emp values ('Nul', 99, null, 1)"));
+  QueryResult r = Q("select count(*), count(salary), avg(salary) from emp");
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(7));
+  EXPECT_EQ(r.rows[0].at(1), Value::Int(6));
+  EXPECT_EQ(r.rows[0].at(2), Value::Double(332000.0 / 6));
+}
+
+TEST_F(SelectTest, CountDistinct) {
+  QueryResult r = Q("select count(distinct dept_no) from emp");
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(4));
+}
+
+TEST_F(SelectTest, GroupByWithHaving) {
+  QueryResult r = Q(
+      "select dept_no, count(*) n, avg(salary) from emp "
+      "group by dept_no having count(*) > 1 order by dept_no");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(1));
+  EXPECT_EQ(r.rows[0].at(1), Value::Int(2));
+  EXPECT_EQ(r.rows[1].at(0), Value::Int(3));
+  EXPECT_EQ(r.rows[1].at(2), Value::Double(41000));
+}
+
+TEST_F(SelectTest, GroupByNonGroupedColumnFails) {
+  auto result =
+      engine_.Query("select name, count(*) from emp group by dept_no");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(SelectTest, MixedAggregateAndColumnWithoutGroupByFails) {
+  auto result = engine_.Query("select name, count(*) from emp");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SelectTest, AggregateOutsideAggregationContextFails) {
+  auto result = engine_.Query("select name from emp where sum(salary) > 1");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(SelectTest, DistinctDeduplicates) {
+  QueryResult r = Q("select distinct dept_no from emp order by dept_no");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(0));
+  EXPECT_EQ(r.rows[3].at(0), Value::Int(3));
+}
+
+TEST_F(SelectTest, OrderByDescendingAndMultipleKeys) {
+  QueryResult r = Q("select name, dept_no from emp order by dept_no desc, name");
+  ASSERT_EQ(r.rows.size(), 6u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Sam"));
+  EXPECT_EQ(r.rows[1].at(0), Value::String("Sue"));
+  EXPECT_EQ(r.rows[5].at(0), Value::String("Jane"));
+}
+
+TEST_F(SelectTest, InListAndBetweenAndIsNull) {
+  QueryResult r =
+      Q("select name from emp where dept_no in (2, 3) order by name");
+  ASSERT_EQ(r.rows.size(), 3u);
+
+  r = Q("select name from emp where salary between 40000 and 65000 "
+        "order by name");
+  ASSERT_EQ(r.rows.size(), 3u);  // Jim 65000, Sam 40000, Sue 42000
+
+  ASSERT_OK(engine_.Execute("insert into emp values ('Nul', 99, null, 1)"));
+  r = Q("select name from emp where salary is null");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Nul"));
+  r = Q("select count(*) from emp where salary is not null");
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(6));
+}
+
+TEST_F(SelectTest, NullNotInListIsFilteredNotMatched) {
+  ASSERT_OK(engine_.Execute("insert into emp values ('Nul', 99, null, null)"));
+  // dept_no NULL: `in` is unknown, so the row is excluded from both the
+  // positive and the negated predicate.
+  QueryResult pos = Q("select count(*) from emp where dept_no in (0, 1)");
+  QueryResult neg = Q("select count(*) from emp where not (dept_no in (0, 1))");
+  EXPECT_EQ(pos.rows[0].at(0), Value::Int(3));
+  EXPECT_EQ(neg.rows[0].at(0), Value::Int(3));  // 6 non-null - 3 matching
+}
+
+TEST_F(SelectTest, UnknownColumnAndAmbiguity) {
+  EXPECT_EQ(engine_.Query("select nosuch from emp").status().code(),
+            StatusCode::kCatalogError);
+  EXPECT_EQ(
+      engine_.Query("select dept_no from emp e, dept d").status().code(),
+      StatusCode::kCatalogError);  // ambiguous
+  EXPECT_EQ(engine_.Query("select e.name from emp e, dept d").status().code(),
+            StatusCode::kOk);
+}
+
+TEST_F(SelectTest, OrderByAggregate) {
+  // Aggregates are legal in ORDER BY of a grouped query.
+  QueryResult r = Q(
+      "select dept_no from emp group by dept_no order by count(*) desc, "
+      "dept_no");
+  ASSERT_EQ(r.rows.size(), 4u);
+  // Depts 1 and 3 have two members; 0 and 2 have one.
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(1));
+  EXPECT_EQ(r.rows[1].at(0), Value::Int(3));
+}
+
+TEST_F(SelectTest, HavingWithScalarSubquery) {
+  // Groups whose average beats the company-wide average.
+  QueryResult r = Q(
+      "select dept_no from emp group by dept_no "
+      "having avg(salary) > (select avg(salary) from emp e2) "
+      "order by dept_no");
+  // Company avg ≈ 55333; dept 0 (Jane 90000) and dept 1 (67500) beat it.
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::Int(0));
+  EXPECT_EQ(r.rows[1].at(0), Value::Int(1));
+}
+
+TEST_F(SelectTest, EmptyResultFormatting) {
+  QueryResult r = Q("select name, salary from emp where salary < 0");
+  EXPECT_TRUE(r.rows.empty());
+  std::string table = FormatResult(r);
+  EXPECT_NE(table.find("name"), std::string::npos);   // header still renders
+  EXPECT_NE(table.find("salary"), std::string::npos);
+}
+
+TEST_F(SelectTest, GroupByExpression) {
+  // Grouping by a computed expression (salary band).
+  QueryResult r = Q(
+      "select salary / 30000, count(*) from emp "
+      "group by salary / 30000 order by count(*) desc");
+  ASSERT_GE(r.rows.size(), 2u);
+}
+
+TEST_F(SelectTest, FormatResultRendersTable) {
+  QueryResult r = Q("select dept_no, mgr_no from dept order by dept_no");
+  std::string table = FormatResult(r);
+  EXPECT_NE(table.find("dept_no"), std::string::npos);
+  EXPECT_NE(table.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sopr

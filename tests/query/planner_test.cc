@@ -1,0 +1,281 @@
+// Planner unit tests plus differential property testing: the optimized
+// executor (pushdown + hash joins) must return exactly the same rows as
+// the naive cross-product executor on randomized queries.
+
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "engine/engine.h"
+#include "query/result_set.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest()
+      : emp_("emp", {{"name", ValueType::kString},
+                     {"salary", ValueType::kDouble},
+                     {"dept_no", ValueType::kInt}}),
+        dept_("dept", {{"dept_no", ValueType::kInt},
+                       {"mgr_no", ValueType::kInt}}) {}
+
+  QueryPlan Plan(const std::string& where_sql,
+                 std::vector<QueryPlan::BindingInfo> bindings) {
+    where_ = nullptr;
+    if (!where_sql.empty()) {
+      auto expr = Parser::ParseExpression(where_sql);
+      EXPECT_TRUE(expr.ok()) << expr.status();
+      where_ = std::move(expr).value();
+    }
+    return QueryPlan::Analyze(where_.get(), bindings);
+  }
+
+  TableSchema emp_;
+  TableSchema dept_;
+  ExprPtr where_;
+};
+
+TEST_F(PlannerTest, SingleRelationPredicatesPushed) {
+  QueryPlan plan = Plan("salary > 100 and name = 'x'",
+                        {{"emp", &emp_}});
+  EXPECT_EQ(plan.pushed().size(), 2u);
+  EXPECT_TRUE(plan.joins().empty());
+  EXPECT_TRUE(plan.residual().empty());
+}
+
+TEST_F(PlannerTest, EquijoinDetected) {
+  QueryPlan plan = Plan("emp.dept_no = dept.dept_no and salary > 5",
+                        {{"emp", &emp_}, {"dept", &dept_}});
+  ASSERT_EQ(plan.joins().size(), 1u);
+  EXPECT_EQ(plan.pushed().size(), 1u);  // salary > 5 -> emp
+  EXPECT_EQ(plan.pushed()[0].binding, 0u);
+  EXPECT_TRUE(plan.residual().empty());
+}
+
+TEST_F(PlannerTest, UnqualifiedEquijoinResolvesUniquely) {
+  // `mgr_no = salary` is nonsense semantically but resolves uniquely:
+  // mgr_no only in dept, salary only in emp -> join edge.
+  QueryPlan plan =
+      Plan("mgr_no = salary", {{"emp", &emp_}, {"dept", &dept_}});
+  EXPECT_EQ(plan.joins().size(), 1u);
+}
+
+TEST_F(PlannerTest, AmbiguousColumnStaysResidual) {
+  // dept_no exists in both bindings: conjunct cannot be classified.
+  QueryPlan plan = Plan("dept_no > 1", {{"emp", &emp_}, {"dept", &dept_}});
+  EXPECT_TRUE(plan.pushed().empty());
+  EXPECT_EQ(plan.residual().size(), 1u);
+}
+
+TEST_F(PlannerTest, NonEquiJoinPredicateResidual) {
+  QueryPlan plan = Plan("emp.dept_no < dept.dept_no",
+                        {{"emp", &emp_}, {"dept", &dept_}});
+  EXPECT_TRUE(plan.joins().empty());
+  EXPECT_EQ(plan.residual().size(), 1u);
+}
+
+TEST_F(PlannerTest, SubqueryConjunctReferencingOneBindingPushed) {
+  // Qualified refs into the subquery's own FROM are shadowed; e.salary
+  // binds to our emp binding -> single-relation, pushable.
+  QueryPlan plan =
+      Plan("e.salary > (select avg(d2.mgr_no) from dept d2)",
+           {{"e", &emp_}, {"dept", &dept_}});
+  ASSERT_EQ(plan.pushed().size(), 1u);
+  EXPECT_EQ(plan.pushed()[0].binding, 0u);
+}
+
+TEST_F(PlannerTest, UnqualifiedInsideSubqueryIsConservative) {
+  QueryPlan plan = Plan("e.salary > (select avg(mgr_no) from emp x)",
+                        {{"e", &emp_}, {"dept", &dept_}});
+  // `mgr_no` inside the subquery is unqualified: unknown -> residual.
+  EXPECT_TRUE(plan.pushed().empty());
+  EXPECT_EQ(plan.residual().size(), 1u);
+}
+
+TEST_F(PlannerTest, OrIsNotSplit) {
+  QueryPlan plan = Plan("salary > 1 or name = 'x'", {{"emp", &emp_}});
+  // A single disjunctive conjunct referencing one relation IS pushable.
+  EXPECT_EQ(plan.pushed().size(), 1u);
+}
+
+TEST_F(PlannerTest, ConstantConjunctPushedToFirst) {
+  QueryPlan plan = Plan("1 = 1 and emp.salary > 2", {{"emp", &emp_}});
+  EXPECT_EQ(plan.pushed().size(), 2u);
+}
+
+TEST_F(PlannerTest, JoinOrderPrefersConnectedRelations) {
+  TableSchema c("c", {{"k", ValueType::kInt}});
+  QueryPlan plan = Plan("emp.dept_no = c.k and dept.mgr_no = c.k",
+                        {{"emp", &emp_}, {"dept", &dept_}, {"c", &c}});
+  // Order starts at 0 (emp); c connects to emp, dept connects to c.
+  std::vector<size_t> order = plan.JoinOrder(3);
+  EXPECT_EQ(order, (std::vector<size_t>{0, 2, 1}));
+}
+
+TEST_F(PlannerTest, NoWhereMeansEmptyPlan) {
+  QueryPlan plan = Plan("", {{"emp", &emp_}});
+  EXPECT_TRUE(plan.pushed().empty());
+  EXPECT_TRUE(plan.joins().empty());
+  EXPECT_TRUE(plan.residual().empty());
+}
+
+// --- Differential testing: optimized == naive ----------------------------
+
+class OptimizerDifferential : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OptimizerDifferential, RandomQueriesAgree) {
+  std::mt19937 rng(GetParam());
+
+  RuleEngineOptions on;
+  on.optimize_queries = true;
+  RuleEngineOptions off;
+  off.optimize_queries = false;
+  Engine opt(on);
+  Engine naive(off);
+
+  for (Engine* e : {&opt, &naive}) {
+    ASSERT_OK(e->Execute("create table a (x int, y int)"));
+    ASSERT_OK(e->Execute("create table b (x int, z int)"));
+    ASSERT_OK(e->Execute("create table c (z int, w double)"));
+  }
+  // Identical random data in both engines (including NULLs).
+  std::string rows_a = "insert into a values ";
+  std::string rows_b = "insert into b values ";
+  std::string rows_c = "insert into c values ";
+  for (int i = 0; i < 25; ++i) {
+    auto val = [&rng]() -> std::string {
+      if (rng() % 8 == 0) return "null";
+      return std::to_string(rng() % 10);
+    };
+    if (i > 0) {
+      rows_a += ", ";
+      rows_b += ", ";
+      rows_c += ", ";
+    }
+    rows_a += "(" + val() + ", " + val() + ")";
+    rows_b += "(" + val() + ", " + val() + ")";
+    rows_c += "(" + val() + ", " + std::to_string(rng() % 10) + ".5)";
+  }
+  for (Engine* e : {&opt, &naive}) {
+    ASSERT_OK(e->Execute(rows_a));
+    ASSERT_OK(e->Execute(rows_b));
+    ASSERT_OK(e->Execute(rows_c));
+  }
+
+  const char* queries[] = {
+      "select * from a, b where a.x = b.x",
+      "select * from a, b where a.x = b.x and a.y > 3",
+      "select * from a, b, c where a.x = b.x and b.z = c.z",
+      "select a.y, c.w from a, b, c where a.x = b.x and b.z = c.z "
+      "and a.y < 8",
+      "select * from a, b where a.x = b.x and a.y <> b.z",
+      "select * from a a1, a a2 where a1.x = a2.y",
+      "select count(*) from a, b where a.x = b.x",
+      "select a.x, count(*) from a, b where a.x = b.x group by a.x",
+      "select * from a, b where a.x = b.x and exists "
+      "(select * from c where c.z = b.z)",
+      "select * from a where x in (select x from b where z > 2)",
+      "select * from a, b where a.y = b.z and 1 = 1",
+      "select * from a, c where a.x = c.z",  // int = int column from c
+  };
+  for (const char* sql : queries) {
+    auto r1 = opt.Query(sql);
+    auto r2 = naive.Query(sql);
+    ASSERT_EQ(r1.ok(), r2.ok()) << sql;
+    if (!r1.ok()) continue;
+    QueryResult a = std::move(r1).value();
+    QueryResult b = std::move(r2).value();
+    SortRows(&a);
+    SortRows(&b);
+    EXPECT_EQ(FormatResult(a), FormatResult(b)) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerDifferential,
+                         ::testing::Range(0u, 10u));
+
+TEST(OptimizerSemantics, NullKeysNeverJoin) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (x int)"));
+  ASSERT_OK(engine.Execute("create table b (x int)"));
+  ASSERT_OK(engine.Execute("insert into a values (1), (null)"));
+  ASSERT_OK(engine.Execute("insert into b values (1), (null)"));
+  ASSERT_OK_AND_ASSIGN(QueryResult r,
+                       engine.Query("select * from a, b where a.x = b.x"));
+  ASSERT_EQ(r.rows.size(), 1u);  // only 1 = 1; NULL never equals NULL
+}
+
+TEST(OptimizerSemantics, CrossNumericJoinMatches) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (x int)"));
+  ASSERT_OK(engine.Execute("create table b (x double)"));
+  ASSERT_OK(engine.Execute("insert into a values (2)"));
+  ASSERT_OK(engine.Execute("insert into b values (2.0)"));
+  ASSERT_OK_AND_ASSIGN(QueryResult r,
+                       engine.Query("select * from a, b where a.x = b.x"));
+  ASSERT_EQ(r.rows.size(), 1u);  // int 2 joins double 2.0
+}
+
+TEST(OptimizerSemantics, RuleActionsBenefitFromJoins) {
+  // A rule action with an equijoin between a transition table and a base
+  // table runs through the same optimizer (the §1 claim).
+  Engine engine;
+  CreatePaperSchema(&engine);
+  LoadOrgChart(&engine);
+  ASSERT_OK(engine.Execute("create table log (name string, mgr int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule r when deleted from emp "
+      "then insert into log "
+      "  (select d.name, dept.mgr_no from deleted emp d, dept "
+      "   where d.dept_no = dept.dept_no)"));
+  ASSERT_OK(engine.Execute("delete from emp where dept_no = 3"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(2));
+}
+
+TEST(OptimizerSemantics, CompositeKeyHashJoin) {
+  // Two equijoin edges between the same pair of relations form a
+  // composite hash key.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (x int, y int, v string)"));
+  ASSERT_OK(engine.Execute("create table b (x int, y int, w string)"));
+  ASSERT_OK(engine.Execute(
+      "insert into a values (1, 1, 'a11'), (1, 2, 'a12'), (2, 1, 'a21')"));
+  ASSERT_OK(engine.Execute(
+      "insert into b values (1, 1, 'b11'), (1, 2, 'b12'), (9, 9, 'b99')"));
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult r,
+      engine.Query("select v, w from a, b "
+                   "where a.x = b.x and a.y = b.y order by v"));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("a11"));
+  EXPECT_EQ(r.rows[0].at(1), Value::String("b11"));
+  EXPECT_EQ(r.rows[1].at(0), Value::String("a12"));
+  EXPECT_EQ(r.rows[1].at(1), Value::String("b12"));
+}
+
+TEST(OptimizerSemantics, ThreeWayJoinChainsHashSteps) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (k int)"));
+  ASSERT_OK(engine.Execute("create table b (k int, m int)"));
+  ASSERT_OK(engine.Execute("create table c (m int, label string)"));
+  ASSERT_OK(engine.Execute("insert into a values (1), (2), (3)"));
+  ASSERT_OK(engine.Execute("insert into b values (1, 10), (2, 20), (9, 90)"));
+  ASSERT_OK(engine.Execute(
+      "insert into c values (10, 'ten'), (20, 'twenty'), (77, 'no')"));
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult r,
+      engine.Query("select label from a, b, c "
+                   "where a.k = b.k and b.m = c.m order by label"));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("ten"));
+  EXPECT_EQ(r.rows[1].at(0), Value::String("twenty"));
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,171 @@
+// Static rule analysis (§6): triggering graph construction, loop
+// warnings, and order-sensitivity detection.
+
+#include "rules/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreatePaperSchema(&engine_);
+    ASSERT_OK(engine_.Execute("create table log (name string)"));
+  }
+
+  std::vector<const Rule*> Rules() {
+    std::vector<const Rule*> rules;
+    for (const std::string& name : engine_.rules().RuleNames()) {
+      auto rule = engine_.rules().GetRule(name);
+      EXPECT_TRUE(rule.ok());
+      rules.push_back(rule.value());
+    }
+    return rules;
+  }
+
+  bool HasWarning(const std::vector<AnalysisWarning>& warnings,
+                  AnalysisWarning::Kind kind, const std::string& rule) {
+    for (const AnalysisWarning& w : warnings) {
+      if (w.kind != kind) continue;
+      for (const std::string& r : w.rules) {
+        if (r == rule) return true;
+      }
+    }
+    return false;
+  }
+
+  Engine engine_;
+};
+
+TEST_F(AnalysisTest, SelfTriggerDetected) {
+  // Example 4.1's recursive cascade is a (benign) self-trigger.
+  ASSERT_OK(engine_.Execute(
+      "create rule cascade when deleted from emp "
+      "then delete from emp where dept_no in "
+      "(select dept_no from dept where mgr_no in "
+      " (select emp_no from deleted emp))"));
+  RuleAnalyzer analyzer(Rules(), &engine_.rules().priorities());
+  auto warnings = analyzer.Analyze();
+  EXPECT_TRUE(
+      HasWarning(warnings, AnalysisWarning::Kind::kSelfTrigger, "cascade"));
+}
+
+TEST_F(AnalysisTest, NoSelfTriggerForDisjointTables) {
+  ASSERT_OK(engine_.Execute(
+      "create rule logger when deleted from emp "
+      "then insert into log (select name from deleted emp)"));
+  RuleAnalyzer analyzer(Rules(), &engine_.rules().priorities());
+  auto warnings = analyzer.Analyze();
+  EXPECT_FALSE(
+      HasWarning(warnings, AnalysisWarning::Kind::kSelfTrigger, "logger"));
+}
+
+TEST_F(AnalysisTest, ColumnSensitiveUpdateEdges) {
+  // Action updates dept_no; rule triggers on salary only: no self edge.
+  ASSERT_OK(engine_.Execute(
+      "create rule move when updated emp.salary "
+      "then update emp set dept_no = 0 where salary > 100000"));
+  RuleAnalyzer a1(Rules(), &engine_.rules().priorities());
+  EXPECT_FALSE(HasWarning(a1.Analyze(), AnalysisWarning::Kind::kSelfTrigger,
+                          "move"));
+
+  // Whereas updating salary itself is a self edge.
+  ASSERT_OK(engine_.Execute(
+      "create rule cut when updated emp.salary "
+      "then update emp set salary = salary * 0.9 where salary > 100000"));
+  RuleAnalyzer a2(Rules(), &engine_.rules().priorities());
+  EXPECT_TRUE(
+      HasWarning(a2.Analyze(), AnalysisWarning::Kind::kSelfTrigger, "cut"));
+}
+
+TEST_F(AnalysisTest, MutualCycleDetected) {
+  ASSERT_OK(engine_.Execute(
+      "create rule ping when inserted into emp "
+      "then insert into log values ('e')"));
+  ASSERT_OK(engine_.Execute(
+      "create rule pong when inserted into log "
+      "then insert into emp values ('x', 1, 1, 1)"));
+  RuleAnalyzer analyzer(Rules(), &engine_.rules().priorities());
+  auto warnings = analyzer.Analyze();
+  bool found_cycle = false;
+  for (const AnalysisWarning& w : warnings) {
+    if (w.kind == AnalysisWarning::Kind::kCycle) found_cycle = true;
+  }
+  EXPECT_TRUE(found_cycle);
+}
+
+TEST_F(AnalysisTest, TriggerEdgesExposed) {
+  ASSERT_OK(engine_.Execute(
+      "create rule a when inserted into emp "
+      "then insert into log values ('e')"));
+  ASSERT_OK(engine_.Execute(
+      "create rule b when inserted into log "
+      "then delete from dept"));
+  RuleAnalyzer analyzer(Rules(), &engine_.rules().priorities());
+  bool a_to_b = false;
+  for (const TriggerEdge& e : analyzer.edges()) {
+    if (e.from == "a" && e.to == "b") a_to_b = true;
+  }
+  EXPECT_TRUE(a_to_b);
+}
+
+TEST_F(AnalysisTest, OrderSensitivityRequiresNoPriority) {
+  ASSERT_OK(engine_.Execute(
+      "create rule raise when inserted into emp "
+      "then update emp set salary = salary * 1.1"));
+  ASSERT_OK(engine_.Execute(
+      "create rule cap when inserted into emp "
+      "then update emp set salary = 100000 where salary > 100000"));
+
+  RuleAnalyzer before(Rules(), &engine_.rules().priorities());
+  bool sensitive = false;
+  for (const AnalysisWarning& w : before.Analyze()) {
+    if (w.kind == AnalysisWarning::Kind::kOrderSensitive) sensitive = true;
+  }
+  EXPECT_TRUE(sensitive);
+
+  // Adding a priority silences the warning for the ordered pair.
+  ASSERT_OK(engine_.Execute("create rule priority cap before raise"));
+  RuleAnalyzer after(Rules(), &engine_.rules().priorities());
+  bool still = false;
+  for (const AnalysisWarning& w : after.Analyze()) {
+    if (w.kind == AnalysisWarning::Kind::kOrderSensitive) still = true;
+  }
+  EXPECT_FALSE(still);
+}
+
+TEST_F(AnalysisTest, ActionWritesExtraction) {
+  ASSERT_OK(engine_.Execute(
+      "create rule multi when inserted into emp "
+      "then insert into log values ('a'); "
+      "     delete from dept where dept_no = 1; "
+      "     update emp set salary = 0, dept_no = 1"));
+  auto rule = engine_.rules().GetRule("multi");
+  ASSERT_TRUE(rule.ok());
+  auto writes = RuleAnalyzer::ActionWrites(*rule.value());
+  ASSERT_EQ(writes.size(), 3u);
+  EXPECT_EQ(writes[0].kind, BasicTransPred::Kind::kInsertedInto);
+  EXPECT_EQ(writes[0].table, "log");
+  EXPECT_EQ(writes[1].kind, BasicTransPred::Kind::kDeletedFrom);
+  EXPECT_EQ(writes[2].kind, BasicTransPred::Kind::kUpdated);
+  EXPECT_EQ(writes[2].columns,
+            (std::vector<std::string>{"salary", "dept_no"}));
+}
+
+TEST_F(AnalysisTest, WarningToStringReadable) {
+  AnalysisWarning w;
+  w.kind = AnalysisWarning::Kind::kCycle;
+  w.rules = {"a", "b"};
+  w.detail = "why";
+  std::string s = w.ToString();
+  EXPECT_NE(s.find("cycle"), std::string::npos);
+  EXPECT_NE(s.find("a -> b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,140 @@
+// §5.3 detached rules: "the ability to specify that a rule's action
+// should be executed in a separate transaction."
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class DetachedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(engine_.Execute("create table t (a int)"));
+    ASSERT_OK(engine_.Execute("create table log (a int)"));
+  }
+  Engine engine_;
+};
+
+TEST_F(DetachedTest, ActionRunsAfterCommitWithSnapshotTables) {
+  ASSERT_OK(engine_.Execute(
+      "create rule audit when inserted into t "
+      "then insert into log (select a from inserted t)"));
+  ASSERT_OK(engine_.rules().SetDetached("audit", true));
+
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine_.ExecuteBlock("insert into t values (1), (2)"));
+  // The firing is marked detached and still saw the full inserted set.
+  ASSERT_EQ(trace.firings.size(), 1u);
+  EXPECT_TRUE(trace.firings[0].detached);
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(2));
+}
+
+TEST_F(DetachedTest, FailureDoesNotUndoTriggeringTransaction) {
+  // The detached action divides by zero; the insert that triggered it
+  // must survive.
+  ASSERT_OK(engine_.Execute(
+      "create rule bad when inserted into t "
+      "then insert into log (select a / 0 from inserted t)"));
+  ASSERT_OK(engine_.rules().SetDetached("bad", true));
+
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine_.ExecuteBlock("insert into t values (1)"));
+  ASSERT_EQ(trace.detached_errors.size(), 1u);
+  EXPECT_NE(trace.detached_errors[0].find("bad"), std::string::npos);
+  // Triggering transaction committed; detached one rolled back.
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from t"), Value::Int(1));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(0));
+}
+
+TEST_F(DetachedTest, DetachedActionTriggersOtherRulesInItsOwnTransaction) {
+  ASSERT_OK(engine_.Execute("create table echo (a int)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule audit when inserted into t "
+      "then insert into log (select a from inserted t)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule chain when inserted into log "
+      "then insert into echo (select a from inserted log)"));
+  ASSERT_OK(engine_.rules().SetDetached("audit", true));
+
+  ASSERT_OK(engine_.Execute("insert into t values (7)"));
+  EXPECT_EQ(QueryScalar(&engine_, "select a from echo"), Value::Int(7));
+}
+
+TEST_F(DetachedTest, RollbackOfTriggeringTransactionCancelsDeferral) {
+  ASSERT_OK(engine_.Execute(
+      "create rule audit when inserted into t "
+      "then insert into log (select a from inserted t)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule veto when inserted into t "
+      "if exists (select * from inserted t where a < 0) then rollback"));
+  ASSERT_OK(engine_.rules().SetDetached("audit", true));
+  ASSERT_OK(engine_.Execute("create rule priority audit before veto"));
+
+  // audit is deferred first, then veto rolls the transaction back: the
+  // deferred action must never run.
+  Status s = engine_.Execute("insert into t values (-5)");
+  EXPECT_EQ(s.code(), StatusCode::kRolledBack);
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(0));
+}
+
+TEST_F(DetachedTest, RollbackInDetachedCascadeOnlyUndoesItself) {
+  // The detached action's own transaction contains a cascade that gets
+  // vetoed — only that transaction is undone.
+  ASSERT_OK(engine_.Execute(
+      "create rule audit when inserted into t "
+      "then insert into log (select a from inserted t)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule cap when inserted into log "
+      "if (select count(*) from log) > 0 then rollback"));
+  ASSERT_OK(engine_.rules().SetDetached("audit", true));
+
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine_.ExecuteBlock("insert into t values (1)"));
+  (void)trace;
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from t"), Value::Int(1));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(0));
+}
+
+TEST_F(DetachedTest, RunawayDetachedChainIsLimited) {
+  RuleEngineOptions options;
+  options.max_rule_firings = 20;
+  Engine engine(options);
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  // Self-perpetuating detached rule: each detached transaction inserts
+  // again, deferring itself forever.
+  ASSERT_OK(engine.Execute(
+      "create rule forever when inserted into t "
+      "then insert into t (select a + 1 from inserted t)"));
+  ASSERT_OK(engine.rules().SetDetached("forever", true));
+
+  auto trace = engine.ExecuteBlock("insert into t values (0)");
+  // The limit fires somewhere in the detached chain.
+  EXPECT_EQ(trace.status().code(), StatusCode::kLimitExceeded);
+}
+
+TEST_F(DetachedTest, RollbackRuleCannotBeDetached) {
+  ASSERT_OK(engine_.Execute(
+      "create rule veto when inserted into t then rollback"));
+  EXPECT_EQ(engine_.rules().SetDetached("veto", true).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.rules().SetDetached("nosuch", true).code(),
+            StatusCode::kCatalogError);
+}
+
+TEST_F(DetachedTest, DetachBothWaysRestoresImmediateSemantics) {
+  ASSERT_OK(engine_.Execute(
+      "create rule audit when inserted into t "
+      "then insert into log (select a from inserted t)"));
+  ASSERT_OK(engine_.rules().SetDetached("audit", true));
+  ASSERT_OK(engine_.rules().SetDetached("audit", false));
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine_.ExecuteBlock("insert into t values (1)"));
+  ASSERT_EQ(trace.firings.size(), 1u);
+  EXPECT_FALSE(trace.firings[0].detached);
+}
+
+}  // namespace
+}  // namespace sopr

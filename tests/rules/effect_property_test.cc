@@ -1,0 +1,174 @@
+// Property-based tests for Definition 2.1 (experiment DEF2.1 in
+// EXPERIMENTS.md): random operation sequences are composed in different
+// groupings and checked against an independent state-based oracle.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "rules/effect.h"
+
+namespace sopr {
+namespace {
+
+/// A primitive operation on the simulated database.
+struct SimOp {
+  enum class Kind { kInsert, kDelete, kUpdate } kind;
+  TupleHandle handle;
+  size_t column = 0;  // update only
+};
+
+/// Simulates a single-table tuple universe: generates a random valid
+/// operation sequence (deletes/updates only touch live tuples, handles
+/// never reused) and tracks live sets.
+class Simulator {
+ public:
+  explicit Simulator(uint32_t seed) : rng_(seed) {}
+
+  std::vector<SimOp> GenerateOps(size_t n) {
+    std::vector<SimOp> ops;
+    ops.reserve(n);
+    // Start with some pre-existing tuples.
+    for (int i = 0; i < 8; ++i) live_.insert(next_handle_++);
+    initial_live_ = live_;
+    for (size_t i = 0; i < n; ++i) {
+      int what = std::uniform_int_distribution<int>(0, 2)(rng_);
+      if (what == 0 || live_.empty()) {
+        TupleHandle h = next_handle_++;
+        live_.insert(h);
+        ops.push_back(SimOp{SimOp::Kind::kInsert, h, 0});
+      } else if (what == 1) {
+        TupleHandle h = PickLive();
+        live_.erase(h);
+        ops.push_back(SimOp{SimOp::Kind::kDelete, h, 0});
+      } else {
+        TupleHandle h = PickLive();
+        size_t col = std::uniform_int_distribution<size_t>(0, 3)(rng_);
+        updated_[h].insert(col);
+        ops.push_back(SimOp{SimOp::Kind::kUpdate, h, col});
+      }
+    }
+    return ops;
+  }
+
+  /// Singleton effect of one op (the base case of E(B) in §2.2).
+  static TransitionEffect OpEffect(const SimOp& op) {
+    TransitionEffect e;
+    TableEffect& t = e.tables["t"];
+    switch (op.kind) {
+      case SimOp::Kind::kInsert:
+        t.inserted.insert(op.handle);
+        break;
+      case SimOp::Kind::kDelete:
+        t.deleted.insert(op.handle);
+        break;
+      case SimOp::Kind::kUpdate:
+        t.updated[op.handle].insert(op.column);
+        break;
+    }
+    return e;
+  }
+
+  /// Effect of a subsequence by left-fold composition.
+  static TransitionEffect FoldEffect(const std::vector<SimOp>& ops,
+                                     size_t begin, size_t end) {
+    TransitionEffect acc;
+    for (size_t i = begin; i < end; ++i) {
+      acc = TransitionEffect::Compose(acc, OpEffect(ops[i]));
+    }
+    return acc;
+  }
+
+  /// Independent oracle: the net effect derived from start/end live sets
+  /// plus the update trace (the paper: I and D are derivable from the
+  /// states; U needs the operations).
+  TransitionEffect Oracle() const {
+    TransitionEffect e;
+    TableEffect& t = e.tables["t"];
+    for (TupleHandle h : live_) {
+      if (initial_live_.count(h) == 0) t.inserted.insert(h);
+    }
+    for (TupleHandle h : initial_live_) {
+      if (live_.count(h) == 0) t.deleted.insert(h);
+    }
+    for (const auto& [h, cols] : updated_) {
+      // Updated tuples count only if they existed before and still exist.
+      if (initial_live_.count(h) > 0 && live_.count(h) > 0) {
+        t.updated[h] = cols;
+      }
+    }
+    if (t.Empty()) e.tables.clear();
+    return e;
+  }
+
+ private:
+  TupleHandle PickLive() {
+    size_t k =
+        std::uniform_int_distribution<size_t>(0, live_.size() - 1)(rng_);
+    auto it = live_.begin();
+    std::advance(it, k);
+    return *it;
+  }
+
+  std::mt19937 rng_;
+  TupleHandle next_handle_ = 1;
+  std::set<TupleHandle> live_;
+  std::set<TupleHandle> initial_live_;
+  std::map<TupleHandle, std::set<size_t>> updated_;
+};
+
+class CompositionProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(CompositionProperty, FoldMatchesOracle) {
+  Simulator sim(GetParam());
+  std::vector<SimOp> ops = sim.GenerateOps(60);
+  TransitionEffect folded = Simulator::FoldEffect(ops, 0, ops.size());
+  // Drop empty table entries for comparison symmetry.
+  if (folded.ForTable("t").Empty()) folded.tables.clear();
+  EXPECT_EQ(folded, sim.Oracle());
+  EXPECT_TRUE(folded.WellFormed());
+}
+
+TEST_P(CompositionProperty, SplitInvariance) {
+  // E(B1;B2) = E(B1) ∘ E(B2) for every split point.
+  Simulator sim(GetParam() * 7919 + 1);
+  std::vector<SimOp> ops = sim.GenerateOps(40);
+  TransitionEffect whole = Simulator::FoldEffect(ops, 0, ops.size());
+  for (size_t split = 0; split <= ops.size(); split += 5) {
+    TransitionEffect left = Simulator::FoldEffect(ops, 0, split);
+    TransitionEffect right = Simulator::FoldEffect(ops, split, ops.size());
+    EXPECT_EQ(TransitionEffect::Compose(left, right), whole)
+        << "split at " << split;
+  }
+}
+
+TEST_P(CompositionProperty, Associativity) {
+  // (E1 ∘ E2) ∘ E3 = E1 ∘ (E2 ∘ E3) over thirds of the sequence.
+  Simulator sim(GetParam() * 104729 + 3);
+  std::vector<SimOp> ops = sim.GenerateOps(45);
+  size_t a = ops.size() / 3;
+  size_t b = 2 * ops.size() / 3;
+  TransitionEffect e1 = Simulator::FoldEffect(ops, 0, a);
+  TransitionEffect e2 = Simulator::FoldEffect(ops, a, b);
+  TransitionEffect e3 = Simulator::FoldEffect(ops, b, ops.size());
+  EXPECT_EQ(
+      TransitionEffect::Compose(TransitionEffect::Compose(e1, e2), e3),
+      TransitionEffect::Compose(e1, TransitionEffect::Compose(e2, e3)));
+}
+
+TEST_P(CompositionProperty, WellFormednessPreserved) {
+  Simulator sim(GetParam() * 31 + 17);
+  std::vector<SimOp> ops = sim.GenerateOps(50);
+  TransitionEffect acc;
+  for (const SimOp& op : ops) {
+    acc = TransitionEffect::Compose(acc, Simulator::OpEffect(op));
+    ASSERT_TRUE(acc.WellFormed()) << acc.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompositionProperty,
+                         ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace sopr

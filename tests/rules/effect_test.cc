@@ -1,0 +1,135 @@
+// Unit tests for transition effects and Definition 2.1 composition:
+// every cancellation law from §2.2 of the paper.
+
+#include "rules/effect.h"
+
+#include <gtest/gtest.h>
+
+namespace sopr {
+namespace {
+
+TableEffect& T(TransitionEffect& e, const std::string& name) {
+  return e.tables[name];
+}
+
+TEST(TransitionEffect, EmptyAndForTable) {
+  TransitionEffect e;
+  EXPECT_TRUE(e.Empty());
+  EXPECT_TRUE(e.ForTable("emp").Empty());
+  T(e, "emp").inserted.insert(1);
+  EXPECT_FALSE(e.Empty());
+  EXPECT_FALSE(e.ForTable("emp").Empty());
+  EXPECT_TRUE(e.ForTable("dept").Empty());
+}
+
+TEST(Composition, InsertThenDeleteCancels) {
+  // Paper: "an insertion followed by a deletion is not considered at all".
+  TransitionEffect e1, e2;
+  T(e1, "emp").inserted.insert(1);
+  T(e2, "emp").deleted.insert(1);
+  TransitionEffect c = TransitionEffect::Compose(e1, e2);
+  EXPECT_TRUE(c.Empty());
+}
+
+TEST(Composition, InsertThenUpdateIsInsert) {
+  // "an insertion followed by an update is considered as an insertion of
+  // the updated tuple".
+  TransitionEffect e1, e2;
+  T(e1, "emp").inserted.insert(1);
+  T(e2, "emp").updated[1] = {0, 2};
+  TransitionEffect c = TransitionEffect::Compose(e1, e2);
+  EXPECT_EQ(c.ForTable("emp").inserted, (std::set<TupleHandle>{1}));
+  EXPECT_TRUE(c.ForTable("emp").updated.empty());
+}
+
+TEST(Composition, UpdateThenDeleteIsDelete) {
+  // "if a tuple is updated by several operations and then deleted, we
+  // consider only the deletion".
+  TransitionEffect e1, e2;
+  T(e1, "emp").updated[5] = {1};
+  T(e2, "emp").deleted.insert(5);
+  TransitionEffect c = TransitionEffect::Compose(e1, e2);
+  EXPECT_TRUE(c.ForTable("emp").updated.empty());
+  EXPECT_EQ(c.ForTable("emp").deleted, (std::set<TupleHandle>{5}));
+}
+
+TEST(Composition, MultipleUpdatesMergeColumns) {
+  // "multiple updates of a tuple are considered as a single update".
+  TransitionEffect e1, e2;
+  T(e1, "emp").updated[5] = {1};
+  T(e2, "emp").updated[5] = {2, 3};
+  TransitionEffect c = TransitionEffect::Compose(e1, e2);
+  EXPECT_EQ(c.ForTable("emp").updated.at(5), (std::set<size_t>{1, 2, 3}));
+}
+
+TEST(Composition, DeleteThenInsertIsNotUpdate) {
+  // "we never consider deletion of a tuple followed by insertion of a new
+  // tuple as an update" — handles are never reused, so the delete and
+  // insert keep distinct handles.
+  TransitionEffect e1, e2;
+  T(e1, "emp").deleted.insert(5);
+  T(e2, "emp").inserted.insert(6);  // new handle
+  TransitionEffect c = TransitionEffect::Compose(e1, e2);
+  EXPECT_EQ(c.ForTable("emp").deleted, (std::set<TupleHandle>{5}));
+  EXPECT_EQ(c.ForTable("emp").inserted, (std::set<TupleHandle>{6}));
+  EXPECT_TRUE(c.ForTable("emp").updated.empty());
+}
+
+TEST(Composition, IndependentTablesDoNotInterfere) {
+  TransitionEffect e1, e2;
+  T(e1, "emp").inserted.insert(1);
+  T(e2, "dept").deleted.insert(2);
+  TransitionEffect c = TransitionEffect::Compose(e1, e2);
+  EXPECT_EQ(c.ForTable("emp").inserted, (std::set<TupleHandle>{1}));
+  EXPECT_EQ(c.ForTable("dept").deleted, (std::set<TupleHandle>{2}));
+}
+
+TEST(Composition, IdentityWithEmpty) {
+  TransitionEffect e, empty;
+  T(e, "emp").inserted.insert(1);
+  T(e, "emp").deleted.insert(2);
+  T(e, "emp").updated[3] = {0};
+  EXPECT_EQ(TransitionEffect::Compose(e, empty), e);
+  EXPECT_EQ(TransitionEffect::Compose(empty, e), e);
+}
+
+TEST(Composition, SelectedComposesAndDropsDeleted) {
+  TransitionEffect e1, e2;
+  T(e1, "emp").selected.insert(1);
+  T(e1, "emp").selected.insert(2);
+  T(e2, "emp").deleted.insert(2);
+  T(e2, "emp").selected.insert(3);
+  TransitionEffect c = TransitionEffect::Compose(e1, e2);
+  EXPECT_EQ(c.ForTable("emp").selected, (std::set<TupleHandle>{1, 3}));
+}
+
+TEST(WellFormed, DetectsOverlaps) {
+  TransitionEffect ok;
+  T(ok, "emp").inserted.insert(1);
+  T(ok, "emp").deleted.insert(2);
+  T(ok, "emp").updated[3] = {0};
+  EXPECT_TRUE(ok.WellFormed());
+
+  TransitionEffect bad;
+  T(bad, "emp").inserted.insert(1);
+  T(bad, "emp").deleted.insert(1);
+  EXPECT_FALSE(bad.WellFormed());
+
+  TransitionEffect bad2;
+  T(bad2, "emp").deleted.insert(1);
+  T(bad2, "emp").updated[1] = {0};
+  EXPECT_FALSE(bad2.WellFormed());
+}
+
+TEST(ToStringRendering, IsReadable) {
+  TransitionEffect e;
+  T(e, "emp").inserted.insert(1);
+  T(e, "emp").updated[3] = {0, 2};
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("emp"), std::string::npos);
+  EXPECT_NE(s.find("I={1}"), std::string::npos);
+  EXPECT_EQ(TransitionEffect().ToString(), "<empty>");
+}
+
+}  // namespace
+}  // namespace sopr

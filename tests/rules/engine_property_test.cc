@@ -1,0 +1,178 @@
+// Whole-engine property tests:
+//  1. the two trans-info maintenance modes (Figure 1 per-rule vs shared
+//     log) are observationally equivalent on random workloads;
+//  2. a rollback at the end of a deep rule cascade restores the exact
+//     pre-transaction state (values AND handles);
+//  3. quiescence: after commit, re-running rule processing fires nothing.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "engine/engine.h"
+#include "query/result_set.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+/// A rule set with cascades, conditions, and cross-table writes.
+void DefineRuleSet(Engine* engine) {
+  ASSERT_OK(engine->Execute("create table t (a int, b int)"));
+  ASSERT_OK(engine->Execute("create table u (a int)"));
+  ASSERT_OK(engine->Execute("create table log (a int)"));
+  // Cascade: deleting from t deletes matching u rows.
+  ASSERT_OK(engine->Execute(
+      "create rule cas when deleted from t "
+      "then delete from u where a in (select a from deleted t)"));
+  // Logger with a condition over the transition set.
+  ASSERT_OK(engine->Execute(
+      "create rule lg when inserted into t "
+      "if (select count(*) from inserted t) > 1 "
+      "then insert into log (select a from inserted t)"));
+  // Updater triggered by u deletions.
+  ASSERT_OK(engine->Execute(
+      "create rule up when deleted from u "
+      "then update t set b = b + 1 where a in (select a from deleted u)"));
+  ASSERT_OK(engine->Execute("create rule priority lg before cas"));
+}
+
+std::string RandomBlock(std::mt19937* rng, int step) {
+  std::uniform_int_distribution<int> key(0, 20);
+  std::uniform_int_distribution<int> pick(0, 3);
+  std::string block;
+  int ops = 1 + (*rng)() % 3;
+  for (int i = 0; i < ops; ++i) {
+    if (!block.empty()) block += "; ";
+    switch (pick(*rng)) {
+      case 0:
+        block += "insert into t values (" + std::to_string(key(*rng)) + ", " +
+                 std::to_string(step) + "), (" + std::to_string(key(*rng)) +
+                 ", " + std::to_string(step) + ")";
+        break;
+      case 1:
+        block += "insert into u values (" + std::to_string(key(*rng)) + ")";
+        break;
+      case 2:
+        block += "delete from t where a = " + std::to_string(key(*rng));
+        break;
+      default:
+        block += "update t set b = b + 2 where a < " +
+                 std::to_string(key(*rng));
+        break;
+    }
+  }
+  return block;
+}
+
+std::string Dump(Engine* engine, const std::string& table,
+                 const std::string& cols) {
+  auto result =
+      engine->Query("select " + cols + " from " + table + " order by " + cols);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? FormatResult(result.value()) : "<error>";
+}
+
+class ModeEquivalence : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ModeEquivalence, SameFinalStateUnderRandomWorkload) {
+  RuleEngineOptions per_rule;
+  per_rule.maintenance = MaintenanceMode::kPerRule;
+  RuleEngineOptions shared;
+  shared.maintenance = MaintenanceMode::kSharedLog;
+
+  Engine a(per_rule);
+  Engine b(shared);
+  DefineRuleSet(&a);
+  DefineRuleSet(&b);
+
+  std::mt19937 rng_a(GetParam());
+  std::mt19937 rng_b(GetParam());
+  for (int step = 0; step < 25; ++step) {
+    std::string block_a = RandomBlock(&rng_a, step);
+    std::string block_b = RandomBlock(&rng_b, step);
+    ASSERT_EQ(block_a, block_b);
+    Status sa = a.Execute(block_a);
+    Status sb = b.Execute(block_b);
+    ASSERT_EQ(sa.code(), sb.code()) << "step " << step << ": " << block_a;
+  }
+
+  EXPECT_EQ(Dump(&a, "t", "a, b"), Dump(&b, "t", "a, b"));
+  EXPECT_EQ(Dump(&a, "u", "a"), Dump(&b, "u", "a"));
+  EXPECT_EQ(Dump(&a, "log", "a"), Dump(&b, "log", "a"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeEquivalence, ::testing::Range(0u, 12u));
+
+class RollbackRestore : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RollbackRestore, DeepCascadeRollbackRestoresExactState) {
+  Engine engine;
+  CreatePaperSchema(&engine);
+  LoadOrgChart(&engine);
+  // The Example 4.1 cascade, plus a guard that vetoes any transaction
+  // leaving fewer than a random threshold of employees.
+  ASSERT_OK(engine.Execute(
+      "create rule chain when deleted from emp "
+      "then delete from emp where dept_no in "
+      "  (select dept_no from dept where mgr_no in "
+      "   (select emp_no from deleted emp)); "
+      "delete from dept where mgr_no in (select emp_no from deleted emp)"));
+  std::mt19937 rng(GetParam());
+  int threshold = 1 + static_cast<int>(rng() % 6);
+  ASSERT_OK(engine.Execute(
+      "create rule guard when deleted from emp "
+      "if (select count(*) from emp) < " +
+      std::to_string(threshold) + " then rollback"));
+
+  std::string before_emp = Dump(&engine, "emp", "name, emp_no, salary, dept_no");
+  std::string before_dept = Dump(&engine, "dept", "dept_no, mgr_no");
+  TupleHandle last = engine.db().last_handle();
+
+  const char* victims[] = {"Jane", "Jim", "Mary", "Bill"};
+  std::string victim = victims[rng() % 4];
+  Status s = engine.Execute("delete from emp where name = '" + victim + "'");
+
+  if (s.code() == StatusCode::kRolledBack) {
+    // Exact restoration: contents and handle counter (no handle reuse,
+    // but also no stray rows).
+    EXPECT_EQ(Dump(&engine, "emp", "name, emp_no, salary, dept_no"),
+              before_emp);
+    EXPECT_EQ(Dump(&engine, "dept", "dept_no, mgr_no"), before_dept);
+    EXPECT_EQ(engine.db().undo_log_size(), 0u);
+    EXPECT_GE(engine.db().last_handle(), last);
+  } else {
+    ASSERT_OK(s);
+    // Guard allowed it: the cascade completed and the victim is gone.
+    auto result =
+        engine.Query("select count(*) from emp where name = '" + victim + "'");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().rows[0].at(0), Value::Int(0));
+  }
+
+  // Either way the engine is reusable afterwards.
+  ASSERT_OK(engine.Execute("insert into emp values ('After', 99, 1, 0)"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RollbackRestore, ::testing::Range(0u, 16u));
+
+TEST(Quiescence, CommittedTransactionLeavesNoPendingWork) {
+  Engine engine;
+  CreatePaperSchema(&engine);
+  LoadOrgChart(&engine);
+  ASSERT_OK(engine.Execute(
+      "create rule chain when deleted from emp "
+      "then delete from emp where dept_no in "
+      "  (select dept_no from dept where mgr_no in "
+      "   (select emp_no from deleted emp))"));
+  ASSERT_OK(engine.Execute("delete from emp where name = 'Jim'"));
+
+  // A fresh empty transaction triggers nothing.
+  ASSERT_OK(engine.Begin());
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace, engine.Commit());
+  EXPECT_TRUE(trace.considered.empty());
+  EXPECT_TRUE(trace.firings.empty());
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,259 @@
+// Tests for the paper's §5 extensions implemented beyond the core:
+// external procedure actions (§5.2), the footnote 8 alternative
+// re-triggering semantics, and drop-table DDL with rule dependency
+// checking.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "rules/analysis.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+// --- §5.2 external procedures -------------------------------------------
+
+class ProcedureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreatePaperSchema(&engine_);
+    LoadOrgChart(&engine_);
+    ASSERT_OK(engine_.Execute("create table log (name string)"));
+  }
+  Engine engine_;
+};
+
+TEST_F(ProcedureTest, CallStatementParses) {
+  auto stmt = Parser::ParseStatement(
+      "create rule r when deleted from emp then call notify_hr");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  const auto& rule = static_cast<const CreateRuleStmt&>(*stmt.value());
+  ASSERT_EQ(rule.action.size(), 1u);
+  EXPECT_EQ(rule.action[0]->kind, StmtKind::kCall);
+  EXPECT_EQ(rule.action[0]->ToString(), "call notify_hr");
+}
+
+TEST_F(ProcedureTest, ProcedureSeesTransitionTablesAndWrites) {
+  int calls = 0;
+  ASSERT_OK(engine_.rules().RegisterProcedure(
+      "notify_hr", [&](ProcedureContext& ctx) -> Status {
+        ++calls;
+        // The procedure can query the triggering rule's transition tables.
+        SOPR_ASSIGN_OR_RETURN(
+            QueryResult gone,
+            ctx.Query("select name from deleted emp order by name"));
+        for (const Row& row : gone.rows) {
+          SOPR_RETURN_NOT_OK(ctx.Execute("insert into log values ('" +
+                                         row.at(0).AsString() + "')"));
+        }
+        return Status::OK();
+      }));
+  ASSERT_OK(engine_.Execute(
+      "create rule hr when deleted from emp then call notify_hr"));
+
+  ASSERT_OK(engine_.Execute(
+      "delete from emp where name = 'Sam' or name = 'Sue'"));
+  EXPECT_EQ(calls, 1);  // set-oriented: one call for the whole set
+  ASSERT_OK_AND_ASSIGN(QueryResult log,
+                       engine_.Query("select name from log order by name"));
+  ASSERT_EQ(log.rows.size(), 2u);
+  EXPECT_EQ(log.rows[0].at(0), Value::String("Sam"));
+}
+
+TEST_F(ProcedureTest, ProcedureWritesTriggerOtherRules) {
+  // §5.2: "the effect on the database of executing an external procedure
+  // still corresponds to a sequence of data manipulation operations" —
+  // so they must cascade into other rules.
+  ASSERT_OK(engine_.rules().RegisterProcedure(
+      "writer", [](ProcedureContext& ctx) -> Status {
+        return ctx.Execute("insert into log values ('from proc')");
+      }));
+  ASSERT_OK(engine_.Execute(
+      "create rule a when deleted from emp then call writer"));
+  ASSERT_OK(engine_.Execute("create table echo (name string)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule b when inserted into log "
+      "then insert into echo (select name from inserted log)"));
+
+  ASSERT_OK(engine_.Execute("delete from emp where name = 'Bill'"));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from echo"),
+            Value::Int(1));
+}
+
+TEST_F(ProcedureTest, MissingProcedureAbortsTransaction) {
+  ASSERT_OK(engine_.Execute(
+      "create rule bad when deleted from emp then call nosuch"));
+  Status s = engine_.Execute("delete from emp where name = 'Bill'");
+  EXPECT_EQ(s.code(), StatusCode::kCatalogError);
+  EXPECT_EQ(EmpNames(&engine_).size(), 6u);  // rolled back
+}
+
+TEST_F(ProcedureTest, ProcedureErrorAbortsTransaction) {
+  ASSERT_OK(engine_.rules().RegisterProcedure(
+      "failing", [](ProcedureContext&) -> Status {
+        return Status::ExecutionError("external system unavailable");
+      }));
+  ASSERT_OK(engine_.Execute(
+      "create rule r when deleted from emp then call failing"));
+  Status s = engine_.Execute("delete from emp where name = 'Bill'");
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(EmpNames(&engine_).size(), 6u);
+}
+
+TEST_F(ProcedureTest, DuplicateRegistrationRejected) {
+  ASSERT_OK(engine_.rules().RegisterProcedure(
+      "p", [](ProcedureContext&) { return Status::OK(); }));
+  EXPECT_EQ(engine_.rules()
+                .RegisterProcedure(
+                    "p", [](ProcedureContext&) { return Status::OK(); })
+                .code(),
+            StatusCode::kCatalogError);
+}
+
+TEST_F(ProcedureTest, CallRejectedInExternalBlocks) {
+  ASSERT_OK(engine_.rules().RegisterProcedure(
+      "p", [](ProcedureContext&) { return Status::OK(); }));
+  Status s = engine_.Execute("call p");
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(ProcedureTest, AnalysisFlagsOpaqueActions) {
+  ASSERT_OK(engine_.rules().RegisterProcedure(
+      "p", [](ProcedureContext&) { return Status::OK(); }));
+  ASSERT_OK(
+      engine_.Execute("create rule r when deleted from emp then call p"));
+  auto rule = engine_.rules().GetRule("r");
+  ASSERT_TRUE(rule.ok());
+  RuleAnalyzer analyzer({rule.value()}, &engine_.rules().priorities());
+  bool flagged = false;
+  for (const AnalysisWarning& w : analyzer.Analyze()) {
+    if (w.kind == AnalysisWarning::Kind::kOpaqueAction) flagged = true;
+  }
+  EXPECT_TRUE(flagged);
+}
+
+// --- Footnote 8: reset-on-consideration semantics ------------------------
+
+class ResetPolicyTest : public ::testing::TestWithParam<MaintenanceMode> {
+ protected:
+  void SetUp() override {
+    RuleEngineOptions options;
+    options.maintenance = GetParam();
+    engine_ = std::make_unique<Engine>(options);
+    ASSERT_OK(engine_->Execute("create table t (a int)"));
+    ASSERT_OK(engine_->Execute("create table u (a int)"));
+    ASSERT_OK(engine_->Execute("create table log (a int)"));
+  }
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_P(ResetPolicyTest, DefaultSemanticsRemembersAcrossConsiderations) {
+  // Watcher is triggered by inserts into t but its condition requires a u
+  // row; helper (lower priority) inserts into u. Under the DEFAULT
+  // semantics, watcher — whose condition failed at first — is
+  // reconsidered with the composite effect still containing the t insert,
+  // so it fires.
+  ASSERT_OK(engine_->Execute(
+      "create rule watcher when inserted into t "
+      "if exists (select * from u) "
+      "then insert into log (select a from inserted t)"));
+  ASSERT_OK(engine_->Execute(
+      "create rule helper when inserted into t "
+      "then insert into u values (0)"));
+  ASSERT_OK(engine_->Execute("create rule priority watcher before helper"));
+
+  ASSERT_OK(engine_->Execute("insert into t values (7)"));
+  EXPECT_EQ(QueryScalar(engine_.get(), "select a from log"), Value::Int(7));
+}
+
+TEST_P(ResetPolicyTest, ConsiderationResetForgetsTheTrigger) {
+  // Same scenario, but watcher uses the footnote 8 alternative: its
+  // composite transition resets at consideration, so when helper's
+  // transition arrives, watcher's info contains only the u insert — the
+  // t insert is forgotten and watcher is no longer triggered.
+  ASSERT_OK(engine_->Execute(
+      "create rule watcher when inserted into t "
+      "if exists (select * from u) "
+      "then insert into log (select a from inserted t)"));
+  ASSERT_OK(engine_->Execute(
+      "create rule helper when inserted into t "
+      "then insert into u values (0)"));
+  ASSERT_OK(engine_->Execute("create rule priority watcher before helper"));
+  ASSERT_OK(engine_->rules().SetResetPolicy("watcher",
+                                            ResetPolicy::kOnConsideration));
+
+  ASSERT_OK(engine_->Execute("insert into t values (7)"));
+  EXPECT_EQ(QueryScalar(engine_.get(), "select count(*) from log"),
+            Value::Int(0));
+}
+
+TEST_P(ResetPolicyTest, ConsiderationResetIncludesOwnActionTransition) {
+  // Footnote 8: the transition is measured "since the most recent point
+  // at which it was chosen for consideration" — the rule's own action
+  // transition happens after that point, so a self-feeding rule keeps
+  // firing until its condition stops it (here: values reach 3).
+  ASSERT_OK(engine_->Execute(
+      "create rule climb when inserted into t "
+      "if exists (select * from inserted t where a < 3) "
+      "then insert into t (select a + 1 from inserted t where a < 3)"));
+  ASSERT_OK(
+      engine_->rules().SetResetPolicy("climb", ResetPolicy::kOnConsideration));
+
+  ASSERT_OK(engine_->Execute("insert into t values (0)"));
+  // 0 -> 1 -> 2 -> 3; the `inserted t` table under consideration-reset
+  // contains only the newest insert each round.
+  EXPECT_EQ(QueryScalar(engine_.get(), "select count(*) from t"),
+            Value::Int(4));
+  EXPECT_EQ(QueryScalar(engine_.get(), "select max(a) from t"),
+            Value::Int(3));
+}
+
+TEST_P(ResetPolicyTest, PolicyOnUnknownRuleFails) {
+  EXPECT_EQ(engine_->rules()
+                .SetResetPolicy("nosuch", ResetPolicy::kOnConsideration)
+                .code(),
+            StatusCode::kCatalogError);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ResetPolicyTest,
+                         ::testing::Values(MaintenanceMode::kPerRule,
+                                           MaintenanceMode::kSharedLog));
+
+// --- drop table DDL -------------------------------------------------------
+
+TEST(DropTable, BasicAndDependencyChecked) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (x int)"));
+  ASSERT_OK(engine.Execute("create table b (y int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule r when inserted into a then delete from b"));
+
+  // Both tables are referenced by the rule.
+  EXPECT_EQ(engine.Execute("drop table a").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Execute("drop table b").code(),
+            StatusCode::kInvalidArgument);
+
+  // After dropping the rule, tables can go.
+  ASSERT_OK(engine.Execute("drop rule r"));
+  ASSERT_OK(engine.Execute("drop table a"));
+  EXPECT_FALSE(engine.db().catalog().HasTable("a"));
+  EXPECT_EQ(engine.Execute("drop table a").code(), StatusCode::kCatalogError);
+  ASSERT_OK(engine.Execute("drop table b"));
+}
+
+TEST(DropTable, ReferenceViaConditionSubqueryCounts) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table a (x int)"));
+  ASSERT_OK(engine.Execute("create table c (z int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule r when inserted into a "
+      "if exists (select * from c) then rollback"));
+  EXPECT_EQ(engine.Execute("drop table c").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,353 @@
+// Deep semantics tests for the §4 execution model: composite effects
+// across rule firings, re-triggering, rollback, cascade limits, rule
+// management, and the per-rule vs shared-log maintenance ablation.
+
+#include "rules/rule_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class RuleEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreatePaperSchema(&engine_);
+    LoadOrgChart(&engine_);
+  }
+  Engine engine_;
+};
+
+TEST_F(RuleEngineTest, RuleDdlValidation) {
+  // Unknown table in when clause.
+  EXPECT_EQ(engine_
+                .Execute("create rule r when inserted into nosuch "
+                         "then delete from emp")
+                .code(),
+            StatusCode::kCatalogError);
+  // Unknown column in `updated t.c`.
+  EXPECT_EQ(engine_
+                .Execute("create rule r when updated emp.nosuch "
+                         "then delete from emp")
+                .code(),
+            StatusCode::kCatalogError);
+  // Transition table not covered by the when list (§3 restriction).
+  EXPECT_EQ(engine_
+                .Execute("create rule r when inserted into emp "
+                         "then delete from emp where dept_no in "
+                         "(select dept_no from deleted dept)")
+                .code(),
+            StatusCode::kInvalidArgument);
+  // `updated t` covers `old updated t.c`.
+  EXPECT_OK(engine_.Execute(
+      "create rule cover when updated emp "
+      "if exists (select * from old updated emp.salary) "
+      "then delete from dept where dept_no = -999"));
+  // `updated t.c` does NOT cover a different column's transition table.
+  EXPECT_EQ(engine_
+                .Execute("create rule r2 when updated emp.salary "
+                         "if exists (select * from old updated emp.dept_no) "
+                         "then delete from dept where dept_no = -999")
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Duplicate rule name.
+  EXPECT_EQ(engine_
+                .Execute("create rule cover when inserted into emp "
+                         "then delete from dept where dept_no = -999")
+                .code(),
+            StatusCode::kCatalogError);
+}
+
+TEST_F(RuleEngineTest, DropRuleStopsTriggering) {
+  ASSERT_OK(engine_.Execute(
+      "create rule audit when deleted from dept "
+      "then delete from emp where dept_no in "
+      "(select dept_no from deleted dept)"));
+  ASSERT_OK(engine_.Execute("drop rule audit"));
+  ASSERT_OK(engine_.Execute("delete from dept where dept_no = 3"));
+  EXPECT_EQ(EmpNames(&engine_).size(), 6u);  // nothing cascaded
+  EXPECT_EQ(engine_.Execute("drop rule audit").code(),
+            StatusCode::kCatalogError);
+}
+
+TEST_F(RuleEngineTest, DisabledRuleDoesNotFire) {
+  ASSERT_OK(engine_.Execute(
+      "create rule cascade when deleted from dept "
+      "then delete from emp where dept_no in "
+      "(select dept_no from deleted dept)"));
+  ASSERT_OK(engine_.rules().SetRuleEnabled("cascade", false));
+  ASSERT_OK(engine_.Execute("delete from dept where dept_no = 3"));
+  EXPECT_EQ(EmpNames(&engine_).size(), 6u);
+
+  ASSERT_OK(engine_.rules().SetRuleEnabled("cascade", true));
+  ASSERT_OK(engine_.Execute("delete from dept where dept_no = 2"));
+  EXPECT_EQ(EmpNames(&engine_).size(), 5u);  // Bill cascaded
+}
+
+TEST_F(RuleEngineTest, RollbackActionUndoesWholeTransaction) {
+  // No employee may earn more than 100K: rollback on violation.
+  ASSERT_OK(engine_.Execute(
+      "create rule cap when inserted into emp or updated emp.salary "
+      "if exists (select * from emp where salary > 100000) "
+      "then rollback"));
+
+  Status s = engine_.Execute(
+      "insert into emp values ('Cheap', 70, 10000, 1); "
+      "insert into emp values ('Pricey', 71, 500000, 1)");
+  EXPECT_EQ(s.code(), StatusCode::kRolledBack);
+  // BOTH inserts undone (the whole transaction).
+  EXPECT_EQ(EmpNames(&engine_).size(), 6u);
+
+  // A legal block commits normally afterwards.
+  ASSERT_OK(engine_.Execute("insert into emp values ('Cheap', 70, 10000, 1)"));
+  EXPECT_EQ(EmpNames(&engine_).size(), 7u);
+}
+
+TEST_F(RuleEngineTest, RollbackAfterRuleActionsUndoesThoseToo) {
+  // First rule moves everyone from a deleted dept to dept 0; second rule
+  // rolls back if dept 0 exceeds 4 members. The rollback must undo both
+  // the external delete AND the first rule's updates.
+  ASSERT_OK(engine_.Execute(
+      "create rule rehome when deleted from dept "
+      "then update emp set dept_no = 0 where dept_no in "
+      "(select dept_no from deleted dept)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule capacity when updated emp.dept_no "
+      "if (select count(*) from emp where dept_no = 0) > 2 "
+      "then rollback"));
+
+  // Deleting dept 1 rehomes Mary and Jim: dept 0 then has Jane+2 = 3 > 2.
+  auto trace = engine_.ExecuteBlock("delete from dept where dept_no = 1");
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  EXPECT_TRUE(trace.value().rolled_back);
+  EXPECT_EQ(trace.value().rollback_rule, "capacity");
+  // Everything restored: dept 1 exists, Mary still in dept 1.
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from dept"), Value::Int(4));
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select dept_no from emp where name = 'Mary'"),
+            Value::Int(1));
+}
+
+TEST_F(RuleEngineTest, CascadeLimitAborts) {
+  RuleEngineOptions options;
+  options.max_rule_firings = 25;
+  Engine engine(options);
+  ASSERT_OK(engine.Execute("create table counter (n int)"));
+  // A rule that always re-triggers itself: inserts feed inserts.
+  ASSERT_OK(engine.Execute(
+      "create rule loop when inserted into counter "
+      "then insert into counter (select n + 1 from inserted counter)"));
+  Status s = engine.Execute("insert into counter values (0)");
+  EXPECT_EQ(s.code(), StatusCode::kLimitExceeded);
+  // Transaction rolled back entirely.
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from counter"),
+            Value::Int(0));
+}
+
+TEST_F(RuleEngineTest, RuleSeesCompositeEffectSinceItsLastExecution) {
+  // A logging rule fires on emp deletions; a second rule deletes more
+  // employees. The logging rule's second firing must see ONLY the
+  // deletions since its own previous firing (§4.2).
+  ASSERT_OK(engine_.Execute("create table log (name string)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule logger when deleted from emp "
+      "then insert into log (select name from deleted emp)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule chain when deleted from emp "
+      "then delete from emp where dept_no in "
+      "(select dept_no from dept where mgr_no in "
+      " (select emp_no from deleted emp)); "
+      "delete from dept where mgr_no in (select emp_no from deleted emp)"));
+  ASSERT_OK(engine_.Execute("create rule priority logger before chain"));
+
+  ASSERT_OK(engine_.Execute("delete from emp where name = 'Jane'"));
+
+  // Every deleted employee logged exactly once.
+  auto result = engine_.Query("select name from log order by name");
+  ASSERT_TRUE(result.ok());
+  std::vector<std::string> logged;
+  for (const Row& row : result.value().rows) {
+    logged.push_back(row.at(0).AsString());
+  }
+  EXPECT_EQ(logged, (std::vector<std::string>{"Bill", "Jane", "Jim", "Mary",
+                                              "Sam", "Sue"}));
+}
+
+TEST_F(RuleEngineTest, ConditionFalseRuleReconsideredAfterNewTransition) {
+  // Rule A's condition is false initially; rule B's action changes the
+  // database so A's condition becomes true; A must be reconsidered (§4.2:
+  // "a rule that was triggered in S1 but whose condition was found to be
+  // false may be reconsidered in S2").
+  ASSERT_OK(engine_.Execute("create table flag (v int)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule a when inserted into emp "
+      "if exists (select * from flag where v = 1) "
+      "then update emp set salary = 0 where name = 'Probe'"));
+  ASSERT_OK(engine_.Execute(
+      "create rule b when inserted into emp "
+      "then insert into flag values (1)"));
+  ASSERT_OK(engine_.Execute("create rule priority a before b"));
+
+  ASSERT_OK(engine_.Execute("insert into emp values ('Probe', 77, 1234, 1)"));
+  // a was considered first (condition false), then b fired, then a was
+  // reconsidered and fired.
+  EXPECT_EQ(QueryScalar(&engine_,
+                        "select salary from emp where name = 'Probe'"),
+            Value::Double(0));
+}
+
+TEST_F(RuleEngineTest, RuleNotRetriggeredByItsOwnIrrelevantTransition) {
+  // After firing, a rule's trans-info is reset to its own transition; if
+  // that transition does not satisfy its predicate it must not re-fire.
+  ASSERT_OK(engine_.Execute("create table log (name string)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule once when inserted into emp "
+      "then insert into log values ('x')"));
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionTrace trace,
+      engine_.ExecuteBlock("insert into emp values ('N', 90, 1, 1)"));
+  EXPECT_EQ(trace.firings.size(), 1u);
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(1));
+}
+
+TEST_F(RuleEngineTest, UndoOfTriggeringChangeUntriggersPendingRule) {
+  // §4.2: "Rule Rj is still triggered in state S2 as long as transition
+  // T2 does not undo the changes that initially caused Rj to be
+  // triggered." Rule hi (priority) deletes the tuple whose insertion
+  // triggered rule lo; lo must not fire.
+  ASSERT_OK(engine_.Execute("create table log (name string)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule lo when inserted into emp "
+      "then insert into log values ('lo fired')"));
+  ASSERT_OK(engine_.Execute(
+      "create rule hi when inserted into emp "
+      "then delete from emp where emp_no in "
+      "(select emp_no from inserted emp)"));
+  ASSERT_OK(engine_.Execute("create rule priority hi before lo"));
+
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionTrace trace,
+      engine_.ExecuteBlock("insert into emp values ('Temp', 91, 1, 1)"));
+
+  // hi fired, the insert+delete cancel in lo's composite effect, so lo
+  // never fires.
+  ASSERT_EQ(trace.firings.size(), 1u);
+  EXPECT_EQ(trace.firings[0].rule, "hi");
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(0));
+}
+
+TEST_F(RuleEngineTest, MultipleBasicPredicatesAreDisjunction) {
+  ASSERT_OK(engine_.Execute("create table log (name string)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule either when inserted into emp or deleted from dept "
+      "then insert into log values ('hit')"));
+  ASSERT_OK(engine_.Execute("insert into emp values ('X', 92, 1, 1)"));
+  ASSERT_OK(engine_.Execute("delete from dept where dept_no = 3"));
+  ASSERT_OK(engine_.Execute("update emp set salary = 2 where name = 'X'"));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(2));
+}
+
+TEST_F(RuleEngineTest, UpdatedColumnPredicateIsColumnSensitive) {
+  ASSERT_OK(engine_.Execute("create table log (name string)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule salary_only when updated emp.salary "
+      "then insert into log values ('s')"));
+  ASSERT_OK(engine_.Execute("update emp set dept_no = 1 where name = 'Bill'"));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(0));
+  ASSERT_OK(engine_.Execute("update emp set salary = 1 where name = 'Bill'"));
+  EXPECT_EQ(QueryScalar(&engine_, "select count(*) from log"), Value::Int(1));
+}
+
+TEST_F(RuleEngineTest, EmptyExternalEffectTriggersNothing) {
+  ASSERT_OK(engine_.Execute("create table log (name string)"));
+  ASSERT_OK(engine_.Execute(
+      "create rule r when deleted from emp "
+      "then insert into log values ('x')"));
+  // Block whose net effect is empty: insert + delete of the same tuple.
+  ASSERT_OK_AND_ASSIGN(
+      ExecutionTrace trace,
+      engine_.ExecuteBlock("insert into emp values ('T', 93, 1, 1); "
+                           "delete from emp where emp_no = 93"));
+  EXPECT_TRUE(trace.considered.empty());
+  EXPECT_TRUE(trace.firings.empty());
+}
+
+TEST_F(RuleEngineTest, FailedActionAbortsTransaction) {
+  // Division by zero inside a rule action must roll back everything.
+  ASSERT_OK(engine_.Execute(
+      "create rule bad when inserted into emp "
+      "then update emp set salary = salary / 0 where name = 'Jane'"));
+  Status s = engine_.Execute("insert into emp values ('X', 94, 1, 1)");
+  EXPECT_EQ(s.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(EmpNames(&engine_).size(), 6u);  // insert rolled back
+}
+
+TEST_F(RuleEngineTest, DdlForbiddenInsideTransaction) {
+  ASSERT_OK(engine_.Begin());
+  auto def = std::make_shared<CreateRuleStmt>();
+  def->name = "r";
+  EXPECT_EQ(engine_.rules()
+                .DefineRule(std::shared_ptr<const CreateRuleStmt>(def))
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine_.rules().DropRule("anything").code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_OK(engine_.Rollback());
+}
+
+// --- Maintenance-mode ablation: both modes produce identical behavior ---
+
+class MaintenanceModes
+    : public ::testing::TestWithParam<MaintenanceMode> {};
+
+TEST_P(MaintenanceModes, CascadeSemanticsIdentical) {
+  RuleEngineOptions options;
+  options.maintenance = GetParam();
+  Engine engine(options);
+  CreatePaperSchema(&engine);
+  LoadOrgChart(&engine);
+  ASSERT_OK(engine.Execute(
+      "create rule chain when deleted from emp "
+      "then delete from emp where dept_no in "
+      "(select dept_no from dept where mgr_no in "
+      " (select emp_no from deleted emp)); "
+      "delete from dept where mgr_no in (select emp_no from deleted emp)"));
+
+  ASSERT_OK(engine.Execute("delete from emp where name = 'Jane'"));
+  EXPECT_TRUE(EmpNames(&engine).empty());
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from dept"), Value::Int(1));
+}
+
+TEST_P(MaintenanceModes, CompositeAndResetSemanticsIdentical) {
+  RuleEngineOptions options;
+  options.maintenance = GetParam();
+  Engine engine(options);
+  CreatePaperSchema(&engine);
+  LoadOrgChart(&engine);
+  ASSERT_OK(engine.Execute("create table log (name string)"));
+  ASSERT_OK(engine.Execute(
+      "create rule logger when deleted from emp "
+      "then insert into log (select name from deleted emp)"));
+  ASSERT_OK(engine.Execute(
+      "create rule chain when deleted from emp "
+      "then delete from emp where dept_no in "
+      "(select dept_no from dept where mgr_no in "
+      " (select emp_no from deleted emp)); "
+      "delete from dept where mgr_no in (select emp_no from deleted emp)"));
+  ASSERT_OK(engine.Execute("create rule priority logger before chain"));
+
+  ASSERT_OK(engine.Execute("delete from emp where name = 'Jim'"));
+  auto result = engine.Query("select name from log order by name");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().rows.size(), 3u);  // Jim, Sam, Sue logged once
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MaintenanceModes,
+                         ::testing::Values(MaintenanceMode::kPerRule,
+                                           MaintenanceMode::kSharedLog));
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,133 @@
+// Rule selection (§4.4): priority partial order with cycle rejection, and
+// the three tie-breaking strategies.
+
+#include "rules/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+TEST(PriorityGraph, DirectAndTransitiveOrder) {
+  PriorityGraph g;
+  ASSERT_OK(g.AddEdge("a", "b"));
+  ASSERT_OK(g.AddEdge("b", "c"));
+  EXPECT_TRUE(g.Higher("a", "b"));
+  EXPECT_TRUE(g.Higher("b", "c"));
+  EXPECT_TRUE(g.Higher("a", "c"));  // transitive
+  EXPECT_FALSE(g.Higher("c", "a"));
+  EXPECT_FALSE(g.Higher("b", "a"));
+  EXPECT_FALSE(g.Higher("a", "a"));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(PriorityGraph, RejectsCycles) {
+  PriorityGraph g;
+  ASSERT_OK(g.AddEdge("a", "b"));
+  ASSERT_OK(g.AddEdge("b", "c"));
+  EXPECT_EQ(g.AddEdge("c", "a").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge("b", "a").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(g.AddEdge("x", "x").code(), StatusCode::kInvalidArgument);
+  // The failed additions must not have corrupted the graph.
+  EXPECT_TRUE(g.Higher("a", "c"));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(PriorityGraph, PartialOrderAllowsIncomparable) {
+  PriorityGraph g;
+  ASSERT_OK(g.AddEdge("a", "b"));
+  ASSERT_OK(g.AddEdge("c", "d"));
+  EXPECT_FALSE(g.Higher("a", "c"));
+  EXPECT_FALSE(g.Higher("c", "a"));
+}
+
+TEST(PriorityGraph, RemoveRuleDropsEdges) {
+  PriorityGraph g;
+  ASSERT_OK(g.AddEdge("a", "b"));
+  ASSERT_OK(g.AddEdge("b", "c"));
+  g.RemoveRule("b");
+  EXPECT_FALSE(g.Higher("a", "b"));
+  EXPECT_FALSE(g.Higher("b", "c"));
+  EXPECT_FALSE(g.Higher("a", "c"));  // path went through b
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+SelectionCandidate C(const std::string& name, uint64_t seq, uint64_t last) {
+  return SelectionCandidate{name, seq, last};
+}
+
+TEST(SelectRule, EmptyReturnsMinusOne) {
+  PriorityGraph g;
+  EXPECT_EQ(SelectRule({}, g, TieBreak::kCreationOrder), -1);
+}
+
+TEST(SelectRule, PriorityDominates) {
+  PriorityGraph g;
+  ASSERT_OK(g.AddEdge("low_seq_late", "first"));
+  std::vector<SelectionCandidate> candidates = {
+      C("first", 0, 0),
+      C("low_seq_late", 5, 9),
+  };
+  // Despite "first" being older, the prioritized rule wins.
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kCreationOrder), 1);
+}
+
+TEST(SelectRule, DominatedCandidateNeverPicked) {
+  PriorityGraph g;
+  ASSERT_OK(g.AddEdge("a", "b"));
+  ASSERT_OK(g.AddEdge("b", "c"));
+  std::vector<SelectionCandidate> candidates = {C("c", 0, 0), C("b", 1, 0)};
+  // "a" is not triggered; among {b, c}, b dominates c transitively? No —
+  // b > c directly. c is dominated.
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kCreationOrder), 1);
+}
+
+TEST(SelectRule, CreationOrderTieBreak) {
+  PriorityGraph g;
+  std::vector<SelectionCandidate> candidates = {C("b", 3, 9), C("a", 1, 2)};
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kCreationOrder), 1);
+}
+
+TEST(SelectRule, LeastRecentlyConsidered) {
+  PriorityGraph g;
+  std::vector<SelectionCandidate> candidates = {C("a", 0, 7), C("b", 1, 3),
+                                                C("c", 2, 5)};
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kLeastRecentlyConsidered), 1);
+}
+
+TEST(SelectRule, MostRecentlyConsidered) {
+  PriorityGraph g;
+  std::vector<SelectionCandidate> candidates = {C("a", 0, 7), C("b", 1, 3),
+                                                C("c", 2, 9)};
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kMostRecentlyConsidered), 2);
+}
+
+TEST(SelectRule, RecencyTiesFallBackToCreation) {
+  PriorityGraph g;
+  std::vector<SelectionCandidate> candidates = {C("a", 4, 0), C("b", 2, 0)};
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kLeastRecentlyConsidered), 1);
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kMostRecentlyConsidered), 1);
+}
+
+TEST(SelectRule, MixedPriorityAndRecency) {
+  PriorityGraph g;
+  ASSERT_OK(g.AddEdge("a", "b"));
+  // a and c are maximal; recency decides between them.
+  std::vector<SelectionCandidate> candidates = {C("a", 0, 9), C("b", 1, 0),
+                                                C("c", 2, 1)};
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kLeastRecentlyConsidered), 2);
+  EXPECT_EQ(SelectRule(candidates, g, TieBreak::kMostRecentlyConsidered), 0);
+}
+
+TEST(TieBreakNames, AllNamed) {
+  EXPECT_STREQ(TieBreakName(TieBreak::kCreationOrder), "creation-order");
+  EXPECT_STREQ(TieBreakName(TieBreak::kLeastRecentlyConsidered),
+               "least-recently-considered");
+  EXPECT_STREQ(TieBreakName(TieBreak::kMostRecentlyConsidered),
+               "most-recently-considered");
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,202 @@
+// Edge cases of the §4 semantics exercised through the full engine:
+// old-value capture across chained rule updates, updated-column unions in
+// composite effects, self-referencing actions, and scalar subqueries in
+// VALUES.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+TEST(SemanticsEdge, OldUpdatedShowsPreTransactionValueAcrossChainedUpdates) {
+  // The external block updates salary 100 -> 110; rule `bump` (higher
+  // priority) updates it again 110 -> 120. When `audit` finally runs, its
+  // composite transition spans both updates, so `old updated` must show
+  // 100 (the value before the whole composite transition) and
+  // `new updated` must show 120.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table emp (name string, salary double)"));
+  ASSERT_OK(engine.Execute(
+      "create table audit_log (name string, old_sal double, new_sal double)"));
+  ASSERT_OK(engine.Execute("insert into emp values ('a', 100)"));
+
+  ASSERT_OK(engine.Execute(
+      "create rule bump when updated emp.salary "
+      "if exists (select * from new updated emp.salary where salary = 110) "
+      "then update emp set salary = 120 where salary = 110"));
+  ASSERT_OK(engine.Execute(
+      "create rule audit when updated emp.salary "
+      "then insert into audit_log "
+      "  (select o.name, o.salary, n.salary "
+      "   from old updated emp.salary o, new updated emp.salary n "
+      "   where o.name = n.name)"));
+  ASSERT_OK(engine.Execute("create rule priority bump before audit"));
+
+  ASSERT_OK(engine.Execute("update emp set salary = 110 where name = 'a'"));
+
+  // audit fired twice: once for the composite (100 -> 120), and once
+  // re-triggered by... its own transition contains no updates, so only
+  // once? bump fires first (110->120); audit then sees composite
+  // 100->120. bump is re-triggered by its own update (120) but its
+  // condition fails. audit's own insert doesn't update salaries.
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult log,
+      engine.Query("select old_sal, new_sal from audit_log"));
+  ASSERT_EQ(log.rows.size(), 1u);
+  EXPECT_EQ(log.rows[0].at(0), Value::Double(100));
+  EXPECT_EQ(log.rows[0].at(1), Value::Double(120));
+}
+
+TEST(SemanticsEdge, UpdatedColumnsUnionAcrossTransitions) {
+  // External block updates column a; a higher-priority rule updates
+  // column b of the same tuple. A rule watching `updated t.b` must then
+  // be triggered by the COMPOSITE effect even though the external block
+  // never touched b.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (k int, a int, b int)"));
+  ASSERT_OK(engine.Execute("create table log (k int)"));
+  ASSERT_OK(engine.Execute("insert into t values (1, 10, 20)"));
+  ASSERT_OK(engine.Execute(
+      "create rule touch_b when updated t.a "
+      "then update t set b = b + 1 where k in "
+      "  (select k from new updated t.a)"));
+  ASSERT_OK(engine.Execute(
+      "create rule watch_b when updated t.b "
+      "then insert into log (select k from new updated t.b)"));
+  ASSERT_OK(engine.Execute("create rule priority touch_b before watch_b"));
+
+  ASSERT_OK(engine.Execute("update t set a = 11 where k = 1"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(1));
+
+  // And the OLD value of b visible to watch_b is b's value before
+  // touch_b's update (20), since watch_b never fired before.
+  ASSERT_OK(engine.Execute("drop rule watch_b"));
+  ASSERT_OK(engine.Execute(
+      "create rule watch_b2 when updated t.b "
+      "then insert into log (select b from old updated t.b)"));
+  ASSERT_OK(engine.Execute("update t set a = 12 where k = 1"));
+  ASSERT_OK_AND_ASSIGN(QueryResult log,
+                       engine.Query("select k from log order by k"));
+  ASSERT_EQ(log.rows.size(), 2u);
+  EXPECT_EQ(log.rows[1].at(0), Value::Int(21));  // b before the 2nd bump
+}
+
+TEST(SemanticsEdge, SelfReferencingInsertSelectInAction) {
+  // A rule action that inserts into its own triggering table via a
+  // select over the transition table (bounded by its condition).
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (gen int, v int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule doubler when inserted into t "
+      "if exists (select * from inserted t where gen < 3) "
+      "then insert into t "
+      "  (select gen + 1, v * 2 from inserted t where gen < 3)"));
+
+  ASSERT_OK(engine.Execute("insert into t values (0, 1), (0, 5)"));
+  // Generations 0..3 of both seeds: 8 rows.
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t"), Value::Int(8));
+  EXPECT_EQ(QueryScalar(&engine, "select max(v) from t"), Value::Int(40));
+  EXPECT_EQ(QueryScalar(&engine,
+                        "select count(*) from t where gen = 3"),
+            Value::Int(2));
+}
+
+TEST(SemanticsEdge, ScalarSubqueryInValues) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table src (v int)"));
+  ASSERT_OK(engine.Execute("create table dst (total int)"));
+  ASSERT_OK(engine.Execute("insert into src values (3), (4)"));
+  ASSERT_OK(engine.Execute(
+      "insert into dst values ((select sum(v) from src))"));
+  EXPECT_EQ(QueryScalar(&engine, "select total from dst"), Value::Int(7));
+}
+
+TEST(SemanticsEdge, RollbackMidSequencePreservesNothing) {
+  // Three rules by priority: first logs, second rolls back, third never
+  // runs. The log insert from the first rule must be undone.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  ASSERT_OK(engine.Execute("create table log (a int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule first_log when inserted into t "
+      "then insert into log values (1)"));
+  ASSERT_OK(engine.Execute(
+      "create rule second_veto when inserted into t then rollback"));
+  ASSERT_OK(engine.Execute(
+      "create rule third_never when inserted into t "
+      "then insert into log values (3)"));
+  ASSERT_OK(engine.Execute("create rule priority first_log before second_veto"));
+  ASSERT_OK(
+      engine.Execute("create rule priority second_veto before third_never"));
+
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine.ExecuteBlock("insert into t values (1)"));
+  EXPECT_TRUE(trace.rolled_back);
+  ASSERT_EQ(trace.firings.size(), 1u);  // first_log fired, then undone
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from log"), Value::Int(0));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t"), Value::Int(0));
+}
+
+TEST(SemanticsEdge, PlainUpdatedTableAndColumnVariantsTogether) {
+  // `updated t` (any column) and `updated t.a` predicates in one rule's
+  // disjunction; transition tables of both shapes in the action.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (k int, a int, b int)"));
+  ASSERT_OK(engine.Execute("create table log (k int, what string)"));
+  ASSERT_OK(engine.Execute("insert into t values (1, 10, 20), (2, 30, 40)"));
+  ASSERT_OK(engine.Execute(
+      "create rule watch when updated t "
+      "then insert into log "
+      "  (select k, 'any' from new updated t); "
+      "insert into log "
+      "  (select k, 'a' from new updated t.a)"));
+
+  // Update only b of row 1: `new updated t` sees it, `new updated t.a`
+  // is empty.
+  ASSERT_OK(engine.Execute("update t set b = 21 where k = 1"));
+  EXPECT_EQ(QueryScalar(&engine,
+                        "select count(*) from log where what = 'any'"),
+            Value::Int(1));
+  EXPECT_EQ(QueryScalar(&engine,
+                        "select count(*) from log where what = 'a'"),
+            Value::Int(0));
+
+  // Update a of row 2: both transition tables populated.
+  ASSERT_OK(engine.Execute("update t set a = 31 where k = 2"));
+  EXPECT_EQ(QueryScalar(&engine,
+                        "select count(*) from log where what = 'any'"),
+            Value::Int(2));
+  EXPECT_EQ(QueryScalar(&engine,
+                        "select count(*) from log where what = 'a'"),
+            Value::Int(1));
+}
+
+TEST(SemanticsEdge, DeleteThenInsertIsNeverAnUpdate) {
+  // §2.2: deleting a tuple and inserting an identical one is a delete
+  // plus an insert — never an update. A rule watching updates must not
+  // fire; rules watching inserts and deletes both must.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (k int)"));
+  ASSERT_OK(engine.Execute("create table log (what string)"));
+  ASSERT_OK(engine.Execute("insert into t values (1)"));
+  ASSERT_OK(engine.Execute(
+      "create rule u when updated t then insert into log values ('u')"));
+  ASSERT_OK(engine.Execute(
+      "create rule i when inserted into t then insert into log values ('i')"));
+  ASSERT_OK(engine.Execute(
+      "create rule d when deleted from t then insert into log values ('d')"));
+
+  ASSERT_OK(engine.Execute(
+      "delete from t where k = 1; insert into t values (1)"));
+  ASSERT_OK_AND_ASSIGN(QueryResult log,
+                       engine.Query("select what from log order by what"));
+  ASSERT_EQ(log.rows.size(), 2u);
+  EXPECT_EQ(log.rows[0].at(0), Value::String("d"));
+  EXPECT_EQ(log.rows[1].at(0), Value::String("i"));
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,149 @@
+// Unit tests for the value-carrying trans-info structure of the Figure 1
+// algorithm: old-value capture across insert/update/delete chains.
+
+#include "rules/trans_info.h"
+
+#include <gtest/gtest.h>
+
+namespace sopr {
+namespace {
+
+Row R(const char* name, double salary) {
+  return Row{Value::String(name), Value::Double(salary)};
+}
+
+DmlEffect InsertOp(TupleHandle h) {
+  DmlEffect op;
+  op.table = "emp";
+  op.inserted.push_back(h);
+  return op;
+}
+
+DmlEffect DeleteOp(TupleHandle h, Row old_row) {
+  DmlEffect op;
+  op.table = "emp";
+  op.deleted.emplace_back(h, std::move(old_row));
+  return op;
+}
+
+DmlEffect UpdateOp(TupleHandle h, std::vector<size_t> cols, Row old_row) {
+  DmlEffect op;
+  op.table = "emp";
+  DmlEffect::UpdatedTuple u;
+  u.handle = h;
+  u.columns = std::move(cols);
+  u.old_row = std::move(old_row);
+  op.updated.push_back(u);
+  return op;
+}
+
+TEST(TransInfo, ApplySingleOps) {
+  TransInfo info;
+  info.ApplyOp(InsertOp(1));
+  info.ApplyOp(DeleteOp(2, R("bob", 5)));
+  info.ApplyOp(UpdateOp(3, {1}, R("carol", 7)));
+
+  const TableTransInfo& t = info.ForTable("emp");
+  EXPECT_EQ(t.ins, (std::set<TupleHandle>{1}));
+  ASSERT_EQ(t.del.count(2), 1u);
+  EXPECT_EQ(t.del.at(2), R("bob", 5));
+  ASSERT_EQ(t.upd.count(3), 1u);
+  EXPECT_EQ(t.upd.at(3).old_row, R("carol", 7));
+  EXPECT_EQ(t.upd.at(3).columns, (std::set<size_t>{1}));
+}
+
+TEST(TransInfo, InsertThenDeleteVanishes) {
+  TransInfo info;
+  info.ApplyOp(InsertOp(1));
+  info.ApplyOp(DeleteOp(1, R("temp", 1)));
+  EXPECT_TRUE(info.Empty());
+}
+
+TEST(TransInfo, InsertThenUpdateStaysInsert) {
+  TransInfo info;
+  info.ApplyOp(InsertOp(1));
+  info.ApplyOp(UpdateOp(1, {0}, R("v0", 1)));
+  const TableTransInfo& t = info.ForTable("emp");
+  EXPECT_EQ(t.ins, (std::set<TupleHandle>{1}));
+  EXPECT_TRUE(t.upd.empty());
+}
+
+TEST(TransInfo, UpdateThenDeleteKeepsOriginalValue) {
+  // The deleted transition table must show the value from *before* the
+  // whole composite transition (Figure 1's get-old-value).
+  TransInfo info;
+  info.ApplyOp(UpdateOp(7, {1}, R("orig", 100)));
+  info.ApplyOp(DeleteOp(7, R("orig", 150)));  // current value at delete time
+  const TableTransInfo& t = info.ForTable("emp");
+  EXPECT_TRUE(t.upd.empty());
+  ASSERT_EQ(t.del.count(7), 1u);
+  EXPECT_EQ(t.del.at(7), R("orig", 100));  // pre-transition value
+}
+
+TEST(TransInfo, UpdateTwiceKeepsFirstOldValueAndMergesColumns) {
+  TransInfo info;
+  info.ApplyOp(UpdateOp(7, {1}, R("a", 100)));
+  info.ApplyOp(UpdateOp(7, {0}, R("a", 110)));
+  const TableTransInfo& t = info.ForTable("emp");
+  ASSERT_EQ(t.upd.count(7), 1u);
+  EXPECT_EQ(t.upd.at(7).old_row, R("a", 100));
+  EXPECT_EQ(t.upd.at(7).columns, (std::set<size_t>{0, 1}));
+}
+
+TEST(TransInfo, ComposeMatchesSequentialApply) {
+  // Folding ops one-by-one must equal folding into two blocks and
+  // composing (modify-trans-info).
+  std::vector<DmlEffect> ops;
+  ops.push_back(InsertOp(1));
+  ops.push_back(UpdateOp(2, {0}, R("b", 2)));
+  ops.push_back(UpdateOp(1, {1}, R("a", 1)));
+  ops.push_back(DeleteOp(2, R("b2", 3)));
+  ops.push_back(InsertOp(3));
+  ops.push_back(DeleteOp(3, R("c", 4)));
+  ops.push_back(UpdateOp(4, {0, 1}, R("d", 9)));
+
+  TransInfo sequential;
+  for (const DmlEffect& op : ops) sequential.ApplyOp(op);
+
+  for (size_t split = 0; split <= ops.size(); ++split) {
+    TransInfo left, right;
+    for (size_t i = 0; i < split; ++i) left.ApplyOp(ops[i]);
+    for (size_t i = split; i < ops.size(); ++i) right.ApplyOp(ops[i]);
+    TransInfo composed = left;
+    composed.Compose(right);
+    EXPECT_EQ(composed, sequential) << "split at " << split;
+  }
+}
+
+TEST(TransInfo, ToEffectProjectsHandles) {
+  TransInfo info;
+  info.ApplyOp(InsertOp(1));
+  info.ApplyOp(DeleteOp(2, R("x", 1)));
+  info.ApplyOp(UpdateOp(3, {1}, R("y", 2)));
+  TransitionEffect e = info.ToEffect();
+  EXPECT_EQ(e.ForTable("emp").inserted, (std::set<TupleHandle>{1}));
+  EXPECT_EQ(e.ForTable("emp").deleted, (std::set<TupleHandle>{2}));
+  ASSERT_EQ(e.ForTable("emp").updated.count(3), 1u);
+  EXPECT_TRUE(e.WellFormed());
+}
+
+TEST(TransInfo, SelectTrackingComposes) {
+  TransInfo info;
+  info.ApplySelect({{"emp", 1}, {"emp", 2}});
+  TransInfo later;
+  later.ApplyOp(DeleteOp(2, R("x", 1)));
+  later.ApplySelect({{"emp", 3}});
+  info.Compose(later);
+  EXPECT_EQ(info.ForTable("emp").sel, (std::set<TupleHandle>{1, 3}));
+}
+
+TEST(TransInfo, ClearResets) {
+  TransInfo info;
+  info.ApplyOp(InsertOp(1));
+  EXPECT_FALSE(info.Empty());
+  info.Clear();
+  EXPECT_TRUE(info.Empty());
+}
+
+}  // namespace
+}  // namespace sopr

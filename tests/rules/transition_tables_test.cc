@@ -1,0 +1,194 @@
+// TransitionTableResolver unit tests: each §3 transition table kind,
+// column filtering, base-table passthrough, and SQL-level usage.
+
+#include "rules/transition_tables.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class TransitionTablesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.CreateTable(TableSchema(
+        "emp", {{"name", ValueType::kString},
+                {"salary", ValueType::kDouble},
+                {"dept_no", ValueType::kInt}})));
+  }
+
+  Result<TupleHandle> Insert(const char* name, double salary, int dept) {
+    return db_.InsertRow("emp", Row{Value::String(name), Value::Double(salary),
+                                    Value::Int(dept)});
+  }
+
+  Database db_;
+  TransInfo info_;
+};
+
+TEST_F(TransitionTablesTest, InsertedShowsCurrentValues) {
+  ASSERT_OK_AND_ASSIGN(TupleHandle h, Insert("a", 100, 1));
+  DmlEffect op;
+  op.table = "emp";
+  op.inserted.push_back(h);
+  info_.ApplyOp(op);
+  // A later (non-tracked) update changes the current value; `inserted t`
+  // must show the CURRENT value (tuples "in the current state", §3).
+  ASSERT_OK(db_.UpdateRow("emp", h, Row{Value::String("a"),
+                                        Value::Double(999), Value::Int(1)}));
+
+  TransitionTableResolver resolver(&db_, &info_);
+  ASSERT_OK_AND_ASSIGN(Relation rel,
+                       resolver.Resolve({TableRefKind::kInserted, "emp", "", ""}));
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0].at(1), Value::Double(999));
+  EXPECT_EQ(rel.handles[0], h);
+}
+
+TEST_F(TransitionTablesTest, DeletedShowsPreTransitionValues) {
+  ASSERT_OK_AND_ASSIGN(TupleHandle h, Insert("victim", 50, 2));
+  db_.CommitAll();
+  Row old_row{Value::String("victim"), Value::Double(50), Value::Int(2)};
+  ASSERT_OK(db_.DeleteRow("emp", h));
+  DmlEffect op;
+  op.table = "emp";
+  op.deleted.emplace_back(h, old_row);
+  info_.ApplyOp(op);
+
+  TransitionTableResolver resolver(&db_, &info_);
+  ASSERT_OK_AND_ASSIGN(Relation rel,
+                       resolver.Resolve({TableRefKind::kDeleted, "emp", "", ""}));
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0], old_row);
+}
+
+TEST_F(TransitionTablesTest, UpdatedColumnFilter) {
+  ASSERT_OK_AND_ASSIGN(TupleHandle h1, Insert("a", 100, 1));
+  ASSERT_OK_AND_ASSIGN(TupleHandle h2, Insert("b", 200, 2));
+  db_.CommitAll();
+
+  // h1's salary (col 1) updated; h2's dept_no (col 2) updated.
+  DmlEffect op;
+  op.table = "emp";
+  op.updated.push_back(
+      {h1, {1}, Row{Value::String("a"), Value::Double(100), Value::Int(1)}});
+  op.updated.push_back(
+      {h2, {2}, Row{Value::String("b"), Value::Double(200), Value::Int(2)}});
+  info_.ApplyOp(op);
+  ASSERT_OK(db_.UpdateRow("emp", h1, Row{Value::String("a"),
+                                         Value::Double(111), Value::Int(1)}));
+  ASSERT_OK(db_.UpdateRow("emp", h2, Row{Value::String("b"),
+                                         Value::Double(200), Value::Int(9)}));
+
+  TransitionTableResolver resolver(&db_, &info_);
+
+  // `old updated emp.salary`: only h1.
+  ASSERT_OK_AND_ASSIGN(
+      Relation old_sal,
+      resolver.Resolve({TableRefKind::kOldUpdated, "emp", "salary", ""}));
+  ASSERT_EQ(old_sal.rows.size(), 1u);
+  EXPECT_EQ(old_sal.handles[0], h1);
+  EXPECT_EQ(old_sal.rows[0].at(1), Value::Double(100));
+
+  // `new updated emp.salary`: current value of h1.
+  ASSERT_OK_AND_ASSIGN(
+      Relation new_sal,
+      resolver.Resolve({TableRefKind::kNewUpdated, "emp", "salary", ""}));
+  ASSERT_EQ(new_sal.rows.size(), 1u);
+  EXPECT_EQ(new_sal.rows[0].at(1), Value::Double(111));
+
+  // Unfiltered `old updated emp`: both tuples.
+  ASSERT_OK_AND_ASSIGN(
+      Relation all_old,
+      resolver.Resolve({TableRefKind::kOldUpdated, "emp", "", ""}));
+  EXPECT_EQ(all_old.rows.size(), 2u);
+
+  // Unknown column in the filter is an error.
+  EXPECT_FALSE(
+      resolver.Resolve({TableRefKind::kOldUpdated, "emp", "nosuch", ""}).ok());
+}
+
+TEST_F(TransitionTablesTest, SelectedShowsCurrentValues) {
+  ASSERT_OK_AND_ASSIGN(TupleHandle h, Insert("read", 75, 3));
+  info_.ApplySelect({{"emp", h}});
+  TransitionTableResolver resolver(&db_, &info_);
+  ASSERT_OK_AND_ASSIGN(
+      Relation rel, resolver.Resolve({TableRefKind::kSelectedTt, "emp", "", ""}));
+  ASSERT_EQ(rel.rows.size(), 1u);
+  EXPECT_EQ(rel.rows[0].at(0), Value::String("read"));
+}
+
+TEST_F(TransitionTablesTest, BaseTablePassthrough) {
+  ASSERT_OK(Insert("x", 1, 1).status());
+  ASSERT_OK(Insert("y", 2, 2).status());
+  TransitionTableResolver resolver(&db_, &info_);
+  ASSERT_OK_AND_ASSIGN(Relation rel,
+                       resolver.Resolve({TableRefKind::kBase, "emp", "", ""}));
+  EXPECT_EQ(rel.rows.size(), 2u);
+}
+
+TEST_F(TransitionTablesTest, EmptyInfoYieldsEmptyRelations) {
+  ASSERT_OK(Insert("x", 1, 1).status());
+  TransitionTableResolver resolver(&db_, &info_);
+  for (TableRefKind kind :
+       {TableRefKind::kInserted, TableRefKind::kDeleted,
+        TableRefKind::kOldUpdated, TableRefKind::kNewUpdated,
+        TableRefKind::kSelectedTt}) {
+    ASSERT_OK_AND_ASSIGN(Relation rel, resolver.Resolve({kind, "emp", "", ""}));
+    EXPECT_TRUE(rel.rows.empty());
+  }
+}
+
+TEST_F(TransitionTablesTest, UnknownTableFails) {
+  TransitionTableResolver resolver(&db_, &info_);
+  EXPECT_FALSE(
+      resolver.Resolve({TableRefKind::kInserted, "nosuch", "", ""}).ok());
+}
+
+TEST(TransitionTablesSql, JoinTransitionTableWithBaseTable) {
+  // A rule condition can join a transition table against base tables —
+  // the §3 design point that makes set-oriented rules composable with
+  // ordinary SQL. Verified through the full engine.
+  Engine engine;
+  CreatePaperSchema(&engine);
+  LoadOrgChart(&engine);
+  ASSERT_OK(engine.Execute("create table log (name string, mgr int)"));
+  ASSERT_OK(engine.Execute(
+      "create rule r when deleted from emp "
+      "then insert into log "
+      "  (select d.name, dept.mgr_no from deleted emp d, dept "
+      "   where d.dept_no = dept.dept_no)"));
+  ASSERT_OK(engine.Execute(
+      "delete from emp where name = 'Sam' or name = 'Bill'"));
+  ASSERT_OK_AND_ASSIGN(QueryResult r,
+                       engine.Query("select name, mgr from log order by name"));
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Bill"));
+  EXPECT_EQ(r.rows[0].at(1), Value::Int(20));  // Bill's dept 2 mgr = Mary
+  EXPECT_EQ(r.rows[1].at(1), Value::Int(30));  // Sam's dept 3 mgr = Jim
+}
+
+TEST(TransitionTablesSql, AliasedTransitionTables) {
+  Engine engine;
+  CreatePaperSchema(&engine);
+  LoadOrgChart(&engine);
+  ASSERT_OK(engine.Execute("create table pairs (a string, b string)"));
+  // Self-join of a transition table via aliases.
+  ASSERT_OK(engine.Execute(
+      "create rule r when deleted from emp "
+      "then insert into pairs "
+      "  (select d1.name, d2.name from deleted emp d1, deleted emp d2 "
+      "   where d1.emp_no < d2.emp_no)"));
+  ASSERT_OK(engine.Execute(
+      "delete from emp where name = 'Sam' or name = 'Sue'"));
+  ASSERT_OK_AND_ASSIGN(QueryResult r, engine.Query("select * from pairs"));
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0].at(0), Value::String("Sam"));
+  EXPECT_EQ(r.rows[0].at(1), Value::String("Sue"));
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,113 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+std::vector<Token> Lex(const std::string& sql) {
+  Lexer lexer(sql);
+  auto result = lexer.Tokenize();
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : std::vector<Token>{};
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("SELECT From wHeRe");
+  ASSERT_EQ(tokens.size(), 4u);  // + EOF
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kFrom);
+  EXPECT_EQ(tokens[2].type, TokenType::kWhere);
+  EXPECT_EQ(tokens[3].type, TokenType::kEof);
+}
+
+TEST(Lexer, IdentifiersLowercased) {
+  auto tokens = Lex("Emp dept_NO _x1");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "emp");
+  EXPECT_EQ(tokens[1].text, "dept_no");
+  EXPECT_EQ(tokens[2].text, "_x1");
+}
+
+TEST(Lexer, IntAndDoubleLiterals) {
+  auto tokens = Lex("42 3.5 0.95 1e3 2.5e-1");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[1].double_value, 3.5);
+  EXPECT_EQ(tokens[2].double_value, 0.95);
+  EXPECT_EQ(tokens[3].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[3].double_value, 1000.0);
+  EXPECT_EQ(tokens[4].double_value, 0.25);
+}
+
+TEST(Lexer, MagnitudeSuffixes) {
+  // The paper writes salaries as 50K / 80K.
+  auto tokens = Lex("50K 80k 2M 1.5K");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 50000);
+  EXPECT_EQ(tokens[1].int_value, 80000);
+  EXPECT_EQ(tokens[2].int_value, 2000000);
+  EXPECT_EQ(tokens[3].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ(tokens[3].double_value, 1500.0);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  auto tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  Lexer lexer("'oops");
+  EXPECT_EQ(lexer.Tokenize().status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  auto tokens = Lex("= <> != < <= > >= + - * / ( ) , ; .");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,     TokenType::kNe,    TokenType::kNe,
+      TokenType::kLt,     TokenType::kLe,    TokenType::kGt,
+      TokenType::kGe,     TokenType::kPlus,  TokenType::kMinus,
+      TokenType::kStar,   TokenType::kSlash, TokenType::kLParen,
+      TokenType::kRParen, TokenType::kComma, TokenType::kSemicolon,
+      TokenType::kDot,    TokenType::kEof};
+  ASSERT_EQ(tokens.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, CommentsAndWhitespaceSkipped) {
+  auto tokens = Lex("select -- a comment\n  1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kSelect);
+  EXPECT_EQ(tokens[1].type, TokenType::kIntLiteral);
+}
+
+TEST(Lexer, TransitionKeywords) {
+  auto tokens = Lex("inserted deleted updated selected old new");
+  EXPECT_EQ(tokens[0].type, TokenType::kInserted);
+  EXPECT_EQ(tokens[1].type, TokenType::kDeleted);
+  EXPECT_EQ(tokens[2].type, TokenType::kUpdated);
+  EXPECT_EQ(tokens[3].type, TokenType::kSelected);
+  EXPECT_EQ(tokens[4].type, TokenType::kOld);
+  EXPECT_EQ(tokens[5].type, TokenType::kNew);
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  Lexer lexer("select @");
+  EXPECT_EQ(lexer.Tokenize().status().code(), StatusCode::kParseError);
+}
+
+TEST(Lexer, OffsetsReported) {
+  auto tokens = Lex("ab cd");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+}
+
+}  // namespace
+}  // namespace sopr

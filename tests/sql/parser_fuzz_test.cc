@@ -1,0 +1,154 @@
+// Robustness fuzzing: the lexer/parser (and the whole engine) must never
+// crash on malformed input — every failure is a clean ParseError status.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "engine/engine.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class ParserFuzz : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrash) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t len = rng() % 120;
+    std::string input;
+    input.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      // Printable-ish ASCII plus some controls.
+      input.push_back(static_cast<char>(rng() % 96 + 32));
+    }
+    auto result = Parser::ParseScript(input);
+    // Either parses or errors; must not crash or hang.
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MutatedSqlNeverCrashes) {
+  std::mt19937 rng(GetParam() * 7 + 3);
+  const std::string seeds[] = {
+      "select name, sum(salary) from emp e, dept d where e.dept_no = "
+      "d.dept_no group by name having count(*) > 1 order by name desc",
+      "create rule r when inserted into emp or updated emp.salary if "
+      "(select avg(salary) from new updated emp.salary) > 50K then delete "
+      "from emp where salary > 80K; update emp set salary = 0.9 * salary",
+      "insert into t values (1, 'a''b', null, true), (2, 3.5e-2, 50K, "
+      "false)",
+      "update emp set salary = salary * 1.1, dept_no = (select dept_no "
+      "from dept where mgr_no = 7) where name in ('a', 'b') and salary "
+      "between 1 and 2",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string input = seeds[rng() % 4];
+    // Apply a few random mutations: delete, duplicate, or scramble bytes.
+    int mutations = 1 + static_cast<int>(rng() % 6);
+    for (int m = 0; m < mutations && !input.empty(); ++m) {
+      size_t pos = rng() % input.size();
+      switch (rng() % 4) {
+        case 0:
+          input.erase(pos, 1 + rng() % 5);
+          break;
+        case 1:
+          input.insert(pos, input.substr(pos, 1 + rng() % 8));
+          break;
+        case 2:
+          input[pos] = static_cast<char>(rng() % 96 + 32);
+          break;
+        default:
+          input.insert(pos, std::string(1, "()';.*,"[rng() % 7]));
+          break;
+      }
+    }
+    auto result = Parser::ParseScript(input);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kParseError) << input;
+    }
+  }
+}
+
+TEST_P(ParserFuzz, EngineExecuteNeverCrashesOnValidParseInvalidSemantics) {
+  // Statements that parse but reference missing tables/columns/rules:
+  // must fail cleanly, never crash, and leave the engine usable.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  std::mt19937 rng(GetParam() * 31 + 7);
+  const std::string tables[] = {"t", "nosuch", "t2"};
+  const std::string cols[] = {"a", "b", "nope"};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string& table = tables[rng() % 3];
+    const std::string& col = cols[rng() % 3];
+    std::string sql;
+    switch (rng() % 5) {
+      case 0:
+        sql = "select " + col + " from " + table;
+        break;
+      case 1:
+        sql = "insert into " + table + " values (1)";
+        break;
+      case 2:
+        sql = "update " + table + " set " + col + " = 1";
+        break;
+      case 3:
+        sql = "delete from " + table + " where " + col + " = 1";
+        break;
+      default:
+        sql = "create rule fz" + std::to_string(trial) + " when inserted into " +
+              table + " then delete from " + table + " where " + col + " = 1";
+        break;
+    }
+    Status s = engine.Execute(sql);
+    (void)s;  // any status is fine; no crash is the property
+  }
+  // Drop whatever rules the fuzz loop managed to define (some reference
+  // columns that only fail at runtime), then check the engine still works.
+  for (const std::string& name : engine.rules().RuleNames()) {
+    ASSERT_OK(engine.Execute("drop rule " + name));
+  }
+  ASSERT_OK(engine.Execute("insert into t values (42)"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t"), Value::Int(1));
+}
+
+TEST(ParserFuzzEdge, PathologicalInputs) {
+  const char* inputs[] = {
+      "",
+      ";",
+      ";;;;",
+      "(((((((((((((((((",
+      "select",
+      "select * from",
+      "'unterminated",
+      "1e999999",
+      "select * from t where x = 1 and and and",
+      "create rule when then",
+      "insert into t values ",
+      "-- only a comment",
+      "select * from t order by",
+      "update t set",
+      "call",
+      "process",
+  };
+  for (const char* input : inputs) {
+    auto result = Parser::ParseScript(input);
+    EXPECT_FALSE(result.ok()) << input;
+  }
+  // Deep nesting parses without stack issues at reasonable depth.
+  std::string nested = "select * from t where ";
+  for (int i = 0; i < 200; ++i) nested += "(";
+  nested += "1 = 1";
+  for (int i = 0; i < 200; ++i) nested += ")";
+  EXPECT_TRUE(Parser::ParseScript(nested).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace sopr

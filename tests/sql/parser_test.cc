@@ -1,0 +1,299 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+StmtPtr Parse(const std::string& sql) {
+  auto result = Parser::ParseStatement(sql);
+  EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+template <typename T>
+const T* As(const StmtPtr& stmt, StmtKind kind) {
+  if (!stmt || stmt->kind != kind) {
+    ADD_FAILURE() << "wrong statement kind";
+    return nullptr;
+  }
+  return static_cast<const T*>(stmt.get());
+}
+
+TEST(ParserSelect, BasicProjectionAndWhere) {
+  auto stmt = Parse("select name, salary from emp where salary > 100");
+  const auto* sel = As<SelectStmt>(stmt, StmtKind::kSelect);
+  ASSERT_NE(sel, nullptr);
+  ASSERT_EQ(sel->items.size(), 2u);
+  EXPECT_FALSE(sel->items[0].star);
+  ASSERT_EQ(sel->from.size(), 1u);
+  EXPECT_EQ(sel->from[0].table, "emp");
+  EXPECT_EQ(sel->from[0].kind, TableRefKind::kBase);
+  ASSERT_NE(sel->where, nullptr);
+  EXPECT_EQ(sel->where->ToString(), "(salary > 100)");
+}
+
+TEST(ParserSelect, StarAndAliases) {
+  auto stmt = Parse("select * from emp e1, dept d");
+  const auto* sel = As<SelectStmt>(stmt, StmtKind::kSelect);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_TRUE(sel->items[0].star);
+  ASSERT_EQ(sel->from.size(), 2u);
+  EXPECT_EQ(sel->from[0].alias, "e1");
+  EXPECT_EQ(sel->from[0].binding_name(), "e1");
+  EXPECT_EQ(sel->from[1].alias, "d");
+}
+
+TEST(ParserSelect, TransitionTables) {
+  auto stmt = Parse(
+      "select * from inserted emp i, deleted dept, "
+      "old updated emp.salary ou, new updated emp nu");
+  const auto* sel = As<SelectStmt>(stmt, StmtKind::kSelect);
+  ASSERT_NE(sel, nullptr);
+  ASSERT_EQ(sel->from.size(), 4u);
+  EXPECT_EQ(sel->from[0].kind, TableRefKind::kInserted);
+  EXPECT_EQ(sel->from[0].table, "emp");
+  EXPECT_EQ(sel->from[0].alias, "i");
+  EXPECT_EQ(sel->from[1].kind, TableRefKind::kDeleted);
+  EXPECT_EQ(sel->from[1].binding_name(), "dept");
+  EXPECT_EQ(sel->from[2].kind, TableRefKind::kOldUpdated);
+  EXPECT_EQ(sel->from[2].column, "salary");
+  EXPECT_EQ(sel->from[3].kind, TableRefKind::kNewUpdated);
+  EXPECT_TRUE(sel->from[3].column.empty());
+}
+
+TEST(ParserSelect, GroupByHavingOrderByDistinct) {
+  auto stmt = Parse(
+      "select distinct dept_no, avg(salary) a from emp "
+      "group by dept_no having count(*) > 1 order by a desc, dept_no");
+  const auto* sel = As<SelectStmt>(stmt, StmtKind::kSelect);
+  ASSERT_NE(sel, nullptr);
+  EXPECT_TRUE(sel->distinct);
+  ASSERT_EQ(sel->group_by.size(), 1u);
+  ASSERT_NE(sel->having, nullptr);
+  ASSERT_EQ(sel->order_by.size(), 2u);
+  EXPECT_FALSE(sel->order_by[0].ascending);
+  EXPECT_TRUE(sel->order_by[1].ascending);
+  EXPECT_EQ(sel->items[1].alias, "a");
+}
+
+TEST(ParserSelect, NestedSubqueries) {
+  auto stmt = Parse(
+      "select name from emp where dept_no in "
+      "(select dept_no from dept where mgr_no = "
+      " (select emp_no from emp where name = 'Jane'))");
+  ASSERT_NE(As<SelectStmt>(stmt, StmtKind::kSelect), nullptr);
+}
+
+TEST(ParserInsert, ValuesSingleAndMultiRow) {
+  auto stmt = Parse("insert into emp values ('a', 1, 2.5, 3)");
+  const auto* ins = As<InsertStmt>(stmt, StmtKind::kInsert);
+  ASSERT_NE(ins, nullptr);
+  ASSERT_EQ(ins->rows.size(), 1u);
+  EXPECT_EQ(ins->rows[0].size(), 4u);
+
+  auto multi = Parse("insert into t values (1, 2), (3, 4)");
+  const auto* m = As<InsertStmt>(multi, StmtKind::kInsert);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->rows.size(), 2u);
+}
+
+TEST(ParserInsert, BareValuesWithoutParens) {
+  // The paper's grammar shows `values v1, v2, ..., vn` without parens.
+  auto stmt = Parse("insert into t values 1, 2, 3");
+  const auto* ins = As<InsertStmt>(stmt, StmtKind::kInsert);
+  ASSERT_NE(ins, nullptr);
+  ASSERT_EQ(ins->rows.size(), 1u);
+  EXPECT_EQ(ins->rows[0].size(), 3u);
+}
+
+TEST(ParserInsert, FromSelect) {
+  auto stmt = Parse("insert into audit (select name, 1 from inserted emp)");
+  const auto* ins = As<InsertStmt>(stmt, StmtKind::kInsert);
+  ASSERT_NE(ins, nullptr);
+  EXPECT_TRUE(ins->rows.empty());
+  ASSERT_NE(ins->select, nullptr);
+  EXPECT_EQ(ins->select->from[0].kind, TableRefKind::kInserted);
+}
+
+TEST(ParserDelete, WithAndWithoutWhere) {
+  auto stmt = Parse("delete from emp where salary > 10");
+  const auto* del = As<DeleteStmt>(stmt, StmtKind::kDelete);
+  ASSERT_NE(del, nullptr);
+  EXPECT_NE(del->where, nullptr);
+
+  auto all = Parse("delete from emp");
+  const auto* d2 = As<DeleteStmt>(all, StmtKind::kDelete);
+  ASSERT_NE(d2, nullptr);
+  EXPECT_EQ(d2->where, nullptr);
+}
+
+TEST(ParserUpdate, MultipleAssignments) {
+  auto stmt = Parse("update emp set salary = salary * 1.1, dept_no = 2 "
+                    "where name = 'x'");
+  const auto* upd = As<UpdateStmt>(stmt, StmtKind::kUpdate);
+  ASSERT_NE(upd, nullptr);
+  ASSERT_EQ(upd->assignments.size(), 2u);
+  EXPECT_EQ(upd->assignments[0].column, "salary");
+  EXPECT_EQ(upd->assignments[1].column, "dept_no");
+}
+
+TEST(ParserCreateTable, ColumnTypes) {
+  auto stmt = Parse(
+      "create table t (a int, b integer, c double, d float, e string, "
+      "f varchar, g bool)");
+  const auto* ct = As<CreateTableStmt>(stmt, StmtKind::kCreateTable);
+  ASSERT_NE(ct, nullptr);
+  ASSERT_EQ(ct->columns.size(), 7u);
+  EXPECT_EQ(ct->columns[0].second, ValueType::kInt);
+  EXPECT_EQ(ct->columns[2].second, ValueType::kDouble);
+  EXPECT_EQ(ct->columns[4].second, ValueType::kString);
+  EXPECT_EQ(ct->columns[6].second, ValueType::kBool);
+}
+
+TEST(ParserCreateTable, UnknownTypeFails) {
+  EXPECT_EQ(Parser::ParseStatement("create table t (a blob)").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserCreateRule, FullForm) {
+  auto stmt = Parse(
+      "create rule r1 "
+      "when inserted into emp or deleted from emp or updated emp.salary "
+      "     or updated dept "
+      "if exists (select * from inserted emp) "
+      "then delete from emp where salary > 10; "
+      "     update dept set mgr_no = 0");
+  const auto* rule = As<CreateRuleStmt>(stmt, StmtKind::kCreateRule);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->name, "r1");
+  ASSERT_EQ(rule->when.size(), 4u);
+  EXPECT_EQ(rule->when[0].kind, BasicTransPred::Kind::kInsertedInto);
+  EXPECT_EQ(rule->when[1].kind, BasicTransPred::Kind::kDeletedFrom);
+  EXPECT_EQ(rule->when[2].kind, BasicTransPred::Kind::kUpdated);
+  EXPECT_EQ(rule->when[2].column, "salary");
+  EXPECT_EQ(rule->when[3].column, "");
+  ASSERT_NE(rule->condition, nullptr);
+  EXPECT_FALSE(rule->action_is_rollback);
+  // Both statements belong to the action op-block.
+  EXPECT_EQ(rule->action.size(), 2u);
+}
+
+TEST(ParserCreateRule, NoConditionAndRollback) {
+  auto stmt = Parse("create rule guard when updated emp.salary then rollback");
+  const auto* rule = As<CreateRuleStmt>(stmt, StmtKind::kCreateRule);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->condition, nullptr);
+  EXPECT_TRUE(rule->action_is_rollback);
+  EXPECT_TRUE(rule->action.empty());
+}
+
+TEST(ParserCreateRule, SelectedPredicate) {
+  auto stmt =
+      Parse("create rule audit when selected emp.salary then "
+            "insert into log values (1)");
+  const auto* rule = As<CreateRuleStmt>(stmt, StmtKind::kCreateRule);
+  ASSERT_NE(rule, nullptr);
+  EXPECT_EQ(rule->when[0].kind, BasicTransPred::Kind::kSelectedFrom);
+  EXPECT_EQ(rule->when[0].column, "salary");
+}
+
+TEST(ParserCreatePriority, Pair) {
+  auto stmt = Parse("create rule priority r2 before r1");
+  const auto* p = As<CreatePriorityStmt>(stmt, StmtKind::kCreatePriority);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->higher, "r2");
+  EXPECT_EQ(p->lower, "r1");
+}
+
+TEST(ParserDropRule, Basic) {
+  auto stmt = Parse("drop rule r1");
+  const auto* d = As<DropRuleStmt>(stmt, StmtKind::kDropRule);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->name, "r1");
+}
+
+TEST(ParserScript, MultipleStatements) {
+  auto result = Parser::ParseScript(
+      "insert into t values (1); delete from t; update t set a = 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+TEST(ParserScript, EmptyFails) {
+  EXPECT_FALSE(Parser::ParseScript("").ok());
+  EXPECT_FALSE(Parser::ParseScript("   -- just a comment").ok());
+}
+
+TEST(ParserExpr, PrecedenceArithmetic) {
+  auto expr = Parser::ParseExpression("1 + 2 * 3 - 4 / 2");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr.value()->ToString(), "((1 + (2 * 3)) - (4 / 2))");
+}
+
+TEST(ParserExpr, PrecedenceLogic) {
+  auto expr = Parser::ParseExpression("a = 1 or b = 2 and not c = 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr.value()->ToString(),
+            "((a = 1) or ((b = 2) and not ((c = 3))))");
+}
+
+TEST(ParserExpr, InBetweenIsNull) {
+  EXPECT_TRUE(Parser::ParseExpression("x in (1, 2, 3)").ok());
+  EXPECT_TRUE(Parser::ParseExpression("x not in (select a from t)").ok());
+  EXPECT_TRUE(Parser::ParseExpression("x between 1 and 10").ok());
+  EXPECT_TRUE(Parser::ParseExpression("x not between 1 and 10").ok());
+  EXPECT_TRUE(Parser::ParseExpression("x is null").ok());
+  EXPECT_TRUE(Parser::ParseExpression("x is not null").ok());
+}
+
+TEST(ParserExpr, Aggregates) {
+  EXPECT_TRUE(Parser::ParseExpression("count(*)").ok());
+  EXPECT_TRUE(Parser::ParseExpression("count(distinct dept_no)").ok());
+  EXPECT_TRUE(Parser::ParseExpression("sum(salary) / count(*)").ok());
+  // '*' only valid for count.
+  EXPECT_FALSE(Parser::ParseExpression("sum(*)").ok());
+  // Unknown function.
+  EXPECT_FALSE(Parser::ParseExpression("median(x)").ok());
+}
+
+TEST(ParserExpr, QualifiedColumns) {
+  auto expr = Parser::ParseExpression("e1.salary > e2.salary");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr.value()->ToString(), "(e1.salary > e2.salary)");
+}
+
+TEST(ParserErrors, Diagnostics) {
+  EXPECT_FALSE(Parser::ParseStatement("select from emp").ok());
+  EXPECT_FALSE(Parser::ParseStatement("insert emp values (1)").ok());
+  EXPECT_FALSE(Parser::ParseStatement("update emp salary = 1").ok());
+  EXPECT_FALSE(Parser::ParseStatement("create rule r then rollback").ok());
+  EXPECT_FALSE(
+      Parser::ParseStatement("create rule r when inserted emp then rollback")
+          .ok());  // missing 'into'
+  EXPECT_FALSE(Parser::ParseStatement("select * from emp extra garbage ,")
+                   .ok());
+}
+
+TEST(ParserRoundTrip, ToStringReparses) {
+  const char* statements[] = {
+      "select name from emp where salary > 100",
+      "select distinct a, sum(b) from t group by a having sum(b) > 1",
+      "insert into t values (1, 'x', null, true)",
+      "delete from emp where dept_no in (select dept_no from deleted dept)",
+      "update emp set salary = (0.95 * salary) where dept_no = 2",
+  };
+  for (const char* sql : statements) {
+    auto first = Parser::ParseStatement(sql);
+    ASSERT_TRUE(first.ok()) << sql;
+    std::string printed = first.value()->ToString();
+    auto second = Parser::ParseStatement(printed);
+    ASSERT_TRUE(second.ok()) << printed;
+    EXPECT_EQ(second.value()->ToString(), printed);
+  }
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,227 @@
+// Equality indexes: maintenance under DML, normalization, DDL, use by
+// the executor (verified observationally via the engine), and rollback
+// interaction.
+
+#include "storage/index.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+TEST(ColumnIndex, InsertLookupErase) {
+  ColumnIndex index(0);
+  index.Insert(Value::Int(5), 100);
+  index.Insert(Value::Int(5), 101);
+  index.Insert(Value::Int(7), 102);
+
+  const auto* hits = index.Lookup(Value::Int(5));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(*hits, (std::set<TupleHandle>{100, 101}));
+
+  index.Erase(Value::Int(5), 100);
+  hits = index.Lookup(Value::Int(5));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(*hits, (std::set<TupleHandle>{101}));
+
+  index.Erase(Value::Int(5), 101);
+  EXPECT_EQ(index.Lookup(Value::Int(5)), nullptr);
+  EXPECT_EQ(index.num_keys(), 1u);  // only 7 remains
+}
+
+TEST(ColumnIndex, NumericNormalization) {
+  ColumnIndex index(0);
+  index.Insert(Value::Int(2), 1);
+  // Lookup with the double form must hit (SQL: 2 = 2.0).
+  const auto* hits = index.Lookup(Value::Double(2.0));
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->count(1), 1u);
+}
+
+TEST(ColumnIndex, NullsNotIndexed) {
+  ColumnIndex index(0);
+  index.Insert(Value::Null(), 1);
+  EXPECT_EQ(index.num_keys(), 0u);
+  EXPECT_EQ(index.Lookup(Value::Null()), nullptr);
+}
+
+TEST(TableIndex, MaintainedAcrossDml) {
+  Table table(TableSchema("t", {{"k", ValueType::kInt},
+                                {"v", ValueType::kString}}));
+  ASSERT_OK(table.Insert(1, Row{Value::Int(10), Value::String("a")}));
+  ASSERT_OK(table.CreateIndex(0));  // indexes existing rows
+  ASSERT_OK(table.Insert(2, Row{Value::Int(10), Value::String("b")}));
+  ASSERT_OK(table.Insert(3, Row{Value::Int(20), Value::String("c")}));
+
+  const ColumnIndex* index = table.GetIndex(0);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(*index->Lookup(Value::Int(10)),
+            (std::set<TupleHandle>{1, 2}));
+
+  // Update moves the row to a new bucket.
+  ASSERT_OK(table.Replace(2, Row{Value::Int(20), Value::String("b")}));
+  EXPECT_EQ(*index->Lookup(Value::Int(10)), (std::set<TupleHandle>{1}));
+  EXPECT_EQ(*index->Lookup(Value::Int(20)), (std::set<TupleHandle>{2, 3}));
+
+  // Delete removes it.
+  ASSERT_OK(table.Erase(3));
+  EXPECT_EQ(*index->Lookup(Value::Int(20)), (std::set<TupleHandle>{2}));
+
+  // Idempotent creation.
+  ASSERT_OK(table.CreateIndex(0));
+  EXPECT_EQ(table.num_indexes(), 1u);
+  EXPECT_FALSE(table.CreateIndex(99).ok());
+}
+
+TEST(CreateIndexDdl, ParseAndExecute) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (k int, v string)"));
+  ASSERT_OK(engine.Execute("insert into t values (1, 'a'), (2, 'b')"));
+  ASSERT_OK(engine.Execute("create index t_k on t (k)"));
+  // Unnamed form also works; idempotent.
+  ASSERT_OK(engine.Execute("create index on t (k)"));
+  ASSERT_OK_AND_ASSIGN(const Table* table, engine.db().GetTable("t"));
+  EXPECT_EQ(table->num_indexes(), 1u);
+
+  EXPECT_EQ(engine.Execute("create index on nosuch (k)").code(),
+            StatusCode::kCatalogError);
+  EXPECT_EQ(engine.Execute("create index on t (nosuch)").code(),
+            StatusCode::kCatalogError);
+}
+
+TEST(IndexedQueries, SameResultsAsUnindexed) {
+  // Differential: identical data with and without an index must produce
+  // identical query results, including NULL and cross-numeric cases.
+  Engine indexed;
+  Engine plain;
+  for (Engine* e : {&indexed, &plain}) {
+    ASSERT_OK(e->Execute("create table t (k int, v double)"));
+    ASSERT_OK(e->Execute(
+        "insert into t values (1, 1.5), (2, 2.5), (2, 3.5), (null, 9.0)"));
+  }
+  ASSERT_OK(indexed.Execute("create index on t (k)"));
+
+  const char* queries[] = {
+      "select v from t where k = 2 order by v",
+      "select v from t where k = 2.0 order by v",  // cross-numeric
+      "select count(*) from t where k = null",     // never matches
+      "select count(*) from t where k = 99",
+      "select v from t where 2 = k order by v",    // literal on the left
+  };
+  for (const char* sql : queries) {
+    ASSERT_OK_AND_ASSIGN(QueryResult a, indexed.Query(sql));
+    ASSERT_OK_AND_ASSIGN(QueryResult b, plain.Query(sql));
+    EXPECT_EQ(a.rows, b.rows) << sql;
+  }
+}
+
+TEST(IndexedQueries, IndexSurvivesRollback) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (k int)"));
+  ASSERT_OK(engine.Execute("create index on t (k)"));
+  ASSERT_OK(engine.Execute(
+      "create rule veto when inserted into t "
+      "if exists (select * from inserted t where k < 0) then rollback"));
+
+  ASSERT_OK(engine.Execute("insert into t values (1)"));
+  EXPECT_EQ(engine.Execute("insert into t values (-1), (5)").code(),
+            StatusCode::kRolledBack);
+  // Index must reflect the rolled-back state: only k=1 exists.
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t where k = 5"),
+            Value::Int(0));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t where k = 1"),
+            Value::Int(1));
+}
+
+TEST(IndexedQueries, UsedInsideRuleActions) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table big (k int, v int)"));
+  ASSERT_OK(engine.Execute("create index on big (k)"));
+  ASSERT_OK(engine.Execute("create table trigger_t (k int)"));
+  ASSERT_OK(engine.Execute("create table out (v int)"));
+  std::string batch = "insert into big values ";
+  for (int i = 0; i < 200; ++i) {
+    if (i > 0) batch += ", ";
+    batch += "(" + std::to_string(i) + ", " + std::to_string(i * 2) + ")";
+  }
+  ASSERT_OK(engine.Execute(batch));
+  ASSERT_OK(engine.Execute(
+      "create rule probe when inserted into trigger_t "
+      "then insert into out (select v from big where k = 77)"));
+  ASSERT_OK(engine.Execute("insert into trigger_t values (1)"));
+  EXPECT_EQ(QueryScalar(&engine, "select v from out"), Value::Int(154));
+}
+
+TEST(IndexedDml, DeleteAndUpdateUseIndexCorrectly) {
+  // Differential: point deletes/updates through an index must behave
+  // identically to scans, including rule triggering (affected sets).
+  Engine indexed;
+  Engine plain;
+  for (Engine* e : {&indexed, &plain}) {
+    ASSERT_OK(e->Execute("create table t (k int, v int)"));
+    ASSERT_OK(e->Execute("create table log (k int)"));
+    ASSERT_OK(e->Execute(
+        "create rule watch when deleted from t or updated t.v "
+        "then insert into log (select k from deleted t)"));
+    ASSERT_OK(e->Execute(
+        "insert into t values (1, 10), (2, 20), (2, 21), (3, 30)"));
+  }
+  ASSERT_OK(indexed.Execute("create index on t (k)"));
+
+  for (Engine* e : {&indexed, &plain}) {
+    ASSERT_OK(e->Execute("update t set v = v + 1 where k = 2"));
+    ASSERT_OK(e->Execute("delete from t where k = 2 and v > 21"));
+  }
+  for (const char* q :
+       {"select count(*) from t", "select sum(v) from t",
+        "select count(*) from log"}) {
+    ASSERT_OK_AND_ASSIGN(QueryResult a, indexed.Query(q));
+    ASSERT_OK_AND_ASSIGN(QueryResult b, plain.Query(q));
+    EXPECT_EQ(a.rows, b.rows) << q;
+  }
+}
+
+TEST(IndexedDml, CompoundPredicateStillFiltered) {
+  // The index narrows to k = 2 but the residual `v > 20` must still
+  // filter within the bucket.
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (k int, v int)"));
+  ASSERT_OK(engine.Execute("create index on t (k)"));
+  ASSERT_OK(engine.Execute(
+      "insert into t values (2, 10), (2, 30), (3, 99)"));
+  ASSERT_OK(engine.Execute("delete from t where k = 2 and v > 20"));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t"), Value::Int(2));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t where k = 2"),
+            Value::Int(1));
+}
+
+TEST(IndexedDml, HalloweenProtectionWithIndexOnUpdatedColumn) {
+  // `update t set k = k + 1 where k = 2` with an index on k: the
+  // snapshot is taken against the pre-statement index state, so rows
+  // moved INTO the k=2 bucket by the update itself must not be
+  // re-processed (classic Halloween problem).
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (k int)"));
+  ASSERT_OK(engine.Execute("create index on t (k)"));
+  ASSERT_OK(engine.Execute("insert into t values (1), (2), (2), (3)"));
+  ASSERT_OK(engine.Execute("update t set k = k + 1 where k = 2"));
+  // The two k=2 rows became 3; the k=1 row did NOT chain into the bucket.
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t where k = 3"),
+            Value::Int(3));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t where k = 1"),
+            Value::Int(1));
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t where k = 2"),
+            Value::Int(0));
+  // Index agrees with reality after the self-referential update.
+  ASSERT_OK_AND_ASSIGN(const Table* table, engine.db().GetTable("t"));
+  const ColumnIndex* index = table->GetIndex(0);
+  ASSERT_NE(index, nullptr);
+  ASSERT_NE(index->Lookup(Value::Int(3)), nullptr);
+  EXPECT_EQ(index->Lookup(Value::Int(3))->size(), 3u);
+}
+
+}  // namespace
+}  // namespace sopr

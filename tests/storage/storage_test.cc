@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+TableSchema EmpSchema() {
+  return TableSchema("emp", {{"name", ValueType::kString},
+                             {"salary", ValueType::kDouble}});
+}
+
+TEST(Table, InsertGetEraseReplace) {
+  Table table(EmpSchema());
+  ASSERT_OK(table.Insert(1, Row{Value::String("a"), Value::Double(1.0)}));
+  ASSERT_OK(table.Insert(2, Row{Value::String("b"), Value::Double(2.0)}));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.Contains(1));
+
+  ASSERT_OK_AND_ASSIGN(const Row* row, table.Get(1));
+  EXPECT_EQ(row->at(0), Value::String("a"));
+
+  ASSERT_OK(table.Replace(1, Row{Value::String("a2"), Value::Double(9.0)}));
+  ASSERT_OK_AND_ASSIGN(row, table.Get(1));
+  EXPECT_EQ(row->at(0), Value::String("a2"));
+
+  ASSERT_OK(table.Erase(1));
+  EXPECT_FALSE(table.Contains(1));
+  EXPECT_FALSE(table.Get(1).ok());
+  EXPECT_FALSE(table.Erase(1).ok());
+  EXPECT_FALSE(table.Replace(1, Row{}).ok());
+}
+
+TEST(Table, DuplicateHandleRejected) {
+  Table table(EmpSchema());
+  ASSERT_OK(table.Insert(1, Row{Value::String("a"), Value::Double(1.0)}));
+  EXPECT_FALSE(table.Insert(1, Row{Value::String("b"), Value::Double(2.0)}).ok());
+}
+
+TEST(Table, IterationIsHandleOrdered) {
+  Table table(EmpSchema());
+  ASSERT_OK(table.Insert(5, Row{Value::String("e"), Value::Double(5)}));
+  ASSERT_OK(table.Insert(2, Row{Value::String("b"), Value::Double(2)}));
+  ASSERT_OK(table.Insert(9, Row{Value::String("i"), Value::Double(9)}));
+  std::vector<TupleHandle> handles;
+  for (const auto& [h, row] : table.rows()) {
+    (void)row;
+    handles.push_back(h);
+  }
+  EXPECT_EQ(handles, (std::vector<TupleHandle>{2, 5, 9}));
+}
+
+TEST(Database, HandlesAreGlobalAndMonotonic) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK(db.CreateTable(
+      TableSchema("dept", {{"dept_no", ValueType::kInt}})));
+
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h1,
+      db.InsertRow("emp", Row{Value::String("a"), Value::Double(1)}));
+  ASSERT_OK_AND_ASSIGN(TupleHandle h2,
+                       db.InsertRow("dept", Row{Value::Int(1)}));
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h3,
+      db.InsertRow("emp", Row{Value::String("b"), Value::Double(2)}));
+  EXPECT_LT(h1, h2);
+  EXPECT_LT(h2, h3);
+}
+
+TEST(Database, HandlesNotReusedAfterDelete) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h1,
+      db.InsertRow("emp", Row{Value::String("a"), Value::Double(1)}));
+  ASSERT_OK(db.DeleteRow("emp", h1));
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h2,
+      db.InsertRow("emp", Row{Value::String("a"), Value::Double(1)}));
+  EXPECT_GT(h2, h1);
+}
+
+TEST(Database, SchemaChecksOnInsertAndUpdate) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  // Wrong arity.
+  EXPECT_FALSE(db.InsertRow("emp", Row{Value::String("a")}).ok());
+  // Wrong type.
+  EXPECT_FALSE(
+      db.InsertRow("emp", Row{Value::Int(1), Value::Double(2)}).ok());
+  // NULL allowed anywhere.
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h, db.InsertRow("emp", Row{Value::Null(), Value::Null()}));
+  // Int into double column allowed by CheckRow.
+  EXPECT_OK(db.UpdateRow("emp", h,
+                         Row{Value::String("b"), Value::Int(3)}));
+}
+
+TEST(Database, RollbackRestoresExactState) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h1,
+      db.InsertRow("emp", Row{Value::String("keep"), Value::Double(1)}));
+  db.CommitAll();
+
+  UndoLog::Mark mark = db.UndoMark();
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h2,
+      db.InsertRow("emp", Row{Value::String("new"), Value::Double(2)}));
+  ASSERT_OK(db.UpdateRow("emp", h1,
+                         Row{Value::String("changed"), Value::Double(9)}));
+  ASSERT_OK(db.DeleteRow("emp", h1));
+
+  ASSERT_OK(db.RollbackTo(mark));
+
+  ASSERT_OK_AND_ASSIGN(const Table* table, db.GetTable("emp"));
+  EXPECT_EQ(table->size(), 1u);
+  EXPECT_FALSE(table->Contains(h2));
+  ASSERT_OK_AND_ASSIGN(const Row* row, table->Get(h1));
+  EXPECT_EQ(row->at(0), Value::String("keep"));
+  EXPECT_EQ(row->at(1), Value::Double(1));
+  EXPECT_EQ(db.undo_log_size(), mark);
+}
+
+TEST(Database, RollbackInterleavedAcrossTables) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK(db.CreateTable(TableSchema("dept", {{"dept_no", ValueType::kInt}})));
+  UndoLog::Mark mark = db.UndoMark();
+
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle e,
+      db.InsertRow("emp", Row{Value::String("x"), Value::Double(1)}));
+  ASSERT_OK_AND_ASSIGN(TupleHandle d, db.InsertRow("dept", Row{Value::Int(7)}));
+  ASSERT_OK(db.UpdateRow("dept", d, Row{Value::Int(8)}));
+  ASSERT_OK(db.DeleteRow("emp", e));
+
+  ASSERT_OK(db.RollbackTo(mark));
+  ASSERT_OK_AND_ASSIGN(const Table* emp, db.GetTable("emp"));
+  ASSERT_OK_AND_ASSIGN(const Table* dept, db.GetTable("dept"));
+  EXPECT_EQ(emp->size(), 0u);
+  EXPECT_EQ(dept->size(), 0u);
+}
+
+TEST(Database, PartialRollbackToMidMark) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h1,
+      db.InsertRow("emp", Row{Value::String("a"), Value::Double(1)}));
+  UndoLog::Mark mid = db.UndoMark();
+  ASSERT_OK(db.InsertRow("emp", Row{Value::String("b"), Value::Double(2)}).status());
+  ASSERT_OK(db.RollbackTo(mid));
+
+  ASSERT_OK_AND_ASSIGN(const Table* table, db.GetTable("emp"));
+  EXPECT_EQ(table->size(), 1u);
+  EXPECT_TRUE(table->Contains(h1));
+}
+
+TEST(Database, DropTable) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  EXPECT_TRUE(db.catalog().HasTable("emp"));
+  ASSERT_OK(db.DropTable("emp"));
+  EXPECT_FALSE(db.catalog().HasTable("emp"));
+  EXPECT_FALSE(db.GetTable("emp").ok());
+}
+
+TEST(Catalog, DuplicateAndMissingTables) {
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(EmpSchema()));
+  EXPECT_EQ(catalog.AddTable(EmpSchema()).code(), StatusCode::kCatalogError);
+  EXPECT_FALSE(catalog.GetTable("nope").ok());
+  EXPECT_EQ(catalog.DropTable("nope").code(), StatusCode::kCatalogError);
+}
+
+TEST(Catalog, RejectsBadSchemas) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.AddTable(TableSchema("", {{"c", ValueType::kInt}})).ok());
+  EXPECT_FALSE(catalog.AddTable(TableSchema("t", {})).ok());
+  EXPECT_FALSE(catalog
+                   .AddTable(TableSchema(
+                       "t", {{"c", ValueType::kInt}, {"C", ValueType::kInt}}))
+                   .ok());
+}
+
+TEST(Catalog, CaseInsensitiveLookup) {
+  Catalog catalog;
+  ASSERT_OK(catalog.AddTable(EmpSchema()));
+  EXPECT_TRUE(catalog.HasTable("EMP"));
+  ASSERT_OK_AND_ASSIGN(const TableSchema* schema, catalog.GetTable("Emp"));
+  EXPECT_TRUE(schema->FindColumn("NAME").has_value());
+  EXPECT_EQ(*schema->FindColumn("Salary"), 1u);
+}
+
+}  // namespace
+}  // namespace sopr

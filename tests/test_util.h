@@ -1,0 +1,94 @@
+#ifndef SOPR_TESTS_TEST_UTIL_H_
+#define SOPR_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "query/result_set.h"
+
+namespace sopr {
+
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    const ::sopr::Status _st = (expr);                         \
+    ASSERT_TRUE(_st.ok()) << "expected OK, got " << _st;       \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    const ::sopr::Status _st = (expr);                         \
+    EXPECT_TRUE(_st.ok()) << "expected OK, got " << _st;       \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  SOPR_ASSERT_OK_AND_ASSIGN_IMPL(                              \
+      SOPR_CONCAT(_test_result_, __LINE__), lhs, expr)
+
+#define SOPR_ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, expr)         \
+  auto tmp = (expr);                                           \
+  ASSERT_TRUE(tmp.ok()) << "expected OK, got " << tmp.status(); \
+  lhs = std::move(tmp).value()
+
+/// Creates the paper's two-table schema (§3.1):
+///   emp(name, emp_no, salary, dept_no)
+///   dept(dept_no, mgr_no)
+inline void CreatePaperSchema(Engine* engine) {
+  ASSERT_OK(engine->Execute(
+      "create table emp (name string, emp_no int, salary double, "
+      "dept_no int)"));
+  ASSERT_OK(engine->Execute("create table dept (dept_no int, mgr_no int)"));
+}
+
+/// Loads the Example 4.3 organization: Jane manages Mary and Jim; Mary
+/// manages Bill; Jim manages Sam and Sue. Departments 1..4; dept d is
+/// managed by mgr m.
+///   dept 1: mgr Jane(10)  — members Mary(20), Jim(30)
+///   dept 2: mgr Mary(20)  — members Bill(40)
+///   dept 3: mgr Jim(30)   — members Sam(50), Sue(60)
+///   dept 0: mgr nobody    — members Jane(10)
+inline void LoadOrgChart(Engine* engine) {
+  ASSERT_OK(engine->Execute(
+      "insert into dept values (0, -1); "
+      "insert into dept values (1, 10); "
+      "insert into dept values (2, 20); "
+      "insert into dept values (3, 30)"));
+  ASSERT_OK(engine->Execute(
+      "insert into emp values ('Jane', 10, 90000, 0); "
+      "insert into emp values ('Mary', 20, 70000, 1); "
+      "insert into emp values ('Jim', 30, 65000, 1); "
+      "insert into emp values ('Bill', 40, 25000, 2); "
+      "insert into emp values ('Sam', 50, 40000, 3); "
+      "insert into emp values ('Sue', 60, 42000, 3)"));
+}
+
+/// Names currently in emp, sorted (for order-independent comparison).
+inline std::vector<std::string> EmpNames(Engine* engine) {
+  auto result = engine->Query("select name from emp order by name");
+  EXPECT_TRUE(result.ok()) << result.status();
+  std::vector<std::string> names;
+  if (result.ok()) {
+    for (const Row& row : result.value().rows) {
+      names.push_back(row.at(0).AsString());
+    }
+  }
+  return names;
+}
+
+/// Single scalar query helper.
+inline Value QueryScalar(Engine* engine, const std::string& sql) {
+  auto result = engine->Query(sql);
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok() || result.value().rows.size() != 1 ||
+      result.value().rows[0].size() != 1) {
+    ADD_FAILURE() << "expected a 1x1 result for: " << sql;
+    return Value::Null();
+  }
+  return result.value().rows[0].at(0);
+}
+
+}  // namespace sopr
+
+#endif  // SOPR_TESTS_TEST_UTIL_H_

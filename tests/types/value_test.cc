@@ -1,0 +1,163 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sopr {
+namespace {
+
+TEST(ValueType, TagsAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(42).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_EQ(Value::Double(2.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::String("x").AsString(), "x");
+}
+
+TEST(ValueType, NumericWidening) {
+  EXPECT_TRUE(Value::Int(3).IsNumeric());
+  EXPECT_TRUE(Value::Double(3.5).IsNumeric());
+  EXPECT_FALSE(Value::String("3").IsNumeric());
+  EXPECT_EQ(Value::Int(3).NumericAsDouble(), 3.0);
+}
+
+TEST(TriBoolLogic, NotAndOrTables) {
+  EXPECT_EQ(TriNot(TriBool::kTrue), TriBool::kFalse);
+  EXPECT_EQ(TriNot(TriBool::kFalse), TriBool::kTrue);
+  EXPECT_EQ(TriNot(TriBool::kUnknown), TriBool::kUnknown);
+
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kTrue), TriBool::kTrue);
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriAnd(TriBool::kFalse, TriBool::kUnknown), TriBool::kFalse);
+
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kFalse), TriBool::kFalse);
+  EXPECT_EQ(TriOr(TriBool::kTrue, TriBool::kUnknown), TriBool::kTrue);
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kUnknown), TriBool::kUnknown);
+}
+
+TEST(SqlComparison, NullIsUnknown) {
+  EXPECT_EQ(Value::Null().SqlEquals(Value::Int(1)), TriBool::kUnknown);
+  EXPECT_EQ(Value::Int(1).SqlEquals(Value::Null()), TriBool::kUnknown);
+  EXPECT_EQ(Value::Null().SqlEquals(Value::Null()), TriBool::kUnknown);
+  EXPECT_EQ(Value::Null().SqlLess(Value::Int(1)), TriBool::kUnknown);
+}
+
+TEST(SqlComparison, CrossNumeric) {
+  EXPECT_EQ(Value::Int(2).SqlEquals(Value::Double(2.0)), TriBool::kTrue);
+  EXPECT_EQ(Value::Int(2).SqlLess(Value::Double(2.5)), TriBool::kTrue);
+  EXPECT_EQ(Value::Double(3.0).SqlLess(Value::Int(2)), TriBool::kFalse);
+}
+
+TEST(SqlComparison, Strings) {
+  EXPECT_EQ(Value::String("abc").SqlEquals(Value::String("abc")),
+            TriBool::kTrue);
+  EXPECT_EQ(Value::String("abc").SqlLess(Value::String("abd")),
+            TriBool::kTrue);
+}
+
+TEST(SqlComparison, MismatchedTypesAreUnknown) {
+  EXPECT_EQ(Value::String("1").SqlEquals(Value::Int(1)), TriBool::kUnknown);
+  EXPECT_EQ(Value::Bool(true).SqlLess(Value::Int(1)), TriBool::kUnknown);
+}
+
+TEST(StructuralEquality, DistinguishesNullAndTypes) {
+  EXPECT_TRUE(Value::Null().StructurallyEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().StructurallyEquals(Value::Int(0)));
+  EXPECT_FALSE(Value::Int(2).StructurallyEquals(Value::Double(2.0)));
+  EXPECT_TRUE(Value::Int(2).StructurallyEquals(Value::Int(2)));
+}
+
+TEST(StructuralOrder, TotalOrderForSorting) {
+  // NULL < bool < numerics < string by type tag (numerics by value).
+  EXPECT_TRUE(Value::Null().StructurallyLess(Value::Bool(false)));
+  EXPECT_TRUE(Value::Bool(true).StructurallyLess(Value::Int(0)));
+  EXPECT_TRUE(Value::Int(1).StructurallyLess(Value::Double(1.5)));
+  EXPECT_TRUE(Value::Double(1.5).StructurallyLess(Value::Int(2)));
+  EXPECT_TRUE(Value::Int(5).StructurallyLess(Value::String("")));
+  EXPECT_FALSE(Value::Int(2).StructurallyLess(Value::Int(2)));
+}
+
+TEST(Arithmetic, IntAndDoublePromotion) {
+  EXPECT_EQ(Value::Add(Value::Int(2), Value::Int(3)).value(), Value::Int(5));
+  EXPECT_EQ(Value::Add(Value::Int(2), Value::Double(0.5)).value(),
+            Value::Double(2.5));
+  EXPECT_EQ(Value::Subtract(Value::Int(2), Value::Int(5)).value(),
+            Value::Int(-3));
+  EXPECT_EQ(Value::Multiply(Value::Double(1.5), Value::Int(4)).value(),
+            Value::Double(6.0));
+}
+
+TEST(Arithmetic, DivisionSemantics) {
+  // Exact integer division stays int; inexact becomes double.
+  EXPECT_EQ(Value::Divide(Value::Int(6), Value::Int(3)).value(),
+            Value::Int(2));
+  EXPECT_EQ(Value::Divide(Value::Int(7), Value::Int(2)).value(),
+            Value::Double(3.5));
+  auto div0 = Value::Divide(Value::Int(1), Value::Int(0));
+  EXPECT_FALSE(div0.ok());
+  EXPECT_EQ(div0.status().code(), StatusCode::kExecutionError);
+}
+
+TEST(Arithmetic, NullPropagates) {
+  EXPECT_TRUE(Value::Add(Value::Null(), Value::Int(1)).value().is_null());
+  EXPECT_TRUE(Value::Divide(Value::Int(1), Value::Null()).value().is_null());
+  EXPECT_TRUE(Value::Negate(Value::Null()).value().is_null());
+}
+
+TEST(Arithmetic, TypeErrors) {
+  EXPECT_EQ(Value::Subtract(Value::String("a"), Value::Int(1)).status().code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Value::Negate(Value::String("a")).status().code(),
+            StatusCode::kTypeError);
+  // String + string concatenates (documented convenience).
+  EXPECT_EQ(Value::Add(Value::String("a"), Value::String("b")).value(),
+            Value::String("ab"));
+}
+
+TEST(Arithmetic, OverflowPromotesToDouble) {
+  int64_t big = INT64_MAX;
+  auto sum = Value::Add(Value::Int(big), Value::Int(1));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum.value().type(), ValueType::kDouble);
+  EXPECT_GT(sum.value().AsDouble(), 9.2e18);
+
+  auto diff = Value::Subtract(Value::Int(INT64_MIN), Value::Int(1));
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff.value().type(), ValueType::kDouble);
+
+  auto product = Value::Multiply(Value::Int(big), Value::Int(2));
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product.value().type(), ValueType::kDouble);
+
+  // INT64_MIN / -1 and -INT64_MIN overflow the int range.
+  auto quotient = Value::Divide(Value::Int(INT64_MIN), Value::Int(-1));
+  ASSERT_TRUE(quotient.ok());
+  EXPECT_EQ(quotient.value().type(), ValueType::kDouble);
+  auto negated = Value::Negate(Value::Int(INT64_MIN));
+  ASSERT_TRUE(negated.ok());
+  EXPECT_EQ(negated.value().type(), ValueType::kDouble);
+
+  // Non-overflowing cases keep int exactness.
+  EXPECT_EQ(Value::Add(Value::Int(big - 1), Value::Int(1)).value(),
+            Value::Int(big));
+}
+
+TEST(Rendering, StringEscaping) {
+  EXPECT_EQ(Value::String("O'Brien").ToString(), "'O''Brien'");
+  EXPECT_EQ(Value::String("").ToString(), "''");
+}
+
+TEST(Rendering, ToStringFormats) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+}  // namespace
+}  // namespace sopr
