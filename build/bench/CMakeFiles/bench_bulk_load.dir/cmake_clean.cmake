@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bulk_load.dir/bench_bulk_load.cpp.o"
+  "CMakeFiles/bench_bulk_load.dir/bench_bulk_load.cpp.o.d"
+  "bench_bulk_load"
+  "bench_bulk_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

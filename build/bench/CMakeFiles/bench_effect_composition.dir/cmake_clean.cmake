@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_effect_composition.dir/bench_effect_composition.cpp.o"
+  "CMakeFiles/bench_effect_composition.dir/bench_effect_composition.cpp.o.d"
+  "bench_effect_composition"
+  "bench_effect_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_effect_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

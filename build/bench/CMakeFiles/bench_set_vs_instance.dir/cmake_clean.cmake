@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_set_vs_instance.dir/bench_set_vs_instance.cpp.o"
+  "CMakeFiles/bench_set_vs_instance.dir/bench_set_vs_instance.cpp.o.d"
+  "bench_set_vs_instance"
+  "bench_set_vs_instance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_set_vs_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_set_vs_instance.
+# This may be replaced when dependencies are built.

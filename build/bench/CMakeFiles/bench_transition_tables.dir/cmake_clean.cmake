@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_transition_tables.dir/bench_transition_tables.cpp.o"
+  "CMakeFiles/bench_transition_tables.dir/bench_transition_tables.cpp.o.d"
+  "bench_transition_tables"
+  "bench_transition_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transition_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_examples.dir/repro_examples.cpp.o"
+  "CMakeFiles/repro_examples.dir/repro_examples.cpp.o.d"
+  "repro_examples"
+  "repro_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

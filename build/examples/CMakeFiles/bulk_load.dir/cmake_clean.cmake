@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_load.dir/bulk_load.cpp.o"
+  "CMakeFiles/bulk_load.dir/bulk_load.cpp.o.d"
+  "bulk_load"
+  "bulk_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

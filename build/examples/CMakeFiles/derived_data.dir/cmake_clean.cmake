@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_data.dir/derived_data.cpp.o"
+  "CMakeFiles/derived_data.dir/derived_data.cpp.o.d"
+  "derived_data"
+  "derived_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_reorder.dir/inventory_reorder.cpp.o"
+  "CMakeFiles/inventory_reorder.dir/inventory_reorder.cpp.o.d"
+  "inventory_reorder"
+  "inventory_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sopr_shell.dir/sopr_shell.cpp.o"
+  "CMakeFiles/sopr_shell.dir/sopr_shell.cpp.o.d"
+  "sopr_shell"
+  "sopr_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sopr_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

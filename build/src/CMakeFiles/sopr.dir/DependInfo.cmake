@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/instance_engine.cc" "src/CMakeFiles/sopr.dir/baseline/instance_engine.cc.o" "gcc" "src/CMakeFiles/sopr.dir/baseline/instance_engine.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/sopr.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/sopr.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/sopr.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/sopr.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sopr.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sopr.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/sopr.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/sopr.dir/common/string_util.cc.o.d"
+  "/root/repo/src/constraints/compiler.cc" "src/CMakeFiles/sopr.dir/constraints/compiler.cc.o" "gcc" "src/CMakeFiles/sopr.dir/constraints/compiler.cc.o.d"
+  "/root/repo/src/constraints/constraint.cc" "src/CMakeFiles/sopr.dir/constraints/constraint.cc.o" "gcc" "src/CMakeFiles/sopr.dir/constraints/constraint.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/sopr.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/sopr.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/explain.cc" "src/CMakeFiles/sopr.dir/engine/explain.cc.o" "gcc" "src/CMakeFiles/sopr.dir/engine/explain.cc.o.d"
+  "/root/repo/src/expr/aggregate.cc" "src/CMakeFiles/sopr.dir/expr/aggregate.cc.o" "gcc" "src/CMakeFiles/sopr.dir/expr/aggregate.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/sopr.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/sopr.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/sopr.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/sopr.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/dump.cc" "src/CMakeFiles/sopr.dir/io/dump.cc.o" "gcc" "src/CMakeFiles/sopr.dir/io/dump.cc.o.d"
+  "/root/repo/src/query/executor.cc" "src/CMakeFiles/sopr.dir/query/executor.cc.o" "gcc" "src/CMakeFiles/sopr.dir/query/executor.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/CMakeFiles/sopr.dir/query/planner.cc.o" "gcc" "src/CMakeFiles/sopr.dir/query/planner.cc.o.d"
+  "/root/repo/src/query/result_set.cc" "src/CMakeFiles/sopr.dir/query/result_set.cc.o" "gcc" "src/CMakeFiles/sopr.dir/query/result_set.cc.o.d"
+  "/root/repo/src/rules/analysis.cc" "src/CMakeFiles/sopr.dir/rules/analysis.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/analysis.cc.o.d"
+  "/root/repo/src/rules/effect.cc" "src/CMakeFiles/sopr.dir/rules/effect.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/effect.cc.o.d"
+  "/root/repo/src/rules/rule.cc" "src/CMakeFiles/sopr.dir/rules/rule.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/rule.cc.o.d"
+  "/root/repo/src/rules/rule_engine.cc" "src/CMakeFiles/sopr.dir/rules/rule_engine.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/rule_engine.cc.o.d"
+  "/root/repo/src/rules/selection.cc" "src/CMakeFiles/sopr.dir/rules/selection.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/selection.cc.o.d"
+  "/root/repo/src/rules/trace_format.cc" "src/CMakeFiles/sopr.dir/rules/trace_format.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/trace_format.cc.o.d"
+  "/root/repo/src/rules/trans_info.cc" "src/CMakeFiles/sopr.dir/rules/trans_info.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/trans_info.cc.o.d"
+  "/root/repo/src/rules/transition_tables.cc" "src/CMakeFiles/sopr.dir/rules/transition_tables.cc.o" "gcc" "src/CMakeFiles/sopr.dir/rules/transition_tables.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/sopr.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/sopr.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/sopr.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/sopr.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/sopr.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/sopr.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/sopr.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/sopr.dir/sql/token.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/sopr.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/sopr.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/index.cc" "src/CMakeFiles/sopr.dir/storage/index.cc.o" "gcc" "src/CMakeFiles/sopr.dir/storage/index.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/sopr.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/sopr.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/undo_log.cc" "src/CMakeFiles/sopr.dir/storage/undo_log.cc.o" "gcc" "src/CMakeFiles/sopr.dir/storage/undo_log.cc.o.d"
+  "/root/repo/src/types/row.cc" "src/CMakeFiles/sopr.dir/types/row.cc.o" "gcc" "src/CMakeFiles/sopr.dir/types/row.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/sopr.dir/types/value.cc.o" "gcc" "src/CMakeFiles/sopr.dir/types/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

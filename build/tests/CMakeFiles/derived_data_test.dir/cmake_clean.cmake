@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_data_test.dir/integration/derived_data_test.cc.o"
+  "CMakeFiles/derived_data_test.dir/integration/derived_data_test.cc.o.d"
+  "derived_data_test"
+  "derived_data_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detached_test.dir/rules/detached_test.cc.o"
+  "CMakeFiles/detached_test.dir/rules/detached_test.cc.o.d"
+  "detached_test"
+  "detached_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detached_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

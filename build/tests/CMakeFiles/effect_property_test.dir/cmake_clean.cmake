@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effect_property_test.dir/rules/effect_property_test.cc.o"
+  "CMakeFiles/effect_property_test.dir/rules/effect_property_test.cc.o.d"
+  "effect_property_test"
+  "effect_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effect_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

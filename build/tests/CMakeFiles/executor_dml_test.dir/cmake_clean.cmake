@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_dml_test.dir/query/executor_dml_test.cc.o"
+  "CMakeFiles/executor_dml_test.dir/query/executor_dml_test.cc.o.d"
+  "executor_dml_test"
+  "executor_dml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_dml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

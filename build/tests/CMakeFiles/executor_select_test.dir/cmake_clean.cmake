@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_select_test.dir/query/executor_select_test.cc.o"
+  "CMakeFiles/executor_select_test.dir/query/executor_select_test.cc.o.d"
+  "executor_select_test"
+  "executor_select_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_select_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

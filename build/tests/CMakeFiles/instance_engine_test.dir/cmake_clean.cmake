@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_engine_test.dir/baseline/instance_engine_test.cc.o"
+  "CMakeFiles/instance_engine_test.dir/baseline/instance_engine_test.cc.o.d"
+  "instance_engine_test"
+  "instance_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

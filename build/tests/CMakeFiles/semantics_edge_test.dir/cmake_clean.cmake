@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_edge_test.dir/rules/semantics_edge_test.cc.o"
+  "CMakeFiles/semantics_edge_test.dir/rules/semantics_edge_test.cc.o.d"
+  "semantics_edge_test"
+  "semantics_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trans_info_property_test.dir/rules/trans_info_property_test.cc.o"
+  "CMakeFiles/trans_info_property_test.dir/rules/trans_info_property_test.cc.o.d"
+  "trans_info_property_test"
+  "trans_info_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trans_info_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_tables_test.dir/rules/transition_tables_test.cc.o"
+  "CMakeFiles/transition_tables_test.dir/rules/transition_tables_test.cc.o.d"
+  "transition_tables_test"
+  "transition_tables_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
