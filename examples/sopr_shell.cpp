@@ -165,8 +165,16 @@ void ExecuteSql(sopr::Engine& engine, const std::string& sql) {
     std::cout << (trace.value().rolled_back ? "rolled back" : "ok") << "\n";
     return;
   }
-  sopr::Status ddl = engine.Execute(sql);
-  std::cout << (ddl.ok() ? "ok" : ddl.ToString()) << "\n";
+  // Fall back to the DDL path only when the block was rejected for being
+  // DDL — a genuinely failed DML block must surface its error, not be
+  // silently re-executed.
+  if (trace.status().code() == sopr::StatusCode::kInvalidArgument &&
+      trace.status().message().find("expects DML") != std::string::npos) {
+    sopr::Status ddl = engine.Execute(sql);
+    std::cout << (ddl.ok() ? "ok" : ddl.ToString()) << "\n";
+    return;
+  }
+  std::cout << trace.status().ToString() << "\n";
 }
 
 }  // namespace

@@ -1,0 +1,224 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace sopr {
+
+namespace {
+
+/// Every failpoint site compiled into the engine, grouped by layer. Keep
+/// in sync with the SOPR_FAILPOINT uses and docs/FAILURE_SEMANTICS.md.
+const char* const kSiteCatalog[] = {
+    // Database mutation paths (database.cc). `pre` fires before any state
+    // change; `post` fires after the mutation and its undo record exist.
+    "storage.insert.pre",
+    "storage.insert.post",
+    "storage.delete.pre",
+    "storage.delete.post",
+    "storage.update.pre",
+    "storage.update.post",
+    // Heap/index split points (table.cc). `mid` fires between the heap
+    // mutation and index maintenance; the table must locally revert.
+    "table.insert.mid",
+    "table.erase.mid",
+    "table.replace.mid",
+    // Undo-log append (undo_log.cc): simulates log-space exhaustion. The
+    // database must revert the just-applied mutation it cannot log.
+    "undo.append",
+    // Rule engine (rule_engine.cc).
+    "rules.block.pre",
+    "rules.block.post",
+    "rules.action.pre",
+    "rules.action.post",
+    "rules.deferred.dispatch",
+    "rules.commit.pre",
+    // Facade (engine.cc).
+    "engine.execute.pre",
+    "engine.ddl.pre",
+};
+
+Status ParseMode(const std::string& text, FailpointRegistry::Trigger* out) {
+  std::string mode = text;
+  std::string arg;
+  size_t colon = text.find(':');
+  if (colon != std::string::npos) {
+    mode = text.substr(0, colon);
+    arg = text.substr(colon + 1);
+  }
+  if (mode == "off") {
+    out->mode = FailpointRegistry::Mode::kOff;
+  } else if (mode == "always") {
+    out->mode = FailpointRegistry::Mode::kAlways;
+  } else if (mode == "once") {
+    out->mode = FailpointRegistry::Mode::kOnce;
+  } else if (mode == "nth") {
+    out->mode = FailpointRegistry::Mode::kNth;
+  } else if (mode == "every") {
+    out->mode = FailpointRegistry::Mode::kEveryK;
+  } else {
+    return Status::InvalidArgument("unknown failpoint mode: " + mode);
+  }
+  if (out->mode == FailpointRegistry::Mode::kNth ||
+      out->mode == FailpointRegistry::Mode::kEveryK) {
+    if (arg.empty()) {
+      return Status::InvalidArgument("failpoint mode " + mode +
+                                     " requires a numeric argument");
+    }
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(arg.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("bad failpoint argument: " + arg);
+    }
+    out->n = n;
+  } else if (!arg.empty()) {
+    return Status::InvalidArgument("failpoint mode " + mode +
+                                   " takes no argument");
+  }
+  return Status::OK();
+}
+
+Status ParseCode(const std::string& name, StatusCode* out) {
+  static const struct {
+    const char* name;
+    StatusCode code;
+  } kCodes[] = {
+      {"InjectedFault", StatusCode::kInjectedFault},
+      {"ResourceExhausted", StatusCode::kResourceExhausted},
+      {"Timeout", StatusCode::kTimeout},
+      {"ExecutionError", StatusCode::kExecutionError},
+      {"Internal", StatusCode::kInternal},
+  };
+  for (const auto& entry : kCodes) {
+    if (name == entry.name) {
+      *out = entry.code;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("unknown failpoint status code: " + name);
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+const std::vector<std::string>& FailpointRegistry::KnownSites() {
+  static const std::vector<std::string>* sites = [] {
+    auto* v = new std::vector<std::string>();
+    for (const char* site : kSiteCatalog) v->push_back(site);
+    return v;
+  }();
+  return *sites;
+}
+
+void FailpointRegistry::Arm(const std::string& site, Trigger trigger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.trigger = trigger;
+  state.hits = 0;
+  state.fired_once = false;
+  int armed = 0;
+  for (const auto& [name, s] : sites_) {
+    (void)name;
+    if (s.trigger.mode != Mode::kOff) ++armed;
+  }
+  armed_count_.store(armed, std::memory_order_relaxed);
+}
+
+void FailpointRegistry::Disarm(const std::string& site) {
+  Arm(site, Trigger{});
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  armed_count_.store(0, std::memory_order_relaxed);
+}
+
+Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find_first_of(";,", pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry(Trim(spec.substr(pos, end - pos)));
+    pos = end + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad failpoint spec (missing '='): " +
+                                     entry);
+    }
+    std::string site(Trim(entry.substr(0, eq)));
+    std::string rhs(Trim(entry.substr(eq + 1)));
+    Trigger trigger;
+    size_t at = rhs.find('@');
+    if (at != std::string::npos) {
+      SOPR_RETURN_NOT_OK(ParseCode(rhs.substr(at + 1), &trigger.code));
+      rhs = rhs.substr(0, at);
+    }
+    SOPR_RETURN_NOT_OK(ParseMode(rhs, &trigger));
+    Arm(site, trigger);
+  }
+  return Status::OK();
+}
+
+Status FailpointRegistry::Hit(const char* site) {
+  // Environment arming is best-effort and happens exactly once, before
+  // the first site is evaluated; a malformed spec is ignored rather than
+  // failing every instrumented operation.
+  std::call_once(env_once_, [this] {
+    const char* spec = std::getenv("SOPR_FAILPOINTS");
+    if (spec != nullptr && *spec != '\0') (void)ArmFromSpec(spec);
+  });
+  if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  if (suppress_depth() > 0) return Status::OK();
+  return HitSlow(site);
+}
+
+int& FailpointRegistry::suppress_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+Status FailpointRegistry::HitSlow(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return Status::OK();
+  SiteState& state = it->second;
+  if (state.trigger.mode == Mode::kOff) return Status::OK();
+  ++state.hits;
+  bool fire = false;
+  switch (state.trigger.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kOnce:
+      fire = !state.fired_once;
+      state.fired_once = true;
+      break;
+    case Mode::kNth:
+      fire = (state.hits == state.trigger.n);
+      break;
+    case Mode::kEveryK:
+      fire = (state.hits % state.trigger.n == 0);
+      break;
+  }
+  if (!fire) return Status::OK();
+  return Status(state.trigger.code,
+                "failpoint " + std::string(site) + " fired (hit " +
+                    std::to_string(state.hits) + ")");
+}
+
+uint64_t FailpointRegistry::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+}  // namespace sopr

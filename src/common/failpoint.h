@@ -1,0 +1,115 @@
+#ifndef SOPR_COMMON_FAILPOINT_H_
+#define SOPR_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sopr {
+
+/// Fault-injection registry in the style of RocksDB's SyncPoint / the Rust
+/// `fail` crate. Code under test is instrumented with named sites:
+///
+///   SOPR_FAILPOINT_RETURN("storage.insert.pre");
+///
+/// A site is inert until a trigger is armed for its name, either
+/// programmatically (FailpointRegistry::Instance().Arm(...)) or via the
+/// environment variable SOPR_FAILPOINTS (parsed once, lazily, on the first
+/// hit of any site — intended for CI):
+///
+///   SOPR_FAILPOINTS="storage.insert.pre=nth:3;rules.action.post=every:5"
+///
+/// Spec grammar (sites separated by ';' or ','):
+///   site=off          disarm
+///   site=always       fail on every hit
+///   site=once         fail on the first hit only
+///   site=nth:N        fail on the Nth hit (1-based) only
+///   site=every:K      fail on every Kth hit
+/// An optional '@code' suffix selects the injected StatusCode by name,
+/// e.g. "storage.insert.pre=once@ResourceExhausted" (default InjectedFault).
+///
+/// Compiling with -DSOPR_FAILPOINTS_DISABLED turns every site into a
+/// constant-OK no-op with zero runtime cost. When enabled, an unarmed
+/// registry costs one relaxed atomic load per site hit.
+class FailpointRegistry {
+ public:
+  enum class Mode { kOff, kAlways, kOnce, kNth, kEveryK };
+
+  struct Trigger {
+    Mode mode = Mode::kOff;
+    uint64_t n = 1;  // N for kNth, K for kEveryK
+    StatusCode code = StatusCode::kInjectedFault;
+  };
+
+  static FailpointRegistry& Instance();
+
+  /// RAII guard: while alive on this thread, armed sites do not fire (and
+  /// suppressed hits are not counted). Used by recovery paths — rollback
+  /// replays the undo log through the same Table mutation code the sites
+  /// instrument, and a rollback that can fail would leave a third state
+  /// between "committed" and "restored to S0".
+  class SuppressScope {
+   public:
+    SuppressScope() { ++suppress_depth(); }
+    ~SuppressScope() { --suppress_depth(); }
+    SuppressScope(const SuppressScope&) = delete;
+    SuppressScope& operator=(const SuppressScope&) = delete;
+  };
+
+  /// Arms (or re-arms) a site. Resets the site's hit counter.
+  void Arm(const std::string& site, Trigger trigger);
+  void Disarm(const std::string& site);
+  /// Disarms everything and resets all counters (test isolation).
+  void DisarmAll();
+
+  /// Parses and applies a SOPR_FAILPOINTS-style spec string.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Evaluates a hit at `site`; returns a non-OK Status when the armed
+  /// trigger fires. Unarmed sites return OK via a lock-free fast path.
+  Status Hit(const char* site);
+
+  /// Times `site` was evaluated since it was last armed (0 if never
+  /// armed; unarmed sites are not counted — the fast path skips them).
+  uint64_t HitCount(const std::string& site) const;
+
+  /// The static catalog of every site compiled into the engine, for chaos
+  /// tests that must attack each one. Kept in failpoint.cc next to the
+  /// instrumented code; a site string not in this list still works.
+  static const std::vector<std::string>& KnownSites();
+
+ private:
+  FailpointRegistry() = default;
+
+  struct SiteState {
+    Trigger trigger;
+    uint64_t hits = 0;
+    bool fired_once = false;
+  };
+
+  Status HitSlow(const char* site);
+  static int& suppress_depth();
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  std::atomic<int> armed_count_{0};
+  std::once_flag env_once_;
+};
+
+#ifdef SOPR_FAILPOINTS_DISABLED
+#define SOPR_FAILPOINT(site) ::sopr::Status::OK()
+#else
+#define SOPR_FAILPOINT(site) ::sopr::FailpointRegistry::Instance().Hit(site)
+#endif
+
+/// Propagates the injected failure out of the enclosing function.
+#define SOPR_FAILPOINT_RETURN(site) SOPR_RETURN_NOT_OK(SOPR_FAILPOINT(site))
+
+}  // namespace sopr
+
+#endif  // SOPR_COMMON_FAILPOINT_H_

@@ -22,6 +22,12 @@ const char* StatusCodeName(StatusCode code) {
       return "RolledBack";
     case StatusCode::kLimitExceeded:
       return "LimitExceeded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kInjectedFault:
+      return "InjectedFault";
+    case StatusCode::kTimeout:
+      return "Timeout";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

@@ -21,6 +21,9 @@ enum class StatusCode {
   kConstraintError,   // declarative constraint violation
   kRolledBack,        // a rule executed `rollback`; transaction undone
   kLimitExceeded,     // rule-cascade runaway guard tripped
+  kResourceExhausted, // a resource budget (e.g. undo-log size) was exceeded
+  kInjectedFault,     // a fault-injection site (failpoint) fired
+  kTimeout,           // the per-transaction wall-clock deadline passed
   kNotImplemented,
   kInternal,
 };
@@ -60,6 +63,15 @@ class Status {
   }
   static Status LimitExceeded(std::string msg) {
     return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status InjectedFault(std::string msg) {
+    return Status(StatusCode::kInjectedFault, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));

@@ -1,5 +1,7 @@
 #include "engine/engine.h"
 
+#include "common/failpoint.h"
+
 namespace sopr {
 
 namespace {
@@ -22,6 +24,9 @@ bool IsDdl(const Stmt& stmt) {
 }  // namespace
 
 Status Engine::ExecuteDdl(const Stmt& stmt) {
+  // Fires before any catalog or storage change: an injected DDL failure
+  // leaves the schema exactly as it was.
+  SOPR_FAILPOINT_RETURN("engine.ddl.pre");
   switch (stmt.kind) {
     case StmtKind::kCreateTable: {
       const auto& ct = static_cast<const CreateTableStmt&>(stmt);
@@ -114,6 +119,9 @@ Result<ExecutionTrace> Engine::ExecuteBlock(const std::string& sql) {
 
 Result<ExecutionTrace> Engine::ExecuteBlockParsed(
     const std::vector<StmtPtr>& stmts) {
+  // Fires before Begin: an injected failure here rejects the block before
+  // any transaction exists.
+  SOPR_FAILPOINT_RETURN("engine.execute.pre");
   std::vector<const Stmt*> ops;
   ops.reserve(stmts.size());
   for (const StmtPtr& stmt : stmts) ops.push_back(stmt.get());

@@ -1,5 +1,9 @@
 #include "rules/rule_engine.h"
 
+#include <algorithm>
+#include <thread>
+
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "rules/transition_tables.h"
 #include "sql/parser.h"
@@ -177,6 +181,14 @@ Status RuleEngine::Begin() {
   }
   in_txn_ = true;
   txn_start_mark_ = db_->UndoMark();
+  db_->set_undo_budget(options_.max_undo_records);
+  txn_has_deadline_ = options_.txn_deadline.count() > 0;
+  if (txn_has_deadline_) {
+    txn_deadline_at_ = std::chrono::steady_clock::now() + options_.txn_deadline;
+  }
+  if (options_.verify_rollback_integrity) {
+    txn_start_checksum_ = db_->Checksum();
+  }
   pending_block_.Clear();
   log_.clear();
   txn_firings_ = 0;
@@ -198,6 +210,7 @@ Status RuleEngine::Begin() {
 
 Status RuleEngine::AbortTransaction() {
   Status undo = db_->RollbackTo(txn_start_mark_);
+  bool was_in_txn = in_txn_;
   in_txn_ = false;
   pending_block_.Clear();
   log_.clear();
@@ -206,7 +219,28 @@ Status RuleEngine::AbortTransaction() {
   // committed transaction were already drained into RunDeferred's local
   // queue, so clearing here is safe.
   deferred_.clear();
-  return undo;
+  SOPR_RETURN_NOT_OK(undo);
+  if (options_.verify_rollback_integrity && was_in_txn) {
+    SOPR_RETURN_NOT_OK(db_->CheckInvariants());
+    uint64_t restored = db_->Checksum();
+    if (restored != txn_start_checksum_) {
+      return Status::Internal(
+          "rollback did not restore the transaction-start state: checksum " +
+          std::to_string(restored) + " != S0 checksum " +
+          std::to_string(txn_start_checksum_));
+    }
+  }
+  return Status::OK();
+}
+
+Status RuleEngine::CheckDeadline() const {
+  if (!txn_has_deadline_) return Status::OK();
+  if (std::chrono::steady_clock::now() <= txn_deadline_at_) {
+    return Status::OK();
+  }
+  return Status::Timeout(
+      "transaction exceeded its deadline of " +
+      std::to_string(options_.txn_deadline.count()) + "ms");
 }
 
 Status RuleEngine::RollbackTransaction() {
@@ -221,11 +255,21 @@ Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
   if (!in_txn_) {
     return Status::InvalidArgument("no transaction in progress");
   }
+  Status entry = SOPR_FAILPOINT("rules.block.pre");
+  if (!entry.ok()) {
+    SOPR_RETURN_NOT_OK(AbortTransaction());
+    return entry;
+  }
   // External blocks may not reference transition tables, but they execute
   // with the same resolver so that the error message is uniform.
   DatabaseResolver resolver(db_);
   Executor executor(db_, &resolver, options_.optimize_queries);
   for (const Stmt* op : ops) {
+    Status deadline = CheckDeadline();
+    if (!deadline.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return deadline;
+    }
     if (op->kind == StmtKind::kSelect) {
       std::vector<SelectedTuple> selected;
       auto result = executor.ExecuteSelect(
@@ -253,6 +297,11 @@ Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
       return effect.status();
     }
     pending_block_.ApplyOp(effect.value());
+  }
+  Status exit = SOPR_FAILPOINT("rules.block.post");
+  if (!exit.ok()) {
+    SOPR_RETURN_NOT_OK(AbortTransaction());
+    return exit;
   }
   return Status::OK();
 }
@@ -315,6 +364,11 @@ RuleEngine::InfoView RuleEngine::ViewFor(RuleState* state) {
 
 Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
   while (true) {
+    Status deadline = CheckDeadline();
+    if (!deadline.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return deadline;
+    }
     // Gather triggered rules that have not yet been rejected in the
     // current state.
     std::vector<SelectionCandidate> candidates;
@@ -401,8 +455,20 @@ Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
     }
     ++total_firings_;
 
+    Status pre = SOPR_FAILPOINT("rules.action.pre");
+    if (!pre.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return Status(pre.code(), "before action of rule " + rule.name() +
+                                    ": " + pre.message());
+    }
     TransInfo action_info;
     SOPR_RETURN_NOT_OK(ExecuteAction(rule, info, &action_info, trace));
+    Status post = SOPR_FAILPOINT("rules.action.post");
+    if (!post.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return Status(post.code(), "after action of rule " + rule.name() +
+                                     ": " + post.message());
+    }
 
     if (trace != nullptr) {
       trace->firings.push_back(RuleFiring{rule.name(), action_info, false});
@@ -463,6 +529,23 @@ Status RuleEngine::ExecuteAction(const Rule& rule, const TransInfo& info,
   return Status::OK();
 }
 
+Status RuleEngine::RunDeferredOnce(RuleState* state, const TransInfo& info,
+                                   ExecutionTrace* trace) {
+  SOPR_FAILPOINT_RETURN("rules.deferred.dispatch");
+  const Rule& rule = *state->rule;
+  SOPR_RETURN_NOT_OK(Begin());
+  ++total_firings_;
+  TransInfo action_info;
+  SOPR_RETURN_NOT_OK(ExecuteAction(rule, info, &action_info, trace));
+  if (trace != nullptr) {
+    trace->firings.push_back(RuleFiring{rule.name(), action_info, true});
+  }
+  // The detached action is this transaction's externally-generated block
+  // from every other rule's perspective.
+  pending_block_ = std::move(action_info);
+  return Commit(trace);  // cascades + nested deferrals
+}
+
 Status RuleEngine::RunDeferred(ExecutionTrace* trace) {
   ++detached_depth_;
   if (detached_depth_ == 1) detached_runs_ = 0;
@@ -470,44 +553,50 @@ Status RuleEngine::RunDeferred(ExecutionTrace* trace) {
   queue.swap(deferred_);
   Status overall = Status::OK();
   for (DeferredFiring& f : queue) {
-    if (++detached_runs_ > options_.max_rule_firings) {
-      deferred_.clear();
-      overall = Status::LimitExceeded(
-          "detached rule chain exceeded " +
-          std::to_string(options_.max_rule_firings) + " transactions");
-      break;
-    }
     const Rule& rule = *f.state->rule;
-    Status begin = Begin();
-    if (!begin.ok()) {
-      overall = begin;
-      break;
-    }
-    ++total_firings_;
-    TransInfo action_info;
-    Status s = ExecuteAction(rule, f.info, &action_info, trace);
-    if (!s.ok()) {
-      // ExecuteAction aborted the detached transaction; the triggering
-      // transaction is already committed — record and continue.
-      if (trace != nullptr) {
-        trace->detached_errors.push_back(rule.name() + ": " + s.ToString());
+    Status attempt = Status::OK();
+    size_t attempts = 0;
+    while (true) {
+      if (++detached_runs_ > options_.max_rule_firings) {
+        deferred_.clear();
+        overall = Status::LimitExceeded(
+            "detached rule chain exceeded " +
+            std::to_string(options_.max_rule_firings) + " transactions");
+        break;
       }
-      continue;
+      ++attempts;
+      size_t firings_before = trace != nullptr ? trace->firings.size() : 0;
+      attempt = RunDeferredOnce(f.state, f.info, trace);
+      if (attempt.ok()) break;
+      // The runaway guard is an engine-level error, not a transient
+      // failure of this action: surface it instead of retrying.
+      if (attempt.code() == StatusCode::kLimitExceeded) break;
+      // The attempt's transaction was rolled back; drop its firing record
+      // so a retry cannot double-report.
+      if (trace != nullptr) trace->firings.resize(firings_before);
+      if (attempts > options_.detached_retries) break;
+      if (options_.detached_retry_backoff.count() > 0) {
+        auto delay = options_.detached_retry_backoff *
+                     (1LL << std::min<size_t>(attempts - 1, 10));
+        std::this_thread::sleep_for(
+            std::min<std::chrono::milliseconds>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(delay),
+                std::chrono::milliseconds(1000)));
+      }
     }
-    if (trace != nullptr) {
-      trace->firings.push_back(RuleFiring{rule.name(), action_info, true});
-    }
-    // The detached action is this transaction's externally-generated
-    // block from every other rule's perspective.
-    pending_block_ = std::move(action_info);
-    Status c = Commit(trace);  // cascades + nested deferrals
-    if (c.code() == StatusCode::kLimitExceeded) {
-      // The runaway guard is an engine-level error: surface it.
-      overall = c;
+    if (!overall.ok()) break;
+    if (attempt.code() == StatusCode::kLimitExceeded) {
+      overall = attempt;
       break;
     }
-    if (!c.ok() && trace != nullptr) {
-      trace->detached_errors.push_back(rule.name() + ": " + c.ToString());
+    if (!attempt.ok() && trace != nullptr) {
+      // The action failed every attempt; its own transactions rolled back
+      // while the committed triggering transaction stands.
+      std::string label = rule.name();
+      if (attempts > 1) {
+        label += " (after " + std::to_string(attempts) + " attempts)";
+      }
+      trace->detached_errors.push_back(label + ": " + attempt.ToString());
     }
   }
   --detached_depth_;
@@ -534,6 +623,11 @@ Status RuleEngine::ProcessRules(ExecutionTrace* trace) {
 Status RuleEngine::Commit(ExecutionTrace* trace) {
   SOPR_RETURN_NOT_OK(ProcessRules(trace));
   if (in_txn_) {
+    Status fault = SOPR_FAILPOINT("rules.commit.pre");
+    if (!fault.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return fault;
+    }
     db_->CommitAll();
     in_txn_ = false;
   }

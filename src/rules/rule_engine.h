@@ -1,6 +1,7 @@
 #ifndef SOPR_RULES_RULE_ENGINE_H_
 #define SOPR_RULES_RULE_ENGINE_H_
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -41,6 +42,27 @@ struct RuleEngineOptions {
   /// statement executed through the rule system. Off = plain
   /// cross-product-then-filter (ablation benchmark B9).
   bool optimize_queries = true;
+  /// Per-transaction wall-clock deadline (zero = none). Checked between
+  /// operations and rule considerations; exceeding it aborts the
+  /// transaction with kTimeout. Detached transactions get their own
+  /// deadline window.
+  std::chrono::milliseconds txn_deadline{0};
+  /// Per-transaction undo-log record budget (0 = unlimited). A mutation
+  /// that would exceed it fails with kResourceExhausted and the
+  /// transaction aborts; rollback itself never needs new log space.
+  size_t max_undo_records = 0;
+  /// Failed detached-rule actions are retried this many times (each
+  /// attempt is a fresh transaction) before landing in
+  /// ExecutionTrace::detached_errors. Rollbacks requested by rules and
+  /// the runaway-cascade guard are never retried.
+  size_t detached_retries = 0;
+  /// Sleep before retry k (1-based) is backoff * 2^(k-1), capped at 1s.
+  std::chrono::milliseconds detached_retry_backoff{0};
+  /// Paranoid mode: capture a state checksum at Begin and verify after
+  /// every rollback that the restored state matches it exactly and that
+  /// all indexes agree with their heaps. O(database) per transaction —
+  /// meant for tests and chaos runs, not production hot paths.
+  bool verify_rollback_integrity = false;
 };
 
 /// Footnote 8 of the paper: which point a rule's composite transition is
@@ -231,7 +253,16 @@ class RuleEngine {
   /// Runs queued detached actions, each as its own transaction.
   Status RunDeferred(ExecutionTrace* trace);
 
+  /// One attempt at a deferred firing: dispatch failpoint + Begin +
+  /// action + commit. A non-OK return means the attempt's transaction was
+  /// rolled back (retry material unless the cascade guard tripped).
+  Status RunDeferredOnce(RuleState* state, const TransInfo& info,
+                         ExecutionTrace* trace);
+
   Status AbortTransaction();
+
+  /// kTimeout when the transaction deadline has passed (OK otherwise).
+  Status CheckDeadline() const;
 
   /// Resets a rule's composite info to "nothing yet" (used by the
   /// kOnConsideration policy).
@@ -247,6 +278,9 @@ class RuleEngine {
   // Transaction state.
   bool in_txn_ = false;
   UndoLog::Mark txn_start_mark_ = 0;
+  std::chrono::steady_clock::time_point txn_deadline_at_{};
+  bool txn_has_deadline_ = false;
+  uint64_t txn_start_checksum_ = 0;
   TransInfo pending_block_;
   std::vector<TransInfo> log_;  // kSharedLog: transitions this txn
   TransInfo global_composite_;  // kSharedLog: composition of all of log_

@@ -1,5 +1,8 @@
 #include "storage/database.h"
 
+#include <cstring>
+
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace sopr {
@@ -34,35 +37,62 @@ Result<const Table*> Database::GetTable(std::string_view name) const {
 }
 
 Result<TupleHandle> Database::InsertRow(std::string_view table, Row row) {
+  SOPR_FAILPOINT_RETURN("storage.insert.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(row));
   TupleHandle handle = next_handle_++;
   SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(row)));
-  undo_.RecordInsert(ToLower(table), handle);
+  // A mutation that cannot be undo-logged must not stay applied: without
+  // the record, a later rollback could not remove it.
+  Status logged = undo_.RecordInsert(ToLower(table), handle);
+  if (!logged.ok()) {
+    FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
+    SOPR_RETURN_NOT_OK(t->Erase(handle));
+    return logged;
+  }
+  SOPR_FAILPOINT_RETURN("storage.insert.post");
   return handle;
 }
 
 Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
+  SOPR_FAILPOINT_RETURN("storage.delete.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
   Row old_row = *row;
   SOPR_RETURN_NOT_OK(t->Erase(handle));
-  undo_.RecordDelete(ToLower(table), handle, std::move(old_row));
+  Status logged = undo_.RecordDelete(ToLower(table), handle, old_row);
+  if (!logged.ok()) {
+    FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
+    SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(old_row)));
+    return logged;
+  }
+  SOPR_FAILPOINT_RETURN("storage.delete.post");
   return Status::OK();
 }
 
 Status Database::UpdateRow(std::string_view table, TupleHandle handle,
                            Row new_row) {
+  SOPR_FAILPOINT_RETURN("storage.update.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(new_row));
   SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
   Row old_row = *row;
   SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(new_row)));
-  undo_.RecordUpdate(ToLower(table), handle, std::move(old_row));
+  Status logged = undo_.RecordUpdate(ToLower(table), handle, old_row);
+  if (!logged.ok()) {
+    FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
+    SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(old_row)));
+    return logged;
+  }
+  SOPR_FAILPOINT_RETURN("storage.update.post");
   return Status::OK();
 }
 
 Status Database::RollbackTo(UndoLog::Mark mark) {
+  // Rollback replays the undo log through the same Table mutation code the
+  // failpoints instrument; it must be infallible or a failed transaction
+  // could land in a third state between "committed" and "S0".
+  FailpointRegistry::SuppressScope no_failpoints;
   const auto& records = undo_.records();
   for (size_t i = records.size(); i > mark; --i) {
     const UndoRecord& rec = records[i - 1];
@@ -82,6 +112,118 @@ Status Database::RollbackTo(UndoLog::Mark mark) {
     }
   }
   undo_.TruncateTo(mark);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Integrity: checksums and invariants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t FnvMixU64(uint64_t h, uint64_t v) { return FnvMix(h, &v, sizeof(v)); }
+
+uint64_t HashValue(uint64_t h, const Value& v) {
+  auto tag = static_cast<uint64_t>(v.type());
+  h = FnvMixU64(h, tag);
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      h = FnvMixU64(h, v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      h = FnvMixU64(h, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      h = FnvMixU64(h, bits);
+      break;
+    }
+    case ValueType::kString:
+      h = FnvMix(h, v.AsString().data(), v.AsString().size());
+      break;
+  }
+  return h;
+}
+
+/// Final avalanche (splitmix64) so that summing per-entry hashes — the
+/// order-independent combiner — does not cancel structured differences.
+uint64_t Finalize(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+uint64_t Database::Checksum() const {
+  uint64_t sum = 0;
+  for (const auto& [name, table] : tables_) {
+    for (const auto& [handle, row] : table.rows()) {
+      uint64_t h = FnvMix(kFnvOffset, name.data(), name.size());
+      h = FnvMixU64(h, handle);
+      for (size_t c = 0; c < row.size(); ++c) h = HashValue(h, row.at(c));
+      sum += Finalize(h);
+    }
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      const ColumnIndex* index = table.GetIndex(c);
+      if (index == nullptr) continue;
+      index->ForEachEntry([&](const Value& key, TupleHandle handle) {
+        uint64_t h = FnvMix(kFnvOffset ^ 0xa5a5a5a5a5a5a5a5ull, name.data(),
+                            name.size());
+        h = FnvMixU64(h, c);
+        h = HashValue(h, key);
+        h = FnvMixU64(h, handle);
+        sum += Finalize(h);
+      });
+    }
+  }
+  return sum;
+}
+
+Status Database::CheckInvariants() const {
+  for (const auto& [name, table] : tables_) {
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      const ColumnIndex* index = table.GetIndex(c);
+      if (index == nullptr) continue;
+      size_t indexed_rows = 0;
+      for (const auto& [handle, row] : table.rows()) {
+        const Value& key = row.at(c);
+        if (key.is_null()) continue;  // NULLs are not indexed
+        ++indexed_rows;
+        const std::set<TupleHandle>* bucket = index->Lookup(key);
+        if (bucket == nullptr || bucket->count(handle) == 0) {
+          return Status::Internal(
+              "index on " + name + "." +
+              table.schema().columns()[c].name + " is missing handle " +
+              std::to_string(handle) + " for key " + key.ToString());
+        }
+      }
+      if (index->num_entries() != indexed_rows) {
+        return Status::Internal(
+            "index on " + name + "." + table.schema().columns()[c].name +
+            " has " + std::to_string(index->num_entries()) +
+            " entries but the heap has " + std::to_string(indexed_rows) +
+            " indexable rows (stale entries)");
+      }
+    }
+  }
   return Status::OK();
 }
 

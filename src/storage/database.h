@@ -57,6 +57,23 @@ class Database {
 
   size_t undo_log_size() const { return undo_.size(); }
 
+  /// Caps undo-log growth (0 = unlimited); a mutation that would exceed
+  /// the budget fails with kResourceExhausted and is NOT applied. The log
+  /// is cleared at commit, so the budget is effectively per-transaction.
+  void set_undo_budget(size_t records) { undo_.set_record_budget(records); }
+  size_t undo_budget() const { return undo_.record_budget(); }
+
+  /// Order-independent digest over all table heaps and index contents.
+  /// Two databases with identical logical state (same tables, rows,
+  /// handles, and index entries) produce the same checksum; a heap/index
+  /// divergence or a lost/phantom row changes it. O(total rows).
+  uint64_t Checksum() const;
+
+  /// Verifies physical invariants: every indexed table's index agrees
+  /// exactly with its heap (each non-NULL key maps its handle; no stale
+  /// entries). Returns kInternal describing the first violation.
+  Status CheckInvariants() const;
+
  private:
   Catalog catalog_;
   std::map<std::string, Table> tables_;  // key: lowercased name

@@ -15,6 +15,15 @@ void ColumnIndex::Erase(const Value& key, TupleHandle handle) {
   if (it->second.empty()) buckets_.erase(it);
 }
 
+size_t ColumnIndex::num_entries() const {
+  size_t total = 0;
+  for (const auto& [key, handles] : buckets_) {
+    (void)key;
+    total += handles.size();
+  }
+  return total;
+}
+
 const std::set<TupleHandle>* ColumnIndex::Lookup(const Value& key) const {
   if (key.is_null()) return nullptr;
   auto it = buckets_.find(NormalizeKey(key));

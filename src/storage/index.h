@@ -32,6 +32,17 @@ class ColumnIndex {
 
   size_t num_keys() const { return buckets_.size(); }
 
+  /// Total (key, handle) entries across all buckets.
+  size_t num_entries() const;
+
+  /// Visits every (key, handle) entry in key order (for checksums).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const auto& [key, handles] : buckets_) {
+      for (TupleHandle handle : handles) fn(key, handle);
+    }
+  }
+
  private:
   struct KeyLess {
     bool operator()(const Value& a, const Value& b) const {

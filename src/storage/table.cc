@@ -1,5 +1,7 @@
 #include "storage/table.h"
 
+#include "common/failpoint.h"
+
 namespace sopr {
 
 Status Table::Insert(TupleHandle handle, Row row) {
@@ -11,6 +13,13 @@ Status Table::Insert(TupleHandle handle, Row row) {
     return Status::Internal("duplicate tuple handle " +
                             std::to_string(handle) + " in table " +
                             schema_.name());
+  }
+  // A failure between the heap mutation and index maintenance must not
+  // leave the two disagreeing: revert the heap insert before returning.
+  Status fault = SOPR_FAILPOINT("table.insert.mid");
+  if (!fault.ok()) {
+    rows_.erase(it);
+    return fault;
   }
   for (ColumnIndex& index : indexes_) {
     index.Insert(it->second.at(index.column()), handle);
@@ -27,6 +36,15 @@ Status Table::Erase(TupleHandle handle) {
   for (ColumnIndex& index : indexes_) {
     index.Erase(it->second.at(index.column()), handle);
   }
+  // Index entries are already gone; on an injected failure re-add them so
+  // the heap (which still holds the row) and the indexes agree.
+  Status fault = SOPR_FAILPOINT("table.erase.mid");
+  if (!fault.ok()) {
+    for (ColumnIndex& index : indexes_) {
+      index.Insert(it->second.at(index.column()), handle);
+    }
+    return fault;
+  }
   rows_.erase(it);
   return Status::OK();
 }
@@ -39,6 +57,13 @@ Status Table::Replace(TupleHandle handle, Row row) {
   }
   for (ColumnIndex& index : indexes_) {
     index.Erase(it->second.at(index.column()), handle);
+  }
+  Status fault = SOPR_FAILPOINT("table.replace.mid");
+  if (!fault.ok()) {
+    for (ColumnIndex& index : indexes_) {
+      index.Insert(it->second.at(index.column()), handle);
+    }
+    return fault;
   }
   it->second = std::move(row);
   for (ColumnIndex& index : indexes_) {

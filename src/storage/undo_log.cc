@@ -1,22 +1,40 @@
 #include "storage/undo_log.h"
 
+#include "common/failpoint.h"
+
 namespace sopr {
 
-void UndoLog::RecordInsert(std::string table, TupleHandle handle) {
+Status UndoLog::CheckAppend() {
+  SOPR_FAILPOINT_RETURN("undo.append");
+  if (record_budget_ != 0 && records_.size() >= record_budget_) {
+    return Status::ResourceExhausted(
+        "undo log budget of " + std::to_string(record_budget_) +
+        " records exhausted");
+  }
+  return Status::OK();
+}
+
+Status UndoLog::RecordInsert(std::string table, TupleHandle handle) {
+  SOPR_RETURN_NOT_OK(CheckAppend());
   records_.push_back(
       UndoRecord{UndoRecord::Kind::kInsert, std::move(table), handle, Row()});
+  return Status::OK();
 }
 
-void UndoLog::RecordDelete(std::string table, TupleHandle handle,
-                           Row old_row) {
+Status UndoLog::RecordDelete(std::string table, TupleHandle handle,
+                             Row old_row) {
+  SOPR_RETURN_NOT_OK(CheckAppend());
   records_.push_back(UndoRecord{UndoRecord::Kind::kDelete, std::move(table),
                                 handle, std::move(old_row)});
+  return Status::OK();
 }
 
-void UndoLog::RecordUpdate(std::string table, TupleHandle handle,
-                           Row old_row) {
+Status UndoLog::RecordUpdate(std::string table, TupleHandle handle,
+                             Row old_row) {
+  SOPR_RETURN_NOT_OK(CheckAppend());
   records_.push_back(UndoRecord{UndoRecord::Kind::kUpdate, std::move(table),
                                 handle, std::move(old_row)});
+  return Status::OK();
 }
 
 void UndoLog::TruncateTo(Mark m) {

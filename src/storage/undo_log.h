@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/tuple_handle.h"
 #include "types/row.h"
 
@@ -27,9 +28,18 @@ class UndoLog {
  public:
   using Mark = size_t;
 
-  void RecordInsert(std::string table, TupleHandle handle);
-  void RecordDelete(std::string table, TupleHandle handle, Row old_row);
-  void RecordUpdate(std::string table, TupleHandle handle, Row old_row);
+  /// Appends fail with kResourceExhausted once the log holds
+  /// `record_budget` records (0 = unlimited), simulating log-space
+  /// exhaustion; the caller must revert the mutation it failed to log.
+  /// The `undo.append` failpoint can inject the same failure.
+  Status RecordInsert(std::string table, TupleHandle handle);
+  Status RecordDelete(std::string table, TupleHandle handle, Row old_row);
+  Status RecordUpdate(std::string table, TupleHandle handle, Row old_row);
+
+  /// Caps the number of records the log accepts (0 = unlimited). Records
+  /// already in the log are unaffected — rollback always works.
+  void set_record_budget(size_t budget) { record_budget_ = budget; }
+  size_t record_budget() const { return record_budget_; }
 
   Mark mark() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
@@ -44,7 +54,10 @@ class UndoLog {
   void Clear() { records_.clear(); }
 
  private:
+  Status CheckAppend();
+
   std::vector<UndoRecord> records_;
+  size_t record_budget_ = 0;
 };
 
 }  // namespace sopr

@@ -1,0 +1,126 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  FailpointRegistry& registry() { return FailpointRegistry::Instance(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsOk) {
+  EXPECT_OK(registry().Hit("storage.insert.pre"));
+  EXPECT_OK(registry().Hit("no.such.site"));
+}
+
+TEST_F(FailpointTest, AlwaysMode) {
+  registry().Arm("a.site", {FailpointRegistry::Mode::kAlways, 1,
+                            StatusCode::kInjectedFault});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(registry().Hit("a.site").code(), StatusCode::kInjectedFault);
+  }
+  EXPECT_EQ(registry().HitCount("a.site"), 3u);
+}
+
+TEST_F(FailpointTest, OnceModeFiresExactlyOnce) {
+  registry().Arm("a.site", {FailpointRegistry::Mode::kOnce, 1,
+                            StatusCode::kInjectedFault});
+  EXPECT_FALSE(registry().Hit("a.site").ok());
+  EXPECT_OK(registry().Hit("a.site"));
+  EXPECT_OK(registry().Hit("a.site"));
+}
+
+TEST_F(FailpointTest, NthModeFiresOnExactHit) {
+  registry().Arm("a.site", {FailpointRegistry::Mode::kNth, 3,
+                            StatusCode::kInjectedFault});
+  EXPECT_OK(registry().Hit("a.site"));
+  EXPECT_OK(registry().Hit("a.site"));
+  EXPECT_FALSE(registry().Hit("a.site").ok());
+  EXPECT_OK(registry().Hit("a.site"));
+}
+
+TEST_F(FailpointTest, EveryKMode) {
+  registry().Arm("a.site", {FailpointRegistry::Mode::kEveryK, 2,
+                            StatusCode::kInjectedFault});
+  EXPECT_OK(registry().Hit("a.site"));
+  EXPECT_FALSE(registry().Hit("a.site").ok());
+  EXPECT_OK(registry().Hit("a.site"));
+  EXPECT_FALSE(registry().Hit("a.site").ok());
+}
+
+TEST_F(FailpointTest, DisarmAndRearmResetCounters) {
+  registry().Arm("a.site", {FailpointRegistry::Mode::kNth, 2,
+                            StatusCode::kInjectedFault});
+  EXPECT_OK(registry().Hit("a.site"));
+  registry().Arm("a.site", {FailpointRegistry::Mode::kNth, 2,
+                            StatusCode::kInjectedFault});
+  EXPECT_OK(registry().Hit("a.site"));  // counter restarted
+  EXPECT_FALSE(registry().Hit("a.site").ok());
+  registry().Disarm("a.site");
+  EXPECT_OK(registry().Hit("a.site"));
+}
+
+TEST_F(FailpointTest, SpecParsing) {
+  ASSERT_OK(registry().ArmFromSpec(
+      "one.site=once; two.site=nth:2@ResourceExhausted, three.site=every:3"));
+  EXPECT_EQ(registry().Hit("one.site").code(), StatusCode::kInjectedFault);
+  EXPECT_OK(registry().Hit("two.site"));
+  EXPECT_EQ(registry().Hit("two.site").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_OK(registry().Hit("three.site"));
+  EXPECT_OK(registry().Hit("three.site"));
+  EXPECT_FALSE(registry().Hit("three.site").ok());
+  // "off" disarms.
+  ASSERT_OK(registry().ArmFromSpec("one.site=off"));
+  EXPECT_OK(registry().Hit("one.site"));
+}
+
+TEST_F(FailpointTest, SpecErrors) {
+  EXPECT_FALSE(registry().ArmFromSpec("missing-equals").ok());
+  EXPECT_FALSE(registry().ArmFromSpec("a=warble").ok());
+  EXPECT_FALSE(registry().ArmFromSpec("a=nth").ok());
+  EXPECT_FALSE(registry().ArmFromSpec("a=nth:0").ok());
+  EXPECT_FALSE(registry().ArmFromSpec("a=nth:x").ok());
+  EXPECT_FALSE(registry().ArmFromSpec("a=once:3").ok());
+  EXPECT_FALSE(registry().ArmFromSpec("a=once@NoSuchCode").ok());
+  EXPECT_OK(registry().ArmFromSpec(""));
+}
+
+TEST_F(FailpointTest, CatalogCoversInstrumentedLayers) {
+  const auto& sites = FailpointRegistry::KnownSites();
+  EXPECT_GE(sites.size(), 15u);
+  auto has = [&](const std::string& s) {
+    return std::find(sites.begin(), sites.end(), s) != sites.end();
+  };
+  EXPECT_TRUE(has("storage.insert.pre"));
+  EXPECT_TRUE(has("table.insert.mid"));
+  EXPECT_TRUE(has("undo.append"));
+  EXPECT_TRUE(has("rules.action.post"));
+  EXPECT_TRUE(has("rules.deferred.dispatch"));
+  EXPECT_TRUE(has("engine.execute.pre"));
+}
+
+TEST_F(FailpointTest, InjectedStorageFaultRollsBackTransaction) {
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  ASSERT_OK(engine.Execute("insert into t values (1)"));
+  registry().Arm("storage.insert.pre", {FailpointRegistry::Mode::kOnce, 1,
+                                        StatusCode::kInjectedFault});
+  Status s = engine.Execute("insert into t values (2)");
+  EXPECT_EQ(s.code(), StatusCode::kInjectedFault);
+  registry().DisarmAll();
+  EXPECT_EQ(QueryScalar(&engine, "select count(*) from t"), Value::Int(1));
+  EXPECT_OK(engine.db().CheckInvariants());
+}
+
+}  // namespace
+}  // namespace sopr

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.h"
 #include "engine/engine.h"
 #include "test_util.h"
 
@@ -122,6 +123,100 @@ TEST_F(DetachedTest, RollbackRuleCannotBeDetached) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine_.rules().SetDetached("nosuch", true).code(),
             StatusCode::kCatalogError);
+}
+
+// --- Failure paths and the retry/backoff policy ---
+
+class DetachedRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  /// Engine with `retries` detached retries and an audit-style detached
+  /// rule wired up.
+  std::unique_ptr<Engine> MakeEngine(size_t retries) {
+    RuleEngineOptions options;
+    options.detached_retries = retries;
+    options.detached_retry_backoff = std::chrono::milliseconds(1);
+    options.verify_rollback_integrity = true;
+    auto engine = std::make_unique<Engine>(options);
+    EXPECT_OK(engine->Execute("create table t (a int)"));
+    EXPECT_OK(engine->Execute("create table log (a int)"));
+    EXPECT_OK(engine->Execute(
+        "create rule audit when inserted into t "
+        "then insert into log (select a from inserted t)"));
+    EXPECT_OK(engine->rules().SetDetached("audit", true));
+    return engine;
+  }
+};
+
+TEST_F(DetachedRetryTest, TransientFaultSucceedsOnRetry) {
+  auto engine = MakeEngine(/*retries=*/2);
+  // First dispatch attempt fails; the retry goes through.
+  FailpointRegistry::Instance().Arm(
+      "rules.deferred.dispatch",
+      {FailpointRegistry::Mode::kOnce, 1, StatusCode::kInjectedFault});
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine->ExecuteBlock("insert into t values (4)"));
+  EXPECT_TRUE(trace.detached_errors.empty());
+  ASSERT_EQ(trace.firings.size(), 1u);
+  EXPECT_TRUE(trace.firings[0].detached);
+  EXPECT_EQ(QueryScalar(engine.get(), "select count(*) from log"),
+            Value::Int(1));
+}
+
+TEST_F(DetachedRetryTest, PersistentFaultGivesUpAfterCap) {
+  auto engine = MakeEngine(/*retries=*/2);
+  FailpointRegistry::Instance().Arm(
+      "rules.deferred.dispatch",
+      {FailpointRegistry::Mode::kAlways, 1, StatusCode::kInjectedFault});
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine->ExecuteBlock("insert into t values (4)"));
+  // 1 initial attempt + 2 retries, then the error is recorded; the
+  // committed triggering transaction is untouched.
+  ASSERT_EQ(trace.detached_errors.size(), 1u);
+  EXPECT_NE(trace.detached_errors[0].find("after 3 attempts"),
+            std::string::npos)
+      << trace.detached_errors[0];
+  EXPECT_TRUE(trace.firings.empty());
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("rules.deferred.dispatch"),
+            3u);
+  FailpointRegistry::Instance().DisarmAll();
+  EXPECT_EQ(QueryScalar(engine.get(), "select count(*) from t"),
+            Value::Int(1));
+  EXPECT_EQ(QueryScalar(engine.get(), "select count(*) from log"),
+            Value::Int(0));
+}
+
+TEST_F(DetachedRetryTest, ActionFailureIsRetriedNotJustDispatch) {
+  auto engine = MakeEngine(/*retries=*/1);
+  // The failure lands inside the detached action's own transaction (on
+  // its storage path), not at dispatch; the retry must still happen.
+  FailpointRegistry::Instance().Arm(
+      "storage.insert.pre",
+      {FailpointRegistry::Mode::kNth, 2, StatusCode::kResourceExhausted});
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine->ExecuteBlock("insert into t values (4)"));
+  // Hit 1: the triggering insert (passes). Hit 2: the detached action's
+  // insert into log (fails, rolls back its transaction). The retry's
+  // insert is hit 3 (passes).
+  EXPECT_TRUE(trace.detached_errors.empty());
+  EXPECT_EQ(QueryScalar(engine.get(), "select count(*) from log"),
+            Value::Int(1));
+}
+
+TEST_F(DetachedRetryTest, ZeroRetriesPreservesSingleAttemptSemantics) {
+  auto engine = MakeEngine(/*retries=*/0);
+  FailpointRegistry::Instance().Arm(
+      "rules.deferred.dispatch",
+      {FailpointRegistry::Mode::kAlways, 1, StatusCode::kInjectedFault});
+  ASSERT_OK_AND_ASSIGN(ExecutionTrace trace,
+                       engine->ExecuteBlock("insert into t values (4)"));
+  ASSERT_EQ(trace.detached_errors.size(), 1u);
+  // No "(after N attempts)" annotation for a single attempt.
+  EXPECT_EQ(trace.detached_errors[0].find("attempts"), std::string::npos);
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("rules.deferred.dispatch"),
+            1u);
 }
 
 TEST_F(DetachedTest, DetachBothWaysRestoresImmediateSemantics) {

@@ -160,6 +160,154 @@ TEST(Database, PartialRollbackToMidMark) {
   EXPECT_TRUE(table->Contains(h1));
 }
 
+// An inner operation block fails and rolls back to its own mark; the
+// outer block's records must survive untouched and remain replayable.
+TEST(UndoLog, NestedMarksPartialRollbackPreservesOuterRecords) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  UndoLog::Mark outer = db.UndoMark();
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h1,
+      db.InsertRow("emp", Row{Value::String("outer"), Value::Double(1)}));
+  ASSERT_OK(db.UpdateRow("emp", h1,
+                         Row{Value::String("outer2"), Value::Double(2)}));
+  size_t outer_records = db.undo_log_size();
+
+  // Inner scope: insert + update + delete, then partial rollback.
+  UndoLog::Mark inner = db.UndoMark();
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h2,
+      db.InsertRow("emp", Row{Value::String("inner"), Value::Double(3)}));
+  ASSERT_OK(db.UpdateRow("emp", h1,
+                         Row{Value::String("clobbered"), Value::Double(9)}));
+  ASSERT_OK(db.DeleteRow("emp", h2));
+  ASSERT_OK(db.RollbackTo(inner));
+
+  // TruncateTo semantics: exactly the outer records remain.
+  EXPECT_EQ(db.undo_log_size(), outer_records);
+  ASSERT_OK_AND_ASSIGN(const Table* table, db.GetTable("emp"));
+  EXPECT_EQ(table->size(), 1u);
+  ASSERT_OK_AND_ASSIGN(const Row* row, table->Get(h1));
+  EXPECT_EQ(row->at(0), Value::String("outer2"));
+
+  // The outer block can still roll back to the transaction start.
+  ASSERT_OK(db.RollbackTo(outer));
+  EXPECT_EQ(table->size(), 0u);
+  EXPECT_EQ(db.undo_log_size(), outer);
+}
+
+TEST(UndoLog, TruncateToDropsOnlyNewerRecords) {
+  UndoLog log;
+  ASSERT_OK(log.RecordInsert("t", 1));
+  UndoLog::Mark m = log.mark();
+  ASSERT_OK(log.RecordInsert("t", 2));
+  ASSERT_OK(log.RecordDelete("t", 3, Row{Value::Int(1)}));
+  EXPECT_EQ(log.size(), 3u);
+  log.TruncateTo(m);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.records()[0].handle, TupleHandle{1});
+  // Truncating to a mark at or past the end is a no-op.
+  log.TruncateTo(5);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(UndoLog, RecordBudgetExhaustion) {
+  UndoLog log;
+  log.set_record_budget(2);
+  ASSERT_OK(log.RecordInsert("t", 1));
+  ASSERT_OK(log.RecordInsert("t", 2));
+  EXPECT_EQ(log.RecordInsert("t", 3).code(), StatusCode::kResourceExhausted);
+  // Freeing space (rollback truncation) makes room again.
+  log.TruncateTo(1);
+  ASSERT_OK(log.RecordInsert("t", 4));
+}
+
+// When the undo log cannot accept a record, the mutation must not stay
+// applied — otherwise a later rollback would miss it.
+TEST(Database, UnloggableMutationIsRevertedAndStateStaysConsistent) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h1,
+      db.InsertRow("emp", Row{Value::String("a"), Value::Double(1)}));
+  ASSERT_OK_AND_ASSIGN(Table * table, db.GetTable("emp"));
+  ASSERT_OK(table->CreateIndex(0));
+  db.set_undo_budget(db.undo_log_size());  // no room for anything more
+  uint64_t before = db.Checksum();
+
+  EXPECT_EQ(db.InsertRow("emp", Row{Value::String("b"), Value::Double(2)})
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(db.UpdateRow("emp", h1,
+                         Row{Value::String("c"), Value::Double(3)})
+                .code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(db.DeleteRow("emp", h1).code(), StatusCode::kResourceExhausted);
+
+  EXPECT_EQ(db.Checksum(), before);
+  ASSERT_OK(db.CheckInvariants());
+  EXPECT_EQ(table->size(), 1u);
+}
+
+TEST(Database, ChecksumDetectsMutationsAndRoundTripsRollback) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK_AND_ASSIGN(Table * table, db.GetTable("emp"));
+  ASSERT_OK(table->CreateIndex(1));
+  ASSERT_OK(db.InsertRow("emp", Row{Value::String("a"), Value::Double(1)})
+                .status());
+  db.CommitAll();
+  UndoLog::Mark mark = db.UndoMark();
+  uint64_t s0 = db.Checksum();
+
+  ASSERT_OK_AND_ASSIGN(
+      TupleHandle h,
+      db.InsertRow("emp", Row{Value::String("b"), Value::Double(2)}));
+  EXPECT_NE(db.Checksum(), s0);
+  ASSERT_OK(db.UpdateRow("emp", h, Row{Value::String("b"), Value::Double(3)}));
+  EXPECT_NE(db.Checksum(), s0);
+
+  ASSERT_OK(db.RollbackTo(mark));
+  EXPECT_EQ(db.Checksum(), s0);
+  ASSERT_OK(db.CheckInvariants());
+}
+
+TEST(Database, ChecksumEqualForIdenticallyBuiltDatabases) {
+  auto build = [] {
+    auto db = std::make_unique<Database>();
+    EXPECT_OK(db->CreateTable(EmpSchema()));
+    EXPECT_OK(
+        db->InsertRow("emp", Row{Value::String("a"), Value::Double(1)})
+            .status());
+    EXPECT_OK(
+        db->InsertRow("emp", Row{Value::String("b"), Value::Double(2)})
+            .status());
+    return db;
+  };
+  auto db1 = build();
+  auto db2 = build();
+  EXPECT_EQ(db1->Checksum(), db2->Checksum());
+}
+
+TEST(Database, CheckInvariantsCatchesIndexDivergence) {
+  Database db;
+  ASSERT_OK(db.CreateTable(EmpSchema()));
+  ASSERT_OK_AND_ASSIGN(Table * table, db.GetTable("emp"));
+  ASSERT_OK(table->CreateIndex(1));
+  ASSERT_OK(db.InsertRow("emp", Row{Value::String("a"), Value::Double(1)})
+                .status());
+  ASSERT_OK(db.CheckInvariants());
+  // Bypass the Database layer to damage the heap behind the index's back.
+  ASSERT_OK(table->Insert(9999, Row{Value::String("x"), Value::Double(7)}));
+  // (Insert maintains the index, so damage the other direction: a row
+  // whose key the index never saw.)
+  ASSERT_OK(db.CheckInvariants());
+  const_cast<ColumnIndex*>(table->GetIndex(1))->Erase(Value::Double(7), 9999);
+  Status s = db.CheckInvariants();
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
 TEST(Database, DropTable) {
   Database db;
   ASSERT_OK(db.CreateTable(EmpSchema()));
