@@ -179,11 +179,32 @@ void ExecuteSql(sopr::Engine& engine, const std::string& sql) {
 
 }  // namespace
 
-int main() {
-  sopr::Engine engine;
+int main(int argc, char** argv) {
+  sopr::RuleEngineOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--wal" && i + 1 < argc) {
+      options.wal_dir = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--wal DIR]\n";
+      return 2;
+    }
+  }
+  // Open() runs crash recovery on --wal DIR (and surfaces malformed
+  // SOPR_FAILPOINTS specs) before the prompt appears.
+  auto opened = sopr::Engine::Open(options);
+  if (!opened.ok()) {
+    std::cerr << "cannot open engine: " << opened.status().ToString() << "\n";
+    return 1;
+  }
+  sopr::Engine& engine = *opened.value();
   std::cout << "sopr shell — set-oriented production rules "
                "(Widom & Finkelstein, SIGMOD 1990)\n"
                "Type \\help for commands, \\quit to exit.\n";
+  if (engine.durable()) {
+    std::cout << "durable: logging to " << options.wal_dir
+              << " (docs/DURABILITY.md)\n";
+  }
 
   std::string buffer;
   std::string line;

@@ -1,0 +1,53 @@
+#ifndef SOPR_COMMON_DIGEST_H_
+#define SOPR_COMMON_DIGEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sopr {
+namespace digest {
+
+/// FNV-1a streaming hash plus a splitmix64 avalanche, shared by the
+/// state-checksum machinery (Database::Checksum, the rule-set digest, the
+/// WAL recovery certification). Per-entry hashes are finalized and then
+/// *summed*, which makes the combined digest order-independent; the
+/// avalanche keeps structured per-entry differences from cancelling.
+
+inline constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Mix(uint64_t h, const void* data, size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t MixU64(uint64_t h, uint64_t v) { return Mix(h, &v, sizeof(v)); }
+
+inline uint64_t MixString(uint64_t h, std::string_view s) {
+  h = MixU64(h, s.size());
+  return Mix(h, s.data(), s.size());
+}
+
+/// Final avalanche (splitmix64).
+inline uint64_t Finalize(uint64_t h) {
+  h += 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+  return h ^ (h >> 31);
+}
+
+/// Order-sensitive combination of two finalized digests (used to fold the
+/// database and rule-set checksums into one engine-state checksum).
+inline uint64_t Combine(uint64_t a, uint64_t b) {
+  return Finalize(MixU64(MixU64(kFnvOffset, a), b));
+}
+
+}  // namespace digest
+}  // namespace sopr
+
+#endif  // SOPR_COMMON_DIGEST_H_

@@ -37,6 +37,31 @@ const char* const kSiteCatalog[] = {
     // Facade (engine.cc).
     "engine.execute.pre",
     "engine.ddl.pre",
+    // Write-ahead log (wal/wal_writer.cc). `wal.append` fires once per
+    // record as a commit/DDL batch is encoded; `wal.write` before each
+    // file write; `wal.write.mid` between the two halves of a batch write
+    // (a @Crash here leaves a genuinely torn record on disk);
+    // `wal.commit.pre` / `wal.commit.sync` bracket the group-commit
+    // durability point; `wal.ddl.append` before a logical DDL record.
+    "wal.append",
+    "wal.write",
+    "wal.write.mid",
+    "wal.sync",
+    "wal.commit.pre",
+    "wal.commit.sync",
+    "wal.ddl.append",
+    // Checkpointing (wal/checkpoint.cc): begin, snapshot write, snapshot
+    // fsync, atomic install (rename), and post-install log truncation.
+    "wal.checkpoint.begin",
+    "wal.checkpoint.write",
+    "wal.checkpoint.sync",
+    "wal.checkpoint.install",
+    "wal.checkpoint.truncate",
+    // Recovery (wal/recovery.cc): startup, each replayed record/DDL, and
+    // the torn-tail truncation step.
+    "wal.recover.begin",
+    "wal.recover.replay",
+    "wal.recover.truncate",
 };
 
 Status ParseMode(const std::string& text, FailpointRegistry::Trigger* out) {
@@ -79,7 +104,7 @@ Status ParseMode(const std::string& text, FailpointRegistry::Trigger* out) {
   return Status::OK();
 }
 
-Status ParseCode(const std::string& name, StatusCode* out) {
+Status ParseCode(const std::string& name, FailpointRegistry::Trigger* out) {
   static const struct {
     const char* name;
     StatusCode code;
@@ -88,11 +113,17 @@ Status ParseCode(const std::string& name, StatusCode* out) {
       {"ResourceExhausted", StatusCode::kResourceExhausted},
       {"Timeout", StatusCode::kTimeout},
       {"ExecutionError", StatusCode::kExecutionError},
+      {"DataLoss", StatusCode::kDataLoss},
+      {"IoError", StatusCode::kIoError},
       {"Internal", StatusCode::kInternal},
   };
+  if (name == "Crash") {
+    out->crash = true;
+    return Status::OK();
+  }
   for (const auto& entry : kCodes) {
     if (name == entry.name) {
-      *out = entry.code;
+      out->code = entry.code;
       return Status::OK();
     }
   }
@@ -117,6 +148,10 @@ const std::vector<std::string>& FailpointRegistry::KnownSites() {
 
 void FailpointRegistry::Arm(const std::string& site, Trigger trigger) {
   std::lock_guard<std::mutex> lock(mu_);
+  ArmLocked(site, trigger);
+}
+
+void FailpointRegistry::ArmLocked(const std::string& site, Trigger trigger) {
   SiteState& state = sites_[site];
   state.trigger = trigger;
   state.hits = 0;
@@ -139,7 +174,9 @@ void FailpointRegistry::DisarmAll() {
   armed_count_.store(0, std::memory_order_relaxed);
 }
 
-Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
+Status FailpointRegistry::ParseSpec(
+    const std::string& spec,
+    std::vector<std::pair<std::string, Trigger>>* out) {
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t end = spec.find_first_of(";,", pos);
@@ -153,30 +190,76 @@ Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
                                      entry);
     }
     std::string site(Trim(entry.substr(0, eq)));
+    if (site.empty()) {
+      return Status::InvalidArgument("bad failpoint spec (empty site): " +
+                                     entry);
+    }
     std::string rhs(Trim(entry.substr(eq + 1)));
     Trigger trigger;
     size_t at = rhs.find('@');
     if (at != std::string::npos) {
-      SOPR_RETURN_NOT_OK(ParseCode(rhs.substr(at + 1), &trigger.code));
+      SOPR_RETURN_NOT_OK(ParseCode(rhs.substr(at + 1), &trigger));
       rhs = rhs.substr(0, at);
     }
     SOPR_RETURN_NOT_OK(ParseMode(rhs, &trigger));
-    Arm(site, trigger);
+    out->emplace_back(std::move(site), trigger);
   }
   return Status::OK();
 }
 
+Status FailpointRegistry::ArmFromSpec(const std::string& spec) {
+  std::vector<std::pair<std::string, Trigger>> entries;
+  SOPR_RETURN_NOT_OK(ParseSpec(spec, &entries));
+  for (const auto& [site, trigger] : entries) Arm(site, trigger);
+  return Status::OK();
+}
+
 Status FailpointRegistry::Hit(const char* site) {
-  // Environment arming is best-effort and happens exactly once, before
-  // the first site is evaluated; a malformed spec is ignored rather than
-  // failing every instrumented operation.
-  std::call_once(env_once_, [this] {
-    const char* spec = std::getenv("SOPR_FAILPOINTS");
-    if (spec != nullptr && *spec != '\0') (void)ArmFromSpec(spec);
-  });
+  // Environment arming happens exactly once, before the first site is
+  // evaluated. The parse status is ignored *here* (a malformed spec must
+  // not fail every instrumented operation) but recorded; the Engine
+  // entry points surface it via EnsureEnvArmed().
+  if (!env_checked_.load(std::memory_order_acquire)) {
+    (void)EnsureEnvArmedSlow();
+  }
   if (armed_count_.load(std::memory_order_relaxed) == 0) return Status::OK();
   if (suppress_depth() > 0) return Status::OK();
   return HitSlow(site);
+}
+
+Status FailpointRegistry::EnsureEnvArmed() {
+  if (!env_checked_.load(std::memory_order_acquire)) {
+    return EnsureEnvArmedSlow();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return env_status_;
+}
+
+Status FailpointRegistry::EnsureEnvArmedSlow() {
+  std::string spec;
+  const char* env = std::getenv("SOPR_FAILPOINTS");
+  if (env != nullptr) spec = env;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (env_checked_.load(std::memory_order_relaxed)) return env_status_;
+  env_status_ = Status::OK();
+  if (!spec.empty()) {
+    std::vector<std::pair<std::string, Trigger>> entries;
+    Status parsed = ParseSpec(spec, &entries);
+    if (parsed.ok()) {
+      for (const auto& [site, trigger] : entries) ArmLocked(site, trigger);
+    } else {
+      env_status_ =
+          Status(parsed.code(), "SOPR_FAILPOINTS: " + parsed.message());
+    }
+  }
+  env_checked_.store(true, std::memory_order_release);
+  return env_status_;
+}
+
+void FailpointRegistry::ResetEnvForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  env_checked_.store(false, std::memory_order_release);
+  env_status_ = Status::OK();
 }
 
 int& FailpointRegistry::suppress_depth() {
@@ -210,6 +293,11 @@ Status FailpointRegistry::HitSlow(const char* site) {
       break;
   }
   if (!fire) return Status::OK();
+  if (state.trigger.crash) {
+    // Simulated power loss: die without flushing buffers, running atexit
+    // handlers, or unwinding — the closest a live process gets to a kill.
+    std::_Exit(kFailpointCrashExitCode);
+  }
   return Status(state.trigger.code,
                 "failpoint " + std::string(site) + " fired (hit " +
                     std::to_string(state.hits) + ")");

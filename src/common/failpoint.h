@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -32,10 +33,18 @@ namespace sopr {
 ///   site=every:K      fail on every Kth hit
 /// An optional '@code' suffix selects the injected StatusCode by name,
 /// e.g. "storage.insert.pre=once@ResourceExhausted" (default InjectedFault).
+/// The special code '@Crash' kills the process with _Exit(42) at the
+/// firing site instead of returning a Status — the crash-recovery harness
+/// uses it to simulate power loss at exact code locations.
 ///
 /// Compiling with -DSOPR_FAILPOINTS_DISABLED turns every site into a
 /// constant-OK no-op with zero runtime cost. When enabled, an unarmed
 /// registry costs one relaxed atomic load per site hit.
+/// Exit code of a process killed by a '@Crash' failpoint (distinct from
+/// common test-runner and sanitizer exit codes so harnesses can tell an
+/// intentional simulated crash from an accidental death).
+inline constexpr int kFailpointCrashExitCode = 42;
+
 class FailpointRegistry {
  public:
   enum class Mode { kOff, kAlways, kOnce, kNth, kEveryK };
@@ -44,6 +53,9 @@ class FailpointRegistry {
     Mode mode = Mode::kOff;
     uint64_t n = 1;  // N for kNth, K for kEveryK
     StatusCode code = StatusCode::kInjectedFault;
+    /// When true, a firing site calls _Exit(kFailpointCrashExitCode)
+    /// instead of returning a Status: a simulated process crash.
+    bool crash = false;
   };
 
   static FailpointRegistry& Instance();
@@ -70,6 +82,18 @@ class FailpointRegistry {
   /// Parses and applies a SOPR_FAILPOINTS-style spec string.
   Status ArmFromSpec(const std::string& spec);
 
+  /// Parses and applies the SOPR_FAILPOINTS environment variable exactly
+  /// once per process; every later call returns the recorded parse
+  /// status. Site hits trigger it lazily (and ignore the status, so a
+  /// malformed spec does not fail every instrumented operation); the
+  /// Engine entry points check it so a malformed spec surfaces as a hard
+  /// kInvalidArgument error at startup instead of being silently ignored.
+  Status EnsureEnvArmed();
+
+  /// Test hook: forget the recorded environment parse so the next
+  /// EnsureEnvArmed() re-reads SOPR_FAILPOINTS.
+  void ResetEnvForTest();
+
   /// Evaluates a hit at `site`; returns a non-OK Status when the armed
   /// trigger fires. Unarmed sites return OK via a lock-free fast path.
   Status Hit(const char* site);
@@ -93,12 +117,17 @@ class FailpointRegistry {
   };
 
   Status HitSlow(const char* site);
+  Status EnsureEnvArmedSlow();
+  void ArmLocked(const std::string& site, Trigger trigger);
+  static Status ParseSpec(const std::string& spec,
+                          std::vector<std::pair<std::string, Trigger>>* out);
   static int& suppress_depth();
 
   mutable std::mutex mu_;
   std::map<std::string, SiteState> sites_;
   std::atomic<int> armed_count_{0};
-  std::once_flag env_once_;
+  std::atomic<bool> env_checked_{false};
+  Status env_status_;  // guarded by mu_
 };
 
 #ifdef SOPR_FAILPOINTS_DISABLED

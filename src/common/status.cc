@@ -28,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "InjectedFault";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kIoError:
+      return "IoError";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

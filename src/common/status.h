@@ -24,6 +24,8 @@ enum class StatusCode {
   kResourceExhausted, // a resource budget (e.g. undo-log size) was exceeded
   kInjectedFault,     // a fault-injection site (failpoint) fired
   kTimeout,           // the per-transaction wall-clock deadline passed
+  kDataLoss,          // durable state is corrupt beyond safe recovery
+  kIoError,           // the OS rejected a file operation (open/write/fsync)
   kNotImplemented,
   kInternal,
 };
@@ -72,6 +74,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));

@@ -1,6 +1,17 @@
 #include "engine/engine.h"
 
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/digest.h"
 #include "common/failpoint.h"
+#include "common/string_util.h"
+#include "wal/checkpoint.h"
+#include "wal/recovery.h"
+#include "wal/wal_writer.h"
 
 namespace sopr {
 
@@ -21,7 +32,101 @@ bool IsDdl(const Stmt& stmt) {
   }
 }
 
+Result<WalFsyncPolicy> FsyncPolicyFromEnv(WalFsyncPolicy fallback) {
+  const char* env = std::getenv("SOPR_WAL_FSYNC");
+  if (env == nullptr || *env == '\0') return fallback;
+  std::string v = ToLower(env);
+  if (v == "off") return WalFsyncPolicy::kOff;
+  if (v == "commit") return WalFsyncPolicy::kCommit;
+  if (v == "always") return WalFsyncPolicy::kAlways;
+  return Status::InvalidArgument("SOPR_WAL_FSYNC: unknown policy '" +
+                                 std::string(env) +
+                                 "' (expected off, commit, or always)");
+}
+
 }  // namespace
+
+Engine::Engine(RuleEngineOptions options)
+    : db_(std::make_unique<Database>()),
+      rules_(std::make_unique<RuleEngine>(db_.get(), options)) {}
+
+Engine::~Engine() {
+  // Detach before the writer is destroyed so nothing dangles if member
+  // destruction order ever changes.
+  db_->set_wal(nullptr);
+  rules_->set_wal(nullptr);
+}
+
+Result<std::unique_ptr<Engine>> Engine::Open(RuleEngineOptions options) {
+  // A malformed SOPR_FAILPOINTS spec is a hard startup error here — the
+  // lazy site-hit path deliberately ignores it, so without this check a
+  // typo would silently disable the requested fault injection.
+  SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
+  SOPR_ASSIGN_OR_RETURN(options.wal_fsync,
+                        FsyncPolicyFromEnv(options.wal_fsync));
+  auto engine = std::make_unique<Engine>(options);
+  if (options.wal_dir.empty()) return engine;
+
+  if (::mkdir(options.wal_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir " + options.wal_dir + ": " +
+                           std::strerror(errno));
+  }
+  // Recovery runs before the writer attaches: replay must not re-log.
+  SOPR_ASSIGN_OR_RETURN(wal::RecoveryStats stats,
+                        wal::RecoverDatabase(options.wal_dir, engine.get()));
+  auto writer = std::make_unique<wal::WalWriter>(options.wal_fsync);
+  SOPR_RETURN_NOT_OK(
+      writer->Open(options.wal_dir, stats.next_lsn, stats.next_txn_id));
+  engine->AttachWal(std::move(writer));
+  return engine;
+}
+
+void Engine::AttachWal(std::unique_ptr<wal::WalWriter> wal) {
+  wal_ = std::move(wal);
+  db_->set_wal(wal_.get());
+  rules_->set_wal(wal_.get());
+}
+
+Status Engine::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("Checkpoint: no WAL attached");
+  }
+  return wal::WriteCheckpoint(this, wal_.get());
+}
+
+Status Engine::MaybeCheckpoint() {
+  if (wal_ == nullptr) return Status::OK();
+  const uint64_t interval = rules_->options().wal_checkpoint_interval;
+  if (interval == 0 || wal_->commits_since_checkpoint() < interval) {
+    return Status::OK();
+  }
+  Status ok = Checkpoint();
+  if (!ok.ok()) {
+    // The triggering transaction COMMITTED; only the snapshot failed.
+    // Say so rather than letting the error read like a lost commit.
+    return Status(ok.code(),
+                  "post-commit checkpoint failed (the transaction itself "
+                  "is durable): " +
+                      ok.message());
+  }
+  return Status::OK();
+}
+
+uint64_t Engine::StateChecksum() const {
+  return digest::Combine(db_->Checksum(), rules_->RuleSetChecksum());
+}
+
+Status Engine::CheckInvariants() const { return db_->CheckInvariants(); }
+
+Status Engine::LogDdl(const std::string& sql) {
+  if (wal_ == nullptr) return Status::OK();
+  Status logged = wal_->AppendDdl(sql);
+  if (!logged.ok()) {
+    return Status(logged.code(), "DDL applied in memory but not durable (" +
+                                     sql + "): " + logged.message());
+  }
+  return Status::OK();
+}
 
 Status Engine::ExecuteDdl(const Stmt& stmt) {
   // Fires before any catalog or storage change: an injected DDL failure
@@ -79,6 +184,7 @@ Status Engine::ExecuteDdl(const Stmt& stmt) {
 }
 
 Status Engine::Execute(const std::string& sql) {
+  SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
   SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
 
   if (IsDdl(*stmts[0])) {
@@ -87,6 +193,10 @@ Status Engine::Execute(const std::string& sql) {
         return Status::InvalidArgument(
             "cannot mix DDL and DML in one script: " + stmt->ToString());
       }
+      // Apply-then-log: the statement's durability point is the log
+      // append returning OK. Render the SQL first — defining a rule
+      // hands the AST over to the rule engine.
+      std::string sql_text = stmt->ToString();
       if (stmt->kind == StmtKind::kCreateRule) {
         std::shared_ptr<const CreateRuleStmt> def(
             static_cast<const CreateRuleStmt*>(stmt.release()));
@@ -94,6 +204,7 @@ Status Engine::Execute(const std::string& sql) {
       } else {
         SOPR_RETURN_NOT_OK(ExecuteDdl(*stmt));
       }
+      SOPR_RETURN_NOT_OK(LogDdl(sql_text));
     }
     return Status::OK();
   }
@@ -107,6 +218,7 @@ Status Engine::Execute(const std::string& sql) {
 }
 
 Result<ExecutionTrace> Engine::ExecuteBlock(const std::string& sql) {
+  SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
   SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
   for (const StmtPtr& stmt : stmts) {
     if (IsDdl(*stmt)) {
@@ -125,7 +237,9 @@ Result<ExecutionTrace> Engine::ExecuteBlockParsed(
   std::vector<const Stmt*> ops;
   ops.reserve(stmts.size());
   for (const StmtPtr& stmt : stmts) ops.push_back(stmt.get());
-  return rules_->ExecuteBlock(ops);
+  auto trace = rules_->ExecuteBlock(ops);
+  if (trace.ok()) SOPR_RETURN_NOT_OK(MaybeCheckpoint());
+  return trace;
 }
 
 Result<QueryResult> Engine::Query(const std::string& sql) {
@@ -162,6 +276,7 @@ Result<ExecutionTrace> Engine::ProcessRules() {
 Result<ExecutionTrace> Engine::Commit() {
   ExecutionTrace trace;
   SOPR_RETURN_NOT_OK(rules_->Commit(&trace));
+  SOPR_RETURN_NOT_OK(MaybeCheckpoint());
   return trace;
 }
 

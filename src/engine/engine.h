@@ -13,6 +13,10 @@
 
 namespace sopr {
 
+namespace wal {
+class WalWriter;
+}  // namespace wal
+
 /// Top-level facade: a single-user relational database with the paper's
 /// set-oriented production rules, driven by SQL text.
 ///
@@ -29,11 +33,23 @@ namespace sopr {
 /// are processed to quiescence and the transaction commits (§4). DDL
 /// (create table / create rule / priorities / drop rule) executes
 /// immediately and is not transactional.
+///
+/// The plain constructor builds a purely in-memory engine. For a durable
+/// one use Open() with options.wal_dir set: it surfaces SOPR_FAILPOINTS
+/// parse errors, runs crash recovery on the directory, and attaches a
+/// write-ahead log so every later commit and DDL statement is logged
+/// (docs/DURABILITY.md).
 class Engine {
  public:
-  explicit Engine(RuleEngineOptions options = {})
-      : db_(std::make_unique<Database>()),
-        rules_(std::make_unique<RuleEngine>(db_.get(), options)) {}
+  explicit Engine(RuleEngineOptions options = {});
+  ~Engine();
+
+  /// Factory with durability. Recovery rebuilds catalog, data, and rules
+  /// from options.wal_dir (created if missing; empty wal_dir = in-memory
+  /// engine, still validating the failpoint environment). The effective
+  /// fsync policy is options.wal_fsync unless SOPR_WAL_FSYNC=
+  /// off|commit|always overrides it.
+  static Result<std::unique_ptr<Engine>> Open(RuleEngineOptions options);
 
   /// Executes DDL or a DML operation block. Returns
   /// StatusCode::kRolledBack if a rule's rollback action fired.
@@ -68,12 +84,38 @@ class Engine {
   /// Convenience for tests/examples: number of rows currently in `table`.
   Result<size_t> TableSize(const std::string& table) const;
 
+  // --- Durability ---
+  /// Takes ownership of an opened writer and routes redo/commit/DDL
+  /// through it (used by Open(); exposed for tests that build the parts
+  /// by hand). Passing nullptr detaches.
+  void AttachWal(std::unique_ptr<wal::WalWriter> wal);
+  bool durable() const { return wal_ != nullptr; }
+  wal::WalWriter* wal() { return wal_.get(); }
+
+  /// Writes a snapshot checkpoint now (see wal/checkpoint.h). Fails if no
+  /// WAL is attached or a transaction is open.
+  Status Checkpoint();
+
+  /// Digest over the full recoverable state: database (catalog + heaps +
+  /// indexes) combined with the rule set (definitions, activation,
+  /// priorities). The crash harness compares this across restarts.
+  uint64_t StateChecksum() const;
+  /// Physical invariants of the underlying database (recovery
+  /// certification re-runs this).
+  Status CheckInvariants() const;
+
  private:
   Status ExecuteDdl(const Stmt& stmt);
   Result<ExecutionTrace> ExecuteBlockParsed(const std::vector<StmtPtr>& stmts);
+  /// Appends a logical DDL record for an applied statement. A failure
+  /// means "applied in memory but not durable" and is surfaced as such.
+  Status LogDdl(const std::string& sql);
+  /// Checkpoints when wal_checkpoint_interval commits have accumulated.
+  Status MaybeCheckpoint();
 
   std::unique_ptr<Database> db_;
   std::unique_ptr<RuleEngine> rules_;
+  std::unique_ptr<wal::WalWriter> wal_;  // null = in-memory engine
 };
 
 }  // namespace sopr

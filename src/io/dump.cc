@@ -5,10 +5,8 @@
 
 namespace sopr {
 
-Result<std::string> DumpDatabase(Engine* engine) {
-  std::string out = "-- sopr dump\n";
-
-  // 1. Schemas and indexes.
+Result<std::string> DumpSchemaSql(Engine* engine) {
+  std::string out;
   for (const std::string& name : engine->db().catalog().TableNames()) {
     SOPR_ASSIGN_OR_RETURN(const TableSchema* schema,
                           engine->db().catalog().GetTable(name));
@@ -29,6 +27,41 @@ Result<std::string> DumpDatabase(Engine* engine) {
       }
     }
   }
+  return out;
+}
+
+Result<std::string> DumpRulesSql(Engine* engine) {
+  std::string out;
+  for (const std::string& name : engine->rules().RuleNames()) {
+    SOPR_ASSIGN_OR_RETURN(const Rule* rule, engine->rules().GetRule(name));
+    out += rule->def().ToString() + ";\n";
+  }
+  for (const std::string& name : engine->rules().RuleNames()) {
+    auto enabled = engine->rules().IsRuleEnabled(name);
+    if (enabled.ok() && !enabled.value()) {
+      out += "deactivate rule " + name + ";\n";
+    }
+  }
+  std::vector<std::string> names = engine->rules().RuleNames();
+  for (const std::string& higher : names) {
+    for (const std::string& lower : names) {
+      // Emit only DIRECT pairs? The partial order only exposes Higher();
+      // emitting the transitive closure is semantically equivalent (it
+      // induces the same partial order) and keeps the API small.
+      if (engine->rules().priorities().Higher(higher, lower)) {
+        out += "create rule priority " + higher + " before " + lower + ";\n";
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::string> DumpDatabase(Engine* engine) {
+  std::string out = "-- sopr dump\n";
+
+  // 1. Schemas and indexes.
+  SOPR_ASSIGN_OR_RETURN(std::string schema_sql, DumpSchemaSql(engine));
+  out += schema_sql;
 
   // 2. Data, in handle order, chunked to keep statements manageable.
   constexpr size_t kRowsPerInsert = 256;
@@ -55,27 +88,8 @@ Result<std::string> DumpDatabase(Engine* engine) {
   }
 
   // 3. Rules, priorities, and activation state.
-  for (const std::string& name : engine->rules().RuleNames()) {
-    SOPR_ASSIGN_OR_RETURN(const Rule* rule, engine->rules().GetRule(name));
-    out += rule->def().ToString() + ";\n";
-  }
-  for (const std::string& name : engine->rules().RuleNames()) {
-    auto enabled = engine->rules().IsRuleEnabled(name);
-    if (enabled.ok() && !enabled.value()) {
-      out += "deactivate rule " + name + ";\n";
-    }
-  }
-  std::vector<std::string> names = engine->rules().RuleNames();
-  for (const std::string& higher : names) {
-    for (const std::string& lower : names) {
-      // Emit only DIRECT pairs? The partial order only exposes Higher();
-      // emitting the transitive closure is semantically equivalent (it
-      // induces the same partial order) and keeps the API small.
-      if (engine->rules().priorities().Higher(higher, lower)) {
-        out += "create rule priority " + higher + " before " + lower + ";\n";
-      }
-    }
-  }
+  SOPR_ASSIGN_OR_RETURN(std::string rules_sql, DumpRulesSql(engine));
+  out += rules_sql;
   return out;
 }
 

@@ -18,6 +18,16 @@ namespace sopr {
 /// (procedures, detached flags, reset policies) are not serializable.
 Result<std::string> DumpDatabase(Engine* engine);
 
+/// The schema section of a dump alone: `create table` + `create index`
+/// statements in catalog order. Reused by the WAL checkpoint writer,
+/// whose snapshots carry the schema logically (as SQL) but the data
+/// physically (as redo records, preserving tuple handles).
+Result<std::string> DumpSchemaSql(Engine* engine);
+
+/// The rule-catalog section of a dump alone: `create rule` definitions,
+/// `deactivate rule` for disabled rules, and priority statements.
+Result<std::string> DumpRulesSql(Engine* engine);
+
 /// Replays a dump into `engine`. Rules are created after the data is
 /// loaded, so loading does not trigger them (matching the state at dump
 /// time). The engine should be empty; name collisions fail cleanly.

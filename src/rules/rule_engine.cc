@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/digest.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "rules/transition_tables.h"
 #include "sql/parser.h"
+#include "wal/wal_writer.h"
 
 namespace sopr {
 
@@ -189,6 +191,7 @@ Status RuleEngine::Begin() {
   if (options_.verify_rollback_integrity) {
     txn_start_checksum_ = db_->Checksum();
   }
+  if (wal_ != nullptr) wal_->BeginTxn();
   pending_block_.Clear();
   log_.clear();
   txn_firings_ = 0;
@@ -209,7 +212,11 @@ Status RuleEngine::Begin() {
 }
 
 Status RuleEngine::AbortTransaction() {
+  // RollbackTo discards the buffered redo; AbortTxn drops the writer's
+  // transaction state. Nothing of an aborted transaction was ever written
+  // to the log, so there is no durable side to undo.
   Status undo = db_->RollbackTo(txn_start_mark_);
+  if (wal_ != nullptr) wal_->AbortTxn();
   bool was_in_txn = in_txn_;
   in_txn_ = false;
   pending_block_.Clear();
@@ -628,6 +635,17 @@ Status RuleEngine::Commit(ExecutionTrace* trace) {
       SOPR_RETURN_NOT_OK(AbortTransaction());
       return fault;
     }
+    if (wal_ != nullptr) {
+      // The durability point: the group-commit batch (BEGIN + every redo
+      // record of this transaction, rule-generated mutations included +
+      // COMMIT) reaches the log before the undo information is forgotten.
+      // If it cannot, the transaction never happened — roll back to S0.
+      Status durable = wal_->CommitTxn(db_->next_handle());
+      if (!durable.ok()) {
+        SOPR_RETURN_NOT_OK(AbortTransaction());
+        return durable;
+      }
+    }
     db_->CommitAll();
     in_txn_ = false;
   }
@@ -635,6 +653,32 @@ Status RuleEngine::Commit(ExecutionTrace* trace) {
     SOPR_RETURN_NOT_OK(RunDeferred(trace));
   }
   return Status::OK();
+}
+
+uint64_t RuleEngine::RuleSetChecksum() const {
+  // Domain-separation seeds mirror Database::Checksum's scheme.
+  constexpr uint64_t kRuleSeed = digest::kFnvOffset ^ 0x6969696969696969ull;
+  constexpr uint64_t kEdgeSeed = digest::kFnvOffset ^ 0x0f0f0f0f0f0f0f0full;
+  uint64_t sum = 0;
+  for (const auto& state : rules_) {
+    uint64_t h = digest::MixString(kRuleSeed, state->rule->name());
+    h = digest::MixString(h, state->rule->def().ToString());
+    h = digest::MixU64(h, state->enabled ? 1 : 0);
+    h = digest::MixU64(h, state->detached ? 1 : 0);
+    h = digest::MixU64(h, static_cast<uint64_t>(state->reset_policy));
+    sum += digest::Finalize(h);
+  }
+  std::vector<std::string> names = RuleNames();
+  for (const std::string& higher : names) {
+    for (const std::string& lower : names) {
+      if (priorities_.Higher(higher, lower)) {
+        uint64_t h = digest::MixString(kEdgeSeed, higher);
+        h = digest::MixString(h, lower);
+        sum += digest::Finalize(h);
+      }
+    }
+  }
+  return sum;
 }
 
 Result<ExecutionTrace> RuleEngine::ExecuteBlock(

@@ -14,8 +14,13 @@
 #include "rules/selection.h"
 #include "rules/trans_info.h"
 #include "storage/database.h"
+#include "wal/wal_options.h"
 
 namespace sopr {
+
+namespace wal {
+class WalWriter;
+}  // namespace wal
 
 /// How composite transition information is maintained across rules.
 enum class MaintenanceMode {
@@ -63,6 +68,18 @@ struct RuleEngineOptions {
   /// all indexes agree with their heaps. O(database) per transaction —
   /// meant for tests and chaos runs, not production hot paths.
   bool verify_rollback_integrity = false;
+  /// Directory holding the write-ahead log (empty = durability off, the
+  /// default: a purely in-memory engine). Use Engine::Open() to run
+  /// recovery and attach the log; the plain Engine constructor ignores
+  /// this field.
+  std::string wal_dir;
+  /// When the log is fsync'd (see WalFsyncPolicy). Overridable at run
+  /// time via SOPR_WAL_FSYNC=off|commit|always.
+  WalFsyncPolicy wal_fsync = WalFsyncPolicy::kCommit;
+  /// Write a snapshot checkpoint (bounding recovery replay and letting
+  /// the log truncate) after this many commits. 0 = only explicit
+  /// Engine::Checkpoint() calls.
+  uint64_t wal_checkpoint_interval = 0;
 };
 
 /// Footnote 8 of the paper: which point a rule's composite transition is
@@ -194,6 +211,18 @@ class RuleEngine {
   /// Total rule firings across all transactions (for benchmarks).
   uint64_t total_firings() const { return total_firings_; }
 
+  /// Attaches (or detaches, with nullptr) the write-ahead log. Begin /
+  /// Commit / Abort notify the writer so each rule transaction maps to
+  /// one durable group-commit batch; CommitTxn failure aborts the
+  /// transaction (no durability → no commit).
+  void set_wal(wal::WalWriter* wal) { wal_ = wal; }
+
+  /// Order-independent digest over the rule set: names, full definitions
+  /// (events, conditions, actions), activation state, detached flags,
+  /// reset policies, and priority edges. Combined with
+  /// Database::Checksum() by Engine::StateChecksum() to certify recovery.
+  uint64_t RuleSetChecksum() const;
+
  private:
   struct RuleState {
     std::shared_ptr<Rule> rule;
@@ -270,6 +299,7 @@ class RuleEngine {
 
   Database* db_;
   RuleEngineOptions options_;
+  wal::WalWriter* wal_ = nullptr;  // not owned; null when durability is off
   std::vector<std::unique_ptr<RuleState>> rules_;
   std::map<std::string, ProcedureFn> procedures_;
   PriorityGraph priorities_;

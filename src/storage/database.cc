@@ -1,7 +1,9 @@
 #include "storage/database.h"
 
 #include <cstring>
+#include <vector>
 
+#include "common/digest.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
 
@@ -41,10 +43,18 @@ Result<TupleHandle> Database::InsertRow(std::string_view table, Row row) {
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(row));
   TupleHandle handle = next_handle_++;
+  Row wal_image;
+  if (wal_ != nullptr) wal_image = row;  // after-image for the redo record
   SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(row)));
-  // A mutation that cannot be undo-logged must not stay applied: without
-  // the record, a later rollback could not remove it.
+  // A mutation that cannot be undo-logged (or redo-buffered) must not stay
+  // applied: without the records, rollback could not remove it, or a
+  // commit would silently lose it from the durable log.
+  UndoLog::Mark pos = undo_.mark();
   Status logged = undo_.RecordInsert(ToLower(table), handle);
+  if (logged.ok() && wal_ != nullptr) {
+    logged = wal_->RedoInsert(pos, ToLower(table), handle, wal_image);
+    if (!logged.ok()) undo_.TruncateTo(pos);  // drop the orphan undo record
+  }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
     SOPR_RETURN_NOT_OK(t->Erase(handle));
@@ -60,7 +70,12 @@ Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
   SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
   Row old_row = *row;
   SOPR_RETURN_NOT_OK(t->Erase(handle));
+  UndoLog::Mark pos = undo_.mark();
   Status logged = undo_.RecordDelete(ToLower(table), handle, old_row);
+  if (logged.ok() && wal_ != nullptr) {
+    logged = wal_->RedoDelete(pos, ToLower(table), handle, old_row);
+    if (!logged.ok()) undo_.TruncateTo(pos);  // drop the orphan undo record
+  }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
     SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(old_row)));
@@ -77,8 +92,15 @@ Status Database::UpdateRow(std::string_view table, TupleHandle handle,
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(new_row));
   SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
   Row old_row = *row;
+  Row wal_after;
+  if (wal_ != nullptr) wal_after = new_row;  // post-image for the redo record
   SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(new_row)));
+  UndoLog::Mark pos = undo_.mark();
   Status logged = undo_.RecordUpdate(ToLower(table), handle, old_row);
+  if (logged.ok() && wal_ != nullptr) {
+    logged = wal_->RedoUpdate(pos, ToLower(table), handle, old_row, wal_after);
+    if (!logged.ok()) undo_.TruncateTo(pos);  // drop the orphan undo record
+  }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
     SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(old_row)));
@@ -89,6 +111,9 @@ Status Database::UpdateRow(std::string_view table, TupleHandle handle,
 }
 
 Status Database::RollbackTo(UndoLog::Mark mark) {
+  // Undone mutations must never reach the durable log: drop their
+  // buffered redo records before touching the heap.
+  if (wal_ != nullptr) wal_->RedoDiscardAfter(mark);
   // Rollback replays the undo log through the same Table mutation code the
   // failpoints instrument; it must be infallible or a failed transaction
   // could land in a third state between "committed" and "S0".
@@ -116,81 +141,129 @@ Status Database::RollbackTo(UndoLog::Mark mark) {
 }
 
 // ---------------------------------------------------------------------------
+// Recovery-only redo application
+// ---------------------------------------------------------------------------
+
+Status Database::ApplyRedoInsert(std::string_view table, TupleHandle handle,
+                                 Row after) {
+  FailpointRegistry::SuppressScope no_failpoints;
+  SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  if (t->Contains(handle)) {
+    return Status::DataLoss("redo insert into " + std::string(table) +
+                            ": handle " + std::to_string(handle) +
+                            " already present");
+  }
+  SOPR_RETURN_NOT_OK(t->schema().CheckRow(after));
+  SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(after)));
+  BumpNextHandle(handle + 1);
+  return Status::OK();
+}
+
+Status Database::ApplyRedoDelete(std::string_view table, TupleHandle handle,
+                                 const Row& before) {
+  FailpointRegistry::SuppressScope no_failpoints;
+  SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  auto current = t->Get(handle);
+  if (!current.ok() || *current.value() != before) {
+    return Status::DataLoss("redo delete from " + std::string(table) +
+                            ": heap disagrees with logged before-image for "
+                            "handle " +
+                            std::to_string(handle));
+  }
+  SOPR_RETURN_NOT_OK(t->Erase(handle));
+  BumpNextHandle(handle + 1);
+  return Status::OK();
+}
+
+Status Database::ApplyRedoUpdate(std::string_view table, TupleHandle handle,
+                                 const Row& before, Row after) {
+  FailpointRegistry::SuppressScope no_failpoints;
+  SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  auto current = t->Get(handle);
+  if (!current.ok() || *current.value() != before) {
+    return Status::DataLoss("redo update in " + std::string(table) +
+                            ": heap disagrees with logged before-image for "
+                            "handle " +
+                            std::to_string(handle));
+  }
+  SOPR_RETURN_NOT_OK(t->schema().CheckRow(after));
+  SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(after)));
+  BumpNextHandle(handle + 1);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
 // Integrity: checksums and invariants
 // ---------------------------------------------------------------------------
 
 namespace {
 
-constexpr uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-uint64_t FnvMix(uint64_t h, const void* data, size_t len) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    h ^= bytes[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-uint64_t FnvMixU64(uint64_t h, uint64_t v) { return FnvMix(h, &v, sizeof(v)); }
-
 uint64_t HashValue(uint64_t h, const Value& v) {
   auto tag = static_cast<uint64_t>(v.type());
-  h = FnvMixU64(h, tag);
+  h = digest::MixU64(h, tag);
   switch (v.type()) {
     case ValueType::kNull:
       break;
     case ValueType::kBool:
-      h = FnvMixU64(h, v.AsBool() ? 1 : 0);
+      h = digest::MixU64(h, v.AsBool() ? 1 : 0);
       break;
     case ValueType::kInt:
-      h = FnvMixU64(h, static_cast<uint64_t>(v.AsInt()));
+      h = digest::MixU64(h, static_cast<uint64_t>(v.AsInt()));
       break;
     case ValueType::kDouble: {
       uint64_t bits = 0;
       double d = v.AsDouble();
       std::memcpy(&bits, &d, sizeof(bits));
-      h = FnvMixU64(h, bits);
+      h = digest::MixU64(h, bits);
       break;
     }
     case ValueType::kString:
-      h = FnvMix(h, v.AsString().data(), v.AsString().size());
+      h = digest::Mix(h, v.AsString().data(), v.AsString().size());
       break;
   }
   return h;
 }
 
-/// Final avalanche (splitmix64) so that summing per-entry hashes — the
-/// order-independent combiner — does not cancel structured differences.
-uint64_t Finalize(uint64_t h) {
-  h += 0x9e3779b97f4a7c15ull;
-  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
-  h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
-  return h ^ (h >> 31);
-}
+// Domain-separation seeds so a row, an index entry, and a schema entry
+// can never collide into the same per-entry hash.
+constexpr uint64_t kRowSeed = digest::kFnvOffset;
+constexpr uint64_t kIndexSeed = digest::kFnvOffset ^ 0xa5a5a5a5a5a5a5a5ull;
+constexpr uint64_t kSchemaSeed = digest::kFnvOffset ^ 0x3c3c3c3c3c3c3c3cull;
 
 }  // namespace
 
 uint64_t Database::Checksum() const {
   uint64_t sum = 0;
   for (const auto& [name, table] : tables_) {
+    // Catalog: table name, column names/types, and which columns carry an
+    // index — so a dropped column, a renamed table, or a lost index
+    // definition changes the checksum even when no rows exist.
+    {
+      uint64_t h = digest::MixString(kSchemaSeed, name);
+      for (const ColumnDef& col : table.schema().columns()) {
+        h = digest::MixString(h, ToLower(col.name));
+        h = digest::MixU64(h, static_cast<uint64_t>(col.type));
+      }
+      for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+        if (table.GetIndex(c) != nullptr) h = digest::MixU64(h, c);
+      }
+      sum += digest::Finalize(h);
+    }
     for (const auto& [handle, row] : table.rows()) {
-      uint64_t h = FnvMix(kFnvOffset, name.data(), name.size());
-      h = FnvMixU64(h, handle);
+      uint64_t h = digest::Mix(kRowSeed, name.data(), name.size());
+      h = digest::MixU64(h, handle);
       for (size_t c = 0; c < row.size(); ++c) h = HashValue(h, row.at(c));
-      sum += Finalize(h);
+      sum += digest::Finalize(h);
     }
     for (size_t c = 0; c < table.schema().num_columns(); ++c) {
       const ColumnIndex* index = table.GetIndex(c);
       if (index == nullptr) continue;
       index->ForEachEntry([&](const Value& key, TupleHandle handle) {
-        uint64_t h = FnvMix(kFnvOffset ^ 0xa5a5a5a5a5a5a5a5ull, name.data(),
-                            name.size());
-        h = FnvMixU64(h, c);
+        uint64_t h = digest::Mix(kIndexSeed, name.data(), name.size());
+        h = digest::MixU64(h, c);
         h = HashValue(h, key);
-        h = FnvMixU64(h, handle);
-        sum += Finalize(h);
+        h = digest::MixU64(h, handle);
+        sum += digest::Finalize(h);
       });
     }
   }
@@ -198,6 +271,25 @@ uint64_t Database::Checksum() const {
 }
 
 Status Database::CheckInvariants() const {
+  // Catalog ↔ heap agreement: the two views of "which tables exist" must
+  // be identical (recovery certifies with this after replaying DDL).
+  std::vector<std::string> names = catalog_.TableNames();
+  if (names.size() != tables_.size()) {
+    return Status::Internal(
+        "catalog lists " + std::to_string(names.size()) +
+        " tables but the heap holds " + std::to_string(tables_.size()));
+  }
+  for (const std::string& name : names) {
+    auto it = tables_.find(ToLower(name));
+    if (it == tables_.end()) {
+      return Status::Internal("catalog table " + name + " has no heap");
+    }
+    if (ToLower(it->second.schema().name()) != ToLower(name)) {
+      return Status::Internal("heap entry for " + name +
+                              " holds schema named " +
+                              it->second.schema().name());
+    }
+  }
   for (const auto& [name, table] : tables_) {
     for (size_t c = 0; c < table.schema().num_columns(); ++c) {
       const ColumnIndex* index = table.GetIndex(c);

@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "storage/redo_sink.h"
 #include "storage/table.h"
 #include "storage/tuple_handle.h"
 #include "storage/undo_log.h"
@@ -40,6 +41,32 @@ class Database {
 
   /// Number of handles ever allocated (monotonic, never reused).
   TupleHandle last_handle() const { return next_handle_ - 1; }
+  TupleHandle next_handle() const { return next_handle_; }
+
+  /// Attaches (or detaches, with nullptr) a redo sink. Once attached,
+  /// every applied mutation emits a physical redo record; a mutation whose
+  /// redo cannot be buffered is reverted and fails, exactly like one whose
+  /// undo cannot be logged.
+  void set_wal(RedoSink* wal) { wal_ = wal; }
+
+  /// --- Recovery-only redo application ---
+  /// Applies a logged mutation verbatim: failpoints suppressed, no undo or
+  /// redo emitted, before-images validated against the heap (a mismatch is
+  /// kDataLoss — the log and the recovered state have diverged), and
+  /// next_handle bumped past any handle seen.
+  Status ApplyRedoInsert(std::string_view table, TupleHandle handle,
+                         Row after);
+  Status ApplyRedoDelete(std::string_view table, TupleHandle handle,
+                         const Row& before);
+  Status ApplyRedoUpdate(std::string_view table, TupleHandle handle,
+                         const Row& before, Row after);
+
+  /// Ensures next_handle >= `h` (recovery restores the counter from
+  /// COMMIT / snapshot records so handles stay never-reused across
+  /// restarts).
+  void BumpNextHandle(TupleHandle h) {
+    if (h > next_handle_) next_handle_ = h;
+  }
 
   /// --- Transaction support ---
   /// Current undo-log position; rolling back to it undoes everything
@@ -63,21 +90,25 @@ class Database {
   void set_undo_budget(size_t records) { undo_.set_record_budget(records); }
   size_t undo_budget() const { return undo_.record_budget(); }
 
-  /// Order-independent digest over all table heaps and index contents.
-  /// Two databases with identical logical state (same tables, rows,
-  /// handles, and index entries) produce the same checksum; a heap/index
-  /// divergence or a lost/phantom row changes it. O(total rows).
+  /// Order-independent digest over the catalog (table names, column
+  /// names/types, index structure) and all table heaps and index
+  /// contents. Two databases with identical logical state produce the
+  /// same checksum; a schema difference, heap/index divergence, or a
+  /// lost/phantom row changes it. O(total rows). Recovery certifies a
+  /// restart by comparing this against the pre-crash committed value.
   uint64_t Checksum() const;
 
-  /// Verifies physical invariants: every indexed table's index agrees
-  /// exactly with its heap (each non-NULL key maps its handle; no stale
-  /// entries). Returns kInternal describing the first violation.
+  /// Verifies physical invariants: the catalog and the heap agree on the
+  /// set of tables, and every indexed table's index agrees exactly with
+  /// its heap (each non-NULL key maps its handle; no stale entries).
+  /// Returns kInternal describing the first violation.
   Status CheckInvariants() const;
 
  private:
   Catalog catalog_;
   std::map<std::string, Table> tables_;  // key: lowercased name
   UndoLog undo_;
+  RedoSink* wal_ = nullptr;  // not owned; null when durability is off
   TupleHandle next_handle_ = 1;
 };
 

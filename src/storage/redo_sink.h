@@ -1,0 +1,45 @@
+#ifndef SOPR_STORAGE_REDO_SINK_H_
+#define SOPR_STORAGE_REDO_SINK_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/tuple_handle.h"
+#include "storage/undo_log.h"
+#include "types/row.h"
+
+namespace sopr {
+
+/// Receiver for physical redo records, one per applied heap mutation.
+/// Implemented by the WAL writer; the storage layer depends only on this
+/// interface, never on the wal/ layer.
+///
+/// `pos` is the undo-log index of the mutation's own undo record
+/// (UndoLog::mark() before the mutation was logged). Redo records are
+/// buffered until commit, and Database::RollbackTo(mark) calls
+/// RedoDiscardAfter(mark) so that redo for undone mutations never reaches
+/// the log — the WAL only ever contains final committed state.
+///
+/// A failing Redo* call means the mutation cannot be made durable; the
+/// caller reverts it (heap + undo record) and surfaces the error, exactly
+/// as for a failed undo append.
+class RedoSink {
+ public:
+  virtual ~RedoSink() = default;
+
+  virtual Status RedoInsert(UndoLog::Mark pos, std::string_view table,
+                            TupleHandle handle, const Row& after) = 0;
+  virtual Status RedoDelete(UndoLog::Mark pos, std::string_view table,
+                            TupleHandle handle, const Row& before) = 0;
+  virtual Status RedoUpdate(UndoLog::Mark pos, std::string_view table,
+                            TupleHandle handle, const Row& before,
+                            const Row& after) = 0;
+
+  /// Drops buffered redo whose undo position is >= `mark` (infallible:
+  /// discarding in-memory state cannot fail).
+  virtual void RedoDiscardAfter(UndoLog::Mark mark) = 0;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_STORAGE_REDO_SINK_H_

@@ -1,0 +1,39 @@
+#ifndef SOPR_WAL_CHECKPOINT_H_
+#define SOPR_WAL_CHECKPOINT_H_
+
+#include "common/status.h"
+
+namespace sopr {
+
+class Engine;
+
+namespace wal {
+
+class WalWriter;
+
+/// Writes a snapshot checkpoint of the engine's full durable state and
+/// truncates the main log it covers, bounding recovery replay.
+///
+/// Snapshot layout (WAL record format, one file):
+///   SnapshotHeader(covers_lsn, next_handle)
+///   Ddl(schema script: create table / create index)
+///   Insert(table, handle, row) for every live tuple — PHYSICAL records,
+///     so tuple handles survive the round trip (a SQL re-insert would
+///     renumber them and change the state checksum)
+///   Ddl(rule script: create rule / deactivate rule / priorities)
+///
+/// Install sequence: write snapshot.tmp → fsync → rename over
+/// snapshot.wal → fsync dir → truncate wal.log. A crash at any point is
+/// safe: before the rename the old snapshot + full log still recover;
+/// after the rename the new snapshot covers everything the (not yet
+/// truncated) log holds, and `covers_lsn` makes the stale records
+/// no-ops. Recovery deletes a leftover snapshot.tmp.
+///
+/// Must be called between transactions. Snapshot record LSNs come from
+/// the writer's global sequence, so LSNs never reset.
+Status WriteCheckpoint(Engine* engine, WalWriter* wal);
+
+}  // namespace wal
+}  // namespace sopr
+
+#endif  // SOPR_WAL_CHECKPOINT_H_

@@ -1,0 +1,62 @@
+#include "wal/crc32c.h"
+
+namespace sopr {
+namespace wal {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int s = 1; s < 8; ++s) {
+        t[s][i] = (t[s - 1][i] >> 8) ^ t[0][t[s - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables* t = new Tables();
+  return *t;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len) {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Slice-by-8 over aligned-size middle; byte-at-a-time head and tail.
+  while (len >= 8) {
+    uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                         (static_cast<uint32_t>(p[1]) << 8) |
+                         (static_cast<uint32_t>(p[2]) << 16) |
+                         (static_cast<uint32_t>(p[3]) << 24));
+    crc = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+          tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+          tb.t[3][p[4]] ^ tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFF];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t len) {
+  return Crc32cExtend(0, data, len);
+}
+
+}  // namespace wal
+}  // namespace sopr

@@ -1,0 +1,27 @@
+#ifndef SOPR_WAL_CRC32C_H_
+#define SOPR_WAL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sopr {
+namespace wal {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+/// the checksum used by iSCSI, ext4, LevelDB/RocksDB log formats, and
+/// this engine's WAL records. Software slice-by-8 implementation; tables
+/// are generated on first use.
+uint32_t Crc32c(const void* data, size_t len);
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32c(s.data(), s.size());
+}
+
+/// Extends a running CRC (crc is the value returned by a previous call).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t len);
+
+}  // namespace wal
+}  // namespace sopr
+
+#endif  // SOPR_WAL_CRC32C_H_

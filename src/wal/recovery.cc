@@ -1,0 +1,215 @@
+#include "wal/recovery.h"
+
+#include <unistd.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/engine.h"
+#include "wal/wal_format.h"
+#include "wal/wal_writer.h"
+
+namespace sopr {
+namespace wal {
+
+namespace {
+
+/// Re-executes a logged DDL script. The engine has no WAL attached yet,
+/// so nothing is re-logged; rule definitions come back exactly as their
+/// original SQL rendered them.
+Status ReplayDdl(Engine* engine, const std::string& sql,
+                 RecoveryStats* stats) {
+  SOPR_FAILPOINT_RETURN("wal.recover.replay");
+  Status applied = engine->Execute(sql);
+  if (!applied.ok()) {
+    return Status::DataLoss("recovery: logged DDL failed to re-execute (" +
+                            applied.ToString() + "): " + sql);
+  }
+  ++stats->ddl_records;
+  return Status::OK();
+}
+
+Status ReplayMutation(Engine* engine, const WalRecord& rec,
+                      RecoveryStats* stats) {
+  SOPR_FAILPOINT_RETURN("wal.recover.replay");
+  Status applied = Status::OK();
+  switch (rec.type) {
+    case RecordType::kInsert:
+      applied = engine->db().ApplyRedoInsert(rec.table, rec.handle, rec.after);
+      break;
+    case RecordType::kDelete:
+      applied = engine->db().ApplyRedoDelete(rec.table, rec.handle,
+                                             rec.before);
+      break;
+    case RecordType::kUpdate:
+      applied = engine->db().ApplyRedoUpdate(rec.table, rec.handle,
+                                             rec.before, rec.after);
+      break;
+    default:
+      return Status::Internal("recovery: not a mutation record");
+  }
+  if (!applied.ok()) {
+    if (applied.code() == StatusCode::kDataLoss) return applied;
+    return Status::DataLoss("recovery: redo of lsn " +
+                            std::to_string(rec.lsn) +
+                            " failed: " + applied.ToString());
+  }
+  ++stats->replayed_records;
+  return Status::OK();
+}
+
+/// Loads the installed snapshot, if any. Snapshot layout:
+///   SnapshotHeader | Ddl(schema script) | Insert* | Ddl(rule script)
+/// written to a temp file and renamed into place, so any damage at all is
+/// kDataLoss — there is no legitimately torn snapshot.
+Status LoadSnapshot(const std::string& dir, Engine* engine,
+                    RecoveryStats* stats, uint64_t* covers_lsn,
+                    uint64_t* last_lsn) {
+  const std::string path = WalWriter::SnapshotPath(dir);
+  SOPR_ASSIGN_OR_RETURN(ScanResult scan, ScanLogFile(path));
+  if (scan.file_bytes == 0 && scan.records.empty()) return Status::OK();
+  if (scan.end != ScanEnd::kClean) {
+    return Status::DataLoss("snapshot " + path + " is damaged (" +
+                            scan.detail + "); snapshots install atomically, "
+                            "so this is corruption, not a torn write");
+  }
+  if (scan.records.empty() ||
+      scan.records[0].type != RecordType::kSnapshotHeader) {
+    return Status::DataLoss("snapshot " + path +
+                            " does not start with a snapshot header");
+  }
+  const WalRecord& header = scan.records[0];
+  for (size_t i = 1; i < scan.records.size(); ++i) {
+    const WalRecord& rec = scan.records[i];
+    switch (rec.type) {
+      case RecordType::kDdl:
+        SOPR_RETURN_NOT_OK(ReplayDdl(engine, rec.sql, stats));
+        break;
+      case RecordType::kInsert:
+        SOPR_RETURN_NOT_OK(ReplayMutation(engine, rec, stats));
+        break;
+      default:
+        return Status::DataLoss("snapshot " + path + ": unexpected " +
+                                RecordTypeName(rec.type) + " record");
+    }
+  }
+  engine->db().BumpNextHandle(header.next_handle);
+  *covers_lsn = header.covers_lsn;
+  *last_lsn = scan.records.back().lsn;
+  stats->snapshot_loaded = true;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RecoveryStats> RecoverDatabase(const std::string& dir,
+                                      Engine* engine) {
+  SOPR_FAILPOINT_RETURN("wal.recover.begin");
+  RecoveryStats stats;
+
+  // A leftover snapshot.tmp is an interrupted checkpoint that never
+  // installed; discard it so a later checkpoint starts clean.
+  ::unlink(WalWriter::SnapshotTmpPath(dir).c_str());
+
+  uint64_t covers_lsn = 0;
+  uint64_t last_lsn = 0;
+  SOPR_RETURN_NOT_OK(
+      LoadSnapshot(dir, engine, &stats, &covers_lsn, &last_lsn));
+
+  const std::string log_path = WalWriter::LogPath(dir);
+  SOPR_ASSIGN_OR_RETURN(ScanResult scan, ScanLogFile(log_path));
+  if (scan.end == ScanEnd::kCorrupt) {
+    // Valid-looking data follows the damage: committed history would be
+    // lost by truncating here. Hard error — never guess.
+    return Status::DataLoss("wal.log: " + scan.detail);
+  }
+  if (scan.end == ScanEnd::kTornTail) {
+    SOPR_FAILPOINT_RETURN("wal.recover.truncate");
+    if (::truncate(log_path.c_str(), static_cast<off_t>(scan.valid_bytes)) !=
+        0) {
+      return Status::IoError("recovery: cannot truncate torn tail of " +
+                             log_path);
+    }
+    stats.truncated_bytes = scan.file_bytes - scan.valid_bytes;
+  }
+
+  // Replay committed transactions in LSN order. Commit batches are
+  // written contiguously, so at most the final group can be unfinished —
+  // but recovery tolerates any interleaving as long as groups are
+  // well-formed.
+  std::map<uint64_t, std::vector<WalRecord>> open_txns;
+  uint64_t max_txn_id = 0;
+  for (WalRecord& rec : scan.records) {
+    if (rec.lsn > last_lsn) last_lsn = rec.lsn;
+    if (rec.txn_id > max_txn_id) max_txn_id = rec.txn_id;
+    if (rec.lsn <= covers_lsn) continue;  // baked into the snapshot
+    switch (rec.type) {
+      case RecordType::kBegin:
+        if (!open_txns.emplace(rec.txn_id, std::vector<WalRecord>()).second) {
+          return Status::DataLoss("wal.log: duplicate BEGIN for txn " +
+                                  std::to_string(rec.txn_id));
+        }
+        break;
+      case RecordType::kInsert:
+      case RecordType::kDelete:
+      case RecordType::kUpdate: {
+        auto it = open_txns.find(rec.txn_id);
+        if (it == open_txns.end()) {
+          return Status::DataLoss("wal.log: redo record at lsn " +
+                                  std::to_string(rec.lsn) +
+                                  " for unknown txn " +
+                                  std::to_string(rec.txn_id));
+        }
+        it->second.push_back(std::move(rec));
+        break;
+      }
+      case RecordType::kCommit: {
+        auto it = open_txns.find(rec.txn_id);
+        if (it == open_txns.end()) {
+          return Status::DataLoss("wal.log: COMMIT at lsn " +
+                                  std::to_string(rec.lsn) +
+                                  " for unknown txn " +
+                                  std::to_string(rec.txn_id));
+        }
+        for (const WalRecord& redo : it->second) {
+          SOPR_RETURN_NOT_OK(ReplayMutation(engine, redo, &stats));
+        }
+        engine->db().BumpNextHandle(rec.next_handle);
+        open_txns.erase(it);
+        ++stats.committed_txns;
+        break;
+      }
+      case RecordType::kAbort:
+        // Aborted transactions write nothing, but tolerate an explicit
+        // marker: drop the group unreplayed.
+        open_txns.erase(rec.txn_id);
+        break;
+      case RecordType::kDdl:
+        SOPR_RETURN_NOT_OK(ReplayDdl(engine, rec.sql, &stats));
+        break;
+      case RecordType::kSnapshotHeader:
+        return Status::DataLoss(
+            "wal.log: snapshot header in the main log at lsn " +
+            std::to_string(rec.lsn));
+    }
+  }
+  // Whatever is still open lost its COMMIT to the torn tail: those
+  // transactions never reached their durability point and are discarded.
+  stats.discarded_txns = open_txns.size();
+
+  // Certify the recovered state before anyone runs on it.
+  Status certified = engine->db().CheckInvariants();
+  if (!certified.ok()) {
+    return Status::DataLoss("recovery certification failed: " +
+                            certified.ToString());
+  }
+
+  stats.next_lsn = last_lsn + 1;
+  stats.next_txn_id = max_txn_id + 1;
+  return stats;
+}
+
+}  // namespace wal
+}  // namespace sopr

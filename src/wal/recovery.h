@@ -1,0 +1,58 @@
+#ifndef SOPR_WAL_RECOVERY_H_
+#define SOPR_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sopr {
+
+class Engine;
+
+namespace wal {
+
+/// What recovery found and did (surfaced for logging and tests).
+struct RecoveryStats {
+  uint64_t next_lsn = 1;     // continue the LSN sequence from here
+  uint64_t next_txn_id = 1;  // continue the transaction-id sequence
+  uint64_t committed_txns = 0;   // transaction groups replayed
+  uint64_t replayed_records = 0;  // physical redo records applied
+  uint64_t ddl_records = 0;       // logical DDL statements re-executed
+  uint64_t discarded_txns = 0;    // uncommitted (torn-tail) groups dropped
+  uint64_t truncated_bytes = 0;   // torn tail removed from wal.log
+  bool snapshot_loaded = false;
+};
+
+/// Rebuilds `engine`'s state (catalog, heaps, indexes, rule set) from the
+/// WAL directory: loads the snapshot if one is installed, then replays
+/// the main log's committed transactions in LSN order.
+///
+/// Contract (docs/DURABILITY.md):
+///   - `engine` must be empty and must NOT yet have a WAL attached —
+///     replay applies physical redo directly and re-executes DDL, and
+///     neither may be re-logged.
+///   - Rules are never re-fired: the log already contains every
+///     rule-generated mutation of each committed transaction.
+///   - A torn tail (an interrupted final write) is truncated off wal.log
+///     and its uncommitted group discarded. Damage anywhere BEFORE the
+///     tail — a checksum mismatch or structural error with more data
+///     after it — is kDataLoss: recovery refuses to guess and never
+///     silently truncates committed history. A damaged snapshot is
+///     always kDataLoss (snapshots are installed atomically; there is no
+///     legitimate torn state).
+///   - After replay the recovered state is certified with
+///     Database::CheckInvariants(); the crash harness additionally
+///     compares Engine::StateChecksum() against its committed-prefix
+///     oracle.
+///
+/// A missing directory or empty log recovers to an empty engine. The
+/// returned stats carry the LSN/txn-id watermarks the WalWriter must
+/// continue from.
+Result<RecoveryStats> RecoverDatabase(const std::string& dir,
+                                      Engine* engine);
+
+}  // namespace wal
+}  // namespace sopr
+
+#endif  // SOPR_WAL_RECOVERY_H_

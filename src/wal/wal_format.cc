@@ -1,0 +1,515 @@
+#include "wal/wal_format.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "wal/crc32c.h"
+
+namespace sopr {
+namespace wal {
+
+const char* RecordTypeName(RecordType type) {
+  switch (type) {
+    case RecordType::kBegin:
+      return "BEGIN";
+    case RecordType::kCommit:
+      return "COMMIT";
+    case RecordType::kAbort:
+      return "ABORT";
+    case RecordType::kInsert:
+      return "INSERT";
+    case RecordType::kDelete:
+      return "DELETE";
+    case RecordType::kUpdate:
+      return "UPDATE";
+    case RecordType::kDdl:
+      return "DDL";
+    case RecordType::kSnapshotHeader:
+      return "SNAPSHOT";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Primitive codec
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutValue(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      out->push_back(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutU64(out, static_cast<uint64_t>(v.AsInt()));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits = 0;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutU64(out, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutString(out, v.AsString());
+      break;
+  }
+}
+
+void PutRow(std::string* out, const Row& row) {
+  PutU32(out, static_cast<uint32_t>(row.size()));
+  for (size_t i = 0; i < row.size(); ++i) PutValue(out, row.at(i));
+}
+
+/// Bounds-checked sequential reader over a payload.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  Status GetU32(uint32_t* out) {
+    if (data_.size() - pos_ < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status GetU64(uint64_t* out) {
+    if (data_.size() - pos_ < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status GetU8(uint8_t* out) {
+    if (pos_ >= data_.size()) return Truncated("u8");
+    *out = static_cast<unsigned char>(data_[pos_++]);
+    return Status::OK();
+  }
+
+  Status GetString(std::string* out) {
+    uint32_t len = 0;
+    SOPR_RETURN_NOT_OK(GetU32(&len));
+    if (data_.size() - pos_ < len) return Truncated("string body");
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status GetValue(Value* out) {
+    uint8_t tag = 0;
+    SOPR_RETURN_NOT_OK(GetU8(&tag));
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        *out = Value::Null();
+        return Status::OK();
+      case ValueType::kBool: {
+        uint8_t b = 0;
+        SOPR_RETURN_NOT_OK(GetU8(&b));
+        *out = Value::Bool(b != 0);
+        return Status::OK();
+      }
+      case ValueType::kInt: {
+        uint64_t v = 0;
+        SOPR_RETURN_NOT_OK(GetU64(&v));
+        *out = Value::Int(static_cast<int64_t>(v));
+        return Status::OK();
+      }
+      case ValueType::kDouble: {
+        uint64_t bits = 0;
+        SOPR_RETURN_NOT_OK(GetU64(&bits));
+        double d = 0;
+        std::memcpy(&d, &bits, sizeof(d));
+        *out = Value::Double(d);
+        return Status::OK();
+      }
+      case ValueType::kString: {
+        std::string s;
+        SOPR_RETURN_NOT_OK(GetString(&s));
+        *out = Value::String(std::move(s));
+        return Status::OK();
+      }
+    }
+    return Status::DataLoss("wal record: unknown value tag " +
+                            std::to_string(tag));
+  }
+
+  Status GetRow(Row* out) {
+    uint32_t arity = 0;
+    SOPR_RETURN_NOT_OK(GetU32(&arity));
+    if (arity > data_.size() - pos_) {
+      // Each value costs at least one tag byte; an arity larger than the
+      // remaining bytes cannot be well-formed.
+      return Truncated("row arity");
+    }
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (uint32_t i = 0; i < arity; ++i) {
+      Value v;
+      SOPR_RETURN_NOT_OK(GetValue(&v));
+      values.push_back(std::move(v));
+    }
+    *out = Row(std::move(values));
+    return Status::OK();
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::DataLoss(std::string("wal record payload truncated (") +
+                            what + ")");
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Record constructors
+// ---------------------------------------------------------------------------
+
+WalRecord WalRecord::Begin(uint64_t lsn, uint64_t txn) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kBegin;
+  r.txn_id = txn;
+  return r;
+}
+
+WalRecord WalRecord::Commit(uint64_t lsn, uint64_t txn,
+                            uint64_t next_handle) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kCommit;
+  r.txn_id = txn;
+  r.next_handle = next_handle;
+  return r;
+}
+
+WalRecord WalRecord::Abort(uint64_t lsn, uint64_t txn) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kAbort;
+  r.txn_id = txn;
+  return r;
+}
+
+WalRecord WalRecord::Insert(uint64_t lsn, uint64_t txn, std::string table,
+                            TupleHandle handle, Row after) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kInsert;
+  r.txn_id = txn;
+  r.table = std::move(table);
+  r.handle = handle;
+  r.after = std::move(after);
+  return r;
+}
+
+WalRecord WalRecord::Delete(uint64_t lsn, uint64_t txn, std::string table,
+                            TupleHandle handle, Row before) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kDelete;
+  r.txn_id = txn;
+  r.table = std::move(table);
+  r.handle = handle;
+  r.before = std::move(before);
+  return r;
+}
+
+WalRecord WalRecord::Update(uint64_t lsn, uint64_t txn, std::string table,
+                            TupleHandle handle, Row before, Row after) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kUpdate;
+  r.txn_id = txn;
+  r.table = std::move(table);
+  r.handle = handle;
+  r.before = std::move(before);
+  r.after = std::move(after);
+  return r;
+}
+
+WalRecord WalRecord::Ddl(uint64_t lsn, std::string sql) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kDdl;
+  r.sql = std::move(sql);
+  return r;
+}
+
+WalRecord WalRecord::SnapshotHeader(uint64_t lsn, uint64_t covers_lsn,
+                                    uint64_t next_handle) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.type = RecordType::kSnapshotHeader;
+  r.covers_lsn = covers_lsn;
+  r.next_handle = next_handle;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+std::string EncodePayload(const WalRecord& rec) {
+  std::string out;
+  PutU64(&out, rec.lsn);
+  out.push_back(static_cast<char>(rec.type));
+  switch (rec.type) {
+    case RecordType::kBegin:
+    case RecordType::kAbort:
+      PutU64(&out, rec.txn_id);
+      break;
+    case RecordType::kCommit:
+      PutU64(&out, rec.txn_id);
+      PutU64(&out, rec.next_handle);
+      break;
+    case RecordType::kInsert:
+      PutU64(&out, rec.txn_id);
+      PutString(&out, rec.table);
+      PutU64(&out, rec.handle);
+      PutRow(&out, rec.after);
+      break;
+    case RecordType::kDelete:
+      PutU64(&out, rec.txn_id);
+      PutString(&out, rec.table);
+      PutU64(&out, rec.handle);
+      PutRow(&out, rec.before);
+      break;
+    case RecordType::kUpdate:
+      PutU64(&out, rec.txn_id);
+      PutString(&out, rec.table);
+      PutU64(&out, rec.handle);
+      PutRow(&out, rec.before);
+      PutRow(&out, rec.after);
+      break;
+    case RecordType::kDdl:
+      PutString(&out, rec.sql);
+      break;
+    case RecordType::kSnapshotHeader:
+      PutU64(&out, rec.covers_lsn);
+      PutU64(&out, rec.next_handle);
+      break;
+  }
+  return out;
+}
+
+Status DecodePayload(std::string_view payload, WalRecord* out) {
+  PayloadReader r(payload);
+  *out = WalRecord();
+  SOPR_RETURN_NOT_OK(r.GetU64(&out->lsn));
+  uint8_t type = 0;
+  SOPR_RETURN_NOT_OK(r.GetU8(&type));
+  if (type < static_cast<uint8_t>(RecordType::kBegin) ||
+      type > static_cast<uint8_t>(RecordType::kSnapshotHeader)) {
+    return Status::DataLoss("wal record: unknown type " +
+                            std::to_string(type));
+  }
+  out->type = static_cast<RecordType>(type);
+  switch (out->type) {
+    case RecordType::kBegin:
+    case RecordType::kAbort:
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->txn_id));
+      break;
+    case RecordType::kCommit:
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->txn_id));
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->next_handle));
+      break;
+    case RecordType::kInsert:
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->txn_id));
+      SOPR_RETURN_NOT_OK(r.GetString(&out->table));
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->handle));
+      SOPR_RETURN_NOT_OK(r.GetRow(&out->after));
+      break;
+    case RecordType::kDelete:
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->txn_id));
+      SOPR_RETURN_NOT_OK(r.GetString(&out->table));
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->handle));
+      SOPR_RETURN_NOT_OK(r.GetRow(&out->before));
+      break;
+    case RecordType::kUpdate:
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->txn_id));
+      SOPR_RETURN_NOT_OK(r.GetString(&out->table));
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->handle));
+      SOPR_RETURN_NOT_OK(r.GetRow(&out->before));
+      SOPR_RETURN_NOT_OK(r.GetRow(&out->after));
+      break;
+    case RecordType::kDdl:
+      SOPR_RETURN_NOT_OK(r.GetString(&out->sql));
+      break;
+    case RecordType::kSnapshotHeader:
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->covers_lsn));
+      SOPR_RETURN_NOT_OK(r.GetU64(&out->next_handle));
+      break;
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("wal record: trailing bytes after " +
+                            std::string(RecordTypeName(out->type)) +
+                            " body");
+  }
+  return Status::OK();
+}
+
+void AppendRecord(std::string* out, const WalRecord& rec) {
+  std::string payload = EncodePayload(rec);
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  PutU32(out, Crc32c(payload));
+  out->append(payload);
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+bool AllZero(std::string_view data) {
+  for (char c : data) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+std::string AtOffset(uint64_t off) {
+  return " at offset " + std::to_string(off);
+}
+
+}  // namespace
+
+ScanResult ScanLogImage(std::string_view data) {
+  ScanResult result;
+  result.file_bytes = data.size();
+  uint64_t off = 0;
+  uint64_t last_lsn = 0;
+  while (off < data.size()) {
+    const uint64_t remaining = data.size() - off;
+    if (remaining < kHeaderSize) {
+      result.end = ScanEnd::kTornTail;
+      result.detail = "partial record header" + AtOffset(off);
+      return result;
+    }
+    const uint32_t len = ReadU32(data.data() + off);
+    const uint32_t crc = ReadU32(data.data() + off + 4);
+    const uint64_t extent = off + kHeaderSize + len;
+    if (len < kMinPayload || len > kMaxPayload) {
+      // A zero-filled remainder is the signature of filesystem
+      // preallocation after a crash: a torn tail, not corruption.
+      if (len == 0 && crc == 0 && AllZero(data.substr(off))) {
+        result.end = ScanEnd::kTornTail;
+        result.detail = "zero-filled tail" + AtOffset(off);
+        return result;
+      }
+      if (extent >= data.size()) {
+        result.end = ScanEnd::kTornTail;
+        result.detail = "implausible record length " + std::to_string(len) +
+                        " reaching EOF" + AtOffset(off);
+        return result;
+      }
+      result.end = ScanEnd::kCorrupt;
+      result.detail = "implausible record length " + std::to_string(len) +
+                      " mid-log" + AtOffset(off);
+      return result;
+    }
+    if (extent > data.size()) {
+      result.end = ScanEnd::kTornTail;
+      result.detail = "record extends past EOF" + AtOffset(off);
+      return result;
+    }
+    std::string_view payload = data.substr(off + kHeaderSize, len);
+    if (Crc32c(payload) != crc) {
+      if (extent == data.size()) {
+        result.end = ScanEnd::kTornTail;
+        result.detail = "checksum mismatch on final record" + AtOffset(off);
+      } else {
+        result.end = ScanEnd::kCorrupt;
+        result.detail = "checksum mismatch mid-log" + AtOffset(off) + " (" +
+                        std::to_string(data.size() - extent) +
+                        " valid-looking bytes follow)";
+      }
+      return result;
+    }
+    WalRecord rec;
+    Status decoded = DecodePayload(payload, &rec);
+    if (!decoded.ok()) {
+      // The checksum passed, so these bytes are what was written: a
+      // structurally bad record is corruption (or a version skew), never
+      // a torn write.
+      result.end = ScanEnd::kCorrupt;
+      result.detail = decoded.message() + AtOffset(off);
+      return result;
+    }
+    if (rec.lsn <= last_lsn) {
+      result.end = ScanEnd::kCorrupt;
+      result.detail = "LSN regression (" + std::to_string(rec.lsn) +
+                      " after " + std::to_string(last_lsn) + ")" +
+                      AtOffset(off);
+      return result;
+    }
+    last_lsn = rec.lsn;
+    result.records.push_back(std::move(rec));
+    off = extent;
+    result.valid_bytes = off;
+  }
+  result.end = ScanEnd::kClean;
+  return result;
+}
+
+Result<ScanResult> ScanLogFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return ScanResult{};  // missing file: empty, clean
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::DataLoss("cannot read wal file " + path);
+  }
+  return ScanLogImage(buf.str());
+}
+
+}  // namespace wal
+}  // namespace sopr

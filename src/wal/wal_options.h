@@ -1,0 +1,19 @@
+#ifndef SOPR_WAL_WAL_OPTIONS_H_
+#define SOPR_WAL_WAL_OPTIONS_H_
+
+namespace sopr {
+
+/// When the WAL file is fsync'd. The durability point of a transaction is
+/// its COMMIT record reaching stable storage; with kOff the log survives
+/// a process crash (the page cache is intact) but not an OS crash or
+/// power loss. The tier-1 suite and the crash harness run with kOff
+/// (process kills only); production defaults to kCommit.
+enum class WalFsyncPolicy {
+  kOff,     // never fsync (fast mode; SOPR_WAL_FSYNC=off)
+  kCommit,  // one fsync per commit / DDL / checkpoint batch (group commit)
+  kAlways,  // fsync after every record write (paranoid)
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_WAL_WAL_OPTIONS_H_

@@ -1,0 +1,273 @@
+#include "wal/wal_writer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+namespace wal {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+/// Full-buffer pwrite loop (short writes retried).
+Status PWriteAll(int fd, const char* data, size_t len, uint64_t offset,
+                 const char* what) {
+  while (len > 0) {
+    ssize_t n = ::pwrite(fd, data, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno(what);
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+WalWriter::~WalWriter() { Close(); }
+
+std::string WalWriter::LogPath(const std::string& dir) {
+  return dir + "/wal.log";
+}
+std::string WalWriter::SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.wal";
+}
+std::string WalWriter::SnapshotTmpPath(const std::string& dir) {
+  return dir + "/snapshot.tmp";
+}
+
+Status WalWriter::Open(const std::string& dir, uint64_t next_lsn,
+                       uint64_t next_txn_id) {
+  if (fd_ >= 0) return Status::Internal("WalWriter::Open: already open");
+  dir_ = dir;
+  const std::string path = LogPath(dir);
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Errno("fstat " + path);
+    ::close(fd);
+    return s;
+  }
+  fd_ = fd;
+  durable_size_ = static_cast<uint64_t>(st.st_size);
+  next_lsn_ = next_lsn;
+  durable_lsn_ = next_lsn > 0 ? next_lsn - 1 : 0;
+  next_txn_id_ = next_txn_id;
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WalWriter::CheckUsable() const {
+  if (fd_ < 0) return Status::Internal("WalWriter: not open");
+  if (!poisoned_.ok()) return poisoned_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Transaction lifecycle + redo buffering
+// ---------------------------------------------------------------------------
+
+void WalWriter::BeginTxn() {
+  in_txn_ = true;
+  txn_id_ = next_txn_id_++;
+  buffer_.clear();
+}
+
+void WalWriter::AbortTxn() {
+  in_txn_ = false;
+  buffer_.clear();
+}
+
+Status WalWriter::BufferRedo(UndoLog::Mark pos, WalRecord rec) {
+  SOPR_RETURN_NOT_OK(CheckUsable());
+  if (!in_txn_) {
+    return Status::Internal("wal: redo for " + rec.table +
+                            " outside a transaction");
+  }
+  SOPR_FAILPOINT_RETURN("wal.append");
+  buffer_.push_back(Pending{pos, std::move(rec)});
+  return Status::OK();
+}
+
+Status WalWriter::RedoInsert(UndoLog::Mark pos, std::string_view table,
+                             TupleHandle handle, const Row& after) {
+  return BufferRedo(
+      pos, WalRecord::Insert(0, txn_id_, std::string(table), handle, after));
+}
+
+Status WalWriter::RedoDelete(UndoLog::Mark pos, std::string_view table,
+                             TupleHandle handle, const Row& before) {
+  return BufferRedo(
+      pos, WalRecord::Delete(0, txn_id_, std::string(table), handle, before));
+}
+
+Status WalWriter::RedoUpdate(UndoLog::Mark pos, std::string_view table,
+                             TupleHandle handle, const Row& before,
+                             const Row& after) {
+  return BufferRedo(pos, WalRecord::Update(0, txn_id_, std::string(table),
+                                           handle, before, after));
+}
+
+void WalWriter::RedoDiscardAfter(UndoLog::Mark mark) {
+  while (!buffer_.empty() && buffer_.back().pos >= mark) {
+    buffer_.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable writes
+// ---------------------------------------------------------------------------
+
+Status WalWriter::SyncSelf(const char* failpoint_site) {
+  SOPR_FAILPOINT_RETURN(failpoint_site);
+  if (policy_ == WalFsyncPolicy::kOff) return Status::OK();
+  Status injected = SOPR_FAILPOINT("wal.sync");
+  if (injected.ok() && ::fsync(fd_) == 0) return Status::OK();
+  // After a failed fsync the page-cache state is unknowable: the kernel
+  // may have dropped the dirty pages while the file still looks written.
+  // Poison the writer so no later commit claims durability it lacks.
+  poisoned_ = injected.ok() ? Errno("fsync wal.log") : injected;
+  return poisoned_;
+}
+
+Status WalWriter::WriteBatch(const std::string& batch, uint64_t last_lsn) {
+  SOPR_FAILPOINT_RETURN("wal.write");
+  // The batch is written in two halves with a failpoint between them, so
+  // the crash harness can interrupt a commit mid-write and recovery must
+  // see a torn tail. With the site unarmed the extra pwrite is noise.
+  const size_t half = batch.size() / 2;
+  Status s = PWriteAll(fd_, batch.data(), half, durable_size_, "write wal.log");
+  if (s.ok()) {
+    s = SOPR_FAILPOINT("wal.write.mid");
+  }
+  if (s.ok()) {
+    s = PWriteAll(fd_, batch.data() + half, batch.size() - half,
+                  durable_size_ + half, "write wal.log");
+  }
+  if (!s.ok()) {
+    // Scrub the torn garbage so later commits append to a clean log. If
+    // even that fails the file tail is unknowable — poison the writer.
+    FailpointRegistry::SuppressScope no_failpoints;
+    if (::ftruncate(fd_, static_cast<off_t>(durable_size_)) != 0) {
+      poisoned_ = Errno("ftruncate wal.log after failed write");
+    }
+    return s;
+  }
+  durable_size_ += batch.size();
+  durable_lsn_ = last_lsn;
+  return Status::OK();
+}
+
+Status WalWriter::CommitTxn(TupleHandle next_handle) {
+  if (!in_txn_) return Status::Internal("wal: commit outside a transaction");
+  SOPR_RETURN_NOT_OK(CheckUsable());
+  if (buffer_.empty()) {
+    // Read-only transaction: nothing to make durable. (Handles consumed
+    // by rolled-back inserts may be re-consumed after a crash; an aborted
+    // transaction's tuples exist nowhere durable, so this is
+    // unobservable.)
+    in_txn_ = false;
+    return Status::OK();
+  }
+  SOPR_FAILPOINT_RETURN("wal.commit.pre");
+  std::string batch;
+  uint64_t lsn = 0;
+  AppendRecord(&batch, WalRecord::Begin(lsn = AllocateLsn(), txn_id_));
+  for (Pending& p : buffer_) {
+    p.rec.lsn = lsn = AllocateLsn();
+    AppendRecord(&batch, p.rec);
+  }
+  AppendRecord(&batch,
+               WalRecord::Commit(lsn = AllocateLsn(), txn_id_, next_handle));
+  SOPR_RETURN_NOT_OK(WriteBatch(batch, lsn));
+  if (policy_ != WalFsyncPolicy::kOff) {
+    SOPR_RETURN_NOT_OK(SyncSelf("wal.commit.sync"));
+  } else {
+    SOPR_FAILPOINT_RETURN("wal.commit.sync");
+  }
+  buffer_.clear();
+  in_txn_ = false;
+  ++commits_since_checkpoint_;
+  return Status::OK();
+}
+
+Status WalWriter::AppendDdl(std::string_view sql) {
+  SOPR_RETURN_NOT_OK(CheckUsable());
+  if (!buffer_.empty()) {
+    return Status::Internal(
+        "wal: DDL with buffered DML (DDL must not run inside a rule "
+        "transaction)");
+  }
+  SOPR_FAILPOINT_RETURN("wal.ddl.append");
+  std::string batch;
+  const uint64_t lsn = AllocateLsn();
+  AppendRecord(&batch, WalRecord::Ddl(lsn, std::string(sql)));
+  SOPR_RETURN_NOT_OK(WriteBatch(batch, lsn));
+  if (policy_ != WalFsyncPolicy::kOff) {
+    SOPR_RETURN_NOT_OK(SyncSelf("wal.sync"));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::StartNewLog() {
+  SOPR_RETURN_NOT_OK(CheckUsable());
+  SOPR_FAILPOINT_RETURN("wal.checkpoint.truncate");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Errno("ftruncate wal.log");
+  }
+  durable_size_ = 0;
+  commits_since_checkpoint_ = 0;
+  if (policy_ != WalFsyncPolicy::kOff) {
+    SOPR_RETURN_NOT_OK(SyncSelf("wal.sync"));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Static sync helpers (checkpoint install)
+// ---------------------------------------------------------------------------
+
+Status WalWriter::SyncFile(const std::string& path, WalFsyncPolicy policy,
+                           const char* failpoint_site) {
+  SOPR_FAILPOINT_RETURN(failpoint_site);
+  if (policy == WalFsyncPolicy::kOff) return Status::OK();
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open " + path);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = Errno("fsync " + path);
+  ::close(fd);
+  return s;
+}
+
+Status WalWriter::SyncDir(const std::string& dir, WalFsyncPolicy policy) {
+  if (policy == WalFsyncPolicy::kOff) return Status::OK();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open dir " + dir);
+  Status s = Status::OK();
+  if (::fsync(fd) != 0) s = Errno("fsync dir " + dir);
+  ::close(fd);
+  return s;
+}
+
+}  // namespace wal
+}  // namespace sopr

@@ -1,0 +1,137 @@
+#ifndef SOPR_WAL_WAL_WRITER_H_
+#define SOPR_WAL_WAL_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/redo_sink.h"
+#include "wal/wal_format.h"
+#include "wal/wal_options.h"
+
+namespace sopr {
+namespace wal {
+
+/// Group-commit WAL writer. Redo records for the current transaction are
+/// buffered in memory and written as ONE contiguous BEGIN + redo* + COMMIT
+/// batch when the transaction commits; an aborted transaction writes
+/// nothing. Consequences:
+///   - the durable log never contains records of an uncommitted
+///     transaction except as a truncatable torn tail of the final batch;
+///   - partial rollback (RollbackTo a mid-transaction mark) simply drops
+///     the matching buffer suffix — undone work never reaches disk;
+///   - recovery replays committed transactions only and never re-fires
+///     rules: rule-generated mutations were logged like any other.
+///
+/// DDL records are logical (the statement's SQL text) and are written
+/// immediately — the engine executes DDL outside rule transactions.
+///
+/// After an fsync failure the writer poisons itself: every later append
+/// fails with the sticky error. Post-EIO page-cache state is unknowable,
+/// so pretending later syncs succeed would be a lie (the "fsync-gate"
+/// lesson). A failed batch *write* is recovered from instead: the torn
+/// tail is truncated back to the last durable size and the writer stays
+/// usable.
+class WalWriter : public RedoSink {
+ public:
+  explicit WalWriter(WalFsyncPolicy policy) : policy_(policy) {}
+  ~WalWriter() override;
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if absent) `dir`/wal.log for appending. `next_lsn`
+  /// and `next_txn_id` continue the sequences found by recovery; both are
+  /// 1 on a fresh directory. The existing file must already be scanned
+  /// and truncated clean by recovery — its current size is taken as the
+  /// durable watermark.
+  Status Open(const std::string& dir, uint64_t next_lsn,
+              uint64_t next_txn_id);
+  void Close();
+
+  /// --- Transaction lifecycle (driven by the rule engine) ---
+  void BeginTxn();
+  /// Drops all buffered redo. Nothing was written, so there is nothing to
+  /// undo on disk.
+  void AbortTxn();
+  /// Writes the buffered batch (BEGIN + redo* + COMMIT carrying
+  /// `next_handle`) and syncs per policy. A read-only transaction (empty
+  /// buffer) writes nothing. On error the transaction is NOT durable and
+  /// the caller must roll it back.
+  Status CommitTxn(TupleHandle next_handle);
+  bool in_txn() const { return in_txn_; }
+
+  /// --- RedoSink ---
+  Status RedoInsert(UndoLog::Mark pos, std::string_view table,
+                    TupleHandle handle, const Row& after) override;
+  Status RedoDelete(UndoLog::Mark pos, std::string_view table,
+                    TupleHandle handle, const Row& before) override;
+  Status RedoUpdate(UndoLog::Mark pos, std::string_view table,
+                    TupleHandle handle, const Row& before,
+                    const Row& after) override;
+  void RedoDiscardAfter(UndoLog::Mark mark) override;
+
+  /// Logs a DDL statement (schema or rule catalog change) and syncs per
+  /// policy. The statement has already been applied in memory; its
+  /// durability point is this call returning OK. Must not be called with
+  /// buffered DML (DDL never executes inside a rule transaction).
+  Status AppendDdl(std::string_view sql);
+
+  /// --- Checkpoint support ---
+  uint64_t AllocateLsn() { return next_lsn_++; }
+  uint64_t next_lsn() const { return next_lsn_; }
+  /// Last LSN actually durable in the main log (0 if none).
+  uint64_t durable_lsn() const { return durable_lsn_; }
+  uint64_t commits_since_checkpoint() const {
+    return commits_since_checkpoint_;
+  }
+  /// Truncates the main log to empty after a snapshot covering it has
+  /// been installed. LSNs keep counting — they never reset.
+  Status StartNewLog();
+
+  WalFsyncPolicy policy() const { return policy_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Syncs `path`'s bytes to stable storage per `policy` (no-op for
+  /// kOff). Exposed for the checkpoint writer.
+  static Status SyncFile(const std::string& path, WalFsyncPolicy policy,
+                         const char* failpoint_site);
+  static Status SyncDir(const std::string& dir, WalFsyncPolicy policy);
+
+  static std::string LogPath(const std::string& dir);
+  static std::string SnapshotPath(const std::string& dir);
+  static std::string SnapshotTmpPath(const std::string& dir);
+
+ private:
+  struct Pending {
+    UndoLog::Mark pos;  // undo-log index; RedoDiscardAfter key
+    WalRecord rec;      // lsn assigned at commit time
+  };
+
+  Status BufferRedo(UndoLog::Mark pos, WalRecord rec);
+  /// Writes `batch` at the durable watermark (split in two for the
+  /// wal.write.mid torn-write site) and advances the watermark. On a
+  /// partial write, truncates back to the watermark.
+  Status WriteBatch(const std::string& batch, uint64_t last_lsn);
+  Status SyncSelf(const char* failpoint_site);
+  Status CheckUsable() const;
+
+  WalFsyncPolicy policy_;
+  std::string dir_;
+  int fd_ = -1;
+  uint64_t durable_size_ = 0;  // bytes of wal.log known well-formed
+  uint64_t durable_lsn_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t next_txn_id_ = 1;
+  uint64_t commits_since_checkpoint_ = 0;
+  bool in_txn_ = false;
+  uint64_t txn_id_ = 0;
+  std::vector<Pending> buffer_;
+  Status poisoned_ = Status::OK();
+};
+
+}  // namespace wal
+}  // namespace sopr
+
+#endif  // SOPR_WAL_WAL_WRITER_H_

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "test_util.h"
 
@@ -107,6 +108,45 @@ TEST_F(FailpointTest, CatalogCoversInstrumentedLayers) {
   EXPECT_TRUE(has("rules.action.post"));
   EXPECT_TRUE(has("rules.deferred.dispatch"));
   EXPECT_TRUE(has("engine.execute.pre"));
+}
+
+TEST_F(FailpointTest, MalformedEnvSpecIsAHardStartupError) {
+  // A typo in SOPR_FAILPOINTS must not silently disable the requested
+  // fault injection: every engine entry point surfaces the parse error.
+  ASSERT_EQ(::setenv("SOPR_FAILPOINTS", "wal.write=warble", 1), 0);
+  registry().ResetEnvForTest();
+
+  Engine engine;
+  Status exec = engine.Execute("create table t (a int)");
+  EXPECT_EQ(exec.code(), StatusCode::kInvalidArgument) << exec;
+  EXPECT_NE(exec.message().find("SOPR_FAILPOINTS"), std::string::npos)
+      << exec;
+  EXPECT_EQ(engine.ExecuteBlock("insert into t values (1)").status().code(),
+            StatusCode::kInvalidArgument);
+
+  RuleEngineOptions options;
+  EXPECT_EQ(Engine::Open(options).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Site hits themselves stay usable (lazy arming ignores the status) —
+  // the error is surfaced at the entry points only.
+  EXPECT_OK(registry().Hit("no.such.site"));
+
+  ASSERT_EQ(::unsetenv("SOPR_FAILPOINTS"), 0);
+  registry().ResetEnvForTest();
+  EXPECT_OK(engine.Execute("create table t (a int)"));
+}
+
+TEST_F(FailpointTest, WellFormedEnvSpecArmsAtStartup) {
+  ASSERT_EQ(::setenv("SOPR_FAILPOINTS", "engine.execute.pre=once", 1), 0);
+  registry().ResetEnvForTest();
+  Engine engine;
+  ASSERT_OK(engine.Execute("create table t (a int)"));
+  EXPECT_EQ(engine.Execute("insert into t values (1)").code(),
+            StatusCode::kInjectedFault);
+  EXPECT_OK(engine.Execute("insert into t values (1)"));
+  ASSERT_EQ(::unsetenv("SOPR_FAILPOINTS"), 0);
+  registry().ResetEnvForTest();
 }
 
 TEST_F(FailpointTest, InjectedStorageFaultRollsBackTransaction) {

@@ -1,0 +1,294 @@
+// Crash-recovery harness: fork a child running a rule-heavy durable
+// workload, kill it (@Crash failpoints = _Exit at exact code sites),
+// restart on the same WAL directory, and require the recovered state to
+// equal a committed-prefix oracle bit for bit (Engine::StateChecksum).
+//
+// The oracle: the workload is deterministic, so replaying its first k
+// transactions into a fresh in-memory engine yields the exact state a
+// correct recovery must produce when k transactions had committed. Group
+// commit makes every crash land on a transaction boundary; a marker row
+// per transaction (committed_log) tells the harness which k it landed on.
+//
+// Runs with real fsyncs by default; the crash_recovery_fast_test ctest
+// entry sets SOPR_WAL_FSYNC=off (process kills cannot lose the page
+// cache, so the fast mode checks the same property).
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/engine.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+constexpr int kTxns = 12;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sopr_crash_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+RuleEngineOptions DurableOptions(const std::string& dir) {
+  RuleEngineOptions options;
+  options.wal_dir = dir;
+  options.wal_checkpoint_interval = 5;  // checkpoints happen mid-workload
+  return options;
+}
+
+const std::vector<std::string>& WorkloadDdl() {
+  static const std::vector<std::string>* ddl = new std::vector<std::string>{
+      "create table committed_log (seq int)",
+      "create table t (a int)",
+      "create table audit (n int)",
+      "create index on t (a)",
+      "create rule audit_rule when inserted into t "
+      "then insert into audit (select count(*) from inserted t)",
+  };
+  return *ddl;
+}
+
+/// Transaction i: marker row + rule-triggering inserts; every third one
+/// also updates and deletes so all three redo record types hit the log.
+Status RunTxn(Engine* engine, int i) {
+  std::string block =
+      "insert into committed_log values (" + std::to_string(i) + "); " +
+      "insert into t values (" + std::to_string(i) + "); " +
+      "insert into t values (" + std::to_string(i + 1000) + ")";
+  if (i % 3 == 2) {
+    block += "; update t set a = a + 10000 where a = " + std::to_string(i - 1);
+    block += "; delete from t where a = " + std::to_string(i + 999);
+  }
+  return engine->Execute(block);
+}
+
+/// Checksums a correct engine must land on: after each DDL prefix (a
+/// crash can interrupt setup) and after each committed transaction count.
+struct Oracle {
+  std::vector<uint64_t> ddl_prefix;  // [j] = first j DDL statements
+  std::vector<uint64_t> after_txn;   // [k] = full DDL + k transactions
+};
+
+const Oracle& GetOracle() {
+  static const Oracle* oracle = [] {
+    auto* o = new Oracle();
+    Engine engine;
+    o->ddl_prefix.push_back(engine.StateChecksum());
+    for (const std::string& ddl : WorkloadDdl()) {
+      Status s = engine.Execute(ddl);
+      if (!s.ok()) ADD_FAILURE() << "oracle DDL failed: " << s;
+      o->ddl_prefix.push_back(engine.StateChecksum());
+    }
+    o->after_txn.push_back(engine.StateChecksum());
+    // One extra transaction past the workload: the post-recovery firing
+    // check runs transaction k on the recovered engine.
+    for (int i = 0; i <= kTxns; ++i) {
+      Status s = RunTxn(&engine, i);
+      if (!s.ok()) ADD_FAILURE() << "oracle txn " << i << " failed: " << s;
+      o->after_txn.push_back(engine.StateChecksum());
+    }
+    return o;
+  }();
+  return *oracle;
+}
+
+/// Child body: arm one @Crash trigger, run the whole workload. Exit 0 =
+/// trigger never fired; kFailpointCrashExitCode = simulated power loss;
+/// 43 = real workload failure (a harness bug).
+[[noreturn]] void ChildWorkload(const std::string& dir,
+                                const std::string& site, uint64_t nth) {
+  FailpointRegistry::Trigger trigger;
+  trigger.mode = FailpointRegistry::Mode::kNth;
+  trigger.n = nth;
+  trigger.crash = true;
+  FailpointRegistry::Instance().Arm(site, trigger);
+
+  auto engine = Engine::Open(DurableOptions(dir));
+  if (!engine.ok()) std::_Exit(43);
+  for (const std::string& ddl : WorkloadDdl()) {
+    if (!engine.value()->Execute(ddl).ok()) std::_Exit(43);
+  }
+  for (int i = 0; i < kTxns; ++i) {
+    if (!RunTxn(engine.value().get(), i).ok()) std::_Exit(43);
+  }
+  std::_Exit(0);
+}
+
+/// Child body for crash-during-recovery: arm a @Crash on a wal.recover.*
+/// site and attempt a restart.
+[[noreturn]] void ChildRecover(const std::string& dir,
+                               const std::string& site, uint64_t nth) {
+  FailpointRegistry::Trigger trigger;
+  trigger.mode = FailpointRegistry::Mode::kNth;
+  trigger.n = nth;
+  trigger.crash = true;
+  FailpointRegistry::Instance().Arm(site, trigger);
+  auto engine = Engine::Open(DurableOptions(dir));
+  std::_Exit(engine.ok() ? 0 : 43);
+}
+
+/// Forks, runs `body` in the child, returns the child's exit code.
+template <typename Body>
+int ForkChild(Body body) {
+  ::pid_t pid = ::fork();
+  EXPECT_NE(pid, -1);
+  if (pid == 0) body();  // never returns
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "child killed by signal "
+                                 << (WIFSIGNALED(status) ? WTERMSIG(status)
+                                                         : 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Restarts on `dir` and certifies the recovered state against the
+/// oracle; then proves the recovered rule set is live by running the next
+/// workload transaction and checking the oracle again.
+void VerifyRecovered(const std::string& dir, bool child_completed,
+                     const std::string& context) {
+  SCOPED_TRACE(context);
+  const Oracle& oracle = GetOracle();
+
+  auto opened = Engine::Open(DurableOptions(dir));
+  ASSERT_TRUE(opened.ok()) << "recovery failed: " << opened.status();
+  std::unique_ptr<Engine> engine = std::move(opened).value();
+  EXPECT_OK(engine->CheckInvariants());
+  const uint64_t recovered = engine->StateChecksum();
+
+  if (engine->rules().num_rules() == 0) {
+    // Crash landed inside setup: some DDL prefix committed.
+    EXPECT_FALSE(child_completed);
+    EXPECT_NE(std::find(oracle.ddl_prefix.begin(), oracle.ddl_prefix.end(),
+                        recovered),
+              oracle.ddl_prefix.end())
+        << "recovered state matches no DDL prefix";
+    return;
+  }
+
+  Value count = QueryScalar(engine.get(),
+                            "select count(*) from committed_log");
+  const int k = static_cast<int>(count.AsInt());
+  ASSERT_GE(k, 0);
+  ASSERT_LE(k, kTxns);
+  if (child_completed) {
+    EXPECT_EQ(k, kTxns);
+  }
+  EXPECT_EQ(recovered, oracle.after_txn[k])
+      << "recovered state is not the committed prefix (k=" << k << ")";
+
+  // The recovered rules must fire on fresh transitions: running the next
+  // transaction lands exactly on the next oracle state (audit_rule's
+  // output is part of the checksum).
+  ASSERT_OK(RunTxn(engine.get(), k));
+  EXPECT_EQ(engine->StateChecksum(), oracle.after_txn[k + 1])
+      << "recovered rules did not fire correctly (k=" << k << ")";
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  void RunCrashPoint(const std::string& site, uint64_t nth) {
+    std::string dir = MakeTempDir();
+    int code = ForkChild([&] { ChildWorkload(dir, site, nth); });
+    ASSERT_TRUE(code == 0 || code == kFailpointCrashExitCode)
+        << site << " nth=" << nth << " exited " << code;
+    VerifyRecovered(dir, code == 0,
+                    site + " nth=" + std::to_string(nth));
+  }
+};
+
+TEST_F(CrashRecoveryTest, WorkloadWithoutCrashesIsTheOracle) {
+  // Baseline: an unarmed child completes and recovery lands on the full
+  // oracle (also proves the oracle itself is reachable).
+  RunCrashPoint("no.such.site", 1);
+}
+
+TEST_F(CrashRecoveryTest, EveryCatalogedWalSite) {
+  int attacked = 0;
+  for (const std::string& site : FailpointRegistry::KnownSites()) {
+    if (site.rfind("wal.", 0) != 0) continue;
+    ++attacked;
+    for (uint64_t nth : {uint64_t{1}, uint64_t{2}, uint64_t{7}}) {
+      RunCrashPoint(site, nth);
+      if (HasFatalFailure()) return;
+    }
+  }
+  // The catalog must actually contain the WAL layer.
+  EXPECT_GE(attacked, 15);
+}
+
+TEST_F(CrashRecoveryTest, CommitDurabilityPointSites) {
+  // Extra depth at the commit path: kills on both sides of the
+  // durability point across the whole workload.
+  for (const std::string& site :
+       {std::string("wal.commit.pre"), std::string("wal.commit.sync")}) {
+    for (uint64_t nth = 1; nth <= 12; nth += 2) {
+      RunCrashPoint(site, nth);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST_F(CrashRecoveryTest, SeededRandomKillPoints) {
+  // >= 50 reproducible random (site, hit-count) kill points over the
+  // frequently-hit write path. An nth past the last hit simply lets the
+  // child complete — still a valid oracle check.
+  const std::vector<std::string> sites = {
+      "wal.append",     "wal.write",       "wal.write.mid",
+      "wal.commit.pre", "wal.commit.sync", "wal.ddl.append",
+  };
+  std::mt19937 rng(0xC0FFEE);
+  for (int i = 0; i < 50; ++i) {
+    const std::string& site = sites[rng() % sites.size()];
+    const uint64_t nth = 1 + rng() % 45;
+    RunCrashPoint(site, nth);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(CrashRecoveryTest, CrashDuringRecoveryIsIdempotent) {
+  std::string dir = MakeTempDir();
+  // Crash mid-batch-write, leaving a genuinely torn tail on disk.
+  int code = ForkChild([&] { ChildWorkload(dir, "wal.write.mid", 8); });
+  ASSERT_EQ(code, kFailpointCrashExitCode);
+  // Crash again during the recovery that cleans it up: first at the
+  // torn-tail truncation, then mid-replay on the next attempt.
+  code = ForkChild([&] { ChildRecover(dir, "wal.recover.truncate", 1); });
+  ASSERT_EQ(code, kFailpointCrashExitCode);
+  code = ForkChild([&] { ChildRecover(dir, "wal.recover.replay", 3); });
+  ASSERT_EQ(code, kFailpointCrashExitCode);
+  // Recovery never writes anything it cannot re-derive, so the final
+  // attempt still lands on the oracle.
+  VerifyRecovered(dir, false, "after two crashed recoveries");
+}
+
+TEST_F(CrashRecoveryTest, CrashDuringCheckpointNeverLosesCommits) {
+  // Checkpoints run after commit (interval 5): a kill anywhere inside
+  // one must preserve every committed transaction, whether the snapshot
+  // installed or not.
+  for (const std::string& site :
+       {std::string("wal.checkpoint.write"), std::string("wal.checkpoint.sync"),
+        std::string("wal.checkpoint.install"),
+        std::string("wal.checkpoint.truncate")}) {
+    for (uint64_t nth : {uint64_t{1}, uint64_t{2}}) {
+      RunCrashPoint(site, nth);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/failpoint.h"
+#include "test_util.h"
+#include "types/value.h"
+#include "wal/crc32c.h"
+#include "wal/wal_format.h"
+#include "wal/wal_writer.h"
+
+namespace sopr {
+namespace wal {
+namespace {
+
+Row SampleRow() {
+  return Row({Value::String("Jane"), Value::Int(10), Value::Double(90000.0),
+              Value::Null(), Value::Bool(true)});
+}
+
+/// Fresh temp directory per test; never cleaned up on failure so the
+/// broken log can be inspected.
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sopr_wal_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, Crc32cKnownVectors) {
+  // The Castagnoli check value and friends (RFC 3720 appendix B.4).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0x00000000u);
+  EXPECT_EQ(Crc32c("a"), 0xC1D04330u);
+}
+
+TEST_F(WalTest, Crc32cExtendMatchesOneShot) {
+  const std::string data = "set-oriented production rules";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t partial = Crc32c(data.substr(0, split));
+    uint32_t extended =
+        Crc32cExtend(partial, data.data() + split, data.size() - split);
+    EXPECT_EQ(extended, Crc32c(data)) << "split at " << split;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Payload codec
+// ---------------------------------------------------------------------------
+
+void ExpectRoundtrip(const WalRecord& rec) {
+  WalRecord out;
+  ASSERT_OK(DecodePayload(EncodePayload(rec), &out));
+  EXPECT_EQ(out.lsn, rec.lsn);
+  EXPECT_EQ(out.type, rec.type);
+  EXPECT_EQ(out.txn_id, rec.txn_id);
+  EXPECT_EQ(out.next_handle, rec.next_handle);
+  EXPECT_EQ(out.covers_lsn, rec.covers_lsn);
+  EXPECT_EQ(out.table, rec.table);
+  EXPECT_EQ(out.handle, rec.handle);
+  EXPECT_TRUE(out.before == rec.before);
+  EXPECT_TRUE(out.after == rec.after);
+  EXPECT_EQ(out.sql, rec.sql);
+}
+
+TEST_F(WalTest, PayloadRoundtripEveryType) {
+  Row row = SampleRow();
+  Row other({Value::Int(-7)});
+  ExpectRoundtrip(WalRecord::Begin(1, 42));
+  ExpectRoundtrip(WalRecord::Commit(2, 42, 1000));
+  ExpectRoundtrip(WalRecord::Abort(3, 42));
+  ExpectRoundtrip(WalRecord::Insert(4, 42, "emp", 17, row));
+  ExpectRoundtrip(WalRecord::Delete(5, 42, "emp", 17, row));
+  ExpectRoundtrip(WalRecord::Update(6, 42, "emp", 17, row, other));
+  ExpectRoundtrip(WalRecord::Ddl(7, "create table emp (name string)"));
+  ExpectRoundtrip(WalRecord::SnapshotHeader(8, 6, 18));
+}
+
+TEST_F(WalTest, DecodeRejectsDamage) {
+  WalRecord out;
+  std::string payload = EncodePayload(WalRecord::Insert(4, 42, "emp", 17,
+                                                        SampleRow()));
+  // Truncation anywhere inside the body must fail, never read past end.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodePayload(payload.substr(0, len), &out).ok())
+        << "truncated to " << len;
+  }
+  // Trailing garbage is structural damage, not slack.
+  EXPECT_FALSE(DecodePayload(payload + "x", &out).ok());
+  // Unknown record type tag.
+  std::string bad_type = payload;
+  bad_type[8] = '\x7f';
+  EXPECT_FALSE(DecodePayload(bad_type, &out).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Scanner classification: torn tail (truncate) vs corruption (fatal)
+// ---------------------------------------------------------------------------
+
+std::string TwoRecordImage() {
+  std::string image;
+  AppendRecord(&image, WalRecord::Begin(1, 9));
+  AppendRecord(&image, WalRecord::Commit(2, 9, 5));
+  return image;
+}
+
+TEST_F(WalTest, ScanCleanLog) {
+  std::string image = TwoRecordImage();
+  ScanResult scan = ScanLogImage(image);
+  EXPECT_EQ(scan.end, ScanEnd::kClean);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].type, RecordType::kBegin);
+  EXPECT_EQ(scan.records[1].type, RecordType::kCommit);
+  EXPECT_EQ(scan.valid_bytes, image.size());
+}
+
+TEST_F(WalTest, ScanEmptyLogIsClean) {
+  ScanResult scan = ScanLogImage("");
+  EXPECT_EQ(scan.end, ScanEnd::kClean);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(WalTest, TruncationAnywhereInFinalRecordIsTorn) {
+  std::string full = TwoRecordImage();
+  std::string first;
+  AppendRecord(&first, WalRecord::Begin(1, 9));
+  // Every proper prefix that cuts into the second record — including a
+  // partial header — is the shape of an interrupted write.
+  for (size_t len = first.size() + 1; len < full.size(); ++len) {
+    ScanResult scan = ScanLogImage(std::string_view(full).substr(0, len));
+    EXPECT_EQ(scan.end, ScanEnd::kTornTail) << "cut at " << len;
+    EXPECT_EQ(scan.valid_bytes, first.size()) << "cut at " << len;
+    EXPECT_EQ(scan.records.size(), 1u) << "cut at " << len;
+  }
+}
+
+TEST_F(WalTest, FlippedBitInFinalRecordIsTorn) {
+  std::string image = TwoRecordImage();
+  image[image.size() - 1] ^= 0x01;  // payload byte of the last record
+  ScanResult scan = ScanLogImage(image);
+  EXPECT_EQ(scan.end, ScanEnd::kTornTail);
+  EXPECT_EQ(scan.records.size(), 1u);
+}
+
+TEST_F(WalTest, FlippedBitMidLogIsCorrupt) {
+  std::string image = TwoRecordImage();
+  image[kHeaderSize] ^= 0x01;  // first payload byte of the FIRST record
+  ScanResult scan = ScanLogImage(image);
+  EXPECT_EQ(scan.end, ScanEnd::kCorrupt);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(WalTest, ZeroFilledTailIsTorn) {
+  // Filesystems may extend a file with zero pages on crash; that is an
+  // interrupted append, not damage to committed history.
+  std::string image = TwoRecordImage();
+  size_t committed = image.size();
+  image.append(512, '\0');
+  ScanResult scan = ScanLogImage(image);
+  EXPECT_EQ(scan.end, ScanEnd::kTornTail);
+  EXPECT_EQ(scan.valid_bytes, committed);
+  EXPECT_EQ(scan.records.size(), 2u);
+}
+
+TEST_F(WalTest, ImplausibleLengthClassifiedByClaimedExtent) {
+  // Too-short length ending BEFORE EOF: valid-looking data follows the
+  // damage, so this is corruption, never truncatable.
+  std::string image = TwoRecordImage();
+  image[0] = '\x03';  // len = 3 < kMinPayload
+  image[1] = '\x00';
+  image[2] = '\x00';
+  image[3] = '\x00';
+  EXPECT_EQ(ScanLogImage(image).end, ScanEnd::kCorrupt);
+
+  // A huge length whose claimed extent reaches past EOF is the shape of
+  // an interrupted large-batch append: a torn tail.
+  std::string torn = TwoRecordImage();
+  std::string first;
+  AppendRecord(&first, WalRecord::Begin(1, 9));
+  torn[first.size() + 0] = '\xff';
+  torn[first.size() + 1] = '\xff';
+  torn[first.size() + 2] = '\xff';
+  torn[first.size() + 3] = '\x7f';
+  ScanResult scan = ScanLogImage(torn);
+  EXPECT_EQ(scan.end, ScanEnd::kTornTail);
+  EXPECT_EQ(scan.valid_bytes, first.size());
+}
+
+TEST_F(WalTest, LsnRegressionIsCorrupt) {
+  std::string image;
+  AppendRecord(&image, WalRecord::Begin(5, 9));
+  AppendRecord(&image, WalRecord::Commit(4, 9, 5));  // goes backwards
+  EXPECT_EQ(ScanLogImage(image).end, ScanEnd::kCorrupt);
+}
+
+TEST_F(WalTest, ScanMissingFileIsEmptyClean) {
+  ASSERT_OK_AND_ASSIGN(ScanResult scan,
+                       ScanLogFile("/tmp/sopr_wal_test_no_such_file"));
+  EXPECT_EQ(scan.end, ScanEnd::kClean);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_EQ(scan.file_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Writer: group commit, abort, partial rollback, failure recovery
+// ---------------------------------------------------------------------------
+
+TEST_F(WalTest, CommitWritesOneContiguousBatch) {
+  std::string dir = MakeTempDir();
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(dir, 1, 1));
+
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+  ASSERT_OK(writer.RedoUpdate(1, "emp", 1, SampleRow(), Row({Value::Int(1)})));
+  ASSERT_OK(writer.RedoDelete(2, "emp", 1, Row({Value::Int(1)})));
+  ASSERT_OK(writer.CommitTxn(2));
+
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, ScanLogFile(WalWriter::LogPath(dir)));
+  EXPECT_EQ(scan.end, ScanEnd::kClean);
+  ASSERT_EQ(scan.records.size(), 5u);
+  EXPECT_EQ(scan.records[0].type, RecordType::kBegin);
+  EXPECT_EQ(scan.records[1].type, RecordType::kInsert);
+  EXPECT_EQ(scan.records[2].type, RecordType::kUpdate);
+  EXPECT_EQ(scan.records[3].type, RecordType::kDelete);
+  EXPECT_EQ(scan.records[4].type, RecordType::kCommit);
+  EXPECT_EQ(scan.records[4].next_handle, 2u);
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    EXPECT_EQ(scan.records[i].lsn, i + 1);
+  }
+  EXPECT_EQ(writer.durable_lsn(), 5u);
+}
+
+TEST_F(WalTest, AbortAndReadOnlyCommitWriteNothing) {
+  std::string dir = MakeTempDir();
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(dir, 1, 1));
+
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+  writer.AbortTxn();
+
+  writer.BeginTxn();
+  ASSERT_OK(writer.CommitTxn(1));  // read-only: empty buffer
+
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, ScanLogFile(WalWriter::LogPath(dir)));
+  EXPECT_EQ(scan.file_bytes, 0u);
+  EXPECT_TRUE(scan.records.empty());
+}
+
+TEST_F(WalTest, RedoDiscardAfterDropsRolledBackSuffix) {
+  std::string dir = MakeTempDir();
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(dir, 1, 1));
+
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+  ASSERT_OK(writer.RedoInsert(1, "emp", 2, SampleRow()));
+  ASSERT_OK(writer.RedoInsert(2, "emp", 3, SampleRow()));
+  writer.RedoDiscardAfter(1);  // partial rollback to mark 1
+  ASSERT_OK(writer.CommitTxn(4));
+
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, ScanLogFile(WalWriter::LogPath(dir)));
+  ASSERT_EQ(scan.records.size(), 3u);  // BEGIN + surviving insert + COMMIT
+  EXPECT_EQ(scan.records[1].type, RecordType::kInsert);
+  EXPECT_EQ(scan.records[1].handle, 1u);
+}
+
+TEST_F(WalTest, FailedBatchWriteTruncatesAndWriterStaysUsable) {
+  std::string dir = MakeTempDir();
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(dir, 1, 1));
+
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+  ASSERT_OK(writer.CommitTxn(2));
+  ASSERT_OK_AND_ASSIGN(ScanResult before,
+                       ScanLogFile(WalWriter::LogPath(dir)));
+
+  // Injected failure between the two pwrite halves: the batch is torn on
+  // disk, then scrubbed back to the durable watermark.
+  FailpointRegistry::Trigger once;
+  once.mode = FailpointRegistry::Mode::kOnce;
+  FailpointRegistry::Instance().Arm("wal.write.mid", once);
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 2, SampleRow()));
+  EXPECT_FALSE(writer.CommitTxn(3).ok());
+  writer.AbortTxn();
+
+  ASSERT_OK_AND_ASSIGN(ScanResult after, ScanLogFile(WalWriter::LogPath(dir)));
+  EXPECT_EQ(after.end, ScanEnd::kClean);
+  EXPECT_EQ(after.file_bytes, before.file_bytes);
+
+  // The writer was not poisoned: the next commit succeeds.
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 2, SampleRow()));
+  ASSERT_OK(writer.CommitTxn(3));
+  ASSERT_OK_AND_ASSIGN(ScanResult final_scan,
+                       ScanLogFile(WalWriter::LogPath(dir)));
+  EXPECT_EQ(final_scan.end, ScanEnd::kClean);
+  EXPECT_EQ(final_scan.records.size(), 6u);
+}
+
+TEST_F(WalTest, FailedFsyncPoisonsWriter) {
+  std::string dir = MakeTempDir();
+  WalWriter writer(WalFsyncPolicy::kCommit);
+  ASSERT_OK(writer.Open(dir, 1, 1));
+
+  FailpointRegistry::Trigger once;
+  once.mode = FailpointRegistry::Mode::kOnce;
+  FailpointRegistry::Instance().Arm("wal.sync", once);
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+  EXPECT_FALSE(writer.CommitTxn(2).ok());
+  writer.AbortTxn();
+
+  // Post-fsync-failure page-cache state is unknowable; every later append
+  // must fail with the sticky error.
+  writer.BeginTxn();
+  EXPECT_FALSE(writer.RedoInsert(0, "emp", 2, SampleRow()).ok());
+  EXPECT_FALSE(writer.AppendDdl("create table t (x int)").ok());
+}
+
+TEST_F(WalTest, DdlAppendsImmediately) {
+  std::string dir = MakeTempDir();
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(dir, 1, 1));
+  ASSERT_OK(writer.AppendDdl("create table emp (name string)"));
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, ScanLogFile(WalWriter::LogPath(dir)));
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].type, RecordType::kDdl);
+  EXPECT_EQ(scan.records[0].sql, "create table emp (name string)");
+}
+
+TEST_F(WalTest, StartNewLogTruncatesAndLsnsKeepCounting) {
+  std::string dir = MakeTempDir();
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(dir, 1, 1));
+  ASSERT_OK(writer.AppendDdl("create table emp (name string)"));
+  uint64_t lsn_before = writer.next_lsn();
+  ASSERT_OK(writer.StartNewLog());
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, ScanLogFile(WalWriter::LogPath(dir)));
+  EXPECT_EQ(scan.file_bytes, 0u);
+  ASSERT_OK(writer.AppendDdl("create table dept (dept_no int)"));
+  ASSERT_OK_AND_ASSIGN(ScanResult scan2, ScanLogFile(WalWriter::LogPath(dir)));
+  ASSERT_EQ(scan2.records.size(), 1u);
+  EXPECT_GE(scan2.records[0].lsn, lsn_before);
+}
+
+TEST_F(WalTest, ReopenContinuesAtDurableWatermark) {
+  std::string dir = MakeTempDir();
+  uint64_t next_lsn = 0;
+  {
+    WalWriter writer(WalFsyncPolicy::kOff);
+    ASSERT_OK(writer.Open(dir, 1, 1));
+    writer.BeginTxn();
+    ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+    ASSERT_OK(writer.CommitTxn(2));
+    next_lsn = writer.next_lsn();
+  }
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(dir, next_lsn, 2));
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 2, SampleRow()));
+  ASSERT_OK(writer.CommitTxn(3));
+  ASSERT_OK_AND_ASSIGN(ScanResult scan, ScanLogFile(WalWriter::LogPath(dir)));
+  EXPECT_EQ(scan.end, ScanEnd::kClean);
+  ASSERT_EQ(scan.records.size(), 6u);
+  EXPECT_EQ(scan.records[3].txn_id, 2u);  // second transaction's BEGIN
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace sopr
