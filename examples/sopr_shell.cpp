@@ -18,10 +18,24 @@
 //    ...>   ; -- executes the block, fires rules, commits
 //
 // Build & run:  cmake --build build && ./build/examples/sopr_shell
+//
+// Concurrent driver mode: pass script files plus --jobs to run them as
+// parallel sessions against one shared engine (docs/CONCURRENCY.md):
+//
+//   ./build/examples/sopr_shell --wal /tmp/w --jobs 4 a.sql b.sql c.sql
+//
+// Each script becomes one session on its own thread; statements are
+// split on ';' and executed in order. A summary (commits/aborts per
+// session, throughput, group-commit cohort stats) prints at the end.
 
+#include <cctype>
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "engine/engine.h"
 #include "engine/explain.h"
@@ -29,6 +43,8 @@
 #include "query/result_set.h"
 #include "rules/analysis.h"
 #include "rules/trace_format.h"
+#include "server/session_manager.h"
+#include "wal/wal_writer.h"
 
 namespace {
 
@@ -177,18 +193,155 @@ void ExecuteSql(sopr::Engine& engine, const std::string& sql) {
   std::cout << trace.status().ToString() << "\n";
 }
 
+/// Splits a script into ';'-terminated statements (a trailing unterminated
+/// fragment is kept too). Comment lines starting with "--" are dropped.
+std::vector<std::string> SplitStatements(const std::string& script) {
+  std::string cleaned;
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 2, "--") == 0) {
+      continue;
+    }
+    cleaned += line;
+    cleaned += "\n";
+  }
+  std::vector<std::string> stmts;
+  size_t start = 0;
+  while (start < cleaned.size()) {
+    size_t semi = cleaned.find(';', start);
+    std::string piece = cleaned.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start);
+    size_t a = piece.find_first_not_of(" \t\n");
+    if (a != std::string::npos) {
+      stmts.push_back(piece.substr(a, piece.find_last_not_of(" \t\n") - a + 1));
+    }
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return stmts;
+}
+
+/// One worker: drives a session through its script, counting outcomes.
+struct DriverReport {
+  std::string script;
+  uint64_t commits = 0;
+  uint64_t rollbacks = 0;
+  uint64_t errors = 0;
+};
+
+void DriveScript(sopr::server::Session* session,
+                 const std::vector<std::string>* stmts, DriverReport* report) {
+  for (const std::string& stmt : *stmts) {
+    std::string head = stmt.substr(0, stmt.find_first_of(" \t\n"));
+    for (char& c : head) c = static_cast<char>(std::tolower(c));
+    if (head == "select") {
+      auto result = session->Query(stmt);
+      if (!result.ok()) ++report->errors;
+      continue;
+    }
+    sopr::Status s = session->Execute(stmt);
+    if (s.ok()) {
+      ++report->commits;
+    } else if (s.code() == sopr::StatusCode::kRolledBack) {
+      ++report->rollbacks;
+    } else {
+      ++report->errors;
+      std::ostringstream msg;
+      msg << "[" << report->script << "] " << s << "\n";
+      std::cerr << msg.str();
+    }
+  }
+}
+
+/// --jobs mode: each script file is a session on its own thread.
+int RunConcurrent(sopr::RuleEngineOptions options,
+                  const std::vector<std::string>& scripts, size_t jobs) {
+  auto opened = sopr::server::SessionManager::Open(std::move(options));
+  if (!opened.ok()) {
+    std::cerr << "cannot open engine: " << opened.status().ToString() << "\n";
+    return 1;
+  }
+  sopr::server::SessionManager& manager = *opened.value();
+
+  std::vector<std::vector<std::string>> stmt_lists;
+  std::vector<DriverReport> reports;
+  for (const std::string& path : scripts) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "cannot read script " << path << "\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    stmt_lists.push_back(SplitStatements(text.str()));
+    reports.push_back(DriverReport{path, 0, 0, 0});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  // Run at most `jobs` scripts at a time, each on its own session/thread.
+  for (size_t base = 0; base < scripts.size(); base += jobs) {
+    std::vector<std::thread> threads;
+    for (size_t i = base; i < scripts.size() && i < base + jobs; ++i) {
+      auto session = manager.CreateSession();
+      if (!session.ok()) {
+        std::cerr << session.status().ToString() << "\n";
+        return 1;
+      }
+      threads.emplace_back(DriveScript, session.value(), &stmt_lists[i],
+                           &reports[i]);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  uint64_t commits = 0, rollbacks = 0, errors = 0;
+  for (const DriverReport& r : reports) {
+    std::cout << r.script << ": " << r.commits << " committed, "
+              << r.rollbacks << " rolled back, " << r.errors << " errors\n";
+    commits += r.commits;
+    rollbacks += r.rollbacks;
+    errors += r.errors;
+  }
+  std::cout << "total: " << commits << " commits in " << secs << "s ("
+            << (secs > 0 ? static_cast<uint64_t>(commits / secs) : commits)
+            << " commits/sec, jobs=" << jobs << ")\n";
+  if (manager.engine().durable()) {
+    const sopr::wal::GroupCommitStats stats =
+        manager.engine().wal()->group_stats();
+    std::cout << "group commit: " << stats.batches << " batches in "
+              << stats.cohorts << " fsync cohorts (largest cohort "
+              << stats.largest_cohort << ")\n";
+  }
+  return errors == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   sopr::RuleEngineOptions options;
+  size_t jobs = 0;
+  std::vector<std::string> scripts;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--wal" && i + 1 < argc) {
       options.wal_dir = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<size_t>(std::stoul(argv[++i]));
+    } else if (!arg.empty() && arg[0] != '-') {
+      scripts.push_back(arg);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--wal DIR]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--wal DIR] [--jobs N script.sql...]\n";
       return 2;
     }
+  }
+  if (!scripts.empty()) {
+    return RunConcurrent(std::move(options), scripts,
+                         jobs == 0 ? scripts.size() : jobs);
   }
   // Open() runs crash recovery on --wal DIR (and surfaces malformed
   // SOPR_FAILPOINTS specs) before the prompt appears.

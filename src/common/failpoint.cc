@@ -37,6 +37,12 @@ const char* const kSiteCatalog[] = {
     // Facade (engine.cc).
     "engine.execute.pre",
     "engine.ddl.pre",
+    // Concurrent front-end (server/): `submit.pre` fires as a session's
+    // transaction enters the commit scheduler (before the single-writer
+    // critical section); `session.create` before a new session is
+    // admitted.
+    "server.submit.pre",
+    "server.session.create",
     // Write-ahead log (wal/wal_writer.cc). `wal.append` fires once per
     // record as a commit/DDL batch is encoded; `wal.write` before each
     // file write; `wal.write.mid` between the two halves of a batch write
@@ -50,6 +56,14 @@ const char* const kSiteCatalog[] = {
     "wal.commit.pre",
     "wal.commit.sync",
     "wal.ddl.append",
+    // Group-commit pipeline (wal/wal_writer.cc): `lead` fires when a
+    // thread takes cohort leadership (before the cohort's file write);
+    // `sync` at the cohort durability point just before the leader's
+    // single fsync. `wal.lock.acquire` fires before the wal-directory
+    // LOCK file is flocked (wal/dir_lock.cc).
+    "wal.group_commit.lead",
+    "wal.group_commit.sync",
+    "wal.lock.acquire",
     // Checkpointing (wal/checkpoint.cc): begin, snapshot write, snapshot
     // fsync, atomic install (rename), and post-install log truncation.
     "wal.checkpoint.begin",

@@ -10,6 +10,7 @@
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "wal/checkpoint.h"
+#include "wal/dir_lock.h"
 #include "wal/recovery.h"
 #include "wal/wal_writer.h"
 
@@ -71,6 +72,11 @@ Result<std::unique_ptr<Engine>> Engine::Open(RuleEngineOptions options) {
     return Status::IoError("mkdir " + options.wal_dir + ": " +
                            std::strerror(errno));
   }
+  // Take the single-writer directory lock before touching the log: a
+  // second engine (this process or another) on the same wal_dir would be
+  // silent log corruption. Held until the engine is destroyed.
+  SOPR_ASSIGN_OR_RETURN(engine->dir_lock_,
+                        wal::DirLock::Acquire(options.wal_dir));
   // Recovery runs before the writer attaches: replay must not re-log.
   SOPR_ASSIGN_OR_RETURN(wal::RecoveryStats stats,
                         wal::RecoverDatabase(options.wal_dir, engine.get()));
@@ -183,30 +189,36 @@ Status Engine::ExecuteDdl(const Stmt& stmt) {
   }
 }
 
+bool Engine::IsDdlStmt(const Stmt& stmt) { return IsDdl(stmt); }
+
+Status Engine::ExecuteDdlScript(std::vector<StmtPtr>& stmts) {
+  for (StmtPtr& stmt : stmts) {
+    if (!IsDdl(*stmt)) {
+      return Status::InvalidArgument(
+          "cannot mix DDL and DML in one script: " + stmt->ToString());
+    }
+    // Apply-then-log: the statement's durability point is the log
+    // append returning OK. Render the SQL first — defining a rule
+    // hands the AST over to the rule engine.
+    std::string sql_text = stmt->ToString();
+    if (stmt->kind == StmtKind::kCreateRule) {
+      std::shared_ptr<const CreateRuleStmt> def(
+          static_cast<const CreateRuleStmt*>(stmt.release()));
+      SOPR_RETURN_NOT_OK(rules_->DefineRule(std::move(def)));
+    } else {
+      SOPR_RETURN_NOT_OK(ExecuteDdl(*stmt));
+    }
+    SOPR_RETURN_NOT_OK(LogDdl(sql_text));
+  }
+  return Status::OK();
+}
+
 Status Engine::Execute(const std::string& sql) {
   SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
   SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
 
   if (IsDdl(*stmts[0])) {
-    for (StmtPtr& stmt : stmts) {
-      if (!IsDdl(*stmt)) {
-        return Status::InvalidArgument(
-            "cannot mix DDL and DML in one script: " + stmt->ToString());
-      }
-      // Apply-then-log: the statement's durability point is the log
-      // append returning OK. Render the SQL first — defining a rule
-      // hands the AST over to the rule engine.
-      std::string sql_text = stmt->ToString();
-      if (stmt->kind == StmtKind::kCreateRule) {
-        std::shared_ptr<const CreateRuleStmt> def(
-            static_cast<const CreateRuleStmt*>(stmt.release()));
-        SOPR_RETURN_NOT_OK(rules_->DefineRule(std::move(def)));
-      } else {
-        SOPR_RETURN_NOT_OK(ExecuteDdl(*stmt));
-      }
-      SOPR_RETURN_NOT_OK(LogDdl(sql_text));
-    }
-    return Status::OK();
+    return ExecuteDdlScript(stmts);
   }
 
   SOPR_ASSIGN_OR_RETURN(ExecutionTrace trace, ExecuteBlockParsed(stmts));
@@ -247,10 +259,32 @@ Result<QueryResult> Engine::Query(const std::string& sql) {
   if (stmt->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Query expects a select statement");
   }
+  return QueryParsed(static_cast<const SelectStmt&>(*stmt));
+}
+
+Result<QueryResult> Engine::QueryParsed(const SelectStmt& stmt) {
   DatabaseResolver resolver(db_.get());
   Executor executor(db_.get(), &resolver,
                     rules_->options().optimize_queries);
-  return executor.ExecuteSelect(static_cast<const SelectStmt&>(*stmt));
+  return executor.ExecuteSelect(stmt);
+}
+
+Result<ExecutionTrace> Engine::ExecuteStaged(
+    const std::vector<StmtPtr>& stmts,
+    std::shared_ptr<wal::CommitTicket>* ticket) {
+  *ticket = nullptr;
+  SOPR_FAILPOINT_RETURN("engine.execute.pre");
+  std::vector<const Stmt*> ops;
+  ops.reserve(stmts.size());
+  for (const StmtPtr& stmt : stmts) ops.push_back(stmt.get());
+  // No MaybeCheckpoint here: checkpointing needs the front-end's
+  // exclusive section AND a drained group queue — the scheduler owns it.
+  return rules_->ExecuteBlockStaged(ops, ticket);
+}
+
+Status Engine::AwaitDurable(const std::shared_ptr<wal::CommitTicket>& ticket) {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->AwaitDurable(ticket);
 }
 
 Status Engine::Run(const std::string& sql) {

@@ -14,7 +14,9 @@
 namespace sopr {
 
 namespace wal {
+class DirLock;
 class WalWriter;
+struct CommitTicket;
 }  // namespace wal
 
 /// Top-level facade: a single-user relational database with the paper's
@@ -84,6 +86,30 @@ class Engine {
   /// Convenience for tests/examples: number of rows currently in `table`.
   Result<size_t> TableSize(const std::string& table) const;
 
+  // --- Concurrent front-end support (src/server/, docs/CONCURRENCY.md).
+  // The Engine itself takes no locks: callers (the CommitScheduler) must
+  // serialize ExecuteStaged / ExecuteDdlScript / Checkpoint exclusively
+  // and may run QueryParsed concurrently under a shared lock.
+  /// True if `stmt` is DDL (schema or rule catalog change) — the routing
+  /// predicate sessions use to pick ExecuteDdlScript vs ExecuteStaged.
+  static bool IsDdlStmt(const Stmt& stmt);
+  /// Executes a parsed DML block as one transaction whose durable batch
+  /// is STAGED on the WAL's group-commit queue instead of synced inline.
+  /// *ticket receives the commit ticket (null when read-only or
+  /// in-memory); the caller must AwaitDurable it after leaving the
+  /// serialized section. Never checkpoints — the scheduler owns that.
+  Result<ExecutionTrace> ExecuteStaged(
+      const std::vector<StmtPtr>& stmts,
+      std::shared_ptr<wal::CommitTicket>* ticket);
+  /// Blocks until `ticket`'s group-commit cohort is durable (OK for null
+  /// tickets and in-memory engines). Safe from any thread.
+  Status AwaitDurable(const std::shared_ptr<wal::CommitTicket>& ticket);
+  /// Applies a parsed all-DDL script (apply-then-log, like Execute's DDL
+  /// path). Consumes create-rule statements from `stmts`.
+  Status ExecuteDdlScript(std::vector<StmtPtr>& stmts);
+  /// Runs an already-parsed select.
+  Result<QueryResult> QueryParsed(const SelectStmt& stmt);
+
   // --- Durability ---
   /// Takes ownership of an opened writer and routes redo/commit/DDL
   /// through it (used by Open(); exposed for tests that build the parts
@@ -115,7 +141,10 @@ class Engine {
 
   std::unique_ptr<Database> db_;
   std::unique_ptr<RuleEngine> rules_;
-  std::unique_ptr<wal::WalWriter> wal_;  // null = in-memory engine
+  // Declared before wal_ so the writer closes (draining staged commits)
+  // while the directory lock is still held.
+  std::unique_ptr<wal::DirLock> dir_lock_;  // null = in-memory engine
+  std::unique_ptr<wal::WalWriter> wal_;     // null = in-memory engine
 };
 
 }  // namespace sopr

@@ -628,6 +628,17 @@ Status RuleEngine::ProcessRules(ExecutionTrace* trace) {
 }
 
 Status RuleEngine::Commit(ExecutionTrace* trace) {
+  return CommitImpl(trace, nullptr);
+}
+
+Status RuleEngine::CommitStaged(ExecutionTrace* trace,
+                                std::shared_ptr<wal::CommitTicket>* staged) {
+  *staged = nullptr;
+  return CommitImpl(trace, staged);
+}
+
+Status RuleEngine::CommitImpl(ExecutionTrace* trace,
+                              std::shared_ptr<wal::CommitTicket>* staged) {
   SOPR_RETURN_NOT_OK(ProcessRules(trace));
   if (in_txn_) {
     Status fault = SOPR_FAILPOINT("rules.commit.pre");
@@ -640,10 +651,24 @@ Status RuleEngine::Commit(ExecutionTrace* trace) {
       // record of this transaction, rule-generated mutations included +
       // COMMIT) reaches the log before the undo information is forgotten.
       // If it cannot, the transaction never happened — roll back to S0.
-      Status durable = wal_->CommitTxn(db_->next_handle());
-      if (!durable.ok()) {
-        SOPR_RETURN_NOT_OK(AbortTransaction());
-        return durable;
+      // In staged mode the batch is only deposited on the group-commit
+      // queue here; the caller awaits durability outside the serialized
+      // commit section (a failure there is handled by the scheduler, not
+      // by rollback — later transactions may already have built on this
+      // one's state).
+      if (staged != nullptr) {
+        auto ticket = wal_->StageCommitTxn(db_->next_handle());
+        if (!ticket.ok()) {
+          SOPR_RETURN_NOT_OK(AbortTransaction());
+          return ticket.status();
+        }
+        *staged = std::move(ticket).value();
+      } else {
+        Status durable = wal_->CommitTxn(db_->next_handle());
+        if (!durable.ok()) {
+          SOPR_RETURN_NOT_OK(AbortTransaction());
+          return durable;
+        }
       }
     }
     db_->CommitAll();
@@ -683,6 +708,19 @@ uint64_t RuleEngine::RuleSetChecksum() const {
 
 Result<ExecutionTrace> RuleEngine::ExecuteBlock(
     const std::vector<const Stmt*>& ops) {
+  return ExecuteBlockImpl(ops, nullptr);
+}
+
+Result<ExecutionTrace> RuleEngine::ExecuteBlockStaged(
+    const std::vector<const Stmt*>& ops,
+    std::shared_ptr<wal::CommitTicket>* staged) {
+  *staged = nullptr;
+  return ExecuteBlockImpl(ops, staged);
+}
+
+Result<ExecutionTrace> RuleEngine::ExecuteBlockImpl(
+    const std::vector<const Stmt*>& ops,
+    std::shared_ptr<wal::CommitTicket>* staged) {
   SOPR_RETURN_NOT_OK(Begin());
   ExecutionTrace trace;
   // `process rules` markers (§5.3) split the script into segments, each
@@ -699,7 +737,7 @@ Result<ExecutionTrace> RuleEngine::ExecuteBlock(
     segment.push_back(op);
   }
   SOPR_RETURN_NOT_OK(RunOps(segment, &trace));
-  SOPR_RETURN_NOT_OK(Commit(&trace));
+  SOPR_RETURN_NOT_OK(CommitImpl(&trace, staged));
   return trace;
 }
 

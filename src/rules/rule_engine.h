@@ -20,6 +20,7 @@ namespace sopr {
 
 namespace wal {
 class WalWriter;
+struct CommitTicket;
 }  // namespace wal
 
 /// How composite transition information is maintained across rules.
@@ -204,6 +205,21 @@ class RuleEngine {
   Status ProcessRules(ExecutionTrace* trace);
   /// Processes rules, then commits.
   Status Commit(ExecutionTrace* trace);
+  /// Two-phase commit for the concurrent front-end (src/server/):
+  /// processes rules and commits in memory, but only STAGES the durable
+  /// batch on the WAL's group-commit queue. *staged receives the commit
+  /// ticket (null for a read-only transaction or an in-memory engine);
+  /// the caller must pass it to WalWriter::AwaitDurable AFTER leaving the
+  /// serialized commit section — until the ticket resolves the
+  /// transaction is committed in memory but not durable. Detached actions
+  /// triggered by the transaction still commit inline, each as its own
+  /// transaction.
+  Status CommitStaged(ExecutionTrace* trace,
+                      std::shared_ptr<wal::CommitTicket>* staged);
+  /// ExecuteBlock with the final commit staged instead of synced inline.
+  Result<ExecutionTrace> ExecuteBlockStaged(
+      const std::vector<const Stmt*>& ops,
+      std::shared_ptr<wal::CommitTicket>* staged);
   /// Aborts the transaction, undoing everything since Begin.
   Status RollbackTransaction();
   bool in_transaction() const { return in_txn_; }
@@ -287,6 +303,15 @@ class RuleEngine {
   /// rolled back (retry material unless the cascade guard tripped).
   Status RunDeferredOnce(RuleState* state, const TransInfo& info,
                          ExecutionTrace* trace);
+
+  /// Shared body of Commit and CommitStaged: `staged` selects whether the
+  /// WAL batch is synced inline (nullptr) or deposited on the
+  /// group-commit queue.
+  Status CommitImpl(ExecutionTrace* trace,
+                    std::shared_ptr<wal::CommitTicket>* staged);
+  Result<ExecutionTrace> ExecuteBlockImpl(
+      const std::vector<const Stmt*>& ops,
+      std::shared_ptr<wal::CommitTicket>* staged);
 
   Status AbortTransaction();
 

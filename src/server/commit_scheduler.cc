@@ -1,0 +1,121 @@
+#include "server/commit_scheduler.h"
+
+#include "common/failpoint.h"
+#include "wal/wal_writer.h"
+
+namespace sopr {
+namespace server {
+
+Status CommitScheduler::CheckFatal() const {
+  std::lock_guard<std::mutex> lock(fatal_mu_);
+  return fatal_;
+}
+
+Status CommitScheduler::fatal() const { return CheckFatal(); }
+
+void CommitScheduler::RecordFatal(const Status& failure) {
+  std::lock_guard<std::mutex> lock(fatal_mu_);
+  if (!fatal_.ok()) return;  // keep the first failure
+  fatal_ = Status(failure.code(),
+                  "server halted after a lost commit durability point "
+                  "(restart to recover to the durable prefix): " +
+                      failure.message());
+}
+
+Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
+    const std::vector<StmtPtr>& stmts, CommitReceipt* receipt) {
+  SOPR_FAILPOINT_RETURN("server.submit.pre");
+  SOPR_RETURN_NOT_OK(CheckFatal());
+
+  std::shared_ptr<wal::CommitTicket> ticket;
+  CommitReceipt local;
+  Result<ExecutionTrace> trace = [&]() -> Result<ExecutionTrace> {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    // Re-check under the lock: a concurrent writer may have gone fatal
+    // while this transaction queued for admission.
+    SOPR_RETURN_NOT_OK(CheckFatal());
+    local.first_handle = engine_->db().next_handle();
+    return engine_->ExecuteStaged(stmts, &ticket);
+  }();
+  if (!trace.ok()) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    return trace;
+  }
+
+  // Durability wait with NO lock held: the next transaction's apply phase
+  // overlaps this fsync, and the WAL's cohort leader syncs once for every
+  // batch staged meanwhile.
+  Status durable = engine_->AwaitDurable(ticket);
+  if (!durable.ok()) {
+    // Committed in memory, not durable, no per-transaction undo possible
+    // (see class comment): the whole server stops accepting writes.
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+    RecordFatal(durable);
+    return durable;
+  }
+  // A rolled-back transaction (a rule's rollback action fired) returns
+  // an OK trace but committed nothing.
+  if (trace.value().rolled_back) {
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (receipt != nullptr) {
+    local.commit_lsn = ticket != nullptr ? ticket->last_lsn : 0;
+    *receipt = local;
+  }
+  SOPR_RETURN_NOT_OK(MaybeCheckpoint());
+  return trace;
+}
+
+Status CommitScheduler::ExecuteDdl(std::vector<StmtPtr> stmts) {
+  SOPR_FAILPOINT_RETURN("server.submit.pre");
+  SOPR_RETURN_NOT_OK(CheckFatal());
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  SOPR_RETURN_NOT_OK(CheckFatal());
+  // AppendDdl flushes the group queue itself; no staged batch can be
+  // added meanwhile because staging happens under this exclusive lock.
+  return engine_->ExecuteDdlScript(stmts);
+}
+
+Result<QueryResult> CommitScheduler::Query(const SelectStmt& stmt) {
+  // Reads stay available even after a fatal durability failure: the
+  // in-memory state is intact, only its durable tail is gone.
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return engine_->QueryParsed(stmt);
+}
+
+Status CommitScheduler::WithExclusive(const std::function<Status()>& fn) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  return fn();
+}
+
+Status CommitScheduler::MaybeCheckpoint() {
+  if (!engine_->durable()) return Status::OK();
+  const uint64_t interval =
+      engine_->rules().options().wal_checkpoint_interval;
+  if (interval == 0) return Status::OK();
+  // Cheap pre-check without the exclusive lock; the vast majority of
+  // commits are nowhere near the interval.
+  if (engine_->wal()->commits_since_checkpoint() < interval) {
+    return Status::OK();
+  }
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  // Re-check under the lock: a concurrent committer may have already
+  // taken the checkpoint this interval asked for.
+  if (engine_->wal()->commits_since_checkpoint() < interval) {
+    return Status::OK();
+  }
+  Status ok = engine_->Checkpoint();
+  if (!ok.ok()) {
+    // The triggering transaction COMMITTED; only the snapshot failed.
+    return Status(ok.code(),
+                  "post-commit checkpoint failed (the transaction itself "
+                  "is durable): " +
+                      ok.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace sopr

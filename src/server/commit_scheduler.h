@@ -1,0 +1,109 @@
+#ifndef SOPR_SERVER_COMMIT_SCHEDULER_H_
+#define SOPR_SERVER_COMMIT_SCHEDULER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace sopr {
+namespace server {
+
+/// Receipt a session gets back for a committed block.
+struct CommitReceipt {
+  /// LSN of the batch's COMMIT record; 0 for a read-only block or an
+  /// in-memory engine.
+  uint64_t commit_lsn = 0;
+  /// db.next_handle() when the transaction entered the critical section
+  /// (before any of its statements ran). Lets a serial-replay oracle
+  /// reproduce handle assignment exactly — handles consumed by aborted
+  /// transactions in between are skipped by bumping to this value.
+  uint64_t first_handle = 0;
+};
+
+/// The ticketed serial executor in front of the shared Engine
+/// (docs/CONCURRENCY.md). Transactions are admitted through a
+/// single-writer critical section:
+///
+///   parse (caller's thread, no lock)
+///     -> exclusive: apply block + rule fixpoint + stage WAL batch
+///     -> no lock:   await group-commit durability
+///
+/// The exclusive section ends at StageCommitTxn, so the next
+/// transaction's apply phase overlaps this one's fsync — that overlap is
+/// what lets the WAL's cohort leader batch several commits into one
+/// fsync. Read-only queries run under the shared side of the lock,
+/// concurrent with each other.
+///
+/// §4 semantics are preserved exactly: each transaction's operation
+/// block and its rule processing to quiescence run back-to-back inside
+/// the exclusive section, so every rule fixpoint sees precisely the
+/// serialized state its transition built on (Figure 1 per transaction,
+/// transactions totally ordered).
+///
+/// Failure domain: if AwaitDurable fails, the transaction is already
+/// committed in memory and later transactions may have built on it, so
+/// there is no per-transaction undo. The scheduler records the failure
+/// as FATAL: every later write is refused with the sticky status (reads
+/// still work — in-memory state is intact). Restarting the engine
+/// recovers to the durable prefix.
+class CommitScheduler {
+ public:
+  explicit CommitScheduler(Engine* engine) : engine_(engine) {}
+  CommitScheduler(const CommitScheduler&) = delete;
+  CommitScheduler& operator=(const CommitScheduler&) = delete;
+
+  /// One DML operation block = one transaction (parse upstream). Blocks
+  /// until the transaction is durable per the engine's fsync policy.
+  Result<ExecutionTrace> ExecuteBlock(const std::vector<StmtPtr>& stmts,
+                                      CommitReceipt* receipt = nullptr);
+
+  /// An all-DDL script, applied and logged under the exclusive lock
+  /// (drains the group-commit queue so records stay in LSN order).
+  Status ExecuteDdl(std::vector<StmtPtr> stmts);
+
+  /// Read-only select under the shared lock (concurrent with other
+  /// queries, serialized against the apply phase).
+  Result<QueryResult> Query(const SelectStmt& stmt);
+
+  /// Runs `fn` with the exclusive lock held (maintenance wall between
+  /// transactions — explicit checkpoints etc.).
+  Status WithExclusive(const std::function<Status()>& fn);
+
+  /// Sticky fatal status (OK while the server accepts writes).
+  Status fatal() const;
+
+  uint64_t committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborted() const { return aborted_.load(std::memory_order_relaxed); }
+
+  Engine* engine() { return engine_; }
+
+ private:
+  Status CheckFatal() const;
+  void RecordFatal(const Status& failure);
+  /// Checkpoints under the exclusive lock when the configured commit
+  /// interval has accumulated (the scheduler-side MaybeCheckpoint).
+  Status MaybeCheckpoint();
+
+  Engine* engine_;
+  /// Writers exclusive, readers shared. Never held across fsync: the
+  /// durability wait happens after release.
+  std::shared_mutex state_mu_;
+  mutable std::mutex fatal_mu_;
+  Status fatal_;
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+};
+
+}  // namespace server
+}  // namespace sopr
+
+#endif  // SOPR_SERVER_COMMIT_SCHEDULER_H_

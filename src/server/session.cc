@@ -1,0 +1,75 @@
+#include "server/session.h"
+
+#include "common/failpoint.h"
+#include "server/session_manager.h"
+#include "sql/parser.h"
+
+namespace sopr {
+namespace server {
+
+CommitScheduler& Session::scheduler() { return manager_->scheduler(); }
+
+Status Session::Execute(const std::string& sql) {
+  // Parsing happens here, on the session's thread, with no engine lock
+  // held — the concurrent half of the parse/plan-then-serialize pipeline.
+  SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
+  SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
+  if (Engine::IsDdlStmt(*stmts[0])) {
+    return scheduler().ExecuteDdl(std::move(stmts));
+  }
+  for (const StmtPtr& stmt : stmts) {
+    if (Engine::IsDdlStmt(*stmt)) {
+      return Status::InvalidArgument(
+          "cannot mix DDL and DML in one script: " + stmt->ToString());
+    }
+  }
+  CommitReceipt receipt;
+  auto trace = scheduler().ExecuteBlock(stmts, &receipt);
+  if (!trace.ok()) {
+    ++aborts_;
+    return trace.status();
+  }
+  if (trace.value().rolled_back) {
+    ++aborts_;
+    return Status::RolledBack("transaction rolled back by rule " +
+                              trace.value().rollback_rule);
+  }
+  ++commits_;
+  last_receipt_ = receipt;
+  return Status::OK();
+}
+
+Result<ExecutionTrace> Session::ExecuteBlock(const std::string& sql) {
+  SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
+  SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
+  for (const StmtPtr& stmt : stmts) {
+    if (Engine::IsDdlStmt(*stmt)) {
+      return Status::InvalidArgument("ExecuteBlock expects DML, got: " +
+                                     stmt->ToString());
+    }
+  }
+  CommitReceipt receipt;
+  auto trace = scheduler().ExecuteBlock(stmts, &receipt);
+  if (!trace.ok()) {
+    ++aborts_;
+    return trace;
+  }
+  if (trace.value().rolled_back) {
+    ++aborts_;
+  } else {
+    ++commits_;
+    last_receipt_ = receipt;
+  }
+  return trace;
+}
+
+Result<QueryResult> Session::Query(const std::string& sql) {
+  SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("Query expects a select statement");
+  }
+  return scheduler().Query(static_cast<const SelectStmt&>(*stmt));
+}
+
+}  // namespace server
+}  // namespace sopr

@@ -1,0 +1,63 @@
+#ifndef SOPR_SERVER_SESSION_H_
+#define SOPR_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/commit_scheduler.h"
+
+namespace sopr {
+namespace server {
+
+class SessionManager;
+
+/// One client connection to the shared engine. A session owns its own
+/// SQL parsing (done on the calling thread, outside every engine lock)
+/// and its per-session counters; transactions are handed to the shared
+/// CommitScheduler for serialized apply and group-commit durability.
+///
+/// Threading: different sessions are safe to drive from different
+/// threads concurrently — that is the point. ONE session must be driven
+/// by one thread at a time (like a connection handle).
+class Session {
+ public:
+  Session(SessionManager* manager, uint64_t id)
+      : manager_(manager), id_(id) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Autocommit execution of a SQL script: either an all-DDL script or
+  /// one DML operation block run as a single transaction (rules to
+  /// quiescence, group commit). Returns kRolledBack if a rule's rollback
+  /// action fired.
+  Status Execute(const std::string& sql);
+
+  /// Like Execute for DML, returning the full execution trace.
+  Result<ExecutionTrace> ExecuteBlock(const std::string& sql);
+
+  /// Read-only query (shared lock; concurrent with other sessions'
+  /// queries).
+  Result<QueryResult> Query(const std::string& sql);
+
+  uint64_t id() const { return id_; }
+  /// Receipt of this session's most recent committed DML block (zeroed
+  /// before it commits anything).
+  const CommitReceipt& last_receipt() const { return last_receipt_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  CommitScheduler& scheduler();
+
+  SessionManager* manager_;
+  const uint64_t id_;
+  // Owned by the session's driving thread; no locking needed.
+  CommitReceipt last_receipt_;
+  uint64_t commits_ = 0;
+  uint64_t aborts_ = 0;
+};
+
+}  // namespace server
+}  // namespace sopr
+
+#endif  // SOPR_SERVER_SESSION_H_

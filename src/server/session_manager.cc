@@ -1,0 +1,47 @@
+#include "server/session_manager.h"
+
+#include <algorithm>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+namespace server {
+
+Result<std::unique_ptr<SessionManager>> SessionManager::Open(
+    RuleEngineOptions options) {
+  SOPR_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
+                        Engine::Open(std::move(options)));
+  return std::make_unique<SessionManager>(std::move(engine));
+}
+
+Result<Session*> SessionManager::CreateSession() {
+  SOPR_FAILPOINT_RETURN("server.session.create");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= max_sessions_) {
+    return Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(max_sessions_) +
+        "); close a session first");
+  }
+  sessions_.push_back(std::make_unique<Session>(this, next_session_id_++));
+  return sessions_.back().get();
+}
+
+Status SessionManager::CloseSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(
+      sessions_.begin(), sessions_.end(),
+      [id](const std::unique_ptr<Session>& s) { return s->id() == id; });
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("no session with id " + std::to_string(id));
+  }
+  sessions_.erase(it);
+  return Status::OK();
+}
+
+size_t SessionManager::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace server
+}  // namespace sopr

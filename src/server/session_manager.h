@@ -1,0 +1,66 @@
+#ifndef SOPR_SERVER_SESSION_MANAGER_H_
+#define SOPR_SERVER_SESSION_MANAGER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "server/commit_scheduler.h"
+#include "server/session.h"
+
+namespace sopr {
+namespace server {
+
+/// The concurrent front-end (docs/CONCURRENCY.md): owns the shared
+/// Engine, the commit scheduler in front of it, and N client sessions.
+///
+///   auto manager = SessionManager::Open(options).value();
+///   Session* s = manager->CreateSession().value();
+///   s->Execute("insert into emp values (...)");   // any thread
+///
+/// CreateSession/CloseSession are thread-safe; each returned Session is
+/// a single-threaded connection handle. The manager must outlive its
+/// sessions' use. Destroying the manager closes the engine (draining
+/// staged group commits and releasing the WAL directory lock).
+class SessionManager {
+ public:
+  /// Builds the engine via Engine::Open (recovery + WAL attach + wal-dir
+  /// lock when options.wal_dir is set; plain in-memory engine otherwise).
+  static Result<std::unique_ptr<SessionManager>> Open(
+      RuleEngineOptions options);
+
+  /// Wraps an already-opened engine (tests that build the parts by hand).
+  explicit SessionManager(std::unique_ptr<Engine> engine)
+      : engine_(std::move(engine)), scheduler_(engine_.get()) {}
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Admits a new session. Fails (kResourceExhausted) beyond
+  /// max_sessions.
+  Result<Session*> CreateSession();
+  /// Closes (destroys) a session by id. The caller must be done driving
+  /// it; outstanding pointers to it dangle.
+  Status CloseSession(uint64_t id);
+
+  size_t num_sessions() const;
+  void set_max_sessions(size_t n) { max_sessions_ = n; }
+
+  Engine& engine() { return *engine_; }
+  CommitScheduler& scheduler() { return scheduler_; }
+
+ private:
+  std::unique_ptr<Engine> engine_;
+  CommitScheduler scheduler_;
+  size_t max_sessions_ = 256;
+
+  mutable std::mutex mu_;  // guards sessions_ / next_session_id_
+  std::vector<std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+};
+
+}  // namespace server
+}  // namespace sopr
+
+#endif  // SOPR_SERVER_SESSION_MANAGER_H_

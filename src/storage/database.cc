@@ -9,6 +9,12 @@
 
 namespace sopr {
 
+Status Database::ConcurrentMutationError() {
+  return Status::Internal(
+      "concurrent Database mutation detected: the commit scheduler must "
+      "serialize writers (docs/CONCURRENCY.md)");
+}
+
 Status Database::CreateTable(TableSchema schema) {
   std::string key = ToLower(schema.name());
   SOPR_RETURN_NOT_OK(catalog_.AddTable(schema));
@@ -39,6 +45,8 @@ Result<const Table*> Database::GetTable(std::string_view name) const {
 }
 
 Result<TupleHandle> Database::InsertRow(std::string_view table, Row row) {
+  MutationScope scope(&active_mutators_);
+  if (!scope.exclusive) return ConcurrentMutationError();
   SOPR_FAILPOINT_RETURN("storage.insert.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(row));
@@ -65,6 +73,8 @@ Result<TupleHandle> Database::InsertRow(std::string_view table, Row row) {
 }
 
 Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
+  MutationScope scope(&active_mutators_);
+  if (!scope.exclusive) return ConcurrentMutationError();
   SOPR_FAILPOINT_RETURN("storage.delete.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
@@ -87,6 +97,8 @@ Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
 
 Status Database::UpdateRow(std::string_view table, TupleHandle handle,
                            Row new_row) {
+  MutationScope scope(&active_mutators_);
+  if (!scope.exclusive) return ConcurrentMutationError();
   SOPR_FAILPOINT_RETURN("storage.update.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(new_row));
@@ -111,6 +123,8 @@ Status Database::UpdateRow(std::string_view table, TupleHandle handle,
 }
 
 Status Database::RollbackTo(UndoLog::Mark mark) {
+  MutationScope scope(&active_mutators_);
+  if (!scope.exclusive) return ConcurrentMutationError();
   // Undone mutations must never reach the durable log: drop their
   // buffered redo records before touching the heap.
   if (wal_ != nullptr) wal_->RedoDiscardAfter(mark);

@@ -1,6 +1,7 @@
 #ifndef SOPR_STORAGE_DATABASE_H_
 #define SOPR_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 
@@ -105,11 +106,30 @@ class Database {
   Status CheckInvariants() const;
 
  private:
+  /// Tripwire for the concurrent front-end (docs/CONCURRENCY.md): counts
+  /// threads currently inside a mutation or rollback entry point. The
+  /// commit scheduler must admit one writer at a time; if two ever
+  /// overlap, the mutation fails kInternal instead of silently racing on
+  /// heaps and the undo log. Reads are not counted — the front-end's
+  /// shared lock covers them.
+  struct MutationScope {
+    explicit MutationScope(std::atomic<int>* active) : active(active) {
+      exclusive = active->fetch_add(1, std::memory_order_acq_rel) == 0;
+    }
+    ~MutationScope() { active->fetch_sub(1, std::memory_order_acq_rel); }
+    MutationScope(const MutationScope&) = delete;
+    MutationScope& operator=(const MutationScope&) = delete;
+    std::atomic<int>* active;
+    bool exclusive;
+  };
+  static Status ConcurrentMutationError();
+
   Catalog catalog_;
   std::map<std::string, Table> tables_;  // key: lowercased name
   UndoLog undo_;
   RedoSink* wal_ = nullptr;  // not owned; null when durability is off
   TupleHandle next_handle_ = 1;
+  std::atomic<int> active_mutators_{0};
 };
 
 }  // namespace sopr

@@ -55,6 +55,12 @@ Status WriteCheckpoint(Engine* engine, WalWriter* wal) {
     return Status::Internal("checkpoint inside a transaction");
   }
 
+  // Drain the group-commit staging queue first: a batch that is staged
+  // but unwritten is already part of the in-memory state the snapshot
+  // captures; leaving it to be written to the post-truncation log would
+  // replay it on top of the snapshot (double-apply -> kDataLoss).
+  SOPR_RETURN_NOT_OK(wal->Flush());
+
   // The snapshot covers everything durable in the main log right now;
   // stale records (lsn <= covers_lsn) become recovery no-ops the moment
   // the snapshot installs.

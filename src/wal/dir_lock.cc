@@ -1,0 +1,60 @@
+#include "wal/dir_lock.h"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+namespace wal {
+
+Result<std::unique_ptr<DirLock>> DirLock::Acquire(const std::string& dir) {
+  SOPR_FAILPOINT_RETURN("wal.lock.acquire");
+  const std::string path = dir + "/LOCK";
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    Status s;
+    if (errno == EWOULDBLOCK || errno == EAGAIN) {
+      // Read the holder's pid for the diagnostic (best effort; the file
+      // may be empty if the holder died mid-write — harmless).
+      char pid_buf[32] = {0};
+      ssize_t n = ::pread(fd, pid_buf, sizeof(pid_buf) - 1, 0);
+      std::string holder = n > 0 ? std::string(pid_buf, n) : std::string();
+      while (!holder.empty() && (holder.back() == '\n' || holder.back() == ' '))
+        holder.pop_back();
+      s = Status::IoError(
+          "wal directory " + dir + " is locked by another engine" +
+          (holder.empty() ? "" : " (pid " + holder + ")") +
+          "; the WAL is single-writer — close the other instance first");
+    } else {
+      s = Status::IoError("flock " + path + ": " + std::strerror(errno));
+    }
+    ::close(fd);
+    return s;
+  }
+  // Record our pid for diagnostics. Failure here doesn't affect the lock
+  // itself (the flock, not the content, is the lock).
+  std::string pid = std::to_string(::getpid()) + "\n";
+  if (::ftruncate(fd, 0) == 0) {
+    (void)!::pwrite(fd, pid.data(), pid.size(), 0);
+  }
+  return std::unique_ptr<DirLock>(new DirLock(fd, path));
+}
+
+DirLock::~DirLock() {
+  if (fd_ >= 0) {
+    // closing drops the flock; leave the LOCK file itself in place
+    // (unlinking would race a concurrent Acquire on the old inode).
+    ::close(fd_);
+  }
+}
+
+}  // namespace wal
+}  // namespace sopr

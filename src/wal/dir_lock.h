@@ -1,0 +1,43 @@
+#ifndef SOPR_WAL_DIR_LOCK_H_
+#define SOPR_WAL_DIR_LOCK_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace sopr {
+namespace wal {
+
+/// Single-writer lock on a WAL directory. The WAL format assumes exactly
+/// one writer; a second process appending to the same wal.log is silent
+/// corruption. Acquire() takes a non-blocking flock on `dir`/LOCK, so a
+/// second opener — another process, or a second Engine in this one —
+/// gets a clear kIoError instead of undetected UB. The kernel releases
+/// the lock when the fd closes, including on crash or kill, so a stale
+/// LOCK file left by a dead process never wedges the directory (this is
+/// why flock beats O_EXCL-create here).
+class DirLock {
+ public:
+  /// Creates `dir`/LOCK if absent and flocks it exclusively. Fails with
+  /// kIoError when another holder exists; the holder's pid (best effort,
+  /// written at acquisition) is included in the message.
+  static Result<std::unique_ptr<DirLock>> Acquire(const std::string& dir);
+
+  ~DirLock();
+  DirLock(const DirLock&) = delete;
+  DirLock& operator=(const DirLock&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  DirLock(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_;
+  std::string path_;
+};
+
+}  // namespace wal
+}  // namespace sopr
+
+#endif  // SOPR_WAL_DIR_LOCK_H_

@@ -5,6 +5,7 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -64,23 +65,49 @@ Status WalWriter::Open(const std::string& dir, uint64_t next_lsn,
   }
   fd_ = fd;
   durable_size_ = static_cast<uint64_t>(st.st_size);
-  next_lsn_ = next_lsn;
+  next_lsn_.store(next_lsn, std::memory_order_relaxed);
   durable_lsn_ = next_lsn > 0 ? next_lsn - 1 : 0;
-  next_txn_id_ = next_txn_id;
+  next_txn_id_.store(next_txn_id, std::memory_order_relaxed);
   return Status::OK();
 }
 
 void WalWriter::Close() {
+  if (fd_ >= 0) {
+    // Best effort: resolve any batches still on the staging queue so no
+    // AwaitDurable caller is left blocked against a closed file.
+    (void)Flush();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
 }
 
-Status WalWriter::CheckUsable() const {
+Status WalWriter::CheckUsableLocked() const {
   if (fd_ < 0) return Status::Internal("WalWriter: not open");
   if (!poisoned_.ok()) return poisoned_;
   return Status::OK();
+}
+
+Status WalWriter::poison_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
+}
+
+uint64_t WalWriter::durable_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_lsn_;
+}
+
+uint64_t WalWriter::commits_since_checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commits_since_checkpoint_;
+}
+
+GroupCommitStats WalWriter::group_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 // ---------------------------------------------------------------------------
@@ -89,7 +116,7 @@ Status WalWriter::CheckUsable() const {
 
 void WalWriter::BeginTxn() {
   in_txn_ = true;
-  txn_id_ = next_txn_id_++;
+  txn_id_ = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   buffer_.clear();
 }
 
@@ -99,7 +126,10 @@ void WalWriter::AbortTxn() {
 }
 
 Status WalWriter::BufferRedo(UndoLog::Mark pos, WalRecord rec) {
-  SOPR_RETURN_NOT_OK(CheckUsable());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SOPR_RETURN_NOT_OK(CheckUsableLocked());
+  }
   if (!in_txn_) {
     return Status::Internal("wal: redo for " + rec.table +
                             " outside a transaction");
@@ -146,48 +176,52 @@ Status WalWriter::SyncSelf(const char* failpoint_site) {
   // After a failed fsync the page-cache state is unknowable: the kernel
   // may have dropped the dirty pages while the file still looks written.
   // Poison the writer so no later commit claims durability it lacks.
-  poisoned_ = injected.ok() ? Errno("fsync wal.log") : injected;
-  return poisoned_;
+  Status failure = injected.ok() ? Errno("fsync wal.log") : injected;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_.ok()) poisoned_ = failure;
+  return failure;
 }
 
-Status WalWriter::WriteBatch(const std::string& batch, uint64_t last_lsn) {
+Status WalWriter::WriteAt(uint64_t offset, const std::string& bytes,
+                          Status* poison) {
   SOPR_FAILPOINT_RETURN("wal.write");
-  // The batch is written in two halves with a failpoint between them, so
+  // The extent is written in two halves with a failpoint between them, so
   // the crash harness can interrupt a commit mid-write and recovery must
   // see a torn tail. With the site unarmed the extra pwrite is noise.
-  const size_t half = batch.size() / 2;
-  Status s = PWriteAll(fd_, batch.data(), half, durable_size_, "write wal.log");
+  const size_t half = bytes.size() / 2;
+  Status s = PWriteAll(fd_, bytes.data(), half, offset, "write wal.log");
   if (s.ok()) {
     s = SOPR_FAILPOINT("wal.write.mid");
   }
   if (s.ok()) {
-    s = PWriteAll(fd_, batch.data() + half, batch.size() - half,
-                  durable_size_ + half, "write wal.log");
+    s = PWriteAll(fd_, bytes.data() + half, bytes.size() - half, offset + half,
+                  "write wal.log");
   }
   if (!s.ok()) {
     // Scrub the torn garbage so later commits append to a clean log. If
-    // even that fails the file tail is unknowable — poison the writer.
+    // even that fails the file tail is unknowable — the caller must
+    // poison the writer.
     FailpointRegistry::SuppressScope no_failpoints;
-    if (::ftruncate(fd_, static_cast<off_t>(durable_size_)) != 0) {
-      poisoned_ = Errno("ftruncate wal.log after failed write");
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
+      *poison = Errno("ftruncate wal.log after failed write");
     }
-    return s;
   }
-  durable_size_ += batch.size();
-  durable_lsn_ = last_lsn;
-  return Status::OK();
+  return s;
 }
 
-Status WalWriter::CommitTxn(TupleHandle next_handle) {
+Result<CommitTicketPtr> WalWriter::StageCommitTxn(TupleHandle next_handle) {
   if (!in_txn_) return Status::Internal("wal: commit outside a transaction");
-  SOPR_RETURN_NOT_OK(CheckUsable());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SOPR_RETURN_NOT_OK(CheckUsableLocked());
+  }
   if (buffer_.empty()) {
     // Read-only transaction: nothing to make durable. (Handles consumed
     // by rolled-back inserts may be re-consumed after a crash; an aborted
     // transaction's tuples exist nowhere durable, so this is
     // unobservable.)
     in_txn_ = false;
-    return Status::OK();
+    return CommitTicketPtr();
   }
   SOPR_FAILPOINT_RETURN("wal.commit.pre");
   std::string batch;
@@ -199,30 +233,155 @@ Status WalWriter::CommitTxn(TupleHandle next_handle) {
   }
   AppendRecord(&batch,
                WalRecord::Commit(lsn = AllocateLsn(), txn_id_, next_handle));
-  SOPR_RETURN_NOT_OK(WriteBatch(batch, lsn));
-  if (policy_ != WalFsyncPolicy::kOff) {
-    SOPR_RETURN_NOT_OK(SyncSelf("wal.commit.sync"));
-  } else {
-    SOPR_FAILPOINT_RETURN("wal.commit.sync");
+  auto ticket = std::make_shared<CommitTicket>();
+  ticket->last_lsn = lsn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    staged_.push_back(StagedBatch{std::move(batch), lsn, ticket});
   }
   buffer_.clear();
   in_txn_ = false;
-  ++commits_since_checkpoint_;
-  return Status::OK();
+  txn_id_ = 0;
+  return ticket;
+}
+
+void WalWriter::LeadCohortLocked(std::unique_lock<std::mutex>* lock) {
+  leader_active_ = true;
+  std::vector<StagedBatch> cohort = std::move(staged_);
+  staged_.clear();
+  const uint64_t offset = durable_size_;
+  Status verdict = poisoned_;
+  Status write_poison = Status::OK();
+  bool sync_failed = false;
+  uint64_t last_lsn = 0;
+  size_t total = 0;
+  if (verdict.ok()) {
+    lock->unlock();
+    std::string bytes;
+    for (const StagedBatch& b : cohort) total += b.bytes.size();
+    bytes.reserve(total);
+    for (const StagedBatch& b : cohort) {
+      bytes += b.bytes;
+      last_lsn = b.last_lsn;
+    }
+    verdict = SOPR_FAILPOINT("wal.group_commit.lead");
+    if (verdict.ok()) verdict = WriteAt(offset, bytes, &write_poison);
+    if (verdict.ok()) {
+      // The cohort's durability point. Site order matches the historical
+      // single-writer path: wal.commit.sync fires under every policy; the
+      // real fsync (and its wal.sync site) only when syncing is on.
+      verdict = SOPR_FAILPOINT("wal.commit.sync");
+      if (verdict.ok()) verdict = SOPR_FAILPOINT("wal.group_commit.sync");
+      if (verdict.ok() && policy_ != WalFsyncPolicy::kOff) {
+        Status injected = SOPR_FAILPOINT("wal.sync");
+        if (!injected.ok() || ::fsync(fd_) != 0) {
+          verdict = injected.ok() ? Errno("fsync wal.log") : injected;
+          sync_failed = true;
+          // Best-effort scrub of the unsynced tail so a later restart of
+          // this still-running process cannot resurrect commits every
+          // ticket here reports as failed. The writer poisons below
+          // regardless — after a lost fsync nothing about the file can
+          // be trusted — so a failed ftruncate changes nothing.
+          (void)::ftruncate(fd_, static_cast<off_t>(offset));
+        }
+      }
+    }
+    lock->lock();
+  }
+  if (verdict.ok()) {
+    durable_size_ = offset + total;
+    durable_lsn_ = last_lsn;
+    commits_since_checkpoint_ += cohort.size();
+    ++stats_.cohorts;
+    stats_.batches += cohort.size();
+    stats_.largest_cohort =
+        std::max<uint64_t>(stats_.largest_cohort, cohort.size());
+    ++stats_.cohort_size_hist[std::min<size_t>(cohort.size(), 16)];
+  } else if (poisoned_.ok()) {
+    if (!write_poison.ok()) {
+      // The torn tail could not even be scrubbed: the file's end is
+      // unknowable.
+      poisoned_ = write_poison;
+    } else if (sync_failed || cohort.size() > 1) {
+      // A lost fsync always poisons (page-cache state unknowable). A
+      // failed WRITE poisons only for a multi-batch cohort: those
+      // sessions already committed in memory and cannot be individually
+      // rolled back, so in-memory and durable state have diverged. A
+      // cohort of one keeps the legacy behavior — the single caller
+      // still holds its undo log and rolls back.
+      poisoned_ = verdict;
+    }
+  }
+  for (StagedBatch& b : cohort) {
+    b.ticket->status = verdict;
+    b.ticket->done = true;
+  }
+  leader_active_ = false;
+  cv_.notify_all();
+}
+
+Status WalWriter::AwaitDurable(const CommitTicketPtr& ticket) {
+  if (ticket == nullptr) return Status::OK();  // read-only transaction
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!ticket->done) {
+    if (!leader_active_ && !staged_.empty()) {
+      LeadCohortLocked(&lock);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  return ticket->status;
+}
+
+Status WalWriter::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (leader_active_ || !staged_.empty()) {
+    if (!leader_active_) {
+      LeadCohortLocked(&lock);
+    } else {
+      cv_.wait(lock);
+    }
+  }
+  return poisoned_;
+}
+
+Status WalWriter::CommitTxn(TupleHandle next_handle) {
+  SOPR_ASSIGN_OR_RETURN(CommitTicketPtr ticket, StageCommitTxn(next_handle));
+  return AwaitDurable(ticket);
 }
 
 Status WalWriter::AppendDdl(std::string_view sql) {
-  SOPR_RETURN_NOT_OK(CheckUsable());
   if (!buffer_.empty()) {
     return Status::Internal(
         "wal: DDL with buffered DML (DDL must not run inside a rule "
         "transaction)");
   }
+  // Drain staged commits first: their LSNs precede this record's.
+  SOPR_RETURN_NOT_OK(Flush());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SOPR_RETURN_NOT_OK(CheckUsableLocked());
+  }
   SOPR_FAILPOINT_RETURN("wal.ddl.append");
   std::string batch;
   const uint64_t lsn = AllocateLsn();
   AppendRecord(&batch, WalRecord::Ddl(lsn, std::string(sql)));
-  SOPR_RETURN_NOT_OK(WriteBatch(batch, lsn));
+  uint64_t offset;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    offset = durable_size_;
+  }
+  Status write_poison = Status::OK();
+  Status written = WriteAt(offset, batch, &write_poison);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!write_poison.ok() && poisoned_.ok()) poisoned_ = write_poison;
+    if (written.ok()) {
+      durable_size_ = offset + batch.size();
+      durable_lsn_ = lsn;
+    }
+  }
+  SOPR_RETURN_NOT_OK(written);
   if (policy_ != WalFsyncPolicy::kOff) {
     SOPR_RETURN_NOT_OK(SyncSelf("wal.sync"));
   }
@@ -230,13 +389,23 @@ Status WalWriter::AppendDdl(std::string_view sql) {
 }
 
 Status WalWriter::StartNewLog() {
-  SOPR_RETURN_NOT_OK(CheckUsable());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SOPR_RETURN_NOT_OK(CheckUsableLocked());
+    if (leader_active_ || !staged_.empty()) {
+      return Status::Internal(
+          "wal: StartNewLog with staged commits pending (Flush first)");
+    }
+  }
   SOPR_FAILPOINT_RETURN("wal.checkpoint.truncate");
   if (::ftruncate(fd_, 0) != 0) {
     return Errno("ftruncate wal.log");
   }
-  durable_size_ = 0;
-  commits_since_checkpoint_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable_size_ = 0;
+    commits_since_checkpoint_ = 0;
+  }
   if (policy_ != WalFsyncPolicy::kOff) {
     SOPR_RETURN_NOT_OK(SyncSelf("wal.sync"));
   }

@@ -1,7 +1,12 @@
 #ifndef SOPR_WAL_WAL_WRITER_H_
 #define SOPR_WAL_WAL_WRITER_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +17,31 @@
 
 namespace sopr {
 namespace wal {
+
+/// One transaction's claim on the group-commit pipeline. Produced by
+/// WalWriter::StageCommitTxn, resolved by whichever thread leads the
+/// cohort that writes and syncs the batch. All fields are guarded by the
+/// writer's internal mutex until `done` is set (after which they are
+/// immutable).
+struct CommitTicket {
+  bool done = false;
+  Status status;
+  uint64_t last_lsn = 0;  // the batch's COMMIT record LSN
+};
+using CommitTicketPtr = std::shared_ptr<CommitTicket>;
+
+/// Counters for the group-commit pipeline (docs/CONCURRENCY.md). A
+/// "cohort" is one leader round: one contiguous file write and at most
+/// one fsync covering every batch staged at the time the leader drained
+/// the queue.
+struct GroupCommitStats {
+  uint64_t cohorts = 0;         // leader rounds
+  uint64_t batches = 0;         // transaction batches written via cohorts
+  uint64_t largest_cohort = 0;  // max batches in one round
+  /// cohort_size_hist[n] = rounds that carried n batches; sizes above 16
+  /// land in the last bucket. Index 0 is unused.
+  std::array<uint64_t, 17> cohort_size_hist{};
+};
 
 /// Group-commit WAL writer. Redo records for the current transaction are
 /// buffered in memory and written as ONE contiguous BEGIN + redo* + COMMIT
@@ -24,15 +54,41 @@ namespace wal {
 ///   - recovery replays committed transactions only and never re-fires
 ///     rules: rule-generated mutations were logged like any other.
 ///
+/// Commit is split into two phases so concurrent sessions can amortize
+/// the fsync (the classic group-commit optimization):
+///   1. StageCommitTxn encodes the batch and deposits it on a shared
+///      queue, returning a CommitTicket. The caller's in-memory commit
+///      happens here, inside the front-end's single-writer section.
+///   2. AwaitDurable blocks until the ticket resolves. The first waiter
+///      that finds the queue non-empty and no leader active becomes the
+///      cohort leader: it drains the whole queue, writes every staged
+///      batch with one contiguous write, fsyncs ONCE, and wakes all
+///      followers. Transactions that stage while a leader is mid-fsync
+///      form the next cohort.
+/// CommitTxn (stage + await back-to-back) keeps the old single-session
+/// behavior: a cohort of one, written and synced inline.
+///
 /// DDL records are logical (the statement's SQL text) and are written
-/// immediately — the engine executes DDL outside rule transactions.
+/// immediately — the engine executes DDL outside rule transactions. DDL,
+/// checkpoints, and log truncation first Flush() the staged queue so
+/// records always land in LSN order.
 ///
 /// After an fsync failure the writer poisons itself: every later append
 /// fails with the sticky error. Post-EIO page-cache state is unknowable,
 /// so pretending later syncs succeed would be a lie (the "fsync-gate"
-/// lesson). A failed batch *write* is recovered from instead: the torn
-/// tail is truncated back to the last durable size and the writer stays
-/// usable.
+/// lesson). A failed batch *write* for a cohort of one is recovered from
+/// instead: the torn tail is truncated back to the last durable size and
+/// the writer stays usable (the single caller still holds its undo and
+/// rolls back). A failed write for a cohort of SEVERAL batches poisons
+/// too: the staging sessions already committed in memory and cannot be
+/// individually rolled back, so the in-memory and durable states have
+/// diverged for good.
+///
+/// Thread safety: the transaction-lifecycle half (BeginTxn, redo
+/// buffering, AbortTxn, StageCommitTxn) must be externally serialized —
+/// the engine admits one transaction at a time through the commit
+/// scheduler's critical section. AwaitDurable, Flush, and the accessors
+/// are safe from any thread.
 class WalWriter : public RedoSink {
  public:
   explicit WalWriter(WalFsyncPolicy policy) : policy_(policy) {}
@@ -48,6 +104,7 @@ class WalWriter : public RedoSink {
   /// durable watermark.
   Status Open(const std::string& dir, uint64_t next_lsn,
               uint64_t next_txn_id);
+  /// Drains any staged batches (best effort), then closes the file.
   void Close();
 
   /// --- Transaction lifecycle (driven by the rule engine) ---
@@ -55,12 +112,28 @@ class WalWriter : public RedoSink {
   /// Drops all buffered redo. Nothing was written, so there is nothing to
   /// undo on disk.
   void AbortTxn();
-  /// Writes the buffered batch (BEGIN + redo* + COMMIT carrying
-  /// `next_handle`) and syncs per policy. A read-only transaction (empty
-  /// buffer) writes nothing. On error the transaction is NOT durable and
-  /// the caller must roll it back.
+  /// Single-session commit: StageCommitTxn + AwaitDurable. The batch is
+  /// written and synced per policy before this returns. On error the
+  /// transaction is NOT durable and the caller must roll it back.
   Status CommitTxn(TupleHandle next_handle);
   bool in_txn() const { return in_txn_; }
+
+  /// --- Group-commit pipeline ---
+  /// Encodes the buffered batch (BEGIN + redo* + COMMIT carrying
+  /// `next_handle`) and deposits it on the staging queue. Returns a null
+  /// ticket for a read-only transaction (empty buffer — nothing to make
+  /// durable). On failure the transaction state is left intact so the
+  /// caller can abort. Must run inside the front-end's serialized commit
+  /// section.
+  Result<CommitTicketPtr> StageCommitTxn(TupleHandle next_handle);
+  /// Blocks until `ticket`'s cohort has been written and synced, leading
+  /// the cohort if no other thread is. Null tickets (read-only) return OK
+  /// immediately. Safe from any thread, with no engine lock held.
+  Status AwaitDurable(const CommitTicketPtr& ticket);
+  /// Drains the staging queue completely (leading cohorts as needed).
+  /// Returns the poison status if the writer is poisoned; individual
+  /// batch failures are reported on their tickets, not here.
+  Status Flush();
 
   /// --- RedoSink ---
   Status RedoInsert(UndoLog::Mark pos, std::string_view table,
@@ -75,23 +148,29 @@ class WalWriter : public RedoSink {
   /// Logs a DDL statement (schema or rule catalog change) and syncs per
   /// policy. The statement has already been applied in memory; its
   /// durability point is this call returning OK. Must not be called with
-  /// buffered DML (DDL never executes inside a rule transaction).
+  /// buffered DML (DDL never executes inside a rule transaction). Flushes
+  /// the staged queue first so the record lands in LSN order.
   Status AppendDdl(std::string_view sql);
 
   /// --- Checkpoint support ---
-  uint64_t AllocateLsn() { return next_lsn_++; }
-  uint64_t next_lsn() const { return next_lsn_; }
-  /// Last LSN actually durable in the main log (0 if none).
-  uint64_t durable_lsn() const { return durable_lsn_; }
-  uint64_t commits_since_checkpoint() const {
-    return commits_since_checkpoint_;
+  uint64_t AllocateLsn() {
+    return next_lsn_.fetch_add(1, std::memory_order_relaxed);
   }
+  uint64_t next_lsn() const { return next_lsn_.load(std::memory_order_relaxed); }
+  /// Last LSN actually durable in the main log (0 if none).
+  uint64_t durable_lsn() const;
+  uint64_t commits_since_checkpoint() const;
   /// Truncates the main log to empty after a snapshot covering it has
-  /// been installed. LSNs keep counting — they never reset.
+  /// been installed. LSNs keep counting — they never reset. The caller
+  /// (checkpoint writer) must have Flush()ed already — it needs the
+  /// drained durable_lsn for the snapshot's covers_lsn anyway.
   Status StartNewLog();
 
   WalFsyncPolicy policy() const { return policy_; }
   const std::string& dir() const { return dir_; }
+  /// Sticky failure after a lost fsync (OK while the writer is usable).
+  Status poison_status() const;
+  GroupCommitStats group_stats() const;
 
   /// Syncs `path`'s bytes to stable storage per `policy` (no-op for
   /// kOff). Exposed for the checkpoint writer.
@@ -108,27 +187,56 @@ class WalWriter : public RedoSink {
     UndoLog::Mark pos;  // undo-log index; RedoDiscardAfter key
     WalRecord rec;      // lsn assigned at commit time
   };
+  /// One encoded transaction batch waiting for a cohort leader.
+  struct StagedBatch {
+    std::string bytes;
+    uint64_t last_lsn = 0;
+    CommitTicketPtr ticket;
+  };
 
   Status BufferRedo(UndoLog::Mark pos, WalRecord rec);
-  /// Writes `batch` at the durable watermark (split in two for the
-  /// wal.write.mid torn-write site) and advances the watermark. On a
-  /// partial write, truncates back to the watermark.
-  Status WriteBatch(const std::string& batch, uint64_t last_lsn);
+  /// Writes `bytes` at `offset` (split in two for the wal.write.mid
+  /// torn-write site). On failure truncates the file back to `offset`;
+  /// *poison is set when even that fails (tail unknowable — the caller
+  /// must poison the writer). Pure file I/O — no writer bookkeeping;
+  /// called without the mutex.
+  Status WriteAt(uint64_t offset, const std::string& bytes, Status* poison);
+  /// fsync guarded by the `failpoint_site` then wal.sync sites; a real or
+  /// injected wal.sync failure poisons the writer. Called without the
+  /// mutex.
   Status SyncSelf(const char* failpoint_site);
-  Status CheckUsable() const;
+  /// Leads one cohort: drains the whole staging queue, writes it as one
+  /// contiguous extent, syncs once, resolves every ticket. Expects
+  /// `*lock` held and no leader active; temporarily releases the lock for
+  /// file I/O and reacquires before returning.
+  void LeadCohortLocked(std::unique_lock<std::mutex>* lock);
+  Status CheckUsableLocked() const;
 
-  WalFsyncPolicy policy_;
-  std::string dir_;
-  int fd_ = -1;
-  uint64_t durable_size_ = 0;  // bytes of wal.log known well-formed
-  uint64_t durable_lsn_ = 0;
-  uint64_t next_lsn_ = 1;
-  uint64_t next_txn_id_ = 1;
-  uint64_t commits_since_checkpoint_ = 0;
+  const WalFsyncPolicy policy_;
+  std::string dir_;  // set at Open
+  int fd_ = -1;      // set at Open/Close only (quiesced transitions)
+
+  // LSN / txn-id sequences: fetch_add from the serialized commit section
+  // and the checkpoint writer; read anywhere.
+  std::atomic<uint64_t> next_lsn_{1};
+  std::atomic<uint64_t> next_txn_id_{1};
+
+  // Current-transaction state. Externally serialized (one transaction in
+  // the commit section at a time); never touched by followers/leaders.
   bool in_txn_ = false;
   uint64_t txn_id_ = 0;
   std::vector<Pending> buffer_;
+
+  // Group-commit state, guarded by mu_.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t durable_size_ = 0;  // bytes of wal.log known well-formed
+  uint64_t durable_lsn_ = 0;
+  uint64_t commits_since_checkpoint_ = 0;
+  std::vector<StagedBatch> staged_;
+  bool leader_active_ = false;
   Status poisoned_ = Status::OK();
+  GroupCommitStats stats_;
 };
 
 }  // namespace wal

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "test_util.h"
 
@@ -147,6 +151,70 @@ TEST_F(FailpointTest, WellFormedEnvSpecArmsAtStartup) {
   EXPECT_OK(engine.Execute("insert into t values (1)"));
   ASSERT_EQ(::unsetenv("SOPR_FAILPOINTS"), 0);
   registry().ResetEnvForTest();
+}
+
+// --- Thread safety (the session front-end hits sites from N threads) ---
+
+TEST_F(FailpointTest, ConcurrentHitsCountExactly) {
+  // kNth arithmetic must hold under contention: with N threads hammering
+  // an every:K trigger, exactly hits/K of them fire — no double-fires,
+  // no lost counts.
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 1000;
+  constexpr uint64_t kEvery = 7;
+  registry().Arm("test.mt.site",
+                 {FailpointRegistry::Mode::kEveryK, kEvery});
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kHitsPerThread; ++j) {
+        if (!registry().Hit("test.mt.site").ok()) fired.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry().HitCount("test.mt.site"),
+            static_cast<uint64_t>(kThreads * kHitsPerThread));
+  EXPECT_EQ(static_cast<uint64_t>(fired.load()),
+            static_cast<uint64_t>(kThreads * kHitsPerThread) / kEvery);
+}
+
+TEST_F(FailpointTest, ConcurrentArmDisarmWhileHitting) {
+  // A chaos thread arming/disarming must never corrupt the registry or
+  // crash a hitting thread; a kOnce trigger fires at most once per Arm.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> fired{0};
+  std::vector<std::thread> hitters;
+  for (int i = 0; i < 4; ++i) {
+    hitters.emplace_back([&] {
+      while (!stop.load()) {
+        if (!registry().Hit("test.mt.flap").ok()) fired.fetch_add(1);
+      }
+    });
+  }
+  uint64_t arms = 0;
+  for (int round = 0; round < 200; ++round) {
+    registry().Arm("test.mt.flap", {FailpointRegistry::Mode::kOnce});
+    ++arms;
+    std::this_thread::yield();
+    registry().Disarm("test.mt.flap");
+  }
+  stop.store(true);
+  for (std::thread& t : hitters) t.join();
+  EXPECT_LE(fired.load(), arms) << "kOnce fired twice for one Arm";
+}
+
+TEST_F(FailpointTest, ServerAndGroupCommitSitesAreCataloged) {
+  const std::vector<std::string>& sites = FailpointRegistry::KnownSites();
+  auto has = [&sites](const std::string& s) {
+    return std::find(sites.begin(), sites.end(), s) != sites.end();
+  };
+  EXPECT_TRUE(has("server.submit.pre"));
+  EXPECT_TRUE(has("server.session.create"));
+  EXPECT_TRUE(has("wal.group_commit.lead"));
+  EXPECT_TRUE(has("wal.group_commit.sync"));
+  EXPECT_TRUE(has("wal.lock.acquire"));
 }
 
 TEST_F(FailpointTest, InjectedStorageFaultRollsBackTransaction) {

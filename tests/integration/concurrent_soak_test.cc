@@ -1,0 +1,241 @@
+// Concurrent soak (docs/CONCURRENCY.md acceptance test): 8 sessions x
+// 200 transactions hammer one engine through the session front-end
+// while a chaos thread arms abort-safe failpoints. Afterwards the
+// surviving state must equal a SERIAL replay of exactly the committed
+// transactions in commit-LSN order (the serialization the scheduler
+// claims to have produced), and a restart from the WAL must recover the
+// same state bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/engine.h"
+#include "server/session_manager.h"
+#include "test_util.h"
+#include "wal/wal_writer.h"
+
+namespace sopr {
+namespace {
+
+constexpr int kSessions = 8;
+constexpr int kTxnsPerSession = 200;
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sopr_concurrent_soak_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// One committed transaction, as the oracle needs it: its place in the
+/// commit order, the handle counter at admission, and its SQL.
+struct Committed {
+  uint64_t lsn = 0;
+  uint64_t first_handle = 0;
+  std::string sql;
+};
+
+const char* kSchema[] = {
+    "create table accounts (id int, balance double)",
+    "create table ledger (id int, amount double)",
+    "create table audit (n int)",
+    "create index on ledger (id)",
+    // Every ledger insert is audited with the set-oriented count.
+    "create rule audit_ins when inserted into ledger "
+    "then insert into audit (select count(*) from inserted ledger)",
+    // Negative amounts are forbidden: the whole transaction rolls back.
+    "create rule no_negative when inserted into ledger "
+    "if exists (select * from inserted ledger where amount < 0) "
+    "then rollback",
+    // Deleting an account cascades to its ledger rows.
+    "create rule cascade when deleted from accounts "
+    "then delete from ledger where id in (select id from deleted accounts)",
+};
+
+/// Deterministic per-(session, step) operation block. ~1 in 8 ledger
+/// inserts carries a negative amount and must be rolled back by the
+/// guard rule.
+std::string MakeBlock(int session, int step, std::mt19937* rng) {
+  const int id = static_cast<int>((*rng)() % 40);
+  switch ((*rng)() % 5) {
+    case 0: {
+      const int amount = static_cast<int>((*rng)() % 80) - 10;
+      return "insert into ledger values (" + std::to_string(id) + ", " +
+             std::to_string(amount) + ")";
+    }
+    case 1:
+      return "insert into accounts values (" + std::to_string(id) + ", " +
+             std::to_string(session * 1000 + step) + ")";
+    case 2:
+      return "update accounts set balance = balance + 1 where id = " +
+             std::to_string(id);
+    case 3:  // cascade: account deletion drags ledger rows along
+      return "delete from accounts where id = " + std::to_string(id);
+    default:  // multi-op block: two inserts in one transaction
+      return "insert into ledger values (" + std::to_string(id) + ", 5); "
+             "insert into accounts values (" + std::to_string(100 + id) +
+             ", 1)";
+  }
+}
+
+// Sites whose failure aborts the victim transaction CLEANLY (statement
+// fails -> rollback to S0). Durability sites (wal.sync and friends) are
+// excluded on purpose: those poison the writer by design, which is its
+// own test (group_commit_test.cc).
+const char* kChaosSites[] = {
+    "storage.insert.pre", "storage.update.pre", "storage.delete.pre",
+    "rules.block.pre",    "rules.action.pre",   "rules.commit.pre",
+    "engine.execute.pre", "wal.append",         "wal.commit.pre",
+    "server.submit.pre",
+};
+
+TEST(ConcurrentSoakTest, StateMatchesSerialOracleAndSurvivesRestart) {
+  const std::string wal_dir = MakeTempDir();
+  FailpointRegistry::Instance().DisarmAll();
+
+  RuleEngineOptions options;
+  options.wal_dir = wal_dir;
+  auto opened = server::SessionManager::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  std::unique_ptr<server::SessionManager> manager = std::move(opened).value();
+
+  ASSERT_OK_AND_ASSIGN(server::Session * setup, manager->CreateSession());
+  for (const char* ddl : kSchema) {
+    ASSERT_OK(setup->Execute(ddl));
+  }
+
+  // --- traffic + chaos ---------------------------------------------------
+  std::mutex merge_mu;
+  std::vector<Committed> committed;
+  std::atomic<int> commit_count{0}, abort_count{0};
+  std::atomic<bool> hard_failure{false};
+  std::atomic<bool> done{false};
+
+  std::thread chaos([&] {
+    std::mt19937 rng(4242);
+    size_t k = 0;
+    while (!done.load()) {
+      const char* site = kChaosSites[k++ % (sizeof(kChaosSites) /
+                                            sizeof(kChaosSites[0]))];
+      FailpointRegistry::Trigger trigger;
+      trigger.mode = FailpointRegistry::Mode::kNth;
+      trigger.n = 1 + rng() % 4;
+      FailpointRegistry::Instance().Arm(site, trigger);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      FailpointRegistry::Instance().Disarm(site);
+    }
+  });
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&, i] {
+      auto session = manager->CreateSession();
+      if (!session.ok()) {
+        hard_failure.store(true);
+        return;
+      }
+      std::mt19937 rng(7919u * (i + 1));
+      std::vector<Committed> mine;
+      for (int j = 0; j < kTxnsPerSession; ++j) {
+        const std::string block = MakeBlock(i, j, &rng);
+        Status st = session.value()->Execute(block);
+        if (st.ok()) {
+          commit_count.fetch_add(1);
+          // commit_lsn == 0 marks a no-op block (e.g. an update matching
+          // nothing): committed read-only, no batch, no state change —
+          // nothing for the oracle to replay.
+          if (session.value()->last_receipt().commit_lsn != 0) {
+            mine.push_back(
+                Committed{session.value()->last_receipt().commit_lsn,
+                          session.value()->last_receipt().first_handle,
+                          block});
+          }
+        } else {
+          abort_count.fetch_add(1);
+          // Every failure must be a clean abort — a "server halted"
+          // fatal here means the chaos hit a poisoning site.
+          if (st.message().find("server halted") != std::string::npos) {
+            hard_failure.store(true);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      committed.insert(committed.end(), mine.begin(), mine.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  done.store(true);
+  chaos.join();
+  FailpointRegistry::Instance().DisarmAll();
+
+  ASSERT_FALSE(hard_failure.load());
+  ASSERT_OK(manager->scheduler().fatal());
+  EXPECT_EQ(commit_count.load() + abort_count.load(),
+            kSessions * kTxnsPerSession);
+  EXPECT_GT(commit_count.load(), 0);
+  EXPECT_GT(abort_count.load(), 0) << "chaos+guards should abort some";
+  // committed() counts no-op (read-only) blocks too; `committed` holds
+  // only the blocks that staged a batch.
+  EXPECT_GE(manager->scheduler().committed(),
+            static_cast<uint64_t>(committed.size()));
+  EXPECT_EQ(manager->scheduler().committed(),
+            static_cast<uint64_t>(commit_count.load()));
+
+  // Commit LSNs are the serialization order: unique and totally ordered.
+  std::sort(committed.begin(), committed.end(),
+            [](const Committed& a, const Committed& b) { return a.lsn < b.lsn; });
+  for (size_t k = 1; k < committed.size(); ++k) {
+    ASSERT_LT(committed[k - 1].lsn, committed[k].lsn);
+  }
+
+  const uint64_t live_checksum = manager->engine().db().Checksum();
+
+  // --- oracle: serial replay of the committed transactions ---------------
+  // A fresh in-memory engine replays the DDL, then exactly the committed
+  // blocks in commit-LSN order. Handles consumed by aborted transactions
+  // are skipped by bumping to each transaction's admission-time counter,
+  // so handle assignment (which Checksum mixes in) reproduces exactly.
+  Engine oracle((RuleEngineOptions()));
+  for (const char* ddl : kSchema) {
+    ASSERT_OK(oracle.Execute(ddl));
+  }
+  for (const Committed& txn : committed) {
+    oracle.db().BumpNextHandle(txn.first_handle);
+    const Status replayed = oracle.Execute(txn.sql);
+    ASSERT_TRUE(replayed.ok())
+        << "committed live, so the serial replay must commit too: " << txn.sql
+        << " -> " << replayed;
+  }
+  EXPECT_EQ(oracle.db().Checksum(), live_checksum)
+      << "concurrent execution diverged from its own serialization order";
+
+  // --- group-commit accounting -------------------------------------------
+  const wal::GroupCommitStats stats = manager->engine().wal()->group_stats();
+  EXPECT_EQ(stats.batches, static_cast<uint64_t>(committed.size()));
+  EXPECT_LE(stats.cohorts, stats.batches);
+
+  // --- restart: the WAL must recover the identical state ------------------
+  manager.reset();  // drains + closes the engine, releases the dir lock
+  auto reopened = server::SessionManager::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value()->engine().db().Checksum(), live_checksum)
+      << "recovery lost or invented transactions";
+  // And the recovered engine still takes new work.
+  ASSERT_OK_AND_ASSIGN(server::Session * after,
+                       reopened.value()->CreateSession());
+  ASSERT_OK(after->Execute("insert into ledger values (999, 1)"));
+}
+
+}  // namespace
+}  // namespace sopr

@@ -1,0 +1,101 @@
+// WAL directory lock (docs/CONCURRENCY.md): the log is single-writer,
+// so a second opener of the same wal dir must be rejected with a clear
+// error, and the lock must evaporate with its holder.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/failpoint.h"
+#include "engine/engine.h"
+#include "test_util.h"
+#include "wal/dir_lock.h"
+
+namespace sopr {
+namespace wal {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sopr_dir_lock_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+class DirLockTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(DirLockTest, AcquireCreatesLockFile) {
+  const std::string dir = MakeTempDir();
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DirLock> lock, DirLock::Acquire(dir));
+  struct stat st;
+  EXPECT_EQ(::stat((dir + "/LOCK").c_str(), &st), 0);
+  EXPECT_EQ(lock->path(), dir + "/LOCK");
+}
+
+TEST_F(DirLockTest, SecondAcquireFailsWithClearMessage) {
+  const std::string dir = MakeTempDir();
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DirLock> held, DirLock::Acquire(dir));
+  auto second = DirLock::Acquire(dir);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kIoError);
+  // The message must tell the operator WHAT is wrong and what to do.
+  EXPECT_NE(second.status().message().find("locked by another engine"),
+            std::string::npos)
+      << second.status();
+  EXPECT_NE(second.status().message().find("single-writer"),
+            std::string::npos)
+      << second.status();
+}
+
+TEST_F(DirLockTest, ReleaseOnDestroyAllowsReacquire) {
+  const std::string dir = MakeTempDir();
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DirLock> held, DirLock::Acquire(dir));
+    EXPECT_FALSE(DirLock::Acquire(dir).ok());
+  }
+  // Holder destroyed -> flock released -> directory reusable; the LOCK
+  // file itself stays (unlinking would race a concurrent Acquire).
+  EXPECT_OK(DirLock::Acquire(dir).status());
+  struct stat st;
+  EXPECT_EQ(::stat((dir + "/LOCK").c_str(), &st), 0);
+}
+
+TEST_F(DirLockTest, EngineOpenHoldsTheLock) {
+  const std::string dir = MakeTempDir();
+  RuleEngineOptions options;
+  options.wal_dir = dir;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine, Engine::Open(options));
+
+  // A second engine on the same wal dir must be refused...
+  auto second = Engine::Open(options);
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find("locked by another engine"),
+            std::string::npos)
+      << second.status();
+  // ...and an independent lock probe must be refused too.
+  EXPECT_FALSE(DirLock::Acquire(dir).ok());
+
+  // Closing the engine releases the directory for the next incarnation.
+  engine.reset();
+  ASSERT_OK(Engine::Open(options).status());
+}
+
+TEST_F(DirLockTest, AcquireFailpointFires) {
+  const std::string dir = MakeTempDir();
+  FailpointRegistry::Instance().Arm(
+      "wal.lock.acquire", {FailpointRegistry::Mode::kOnce});
+  EXPECT_FALSE(DirLock::Acquire(dir).ok());
+  EXPECT_OK(DirLock::Acquire(dir).status());
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace sopr

@@ -1,0 +1,291 @@
+// Group-commit pipeline tests (docs/CONCURRENCY.md): staged tickets,
+// cohort formation/stats, and the poison matrix — most importantly the
+// fsync-failure case with several committers queued, where the leader's
+// one failed fsync must fail EVERY follower's ticket (a follower that
+// reported success for a batch the leader never made durable would be a
+// lost commit).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "test_util.h"
+#include "types/value.h"
+#include "wal/wal_writer.h"
+
+namespace sopr {
+namespace wal {
+namespace {
+
+Row SampleRow() {
+  return Row({Value::String("Jane"), Value::Int(10)});
+}
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sopr_group_commit_test_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+class GroupCommitTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+// Stages `n` transactions back to back (the serialized commit section
+// admits them one at a time; none awaits yet, so they pile up in the
+// staging queue). Returns the tickets.
+std::vector<CommitTicketPtr> StageN(WalWriter* writer, int n,
+                                    uint64_t first_handle) {
+  std::vector<CommitTicketPtr> tickets;
+  for (int i = 0; i < n; ++i) {
+    writer->BeginTxn();
+    EXPECT_OK(writer->RedoInsert(0, "emp", first_handle + i, SampleRow()));
+    auto staged = writer->StageCommitTxn(first_handle + i + 1);
+    EXPECT_TRUE(staged.ok()) << staged.status();
+    if (staged.ok()) tickets.push_back(staged.value());
+  }
+  return tickets;
+}
+
+TEST_F(GroupCommitTest, StagedTicketResolvesOnAwait) {
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+  ASSERT_OK_AND_ASSIGN(CommitTicketPtr ticket, writer.StageCommitTxn(2));
+  ASSERT_NE(ticket, nullptr);
+  EXPECT_FALSE(writer.in_txn()) << "staging ends the transaction";
+  // Nothing is durable until someone leads the cohort.
+  EXPECT_EQ(writer.durable_lsn(), 0u);
+
+  ASSERT_OK(writer.AwaitDurable(ticket));
+  EXPECT_TRUE(ticket->done);
+  EXPECT_EQ(ticket->last_lsn, 3u);  // BEGIN(1) INSERT(2) COMMIT(3)
+  EXPECT_EQ(writer.durable_lsn(), 3u);
+  writer.Close();
+}
+
+TEST_F(GroupCommitTest, ReadOnlyStageReturnsNullTicket) {
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+  writer.BeginTxn();
+  ASSERT_OK_AND_ASSIGN(CommitTicketPtr ticket, writer.StageCommitTxn(1));
+  EXPECT_EQ(ticket, nullptr);
+  ASSERT_OK(writer.AwaitDurable(ticket));  // null ticket: trivially durable
+  EXPECT_EQ(writer.durable_lsn(), 0u);
+  writer.Close();
+}
+
+TEST_F(GroupCommitTest, QueuedBatchesFormOneCohort) {
+  WalWriter writer(WalFsyncPolicy::kCommit);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+
+  std::vector<CommitTicketPtr> tickets = StageN(&writer, 3, 1);
+  ASSERT_EQ(tickets.size(), 3u);
+
+  // The first awaiter becomes leader and drains ALL three batches with
+  // one write + one fsync.
+  ASSERT_OK(writer.AwaitDurable(tickets[0]));
+  for (const CommitTicketPtr& t : tickets) {
+    EXPECT_TRUE(t->done);
+    EXPECT_OK(t->status);
+    ASSERT_OK(writer.AwaitDurable(t));  // already-resolved: returns status
+  }
+  const GroupCommitStats stats = writer.group_stats();
+  EXPECT_EQ(stats.cohorts, 1u);
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_EQ(stats.largest_cohort, 3u);
+  EXPECT_EQ(stats.cohort_size_hist[3], 1u);
+  EXPECT_EQ(writer.durable_lsn(), 9u);  // 3 txns x (BEGIN+INSERT+COMMIT)
+  writer.Close();
+}
+
+TEST_F(GroupCommitTest, FlushDrainsTheQueue) {
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+  std::vector<CommitTicketPtr> tickets = StageN(&writer, 2, 1);
+  ASSERT_OK(writer.Flush());
+  for (const CommitTicketPtr& t : tickets) {
+    EXPECT_TRUE(t->done);
+    EXPECT_OK(t->status);
+  }
+  EXPECT_EQ(writer.group_stats().batches, 2u);
+  writer.Close();
+}
+
+// --- The fsync-failure poison matrix -------------------------------------
+
+// Satellite: leader's failed fsync fails every queued committer. Three
+// transactions stage; wal.sync is armed to fail once; the single cohort
+// leader's fsync failure must resolve all three tickets with the error
+// and poison the writer for good.
+TEST_F(GroupCommitTest, FailedFsyncFailsWholeCohortDeterministic) {
+  WalWriter writer(WalFsyncPolicy::kCommit);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+
+  std::vector<CommitTicketPtr> tickets = StageN(&writer, 3, 1);
+  FailpointRegistry::Instance().Arm(
+      "wal.sync", {FailpointRegistry::Mode::kOnce});
+
+  EXPECT_FALSE(writer.AwaitDurable(tickets[0]).ok());
+  for (const CommitTicketPtr& t : tickets) {
+    EXPECT_TRUE(t->done);
+    EXPECT_FALSE(t->status.ok())
+        << "a follower must not report durability the leader lost";
+    EXPECT_FALSE(writer.AwaitDurable(t).ok());
+  }
+  // Sticky poison: the writer refuses new work.
+  EXPECT_FALSE(writer.poison_status().ok());
+  writer.BeginTxn();
+  EXPECT_FALSE(writer.RedoInsert(0, "emp", 9, SampleRow()).ok());
+  EXPECT_FALSE(writer.StageCommitTxn(10).ok());
+  EXPECT_EQ(writer.durable_lsn(), 0u) << "nothing in the cohort is durable";
+  writer.Close();
+}
+
+// Same property driven by real concurrency: committers on their own
+// threads, staging serialized (as the commit scheduler does), awaiting
+// in parallel. Whoever ends up leading, no thread may see success.
+TEST_F(GroupCommitTest, FailedFsyncFailsWholeCohortThreaded) {
+  WalWriter writer(WalFsyncPolicy::kCommit);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+
+  FailpointRegistry::Instance().Arm(
+      "wal.sync", {FailpointRegistry::Mode::kAlways});
+
+  constexpr int kThreads = 4;
+  std::mutex commit_section;
+  std::atomic<int> successes{0}, failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      CommitTicketPtr ticket;
+      {
+        std::lock_guard<std::mutex> lock(commit_section);
+        writer.BeginTxn();
+        if (!writer.RedoInsert(0, "emp", 100 + i, SampleRow()).ok()) {
+          writer.AbortTxn();
+          failures.fetch_add(1);  // poisoned before this txn staged
+          return;
+        }
+        auto staged = writer.StageCommitTxn(100 + i + 1);
+        if (!staged.ok()) {
+          writer.AbortTxn();
+          failures.fetch_add(1);
+          return;
+        }
+        ticket = staged.value();
+      }
+      if (writer.AwaitDurable(ticket).ok()) {
+        successes.fetch_add(1);
+      } else {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(successes.load(), 0) << "an fsync never succeeded, so no "
+                                    "transaction may claim durability";
+  EXPECT_EQ(failures.load(), kThreads);
+  EXPECT_FALSE(writer.poison_status().ok());
+  writer.Close();
+}
+
+// A failed batch WRITE for a cohort of one stays recoverable: the tail is
+// scrubbed, the ticket fails, the writer is NOT poisoned (the one caller
+// still holds its undo and rolls back).
+TEST_F(GroupCommitTest, SingleBatchWriteFailureDoesNotPoison) {
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 1, SampleRow()));
+  ASSERT_OK_AND_ASSIGN(CommitTicketPtr ticket, writer.StageCommitTxn(2));
+  FailpointRegistry::Instance().Arm(
+      "wal.write.mid", {FailpointRegistry::Mode::kOnce});
+  EXPECT_FALSE(writer.AwaitDurable(ticket).ok());
+
+  EXPECT_OK(writer.poison_status());
+  // The writer stays usable and the next commit lands cleanly.
+  writer.BeginTxn();
+  ASSERT_OK(writer.RedoInsert(0, "emp", 2, SampleRow()));
+  ASSERT_OK(writer.CommitTxn(3));
+  EXPECT_GT(writer.durable_lsn(), 0u);
+  writer.Close();
+}
+
+// A failed write for a cohort of SEVERAL batches poisons: those sessions
+// already committed in memory and cannot be individually rolled back.
+TEST_F(GroupCommitTest, MultiBatchWriteFailurePoisons) {
+  WalWriter writer(WalFsyncPolicy::kOff);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+
+  std::vector<CommitTicketPtr> tickets = StageN(&writer, 3, 1);
+  FailpointRegistry::Instance().Arm(
+      "wal.write.mid", {FailpointRegistry::Mode::kOnce});
+  EXPECT_FALSE(writer.AwaitDurable(tickets[0]).ok());
+  for (const CommitTicketPtr& t : tickets) {
+    EXPECT_TRUE(t->done);
+    EXPECT_FALSE(t->status.ok());
+  }
+  EXPECT_FALSE(writer.poison_status().ok());
+  writer.Close();
+}
+
+// Concurrent committers against a healthy writer: every ticket resolves
+// OK, LSNs stay dense, and the cohort accounting adds up.
+TEST_F(GroupCommitTest, ConcurrentCommittersAllDurable) {
+  WalWriter writer(WalFsyncPolicy::kCommit);
+  ASSERT_OK(writer.Open(MakeTempDir(), 1, 1));
+
+  constexpr int kThreads = 4;
+  constexpr int kTxnsPerThread = 25;
+  std::mutex commit_section;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (int j = 0; j < kTxnsPerThread; ++j) {
+        CommitTicketPtr ticket;
+        {
+          std::lock_guard<std::mutex> lock(commit_section);
+          writer.BeginTxn();
+          ASSERT_OK(writer.RedoInsert(
+              0, "emp", static_cast<TupleHandle>(i * 1000 + j), SampleRow()));
+          auto staged =
+              writer.StageCommitTxn(static_cast<TupleHandle>(i * 1000 + j + 1));
+          ASSERT_OK(staged.status());
+          ticket = staged.value();
+        }
+        ASSERT_OK(writer.AwaitDurable(ticket));
+        committed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(committed.load(), kThreads * kTxnsPerThread);
+  const GroupCommitStats stats = writer.group_stats();
+  EXPECT_EQ(stats.batches, static_cast<uint64_t>(kThreads * kTxnsPerThread));
+  EXPECT_LE(stats.cohorts, stats.batches);
+  EXPECT_GE(stats.largest_cohort, 1u);
+  // Every transaction wrote BEGIN + INSERT + COMMIT = 3 records.
+  EXPECT_EQ(writer.durable_lsn(),
+            static_cast<uint64_t>(kThreads * kTxnsPerThread * 3));
+  writer.Close();
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace sopr
