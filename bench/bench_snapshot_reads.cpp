@@ -1,0 +1,195 @@
+// B12 — MVCC snapshot reads vs the PR 3 shared-lock read path. N reader
+// threads run the same select in a closed loop while ONE hot writer
+// commits updates as fast as it can. "snapshot" readers pin the
+// published visible LSN and scan version chains entirely outside the
+// writer's exclusive section; "shared_lock" readers are the pre-MVCC
+// baseline, serialized against the writer's apply phase on the
+// scheduler's reader-writer lock.
+//
+// Custom main (not google-benchmark): each configuration is one timed
+// run against a fresh WAL directory; results go to
+// BENCH_snapshot_reads.json for the CI trend tracker.
+//
+// Run: ./build/bench/bench_snapshot_reads [seconds-per-config]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "server/session_manager.h"
+#include "sql/parser.h"
+
+namespace sopr {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sopr_bench_snapshot_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::cerr << "mkdtemp failed\n";
+    std::exit(1);
+  }
+  return dir;
+}
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << ": " << status << "\n";
+    std::exit(1);
+  }
+}
+
+struct RunResult {
+  std::string mode;  // "snapshot" | "shared_lock"
+  int readers = 0;
+  double seconds = 0;
+  uint64_t reads = 0;
+  uint64_t writer_commits = 0;
+  double reads_per_sec = 0;
+  double commits_per_sec = 0;
+};
+
+constexpr int kRows = 200;
+const char* kReadSql = "select count(*) from t where v >= 0";
+
+RunResult Run(bool snapshot_mode, int readers, double seconds) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  options.wal_fsync = WalFsyncPolicy::kOff;  // measure concurrency, not fsync
+  auto manager = server::SessionManager::Open(options);
+  Check(manager.status(), "open");
+  auto setup = manager.value()->CreateSession();
+  Check(setup.status(), "session");
+  Check(setup.value()->Execute("create table t (id int, v int)"), "ddl");
+  for (int i = 0; i < kRows; i += 20) {
+    std::string block;
+    for (int j = i; j < i + 20; ++j) {
+      if (!block.empty()) block += "; ";
+      block += "insert into t values (" + std::to_string(j) + ", " +
+               std::to_string(j % 17) + ")";
+    }
+    Check(setup.value()->Execute(block), "load");
+  }
+
+  // Parse the reader's select once; both paths run the identical parsed
+  // statement so the comparison is pure lock/version mechanics.
+  auto parsed = Parser::ParseStatement(kReadSql);
+  Check(parsed.status(), "parse");
+  if (parsed.value()->kind != StmtKind::kSelect) {
+    std::cerr << "probe is not a select\n";
+    std::exit(1);
+  }
+  const auto* stmt = static_cast<const SelectStmt*>(parsed.value().get());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> commits{0};
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < readers; ++r) {
+    threads.emplace_back([&] {
+      uint64_t mine = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto result = snapshot_mode
+                          ? manager.value()->scheduler().QuerySnapshot(*stmt)
+                          : manager.value()->scheduler().Query(*stmt);
+        Check(result.status(), "read");
+        ++mine;
+      }
+      reads.fetch_add(mine);
+    });
+  }
+  std::thread writer([&] {
+    auto session = manager.value()->CreateSession();
+    Check(session.status(), "writer session");
+    uint64_t step = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int id = static_cast<int>(step++ % kRows);
+      Check(session.value()->Execute("update t set v = v + 1 where id = " +
+                                     std::to_string(id)),
+            "update");
+      commits.fetch_add(1);
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& t : threads) t.join();
+  writer.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  RunResult r;
+  r.mode = snapshot_mode ? "snapshot" : "shared_lock";
+  r.readers = readers;
+  r.seconds = secs;
+  r.reads = reads.load();
+  r.writer_commits = commits.load();
+  r.reads_per_sec = r.reads / secs;
+  r.commits_per_sec = r.writer_commits / secs;
+  return r;
+}
+
+}  // namespace
+}  // namespace sopr
+
+int main(int argc, char** argv) {
+  ::unsetenv("SOPR_WAL_FSYNC");  // the bench pins kOff itself
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  std::vector<sopr::RunResult> results;
+  double snap8 = 0, shared8 = 0, snap8_writer = 0, shared8_writer = 0;
+  for (int readers : {1, 4, 8}) {
+    sopr::RunResult snapshot = sopr::Run(true, readers, seconds);
+    sopr::RunResult shared = sopr::Run(false, readers, seconds);
+    results.push_back(snapshot);
+    results.push_back(shared);
+    std::printf(
+        "readers=%d  snapshot %9.0f reads/s (writer %6.0f c/s)"
+        "  shared_lock %9.0f reads/s (writer %6.0f c/s)  ratio %.2fx\n",
+        readers, snapshot.reads_per_sec, snapshot.commits_per_sec,
+        shared.reads_per_sec, shared.commits_per_sec,
+        shared.reads_per_sec > 0
+            ? snapshot.reads_per_sec / shared.reads_per_sec
+            : 0);
+    if (readers == 8) {
+      snap8 = snapshot.reads_per_sec;
+      shared8 = shared.reads_per_sec;
+      snap8_writer = snapshot.commits_per_sec;
+      shared8_writer = shared.commits_per_sec;
+    }
+  }
+
+  std::ofstream json("BENCH_snapshot_reads.json");
+  json << "{\n  \"bench\": \"snapshot_reads\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const sopr::RunResult& r = results[i];
+    json << "    {\"mode\": \"" << r.mode << "\", \"readers\": " << r.readers
+         << ", \"seconds\": " << r.seconds << ", \"reads\": " << r.reads
+         << ", \"writer_commits\": " << r.writer_commits
+         << ", \"reads_per_sec\": " << r.reads_per_sec
+         << ", \"writer_commits_per_sec\": " << r.commits_per_sec << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  // Two headline numbers: raw read throughput ratio, and — the point of
+  // MVCC — how alive the writer stays under full read load (the shared
+  // lock starves it; snapshots never touch it).
+  json << "  ],\n  \"read_ratio_snapshot_vs_shared_at_8_readers\": "
+       << (shared8 > 0 ? snap8 / shared8 : 0)
+       << ",\n  \"writer_liveness_snapshot_vs_shared_at_8_readers\": "
+       << (shared8_writer > 0 ? snap8_writer / shared8_writer : 0) << "\n}\n";
+  std::cout << "wrote BENCH_snapshot_reads.json (8-reader read ratio "
+            << (shared8 > 0 ? snap8 / shared8 : 0) << "x, writer liveness "
+            << (shared8_writer > 0 ? snap8_writer / shared8_writer : 0)
+            << "x)\n";
+  return 0;
+}

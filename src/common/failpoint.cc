@@ -170,10 +170,15 @@ void FailpointRegistry::ArmLocked(const std::string& site, Trigger trigger) {
   state.trigger = trigger;
   state.hits = 0;
   state.fired_once = false;
+  RecountArmedLocked();
+}
+
+void FailpointRegistry::RecountArmedLocked() {
   int armed = 0;
   for (const auto& [name, s] : sites_) {
     (void)name;
-    if (s.trigger.mode != Mode::kOff) ++armed;
+    // A blocking-only site must defeat the lock-free fast path too.
+    if (s.trigger.mode != Mode::kOff || s.block) ++armed;
   }
   armed_count_.store(armed, std::memory_order_relaxed);
 }
@@ -186,6 +191,36 @@ void FailpointRegistry::DisarmAll() {
   std::lock_guard<std::mutex> lock(mu_);
   sites_.clear();
   armed_count_.store(0, std::memory_order_relaxed);
+  // Any thread parked at a blocking site finds its site gone and
+  // proceeds — cleanup can never deadlock a test.
+  cv_.notify_all();
+}
+
+void FailpointRegistry::ArmBlocking(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState& state = sites_[site];
+  state.block = true;
+  ++state.epoch;
+  RecountArmedLocked();
+}
+
+void FailpointRegistry::WaitForBlocked(const std::string& site,
+                                       uint64_t count) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    auto it = sites_.find(site);
+    return it != sites_.end() && it->second.blocked >= count;
+  });
+}
+
+void FailpointRegistry::Release(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return;
+  it->second.block = false;
+  ++it->second.epoch;
+  RecountArmedLocked();
+  cv_.notify_all();
 }
 
 Status FailpointRegistry::ParseSpec(
@@ -282,9 +317,26 @@ int& FailpointRegistry::suppress_depth() {
 }
 
 Status FailpointRegistry::HitSlow(const char* site) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = sites_.find(site);
   if (it == sites_.end()) return Status::OK();
+  if (it->second.block) {
+    // Park until Release (epoch guards against a release + re-arm race)
+    // or until the site disappears entirely (DisarmAll during cleanup).
+    ++it->second.blocked;
+    const uint64_t epoch = it->second.epoch;
+    cv_.notify_all();  // wake WaitForBlocked callers
+    const std::string key(site);  // iterators invalidate across wait
+    cv_.wait(lock, [&] {
+      auto s = sites_.find(key);
+      return s == sites_.end() || !s->second.block || s->second.epoch != epoch;
+    });
+    it = sites_.find(key);
+    if (it == sites_.end()) return Status::OK();
+    if (it->second.blocked > 0) --it->second.blocked;
+    // Fall through: a failure trigger armed on the same site still
+    // applies after the block lifts.
+  }
   SiteState& state = it->second;
   if (state.trigger.mode == Mode::kOff) return Status::OK();
   ++state.hits;

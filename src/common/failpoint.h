@@ -2,6 +2,7 @@
 #define SOPR_COMMON_FAILPOINT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -94,6 +95,29 @@ class FailpointRegistry {
   /// EnsureEnvArmed() re-reads SOPR_FAILPOINTS.
   void ResetEnvForTest();
 
+  /// --- Blocking sync points (deterministic concurrency schedules) ---
+  /// Orthogonal to failure triggers: a site armed as blocking makes every
+  /// thread that hits it WAIT (not fail) until Release. A test thread
+  /// drives an exact interleaving with
+  ///
+  ///   ArmBlocking("rules.commit.pre");     // writer will park here
+  ///   ... start the writer thread ...
+  ///   WaitForBlocked("rules.commit.pre");  // writer is now mid-commit
+  ///   ... probe state from another thread ...
+  ///   Release("rules.commit.pre");         // writer proceeds
+  ///
+  /// No sleeps anywhere — the schedule is exact. SuppressScope bypasses
+  /// blocks like it bypasses triggers. DisarmAll releases every blocked
+  /// thread (test cleanup can't deadlock). Deliberately not reachable
+  /// from the SOPR_FAILPOINTS env spec: an armed block with no releasing
+  /// thread would wedge the process.
+  void ArmBlocking(const std::string& site);
+  /// Blocks the CALLER until at least `count` threads are parked at
+  /// `site`.
+  void WaitForBlocked(const std::string& site, uint64_t count = 1);
+  /// Unparks every thread blocked at `site` and disarms the block.
+  void Release(const std::string& site);
+
   /// Evaluates a hit at `site`; returns a non-OK Status when the armed
   /// trigger fires. Unarmed sites return OK via a lock-free fast path.
   Status Hit(const char* site);
@@ -114,16 +138,24 @@ class FailpointRegistry {
     Trigger trigger;
     uint64_t hits = 0;
     bool fired_once = false;
+    /// Blocking sync point state: while `block` is set, hitting threads
+    /// park on cv_. `epoch` distinguishes arm generations so a parked
+    /// thread never waits across a Release + re-arm.
+    bool block = false;
+    uint64_t blocked = 0;
+    uint64_t epoch = 0;
   };
 
   Status HitSlow(const char* site);
   Status EnsureEnvArmedSlow();
   void ArmLocked(const std::string& site, Trigger trigger);
+  void RecountArmedLocked();
   static Status ParseSpec(const std::string& spec,
                           std::vector<std::pair<std::string, Trigger>>* out);
   static int& suppress_depth();
 
   mutable std::mutex mu_;
+  std::condition_variable cv_;
   std::map<std::string, SiteState> sites_;
   std::atomic<int> armed_count_{0};
   std::atomic<bool> env_checked_{false};

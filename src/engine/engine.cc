@@ -9,6 +9,7 @@
 #include "common/digest.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
+#include "query/snapshot_resolver.h"
 #include "wal/checkpoint.h"
 #include "wal/dir_lock.h"
 #include "wal/recovery.h"
@@ -266,6 +267,15 @@ Result<QueryResult> Engine::QueryParsed(const SelectStmt& stmt) {
   DatabaseResolver resolver(db_.get());
   Executor executor(db_.get(), &resolver,
                     rules_->options().optimize_queries);
+  return executor.ExecuteSelect(stmt);
+}
+
+Result<QueryResult> Engine::QueryAtSnapshot(const SelectStmt& stmt,
+                                            uint64_t lsn) const {
+  SnapshotResolver resolver(db_.get(), lsn);
+  // The select path never touches the Executor's Database (that member
+  // exists for DML), so a null db keeps this path trivially read-only.
+  Executor executor(nullptr, &resolver, rules_->options().optimize_queries);
   return executor.ExecuteSelect(stmt);
 }
 

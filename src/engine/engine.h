@@ -110,6 +110,20 @@ class Engine {
   /// Runs an already-parsed select.
   Result<QueryResult> QueryParsed(const SelectStmt& stmt);
 
+  // --- MVCC snapshot reads (docs/CONCURRENCY.md) ---
+  /// Turns on version tracking. Call after recovery and before concurrent
+  /// readers exist (the SessionManager does this).
+  void EnableMvcc() { db_->EnableMvcc(); }
+  bool mvcc_enabled() const { return db_->mvcc_enabled(); }
+  /// LSN of the most recent commit — the newest snapshot point.
+  uint64_t last_commit_lsn() const { return db_->last_commit_lsn(); }
+  /// Runs an already-parsed select against the state as of snapshot
+  /// `lsn`, entirely under the tables' shared version latches — safe
+  /// concurrently with ExecuteStaged on another thread. Caller must hold
+  /// the scheduler's schema lock (shared) to exclude DDL.
+  Result<QueryResult> QueryAtSnapshot(const SelectStmt& stmt,
+                                      uint64_t lsn) const;
+
   // --- Durability ---
   /// Takes ownership of an opened writer and routes redo/commit/DDL
   /// through it (used by Open(); exposed for tests that build the parts

@@ -1,0 +1,56 @@
+#include "query/snapshot_resolver.h"
+
+namespace sopr {
+
+namespace {
+
+Status TransitionTableError(const TableRef& ref) {
+  return Status::CatalogError(
+      "transition table '" + ref.ToString() +
+      "' can only be referenced inside a production rule");
+}
+
+}  // namespace
+
+Result<Relation> SnapshotResolver::Resolve(const TableRef& ref) {
+  if (ref.kind != TableRefKind::kBase) return TransitionTableError(ref);
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  std::vector<std::pair<TupleHandle, Row>> visible;
+  table->SnapshotScan(lsn_, &visible);
+  Relation rel;
+  rel.schema = &table->schema();
+  rel.rows.reserve(visible.size());
+  rel.handles.reserve(visible.size());
+  for (auto& [handle, row] : visible) {
+    rel.handles.push_back(handle);
+    rel.rows.push_back(std::move(row));
+  }
+  return rel;
+}
+
+Result<const TableSchema*> SnapshotResolver::ResolveSchema(
+    const TableRef& ref) {
+  if (ref.kind != TableRefKind::kBase) return TransitionTableError(ref);
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  return &table->schema();
+}
+
+Result<Relation> SnapshotResolver::ResolveEq(const TableRef& ref,
+                                             size_t column,
+                                             const Value& value) {
+  if (ref.kind != TableRefKind::kBase) return TransitionTableError(ref);
+  SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  std::vector<std::pair<TupleHandle, Row>> visible;
+  table->SnapshotProbeEq(lsn_, column, value, &visible);
+  Relation rel;
+  rel.schema = &table->schema();
+  rel.rows.reserve(visible.size());
+  rel.handles.reserve(visible.size());
+  for (auto& [handle, row] : visible) {
+    rel.handles.push_back(handle);
+    rel.rows.push_back(std::move(row));
+  }
+  return rel;
+}
+
+}  // namespace sopr

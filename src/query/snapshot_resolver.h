@@ -1,0 +1,43 @@
+#ifndef SOPR_QUERY_SNAPSHOT_RESOLVER_H_
+#define SOPR_QUERY_SNAPSHOT_RESOLVER_H_
+
+#include "query/executor.h"
+#include "storage/database.h"
+
+namespace sopr {
+
+/// Resolves base tables as of one snapshot LSN via Table::SnapshotScan /
+/// SnapshotProbeEq (docs/CONCURRENCY.md "MVCC snapshot reads"). Runs
+/// entirely under the tables' shared version latches — concurrent with
+/// the single writer — so an Executor built on this resolver serves
+/// read-only statements outside the exclusive writer section.
+///
+/// Like DatabaseResolver, transition-table references fail: transition
+/// tables only exist inside a running rule, and rule actions always
+/// execute at the write-side head, never against a snapshot.
+///
+/// The caller must hold the scheduler's schema lock (shared) for the
+/// duration of the query: snapshots version rows, not the catalog, so
+/// concurrent DDL is excluded instead.
+class SnapshotResolver : public TableResolver {
+ public:
+  SnapshotResolver(const Database* db, uint64_t lsn) : db_(db), lsn_(lsn) {}
+
+  Result<Relation> Resolve(const TableRef& ref) override;
+  Result<const TableSchema*> ResolveSchema(const TableRef& ref) override;
+  /// Narrows through the table's equality index (live rows) plus a
+  /// version-chain scan (superseded rows); may return a superset, never
+  /// misses.
+  Result<Relation> ResolveEq(const TableRef& ref, size_t column,
+                             const Value& value) override;
+
+  uint64_t lsn() const { return lsn_; }
+
+ private:
+  const Database* db_;
+  uint64_t lsn_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_QUERY_SNAPSHOT_RESOLVER_H_

@@ -641,6 +641,7 @@ Status RuleEngine::CommitImpl(ExecutionTrace* trace,
                               std::shared_ptr<wal::CommitTicket>* staged) {
   SOPR_RETURN_NOT_OK(ProcessRules(trace));
   if (in_txn_) {
+    uint64_t commit_lsn = 0;  // 0 = synthetic (in-memory engine)
     Status fault = SOPR_FAILPOINT("rules.commit.pre");
     if (!fault.ok()) {
       SOPR_RETURN_NOT_OK(AbortTransaction());
@@ -663,15 +664,26 @@ Status RuleEngine::CommitImpl(ExecutionTrace* trace,
           return ticket.status();
         }
         *staged = std::move(ticket).value();
+        // The COMMIT record's LSN identifies this commit for MVCC
+        // snapshots (null ticket = read-only transaction, no new state).
+        if (*staged != nullptr) commit_lsn = (*staged)->last_lsn;
       } else {
-        Status durable = wal_->CommitTxn(db_->next_handle());
+        // Stage + await, like CommitTxn, but keeping the ticket so the
+        // commit LSN is known for version stamping.
+        auto ticket = wal_->StageCommitTxn(db_->next_handle());
+        if (!ticket.ok()) {
+          SOPR_RETURN_NOT_OK(AbortTransaction());
+          return ticket.status();
+        }
+        Status durable = wal_->AwaitDurable(ticket.value());
         if (!durable.ok()) {
           SOPR_RETURN_NOT_OK(AbortTransaction());
           return durable;
         }
+        if (ticket.value() != nullptr) commit_lsn = ticket.value()->last_lsn;
       }
     }
-    db_->CommitAll();
+    db_->CommitAll(commit_lsn);
     in_txn_ = false;
   }
   if (!deferred_.empty()) {

@@ -1,6 +1,7 @@
 #include "server/commit_scheduler.h"
 
 #include "common/failpoint.h"
+#include "engine/explain.h"
 #include "wal/wal_writer.h"
 
 namespace sopr {
@@ -35,7 +36,19 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
     // while this transaction queued for admission.
     SOPR_RETURN_NOT_OK(CheckFatal());
     local.first_handle = engine_->db().next_handle();
-    return engine_->ExecuteStaged(stmts, &ticket);
+    auto result = engine_->ExecuteStaged(stmts, &ticket);
+    if (result.ok()) {
+      // Publication point: the commit's versions are stamped (CommitAll
+      // ran inside ExecuteStaged), so its LSN may now become visible to
+      // snapshot readers. Still inside the exclusive section, hence
+      // monotonic. Deferred-rule commits are included: last_commit_lsn
+      // reflects the newest commit this call produced.
+      uint64_t head = engine_->last_commit_lsn();
+      if (head > visible_lsn_.load(std::memory_order_relaxed)) {
+        visible_lsn_.store(head, std::memory_order_release);
+      }
+    }
+    return result;
   }();
   if (!trace.ok()) {
     aborted_.fetch_add(1, std::memory_order_relaxed);
@@ -72,6 +85,10 @@ Status CommitScheduler::ExecuteDdl(std::vector<StmtPtr> stmts) {
   SOPR_FAILPOINT_RETURN("server.submit.pre");
   SOPR_RETURN_NOT_OK(CheckFatal());
   std::unique_lock<std::shared_mutex> lock(state_mu_);
+  // Snapshot readers hold schema_mu_ shared for the duration of a query;
+  // DDL must not change the catalog under them. Fixed acquisition order
+  // state_mu_ -> schema_mu_ (readers take only schema_mu_).
+  std::unique_lock<std::shared_mutex> schema_lock(schema_mu_);
   SOPR_RETURN_NOT_OK(CheckFatal());
   // AppendDdl flushes the group queue itself; no staged batch can be
   // added meanwhile because staging happens under this exclusive lock.
@@ -83,6 +100,29 @@ Result<QueryResult> CommitScheduler::Query(const SelectStmt& stmt) {
   // in-memory state is intact, only its durable tail is gone.
   std::shared_lock<std::shared_mutex> lock(state_mu_);
   return engine_->QueryParsed(stmt);
+}
+
+SnapshotRegistry::Pin CommitScheduler::PinSnapshot() {
+  return engine_->db().PinSnapshot(visible_lsn());
+}
+
+Result<QueryResult> CommitScheduler::QueryAt(const SnapshotRegistry::Pin& pin,
+                                             const SelectStmt& stmt) {
+  // Only the schema lock, shared — never state_mu_: this is the path
+  // where readers do not block writers (and vice versa).
+  std::shared_lock<std::shared_mutex> schema_lock(schema_mu_);
+  return engine_->QueryAtSnapshot(stmt, pin.lsn());
+}
+
+Result<QueryResult> CommitScheduler::QuerySnapshot(const SelectStmt& stmt) {
+  if (!engine_->mvcc_enabled()) return Query(stmt);
+  SnapshotRegistry::Pin pin = PinSnapshot();
+  return QueryAt(pin, stmt);
+}
+
+Result<std::string> CommitScheduler::Explain(const std::string& sql) {
+  std::shared_lock<std::shared_mutex> lock(state_mu_);
+  return ExplainSelect(engine_, sql);
 }
 
 Status CommitScheduler::WithExclusive(const std::function<Status()>& fn) {

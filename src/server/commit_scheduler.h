@@ -7,10 +7,12 @@
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/engine.h"
+#include "storage/mvcc.h"
 
 namespace sopr {
 namespace server {
@@ -55,7 +57,8 @@ struct CommitReceipt {
 /// recovers to the durable prefix.
 class CommitScheduler {
  public:
-  explicit CommitScheduler(Engine* engine) : engine_(engine) {}
+  explicit CommitScheduler(Engine* engine)
+      : engine_(engine), visible_lsn_(engine->last_commit_lsn()) {}
   CommitScheduler(const CommitScheduler&) = delete;
   CommitScheduler& operator=(const CommitScheduler&) = delete;
 
@@ -69,8 +72,37 @@ class CommitScheduler {
   Status ExecuteDdl(std::vector<StmtPtr> stmts);
 
   /// Read-only select under the shared lock (concurrent with other
-  /// queries, serialized against the apply phase).
+  /// queries, serialized against the apply phase). This is the pre-MVCC
+  /// baseline path, kept for comparison (bench_snapshot_reads) and for
+  /// engines without MVCC enabled.
   Result<QueryResult> Query(const SelectStmt& stmt);
+
+  // --- MVCC snapshot reads (docs/CONCURRENCY.md) ---
+
+  /// Newest published snapshot point: advances monotonically inside the
+  /// exclusive section after a transaction's versions are stamped, so a
+  /// snapshot at this LSN can never see a torn transaction.
+  uint64_t visible_lsn() const {
+    return visible_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Pins the current visible LSN against checkpoint pruning. The pin is
+  /// a data-plane pin only — it does not block DDL; use QueryAt, which
+  /// takes the schema lock per query.
+  SnapshotRegistry::Pin PinSnapshot();
+
+  /// Runs `stmt` against the pinned snapshot, entirely outside the
+  /// exclusive writer section (readers never block writers). Takes the
+  /// schema lock shared for the duration of the query.
+  Result<QueryResult> QueryAt(const SnapshotRegistry::Pin& pin,
+                              const SelectStmt& stmt);
+
+  /// One-shot snapshot read: pin the current visible LSN, query, unpin.
+  /// Falls back to Query() when the engine has no MVCC.
+  Result<QueryResult> QuerySnapshot(const SelectStmt& stmt);
+
+  /// Explains a select — purely analytical, a read (shared lock).
+  Result<std::string> Explain(const std::string& sql);
 
   /// Runs `fn` with the exclusive lock held (maintenance wall between
   /// transactions — explicit checkpoints etc.).
@@ -97,6 +129,15 @@ class CommitScheduler {
   /// Writers exclusive, readers shared. Never held across fsync: the
   /// durability wait happens after release.
   std::shared_mutex state_mu_;
+  /// Excludes DDL from snapshot reads: snapshots version rows, not the
+  /// catalog. DDL takes it exclusive (after state_mu_ — fixed order);
+  /// snapshot readers take only this one, shared, so no deadlock cycle
+  /// with writers is possible.
+  std::shared_mutex schema_mu_;
+  /// Published snapshot head. Written only inside the exclusive section
+  /// AFTER the committing transaction stamped its versions; the release
+  /// store pairs with the acquire load in visible_lsn().
+  std::atomic<uint64_t> visible_lsn_;
   mutable std::mutex fatal_mu_;
   Status fatal_;
   std::atomic<uint64_t> committed_{0};

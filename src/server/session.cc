@@ -9,6 +9,17 @@ namespace server {
 
 CommitScheduler& Session::scheduler() { return manager_->scheduler(); }
 
+bool Session::IsReadOnlyScript(const std::vector<StmtPtr>& stmts) {
+  // With the §5.1 select-triggering extension on, a select is a
+  // rule-firing operation like any write: it must run in a transaction
+  // through the exclusive section.
+  if (scheduler().engine()->rules().options().track_selects) return false;
+  for (const StmtPtr& stmt : stmts) {
+    if (stmt->kind != StmtKind::kSelect) return false;
+  }
+  return true;
+}
+
 Status Session::Execute(const std::string& sql) {
   // Parsing happens here, on the session's thread, with no engine lock
   // held — the concurrent half of the parse/plan-then-serialize pipeline.
@@ -22,6 +33,29 @@ Status Session::Execute(const std::string& sql) {
       return Status::InvalidArgument(
           "cannot mix DDL and DML in one script: " + stmt->ToString());
     }
+  }
+  if (IsReadOnlyScript(stmts)) {
+    // All statements read the same pinned snapshot — the read-only
+    // transaction is trivially atomic without ever touching the
+    // exclusive section. A select into a transition table still fails
+    // with the usual catalog error, exactly as it did on the write path.
+    Snapshot snapshot = scheduler().engine()->mvcc_enabled()
+                            ? scheduler().PinSnapshot()
+                            : Snapshot();
+    for (const StmtPtr& stmt : stmts) {
+      const auto& select = static_cast<const SelectStmt&>(*stmt);
+      auto result = snapshot.pinned() ? scheduler().QueryAt(snapshot, select)
+                                      : scheduler().Query(select);
+      if (!result.ok()) {
+        ++aborts_;
+        return result.status();
+      }
+    }
+    // Mirror the old behavior of a select-only block (a committed
+    // read-only transaction with an empty receipt).
+    ++commits_;
+    last_receipt_ = CommitReceipt{};
+    return Status::OK();
   }
   CommitReceipt receipt;
   auto trace = scheduler().ExecuteBlock(stmts, &receipt);
@@ -64,11 +98,42 @@ Result<ExecutionTrace> Session::ExecuteBlock(const std::string& sql) {
 }
 
 Result<QueryResult> Session::Query(const std::string& sql) {
+  return ExecuteQuery(sql);
+}
+
+Result<QueryResult> Session::ExecuteQuery(const std::string& sql) {
   SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
   if (stmt->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Query expects a select statement");
   }
-  return scheduler().Query(static_cast<const SelectStmt&>(*stmt));
+  // QuerySnapshot pins the newest published snapshot and runs outside
+  // the exclusive section; without MVCC it degrades to the shared-lock
+  // read path.
+  return scheduler().QuerySnapshot(static_cast<const SelectStmt&>(*stmt));
+}
+
+Result<Session::Snapshot> Session::PinSnapshot() {
+  if (!scheduler().engine()->mvcc_enabled()) {
+    return Status::InvalidArgument(
+        "PinSnapshot requires MVCC (enabled by the SessionManager)");
+  }
+  return scheduler().PinSnapshot();
+}
+
+Result<QueryResult> Session::QueryAt(const Snapshot& snapshot,
+                                     const std::string& sql) {
+  if (!snapshot.pinned()) {
+    return Status::InvalidArgument("QueryAt: snapshot is not pinned");
+  }
+  SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
+  if (stmt->kind != StmtKind::kSelect) {
+    return Status::InvalidArgument("Query expects a select statement");
+  }
+  return scheduler().QueryAt(snapshot, static_cast<const SelectStmt&>(*stmt));
+}
+
+Result<std::string> Session::Explain(const std::string& sql) {
+  return scheduler().Explain(sql);
 }
 
 }  // namespace server

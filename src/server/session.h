@@ -26,18 +26,47 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
+  /// A pinned MVCC snapshot: every QueryAt against it reads the same
+  /// committed state, and checkpoint pruning keeps the versions it needs
+  /// while it is alive. Data-plane only — concurrent DDL is excluded per
+  /// query (QueryAt takes the schema lock), not for the pin's lifetime.
+  using Snapshot = SnapshotRegistry::Pin;
+
   /// Autocommit execution of a SQL script: either an all-DDL script or
   /// one DML operation block run as a single transaction (rules to
   /// quiescence, group commit). Returns kRolledBack if a rule's rollback
   /// action fired.
+  ///
+  /// Read-only classification: a script whose statements are all selects
+  /// is a read — it runs against one pinned snapshot, entirely outside
+  /// the exclusive writer section. Exception: when the engine's §5.1
+  /// select-triggering extension is on (track_selects), selects fire
+  /// rules and must route through the exclusive section like any write.
+  /// Any non-select statement anywhere in the script makes the whole
+  /// block a write transaction.
   Status Execute(const std::string& sql);
 
   /// Like Execute for DML, returning the full execution trace.
   Result<ExecutionTrace> ExecuteBlock(const std::string& sql);
 
-  /// Read-only query (shared lock; concurrent with other sessions'
-  /// queries).
+  /// Read-only query. With MVCC on (the SessionManager default) this
+  /// pins the newest published snapshot and never blocks on — or blocks —
+  /// the writer; otherwise it falls back to the shared-lock path.
   Result<QueryResult> Query(const std::string& sql);
+
+  /// Explicit alias for the snapshot read path (the name ISSUE 4 uses).
+  Result<QueryResult> ExecuteQuery(const std::string& sql);
+
+  /// Pins the newest published snapshot for repeated reads: every
+  /// QueryAt(snapshot, ...) sees the same state no matter what commits
+  /// meanwhile. Requires MVCC (kInvalidArgument otherwise).
+  Result<Snapshot> PinSnapshot();
+  Result<QueryResult> QueryAt(const Snapshot& snapshot,
+                              const std::string& sql);
+
+  /// `explain <select>` is a read: analyzes the plan under the shared
+  /// lock, never entering the exclusive section.
+  Result<std::string> Explain(const std::string& sql);
 
   uint64_t id() const { return id_; }
   /// Receipt of this session's most recent committed DML block (zeroed
@@ -48,6 +77,9 @@ class Session {
 
  private:
   CommitScheduler& scheduler();
+  /// True when the parsed script classifies as read-only (all selects,
+  /// and selects do not trigger rules).
+  bool IsReadOnlyScript(const std::vector<StmtPtr>& stmts);
 
   SessionManager* manager_;
   const uint64_t id_;

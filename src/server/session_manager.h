@@ -32,8 +32,13 @@ class SessionManager {
       RuleEngineOptions options);
 
   /// Wraps an already-opened engine (tests that build the parts by hand).
+  /// Turns on MVCC: recovery (if any) already ran inside Engine::Open, so
+  /// recovered rows stay unversioned — visible at every snapshot — and
+  /// version tracking starts with the first post-open commit.
   explicit SessionManager(std::unique_ptr<Engine> engine)
-      : engine_(std::move(engine)), scheduler_(engine_.get()) {}
+      : engine_(std::move(engine)), scheduler_(engine_.get()) {
+    engine_->EnableMvcc();
+  }
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 

@@ -18,8 +18,14 @@ Status Database::ConcurrentMutationError() {
 Status Database::CreateTable(TableSchema schema) {
   std::string key = ToLower(schema.name());
   SOPR_RETURN_NOT_OK(catalog_.AddTable(schema));
-  tables_.emplace(std::move(key), Table(std::move(schema)));
+  auto [it, inserted] = tables_.emplace(std::move(key), Table(std::move(schema)));
+  if (inserted && mvcc_enabled_) it->second.EnableMvcc();
   return Status::OK();
+}
+
+void Database::EnableMvcc() {
+  mvcc_enabled_ = true;
+  for (auto& [name, table] : tables_) table.EnableMvcc();
 }
 
 Status Database::DropTable(std::string_view name) {
@@ -65,9 +71,10 @@ Result<TupleHandle> Database::InsertRow(std::string_view table, Row row) {
   }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
-    SOPR_RETURN_NOT_OK(t->Erase(handle));
+    SOPR_RETURN_NOT_OK(t->RollbackInsert(handle));
     return logged;
   }
+  if (mvcc_enabled_) mvcc_journal_.emplace_back(ToLower(table), handle);
   SOPR_FAILPOINT_RETURN("storage.insert.post");
   return handle;
 }
@@ -88,9 +95,10 @@ Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
   }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
-    SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(old_row)));
+    SOPR_RETURN_NOT_OK(t->RollbackDelete(handle, std::move(old_row)));
     return logged;
   }
+  if (mvcc_enabled_) mvcc_journal_.emplace_back(ToLower(table), handle);
   SOPR_FAILPOINT_RETURN("storage.delete.post");
   return Status::OK();
 }
@@ -115,9 +123,10 @@ Status Database::UpdateRow(std::string_view table, TupleHandle handle,
   }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
-    SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(old_row)));
+    SOPR_RETURN_NOT_OK(t->RollbackUpdate(handle, std::move(old_row)));
     return logged;
   }
+  if (mvcc_enabled_) mvcc_journal_.emplace_back(ToLower(table), handle);
   SOPR_FAILPOINT_RETURN("storage.update.post");
   return Status::OK();
 }
@@ -140,18 +149,53 @@ Status Database::RollbackTo(UndoLog::Mark mark) {
     Table* t = table_result.value();
     switch (rec.kind) {
       case UndoRecord::Kind::kInsert:
-        SOPR_RETURN_NOT_OK(t->Erase(rec.handle));
+        SOPR_RETURN_NOT_OK(t->RollbackInsert(rec.handle));
         break;
       case UndoRecord::Kind::kDelete:
-        SOPR_RETURN_NOT_OK(t->Insert(rec.handle, rec.old_row));
+        SOPR_RETURN_NOT_OK(t->RollbackDelete(rec.handle, rec.old_row));
         break;
       case UndoRecord::Kind::kUpdate:
-        SOPR_RETURN_NOT_OK(t->Replace(rec.handle, rec.old_row));
+        SOPR_RETURN_NOT_OK(t->RollbackUpdate(rec.handle, rec.old_row));
         break;
     }
   }
   undo_.TruncateTo(mark);
+  // Keep the MVCC journal 1:1 with the undo log: the rolled-back
+  // mutations left no version state behind (structural undo), so their
+  // journal entries must go too.
+  if (mvcc_journal_.size() > mark) mvcc_journal_.resize(mark);
   return Status::OK();
+}
+
+void Database::CommitAll(uint64_t commit_lsn) {
+  if (mvcc_enabled_ && !mvcc_journal_.empty()) {
+    if (commit_lsn == 0) {
+      // No WAL: synthesize a commit LSN. Single-writer discipline makes
+      // the read-modify-write safe.
+      commit_lsn = last_commit_lsn_.load(std::memory_order_acquire) + 1;
+    }
+    for (const auto& [table, handle] : mvcc_journal_) {
+      auto t = GetTable(table);
+      if (t.ok()) t.value()->StampVersions(handle, commit_lsn);
+    }
+  }
+  if (commit_lsn > last_commit_lsn_.load(std::memory_order_acquire)) {
+    last_commit_lsn_.store(commit_lsn, std::memory_order_release);
+  }
+  mvcc_journal_.clear();
+  undo_.Clear();
+}
+
+size_t Database::PruneVersions(uint64_t floor) {
+  size_t pruned = 0;
+  for (auto& [name, table] : tables_) pruned += table.PruneVersions(floor);
+  return pruned;
+}
+
+size_t Database::VersionCount() const {
+  size_t n = 0;
+  for (const auto& [name, table] : tables_) n += table.version_count();
+  return n;
 }
 
 // ---------------------------------------------------------------------------

@@ -4,9 +4,12 @@
 #include <atomic>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "storage/mvcc.h"
 #include "storage/redo_sink.h"
 #include "storage/table.h"
 #include "storage/tuple_handle.h"
@@ -80,10 +83,41 @@ class Database {
   Status RollbackTo(UndoLog::Mark mark);
 
   /// Commit point: forget undo information (the paper's model has no
-  /// post-commit rollback).
-  void CommitAll() { undo_.Clear(); }
+  /// post-commit rollback). With MVCC on, also stamps every version this
+  /// transaction wrote to `commit_lsn` — callers with a WAL pass the
+  /// COMMIT record's LSN; callers without one pass 0 and get a synthetic
+  /// monotonically increasing LSN.
+  void CommitAll(uint64_t commit_lsn = 0);
 
   size_t undo_log_size() const { return undo_.size(); }
+
+  // --- MVCC ---------------------------------------------------------------
+
+  /// Turns on version tracking for every current and future table.
+  /// Must happen before concurrent readers exist and after recovery (so
+  /// recovered rows stay unversioned, i.e. visible at snapshot 0).
+  void EnableMvcc();
+  bool mvcc_enabled() const { return mvcc_enabled_; }
+
+  /// LSN of the most recent commit (0 before the first one). This is the
+  /// newest meaningful snapshot point.
+  uint64_t last_commit_lsn() const {
+    return last_commit_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Readers pin the snapshots they are using so checkpoint pruning
+  /// keeps the versions those snapshots can see.
+  SnapshotRegistry& snapshots() const { return snapshots_; }
+  SnapshotRegistry::Pin PinSnapshot(uint64_t lsn) const {
+    return snapshots_.Acquire(lsn);
+  }
+
+  /// Drops version state invisible to every snapshot at or after `floor`
+  /// across all tables; returns versions discarded.
+  size_t PruneVersions(uint64_t floor);
+
+  /// Total superseded row versions retained across all tables.
+  size_t VersionCount() const;
 
   /// Caps undo-log growth (0 = unlimited); a mutation that would exceed
   /// the budget fails with kResourceExhausted and is NOT applied. The log
@@ -130,6 +164,14 @@ class Database {
   RedoSink* wal_ = nullptr;  // not owned; null when durability is off
   TupleHandle next_handle_ = 1;
   std::atomic<int> active_mutators_{0};
+
+  bool mvcc_enabled_ = false;
+  /// One entry per undo record (same order): which (table, handle) this
+  /// transaction touched, so CommitAll can stamp the pending version
+  /// sentinels. Truncated in lockstep with the undo log on rollback.
+  std::vector<std::pair<std::string, TupleHandle>> mvcc_journal_;
+  std::atomic<uint64_t> last_commit_lsn_{0};
+  mutable SnapshotRegistry snapshots_;
 };
 
 }  // namespace sopr

@@ -1,0 +1,38 @@
+#include "storage/mvcc.h"
+
+namespace sopr {
+
+SnapshotRegistry::Pin::Pin(SnapshotRegistry* registry, uint64_t lsn)
+    : registry_(registry), lsn_(lsn) {
+  std::lock_guard<std::mutex> lock(registry_->mu_);
+  registry_->pinned_.insert(lsn_);
+}
+
+void SnapshotRegistry::Pin::Reset() {
+  if (registry_ == nullptr) return;
+  registry_->ReleaseLocked(lsn_);
+  registry_ = nullptr;
+}
+
+void SnapshotRegistry::ReleaseLocked(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pinned_.find(lsn);
+  if (it != pinned_.end()) pinned_.erase(it);
+}
+
+SnapshotRegistry::Pin SnapshotRegistry::Acquire(uint64_t lsn) {
+  return Pin(this, lsn);
+}
+
+uint64_t SnapshotRegistry::OldestPinnedOr(uint64_t fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pinned_.empty()) return fallback;
+  return *pinned_.begin();
+}
+
+size_t SnapshotRegistry::num_pinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pinned_.size();
+}
+
+}  // namespace sopr

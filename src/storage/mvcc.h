@@ -1,0 +1,96 @@
+#ifndef SOPR_STORAGE_MVCC_H_
+#define SOPR_STORAGE_MVCC_H_
+
+#include <cstdint>
+#include <set>
+
+#include <mutex>
+
+#include "types/row.h"
+
+namespace sopr {
+
+/// Multi-version read support (docs/CONCURRENCY.md "MVCC snapshot
+/// reads"). Every committed database state is identified by its commit
+/// LSN; a snapshot at LSN S sees a row version iff
+///
+///     begin_lsn <= S < end_lsn
+///
+/// Live rows have a conceptual end_lsn of infinity. Versions written by
+/// a transaction that has not committed yet carry the kPendingLsn
+/// sentinel in the affected field; since kPendingLsn compares greater
+/// than every real LSN, a pending begin is invisible to every snapshot
+/// and a pending end keeps the superseded version visible — exactly the
+/// isolation an in-flight transaction must provide. At commit the
+/// sentinels are stamped to the transaction's commit LSN, and only then
+/// does the CommitScheduler publish that LSN as visible.
+inline constexpr uint64_t kPendingLsn = ~0ull;
+
+/// A superseded (updated-over or deleted) row image kept for readers
+/// whose snapshot predates the supersession.
+struct RowVersion {
+  uint64_t begin_lsn = 0;
+  uint64_t end_lsn = kPendingLsn;
+  Row row;
+};
+
+/// The set of snapshot LSNs currently pinned by readers. Checkpoint
+/// pruning may discard a version only when no pinned snapshot can still
+/// see it (wal/checkpoint.cc).
+class SnapshotRegistry {
+ public:
+  /// RAII pin: while alive, versions visible at `lsn` survive pruning.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(SnapshotRegistry* registry, uint64_t lsn);
+    ~Pin() { Reset(); }
+    Pin(Pin&& other) noexcept
+        : registry_(other.registry_), lsn_(other.lsn_) {
+      other.registry_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        registry_ = other.registry_;
+        lsn_ = other.lsn_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+    uint64_t lsn() const { return lsn_; }
+    bool pinned() const { return registry_ != nullptr; }
+    void Reset();
+
+   private:
+    SnapshotRegistry* registry_ = nullptr;
+    uint64_t lsn_ = 0;
+  };
+
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  Pin Acquire(uint64_t lsn);
+
+  /// The oldest pinned snapshot LSN, or `fallback` when nothing is
+  /// pinned (callers pass the current commit head: with no readers, only
+  /// the head state needs to stay reconstructible).
+  uint64_t OldestPinnedOr(uint64_t fallback) const;
+
+  size_t num_pinned() const;
+
+ private:
+  friend class Pin;
+  void ReleaseLocked(uint64_t lsn);
+
+  mutable std::mutex mu_;
+  std::multiset<uint64_t> pinned_;
+};
+
+}  // namespace sopr
+
+#endif  // SOPR_STORAGE_MVCC_H_

@@ -1,13 +1,33 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 #include "common/failpoint.h"
 
 namespace sopr {
+
+namespace {
+
+/// Lock helper: an engaged unique_lock when MVCC is on, disengaged (and
+/// free) otherwise. Writers use this so the non-MVCC single-user path
+/// pays nothing.
+template <typename Mutex>
+std::unique_lock<Mutex> MaybeLock(Mutex* mu) {
+  return mu == nullptr ? std::unique_lock<Mutex>()
+                       : std::unique_lock<Mutex>(*mu);
+}
+
+}  // namespace
+
+void Table::EnableMvcc() {
+  if (mvcc_ == nullptr) mvcc_ = std::make_unique<MvccState>();
+}
 
 Status Table::Insert(TupleHandle handle, Row row) {
   if (handle == kInvalidHandle) {
     return Status::Internal("attempt to insert with invalid handle");
   }
+  auto lock = MaybeLock(mvcc_ == nullptr ? nullptr : &mvcc_->mu);
   auto [it, inserted] = rows_.emplace(handle, std::move(row));
   if (!inserted) {
     return Status::Internal("duplicate tuple handle " +
@@ -24,10 +44,14 @@ Status Table::Insert(TupleHandle handle, Row row) {
   for (ColumnIndex& index : indexes_) {
     index.Insert(it->second.at(index.column()), handle);
   }
+  // Invisible to every snapshot until the owning transaction commits and
+  // stamps the sentinel to its commit LSN.
+  if (mvcc_ != nullptr) mvcc_->live_begin[handle] = kPendingLsn;
   return Status::OK();
 }
 
 Status Table::Erase(TupleHandle handle) {
+  auto lock = MaybeLock(mvcc_ == nullptr ? nullptr : &mvcc_->mu);
   auto it = rows_.find(handle);
   if (it == rows_.end()) {
     return Status::Internal("no tuple with handle " + std::to_string(handle) +
@@ -45,11 +69,26 @@ Status Table::Erase(TupleHandle handle) {
     }
     return fault;
   }
+  if (mvcc_ != nullptr) {
+    // The deleted image stays readable for snapshots that predate the
+    // deleting commit.
+    RowVersion version;
+    auto begin_it = mvcc_->live_begin.find(handle);
+    version.begin_lsn =
+        begin_it == mvcc_->live_begin.end() ? 0 : begin_it->second;
+    version.end_lsn = kPendingLsn;
+    version.row = std::move(it->second);
+    mvcc_->chains[handle].push_back(std::move(version));
+    if (begin_it != mvcc_->live_begin.end()) {
+      mvcc_->live_begin.erase(begin_it);
+    }
+  }
   rows_.erase(it);
   return Status::OK();
 }
 
 Status Table::Replace(TupleHandle handle, Row row) {
+  auto lock = MaybeLock(mvcc_ == nullptr ? nullptr : &mvcc_->mu);
   auto it = rows_.find(handle);
   if (it == rows_.end()) {
     return Status::Internal("no tuple with handle " + std::to_string(handle) +
@@ -65,6 +104,16 @@ Status Table::Replace(TupleHandle handle, Row row) {
     }
     return fault;
   }
+  if (mvcc_ != nullptr) {
+    RowVersion version;
+    auto begin_it = mvcc_->live_begin.find(handle);
+    version.begin_lsn =
+        begin_it == mvcc_->live_begin.end() ? 0 : begin_it->second;
+    version.end_lsn = kPendingLsn;
+    version.row = it->second;
+    mvcc_->chains[handle].push_back(std::move(version));
+    mvcc_->live_begin[handle] = kPendingLsn;
+  }
   it->second = std::move(row);
   for (ColumnIndex& index : indexes_) {
     index.Insert(it->second.at(index.column()), handle);
@@ -72,11 +121,248 @@ Status Table::Replace(TupleHandle handle, Row row) {
   return Status::OK();
 }
 
+Status Table::RollbackInsert(TupleHandle handle) {
+  if (mvcc_ == nullptr) return Erase(handle);
+  std::unique_lock<std::shared_mutex> lock(mvcc_->mu);
+  auto it = rows_.find(handle);
+  if (it == rows_.end()) {
+    return Status::Internal("rollback-insert: no tuple with handle " +
+                            std::to_string(handle) + " in table " +
+                            schema_.name());
+  }
+  for (ColumnIndex& index : indexes_) {
+    index.Erase(it->second.at(index.column()), handle);
+  }
+  rows_.erase(it);
+  // Structural undo: the insert created the live_begin sentinel, so the
+  // undo removes it rather than recording the rollback as a deletion.
+  mvcc_->live_begin.erase(handle);
+  return Status::OK();
+}
+
+Status Table::RollbackDelete(TupleHandle handle, Row old_row) {
+  if (mvcc_ == nullptr) return Insert(handle, std::move(old_row));
+  std::unique_lock<std::shared_mutex> lock(mvcc_->mu);
+  auto [it, inserted] = rows_.emplace(handle, std::move(old_row));
+  if (!inserted) {
+    return Status::Internal("rollback-delete: handle " +
+                            std::to_string(handle) +
+                            " already present in table " + schema_.name());
+  }
+  for (ColumnIndex& index : indexes_) {
+    index.Insert(it->second.at(index.column()), handle);
+  }
+  auto chain_it = mvcc_->chains.find(handle);
+  if (chain_it == mvcc_->chains.end() || chain_it->second.empty() ||
+      chain_it->second.back().end_lsn != kPendingLsn) {
+    return Status::Internal("rollback-delete: no pending version for handle " +
+                            std::to_string(handle) + " in table " +
+                            schema_.name());
+  }
+  const uint64_t begin = chain_it->second.back().begin_lsn;
+  chain_it->second.pop_back();
+  if (chain_it->second.empty()) mvcc_->chains.erase(chain_it);
+  if (begin == 0) {
+    mvcc_->live_begin.erase(handle);
+  } else {
+    mvcc_->live_begin[handle] = begin;
+  }
+  return Status::OK();
+}
+
+Status Table::RollbackUpdate(TupleHandle handle, Row old_row) {
+  if (mvcc_ == nullptr) return Replace(handle, std::move(old_row));
+  std::unique_lock<std::shared_mutex> lock(mvcc_->mu);
+  auto it = rows_.find(handle);
+  if (it == rows_.end()) {
+    return Status::Internal("rollback-update: no tuple with handle " +
+                            std::to_string(handle) + " in table " +
+                            schema_.name());
+  }
+  for (ColumnIndex& index : indexes_) {
+    index.Erase(it->second.at(index.column()), handle);
+  }
+  it->second = std::move(old_row);
+  for (ColumnIndex& index : indexes_) {
+    index.Insert(it->second.at(index.column()), handle);
+  }
+  auto chain_it = mvcc_->chains.find(handle);
+  if (chain_it == mvcc_->chains.end() || chain_it->second.empty() ||
+      chain_it->second.back().end_lsn != kPendingLsn) {
+    return Status::Internal("rollback-update: no pending version for handle " +
+                            std::to_string(handle) + " in table " +
+                            schema_.name());
+  }
+  const uint64_t begin = chain_it->second.back().begin_lsn;
+  chain_it->second.pop_back();
+  if (chain_it->second.empty()) mvcc_->chains.erase(chain_it);
+  if (begin == 0) {
+    mvcc_->live_begin.erase(handle);
+  } else {
+    mvcc_->live_begin[handle] = begin;
+  }
+  return Status::OK();
+}
+
+void Table::StampVersions(TupleHandle handle, uint64_t commit_lsn) {
+  if (mvcc_ == nullptr) return;
+  std::unique_lock<std::shared_mutex> lock(mvcc_->mu);
+  auto begin_it = mvcc_->live_begin.find(handle);
+  if (begin_it != mvcc_->live_begin.end() &&
+      begin_it->second == kPendingLsn) {
+    begin_it->second = commit_lsn;
+  }
+  auto chain_it = mvcc_->chains.find(handle);
+  if (chain_it == mvcc_->chains.end()) return;
+  // Pending entries are a suffix of the chain: everything older was
+  // stamped by the commit that superseded it.
+  for (auto v = chain_it->second.rbegin();
+       v != chain_it->second.rend() && v->end_lsn == kPendingLsn; ++v) {
+    v->end_lsn = commit_lsn;
+    // An insert superseded within its own transaction yields the empty
+    // interval [C, C): correctly visible to nobody.
+    if (v->begin_lsn == kPendingLsn) v->begin_lsn = commit_lsn;
+  }
+}
+
+const Row* Table::VisibleChainRow(const std::vector<RowVersion>& chain,
+                                  uint64_t lsn) {
+  for (const RowVersion& v : chain) {
+    if (v.begin_lsn <= lsn && lsn < v.end_lsn) return &v.row;
+  }
+  return nullptr;
+}
+
+bool Table::LiveVisibleLocked(TupleHandle handle, uint64_t lsn) const {
+  auto it = mvcc_->live_begin.find(handle);
+  return it == mvcc_->live_begin.end() || it->second <= lsn;
+}
+
+void Table::SnapshotScan(
+    uint64_t lsn, std::vector<std::pair<TupleHandle, Row>>* out) const {
+  if (mvcc_ == nullptr) {
+    for (const auto& [handle, row] : rows_) out->emplace_back(handle, row);
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(mvcc_->mu);
+  SnapshotScanLocked(lsn, out);
+}
+
+void Table::SnapshotScanLocked(
+    uint64_t lsn, std::vector<std::pair<TupleHandle, Row>>* out) const {
+  // Handle-ordered merge of the heap and the version chains. The
+  // intervals of a handle's versions (chain entries plus the live row)
+  // are disjoint, so at most one of the two merge arms emits it.
+  auto live = rows_.begin();
+  auto chain = mvcc_->chains.begin();
+  while (live != rows_.end() || chain != mvcc_->chains.end()) {
+    if (chain == mvcc_->chains.end() ||
+        (live != rows_.end() && live->first < chain->first)) {
+      if (LiveVisibleLocked(live->first, lsn)) {
+        out->emplace_back(live->first, live->second);
+      }
+      ++live;
+    } else if (live == rows_.end() || chain->first < live->first) {
+      if (const Row* row = VisibleChainRow(chain->second, lsn)) {
+        out->emplace_back(chain->first, *row);
+      }
+      ++chain;
+    } else {
+      if (LiveVisibleLocked(live->first, lsn)) {
+        out->emplace_back(live->first, live->second);
+      } else if (const Row* row = VisibleChainRow(chain->second, lsn)) {
+        out->emplace_back(chain->first, *row);
+      }
+      ++live;
+      ++chain;
+    }
+  }
+}
+
+void Table::SnapshotProbeEq(
+    uint64_t lsn, size_t column, const Value& value,
+    std::vector<std::pair<TupleHandle, Row>>* out) const {
+  if (mvcc_ == nullptr) {
+    SnapshotScan(lsn, out);
+    return;
+  }
+  std::shared_lock<std::shared_mutex> lock(mvcc_->mu);
+  const ColumnIndex* index = GetIndex(column);
+  if (index == nullptr) {
+    SnapshotScanLocked(lsn, out);
+    return;
+  }
+  std::vector<std::pair<TupleHandle, Row>> matches;
+  // Live rows come straight from the index (it tracks the heap, i.e. the
+  // write-side head), filtered down to what the snapshot may see.
+  if (const std::set<TupleHandle>* bucket = index->Lookup(value)) {
+    for (TupleHandle handle : *bucket) {
+      if (!LiveVisibleLocked(handle, lsn)) continue;
+      auto it = rows_.find(handle);
+      if (it != rows_.end()) matches.emplace_back(handle, it->second);
+    }
+  }
+  // Superseded versions are not indexed; scan the chains with the same
+  // key equivalence the index uses. A handle never matches both arms:
+  // its version intervals are disjoint.
+  const Value key = ColumnIndex::NormalizeKey(value);
+  for (const auto& [handle, chain] : mvcc_->chains) {
+    const Row* row = VisibleChainRow(chain, lsn);
+    if (row == nullptr) continue;
+    const Value& stored = row->at(column);
+    if (stored.is_null()) continue;  // SQL equality with NULL never holds
+    const Value normalized = ColumnIndex::NormalizeKey(stored);
+    if (normalized.StructurallyLess(key) || key.StructurallyLess(normalized)) {
+      continue;
+    }
+    matches.emplace_back(handle, *row);
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out->insert(out->end(), std::make_move_iterator(matches.begin()),
+              std::make_move_iterator(matches.end()));
+}
+
+size_t Table::PruneVersions(uint64_t floor) {
+  if (mvcc_ == nullptr) return 0;
+  std::unique_lock<std::shared_mutex> lock(mvcc_->mu);
+  size_t pruned = 0;
+  for (auto it = mvcc_->chains.begin(); it != mvcc_->chains.end();) {
+    std::vector<RowVersion>& chain = it->second;
+    auto dead_end = std::find_if(
+        chain.begin(), chain.end(), [floor](const RowVersion& v) {
+          // kPendingLsn compares greater than any floor: in-flight
+          // versions always survive.
+          return v.end_lsn > floor;
+        });
+    pruned += static_cast<size_t>(dead_end - chain.begin());
+    chain.erase(chain.begin(), dead_end);
+    it = chain.empty() ? mvcc_->chains.erase(it) : std::next(it);
+  }
+  // A live_begin at or below the floor is indistinguishable from the
+  // absent-means-0 default for every surviving snapshot.
+  for (auto it = mvcc_->live_begin.begin(); it != mvcc_->live_begin.end();) {
+    it = (it->second != kPendingLsn && it->second <= floor)
+             ? mvcc_->live_begin.erase(it)
+             : std::next(it);
+  }
+  return pruned;
+}
+
+size_t Table::version_count() const {
+  if (mvcc_ == nullptr) return 0;
+  std::shared_lock<std::shared_mutex> lock(mvcc_->mu);
+  size_t n = 0;
+  for (const auto& [handle, chain] : mvcc_->chains) n += chain.size();
+  return n;
+}
+
 Status Table::CreateIndex(size_t column) {
   if (column >= schema_.num_columns()) {
     return Status::InvalidArgument("no column #" + std::to_string(column) +
                                    " in table " + schema_.name());
   }
+  auto lock = MaybeLock(mvcc_ == nullptr ? nullptr : &mvcc_->mu);
   if (GetIndex(column) != nullptr) return Status::OK();  // idempotent
   indexes_.emplace_back(column);
   ColumnIndex& index = indexes_.back();

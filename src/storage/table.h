@@ -2,12 +2,16 @@
 #define SOPR_STORAGE_TABLE_H_
 
 #include <map>
+#include <memory>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/schema.h"
 #include "common/status.h"
 #include "storage/index.h"
+#include "storage/mvcc.h"
 #include "storage/tuple_handle.h"
 #include "types/row.h"
 
@@ -16,6 +20,20 @@ namespace sopr {
 /// Heap storage for one table: handle → row. Duplicate rows are allowed
 /// (they have distinct handles, per the paper's model). Iteration order is
 /// ascending handle, i.e. insertion order, which keeps traces deterministic.
+///
+/// MVCC (docs/CONCURRENCY.md): after EnableMvcc(), every mutation also
+/// maintains per-tuple version state under a per-table latch —
+///   - live_begin: the commit LSN from which the current heap row is
+///     visible (absent = 0, i.e. visible to every snapshot; kPendingLsn
+///     while the writing transaction is in flight);
+///   - per-handle chains of superseded RowVersions, each ending at the
+///     LSN of the commit that superseded it.
+/// SnapshotScan / SnapshotProbeEq read the state as of a snapshot LSN
+/// under the shared side of the latch, entirely concurrent with the
+/// single writer (who takes the exclusive side only for the short heap +
+/// version critical section). The unversioned accessors (rows(), Get)
+/// keep reading the write-side head and rely on the caller's locking,
+/// exactly as before.
 class Table {
  public:
   explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
@@ -57,10 +75,76 @@ class Table {
 
   size_t num_indexes() const { return indexes_.size(); }
 
+  // --- MVCC ---------------------------------------------------------------
+
+  /// Turns on version tracking (idempotent). Existing rows get no
+  /// explicit version entry: absent means begin_lsn 0, visible to every
+  /// snapshot — which is exactly right for recovered or pre-existing
+  /// state.
+  void EnableMvcc();
+  bool mvcc_enabled() const { return mvcc_ != nullptr; }
+
+  /// Structural undoes of the three mutations, used by Database rollback
+  /// so version state reverts in lockstep with the heap (a plain inverse
+  /// mutation would instead record the rollback as new history). With
+  /// MVCC off they degrade to Erase / Insert / Replace.
+  Status RollbackInsert(TupleHandle handle);
+  Status RollbackDelete(TupleHandle handle, Row old_row);
+  Status RollbackUpdate(TupleHandle handle, Row old_row);
+
+  /// Commit point for `handle`: rewrites every kPendingLsn sentinel this
+  /// transaction left on its version state to `commit_lsn`. Idempotent
+  /// per (handle, commit). No-op with MVCC off.
+  void StampVersions(TupleHandle handle, uint64_t commit_lsn);
+
+  /// Appends every (handle, row) visible at snapshot `lsn`, in ascending
+  /// handle order. With MVCC off this is a plain copy of rows().
+  void SnapshotScan(uint64_t lsn,
+                    std::vector<std::pair<TupleHandle, Row>>* out) const;
+
+  /// Like SnapshotScan narrowed to rows whose `column` (probably) equals
+  /// `value`: live rows come from the equality index when one exists,
+  /// superseded versions from a chain scan. May return a superset (the
+  /// executor re-applies the predicate); never misses a matching row.
+  void SnapshotProbeEq(uint64_t lsn, size_t column, const Value& value,
+                       std::vector<std::pair<TupleHandle, Row>>* out) const;
+
+  /// Discards version state no snapshot at or after `floor` can see:
+  /// superseded versions with end_lsn <= floor and live_begin entries
+  /// with begin_lsn <= floor (the default 0 takes over). Returns the
+  /// number of row versions dropped.
+  size_t PruneVersions(uint64_t floor);
+
+  /// Superseded row versions currently retained (0 with MVCC off).
+  size_t version_count() const;
+
  private:
+  struct MvccState {
+    mutable std::shared_mutex mu;
+    /// Commit LSN from which the live heap row is visible; absent = 0.
+    std::map<TupleHandle, uint64_t> live_begin;
+    /// Superseded versions per handle, oldest first. Interval [begin,
+    /// end) of consecutive entries (plus the live row) are disjoint, so
+    /// at most one version of a handle is visible at any snapshot.
+    std::map<TupleHandle, std::vector<RowVersion>> chains;
+  };
+
+  /// The version of `handle` visible at `lsn` among superseded entries,
+  /// or nullptr. Caller holds mvcc_->mu.
+  static const Row* VisibleChainRow(const std::vector<RowVersion>& chain,
+                                    uint64_t lsn);
+  /// True when the live heap row of `handle` is visible at `lsn`.
+  /// Caller holds mvcc_->mu.
+  bool LiveVisibleLocked(TupleHandle handle, uint64_t lsn) const;
+  void SnapshotScanLocked(uint64_t lsn,
+                          std::vector<std::pair<TupleHandle, Row>>* out) const;
+
   TableSchema schema_;
   std::map<TupleHandle, Row> rows_;
   std::vector<ColumnIndex> indexes_;
+  /// Null until EnableMvcc(); behind a pointer because Table is movable
+  /// and a shared_mutex is not.
+  std::unique_ptr<MvccState> mvcc_;
 };
 
 }  // namespace sopr

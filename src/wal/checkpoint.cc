@@ -102,7 +102,16 @@ Status WriteCheckpoint(Engine* engine, WalWriter* wal) {
   SOPR_RETURN_NOT_OK(WalWriter::SyncDir(dir, wal->policy()));
 
   // The snapshot is durable and installed; the log it covers can go.
-  return wal->StartNewLog();
+  SOPR_RETURN_NOT_OK(wal->StartNewLog());
+
+  // MVCC garbage collection rides the checkpoint wall: drop row versions
+  // no pinned snapshot can still see. With no readers the floor is the
+  // commit head — all superseded versions go.
+  if (engine->db().mvcc_enabled()) {
+    engine->db().PruneVersions(engine->db().snapshots().OldestPinnedOr(
+        engine->db().last_commit_lsn()));
+  }
+  return Status::OK();
 }
 
 }  // namespace wal

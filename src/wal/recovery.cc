@@ -106,6 +106,11 @@ Status LoadSnapshot(const std::string& dir, Engine* engine,
 
 Result<RecoveryStats> RecoverDatabase(const std::string& dir,
                                       Engine* engine) {
+  return RecoverDatabase(dir, engine, RecoverOptions{});
+}
+
+Result<RecoveryStats> RecoverDatabase(const std::string& dir, Engine* engine,
+                                      const RecoverOptions& opts) {
   SOPR_FAILPOINT_RETURN("wal.recover.begin");
   RecoveryStats stats;
 
@@ -117,6 +122,12 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir,
   uint64_t last_lsn = 0;
   SOPR_RETURN_NOT_OK(
       LoadSnapshot(dir, engine, &stats, &covers_lsn, &last_lsn));
+  if (opts.through_lsn != 0 && covers_lsn > opts.through_lsn) {
+    return Status::InvalidArgument(
+        "RecoverDatabase: through_lsn " + std::to_string(opts.through_lsn) +
+        " predates the installed checkpoint (covers lsn " +
+        std::to_string(covers_lsn) + "); that prefix is no longer in the log");
+  }
 
   const std::string log_path = WalWriter::LogPath(dir);
   SOPR_ASSIGN_OR_RETURN(ScanResult scan, ScanLogFile(log_path));
@@ -142,6 +153,10 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir,
   std::map<uint64_t, std::vector<WalRecord>> open_txns;
   uint64_t max_txn_id = 0;
   for (WalRecord& rec : scan.records) {
+    // Bounded replay: a transaction counts iff its COMMIT record (where
+    // the group is applied) is within the bound. Mutation records of a
+    // later commit stay buffered in open_txns and are discarded below.
+    if (opts.through_lsn != 0 && rec.lsn > opts.through_lsn) break;
     if (rec.lsn > last_lsn) last_lsn = rec.lsn;
     if (rec.txn_id > max_txn_id) max_txn_id = rec.txn_id;
     if (rec.lsn <= covers_lsn) continue;  // baked into the snapshot

@@ -46,11 +46,24 @@ struct RecoveryStats {
 ///     compares Engine::StateChecksum() against its committed-prefix
 ///     oracle.
 ///
+/// Replay bounds. Default: everything committed.
+struct RecoverOptions {
+  /// When non-zero, stop replaying at the first record whose LSN exceeds
+  /// this — a transaction counts iff its COMMIT record's LSN is within
+  /// the bound, which reconstructs exactly the state an MVCC snapshot at
+  /// that LSN sees (snapshot_property_test relies on this). The log file
+  /// itself is untouched. An installed checkpoint snapshot covering LSNs
+  /// beyond the bound makes the prefix unreachable: kInvalidArgument.
+  uint64_t through_lsn = 0;
+};
+
 /// A missing directory or empty log recovers to an empty engine. The
 /// returned stats carry the LSN/txn-id watermarks the WalWriter must
 /// continue from.
 Result<RecoveryStats> RecoverDatabase(const std::string& dir,
                                       Engine* engine);
+Result<RecoveryStats> RecoverDatabase(const std::string& dir, Engine* engine,
+                                      const RecoverOptions& opts);
 
 }  // namespace wal
 }  // namespace sopr

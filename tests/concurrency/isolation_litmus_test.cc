@@ -1,0 +1,373 @@
+// Isolation litmus suite (ISSUE 4): each classic read anomaly from the
+// snapshot-isolation literature (Berenson et al.; Hermitage-style litmus
+// methodology) is driven through an EXACT interleaving — blocking
+// failpoint sync points park the writer at a chosen line while the test
+// thread reads — and checked against an exact expected-result table. No
+// sleeps anywhere; if a reader ever blocked on a writer, the test would
+// deadlock rather than flake.
+//
+// Also here: the rule seam (rule actions read the write-side head, never
+// a snapshot) and the Session read-only classification fix (select-only
+// scripts, transition-table selects, and explain route outside the
+// exclusive section; any write in the script routes through it).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "concurrency/schedule.h"
+#include "engine/engine.h"
+#include "server/session_manager.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/sopr_litmus_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+std::unique_ptr<server::SessionManager> OpenManager(
+    RuleEngineOptions options = {}) {
+  auto opened = server::SessionManager::Open(std::move(options));
+  EXPECT_TRUE(opened.ok()) << opened.status();
+  return opened.ok() ? std::move(opened).value() : nullptr;
+}
+
+/// The single int cell of a one-row, one-column result.
+int64_t ScalarInt(const Result<QueryResult>& result) {
+  EXPECT_TRUE(result.ok()) << result.status();
+  if (!result.ok()) return -1;
+  EXPECT_EQ(result.value().rows.size(), 1u);
+  if (result.value().rows.size() != 1) return -1;
+  return result.value().rows[0].at(0).AsInt();
+}
+
+class IsolationLitmusTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+// --- Anomaly 1: dirty read ----------------------------------------------
+// The writer is parked at rules.commit.pre: its update is applied to the
+// heap but NOT committed. Expected table: reader sees the old value, and
+// completes while the writer is still inside the exclusive section
+// (readers never block on writers — if they did, this test would hang at
+// the ExecuteQuery, not flake).
+TEST_F(IsolationLitmusTest, DirtyRead) {
+  auto manager = OpenManager();
+  ASSERT_OK_AND_ASSIGN(server::Session * writer, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * reader, manager->CreateSession());
+  ASSERT_OK(writer->Execute("create table t (id int, v int)"));
+  ASSERT_OK(writer->Execute("insert into t values (1, 10)"));
+
+  test::Schedule s;
+  s.BlockAt("rules.commit.pre");
+  s.Spawn("writer", [&] {
+    return writer->Execute("update t set v = 20 where id = 1");
+  });
+  s.WaitBlocked("rules.commit.pre");
+
+  // The dirty state genuinely exists: an unversioned head read (the
+  // engine's raw query path, which the parked writer cannot race) shows
+  // the uncommitted 20...
+  EXPECT_EQ(ScalarInt(manager->engine().Query("select v from t where id = 1")),
+            20);
+  // ...but the snapshot read sees only the committed 10.
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select v from t where id = 1")),
+            10);
+
+  s.Release("rules.commit.pre");
+  ASSERT_OK(s.Join("writer"));
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select v from t where id = 1")),
+            20);
+}
+
+// --- Anomaly 2: non-repeatable read --------------------------------------
+// Expected table: both reads through one pinned snapshot return 10, no
+// matter what commits in between; a fresh snapshot sees 20.
+TEST_F(IsolationLitmusTest, NonRepeatableRead) {
+  auto manager = OpenManager();
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK(session->Execute("create table t (id int, v int)"));
+  ASSERT_OK(session->Execute("insert into t values (1, 10)"));
+
+  ASSERT_OK_AND_ASSIGN(server::Session::Snapshot snap, session->PinSnapshot());
+  EXPECT_EQ(ScalarInt(session->QueryAt(snap, "select v from t where id = 1")),
+            10);
+
+  ASSERT_OK(session->Execute("update t set v = 20 where id = 1"));
+
+  EXPECT_EQ(ScalarInt(session->QueryAt(snap, "select v from t where id = 1")),
+            10)
+      << "the pinned snapshot must repeat its first read";
+  EXPECT_EQ(ScalarInt(session->ExecuteQuery("select v from t where id = 1")),
+            20);
+}
+
+// --- Anomaly 3: read skew -------------------------------------------------
+// Accounts hold 50/50 (invariant: sum 100). The snapshot reads account 1,
+// a transfer of 10 commits, then the same snapshot reads account 2.
+// Expected table: the snapshot's two reads are 50 and 50 (sum preserved);
+// the head reads 40 and 60.
+TEST_F(IsolationLitmusTest, ReadSkew) {
+  auto manager = OpenManager();
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK(session->Execute("create table accounts (id int, bal int)"));
+  ASSERT_OK(session->Execute(
+      "insert into accounts values (1, 50); "
+      "insert into accounts values (2, 50)"));
+
+  ASSERT_OK_AND_ASSIGN(server::Session::Snapshot snap, session->PinSnapshot());
+  EXPECT_EQ(
+      ScalarInt(session->QueryAt(snap, "select bal from accounts where id = 1")),
+      50);
+
+  ASSERT_OK(session->Execute(
+      "update accounts set bal = bal - 10 where id = 1; "
+      "update accounts set bal = bal + 10 where id = 2"));
+
+  EXPECT_EQ(
+      ScalarInt(session->QueryAt(snap, "select bal from accounts where id = 2")),
+      50)
+      << "read skew: the snapshot saw half of a transfer";
+  EXPECT_EQ(ScalarInt(session->QueryAt(snap,
+                                       "select sum(bal) from accounts")),
+            100);
+  EXPECT_EQ(ScalarInt(session->ExecuteQuery(
+                "select bal from accounts where id = 1")),
+            40);
+  EXPECT_EQ(ScalarInt(session->ExecuteQuery(
+                "select bal from accounts where id = 2")),
+            60);
+}
+
+// --- Anomaly 4: lost update, visible to readers ---------------------------
+// Two serialized increments of one counter. Expected table: a snapshot
+// pinned after the first commit reads exactly 11 forever; one pinned
+// after the second reads 12; the head reads 12 (no update was lost, and
+// every intermediate state is individually observable).
+TEST_F(IsolationLitmusTest, LostUpdateVisibleToReader) {
+  auto manager = OpenManager();
+  ASSERT_OK_AND_ASSIGN(server::Session * s1, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * s2, manager->CreateSession());
+  ASSERT_OK(s1->Execute("create table t (id int, v int)"));
+  ASSERT_OK(s1->Execute("insert into t values (1, 10)"));
+
+  ASSERT_OK(s1->Execute("update t set v = v + 1 where id = 1"));
+  ASSERT_OK_AND_ASSIGN(server::Session::Snapshot after_first,
+                       s1->PinSnapshot());
+
+  ASSERT_OK(s2->Execute("update t set v = v + 1 where id = 1"));
+  ASSERT_OK_AND_ASSIGN(server::Session::Snapshot after_second,
+                       s2->PinSnapshot());
+
+  EXPECT_EQ(
+      ScalarInt(s1->QueryAt(after_first, "select v from t where id = 1")), 11);
+  EXPECT_EQ(
+      ScalarInt(s2->QueryAt(after_second, "select v from t where id = 1")),
+      12);
+  EXPECT_EQ(
+      ScalarInt(s1->QueryAt(after_first, "select v from t where id = 1")), 11)
+      << "the older snapshot must keep reading the intermediate state";
+  EXPECT_EQ(ScalarInt(s1->ExecuteQuery("select v from t where id = 1")), 12);
+}
+
+// --- Anomaly 5: snapshot vs. checkpoint -----------------------------------
+// Checkpoint pruning must not discard versions a pinned snapshot still
+// needs. Expected table: with the pin held, the checkpoint keeps both
+// superseded versions and the pin still reads 1; after unpinning, the
+// next checkpoint drops every version and the head reads 3.
+TEST_F(IsolationLitmusTest, SnapshotVsCheckpoint) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK(session->Execute("create table t (id int, v int)"));
+  ASSERT_OK(session->Execute("insert into t values (1, 1)"));
+
+  ASSERT_OK_AND_ASSIGN(server::Session::Snapshot snap, session->PinSnapshot());
+  ASSERT_OK(session->Execute("update t set v = 2 where id = 1"));
+  ASSERT_OK(session->Execute("update t set v = 3 where id = 1"));
+  EXPECT_EQ(manager->engine().db().VersionCount(), 2u);
+
+  ASSERT_OK(manager->scheduler().WithExclusive(
+      [&] { return manager->engine().Checkpoint(); }));
+  EXPECT_EQ(manager->engine().db().VersionCount(), 2u)
+      << "pruning discarded versions the pinned snapshot can still see";
+  EXPECT_EQ(ScalarInt(session->QueryAt(snap, "select v from t where id = 1")),
+            1);
+
+  snap.Reset();  // release the pin: the floor advances to the commit head
+  ASSERT_OK(manager->scheduler().WithExclusive(
+      [&] { return manager->engine().Checkpoint(); }));
+  EXPECT_EQ(manager->engine().db().VersionCount(), 0u)
+      << "with no pins, the checkpoint must garbage-collect every version";
+  EXPECT_EQ(ScalarInt(session->ExecuteQuery("select v from t where id = 1")),
+            3);
+}
+
+// --- Anomaly 6: snapshot vs. recovery -------------------------------------
+// Expected table: a restart recovers the exact committed state with NO
+// version chains (recovered rows are unversioned, visible to every
+// snapshot — including the post-restart snapshot at LSN 0), and a pin
+// taken before the first post-restart write keeps reading the recovered
+// state while the head moves on.
+TEST_F(IsolationLitmusTest, SnapshotVsRecovery) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  auto manager = OpenManager(options);
+  {
+    ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+    ASSERT_OK(session->Execute("create table t (id int, v int)"));
+    ASSERT_OK(session->Execute("insert into t values (1, 1)"));
+    ASSERT_OK(session->Execute("update t set v = 2 where id = 1"));
+  }
+  const uint64_t committed_checksum = manager->engine().db().Checksum();
+
+  manager.reset();  // close: drain staged commits, release the dir lock
+  manager = OpenManager(options);
+  ASSERT_NE(manager, nullptr);
+  EXPECT_EQ(manager->engine().db().Checksum(), committed_checksum);
+  EXPECT_EQ(manager->engine().db().VersionCount(), 0u)
+      << "recovery must produce unversioned rows";
+
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session::Snapshot recovered,
+                       session->PinSnapshot());
+  EXPECT_EQ(recovered.lsn(), 0u)
+      << "the first post-restart snapshot is LSN 0: the recovered state";
+  EXPECT_EQ(
+      ScalarInt(session->QueryAt(recovered, "select v from t where id = 1")),
+      2);
+
+  ASSERT_OK(session->Execute("update t set v = 5 where id = 1"));
+  EXPECT_EQ(
+      ScalarInt(session->QueryAt(recovered, "select v from t where id = 1")),
+      2)
+      << "the pre-write snapshot must keep the recovered state";
+  EXPECT_EQ(ScalarInt(session->ExecuteQuery("select v from t where id = 1")),
+            5);
+}
+
+// --- The rule seam: actions read the write-side head ----------------------
+// A rule's action select must see the uncommitted transition state it is
+// reacting to (§4 semantics), never a snapshot. The writer is parked at
+// rules.action.pre: its three inserts are applied, its rule is about to
+// read them — and a concurrent snapshot still sees the empty table.
+TEST_F(IsolationLitmusTest, RuleActionsRunAtWriteSideHead) {
+  auto manager = OpenManager();
+  ASSERT_OK_AND_ASSIGN(server::Session * writer, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * reader, manager->CreateSession());
+  ASSERT_OK(writer->Execute("create table src (id int)"));
+  ASSERT_OK(writer->Execute("create table log (n int)"));
+  ASSERT_OK(writer->Execute(
+      "create rule seam when inserted into src "
+      "then insert into log (select count(*) from src)"));
+
+  test::Schedule s;
+  s.BlockAt("rules.action.pre");
+  s.Spawn("writer", [&] {
+    return writer->Execute(
+        "insert into src values (1); insert into src values (2); "
+        "insert into src values (3)");
+  });
+  s.WaitBlocked("rules.action.pre");
+
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select count(*) from src")), 0)
+      << "snapshots must not see the uncommitted transition state";
+
+  s.Release("rules.action.pre");
+  ASSERT_OK(s.Join("writer"));
+  // The rule counted all three uncommitted inserts: write-side head.
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select n from log")), 3);
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select count(*) from src")), 3);
+}
+
+// --- Read-only classification (satellite fix) -----------------------------
+// server.submit.pre fires on every entry to the exclusive write path.
+// Arming it =always makes routing observable: anything classified as a
+// read still works, anything classified as a write fails injected.
+TEST_F(IsolationLitmusTest, SelectOnlyScriptsRouteOutsideExclusiveSection) {
+  auto manager = OpenManager();
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK(session->Execute("create table t (id int, v int)"));
+  ASSERT_OK(session->Execute("insert into t values (1, 10)"));
+  const uint64_t commits_before = session->commits();
+
+  FailpointRegistry::Trigger always;
+  always.mode = FailpointRegistry::Mode::kAlways;
+  FailpointRegistry::Instance().Arm("server.submit.pre", always);
+
+  // Reads of every flavor keep working: the exclusive path is poisoned.
+  EXPECT_OK(session->Execute("select * from t; select v from t where id = 1"));
+  EXPECT_EQ(session->commits(), commits_before + 1)
+      << "a select-only script still counts as a committed (read-only) txn";
+  EXPECT_EQ(session->last_receipt().commit_lsn, 0u);
+  EXPECT_EQ(ScalarInt(session->ExecuteQuery("select v from t where id = 1")),
+            10);
+  auto plan = session->Explain("select * from t where id = 1");
+  EXPECT_TRUE(plan.ok()) << "explain is a read: " << plan.status();
+
+  // A write (alone or after reads in the same script) routes exclusive.
+  Status write = session->Execute("insert into t values (2, 20)");
+  EXPECT_EQ(write.code(), StatusCode::kInjectedFault) << write;
+  Status mixed = session->Execute("select * from t; "
+                                  "update t set v = 99 where id = 1");
+  EXPECT_EQ(mixed.code(), StatusCode::kInjectedFault)
+      << "a script with any write must route through the exclusive section: "
+      << mixed;
+
+  FailpointRegistry::Instance().DisarmAll();
+  // Regression: the mixed script really does execute once unblocked.
+  ASSERT_OK(session->Execute("select * from t; "
+                             "update t set v = 99 where id = 1"));
+  EXPECT_EQ(ScalarInt(session->ExecuteQuery("select v from t where id = 1")),
+            99);
+}
+
+TEST_F(IsolationLitmusTest, TransitionTableSelectIsAReadAndFailsCleanly) {
+  auto manager = OpenManager();
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK(session->Execute("create table t (id int)"));
+
+  FailpointRegistry::Trigger always;
+  always.mode = FailpointRegistry::Mode::kAlways;
+  FailpointRegistry::Instance().Arm("server.submit.pre", always);
+
+  // Routed as a read (no injected fault), then rejected by the resolver
+  // with the usual catalog error — transition tables only exist inside a
+  // running rule.
+  Status st = session->Execute("select * from inserted t");
+  EXPECT_EQ(st.code(), StatusCode::kCatalogError) << st;
+  EXPECT_NE(st.message().find("production rule"), std::string::npos) << st;
+}
+
+TEST_F(IsolationLitmusTest, SelectTriggeringExtensionRoutesExclusive) {
+  // With the §5.1 extension on, selects fire rules: they are writes for
+  // routing purposes and must enter the exclusive section.
+  RuleEngineOptions options;
+  options.track_selects = true;
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK(session->Execute("create table t (id int)"));
+
+  FailpointRegistry::Trigger always;
+  always.mode = FailpointRegistry::Mode::kAlways;
+  FailpointRegistry::Instance().Arm("server.submit.pre", always);
+
+  Status st = session->Execute("select * from t");
+  EXPECT_EQ(st.code(), StatusCode::kInjectedFault)
+      << "track_selects makes selects rule-firing, hence exclusive: " << st;
+}
+
+}  // namespace
+}  // namespace sopr

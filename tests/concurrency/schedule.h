@@ -1,0 +1,90 @@
+#ifndef SOPR_TESTS_CONCURRENCY_SCHEDULE_H_
+#define SOPR_TESTS_CONCURRENCY_SCHEDULE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/status.h"
+
+namespace sopr {
+namespace test {
+
+/// Deterministic schedule driver for isolation tests (ISSUE 4): named
+/// threads are parked at failpoint sync points (FailpointRegistry's
+/// blocking mode) and released in an exact order chosen by the test
+/// thread. No sleeps anywhere — each step is a barrier:
+///
+///   Schedule s;
+///   s.BlockAt("rules.commit.pre");             // writer will park here
+///   s.Spawn("writer", [&] { return session->Execute(update_sql); });
+///   s.WaitBlocked("rules.commit.pre");         // writer IS mid-commit now
+///   ... read from this thread: must see the pre-update state ...
+///   s.Release("rules.commit.pre");
+///   Status w = s.Join("writer");               // commit finished
+///
+/// The destructor releases every block and joins every thread, so a
+/// failing ASSERT between steps cannot deadlock the test binary.
+class Schedule {
+ public:
+  Schedule() { FailpointRegistry::Instance().DisarmAll(); }
+
+  ~Schedule() {
+    // DisarmAll wakes any still-parked thread; then joining is safe.
+    FailpointRegistry::Instance().DisarmAll();
+    for (auto& [name, t] : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  Schedule(const Schedule&) = delete;
+  Schedule& operator=(const Schedule&) = delete;
+
+  /// Parks the next thread(s) that hit `site` until Release(site).
+  void BlockAt(const std::string& site) {
+    FailpointRegistry::Instance().ArmBlocking(site);
+  }
+
+  /// Starts step `name` on its own thread. `fn`'s Status is collected by
+  /// Join.
+  void Spawn(const std::string& name, std::function<Status()> fn) {
+    results_.emplace(name, Status::OK());
+    threads_.emplace(name, std::thread([this, name, fn = std::move(fn)] {
+                       results_[name] = fn();
+                     }));
+  }
+
+  /// Barrier: returns once at least `count` threads are parked at `site`.
+  void WaitBlocked(const std::string& site, uint64_t count = 1) {
+    FailpointRegistry::Instance().WaitForBlocked(site, count);
+  }
+
+  /// Unparks every thread at `site` and disarms the block.
+  void Release(const std::string& site) {
+    FailpointRegistry::Instance().Release(site);
+  }
+
+  /// Joins step `name` and returns its Status.
+  Status Join(const std::string& name) {
+    auto it = threads_.find(name);
+    if (it == threads_.end()) {
+      return Status::InvalidArgument("no scheduled step named " + name);
+    }
+    if (it->second.joinable()) it->second.join();
+    return results_[name];
+  }
+
+ private:
+  std::map<std::string, std::thread> threads_;
+  // A step's result slot is created before its thread starts and read
+  // only after join: no lock needed.
+  std::map<std::string, Status> results_;
+};
+
+}  // namespace test
+}  // namespace sopr
+
+#endif  // SOPR_TESTS_CONCURRENCY_SCHEDULE_H_

@@ -46,6 +46,31 @@ struct Committed {
   std::string sql;
 };
 
+/// What a chaos reader saw through one pinned snapshot: the pinned LSN
+/// and the canonicalized result of each probe query. Verified post-run
+/// against the serial oracle replayed through exactly that LSN.
+struct SnapshotSample {
+  uint64_t lsn = 0;
+  std::vector<std::string> accounts;
+  std::vector<std::string> audit;
+};
+
+/// Order-insensitive canonical form of a result set (one string per row).
+std::vector<std::string> Canon(const QueryResult& result) {
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const Row& row : result.rows) {
+    std::string s;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) s += '|';
+      s += row.at(i).ToString();
+    }
+    rows.push_back(std::move(s));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
 const char* kSchema[] = {
     "create table accounts (id int, balance double)",
     "create table ledger (id int, amount double)",
@@ -137,6 +162,61 @@ TEST(ConcurrentSoakTest, StateMatchesSerialOracleAndSurvivesRestart) {
     }
   });
 
+  // --- chaos snapshot readers (ISSUE 4 satellite) ------------------------
+  // Each reader loops pinning a snapshot mid-soak and reading through it.
+  // Inside one pin the reads must be repeatable; a capped sample of
+  // {pinned LSN, results} is kept for exact post-run verification against
+  // the serial oracle replayed through that LSN.
+  constexpr int kReaders = 2;
+  constexpr size_t kSamplesPerReader = 32;
+  std::mutex samples_mu;
+  std::vector<SnapshotSample> samples;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      auto session = manager->CreateSession();
+      if (!session.ok()) {
+        hard_failure.store(true);
+        return;
+      }
+      size_t iter = 0, sampled = 0;
+      std::vector<SnapshotSample> mine;
+      while (!done.load()) {
+        auto pin = session.value()->PinSnapshot();
+        if (!pin.ok()) {
+          hard_failure.store(true);
+          return;
+        }
+        auto accounts =
+            session.value()->QueryAt(pin.value(), "select * from accounts");
+        auto audit =
+            session.value()->QueryAt(pin.value(), "select * from audit");
+        auto accounts_again =
+            session.value()->QueryAt(pin.value(), "select * from accounts");
+        if (!accounts.ok() || !audit.ok() || !accounts_again.ok()) {
+          // Snapshot reads take no failpoint-instrumented path: any
+          // failure under chaos is a routing bug.
+          hard_failure.store(true);
+          return;
+        }
+        // Repeatable read within one pin, even mid-soak.
+        if (Canon(accounts.value()) != Canon(accounts_again.value())) {
+          hard_failure.store(true);
+          return;
+        }
+        if (++iter % 7 == static_cast<size_t>(r) &&
+            sampled < kSamplesPerReader) {
+          ++sampled;
+          mine.push_back(SnapshotSample{pin.value().lsn(),
+                                        Canon(accounts.value()),
+                                        Canon(audit.value())});
+        }
+      }
+      std::lock_guard<std::mutex> lock(samples_mu);
+      samples.insert(samples.end(), mine.begin(), mine.end());
+    });
+  }
+
   std::vector<std::thread> threads;
   for (int i = 0; i < kSessions; ++i) {
     threads.emplace_back([&, i] {
@@ -177,6 +257,7 @@ TEST(ConcurrentSoakTest, StateMatchesSerialOracleAndSurvivesRestart) {
   for (std::thread& t : threads) t.join();
   done.store(true);
   chaos.join();
+  for (std::thread& t : readers) t.join();
   FailpointRegistry::Instance().DisarmAll();
 
   ASSERT_FALSE(hard_failure.load());
@@ -206,17 +287,49 @@ TEST(ConcurrentSoakTest, StateMatchesSerialOracleAndSurvivesRestart) {
   // blocks in commit-LSN order. Handles consumed by aborted transactions
   // are skipped by bumping to each transaction's admission-time counter,
   // so handle assignment (which Checksum mixes in) reproduces exactly.
+  // Snapshot samples are verified along the way: a snapshot pinned at
+  // LSN L must read exactly the oracle's state after replaying every
+  // commit with lsn <= L (visible_lsn only ever exposes whole commits,
+  // so every pinned LSN is a commit LSN — or 0, the empty prefix).
   Engine oracle((RuleEngineOptions()));
   for (const char* ddl : kSchema) {
     ASSERT_OK(oracle.Execute(ddl));
   }
+  std::sort(samples.begin(), samples.end(),
+            [](const SnapshotSample& a, const SnapshotSample& b) {
+              return a.lsn < b.lsn;
+            });
+  EXPECT_FALSE(samples.empty()) << "chaos readers never sampled a snapshot";
+  size_t next_sample = 0;
+  auto check_samples_at = [&](uint64_t replayed_through) {
+    for (; next_sample < samples.size() &&
+           samples[next_sample].lsn <= replayed_through;
+         ++next_sample) {
+      const SnapshotSample& s = samples[next_sample];
+      auto accounts = oracle.Query("select * from accounts");
+      auto audit = oracle.Query("select * from audit");
+      ASSERT_TRUE(accounts.ok() && audit.ok());
+      EXPECT_EQ(s.accounts, Canon(accounts.value()))
+          << "snapshot at lsn " << s.lsn
+          << " diverged from the serial prefix (accounts)";
+      EXPECT_EQ(s.audit, Canon(audit.value()))
+          << "snapshot at lsn " << s.lsn
+          << " diverged from the serial prefix (audit)";
+    }
+  };
+  check_samples_at(0);  // samples pinned before the first commit
   for (const Committed& txn : committed) {
+    // Samples strictly below this commit see the state replayed so far.
+    check_samples_at(txn.lsn - 1);
     oracle.db().BumpNextHandle(txn.first_handle);
     const Status replayed = oracle.Execute(txn.sql);
     ASSERT_TRUE(replayed.ok())
         << "committed live, so the serial replay must commit too: " << txn.sql
         << " -> " << replayed;
+    check_samples_at(txn.lsn);
   }
+  check_samples_at(~0ull);
+  EXPECT_EQ(next_sample, samples.size());
   EXPECT_EQ(oracle.db().Checksum(), live_checksum)
       << "concurrent execution diverged from its own serialization order";
 
