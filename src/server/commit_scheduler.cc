@@ -37,16 +37,20 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
     SOPR_RETURN_NOT_OK(CheckFatal());
     local.first_handle = engine_->db().next_handle();
     auto result = engine_->ExecuteStaged(stmts, &ticket);
-    if (result.ok()) {
-      // Publication point: the commit's versions are stamped (CommitAll
-      // ran inside ExecuteStaged), so its LSN may now become visible to
-      // snapshot readers. Still inside the exclusive section, hence
-      // monotonic. Deferred-rule commits are included: last_commit_lsn
-      // reflects the newest commit this call produced.
-      uint64_t head = engine_->last_commit_lsn();
-      if (head > visible_lsn_.load(std::memory_order_relaxed)) {
-        visible_lsn_.store(head, std::memory_order_release);
-      }
+    // Publication point: the commit's versions are stamped (CommitAll
+    // ran inside ExecuteStaged), so its LSN may now become visible to
+    // snapshot readers. Still inside the exclusive section, hence
+    // monotonic. Published UNCONDITIONALLY: a block can fail after an
+    // inner commit already ran (e.g. the operation block committed and a
+    // deferred-rule chain aborted later) — that commit is committed,
+    // stamped state regardless of the block's final status, and leaving
+    // visible_lsn_ behind last_commit_lsn would let a checkpoint in that
+    // window prune above every snapshot subsequently pinned at the stale
+    // LSN. last_commit_lsn only moves in CommitAll, so on a clean abort
+    // (rolled back to S0) this store is a no-op.
+    uint64_t head = engine_->last_commit_lsn();
+    if (head > visible_lsn_.load(std::memory_order_relaxed)) {
+      visible_lsn_.store(head, std::memory_order_release);
     }
     return result;
   }();
@@ -103,7 +107,23 @@ Result<QueryResult> CommitScheduler::Query(const SelectStmt& stmt) {
 }
 
 SnapshotRegistry::Pin CommitScheduler::PinSnapshot() {
-  return engine_->db().PinSnapshot(visible_lsn());
+  // The visible-LSN load and the registry insert form ONE critical
+  // section of the registry mutex — the same mutex a checkpoint holds
+  // while computing its prune floor (wal/checkpoint.cc). A plain
+  // load-then-Acquire would leave a window where the floor computation
+  // sees no pins, prunes to last_commit_lsn, and the late-registered pin
+  // then reads a state whose superseded versions are already gone.
+  // Ordering argument for the other interleaving: the floor is computed
+  // with state_mu_ held, after every prior commit published its head, so
+  // a pin registered after the floor computation loads a visible LSN >=
+  // the floor (the publish / state_mu_ / registry-mutex chain carries
+  // the newer value to this thread).
+  return engine_->db().snapshots().AcquireCurrent([this] {
+    // Sync point for the pin-vs-checkpoint litmus schedule; a pin cannot
+    // fail, so an armed failure trigger is deliberately swallowed.
+    (void)SOPR_FAILPOINT("server.pin.acquire");
+    return visible_lsn();
+  });
 }
 
 Result<QueryResult> CommitScheduler::QueryAt(const SnapshotRegistry::Pin& pin,

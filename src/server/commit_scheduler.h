@@ -86,9 +86,11 @@ class CommitScheduler {
     return visible_lsn_.load(std::memory_order_acquire);
   }
 
-  /// Pins the current visible LSN against checkpoint pruning. The pin is
-  /// a data-plane pin only — it does not block DDL; use QueryAt, which
-  /// takes the schema lock per query.
+  /// Pins the current visible LSN against checkpoint pruning, atomically
+  /// with respect to a concurrent checkpoint's prune-floor computation
+  /// (the LSN load and the registry insert share one critical section of
+  /// the registry mutex). The pin is a data-plane pin only — it does not
+  /// block DDL; use QueryAt, which takes the schema lock per query.
   SnapshotRegistry::Pin PinSnapshot();
 
   /// Runs `stmt` against the pinned snapshot, entirely outside the
@@ -135,7 +137,9 @@ class CommitScheduler {
   /// with writers is possible.
   std::shared_mutex schema_mu_;
   /// Published snapshot head. Written only inside the exclusive section
-  /// AFTER the committing transaction stamped its versions; the release
+  /// AFTER the committing transaction stamped its versions — even when
+  /// the block fails after an inner commit, so it never lags
+  /// last_commit_lsn once the exclusive section is released; the release
   /// store pairs with the acquire load in visible_lsn().
   std::atomic<uint64_t> visible_lsn_;
   mutable std::mutex fatal_mu_;

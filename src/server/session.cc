@@ -34,18 +34,19 @@ Status Session::Execute(const std::string& sql) {
           "cannot mix DDL and DML in one script: " + stmt->ToString());
     }
   }
-  if (IsReadOnlyScript(stmts)) {
+  if (IsReadOnlyScript(stmts) && scheduler().engine()->mvcc_enabled()) {
     // All statements read the same pinned snapshot — the read-only
-    // transaction is trivially atomic without ever touching the
-    // exclusive section. A select into a transition table still fails
-    // with the usual catalog error, exactly as it did on the write path.
-    Snapshot snapshot = scheduler().engine()->mvcc_enabled()
-                            ? scheduler().PinSnapshot()
-                            : Snapshot();
+    // transaction is atomic without ever touching the exclusive section.
+    // A select into a transition table still fails with the usual
+    // catalog error, exactly as it did on the write path. Without MVCC
+    // there is no snapshot to make a multi-select script atomic, so the
+    // script falls through to ExecuteBlock's exclusive section (the
+    // pre-MVCC behavior) instead of running statement-by-statement under
+    // separately acquired shared locks.
+    Snapshot snapshot = scheduler().PinSnapshot();
     for (const StmtPtr& stmt : stmts) {
       const auto& select = static_cast<const SelectStmt&>(*stmt);
-      auto result = snapshot.pinned() ? scheduler().QueryAt(snapshot, select)
-                                      : scheduler().Query(select);
+      auto result = scheduler().QueryAt(snapshot, select);
       if (!result.ok()) {
         ++aborts_;
         return result.status();

@@ -39,11 +39,14 @@ class Session {
   ///
   /// Read-only classification: a script whose statements are all selects
   /// is a read — it runs against one pinned snapshot, entirely outside
-  /// the exclusive writer section. Exception: when the engine's §5.1
+  /// the exclusive writer section. Exceptions: when the engine's §5.1
   /// select-triggering extension is on (track_selects), selects fire
-  /// rules and must route through the exclusive section like any write.
-  /// Any non-select statement anywhere in the script makes the whole
-  /// block a write transaction.
+  /// rules and must route through the exclusive section like any write;
+  /// and without MVCC (never the SessionManager configuration) the
+  /// script also routes through the exclusive section, which is the only
+  /// thing that keeps a multi-select script atomic there. Any non-select
+  /// statement anywhere in the script makes the whole block a write
+  /// transaction.
   Status Execute(const std::string& sql);
 
   /// Like Execute for DML, returning the full execution trace.

@@ -2,12 +2,6 @@
 
 namespace sopr {
 
-SnapshotRegistry::Pin::Pin(SnapshotRegistry* registry, uint64_t lsn)
-    : registry_(registry), lsn_(lsn) {
-  std::lock_guard<std::mutex> lock(registry_->mu_);
-  registry_->pinned_.insert(lsn_);
-}
-
 void SnapshotRegistry::Pin::Reset() {
   if (registry_ == nullptr) return;
   registry_->ReleaseLocked(lsn_);
@@ -21,6 +15,16 @@ void SnapshotRegistry::ReleaseLocked(uint64_t lsn) {
 }
 
 SnapshotRegistry::Pin SnapshotRegistry::Acquire(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_.insert(lsn);
+  return Pin(this, lsn);
+}
+
+SnapshotRegistry::Pin SnapshotRegistry::AcquireCurrent(
+    const std::function<uint64_t()>& current) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t lsn = current();
+  pinned_.insert(lsn);
   return Pin(this, lsn);
 }
 

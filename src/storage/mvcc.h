@@ -2,6 +2,7 @@
 #define SOPR_STORAGE_MVCC_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 
 #include <mutex>
@@ -43,7 +44,6 @@ class SnapshotRegistry {
   class Pin {
    public:
     Pin() = default;
-    Pin(SnapshotRegistry* registry, uint64_t lsn);
     ~Pin() { Reset(); }
     Pin(Pin&& other) noexcept
         : registry_(other.registry_), lsn_(other.lsn_) {
@@ -66,6 +66,13 @@ class SnapshotRegistry {
     void Reset();
 
    private:
+    friend class SnapshotRegistry;
+    /// Only Acquire / AcquireCurrent construct live pins: the registry
+    /// insert must happen under mu_, in the same critical section that
+    /// chose `lsn`.
+    Pin(SnapshotRegistry* registry, uint64_t lsn)
+        : registry_(registry), lsn_(lsn) {}
+
     SnapshotRegistry* registry_ = nullptr;
     uint64_t lsn_ = 0;
   };
@@ -75,6 +82,15 @@ class SnapshotRegistry {
   SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
 
   Pin Acquire(uint64_t lsn);
+
+  /// Pins the LSN `current()` returns, evaluating it and registering the
+  /// pin in ONE critical section of the registry mutex — the mutex
+  /// OldestPinnedOr holds while a checkpoint computes its prune floor.
+  /// Pinning the "newest visible" LSN MUST go through this (not a load
+  /// followed by Acquire): a prune floor computed between the load and
+  /// the insert would miss the nascent pin and garbage-collect versions
+  /// the snapshot still needs.
+  Pin AcquireCurrent(const std::function<uint64_t()>& current);
 
   /// The oldest pinned snapshot LSN, or `fallback` when nothing is
   /// pinned (callers pass the current commit head: with no readers, only

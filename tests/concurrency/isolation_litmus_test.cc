@@ -215,6 +215,101 @@ TEST_F(IsolationLitmusTest, SnapshotVsCheckpoint) {
             3);
 }
 
+// --- Anomaly 5b: a pin racing the checkpoint's prune floor ----------------
+// Regression for a TOCTOU between PinSnapshot and checkpoint pruning.
+// The reader is parked INSIDE pin acquisition: server.pin.acquire fires
+// under the registry mutex, after the decision to pin but before the
+// visible-LSN load. Two updates commit and a checkpoint is started while
+// it is parked. Because the load+insert and the checkpoint's floor
+// computation share the registry mutex, the floor computation waits
+// behind the nascent pin — with the old load-then-insert code the
+// checkpoint could slide between the two, prune to the commit head, and
+// hand the reader a stale-LSN snapshot whose superseded versions were
+// already collected. Expected table: the pin lands exactly on the
+// published head, the pinned read returns 3, and the checkpoint collects
+// both superseded versions (floor == head) — in every legal order of the
+// released threads.
+TEST_F(IsolationLitmusTest, PinRacingCheckpointWaitsForPruneFloor) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * writer, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * reader, manager->CreateSession());
+  ASSERT_OK(writer->Execute("create table t (id int, v int)"));
+  ASSERT_OK(writer->Execute("insert into t values (1, 1)"));
+
+  uint64_t pinned_lsn = 0;
+  int64_t pinned_read = -1;
+  test::Schedule s;
+  s.BlockAt("server.pin.acquire");
+  s.Spawn("reader", [&] {
+    auto snap = reader->PinSnapshot();
+    if (!snap.ok()) return snap.status();
+    pinned_lsn = snap.value().lsn();
+    pinned_read = ScalarInt(
+        reader->QueryAt(snap.value(), "select v from t where id = 1"));
+    return Status::OK();
+  });
+  s.WaitBlocked("server.pin.acquire");
+
+  ASSERT_OK(writer->Execute("update t set v = 2 where id = 1"));
+  ASSERT_OK(writer->Execute("update t set v = 3 where id = 1"));
+  EXPECT_EQ(manager->engine().db().VersionCount(), 2u);
+
+  // The checkpoint's floor computation blocks on the registry mutex
+  // behind the parked pin; releasing the sync point lets both finish.
+  s.Spawn("checkpointer", [&] {
+    return manager->scheduler().WithExclusive(
+        [&] { return manager->engine().Checkpoint(); });
+  });
+  s.Release("server.pin.acquire");
+  ASSERT_OK(s.Join("reader"));
+  ASSERT_OK(s.Join("checkpointer"));
+
+  EXPECT_EQ(pinned_lsn, manager->engine().last_commit_lsn())
+      << "the pin must land on the published head, not a stale load";
+  EXPECT_EQ(pinned_read, 3);
+  EXPECT_EQ(manager->engine().db().VersionCount(), 0u)
+      << "a head-level pin lets the checkpoint collect every version";
+}
+
+// --- Anomaly 5c: a block that fails after an inner commit -----------------
+// The operation block commits (t gets its row, chain its seed), then the
+// self-perpetuating detached chain exceeds max_rule_firings and the
+// block FAILS — after several inner commits already ran. Those commits
+// are committed, stamped state, so the scheduler must publish the head
+// regardless of the block's final status. Expected table: visible_lsn ==
+// last_commit_lsn in the failure window, and a snapshot pinned there
+// survives a checkpoint and reads the committed row. (With a stale
+// published head, the pin would land below the prune floor and the read
+// of t would come back empty.)
+TEST_F(IsolationLitmusTest, FailedBlockStillPublishesCommittedHead) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  options.max_rule_firings = 8;
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * session, manager->CreateSession());
+  ASSERT_OK(session->Execute("create table t (id int, v int)"));
+  ASSERT_OK(session->Execute("create table chain (a int)"));
+  ASSERT_OK(session->Execute(
+      "create rule forever when inserted into chain "
+      "then insert into chain (select a + 1 from inserted chain)"));
+  ASSERT_OK(manager->engine().rules().SetDetached("forever", true));
+
+  Status st = session->Execute(
+      "insert into t values (1, 10); insert into chain values (0)");
+  EXPECT_EQ(st.code(), StatusCode::kLimitExceeded) << st;
+  EXPECT_EQ(manager->scheduler().visible_lsn(),
+            manager->engine().last_commit_lsn())
+      << "commits that ran before the failure must still be published";
+
+  ASSERT_OK_AND_ASSIGN(server::Session::Snapshot snap, session->PinSnapshot());
+  ASSERT_OK(manager->scheduler().WithExclusive(
+      [&] { return manager->engine().Checkpoint(); }));
+  EXPECT_EQ(ScalarInt(session->QueryAt(snap, "select v from t where id = 1")),
+            10);
+}
+
 // --- Anomaly 6: snapshot vs. recovery -------------------------------------
 // Expected table: a restart recovers the exact committed state with NO
 // version chains (recovered rows are unversioned, visible to every
