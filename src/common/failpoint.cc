@@ -43,6 +43,15 @@ const char* const kSiteCatalog[] = {
     // admitted.
     "server.submit.pre",
     "server.session.create",
+    // Record-level lock manager (storage/lock_manager.cc): `lock.acquire`
+    // fires on entry to every table/record acquisition (an armed failure
+    // aborts the statement cleanly — chaos uses it to seed lock-order
+    // trouble); `lock.wait` (and the dynamic per-table "lock.wait.<t>")
+    // fires when a request is about to block on a conflicting holder;
+    // `lock.deadlock` fires as a victim aborts with kDeadlock.
+    "lock.acquire",
+    "lock.wait",
+    "lock.deadlock",
     // Write-ahead log (wal/wal_writer.cc). `wal.append` fires once per
     // record as a commit/DDL batch is encoded; `wal.write` before each
     // file write; `wal.write.mid` between the two halves of a batch write
@@ -126,6 +135,7 @@ Status ParseCode(const std::string& name, FailpointRegistry::Trigger* out) {
       {"InjectedFault", StatusCode::kInjectedFault},
       {"ResourceExhausted", StatusCode::kResourceExhausted},
       {"Timeout", StatusCode::kTimeout},
+      {"Deadlock", StatusCode::kDeadlock},
       {"ExecutionError", StatusCode::kExecutionError},
       {"DataLoss", StatusCode::kDataLoss},
       {"IoError", StatusCode::kIoError},

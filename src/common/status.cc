@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "InjectedFault";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
     case StatusCode::kDataLoss:
       return "DataLoss";
     case StatusCode::kIoError:

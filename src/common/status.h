@@ -24,6 +24,7 @@ enum class StatusCode {
   kResourceExhausted, // a resource budget (e.g. undo-log size) was exceeded
   kInjectedFault,     // a fault-injection site (failpoint) fired
   kTimeout,           // the per-transaction wall-clock deadline passed
+  kDeadlock,          // this transaction was the victim of a lock cycle
   kDataLoss,          // durable state is corrupt beyond safe recovery
   kIoError,           // the OS rejected a file operation (open/write/fsync)
   kNotImplemented,
@@ -74,6 +75,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));

@@ -115,6 +115,16 @@ class Engine {
   /// readers exist (the SessionManager does this).
   void EnableMvcc() { db_->EnableMvcc(); }
   bool mvcc_enabled() const { return db_->mvcc_enabled(); }
+
+  // --- Record-level write locking (docs/CONCURRENCY.md) ---
+  /// Turns on record-level write locking so writer sessions touching
+  /// disjoint rows can run concurrently (the CommitScheduler then admits
+  /// writers under the shared side of its lock). Requires MVCC — rollback
+  /// of a lock-victim transaction rides the MVCC undo/journal machinery,
+  /// and readers need version latches once writers overlap. Call before
+  /// concurrent writers exist (the SessionManager does this).
+  void EnableConcurrentWriters() { db_->EnableWriteLocking(); }
+  bool concurrent_writers() const { return db_->lock_manager() != nullptr; }
   /// LSN of the most recent commit — the newest snapshot point.
   uint64_t last_commit_lsn() const { return db_->last_commit_lsn(); }
   /// Runs an already-parsed select against the state as of snapshot

@@ -16,13 +16,20 @@ Result<Relation> DatabaseResolver::Resolve(const TableRef& ref) {
         "' can only be referenced inside a production rule");
   }
   SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  // A full scan reads every row, so it takes a table S lock: committed
+  // writers cannot change the table under this transaction's feet, and
+  // re-scans within the fixpoint see a stable set (coarse-grained
+  // phantom protection; see docs/CONCURRENCY.md).
+  SOPR_RETURN_NOT_OK(db_->LockForScan(ref.table));
   Relation rel;
   rel.schema = &table->schema();
-  rel.rows.reserve(table->size());
-  rel.handles.reserve(table->size());
-  for (const auto& [handle, row] : table->rows()) {
+  std::vector<std::pair<TupleHandle, Row>> rows;
+  table->CopyRows(&rows);
+  rel.rows.reserve(rows.size());
+  rel.handles.reserve(rows.size());
+  for (auto& [handle, row] : rows) {
     rel.handles.push_back(handle);
-    rel.rows.push_back(row);
+    rel.rows.push_back(std::move(row));
   }
   return rel;
 }
@@ -47,15 +54,18 @@ Result<Relation> DatabaseResolver::ResolveEq(const TableRef& ref,
   if (index == nullptr) return Resolve(ref);
   Relation rel;
   rel.schema = &table->schema();
-  const std::set<TupleHandle>* handles = index->Lookup(value);
-  if (handles != nullptr) {
-    rel.rows.reserve(handles->size());
-    rel.handles.reserve(handles->size());
-    for (TupleHandle h : *handles) {
-      SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
-      rel.handles.push_back(h);
-      rel.rows.push_back(*row);
-    }
+  std::vector<TupleHandle> handles;
+  table->IndexLookupCopy(column, value, &handles);
+  rel.rows.reserve(handles.size());
+  rel.handles.reserve(handles.size());
+  for (TupleHandle h : handles) {
+    // Record S lock per probed row, then re-read: the row may have been
+    // deleted between the index probe and the lock grant.
+    SOPR_RETURN_NOT_OK(db_->LockRecordForRead(ref.table, h));
+    auto row = table->GetCopy(h);
+    if (!row.ok()) continue;
+    rel.handles.push_back(h);
+    rel.rows.push_back(std::move(row).value());
   }
   return rel;
 }
@@ -555,28 +565,34 @@ Status Executor::ApplyOrderAndDistinct(const SelectStmt& stmt,
 }
 
 Status Executor::SnapshotForDml(
-    const Table& table, const Expr* where, const TableSchema& schema,
+    const Table& table, const std::string& table_name, const Expr* where,
+    const TableSchema& schema,
     std::vector<std::pair<TupleHandle, Row>>* snapshot) {
   if (optimize_ && where != nullptr) {
     if (auto hint = FindEqLiteral(where, schema)) {
-      const ColumnIndex* index = table.GetIndex(hint->first);
-      if (index != nullptr) {
-        const std::set<TupleHandle>* handles = index->Lookup(*hint->second);
-        if (handles != nullptr) {
-          snapshot->reserve(handles->size());
-          for (TupleHandle h : *handles) {
-            SOPR_ASSIGN_OR_RETURN(const Row* row, table.Get(h));
-            snapshot->emplace_back(h, *row);
-          }
+      if (table.GetIndex(hint->first) != nullptr) {
+        std::vector<TupleHandle> handles;
+        table.IndexLookupCopy(hint->first, *hint->second, &handles);
+        snapshot->reserve(handles.size());
+        for (TupleHandle h : handles) {
+          // Record X lock per candidate (IX on the table), then re-read:
+          // the row may have changed or vanished between the index probe
+          // and the lock grant. Stale candidates that no longer match
+          // `where` are filtered by the caller's predicate evaluation.
+          SOPR_RETURN_NOT_OK(db_->LockRecordForWrite(table_name, h));
+          auto row = table.GetCopy(h);
+          if (!row.ok()) continue;
+          snapshot->emplace_back(h, std::move(row).value());
         }
         return Status::OK();
       }
     }
   }
+  // Unindexed predicate: every row is a candidate — take a table X lock
+  // (full phantom protection for this scan-then-mutate).
+  SOPR_RETURN_NOT_OK(db_->LockForWriteScan(table_name));
   snapshot->reserve(table.size());
-  for (const auto& [handle, row] : table.rows()) {
-    snapshot->emplace_back(handle, row);
-  }
+  table.CopyRows(snapshot);
   return Status::OK();
 }
 
@@ -636,7 +652,7 @@ Result<DmlEffect> Executor::ExecuteDelete(const DeleteStmt& stmt) {
   // snapshot; the full predicate is still evaluated per row.
   std::vector<std::pair<TupleHandle, Row>> snapshot;
   SOPR_RETURN_NOT_OK(
-      SnapshotForDml(*table, stmt.where.get(), schema, &snapshot));
+      SnapshotForDml(*table, stmt.table, stmt.where.get(), schema, &snapshot));
 
   Scope scope;
   SOPR_RETURN_NOT_OK(scope.AddBinding(ToLower(stmt.table), &schema));
@@ -682,7 +698,7 @@ Result<DmlEffect> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
 
   std::vector<std::pair<TupleHandle, Row>> snapshot;
   SOPR_RETURN_NOT_OK(
-      SnapshotForDml(*table, stmt.where.get(), schema, &snapshot));
+      SnapshotForDml(*table, stmt.table, stmt.where.get(), schema, &snapshot));
 
   Scope scope;
   SOPR_RETURN_NOT_OK(scope.AddBinding(ToLower(stmt.table), &schema));

@@ -137,9 +137,11 @@ class Executor : public SubqueryRunner {
                                std::vector<Row>* order_keys);
 
   /// Snapshot of a DML target table, narrowed through an equality index
-  /// when `where` has a `column = literal` conjunct and one exists.
-  Status SnapshotForDml(const Table& table, const Expr* where,
-                        const TableSchema& schema,
+  /// when `where` has a `column = literal` conjunct and one exists. With
+  /// record locking enabled, candidates are X-locked before they are
+  /// copied (the table itself when the predicate is unindexed).
+  Status SnapshotForDml(const Table& table, const std::string& table_name,
+                        const Expr* where, const TableSchema& schema,
                         std::vector<std::pair<TupleHandle, Row>>* snapshot);
 
   /// Coerces int literals into double columns so stored types match the

@@ -33,6 +33,22 @@ Status ProcedureContext::Execute(const std::string& sql) {
 RuleEngine::RuleEngine(Database* db, RuleEngineOptions options)
     : db_(db), options_(options) {}
 
+RuleEngine::EngineTls& RuleEngine::Tls() const {
+  // One slot per (thread, engine). Slots are unique_ptrs so references
+  // handed out stay valid even if the vector reallocates when a thread
+  // first touches another engine.
+  thread_local std::vector<
+      std::pair<const RuleEngine*, std::unique_ptr<EngineTls>>>
+      slots;
+  for (auto& slot : slots) {
+    if (slot.first == this) return *slot.second;
+  }
+  slots.emplace_back(this, std::make_unique<EngineTls>());
+  return *slots.back().second;
+}
+
+bool RuleEngine::in_transaction() const { return Tls().frame != nullptr; }
+
 RuleEngine::RuleState* RuleEngine::FindState(const std::string& name) {
   std::string key = ToLower(name);
   for (auto& state : rules_) {
@@ -51,7 +67,7 @@ const RuleEngine::RuleState* RuleEngine::FindState(
 }
 
 Status RuleEngine::DefineRule(std::shared_ptr<const CreateRuleStmt> def) {
-  if (in_txn_) {
+  if (in_transaction()) {
     return Status::InvalidArgument(
         "rules cannot be defined inside a transaction");
   }
@@ -68,7 +84,7 @@ Status RuleEngine::DefineRule(std::shared_ptr<const CreateRuleStmt> def) {
 }
 
 Status RuleEngine::DropRule(const std::string& name) {
-  if (in_txn_) {
+  if (in_transaction()) {
     return Status::InvalidArgument(
         "rules cannot be dropped inside a transaction");
   }
@@ -146,15 +162,16 @@ Status RuleEngine::RegisterProcedure(const std::string& name,
   return Status::OK();
 }
 
-void RuleEngine::ResetInfo(RuleState* state) {
+void RuleEngine::ResetInfo(TxnFrame& frame, size_t index) {
+  RuleScratch& scratch = frame.scratch[index];
   if (options_.maintenance == MaintenanceMode::kPerRule) {
-    state->info.Clear();
-    state->effect = TransitionEffect();
+    scratch.info.Clear();
+    scratch.effect = TransitionEffect();
   } else {
-    state->log_start = log_.size();
-    state->cached.Clear();
-    state->cached_effect = TransitionEffect();
-    state->cached_upto = log_.size();
+    scratch.log_start = frame.log.size();
+    scratch.cached.Clear();
+    scratch.cached_effect = TransitionEffect();
+    scratch.cached_upto = frame.log.size();
   }
 }
 
@@ -178,36 +195,30 @@ Result<const Rule*> RuleEngine::GetRule(const std::string& name) const {
 // ---------------------------------------------------------------------------
 
 Status RuleEngine::Begin() {
-  if (in_txn_) {
+  EngineTls& tls = Tls();
+  if (tls.frame != nullptr) {
     return Status::InvalidArgument("transaction already in progress");
   }
-  in_txn_ = true;
-  txn_start_mark_ = db_->UndoMark();
+  // Bind this thread's database transaction context first: with record
+  // locking enabled every mutation below acquires locks under this txn
+  // id, and the undo mark must come from the per-transaction undo log.
+  db_->BeginTxn();
+  auto frame = std::make_unique<TxnFrame>();
+  frame->start_mark = db_->UndoMark();
   db_->set_undo_budget(options_.max_undo_records);
-  txn_has_deadline_ = options_.txn_deadline.count() > 0;
-  if (txn_has_deadline_) {
-    txn_deadline_at_ = std::chrono::steady_clock::now() + options_.txn_deadline;
+  frame->has_deadline = options_.txn_deadline.count() > 0;
+  if (frame->has_deadline) {
+    frame->deadline_at = std::chrono::steady_clock::now() + options_.txn_deadline;
   }
-  if (options_.verify_rollback_integrity) {
-    txn_start_checksum_ = db_->Checksum();
+  if (options_.verify_rollback_integrity && db_->lock_manager() == nullptr) {
+    // Whole-state checksums are only meaningful without concurrent
+    // committers; in locking mode rollback is verified per touched row
+    // instead (see AbortTransaction).
+    frame->start_checksum = db_->Checksum();
   }
   if (wal_ != nullptr) wal_->BeginTxn();
-  pending_block_.Clear();
-  log_.clear();
-  txn_firings_ = 0;
-  consider_tick_ = 0;
-  global_composite_.Clear();
-  global_effect_ = TransitionEffect();
-  for (auto& state : rules_) {
-    state->info.Clear();
-    state->effect = TransitionEffect();
-    state->log_start = 0;
-    state->cached.Clear();
-    state->cached_effect = TransitionEffect();
-    state->cached_upto = 0;
-    state->last_considered = 0;
-    state->considered_in_state = false;
-  }
+  frame->scratch.resize(rules_.size());
+  tls.frame = std::move(frame);
   return Status::OK();
 }
 
@@ -215,34 +226,60 @@ Status RuleEngine::AbortTransaction() {
   // RollbackTo discards the buffered redo; AbortTxn drops the writer's
   // transaction state. Nothing of an aborted transaction was ever written
   // to the log, so there is no durable side to undo.
-  Status undo = db_->RollbackTo(txn_start_mark_);
+  EngineTls& tls = Tls();
+  const bool was_in_txn = tls.frame != nullptr;
+  const UndoLog::Mark start_mark =
+      was_in_txn ? tls.frame->start_mark : UndoLog::Mark{0};
+  const uint64_t start_checksum = was_in_txn ? tls.frame->start_checksum : 0;
+  const bool locked = db_->lock_manager() != nullptr && db_->InTxn();
+  std::vector<std::pair<std::string, TupleHandle>> touched;
+  if (options_.verify_rollback_integrity && locked) {
+    touched = db_->TouchedRows();
+  }
+  Status undo = db_->RollbackTo(start_mark);
   if (wal_ != nullptr) wal_->AbortTxn();
-  bool was_in_txn = in_txn_;
-  in_txn_ = false;
-  pending_block_.Clear();
-  log_.clear();
-  // Detached actions queued by the aborted transaction must not run
-  // (their trigger never committed). Deferrals from an enclosing
-  // committed transaction were already drained into RunDeferred's local
-  // queue, so clearing here is safe.
-  deferred_.clear();
+  Status verify = Status::OK();
+  if (undo.ok() && options_.verify_rollback_integrity && locked) {
+    // Whole-state checksums are meaningless while other writers commit
+    // concurrently. Instead verify — while this transaction's exclusive
+    // locks are still held, so nobody can have re-created one — that the
+    // rollback left no pending version on any row it touched.
+    for (const auto& [table, handle] : touched) {
+      if (!db_->VerifyNoPending(table, handle)) {
+        verify = Status::Internal(
+            "rollback left a pending version on " + table + " handle " +
+            std::to_string(handle));
+        break;
+      }
+    }
+  }
+  // Strict two-phase locking: every lock this transaction took releases
+  // here, at transaction end — partial rollback never releases locks.
+  db_->EndTxn();
+  // Dropping the frame discards pending_block, the shared log, and the
+  // deferred queue. Detached actions queued by the aborted transaction
+  // must not run (their trigger never committed); deferrals from an
+  // enclosing committed transaction were already drained into
+  // RunDeferred's local queue.
+  tls.frame.reset();
   SOPR_RETURN_NOT_OK(undo);
-  if (options_.verify_rollback_integrity && was_in_txn) {
+  SOPR_RETURN_NOT_OK(verify);
+  if (options_.verify_rollback_integrity && was_in_txn && !locked) {
     SOPR_RETURN_NOT_OK(db_->CheckInvariants());
     uint64_t restored = db_->Checksum();
-    if (restored != txn_start_checksum_) {
+    if (restored != start_checksum) {
       return Status::Internal(
           "rollback did not restore the transaction-start state: checksum " +
           std::to_string(restored) + " != S0 checksum " +
-          std::to_string(txn_start_checksum_));
+          std::to_string(start_checksum));
     }
   }
   return Status::OK();
 }
 
-Status RuleEngine::CheckDeadline() const {
-  if (!txn_has_deadline_) return Status::OK();
-  if (std::chrono::steady_clock::now() <= txn_deadline_at_) {
+Status RuleEngine::CheckDeadline(const TxnFrame& frame) const {
+  if (!frame.has_deadline) return Status::OK();
+  if (std::chrono::steady_clock::now() <= frame.deadline_at) {
     return Status::OK();
   }
   return Status::Timeout(
@@ -251,7 +288,7 @@ Status RuleEngine::CheckDeadline() const {
 }
 
 Status RuleEngine::RollbackTransaction() {
-  if (!in_txn_) {
+  if (!in_transaction()) {
     return Status::InvalidArgument("no transaction in progress");
   }
   return AbortTransaction();
@@ -259,7 +296,8 @@ Status RuleEngine::RollbackTransaction() {
 
 Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
                           ExecutionTrace* trace) {
-  if (!in_txn_) {
+  TxnFrame* frame = Tls().frame.get();
+  if (frame == nullptr) {
     return Status::InvalidArgument("no transaction in progress");
   }
   Status entry = SOPR_FAILPOINT("rules.block.pre");
@@ -272,7 +310,7 @@ Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
   DatabaseResolver resolver(db_);
   Executor executor(db_, &resolver, options_.optimize_queries);
   for (const Stmt* op : ops) {
-    Status deadline = CheckDeadline();
+    Status deadline = CheckDeadline(*frame);
     if (!deadline.ok()) {
       SOPR_RETURN_NOT_OK(AbortTransaction());
       return deadline;
@@ -289,7 +327,7 @@ Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
       if (trace != nullptr) {
         trace->retrieved.push_back(std::move(result).value());
       }
-      if (options_.track_selects) pending_block_.ApplySelect(selected);
+      if (options_.track_selects) frame->pending_block.ApplySelect(selected);
       continue;
     }
     if (op->kind == StmtKind::kProcessRules) {
@@ -303,7 +341,7 @@ Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
       SOPR_RETURN_NOT_OK(AbortTransaction());
       return effect.status();
     }
-    pending_block_.ApplyOp(effect.value());
+    frame->pending_block.ApplyOp(effect.value());
   }
   Status exit = SOPR_FAILPOINT("rules.block.post");
   if (!exit.ok()) {
@@ -313,65 +351,72 @@ Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
   return Status::OK();
 }
 
-void RuleEngine::PropagateTransition(const TransInfo& transition,
-                                     RuleState* source) {
+void RuleEngine::PropagateTransition(TxnFrame& frame,
+                                     const TransInfo& transition,
+                                     size_t source_index) {
   if (options_.maintenance == MaintenanceMode::kPerRule) {
-    for (auto& state : rules_) {
-      if (state.get() == source &&
-          state->reset_policy == ResetPolicy::kOnExecution) {
-        state->info = transition;  // Figure 1: R gets new transition info
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      RuleScratch& scratch = frame.scratch[i];
+      if (i == source_index &&
+          rules_[i]->reset_policy == ResetPolicy::kOnExecution) {
+        scratch.info = transition;  // Figure 1: R gets new transition info
       } else {
         // All other rules compose; a kOnConsideration source was already
         // reset at its consideration point, so its own transition
         // composes in like any other.
-        state->info.Compose(transition);
+        scratch.info.Compose(transition);
       }
-      state->effect = state->info.ToEffect();
+      scratch.effect = scratch.info.ToEffect();
     }
   } else {
-    log_.push_back(transition);
-    global_composite_.Compose(transition);
-    global_effect_ = global_composite_.ToEffect();
-    if (source != nullptr &&
-        source->reset_policy == ResetPolicy::kOnExecution) {
-      source->log_start = log_.size() - 1;
-      source->cached = transition;
-      source->cached_effect = source->cached.ToEffect();
-      source->cached_upto = log_.size();
+    frame.log.push_back(transition);
+    frame.global_composite.Compose(transition);
+    frame.global_effect = frame.global_composite.ToEffect();
+    if (source_index != kNoSource &&
+        rules_[source_index]->reset_policy == ResetPolicy::kOnExecution) {
+      RuleScratch& scratch = frame.scratch[source_index];
+      scratch.log_start = frame.log.size() - 1;
+      scratch.cached = transition;
+      scratch.cached_effect = scratch.cached.ToEffect();
+      scratch.cached_upto = frame.log.size();
     }
   }
   // A new transition starts a new state: every rule may be (re)considered.
-  for (auto& state : rules_) state->considered_in_state = false;
+  for (RuleScratch& scratch : frame.scratch) {
+    scratch.considered_in_state = false;
+  }
 }
 
-RuleEngine::InfoView RuleEngine::ViewFor(RuleState* state) {
+RuleEngine::InfoView RuleEngine::ViewFor(TxnFrame& frame, size_t index) {
+  RuleScratch& scratch = frame.scratch[index];
   if (options_.maintenance == MaintenanceMode::kPerRule) {
-    return InfoView{&state->info, &state->effect};
+    return InfoView{&scratch.info, &scratch.effect};
   }
-  if (state->log_start == 0) {
+  if (scratch.log_start == 0) {
     // Never fired this transaction: every such rule shares the global
     // composite, so idle rules cost nothing per transition.
-    return InfoView{&global_composite_, &global_effect_};
+    return InfoView{&frame.global_composite, &frame.global_effect};
   }
   // Fired before: lazily extend this rule's private cache.
-  size_t begin = std::max(state->cached_upto, state->log_start);
-  if (state->cached_upto < state->log_start) {
-    state->cached.Clear();
-    begin = state->log_start;
+  size_t begin = std::max(scratch.cached_upto, scratch.log_start);
+  if (scratch.cached_upto < scratch.log_start) {
+    scratch.cached.Clear();
+    begin = scratch.log_start;
   }
-  if (begin < log_.size()) {
-    for (size_t i = begin; i < log_.size(); ++i) {
-      state->cached.Compose(log_[i]);
+  if (begin < frame.log.size()) {
+    for (size_t i = begin; i < frame.log.size(); ++i) {
+      scratch.cached.Compose(frame.log[i]);
     }
-    state->cached_upto = log_.size();
-    state->cached_effect = state->cached.ToEffect();
+    scratch.cached_upto = frame.log.size();
+    scratch.cached_effect = scratch.cached.ToEffect();
   }
-  return InfoView{&state->cached, &state->cached_effect};
+  return InfoView{&scratch.cached, &scratch.cached_effect};
 }
 
 Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
+  TxnFrame& frame = *Tls().frame;
   while (true) {
-    Status deadline = CheckDeadline();
+    Status deadline = CheckDeadline(frame);
     if (!deadline.ok()) {
       SOPR_RETURN_NOT_OK(AbortTransaction());
       return deadline;
@@ -379,36 +424,39 @@ Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
     // Gather triggered rules that have not yet been rejected in the
     // current state.
     std::vector<SelectionCandidate> candidates;
-    std::vector<RuleState*> candidate_states;
-    for (auto& state : rules_) {
-      if (!state->enabled || state->considered_in_state) continue;
-      InfoView view = ViewFor(state.get());
+    std::vector<size_t> candidate_indices;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      RuleState& state = *rules_[i];
+      RuleScratch& scratch = frame.scratch[i];
+      if (!state.enabled || scratch.considered_in_state) continue;
+      InfoView view = ViewFor(frame, i);
       if (view.info->Empty()) continue;
-      if (!state->rule->Triggered(*view.effect)) continue;
-      candidates.push_back(SelectionCandidate{state->rule->name(),
-                                              state->creation_seq,
-                                              state->last_considered});
-      candidate_states.push_back(state.get());
+      if (!state.rule->Triggered(*view.effect)) continue;
+      candidates.push_back(SelectionCandidate{state.rule->name(),
+                                              state.creation_seq,
+                                              scratch.last_considered});
+      candidate_indices.push_back(i);
     }
 
     int pick = SelectRule(candidates, priorities_, options_.tie_break);
     if (pick < 0) return Status::OK();  // quiescent
 
-    RuleState* state = candidate_states[static_cast<size_t>(pick)];
+    size_t index = candidate_indices[static_cast<size_t>(pick)];
+    RuleState* state = rules_[index].get();
     const Rule& rule = *state->rule;
-    state->last_considered = ++consider_tick_;
-    state->considered_in_state = true;
+    frame.scratch[index].last_considered = ++frame.consider_tick;
+    frame.scratch[index].considered_in_state = true;
 
     // check-condition: evaluate against the current state and the rule's
     // transition tables. The info is copied so that the footnote 8
     // consideration-reset below cannot invalidate the transition tables
     // the condition and action are evaluated against.
-    TransInfo info = *ViewFor(state).info;
+    TransInfo info = *ViewFor(frame, index).info;
     // Footnote 8 alternative: measure this rule's next composite
     // transition from this consideration point onward. (The action's own
     // transition, which happens after this point, is then included.)
     if (state->reset_policy == ResetPolicy::kOnConsideration) {
-      ResetInfo(state);
+      ResetInfo(frame, index);
     }
     TransitionTableResolver resolver(db_, &info);
     Executor executor(db_, &resolver, options_.optimize_queries);
@@ -443,15 +491,15 @@ Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
     // Detached rules (§5.3): queue the action with a snapshot of its
     // transition tables; it runs as its own transaction after commit.
     if (state->detached) {
-      deferred_.push_back(DeferredFiring{state, info});
+      frame.deferred.push_back(DeferredFiring{index, info});
       // Like a firing, the rule's composite transition restarts here.
-      ResetInfo(state);
+      ResetInfo(frame, index);
       continue;
     }
 
     // Execute the action's operation block; its ops compose into one
     // transition (§2.1).
-    if (++txn_firings_ > options_.max_rule_firings) {
+    if (++frame.firings > options_.max_rule_firings) {
       SOPR_RETURN_NOT_OK(AbortTransaction());
       return Status::LimitExceeded(
           "rule cascade exceeded " +
@@ -460,7 +508,7 @@ Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
           "rule " +
           rule.name() + ")");
     }
-    ++total_firings_;
+    total_firings_.fetch_add(1, std::memory_order_relaxed);
 
     Status pre = SOPR_FAILPOINT("rules.action.pre");
     if (!pre.ok()) {
@@ -480,7 +528,7 @@ Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
     if (trace != nullptr) {
       trace->firings.push_back(RuleFiring{rule.name(), action_info, false});
     }
-    PropagateTransition(action_info, state);
+    PropagateTransition(frame, action_info, index);
   }
 }
 
@@ -536,12 +584,12 @@ Status RuleEngine::ExecuteAction(const Rule& rule, const TransInfo& info,
   return Status::OK();
 }
 
-Status RuleEngine::RunDeferredOnce(RuleState* state, const TransInfo& info,
+Status RuleEngine::RunDeferredOnce(size_t rule_index, const TransInfo& info,
                                    ExecutionTrace* trace) {
   SOPR_FAILPOINT_RETURN("rules.deferred.dispatch");
-  const Rule& rule = *state->rule;
+  const Rule& rule = *rules_[rule_index]->rule;
   SOPR_RETURN_NOT_OK(Begin());
-  ++total_firings_;
+  total_firings_.fetch_add(1, std::memory_order_relaxed);
   TransInfo action_info;
   SOPR_RETURN_NOT_OK(ExecuteAction(rule, info, &action_info, trace));
   if (trace != nullptr) {
@@ -549,23 +597,22 @@ Status RuleEngine::RunDeferredOnce(RuleState* state, const TransInfo& info,
   }
   // The detached action is this transaction's externally-generated block
   // from every other rule's perspective.
-  pending_block_ = std::move(action_info);
+  Tls().frame->pending_block = std::move(action_info);
   return Commit(trace);  // cascades + nested deferrals
 }
 
-Status RuleEngine::RunDeferred(ExecutionTrace* trace) {
-  ++detached_depth_;
-  if (detached_depth_ == 1) detached_runs_ = 0;
-  std::vector<DeferredFiring> queue;
-  queue.swap(deferred_);
+Status RuleEngine::RunDeferred(std::vector<DeferredFiring> queue,
+                               ExecutionTrace* trace) {
+  EngineTls& tls = Tls();
+  ++tls.detached_depth;
+  if (tls.detached_depth == 1) tls.detached_runs = 0;
   Status overall = Status::OK();
   for (DeferredFiring& f : queue) {
-    const Rule& rule = *f.state->rule;
+    const Rule& rule = *rules_[f.rule_index]->rule;
     Status attempt = Status::OK();
     size_t attempts = 0;
     while (true) {
-      if (++detached_runs_ > options_.max_rule_firings) {
-        deferred_.clear();
+      if (++tls.detached_runs > options_.max_rule_firings) {
         overall = Status::LimitExceeded(
             "detached rule chain exceeded " +
             std::to_string(options_.max_rule_firings) + " transactions");
@@ -573,7 +620,7 @@ Status RuleEngine::RunDeferred(ExecutionTrace* trace) {
       }
       ++attempts;
       size_t firings_before = trace != nullptr ? trace->firings.size() : 0;
-      attempt = RunDeferredOnce(f.state, f.info, trace);
+      attempt = RunDeferredOnce(f.rule_index, f.info, trace);
       if (attempt.ok()) break;
       // The runaway guard is an engine-level error, not a transient
       // failure of this action: surface it instead of retrying.
@@ -606,22 +653,24 @@ Status RuleEngine::RunDeferred(ExecutionTrace* trace) {
       trace->detached_errors.push_back(label + ": " + attempt.ToString());
     }
   }
-  --detached_depth_;
+  --tls.detached_depth;
   return overall;
 }
 
 Status RuleEngine::ProcessRules(ExecutionTrace* trace) {
-  if (!in_txn_) {
+  TxnFrame* frame = Tls().frame.get();
+  if (frame == nullptr) {
     return Status::InvalidArgument("no transaction in progress");
   }
-  if (!pending_block_.Empty()) {
+  if (!frame->pending_block.Empty()) {
     // The externally-generated transition is complete; fold it into every
     // rule's composite info (external transitions have no source rule).
-    PropagateTransition(pending_block_, nullptr);
-    pending_block_.Clear();
+    TransInfo block = std::move(frame->pending_block);
+    frame->pending_block.Clear();
+    PropagateTransition(*frame, block, kNoSource);
   }
   Status status = RunRuleLoop(trace);
-  if (!status.ok() && in_txn_) {
+  if (!status.ok() && in_transaction()) {
     SOPR_RETURN_NOT_OK(AbortTransaction());
   }
   return status;
@@ -640,54 +689,70 @@ Status RuleEngine::CommitStaged(ExecutionTrace* trace,
 Status RuleEngine::CommitImpl(ExecutionTrace* trace,
                               std::shared_ptr<wal::CommitTicket>* staged) {
   SOPR_RETURN_NOT_OK(ProcessRules(trace));
-  if (in_txn_) {
+  EngineTls& tls = Tls();
+  std::vector<DeferredFiring> deferred;
+  if (tls.frame != nullptr) {
     uint64_t commit_lsn = 0;  // 0 = synthetic (in-memory engine)
+    // Deliberately OUTSIDE commit_mu_: a writer parked here (the litmus
+    // harness does this) still holds its record locks, but does not block
+    // other writers' commits.
     Status fault = SOPR_FAILPOINT("rules.commit.pre");
     if (!fault.ok()) {
       SOPR_RETURN_NOT_OK(AbortTransaction());
       return fault;
     }
-    if (wal_ != nullptr) {
-      // The durability point: the group-commit batch (BEGIN + every redo
-      // record of this transaction, rule-generated mutations included +
-      // COMMIT) reaches the log before the undo information is forgotten.
-      // If it cannot, the transaction never happened — roll back to S0.
-      // In staged mode the batch is only deposited on the group-commit
-      // queue here; the caller awaits durability outside the serialized
-      // commit section (a failure there is handled by the scheduler, not
-      // by rollback — later transactions may already have built on this
-      // one's state).
-      if (staged != nullptr) {
-        auto ticket = wal_->StageCommitTxn(db_->next_handle());
-        if (!ticket.ok()) {
-          SOPR_RETURN_NOT_OK(AbortTransaction());
-          return ticket.status();
+    Status committed;
+    {
+      // Serialize LSN assignment and version stamping across writer
+      // threads: WAL file order, commit-LSN order, and MVCC stamping
+      // order must agree (docs/CONCURRENCY.md).
+      std::lock_guard<std::mutex> commit_lock(commit_mu_);
+      committed = [&]() -> Status {
+        if (wal_ != nullptr) {
+          // The durability point: the group-commit batch (BEGIN + every
+          // redo record of this transaction, rule-generated mutations
+          // included + COMMIT) reaches the log before the undo
+          // information is forgotten. If it cannot, the transaction never
+          // happened — roll back to S0. In staged mode the batch is only
+          // deposited on the group-commit queue here; the caller awaits
+          // durability outside the serialized commit section (a failure
+          // there is handled by the scheduler, not by rollback — later
+          // transactions may already have built on this one's state).
+          auto ticket = wal_->StageCommitTxn(db_->next_handle());
+          if (!ticket.ok()) return ticket.status();
+          if (staged != nullptr) {
+            *staged = std::move(ticket).value();
+            // The COMMIT record's LSN identifies this commit for MVCC
+            // snapshots (null ticket = read-only transaction, no new
+            // state).
+            if (*staged != nullptr) commit_lsn = (*staged)->last_lsn;
+          } else {
+            // Stage + await, like CommitTxn, but keeping the ticket so
+            // the commit LSN is known for version stamping.
+            Status durable = wal_->AwaitDurable(ticket.value());
+            if (!durable.ok()) return durable;
+            if (ticket.value() != nullptr) {
+              commit_lsn = ticket.value()->last_lsn;
+            }
+          }
         }
-        *staged = std::move(ticket).value();
-        // The COMMIT record's LSN identifies this commit for MVCC
-        // snapshots (null ticket = read-only transaction, no new state).
-        if (*staged != nullptr) commit_lsn = (*staged)->last_lsn;
-      } else {
-        // Stage + await, like CommitTxn, but keeping the ticket so the
-        // commit LSN is known for version stamping.
-        auto ticket = wal_->StageCommitTxn(db_->next_handle());
-        if (!ticket.ok()) {
-          SOPR_RETURN_NOT_OK(AbortTransaction());
-          return ticket.status();
-        }
-        Status durable = wal_->AwaitDurable(ticket.value());
-        if (!durable.ok()) {
-          SOPR_RETURN_NOT_OK(AbortTransaction());
-          return durable;
-        }
-        if (ticket.value() != nullptr) commit_lsn = ticket.value()->last_lsn;
-      }
+        db_->CommitAll(commit_lsn);
+        return Status::OK();
+      }();
     }
-    db_->CommitAll(commit_lsn);
-    in_txn_ = false;
+    if (!committed.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return committed;
+    }
+    deferred = std::move(tls.frame->deferred);
+    tls.frame.reset();
+    // Strict two-phase locking: locks release only after the whole
+    // fixpoint committed and its versions are stamped, so the record
+    // conflict order equals the commit-LSN order.
+    db_->EndTxn();
   }
-  if (!deferred_.empty()) {
-    SOPR_RETURN_NOT_OK(RunDeferred(trace));
+  if (!deferred.empty()) {
+    SOPR_RETURN_NOT_OK(RunDeferred(std::move(deferred), trace));
   }
   return Status::OK();
 }
@@ -743,7 +808,7 @@ Result<ExecutionTrace> RuleEngine::ExecuteBlockImpl(
       SOPR_RETURN_NOT_OK(RunOps(segment, &trace));
       segment.clear();
       SOPR_RETURN_NOT_OK(ProcessRules(&trace));
-      if (!in_txn_) return trace;  // a rule rolled the transaction back
+      if (!in_transaction()) return trace;  // a rule rolled back the txn
       continue;
     }
     segment.push_back(op);

@@ -1,10 +1,12 @@
 #ifndef SOPR_RULES_RULE_ENGINE_H_
 #define SOPR_RULES_RULE_ENGINE_H_
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -222,10 +224,14 @@ class RuleEngine {
       std::shared_ptr<wal::CommitTicket>* staged);
   /// Aborts the transaction, undoing everything since Begin.
   Status RollbackTransaction();
-  bool in_transaction() const { return in_txn_; }
+  /// True when the CALLING THREAD has a transaction in progress.
+  /// Transactions are thread-scoped (see the threading note below).
+  bool in_transaction() const;
 
   /// Total rule firings across all transactions (for benchmarks).
-  uint64_t total_firings() const { return total_firings_; }
+  uint64_t total_firings() const {
+    return total_firings_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches (or detaches, with nullptr) the write-ahead log. Begin /
   /// Commit / Abort notify the writer so each rule transaction maps to
@@ -240,15 +246,33 @@ class RuleEngine {
   uint64_t RuleSetChecksum() const;
 
  private:
+  // Threading model: the rule CATALOG (rules_, priorities_, procedures_)
+  // is mutated only between transactions by the front-end's exclusive
+  // sections, while TRANSACTION state lives in a per-thread TxnFrame —
+  // each writer session runs its whole Begin..Commit fixpoint on one
+  // thread, so concurrent writers never share scratch state. The only
+  // cross-thread synchronization the engine itself adds is commit_mu_,
+  // which serializes WAL LSN assignment + version stamping so that
+  // commit-LSN order equals the stamping order.
+
+  /// Catalog entry for one rule: definition plus the settings that
+  /// persist across transactions. Per-transaction scratch lives in
+  /// TxnFrame::scratch, parallel to rules_.
   struct RuleState {
     std::shared_ptr<Rule> rule;
     uint64_t creation_seq = 0;
     bool enabled = true;
+    ResetPolicy reset_policy = ResetPolicy::kOnExecution;
+    bool detached = false;
+  };
+
+  /// One rule's per-transaction composite-transition scratch.
+  struct RuleScratch {
     // kPerRule mode: eagerly maintained composite info + its effect.
     TransInfo info;
     TransitionEffect effect;
-    // kSharedLog mode: compose log_[log_start..) lazily with a cache
-    // (only used once the rule has fired; before that the engine's
+    // kSharedLog mode: compose log[log_start..) lazily with a cache
+    // (only used once the rule has fired; before that the frame's
     // global composite applies).
     size_t log_start = 0;
     TransInfo cached;
@@ -256,16 +280,46 @@ class RuleEngine {
     size_t cached_upto = 0;
     uint64_t last_considered = 0;
     bool considered_in_state = false;
-    ResetPolicy reset_policy = ResetPolicy::kOnExecution;
-    bool detached = false;
   };
 
   /// A detached action waiting for the triggering transaction to commit:
-  /// the rule plus a snapshot of its transition tables at deferral time.
+  /// the rule (by catalog index — DDL cannot run mid-transaction, so
+  /// indexes are stable) plus a snapshot of its transition tables at
+  /// deferral time.
   struct DeferredFiring {
-    RuleState* state = nullptr;
+    size_t rule_index = 0;
     TransInfo info;
   };
+
+  /// Everything one in-flight transaction needs, owned by the thread
+  /// running it.
+  struct TxnFrame {
+    UndoLog::Mark start_mark = 0;
+    std::chrono::steady_clock::time_point deadline_at{};
+    bool has_deadline = false;
+    uint64_t start_checksum = 0;
+    TransInfo pending_block;
+    std::vector<TransInfo> log;   // kSharedLog: transitions this txn
+    TransInfo global_composite;   // kSharedLog: composition of all of log
+    TransitionEffect global_effect;
+    std::vector<DeferredFiring> deferred;
+    size_t firings = 0;
+    uint64_t consider_tick = 0;
+    std::vector<RuleScratch> scratch;  // parallel to rules_
+  };
+
+  /// The calling thread's per-engine state: the current frame (null
+  /// between transactions) plus the detached-cascade counters, which
+  /// span the sequence of frames a deferred chain runs through.
+  struct EngineTls {
+    std::unique_ptr<TxnFrame> frame;
+    size_t detached_depth = 0;
+    size_t detached_runs = 0;
+  };
+  EngineTls& Tls() const;
+
+  /// "No source rule" marker for PropagateTransition (external blocks).
+  static constexpr size_t kNoSource = static_cast<size_t>(-1);
 
   RuleState* FindState(const std::string& name);
   const RuleState* FindState(const std::string& name) const;
@@ -279,13 +333,14 @@ class RuleEngine {
     const TransInfo* info = nullptr;
     const TransitionEffect* effect = nullptr;
   };
-  InfoView ViewFor(RuleState* state);
+  InfoView ViewFor(TxnFrame& frame, size_t index);
 
-  /// Folds a completed transition into every rule's info. `source` is the
-  /// rule whose action produced it (nullptr for external transitions);
-  /// per Figure 1 the source rule's info is *reset* to just this
-  /// transition while all others compose.
-  void PropagateTransition(const TransInfo& transition, RuleState* source);
+  /// Folds a completed transition into every rule's info. `source_index`
+  /// is the rule whose action produced it (kNoSource for external
+  /// transitions); per Figure 1 the source rule's info is *reset* to just
+  /// this transition while all others compose.
+  void PropagateTransition(TxnFrame& frame, const TransInfo& transition,
+                           size_t source_index);
 
   /// The select-eligible-rule loop of Figure 1 plus action execution.
   Status RunRuleLoop(ExecutionTrace* trace);
@@ -296,12 +351,13 @@ class RuleEngine {
                        TransInfo* out, ExecutionTrace* trace);
 
   /// Runs queued detached actions, each as its own transaction.
-  Status RunDeferred(ExecutionTrace* trace);
+  Status RunDeferred(std::vector<DeferredFiring> queue,
+                     ExecutionTrace* trace);
 
   /// One attempt at a deferred firing: dispatch failpoint + Begin +
   /// action + commit. A non-OK return means the attempt's transaction was
   /// rolled back (retry material unless the cascade guard tripped).
-  Status RunDeferredOnce(RuleState* state, const TransInfo& info,
+  Status RunDeferredOnce(size_t rule_index, const TransInfo& info,
                          ExecutionTrace* trace);
 
   /// Shared body of Commit and CommitStaged: `staged` selects whether the
@@ -316,11 +372,11 @@ class RuleEngine {
   Status AbortTransaction();
 
   /// kTimeout when the transaction deadline has passed (OK otherwise).
-  Status CheckDeadline() const;
+  Status CheckDeadline(const TxnFrame& frame) const;
 
   /// Resets a rule's composite info to "nothing yet" (used by the
   /// kOnConsideration policy).
-  void ResetInfo(RuleState* state);
+  void ResetInfo(TxnFrame& frame, size_t index);
 
   Database* db_;
   RuleEngineOptions options_;
@@ -330,22 +386,14 @@ class RuleEngine {
   PriorityGraph priorities_;
   uint64_t next_creation_seq_ = 0;
 
-  // Transaction state.
-  bool in_txn_ = false;
-  UndoLog::Mark txn_start_mark_ = 0;
-  std::chrono::steady_clock::time_point txn_deadline_at_{};
-  bool txn_has_deadline_ = false;
-  uint64_t txn_start_checksum_ = 0;
-  TransInfo pending_block_;
-  std::vector<TransInfo> log_;  // kSharedLog: transitions this txn
-  TransInfo global_composite_;  // kSharedLog: composition of all of log_
-  TransitionEffect global_effect_;
-  std::vector<DeferredFiring> deferred_;
-  size_t detached_depth_ = 0;
-  size_t detached_runs_ = 0;
-  size_t txn_firings_ = 0;
-  uint64_t consider_tick_ = 0;
-  uint64_t total_firings_ = 0;
+  /// Serializes commit-LSN assignment (WAL staging) with version
+  /// stamping (Database::CommitAll) across concurrent writer threads, so
+  /// WAL file order == commit-LSN order == stamping order. Record locks
+  /// are NOT held under this mutex-acquisition path in any order that
+  /// could cycle: lock waits happen during the mutation phase, strictly
+  /// before commit.
+  std::mutex commit_mu_;
+  std::atomic<uint64_t> total_firings_{0};
 };
 
 }  // namespace sopr

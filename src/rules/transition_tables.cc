@@ -43,10 +43,13 @@ Result<Relation> TransitionTableResolver::Resolve(const TableRef& ref) {
 
   switch (ref.kind) {
     case TableRefKind::kInserted:
+      // Transition-table rows are this transaction's own writes (X locks
+      // held), but the heap structure may be reshaped by concurrent
+      // committers — read through the latched accessor.
       for (TupleHandle h : info.ins) {
-        SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
+        SOPR_ASSIGN_OR_RETURN(Row row, table->GetCopy(h));
         rel.handles.push_back(h);
-        rel.rows.push_back(*row);
+        rel.rows.push_back(std::move(row));
       }
       break;
 
@@ -68,17 +71,17 @@ Result<Relation> TransitionTableResolver::Resolve(const TableRef& ref) {
         if (ref.kind == TableRefKind::kOldUpdated) {
           rel.rows.push_back(upd.old_row);
         } else {
-          SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
-          rel.rows.push_back(*row);
+          SOPR_ASSIGN_OR_RETURN(Row row, table->GetCopy(h));
+          rel.rows.push_back(std::move(row));
         }
       }
       break;
 
     case TableRefKind::kSelectedTt:
       for (TupleHandle h : info.sel) {
-        SOPR_ASSIGN_OR_RETURN(const Row* row, table->Get(h));
+        SOPR_ASSIGN_OR_RETURN(Row row, table->GetCopy(h));
         rel.handles.push_back(h);
-        rel.rows.push_back(*row);
+        rel.rows.push_back(std::move(row));
       }
       break;
 

@@ -31,7 +31,17 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
   std::shared_ptr<wal::CommitTicket> ticket;
   CommitReceipt local;
   Result<ExecutionTrace> trace = [&]() -> Result<ExecutionTrace> {
-    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    // Admission: exclusive in serial mode (one writer at a time), SHARED
+    // with record-level locking on — conflicting rows serialize on their
+    // locks, disjoint writers overlap, and the exclusive side stays the
+    // wall for DDL / checkpoints / baseline reads.
+    std::unique_lock<std::shared_mutex> exclusive;
+    std::shared_lock<std::shared_mutex> shared;
+    if (engine_->concurrent_writers()) {
+      shared = std::shared_lock<std::shared_mutex>(state_mu_);
+    } else {
+      exclusive = std::unique_lock<std::shared_mutex>(state_mu_);
+    }
     // Re-check under the lock: a concurrent writer may have gone fatal
     // while this transaction queued for admission.
     SOPR_RETURN_NOT_OK(CheckFatal());
@@ -39,8 +49,10 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
     auto result = engine_->ExecuteStaged(stmts, &ticket);
     // Publication point: the commit's versions are stamped (CommitAll
     // ran inside ExecuteStaged), so its LSN may now become visible to
-    // snapshot readers. Still inside the exclusive section, hence
-    // monotonic. Published UNCONDITIONALLY: a block can fail after an
+    // snapshot readers. Monotonic via CAS-max — with shared admission
+    // several committers publish concurrently, and the engine's commit
+    // mutex guarantees any LSN <= last_commit_lsn is fully stamped.
+    // Published UNCONDITIONALLY: a block can fail after an
     // inner commit already ran (e.g. the operation block committed and a
     // deferred-rule chain aborted later) — that commit is committed,
     // stamped state regardless of the block's final status, and leaving
@@ -49,8 +61,11 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
     // LSN. last_commit_lsn only moves in CommitAll, so on a clean abort
     // (rolled back to S0) this store is a no-op.
     uint64_t head = engine_->last_commit_lsn();
-    if (head > visible_lsn_.load(std::memory_order_relaxed)) {
-      visible_lsn_.store(head, std::memory_order_release);
+    uint64_t seen = visible_lsn_.load(std::memory_order_relaxed);
+    while (head > seen &&
+           !visible_lsn_.compare_exchange_weak(seen, head,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
     }
     return result;
   }();
@@ -102,6 +117,14 @@ Status CommitScheduler::ExecuteDdl(std::vector<StmtPtr> stmts) {
 Result<QueryResult> CommitScheduler::Query(const SelectStmt& stmt) {
   // Reads stay available even after a fatal durability failure: the
   // in-memory state is intact, only its durable tail is gone.
+  if (engine_->concurrent_writers()) {
+    // Writers are admitted shared, so the baseline read path must take
+    // the wall: this query must not observe an in-flight transaction's
+    // uncommitted rows. (Snapshot reads — QuerySnapshot/QueryAt — remain
+    // the never-blocking path.)
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    return engine_->QueryParsed(stmt);
+  }
   std::shared_lock<std::shared_mutex> lock(state_mu_);
   return engine_->QueryParsed(stmt);
 }
@@ -141,6 +164,10 @@ Result<QueryResult> CommitScheduler::QuerySnapshot(const SelectStmt& stmt) {
 }
 
 Result<std::string> CommitScheduler::Explain(const std::string& sql) {
+  if (engine_->concurrent_writers()) {
+    std::unique_lock<std::shared_mutex> lock(state_mu_);
+    return ExplainSelect(engine_, sql);
+  }
   std::shared_lock<std::shared_mutex> lock(state_mu_);
   return ExplainSelect(engine_, sql);
 }

@@ -29,9 +29,9 @@ struct CommitReceipt {
   uint64_t first_handle = 0;
 };
 
-/// The ticketed serial executor in front of the shared Engine
-/// (docs/CONCURRENCY.md). Transactions are admitted through a
-/// single-writer critical section:
+/// The ticketed executor in front of the shared Engine
+/// (docs/CONCURRENCY.md). In the default serial mode, transactions are
+/// admitted through a single-writer critical section:
 ///
 ///   parse (caller's thread, no lock)
 ///     -> exclusive: apply block + rule fixpoint + stage WAL batch
@@ -43,11 +43,18 @@ struct CommitReceipt {
 /// fsync. Read-only queries run under the shared side of the lock,
 /// concurrent with each other.
 ///
-/// §4 semantics are preserved exactly: each transaction's operation
-/// block and its rule processing to quiescence run back-to-back inside
-/// the exclusive section, so every rule fixpoint sees precisely the
-/// serialized state its transition built on (Figure 1 per transaction,
-/// transactions totally ordered).
+/// With record-level write locking enabled
+/// (Engine::EnableConcurrentWriters), writers are admitted under the
+/// SHARED side instead: record/table locks serialize conflicting rows
+/// while disjoint-row transactions overlap end-to-end, and the rule
+/// engine's commit mutex keeps LSN assignment and version stamping in
+/// one order. The exclusive side becomes the wall reserved for DDL,
+/// checkpoints, WithExclusive, and baseline Query/Explain reads (which
+/// must not observe in-flight writers' uncommitted rows). §4 semantics
+/// per transaction are unchanged: strict two-phase locking holds every
+/// lock until the transaction's whole fixpoint commits or aborts, so the
+/// record conflict order equals the commit-LSN order and the final state
+/// equals a serial replay in commit-LSN order.
 ///
 /// Failure domain: if AwaitDurable fails, the transaction is already
 /// committed in memory and later transactions may have built on it, so
@@ -58,7 +65,15 @@ struct CommitReceipt {
 class CommitScheduler {
  public:
   explicit CommitScheduler(Engine* engine)
-      : engine_(engine), visible_lsn_(engine->last_commit_lsn()) {}
+      : engine_(engine), visible_lsn_(engine->last_commit_lsn()) {
+    // Commit-time incremental pruning: each committed transaction trims
+    // its own touched version chains down to the published visible LSN
+    // and the currently pinned snapshots. Any pin acquired later reads
+    // the visible LSN inside the registry's critical section, so it can
+    // only pin at or above this floor (see PinSnapshot).
+    engine_->db().set_incremental_prune_floor(
+        [this] { return visible_lsn(); });
+  }
   CommitScheduler(const CommitScheduler&) = delete;
   CommitScheduler& operator=(const CommitScheduler&) = delete;
 

@@ -8,10 +8,11 @@ namespace sopr {
 namespace server {
 
 Result<std::unique_ptr<SessionManager>> SessionManager::Open(
-    RuleEngineOptions options) {
+    RuleEngineOptions options, bool concurrent_writers) {
   SOPR_ASSIGN_OR_RETURN(std::unique_ptr<Engine> engine,
                         Engine::Open(std::move(options)));
-  return std::make_unique<SessionManager>(std::move(engine));
+  return std::make_unique<SessionManager>(std::move(engine),
+                                          concurrent_writers);
 }
 
 Result<Session*> SessionManager::CreateSession() {

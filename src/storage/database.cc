@@ -1,5 +1,6 @@
 #include "storage/database.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -13,6 +14,110 @@ Status Database::ConcurrentMutationError() {
   return Status::Internal(
       "concurrent Database mutation detected: the commit scheduler must "
       "serialize writers (docs/CONCURRENCY.md)");
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread transaction contexts (record-level write locking)
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<const Database*, std::unique_ptr<Database::TxnContext>>>&
+Database::TlsContexts() {
+  // One slot per (thread, database) pair; a thread drives at most a
+  // handful of engines, so linear search beats a map.
+  thread_local std::vector<
+      std::pair<const Database*, std::unique_ptr<TxnContext>>>
+      contexts;
+  return contexts;
+}
+
+Database::TxnContext* Database::txn_ctx() const {
+  for (auto& [db, ctx] : TlsContexts()) {
+    if (db == this) return ctx.get();
+  }
+  return nullptr;
+}
+
+UndoLog& Database::active_undo() const {
+  TxnContext* ctx = txn_ctx();
+  return ctx != nullptr ? ctx->undo : undo_;
+}
+
+std::vector<std::pair<std::string, TupleHandle>>& Database::active_journal()
+    const {
+  TxnContext* ctx = txn_ctx();
+  return ctx != nullptr ? ctx->journal : mvcc_journal_;
+}
+
+void Database::BeginTxn() {
+  if (locks_ == nullptr) return;  // legacy single-writer regime
+  if (txn_ctx() != nullptr) return;  // already bound (idempotent)
+  auto ctx = std::make_unique<TxnContext>();
+  ctx->txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  TlsContexts().emplace_back(this, std::move(ctx));
+}
+
+void Database::EndTxn() {
+  auto& contexts = TlsContexts();
+  for (auto it = contexts.begin(); it != contexts.end(); ++it) {
+    if (it->first != this) continue;
+    if (locks_ != nullptr) locks_->ReleaseAll(it->second->txn_id);
+    contexts.erase(it);
+    return;
+  }
+}
+
+bool Database::InTxn() const { return txn_ctx() != nullptr; }
+
+uint64_t Database::txn_id() const {
+  TxnContext* ctx = txn_ctx();
+  return ctx != nullptr ? ctx->txn_id : 0;
+}
+
+void Database::EnableWriteLocking() {
+  if (locks_ == nullptr) locks_ = std::make_unique<LockManager>();
+}
+
+Status Database::LockMutation(std::string_view table,
+                              TupleHandle handle) const {
+  if (locks_ == nullptr) return Status::OK();
+  TxnContext* ctx = txn_ctx();
+  if (ctx == nullptr) return Status::OK();  // recovery / exclusive-wall DDL
+  return locks_->AcquireRecord(ctx->txn_id, ToLower(table), handle,
+                               LockMode::kX);
+}
+
+Status Database::LockForScan(std::string_view table) const {
+  if (locks_ == nullptr) return Status::OK();
+  TxnContext* ctx = txn_ctx();
+  if (ctx == nullptr) return Status::OK();
+  return locks_->AcquireTable(ctx->txn_id, ToLower(table), LockMode::kS);
+}
+
+Status Database::LockForWriteScan(std::string_view table) const {
+  if (locks_ == nullptr) return Status::OK();
+  TxnContext* ctx = txn_ctx();
+  if (ctx == nullptr) return Status::OK();
+  return locks_->AcquireTable(ctx->txn_id, ToLower(table), LockMode::kX);
+}
+
+Status Database::LockRecordForRead(std::string_view table,
+                                   TupleHandle h) const {
+  if (locks_ == nullptr) return Status::OK();
+  TxnContext* ctx = txn_ctx();
+  if (ctx == nullptr) return Status::OK();
+  return locks_->AcquireRecord(ctx->txn_id, ToLower(table), h, LockMode::kS);
+}
+
+Status Database::LockRecordForWrite(std::string_view table,
+                                    TupleHandle h) const {
+  return LockMutation(table, h);
+}
+
+bool Database::VerifyNoPending(std::string_view table,
+                               TupleHandle handle) const {
+  auto t = GetTable(table);
+  if (!t.ok()) return true;  // table dropped since — nothing to leak
+  return t.value()->VerifyNoPending(handle);
 }
 
 Status Database::CreateTable(TableSchema schema) {
@@ -52,53 +157,63 @@ Result<const Table*> Database::GetTable(std::string_view name) const {
 
 Result<TupleHandle> Database::InsertRow(std::string_view table, Row row) {
   MutationScope scope(&active_mutators_);
-  if (!scope.exclusive) return ConcurrentMutationError();
+  const bool locked_txn = txn_ctx() != nullptr;
+  if (!scope.exclusive && !locked_txn) return ConcurrentMutationError();
   SOPR_FAILPOINT_RETURN("storage.insert.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(row));
-  TupleHandle handle = next_handle_++;
+  TupleHandle handle = next_handle_.fetch_add(1, std::memory_order_acq_rel);
+  // The record X (with its table IX) is what excludes full-table S/X
+  // scanners until this transaction commits; the fresh handle itself can
+  // have no competing holder.
+  SOPR_RETURN_NOT_OK(LockMutation(table, handle));
+  UndoLog& undo = active_undo();
   Row wal_image;
   if (wal_ != nullptr) wal_image = row;  // after-image for the redo record
   SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(row)));
   // A mutation that cannot be undo-logged (or redo-buffered) must not stay
   // applied: without the records, rollback could not remove it, or a
   // commit would silently lose it from the durable log.
-  UndoLog::Mark pos = undo_.mark();
-  Status logged = undo_.RecordInsert(ToLower(table), handle);
+  UndoLog::Mark pos = undo.mark();
+  Status logged = undo.RecordInsert(ToLower(table), handle);
   if (logged.ok() && wal_ != nullptr) {
     logged = wal_->RedoInsert(pos, ToLower(table), handle, wal_image);
-    if (!logged.ok()) undo_.TruncateTo(pos);  // drop the orphan undo record
+    if (!logged.ok()) undo.TruncateTo(pos);  // drop the orphan undo record
   }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
     SOPR_RETURN_NOT_OK(t->RollbackInsert(handle));
     return logged;
   }
-  if (mvcc_enabled_) mvcc_journal_.emplace_back(ToLower(table), handle);
+  if (mvcc_enabled_) active_journal().emplace_back(ToLower(table), handle);
   SOPR_FAILPOINT_RETURN("storage.insert.post");
   return handle;
 }
 
 Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
   MutationScope scope(&active_mutators_);
-  if (!scope.exclusive) return ConcurrentMutationError();
+  const bool locked_txn = txn_ctx() != nullptr;
+  if (!scope.exclusive && !locked_txn) return ConcurrentMutationError();
   SOPR_FAILPOINT_RETURN("storage.delete.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
-  SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
-  Row old_row = *row;
+  // Lock before reading the before-image: the row must not change under
+  // us between the read and the erase.
+  SOPR_RETURN_NOT_OK(LockMutation(table, handle));
+  SOPR_ASSIGN_OR_RETURN(Row old_row, t->GetCopy(handle));
+  UndoLog& undo = active_undo();
   SOPR_RETURN_NOT_OK(t->Erase(handle));
-  UndoLog::Mark pos = undo_.mark();
-  Status logged = undo_.RecordDelete(ToLower(table), handle, old_row);
+  UndoLog::Mark pos = undo.mark();
+  Status logged = undo.RecordDelete(ToLower(table), handle, old_row);
   if (logged.ok() && wal_ != nullptr) {
     logged = wal_->RedoDelete(pos, ToLower(table), handle, old_row);
-    if (!logged.ok()) undo_.TruncateTo(pos);  // drop the orphan undo record
+    if (!logged.ok()) undo.TruncateTo(pos);  // drop the orphan undo record
   }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
     SOPR_RETURN_NOT_OK(t->RollbackDelete(handle, std::move(old_row)));
     return logged;
   }
-  if (mvcc_enabled_) mvcc_journal_.emplace_back(ToLower(table), handle);
+  if (mvcc_enabled_) active_journal().emplace_back(ToLower(table), handle);
   SOPR_FAILPOINT_RETURN("storage.delete.post");
   return Status::OK();
 }
@@ -106,42 +221,51 @@ Status Database::DeleteRow(std::string_view table, TupleHandle handle) {
 Status Database::UpdateRow(std::string_view table, TupleHandle handle,
                            Row new_row) {
   MutationScope scope(&active_mutators_);
-  if (!scope.exclusive) return ConcurrentMutationError();
+  const bool locked_txn = txn_ctx() != nullptr;
+  if (!scope.exclusive && !locked_txn) return ConcurrentMutationError();
   SOPR_FAILPOINT_RETURN("storage.update.pre");
   SOPR_ASSIGN_OR_RETURN(Table * t, GetTable(table));
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(new_row));
-  SOPR_ASSIGN_OR_RETURN(const Row* row, t->Get(handle));
-  Row old_row = *row;
+  SOPR_RETURN_NOT_OK(LockMutation(table, handle));
+  SOPR_ASSIGN_OR_RETURN(Row old_row, t->GetCopy(handle));
+  UndoLog& undo = active_undo();
   Row wal_after;
   if (wal_ != nullptr) wal_after = new_row;  // post-image for the redo record
   SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(new_row)));
-  UndoLog::Mark pos = undo_.mark();
-  Status logged = undo_.RecordUpdate(ToLower(table), handle, old_row);
+  UndoLog::Mark pos = undo.mark();
+  Status logged = undo.RecordUpdate(ToLower(table), handle, old_row);
   if (logged.ok() && wal_ != nullptr) {
     logged = wal_->RedoUpdate(pos, ToLower(table), handle, old_row, wal_after);
-    if (!logged.ok()) undo_.TruncateTo(pos);  // drop the orphan undo record
+    if (!logged.ok()) undo.TruncateTo(pos);  // drop the orphan undo record
   }
   if (!logged.ok()) {
     FailpointRegistry::SuppressScope no_failpoints;  // revert is infallible
     SOPR_RETURN_NOT_OK(t->RollbackUpdate(handle, std::move(old_row)));
     return logged;
   }
-  if (mvcc_enabled_) mvcc_journal_.emplace_back(ToLower(table), handle);
+  if (mvcc_enabled_) active_journal().emplace_back(ToLower(table), handle);
   SOPR_FAILPOINT_RETURN("storage.update.post");
   return Status::OK();
 }
 
 Status Database::RollbackTo(UndoLog::Mark mark) {
   MutationScope scope(&active_mutators_);
-  if (!scope.exclusive) return ConcurrentMutationError();
+  if (!scope.exclusive && txn_ctx() == nullptr) {
+    return ConcurrentMutationError();
+  }
   // Undone mutations must never reach the durable log: drop their
   // buffered redo records before touching the heap.
   if (wal_ != nullptr) wal_->RedoDiscardAfter(mark);
   // Rollback replays the undo log through the same Table mutation code the
   // failpoints instrument; it must be infallible or a failed transaction
-  // could land in a third state between "committed" and "S0".
+  // could land in a third state between "committed" and "S0". Locks are
+  // NOT released here (strict 2PL): a partial rollback — a failed rule
+  // action, a savepoint — keeps the transaction running, and even a full
+  // abort holds its locks until EndTxn so no other writer can observe
+  // the rollback mid-flight.
   FailpointRegistry::SuppressScope no_failpoints;
-  const auto& records = undo_.records();
+  UndoLog& undo = active_undo();
+  const auto& records = undo.records();
   for (size_t i = records.size(); i > mark; --i) {
     const UndoRecord& rec = records[i - 1];
     auto table_result = GetTable(rec.table);
@@ -159,31 +283,60 @@ Status Database::RollbackTo(UndoLog::Mark mark) {
         break;
     }
   }
-  undo_.TruncateTo(mark);
+  undo.TruncateTo(mark);
   // Keep the MVCC journal 1:1 with the undo log: the rolled-back
   // mutations left no version state behind (structural undo), so their
   // journal entries must go too.
-  if (mvcc_journal_.size() > mark) mvcc_journal_.resize(mark);
+  auto& journal = active_journal();
+  if (journal.size() > mark) journal.resize(mark);
   return Status::OK();
 }
 
 void Database::CommitAll(uint64_t commit_lsn) {
-  if (mvcc_enabled_ && !mvcc_journal_.empty()) {
+  auto& journal = active_journal();
+  if (mvcc_enabled_ && !journal.empty()) {
     if (commit_lsn == 0) {
-      // No WAL: synthesize a commit LSN. Single-writer discipline makes
-      // the read-modify-write safe.
+      // No WAL: synthesize a commit LSN. The single-writer discipline —
+      // or, with concurrent writers, the rule engine's commit mutex —
+      // makes the read-modify-write safe.
       commit_lsn = last_commit_lsn_.load(std::memory_order_acquire) + 1;
     }
-    for (const auto& [table, handle] : mvcc_journal_) {
+    for (const auto& [table, handle] : journal) {
       auto t = GetTable(table);
       if (t.ok()) t.value()->StampVersions(handle, commit_lsn);
     }
+    if (prune_floor_) {
+      // Incremental version-chain pruning (docs/CONCURRENCY.md): retire,
+      // for just the handles this commit touched, every superseded
+      // version no pinned snapshot and no future pin can see. The pin
+      // set and the floor are collected in ONE registry critical
+      // section, so a pin registered later necessarily reads an LSN >=
+      // the floor and cannot need anything pruned below it. Non-blocking
+      // on purpose: a pin acquisition can be parked inside the registry's
+      // critical section (server.pin.acquire), and a committer must not
+      // wait behind it — a skipped prune is retried by the next commit
+      // touching the chain, and checkpoints prune unconditionally.
+      std::vector<uint64_t> pins;
+      uint64_t floor = 0;
+      if (snapshots_.TryCollectPinned(prune_floor_, &pins, &floor)) {
+        auto touched = journal;
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        for (const auto& [table, handle] : touched) {
+          auto t = GetTable(table);
+          if (t.ok()) t.value()->PruneChainPinned(handle, pins, floor);
+        }
+      }
+    }
   }
-  if (commit_lsn > last_commit_lsn_.load(std::memory_order_acquire)) {
-    last_commit_lsn_.store(commit_lsn, std::memory_order_release);
+  uint64_t prev = last_commit_lsn_.load(std::memory_order_acquire);
+  while (commit_lsn > prev && !last_commit_lsn_.compare_exchange_weak(
+                                  prev, commit_lsn,
+                                  std::memory_order_acq_rel)) {
   }
-  mvcc_journal_.clear();
-  undo_.Clear();
+  journal.clear();
+  active_undo().Clear();
 }
 
 size_t Database::PruneVersions(uint64_t floor) {
@@ -323,6 +476,33 @@ uint64_t Database::Checksum() const {
         h = digest::MixU64(h, handle);
         sum += digest::Finalize(h);
       });
+    }
+  }
+  return sum;
+}
+
+uint64_t Database::LogicalChecksum() const {
+  uint64_t sum = 0;
+  for (const auto& [name, table] : tables_) {
+    {
+      uint64_t h = digest::MixString(kSchemaSeed, name);
+      for (const ColumnDef& col : table.schema().columns()) {
+        h = digest::MixString(h, ToLower(col.name));
+        h = digest::MixU64(h, static_cast<uint64_t>(col.type));
+      }
+      for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+        if (table.GetIndex(c) != nullptr) h = digest::MixU64(h, c);
+      }
+      sum += digest::Finalize(h);
+    }
+    // Rows by value only — no handle, and no index entries (index
+    // contents map values to handles). The commutative sum makes this a
+    // multiset digest, so duplicate rows still count separately.
+    for (const auto& [handle, row] : table.rows()) {
+      (void)handle;
+      uint64_t h = digest::Mix(kRowSeed, name.data(), name.size());
+      for (size_t c = 0; c < row.size(); ++c) h = HashValue(h, row.at(c));
+      sum += digest::Finalize(h);
     }
   }
   return sum;

@@ -2,13 +2,16 @@
 #define SOPR_STORAGE_DATABASE_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "storage/lock_manager.h"
 #include "storage/mvcc.h"
 #include "storage/redo_sink.h"
 #include "storage/table.h"
@@ -44,8 +47,12 @@ class Database {
   Status UpdateRow(std::string_view table, TupleHandle handle, Row new_row);
 
   /// Number of handles ever allocated (monotonic, never reused).
-  TupleHandle last_handle() const { return next_handle_ - 1; }
-  TupleHandle next_handle() const { return next_handle_; }
+  TupleHandle last_handle() const {
+    return next_handle_.load(std::memory_order_acquire) - 1;
+  }
+  TupleHandle next_handle() const {
+    return next_handle_.load(std::memory_order_acquire);
+  }
 
   /// Attaches (or detaches, with nullptr) a redo sink. Once attached,
   /// every applied mutation emits a physical redo record; a mutation whose
@@ -69,13 +76,40 @@ class Database {
   /// COMMIT / snapshot records so handles stay never-reused across
   /// restarts).
   void BumpNextHandle(TupleHandle h) {
-    if (h > next_handle_) next_handle_ = h;
+    uint64_t cur = next_handle_.load(std::memory_order_relaxed);
+    while (h > cur && !next_handle_.compare_exchange_weak(
+                          cur, h, std::memory_order_acq_rel)) {
+    }
   }
 
   /// --- Transaction support ---
+  ///
+  /// Two regimes share these entry points. In the legacy single-writer
+  /// regime (no write locking, or no bound transaction) the database-wide
+  /// undo log and MVCC journal are used directly, exactly as before. With
+  /// write locking enabled (EnableWriteLocking) a caller binds a
+  /// per-transaction context to ITS THREAD via BeginTxn/EndTxn; every
+  /// transaction-scoped API below (UndoMark, RollbackTo, CommitAll,
+  /// undo_log_size, the budget, and the mutation paths' undo/journal
+  /// appends) then routes to the calling thread's context, so concurrent
+  /// writers never share undo state. Mutations additionally take record
+  /// X locks (table IX) for the bound transaction; strict two-phase —
+  /// EndTxn is the single release point, after commit or full rollback.
+
+  /// Binds a fresh transaction context to the calling thread (requires
+  /// EnableWriteLocking; no-op otherwise). Must be paired with EndTxn.
+  void BeginTxn();
+  /// Releases every lock the thread's transaction holds and unbinds its
+  /// context. Safe to call when none is bound.
+  void EndTxn();
+  /// True when the calling thread has a bound transaction context.
+  bool InTxn() const;
+  /// The bound transaction's lock-manager id (0 when unbound).
+  uint64_t txn_id() const;
+
   /// Current undo-log position; rolling back to it undoes everything
   /// logged afterwards.
-  UndoLog::Mark UndoMark() const { return undo_.mark(); }
+  UndoLog::Mark UndoMark() const { return active_undo().mark(); }
 
   /// Reverses all mutations logged after `mark` (most recent first) and
   /// truncates the log. Tuple handles consumed meanwhile stay consumed —
@@ -89,7 +123,45 @@ class Database {
   /// monotonically increasing LSN.
   void CommitAll(uint64_t commit_lsn = 0);
 
-  size_t undo_log_size() const { return undo_.size(); }
+  size_t undo_log_size() const { return active_undo().size(); }
+
+  // --- Record-level write locking (docs/CONCURRENCY.md) -------------------
+
+  /// Creates the lock manager; from then on, threads that BeginTxn get
+  /// per-record strict-2PL write locking. Threads without a bound
+  /// transaction (recovery, DDL under the scheduler's exclusive wall)
+  /// bypass locking entirely.
+  void EnableWriteLocking();
+  LockManager* lock_manager() const { return locks_.get(); }
+
+  /// Lock seams the query layer calls before reading the write-side
+  /// head. All are no-ops unless locking is on AND the calling thread
+  /// has a bound transaction (snapshot readers never lock).
+  Status LockForScan(std::string_view table) const;        // table S
+  Status LockForWriteScan(std::string_view table) const;   // table X
+  Status LockRecordForRead(std::string_view table, TupleHandle h) const;
+  Status LockRecordForWrite(std::string_view table, TupleHandle h) const;
+
+  /// Commit-time incremental pruning: when set, CommitAll prunes each
+  /// touched handle's version chain against the currently pinned
+  /// snapshots plus this floor (the scheduler's published visible LSN —
+  /// any future pin gets an LSN >= it). Unset (default), version state
+  /// is only pruned at checkpoints, preserving the in-memory engines'
+  /// ability to pin arbitrary historical LSNs.
+  void set_incremental_prune_floor(std::function<uint64_t()> floor) {
+    prune_floor_ = std::move(floor);
+  }
+
+  /// True iff no kPendingLsn sentinel remains on `handle` in `table`
+  /// (post-abort structural integrity; see Table::VerifyNoPending).
+  bool VerifyNoPending(std::string_view table, TupleHandle handle) const;
+
+  /// The (table, handle) pairs the calling thread's transaction has
+  /// mutated so far (MVCC journal snapshot; may contain duplicates).
+  /// Capture BEFORE RollbackTo — rollback truncates the journal.
+  std::vector<std::pair<std::string, TupleHandle>> TouchedRows() const {
+    return active_journal();
+  }
 
   // --- MVCC ---------------------------------------------------------------
 
@@ -122,8 +194,10 @@ class Database {
   /// Caps undo-log growth (0 = unlimited); a mutation that would exceed
   /// the budget fails with kResourceExhausted and is NOT applied. The log
   /// is cleared at commit, so the budget is effectively per-transaction.
-  void set_undo_budget(size_t records) { undo_.set_record_budget(records); }
-  size_t undo_budget() const { return undo_.record_budget(); }
+  void set_undo_budget(size_t records) {
+    active_undo().set_record_budget(records);
+  }
+  size_t undo_budget() const { return active_undo().record_budget(); }
 
   /// Order-independent digest over the catalog (table names, column
   /// names/types, index structure) and all table heaps and index
@@ -133,6 +207,15 @@ class Database {
   /// restart by comparing this against the pre-crash committed value.
   uint64_t Checksum() const;
 
+  /// Handle-insensitive variant: digests the catalog plus the multiset
+  /// of row VALUES per table, ignoring tuple handles and index entries
+  /// (whose contents embed handles). Two states that differ only in
+  /// handle assignment — e.g. a concurrent run vs its serial replay,
+  /// where interleaved inserts drew from the shared counter in a
+  /// different order — compare equal; any difference in actual row data
+  /// does not.
+  uint64_t LogicalChecksum() const;
+
   /// Verifies physical invariants: the catalog and the heap agree on the
   /// set of tables, and every indexed table's index agrees exactly with
   /// its heap (each non-NULL key maps its handle; no stale entries).
@@ -140,12 +223,37 @@ class Database {
   Status CheckInvariants() const;
 
  private:
+  /// Per-transaction mutable state, bound to one thread between
+  /// BeginTxn and EndTxn. Each concurrent writer gets its own undo log
+  /// and MVCC journal; the lock manager id doubles as the wait-for-graph
+  /// node.
+  struct TxnContext {
+    uint64_t txn_id = 0;
+    UndoLog undo;
+    std::vector<std::pair<std::string, TupleHandle>> journal;
+  };
+  /// The calling thread's (database -> context) bindings.
+  static std::vector<std::pair<const Database*, std::unique_ptr<TxnContext>>>&
+  TlsContexts();
+  /// The calling thread's bound context for THIS database, or nullptr.
+  TxnContext* txn_ctx() const;
+  /// The undo log transaction-scoped APIs operate on: the bound
+  /// context's when one exists, the database-wide legacy log otherwise.
+  UndoLog& active_undo() const;
+  std::vector<std::pair<std::string, TupleHandle>>& active_journal() const;
+  /// Record-X acquisition for the bound transaction (no-op when
+  /// unbound / locking off). Every mutation path calls this before
+  /// touching the heap.
+  Status LockMutation(std::string_view table, TupleHandle handle) const;
+
   /// Tripwire for the concurrent front-end (docs/CONCURRENCY.md): counts
   /// threads currently inside a mutation or rollback entry point. The
-  /// commit scheduler must admit one writer at a time; if two ever
-  /// overlap, the mutation fails kInternal instead of silently racing on
-  /// heaps and the undo log. Reads are not counted — the front-end's
-  /// shared lock covers them.
+  /// commit scheduler must admit one writer at a time — unless the
+  /// writers carry bound locking transactions, which serialize through
+  /// the lock manager instead; if two ever overlap otherwise, the
+  /// mutation fails kInternal instead of silently racing on heaps and
+  /// the undo log. Reads are not counted — the front-end's shared lock
+  /// covers them.
   struct MutationScope {
     explicit MutationScope(std::atomic<int>* active) : active(active) {
       exclusive = active->fetch_add(1, std::memory_order_acq_rel) == 0;
@@ -160,16 +268,24 @@ class Database {
 
   Catalog catalog_;
   std::map<std::string, Table> tables_;  // key: lowercased name
-  UndoLog undo_;
+  /// Mutable because active_undo()/active_journal() are const (they are
+  /// reached from const transaction-scoped accessors like UndoMark).
+  mutable UndoLog undo_;
   RedoSink* wal_ = nullptr;  // not owned; null when durability is off
-  TupleHandle next_handle_ = 1;
+  std::atomic<TupleHandle> next_handle_{1};
   std::atomic<int> active_mutators_{0};
+
+  /// Null until EnableWriteLocking().
+  std::unique_ptr<LockManager> locks_;
+  std::atomic<uint64_t> next_txn_id_{1};
+  /// Commit-time prune floor provider; unset = no incremental pruning.
+  std::function<uint64_t()> prune_floor_;
 
   bool mvcc_enabled_ = false;
   /// One entry per undo record (same order): which (table, handle) this
   /// transaction touched, so CommitAll can stamp the pending version
   /// sentinels. Truncated in lockstep with the undo log on rollback.
-  std::vector<std::pair<std::string, TupleHandle>> mvcc_journal_;
+  mutable std::vector<std::pair<std::string, TupleHandle>> mvcc_journal_;
   std::atomic<uint64_t> last_commit_lsn_{0};
   mutable SnapshotRegistry snapshots_;
 };

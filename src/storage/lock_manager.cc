@@ -1,0 +1,186 @@
+#include "storage/lock_manager.h"
+
+#include <algorithm>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+
+namespace {
+
+/// Standard hierarchical compatibility matrix. Rows/cols indexed by the
+/// LockMode enum value (IS, IX, S, X).
+constexpr bool kCompatible[4][4] = {
+    // IS     IX     S      X
+    {true, true, true, false},    // IS
+    {true, true, false, false},   // IX
+    {true, false, true, false},   // S
+    {false, false, false, false}  // X
+};
+
+bool Compatible(LockMode a, LockMode b) {
+  return kCompatible[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+/// The weakest single mode that covers both (upgrade arithmetic):
+/// IS is absorbed by anything, X absorbs everything, IX+S = X (the only
+/// genuinely mixed pair: read the whole table AND write some records).
+LockMode Combine(LockMode a, LockMode b) {
+  if (a == b) return a;
+  if (a == LockMode::kX || b == LockMode::kX) return LockMode::kX;
+  if (a == LockMode::kIS) return b;
+  if (b == LockMode::kIS) return a;
+  return LockMode::kX;  // {IX,S} in either order
+}
+
+}  // namespace
+
+const char* LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+Status LockManager::AcquireTable(uint64_t txn, const std::string& table,
+                                 LockMode mode) {
+  SOPR_FAILPOINT_RETURN("lock.acquire");
+  std::unique_lock<std::mutex> lock(mu_);
+  return AcquireLocked(lock, txn, LockKey{table, kInvalidHandle}, mode);
+}
+
+Status LockManager::AcquireRecord(uint64_t txn, const std::string& table,
+                                  TupleHandle handle, LockMode mode) {
+  SOPR_FAILPOINT_RETURN("lock.acquire");
+  const LockMode intent =
+      mode == LockMode::kX ? LockMode::kIX : LockMode::kIS;
+  std::unique_lock<std::mutex> lock(mu_);
+  SOPR_RETURN_NOT_OK(
+      AcquireLocked(lock, txn, LockKey{table, kInvalidHandle}, intent));
+  return AcquireLocked(lock, txn, LockKey{table, handle}, mode);
+}
+
+Status LockManager::AcquireLocked(std::unique_lock<std::mutex>& lock,
+                                  uint64_t txn, const LockKey& key,
+                                  LockMode mode) {
+  bool hit_wait_site = false;
+  for (;;) {
+    auto& holders = granted_[key];
+    LockMode desired = mode;
+    auto own = holders.find(txn);
+    if (own != holders.end()) desired = Combine(own->second, mode);
+    std::vector<uint64_t> conflicts;
+    for (const auto& [holder, held_mode] : holders) {
+      if (holder != txn && !Compatible(desired, held_mode)) {
+        conflicts.push_back(holder);
+      }
+    }
+    if (conflicts.empty()) {
+      if (own == holders.end()) {
+        holders.emplace(txn, desired);
+        held_[txn].push_back(key);
+      } else {
+        own->second = desired;
+      }
+      waits_for_.erase(txn);
+      return Status::OK();
+    }
+
+    // About to block. The wait failpoints are sync points for litmus
+    // schedules (and failure-injection points for chaos); a blocking
+    // trigger parks the thread HERE, before the real cv wait, so they
+    // must be hit with the manager mutex released. Hit once per
+    // acquisition, not per spurious wakeup.
+    if (!hit_wait_site) {
+      hit_wait_site = true;
+      lock.unlock();
+      Status fp = SOPR_FAILPOINT("lock.wait");
+      if (fp.ok()) {
+        fp = FailpointRegistry::Instance().Hit(
+            ("lock.wait." + key.table).c_str());
+      }
+      lock.lock();
+      if (!fp.ok()) {
+        waits_for_.erase(txn);
+        return fp;
+      }
+      continue;  // holders may have changed while unlocked
+    }
+
+    // Record the wait edges and look for a cycle BEFORE sleeping: the
+    // requester whose edge closes a cycle is the deterministic victim.
+    waits_for_[txn] = conflicts;
+    if (WaitCausesCycle(txn)) {
+      waits_for_.erase(txn);
+      deadlocks_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      (void)SOPR_FAILPOINT("lock.deadlock");
+      lock.lock();
+      return Status::Deadlock("lock wait on " + key.table +
+                              " would close a deadlock cycle; transaction "
+                              "chosen as victim");
+    }
+    ++waiting_;
+    cv_.notify_all();  // wake WaitForWaiters barriers
+    cv_.wait(lock);
+    --waiting_;
+    waits_for_.erase(txn);
+  }
+}
+
+bool LockManager::WaitCausesCycle(uint64_t waiter) const {
+  // DFS from the waiter over waits_for_; a path back to the waiter means
+  // its new edges closed a cycle.
+  std::vector<uint64_t> stack{waiter};
+  std::vector<uint64_t> seen;
+  while (!stack.empty()) {
+    uint64_t node = stack.back();
+    stack.pop_back();
+    auto edges = waits_for_.find(node);
+    if (edges == waits_for_.end()) continue;
+    for (uint64_t next : edges->second) {
+      if (next == waiter) return true;
+      if (std::find(seen.begin(), seen.end(), next) == seen.end()) {
+        seen.push_back(next);
+        stack.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+void LockManager::ReleaseAll(uint64_t txn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto held = held_.find(txn);
+  if (held != held_.end()) {
+    for (const LockKey& key : held->second) {
+      auto entry = granted_.find(key);
+      if (entry == granted_.end()) continue;
+      entry->second.erase(txn);
+      if (entry->second.empty()) granted_.erase(entry);
+    }
+    held_.erase(held);
+  }
+  waits_for_.erase(txn);
+  cv_.notify_all();
+}
+
+size_t LockManager::HeldKeys(uint64_t txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto held = held_.find(txn);
+  return held == held_.end() ? 0 : held->second.size();
+}
+
+void LockManager::WaitForWaiters(size_t n) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return waiting_ >= n; });
+}
+
+}  // namespace sopr

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <set>
+#include <vector>
 
 #include <mutex>
 
@@ -98,6 +99,24 @@ class SnapshotRegistry {
   uint64_t OldestPinnedOr(uint64_t fallback) const;
 
   size_t num_pinned() const;
+
+  /// Snapshot of the pinned set plus a floor, taken in ONE critical
+  /// section of the registry mutex (commit-time incremental pruning,
+  /// docs/CONCURRENCY.md): `*pins` gets every pinned LSN ascending, and
+  /// the returned floor is `current()` evaluated under the mutex — so a
+  /// pin registered later (via AcquireCurrent against the same source)
+  /// necessarily reads an LSN >= the floor and cannot need a version the
+  /// caller prunes below it.
+  uint64_t CollectPinned(const std::function<uint64_t()>& current,
+                         std::vector<uint64_t>* pins) const;
+
+  /// Non-blocking variant for commit-time incremental pruning: returns
+  /// false (collecting nothing) if the registry mutex is contended — a
+  /// pin acquisition may be parked inside its critical section, and a
+  /// committer must never wait behind it (skipping a prune is always
+  /// safe; the next commit or checkpoint retries).
+  bool TryCollectPinned(const std::function<uint64_t()>& current,
+                        std::vector<uint64_t>* pins, uint64_t* floor) const;
 
  private:
   friend class Pin;

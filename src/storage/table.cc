@@ -349,6 +349,55 @@ size_t Table::PruneVersions(uint64_t floor) {
   return pruned;
 }
 
+size_t Table::PruneChainPinned(TupleHandle handle,
+                               const std::vector<uint64_t>& pins,
+                               uint64_t floor) {
+  if (mvcc_ == nullptr) return 0;
+  std::unique_lock<std::shared_mutex> lock(mvcc_->mu);
+  size_t pruned = 0;
+  auto chain_it = mvcc_->chains.find(handle);
+  if (chain_it != mvcc_->chains.end()) {
+    std::vector<RowVersion>& chain = chain_it->second;
+    auto keep = [&](const RowVersion& v) {
+      // kPendingLsn end compares greater than any floor.
+      if (v.end_lsn > floor) return true;
+      // Some live pin inside [begin, end)?
+      auto pin = std::lower_bound(pins.begin(), pins.end(), v.begin_lsn);
+      return pin != pins.end() && *pin < v.end_lsn;
+    };
+    auto dead = std::stable_partition(chain.begin(), chain.end(), keep);
+    pruned = static_cast<size_t>(chain.end() - dead);
+    chain.erase(dead, chain.end());
+    if (chain.empty()) mvcc_->chains.erase(chain_it);
+  }
+  // The live_begin entry can retire once every pin — present (pins) or
+  // future (LSN >= floor) — sees the live row anyway, making the entry
+  // indistinguishable from the absent-means-0 default.
+  auto begin_it = mvcc_->live_begin.find(handle);
+  if (begin_it != mvcc_->live_begin.end() &&
+      begin_it->second != kPendingLsn && begin_it->second <= floor &&
+      (pins.empty() || pins.front() >= begin_it->second)) {
+    mvcc_->live_begin.erase(begin_it);
+  }
+  return pruned;
+}
+
+bool Table::VerifyNoPending(TupleHandle handle) const {
+  if (mvcc_ == nullptr) return true;
+  std::shared_lock<std::shared_mutex> lock(mvcc_->mu);
+  auto begin_it = mvcc_->live_begin.find(handle);
+  if (begin_it != mvcc_->live_begin.end() &&
+      begin_it->second == kPendingLsn) {
+    return false;
+  }
+  auto chain_it = mvcc_->chains.find(handle);
+  if (chain_it == mvcc_->chains.end()) return true;
+  for (const RowVersion& v : chain_it->second) {
+    if (v.begin_lsn == kPendingLsn || v.end_lsn == kPendingLsn) return false;
+  }
+  return true;
+}
+
 size_t Table::version_count() const {
   if (mvcc_ == nullptr) return 0;
   std::shared_lock<std::shared_mutex> lock(mvcc_->mu);
@@ -377,6 +426,39 @@ const ColumnIndex* Table::GetIndex(size_t column) const {
     if (index.column() == column) return &index;
   }
   return nullptr;
+}
+
+Result<Row> Table::GetCopy(TupleHandle handle) const {
+  auto lock = mvcc_ == nullptr
+                  ? std::shared_lock<std::shared_mutex>()
+                  : std::shared_lock<std::shared_mutex>(mvcc_->mu);
+  auto it = rows_.find(handle);
+  if (it == rows_.end()) {
+    return Status::ExecutionError("no tuple with handle " +
+                                  std::to_string(handle) + " in table " +
+                                  schema_.name());
+  }
+  return it->second;
+}
+
+void Table::CopyRows(std::vector<std::pair<TupleHandle, Row>>* out) const {
+  auto lock = mvcc_ == nullptr
+                  ? std::shared_lock<std::shared_mutex>()
+                  : std::shared_lock<std::shared_mutex>(mvcc_->mu);
+  for (const auto& [handle, row] : rows_) out->emplace_back(handle, row);
+}
+
+bool Table::IndexLookupCopy(size_t column, const Value& value,
+                            std::vector<TupleHandle>* out) const {
+  auto lock = mvcc_ == nullptr
+                  ? std::shared_lock<std::shared_mutex>()
+                  : std::shared_lock<std::shared_mutex>(mvcc_->mu);
+  const ColumnIndex* index = GetIndex(column);
+  if (index == nullptr) return false;
+  if (const std::set<TupleHandle>* bucket = index->Lookup(value)) {
+    out->insert(out->end(), bucket->begin(), bucket->end());
+  }
+  return true;
 }
 
 Result<const Row*> Table::Get(TupleHandle handle) const {

@@ -65,6 +65,25 @@ class Table {
   /// Ordered (handle, row) view for scans.
   const std::map<TupleHandle, Row>& rows() const { return rows_; }
 
+  // --- Latched head accessors (concurrent writers) ------------------------
+  // rows()/Get() read the write-side head unlatched and rely on the
+  // caller's locking; with record-level locking two writers mutate the
+  // same table concurrently, so readers of the head must copy out under
+  // the shared side of the MVCC latch (the same latch every mutation
+  // takes exclusive). All three degrade to plain unlatched reads with
+  // MVCC off.
+
+  /// Copy-out Get: the row under `handle`, ExecutionError if absent.
+  Result<Row> GetCopy(TupleHandle handle) const;
+
+  /// Appends every (handle, row) of the current head in handle order.
+  void CopyRows(std::vector<std::pair<TupleHandle, Row>>* out) const;
+
+  /// Index probe returning handles by value. False when `column` has no
+  /// index (caller falls back to a scan).
+  bool IndexLookupCopy(size_t column, const Value& value,
+                       std::vector<TupleHandle>* out) const;
+
   /// Builds an equality index on `column` (idempotent: a second request
   /// on the same column is a no-op). Existing rows are indexed
   /// immediately; subsequent mutations maintain it.
@@ -114,6 +133,22 @@ class Table {
   /// with begin_lsn <= floor (the default 0 takes over). Returns the
   /// number of row versions dropped.
   size_t PruneVersions(uint64_t floor);
+
+  /// Incremental per-handle prune (commit-time, docs/CONCURRENCY.md):
+  /// drops every superseded version of `handle` that no currently pinned
+  /// snapshot (`pins`, ascending) and no future pin (which gets an LSN
+  /// >= `floor`) can see — keep [begin, end) iff some pin falls inside
+  /// it or end > floor; pending versions always survive. Also retires
+  /// the live_begin entry when every present and future pin sees the
+  /// live row anyway. Returns versions dropped.
+  size_t PruneChainPinned(TupleHandle handle,
+                          const std::vector<uint64_t>& pins, uint64_t floor);
+
+  /// True iff `handle` carries no kPendingLsn sentinel — i.e. no
+  /// in-flight transaction state. After an abort's structural rollback
+  /// this must hold for every handle the transaction touched (the
+  /// aborter held X locks, so nobody else could have left one).
+  bool VerifyNoPending(TupleHandle handle) const;
 
   /// Superseded row versions currently retained (0 with MVCC off).
   size_t version_count() const;

@@ -114,53 +114,78 @@ GroupCommitStats WalWriter::group_stats() const {
 // Transaction lifecycle + redo buffering
 // ---------------------------------------------------------------------------
 
-void WalWriter::BeginTxn() {
-  in_txn_ = true;
-  txn_id_ = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
-  buffer_.clear();
+// Per-thread transaction slots, one per writer this thread drives. The
+// key is the writer's address; a slot is reset when its transaction ends
+// (and a fresh BeginTxn fully resets one anyway).
+WalWriter::TxnBuf& WalWriter::tls() const {
+  thread_local std::vector<std::pair<const WalWriter*, TxnBuf>> slots;
+  for (auto& [writer, buf] : slots) {
+    if (writer == this) return buf;
+  }
+  slots.emplace_back(this, TxnBuf{});
+  return slots.back().second;
 }
 
-void WalWriter::AbortTxn() {
-  in_txn_ = false;
-  buffer_.clear();
+void WalWriter::DropTls() const {
+  // Reset rather than erase: tls() hands out references into the vector,
+  // and a same-thread re-Begin recreates identical state anyway.
+  TxnBuf& buf = tls();
+  buf.in_txn = false;
+  buf.txn_id = 0;
+  buf.buffer.clear();
 }
+
+void WalWriter::BeginTxn() {
+  TxnBuf& buf = tls();
+  buf.in_txn = true;
+  buf.txn_id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  buf.buffer.clear();
+}
+
+void WalWriter::AbortTxn() { DropTls(); }
+
+bool WalWriter::in_txn() const { return tls().in_txn; }
 
 Status WalWriter::BufferRedo(UndoLog::Mark pos, WalRecord rec) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     SOPR_RETURN_NOT_OK(CheckUsableLocked());
   }
-  if (!in_txn_) {
+  TxnBuf& buf = tls();
+  if (!buf.in_txn) {
     return Status::Internal("wal: redo for " + rec.table +
                             " outside a transaction");
   }
   SOPR_FAILPOINT_RETURN("wal.append");
-  buffer_.push_back(Pending{pos, std::move(rec)});
+  buf.buffer.push_back(Pending{pos, std::move(rec)});
   return Status::OK();
 }
 
 Status WalWriter::RedoInsert(UndoLog::Mark pos, std::string_view table,
                              TupleHandle handle, const Row& after) {
-  return BufferRedo(
-      pos, WalRecord::Insert(0, txn_id_, std::string(table), handle, after));
+  return BufferRedo(pos, WalRecord::Insert(0, tls().txn_id,
+                                           std::string(table), handle, after));
 }
 
 Status WalWriter::RedoDelete(UndoLog::Mark pos, std::string_view table,
                              TupleHandle handle, const Row& before) {
-  return BufferRedo(
-      pos, WalRecord::Delete(0, txn_id_, std::string(table), handle, before));
+  return BufferRedo(pos, WalRecord::Delete(0, tls().txn_id,
+                                           std::string(table), handle,
+                                           before));
 }
 
 Status WalWriter::RedoUpdate(UndoLog::Mark pos, std::string_view table,
                              TupleHandle handle, const Row& before,
                              const Row& after) {
-  return BufferRedo(pos, WalRecord::Update(0, txn_id_, std::string(table),
-                                           handle, before, after));
+  return BufferRedo(pos, WalRecord::Update(0, tls().txn_id,
+                                           std::string(table), handle, before,
+                                           after));
 }
 
 void WalWriter::RedoDiscardAfter(UndoLog::Mark mark) {
-  while (!buffer_.empty() && buffer_.back().pos >= mark) {
-    buffer_.pop_back();
+  TxnBuf& buf = tls();
+  while (!buf.buffer.empty() && buf.buffer.back().pos >= mark) {
+    buf.buffer.pop_back();
   }
 }
 
@@ -210,38 +235,39 @@ Status WalWriter::WriteAt(uint64_t offset, const std::string& bytes,
 }
 
 Result<CommitTicketPtr> WalWriter::StageCommitTxn(TupleHandle next_handle) {
-  if (!in_txn_) return Status::Internal("wal: commit outside a transaction");
+  TxnBuf& buf = tls();
+  if (!buf.in_txn) {
+    return Status::Internal("wal: commit outside a transaction");
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     SOPR_RETURN_NOT_OK(CheckUsableLocked());
   }
-  if (buffer_.empty()) {
+  if (buf.buffer.empty()) {
     // Read-only transaction: nothing to make durable. (Handles consumed
     // by rolled-back inserts may be re-consumed after a crash; an aborted
     // transaction's tuples exist nowhere durable, so this is
     // unobservable.)
-    in_txn_ = false;
+    DropTls();
     return CommitTicketPtr();
   }
   SOPR_FAILPOINT_RETURN("wal.commit.pre");
   std::string batch;
   uint64_t lsn = 0;
-  AppendRecord(&batch, WalRecord::Begin(lsn = AllocateLsn(), txn_id_));
-  for (Pending& p : buffer_) {
+  AppendRecord(&batch, WalRecord::Begin(lsn = AllocateLsn(), buf.txn_id));
+  for (Pending& p : buf.buffer) {
     p.rec.lsn = lsn = AllocateLsn();
     AppendRecord(&batch, p.rec);
   }
   AppendRecord(&batch,
-               WalRecord::Commit(lsn = AllocateLsn(), txn_id_, next_handle));
+               WalRecord::Commit(lsn = AllocateLsn(), buf.txn_id, next_handle));
   auto ticket = std::make_shared<CommitTicket>();
   ticket->last_lsn = lsn;
   {
     std::lock_guard<std::mutex> lock(mu_);
     staged_.push_back(StagedBatch{std::move(batch), lsn, ticket});
   }
-  buffer_.clear();
-  in_txn_ = false;
-  txn_id_ = 0;
+  DropTls();
   return ticket;
 }
 
@@ -351,7 +377,7 @@ Status WalWriter::CommitTxn(TupleHandle next_handle) {
 }
 
 Status WalWriter::AppendDdl(std::string_view sql) {
-  if (!buffer_.empty()) {
+  if (!tls().buffer.empty()) {
     return Status::Internal(
         "wal: DDL with buffered DML (DDL must not run inside a rule "
         "transaction)");

@@ -85,10 +85,13 @@ struct GroupCommitStats {
 /// diverged for good.
 ///
 /// Thread safety: the transaction-lifecycle half (BeginTxn, redo
-/// buffering, AbortTxn, StageCommitTxn) must be externally serialized —
-/// the engine admits one transaction at a time through the commit
-/// scheduler's critical section. AwaitDurable, Flush, and the accessors
-/// are safe from any thread.
+/// buffering, AbortTxn, StageCommitTxn) operates on PER-THREAD state —
+/// each thread buffers its own transaction, so concurrent writer
+/// sessions stage independent batches (record-level locking keeps their
+/// row sets disjoint). LSN assignment inside StageCommitTxn must still
+/// be externally serialized against other stagers (the rule engine's
+/// commit mutex) so file order equals LSN order. AwaitDurable, Flush,
+/// and the accessors are safe from any thread.
 class WalWriter : public RedoSink {
  public:
   explicit WalWriter(WalFsyncPolicy policy) : policy_(policy) {}
@@ -116,7 +119,7 @@ class WalWriter : public RedoSink {
   /// written and synced per policy before this returns. On error the
   /// transaction is NOT durable and the caller must roll it back.
   Status CommitTxn(TupleHandle next_handle);
-  bool in_txn() const { return in_txn_; }
+  bool in_txn() const;
 
   /// --- Group-commit pipeline ---
   /// Encodes the buffered batch (BEGIN + redo* + COMMIT carrying
@@ -194,6 +197,17 @@ class WalWriter : public RedoSink {
     CommitTicketPtr ticket;
   };
 
+  /// One thread's in-flight transaction: its id and buffered redo.
+  struct TxnBuf {
+    bool in_txn = false;
+    uint64_t txn_id = 0;
+    std::vector<Pending> buffer;
+  };
+  /// The calling thread's buffer for THIS writer (created on demand).
+  TxnBuf& tls() const;
+  /// Drops the calling thread's slot (transaction over).
+  void DropTls() const;
+
   Status BufferRedo(UndoLog::Mark pos, WalRecord rec);
   /// Writes `bytes` at `offset` (split in two for the wal.write.mid
   /// torn-write site). On failure truncates the file back to `offset`;
@@ -220,12 +234,6 @@ class WalWriter : public RedoSink {
   // and the checkpoint writer; read anywhere.
   std::atomic<uint64_t> next_lsn_{1};
   std::atomic<uint64_t> next_txn_id_{1};
-
-  // Current-transaction state. Externally serialized (one transaction in
-  // the commit section at a time); never touched by followers/leaders.
-  bool in_txn_ = false;
-  uint64_t txn_id_ = 0;
-  std::vector<Pending> buffer_;
 
   // Group-commit state, guarded by mu_.
   mutable std::mutex mu_;

@@ -22,7 +22,9 @@
 #include "concurrency/schedule.h"
 #include "engine/engine.h"
 #include "server/session_manager.h"
+#include "storage/lock_manager.h"
 #include "test_util.h"
+#include "wal/wal_writer.h"
 
 namespace sopr {
 namespace {
@@ -462,6 +464,278 @@ TEST_F(IsolationLitmusTest, SelectTriggeringExtensionRoutesExclusive) {
   Status st = session->Execute("select * from t");
   EXPECT_EQ(st.code(), StatusCode::kInjectedFault)
       << "track_selects makes selects rule-firing, hence exclusive: " << st;
+}
+
+// ==========================================================================
+// Writer-writer litmus scenarios (ISSUE 5): record-level write locking.
+// Same methodology as the read anomalies above — blocking failpoints park
+// writers at exact lines, every step is a barrier, no sleeps — but now two
+// WRITERS overlap inside the scheduler's shared admission.
+// ==========================================================================
+
+// --- W/W 1: disjoint rows overlap end-to-end ------------------------------
+// T1 is parked MID-BLOCK (at the trailing insert's failpoint) holding a
+// record X lock on row 1. T2 updates row 2 and must run to completion —
+// admission, locks, fixpoint, commit, durability — while T1 is still
+// inside its transaction. A kAlways trigger on "lock.wait" turns any
+// would-be lock wait into a visible injected fault, so if T2 blocked even
+// once the test FAILS rather than hangs. Expected table: T2 commits first
+// (smaller LSN), T1 commits after release, both updates stick.
+TEST_F(IsolationLitmusTest, DisjointRowWritersOverlapEndToEnd) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  auto manager = OpenManager(options);
+  ASSERT_TRUE(manager->engine().concurrent_writers());
+  ASSERT_OK_AND_ASSIGN(server::Session * t1, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * t2, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * reader, manager->CreateSession());
+  ASSERT_OK(t1->Execute("create table accts (id int, bal int)"));
+  ASSERT_OK(t1->Execute("create index on accts (id)"));
+  ASSERT_OK(t1->Execute("create table marker (n int)"));
+  ASSERT_OK(t1->Execute("insert into accts values (1, 0); "
+                        "insert into accts values (2, 0)"));
+
+  test::Schedule s;
+  // Tripwire: a lock wait anywhere fails the waiting statement loudly.
+  FailpointRegistry::Trigger no_waits;
+  no_waits.mode = FailpointRegistry::Mode::kAlways;
+  FailpointRegistry::Instance().Arm("lock.wait", no_waits);
+
+  s.BlockAt("storage.insert.pre");
+  s.Spawn("t1", [&] {
+    return t1->Execute("update accts set bal = 10 where id = 1; "
+                       "insert into marker values (1)");
+  });
+  s.WaitBlocked("storage.insert.pre");
+
+  // T1 holds X on row 1 and sits mid-transaction. T2's whole transaction
+  // overlaps it: Join returns only after T2 is committed AND durable.
+  s.Spawn("t2", [&] {
+    return t2->Execute("update accts set bal = 20 where id = 2");
+  });
+  Status t2_done = s.Join("t2");
+  ASSERT_TRUE(t2_done.ok())
+      << "disjoint-row writer must not block or fault: " << t2_done;
+  const uint64_t t2_lsn = t2->last_receipt().commit_lsn;
+  EXPECT_GT(t2_lsn, 0u);
+
+  // Committed-state expected table while T1 is still parked: T2's write
+  // is visible, T1's is not.
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select bal from accts "
+                                           "where id = 2")),
+            20);
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select bal from accts "
+                                           "where id = 1")),
+            0);
+
+  s.Release("storage.insert.pre");
+  ASSERT_OK(s.Join("t1"));
+  const uint64_t t1_lsn = t1->last_receipt().commit_lsn;
+  EXPECT_GT(t1_lsn, t2_lsn) << "T2 committed first while T1 was open";
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select bal from accts "
+                                           "where id = 1")),
+            10);
+  EXPECT_EQ(ScalarInt(reader->ExecuteQuery("select count(*) from marker")),
+            1);
+}
+
+// --- W/W 2: same-row conflict blocks, then proceeds -----------------------
+// T1 is parked at rules.commit.pre holding X on row 1 (fixpoint done,
+// commit not yet). T2 updates the SAME row: it must park in a real lock
+// wait (proven by the lock.wait.accts barrier — seeing T2 there IS the
+// assertion that the conflict blocked). After T1 commits and releases, T2
+// acquires the lock, RE-READS the committed row and applies on top of it.
+// Expected table: bal = (0 + 1) + 2 = 3 — a lost update would leave 2 —
+// and commit-LSN order T1 < T2 matches the conflict order.
+TEST_F(IsolationLitmusTest, SameRowConflictBlocksThenProceeds) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * t1, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * t2, manager->CreateSession());
+  ASSERT_OK(t1->Execute("create table accts (id int, bal int)"));
+  ASSERT_OK(t1->Execute("create index on accts (id)"));
+  ASSERT_OK(t1->Execute("insert into accts values (1, 0)"));
+
+  test::Schedule s;
+  s.BlockAt("rules.commit.pre");
+  s.Spawn("t1", [&] {
+    return t1->Execute("update accts set bal = bal + 1 where id = 1");
+  });
+  s.WaitBlocked("rules.commit.pre");
+
+  s.BlockAt("lock.wait.accts");
+  s.Spawn("t2", [&] {
+    return t2->Execute("update accts set bal = bal + 2 where id = 1");
+  });
+  // Barrier: T2 is provably inside a lock wait on accts, NOT applying.
+  s.WaitBlocked("lock.wait.accts");
+
+  s.Release("rules.commit.pre");
+  ASSERT_OK(s.Join("t1"));  // T1 committed; EndTxn released its locks
+  s.Release("lock.wait.accts");
+  ASSERT_OK(s.Join("t2"));
+
+  EXPECT_EQ(ScalarInt(t1->ExecuteQuery("select bal from accts where id = 1")),
+            3)
+      << "T2 must read T1's committed value under the lock (no lost update)";
+  EXPECT_LT(t1->last_receipt().commit_lsn, t2->last_receipt().commit_lsn)
+      << "conflict order must equal commit-LSN order";
+}
+
+// --- W/W 3: deadlock aborts exactly one victim, deterministically ---------
+// Classic two-transaction lock-order inversion across tables a and b.
+// Both writers are parked after their FIRST update (each holding one X),
+// then released into their second update one at a time: T2 waits behind
+// T1 first (edge T2->T1, no cycle — it sleeps), then T1's wait adds the
+// closing edge T1->T2. The requester that closes the cycle is the victim
+// by policy, so the victim is DETERMINISTIC: always T1. Expected table:
+// T1 returns kDeadlock with every trace of its first update rolled back,
+// T2 commits both its updates, and no version garbage survives.
+TEST_F(IsolationLitmusTest, DeadlockAbortsExactlyOneVictim) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  options.verify_rollback_integrity = true;  // victim leaves no pending rows
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * t1, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * t2, manager->CreateSession());
+  ASSERT_OK(t1->Execute("create table a (id int, v int)"));
+  ASSERT_OK(t1->Execute("create table b (id int, v int)"));
+  ASSERT_OK(t1->Execute("create index on a (id)"));
+  ASSERT_OK(t1->Execute("create index on b (id)"));
+  ASSERT_OK(t1->Execute("insert into a values (1, 0)"));
+  ASSERT_OK(t1->Execute("insert into b values (1, 0)"));
+  LockManager* lm = manager->engine().db().lock_manager();
+  ASSERT_NE(lm, nullptr);
+
+  test::Schedule s;
+  s.BlockAt("storage.update.post");
+  s.Spawn("t1", [&] {
+    return t1->Execute("update a set v = 10 where id = 1; "
+                       "update b set v = 10 where id = 1");
+  });
+  s.Spawn("t2", [&] {
+    return t2->Execute("update b set v = 20 where id = 1; "
+                       "update a set v = 20 where id = 1");
+  });
+  // Both applied their first update: T1 holds X on a's row, T2 on b's.
+  s.WaitBlocked("storage.update.post", 2);
+  s.BlockAt("lock.wait.a");
+  s.BlockAt("lock.wait.b");
+  s.Release("storage.update.post");
+  // Each second update runs into the other's lock and parks at its
+  // table's wait site (the failpoint fires before any wait edge exists).
+  s.WaitBlocked("lock.wait.b");  // T1 wants b
+  s.WaitBlocked("lock.wait.a");  // T2 wants a
+
+  // Release T2 first: it records T2->T1 (no cycle yet) and enters a REAL
+  // cv wait — the lock manager's barrier sees it parked.
+  s.Release("lock.wait.a");
+  lm->WaitForWaiters(1);
+  // Release T1: its edge T1->T2 closes the cycle, so T1 — the requester
+  // whose wait would deadlock — is chosen as victim and aborts.
+  s.Release("lock.wait.b");
+
+  Status st1 = s.Join("t1");
+  EXPECT_EQ(st1.code(), StatusCode::kDeadlock) << st1;
+  ASSERT_OK(s.Join("t2"));
+  EXPECT_EQ(lm->deadlocks(), 1u) << "exactly one victim";
+
+  // The victim's first update (a.v = 10) must be structurally undone.
+  EXPECT_EQ(ScalarInt(t2->ExecuteQuery("select v from a where id = 1")), 20);
+  EXPECT_EQ(ScalarInt(t2->ExecuteQuery("select v from b where id = 1")), 20);
+  EXPECT_GT(t2->last_receipt().commit_lsn, 0u);
+  ASSERT_OK(manager->engine().CheckInvariants());
+}
+
+// --- W/W 4: a lock-holding writer and the checkpoint wall -----------------
+// T1 parks at rules.commit.pre holding record locks AND the scheduler's
+// shared admission; a checkpoint then queues on the exclusive side. The
+// wall must order the checkpoint strictly AFTER the in-flight writer —
+// never interleave with it, never deadlock against its record locks.
+// Expected table: both finish, the checkpoint covers T1's commit
+// (commits_since_checkpoint == 0, every superseded version collected),
+// and a restart recovers T1's update from the snapshot.
+TEST_F(IsolationLitmusTest, LockHolderVsCheckpointWall) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * t1, manager->CreateSession());
+  ASSERT_OK(t1->Execute("create table t (id int, v int)"));
+  ASSERT_OK(t1->Execute("create index on t (id)"));
+  ASSERT_OK(t1->Execute("insert into t values (1, 1)"));
+
+  test::Schedule s;
+  s.BlockAt("rules.commit.pre");
+  s.Spawn("t1", [&] {
+    return t1->Execute("update t set v = 2 where id = 1");
+  });
+  s.WaitBlocked("rules.commit.pre");
+
+  // Queues behind T1's shared admission; must not complete before it.
+  s.Spawn("ckpt", [&] {
+    return manager->scheduler().WithExclusive(
+        [&] { return manager->engine().Checkpoint(); });
+  });
+
+  s.Release("rules.commit.pre");
+  ASSERT_OK(s.Join("t1"));
+  ASSERT_OK(s.Join("ckpt"));
+
+  EXPECT_EQ(manager->engine().wal()->commits_since_checkpoint(), 0u)
+      << "the wall must order the checkpoint after the in-flight commit";
+  EXPECT_EQ(manager->engine().db().VersionCount(), 0u)
+      << "nothing pinned: the checkpoint collects every superseded version";
+
+  manager.reset();
+  auto reopened = OpenManager(options);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(ScalarInt(reopened->engine().Query("select v from t where id = 1")),
+            2);
+}
+
+// --- W/W 5: rule-action writes take the transaction's locks ---------------
+// T1's insert fires a rule whose ACTION inserts into audit; T1 parks at
+// rules.commit.pre AFTER the fixpoint, so the audit row exists only as
+// T1's uncommitted, X-locked write. T2's scan-update of audit must park
+// in a lock wait (the barrier proves rule-action writes are locked by the
+// ENCLOSING transaction, not auto-committed) and, once T1 commits, must
+// see the rule-written row. Expected table: audit = {1 + 10}.
+TEST_F(IsolationLitmusTest, RuleActionWritesInheritTransactionLocks) {
+  RuleEngineOptions options;
+  options.wal_dir = MakeTempDir();
+  auto manager = OpenManager(options);
+  ASSERT_OK_AND_ASSIGN(server::Session * t1, manager->CreateSession());
+  ASSERT_OK_AND_ASSIGN(server::Session * t2, manager->CreateSession());
+  ASSERT_OK(t1->Execute("create table t (id int)"));
+  ASSERT_OK(t1->Execute("create table audit (n int)"));
+  ASSERT_OK(t1->Execute(
+      "create rule audit_ins when inserted into t "
+      "then insert into audit (select count(*) from inserted t)"));
+
+  test::Schedule s;
+  s.BlockAt("rules.commit.pre");
+  s.Spawn("t1", [&] { return t1->Execute("insert into t values (1)"); });
+  s.WaitBlocked("rules.commit.pre");
+
+  s.BlockAt("lock.wait.audit");
+  s.Spawn("t2", [&] {
+    // Unindexed scan-update: needs table X on audit, which conflicts
+    // with the IX the rule's action took inside T1.
+    return t2->Execute("update audit set n = n + 10");
+  });
+  // T2 is provably blocked on the lock T1's RULE ACTION acquired.
+  s.WaitBlocked("lock.wait.audit");
+
+  s.Release("rules.commit.pre");
+  ASSERT_OK(s.Join("t1"));
+  s.Release("lock.wait.audit");
+  ASSERT_OK(s.Join("t2"));
+
+  EXPECT_EQ(ScalarInt(t1->ExecuteQuery("select count(*) from audit")), 1);
+  EXPECT_EQ(ScalarInt(t1->ExecuteQuery("select n from audit")), 11)
+      << "T2 must update the row T1's rule action wrote and committed";
+  EXPECT_LT(t1->last_receipt().commit_lsn, t2->last_receipt().commit_lsn);
 }
 
 }  // namespace
