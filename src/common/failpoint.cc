@@ -85,6 +85,23 @@ const char* const kSiteCatalog[] = {
     "wal.recover.begin",
     "wal.recover.replay",
     "wal.recover.truncate",
+    // Replication (src/replication/, docs/REPLICATION.md). `tail.read`
+    // fires before each tailer read of the primary's wal.log (an armed
+    // failure models a short read / EINTR storm and surfaces as
+    // retryable kUnavailable); `tail.apply` before a replicated group or
+    // DDL record is applied on the follower; `bootstrap.load` before the
+    // follower replays the primary's checkpoint (models a checkpoint
+    // read failing mid-rotation). The promote.* sites bracket failover:
+    // `begin` on entry, `truncate` before the newly-owned log's torn
+    // tail is cut, `attach` between truncation and opening the writer —
+    // @Crash at any of them must leave a directory a plain Engine::Open
+    // still recovers.
+    "repl.tail.read",
+    "repl.tail.apply",
+    "repl.bootstrap.load",
+    "repl.promote.begin",
+    "repl.promote.truncate",
+    "repl.promote.attach",
 };
 
 Status ParseMode(const std::string& text, FailpointRegistry::Trigger* out) {

@@ -34,6 +34,10 @@ const char* StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kReadOnlyReplica:
+      return "ReadOnlyReplica";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
     case StatusCode::kInternal:

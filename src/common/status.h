@@ -27,6 +27,10 @@ enum class StatusCode {
   kDeadlock,          // this transaction was the victim of a lock cycle
   kDataLoss,          // durable state is corrupt beyond safe recovery
   kIoError,           // the OS rejected a file operation (open/write/fsync)
+  kUnavailable,       // transient condition (torn tail, stalled primary);
+                      // retrying later may succeed
+  kReadOnlyReplica,   // this node is a replication follower; writes must
+                      // go to the primary (or wait for promotion)
   kNotImplemented,
   kInternal,
 };
@@ -84,6 +88,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ReadOnlyReplica(std::string msg) {
+    return Status(StatusCode::kReadOnlyReplica, std::move(msg));
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));

@@ -94,6 +94,13 @@ void Engine::AttachWal(std::unique_ptr<wal::WalWriter> wal) {
   rules_->set_wal(wal_.get());
 }
 
+void Engine::AdoptDurability(std::unique_ptr<wal::DirLock> lock,
+                             std::unique_ptr<wal::WalWriter> wal) {
+  dir_lock_ = std::move(lock);
+  db_->set_incremental_prune_floor({});
+  AttachWal(std::move(wal));
+}
+
 Status Engine::Checkpoint() {
   if (wal_ == nullptr) {
     return Status::InvalidArgument("Checkpoint: no WAL attached");

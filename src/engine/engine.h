@@ -139,6 +139,14 @@ class Engine {
   /// through it (used by Open(); exposed for tests that build the parts
   /// by hand). Passing nullptr detaches.
   void AttachWal(std::unique_ptr<wal::WalWriter> wal);
+  /// Promotion seam (src/replication/): installs the WAL-directory lock
+  /// and an opened writer on an engine built by follower replay, which
+  /// ran without either (the primary held the lock). Also clears any
+  /// incremental prune floor the follower's scheduler installed — the
+  /// promoted engine's own front end sets a fresh one. After this call
+  /// the engine is indistinguishable from one produced by Open().
+  void AdoptDurability(std::unique_ptr<wal::DirLock> lock,
+                       std::unique_ptr<wal::WalWriter> wal);
   bool durable() const { return wal_ != nullptr; }
   wal::WalWriter* wal() { return wal_.get(); }
 

@@ -1,0 +1,133 @@
+#include "replication/wal_tailer.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "wal/wal_writer.h"
+
+namespace sopr {
+namespace replication {
+
+const char* TailOutcomeName(TailOutcome outcome) {
+  switch (outcome) {
+    case TailOutcome::kProgress:
+      return "progress";
+    case TailOutcome::kIdle:
+      return "idle";
+    case TailOutcome::kRetryLater:
+      return "retry-later";
+    case TailOutcome::kRotated:
+      return "rotated";
+  }
+  return "?";
+}
+
+WalTailer::WalTailer(std::string dir, uint64_t start_offset,
+                     uint64_t last_lsn)
+    : path_(wal::WalWriter::LogPath(dir)),
+      offset_(start_offset),
+      last_lsn_(last_lsn) {}
+
+void WalTailer::Reposition(uint64_t offset, uint64_t last_lsn) {
+  offset_ = offset;
+  last_lsn_ = last_lsn;
+}
+
+Result<TailBatch> WalTailer::Poll() {
+  // Models a short read / EINTR storm on the primary's filesystem; arm
+  // with kUnavailable for retry coverage or @Crash for kill coverage.
+  SOPR_FAILPOINT_RETURN("repl.tail.read");
+
+  // A fresh open every poll: the fd must see the current inode even if
+  // the primary checkpoint-rotated the log since the last poll.
+  int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      if (offset_ == 0) {
+        // The primary has not created a log yet: caught up with nothing.
+        TailBatch batch;
+        batch.outcome = TailOutcome::kIdle;
+        return batch;
+      }
+      TailBatch batch;
+      batch.outcome = TailOutcome::kRotated;
+      batch.detail = "wal.log vanished under the resume offset";
+      return batch;
+    }
+    return Status::Unavailable("tail open " + path_ + ": " +
+                               std::strerror(errno));
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0) {
+    return Status::Unavailable("tail fstat " + path_ + ": " +
+                               std::strerror(errno));
+  }
+  const auto size = static_cast<uint64_t>(st.st_size);
+  if (size < offset_) {
+    TailBatch batch;
+    batch.outcome = TailOutcome::kRotated;
+    batch.detail = "wal.log shrank to " + std::to_string(size) +
+                   " bytes below resume offset " + std::to_string(offset_);
+    return batch;
+  }
+  if (size == offset_) {
+    TailBatch batch;
+    batch.outcome = TailOutcome::kIdle;
+    return batch;
+  }
+
+  std::string buf(size - offset_, '\0');
+  uint64_t got = 0;
+  while (got < buf.size()) {
+    ssize_t n = ::pread(fd, buf.data() + got, buf.size() - got,
+                        static_cast<off_t>(offset_ + got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("tail pread " + path_ + ": " +
+                                 std::strerror(errno));
+    }
+    if (n == 0) break;  // concurrently truncated; scan what we got
+    got += static_cast<uint64_t>(n);
+  }
+  buf.resize(got);
+  bytes_read_ += got;
+
+  wal::ScanOptions opts;
+  opts.start_offset = offset_;
+  opts.last_lsn = last_lsn_;
+  wal::ScanResult scan = wal::ScanLogImage(buf, opts);
+  if (scan.end == wal::ScanEnd::kCorrupt) {
+    // Either genuine mid-log damage or a rotation that slid new records
+    // under a stale offset; the Follower disambiguates against the
+    // checkpoint's covers_lsn before treating this as data loss.
+    return Status::DataLoss("tail of " + path_ + ": " + scan.detail);
+  }
+
+  TailBatch batch;
+  batch.records = std::move(scan.records);
+  if (!batch.records.empty()) {
+    offset_ = scan.valid_bytes;
+    last_lsn_ = batch.records.back().lsn;
+    batch.outcome = TailOutcome::kProgress;
+  } else {
+    batch.outcome = scan.end == wal::ScanEnd::kTornTail
+                        ? TailOutcome::kRetryLater
+                        : TailOutcome::kIdle;
+  }
+  if (scan.end == wal::ScanEnd::kTornTail) batch.detail = scan.detail;
+  batch.lag_bytes = scan.file_bytes - offset_;
+  return batch;
+}
+
+}  // namespace replication
+}  // namespace sopr

@@ -1,0 +1,80 @@
+#ifndef SOPR_REPLICATION_WAL_TAILER_H_
+#define SOPR_REPLICATION_WAL_TAILER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wal/wal_format.h"
+
+namespace sopr {
+namespace replication {
+
+/// How one tailer poll of the primary's wal.log ended.
+enum class TailOutcome {
+  kProgress,    // new well-formed records were delivered
+  kIdle,        // caught up: the log ends cleanly at the resume point
+  kRetryLater,  // the log ends in a torn record — the primary is mid-write
+                // (or died mid-write); poll again after a backoff
+  kRotated,     // the log shrank below the resume point: a checkpoint
+                // truncated it (the follower re-anchors on the snapshot)
+};
+
+const char* TailOutcomeName(TailOutcome outcome);
+
+struct TailBatch {
+  std::vector<wal::WalRecord> records;  // newly durable, in LSN order
+  TailOutcome outcome = TailOutcome::kIdle;
+  /// Durable bytes past the consumed prefix (torn-tail bytes the poll
+  /// could not yet deliver) — the byte component of the follower's
+  /// reported lag bound.
+  uint64_t lag_bytes = 0;
+  std::string detail;  // scanner classification for torn tails
+};
+
+/// Incrementally follows a wal.log that another process (the primary) is
+/// appending to. Each Poll() reads only [offset, EOF) — never the whole
+/// file — verifies framing/checksums/LSN continuity from the resume
+/// seed, and advances the resume point past every well-formed record
+/// (docs/REPLICATION.md). The tailer never writes: torn tails are the
+/// primary's business until promotion.
+///
+/// Failure taxonomy: a read failure or an armed `repl.tail.read`
+/// failpoint surfaces as retryable kUnavailable; mid-log damage is
+/// kDataLoss (the Follower re-checks the checkpoint before believing
+/// it — a concurrent rotation misaligns the resume offset and decodes
+/// as garbage).
+class WalTailer {
+ public:
+  WalTailer(std::string dir, uint64_t start_offset, uint64_t last_lsn);
+
+  /// One incremental read of the log. Never blocks on the primary.
+  Result<TailBatch> Poll();
+
+  /// Resume point: the absolute offset just past the last well-formed
+  /// record consumed, and that record's LSN (the scanner seed).
+  uint64_t offset() const { return offset_; }
+  uint64_t last_lsn() const { return last_lsn_; }
+
+  /// Rewinds or re-anchors the resume point (after a failed apply, or
+  /// onto a fresh post-rotation log).
+  void Reposition(uint64_t offset, uint64_t last_lsn);
+
+  /// Cumulative bytes delivered by Poll reads — the torn-tail test uses
+  /// this to prove a completed record is picked up without rescanning.
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  const std::string& log_path() const { return path_; }
+
+ private:
+  std::string path_;
+  uint64_t offset_;
+  uint64_t last_lsn_;
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace replication
+}  // namespace sopr
+
+#endif  // SOPR_REPLICATION_WAL_TAILER_H_

@@ -26,6 +26,11 @@ void CommitScheduler::RecordFatal(const Status& failure) {
 Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
     const std::vector<StmtPtr>& stmts, CommitReceipt* receipt) {
   SOPR_FAILPOINT_RETURN("server.submit.pre");
+  if (replica()) {
+    return Status::ReadOnlyReplica(
+        "this node is a read-only replication follower; send writes to "
+        "the primary (or promote this follower first)");
+  }
   SOPR_RETURN_NOT_OK(CheckFatal());
 
   std::shared_ptr<wal::CommitTicket> ticket;
@@ -102,6 +107,11 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
 
 Status CommitScheduler::ExecuteDdl(std::vector<StmtPtr> stmts) {
   SOPR_FAILPOINT_RETURN("server.submit.pre");
+  if (replica()) {
+    return Status::ReadOnlyReplica(
+        "this node is a read-only replication follower; send DDL to the "
+        "primary (or promote this follower first)");
+  }
   SOPR_RETURN_NOT_OK(CheckFatal());
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   // Snapshot readers hold schema_mu_ shared for the duration of a query;
@@ -175,6 +185,26 @@ Result<std::string> CommitScheduler::Explain(const std::string& sql) {
 Status CommitScheduler::WithExclusive(const std::function<Status()>& fn) {
   std::unique_lock<std::shared_mutex> lock(state_mu_);
   return fn();
+}
+
+Status CommitScheduler::ApplyReplicated(bool ddl,
+                                        const std::function<Status()>& fn) {
+  std::unique_lock<std::shared_mutex> lock(state_mu_);
+  if (!ddl) return fn();
+  // Fixed acquisition order state_mu_ -> schema_mu_, as in ExecuteDdl:
+  // snapshot readers hold schema_mu_ shared for the duration of a query
+  // and must never observe a half-applied catalog change.
+  std::unique_lock<std::shared_mutex> schema_lock(schema_mu_);
+  return fn();
+}
+
+void CommitScheduler::PublishReplicaLsn(uint64_t lsn) {
+  uint64_t seen = visible_lsn_.load(std::memory_order_relaxed);
+  while (lsn > seen &&
+         !visible_lsn_.compare_exchange_weak(seen, lsn,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+  }
 }
 
 Status CommitScheduler::MaybeCheckpoint() {

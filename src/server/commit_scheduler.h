@@ -125,6 +125,30 @@ class CommitScheduler {
   /// transactions — explicit checkpoints etc.).
   Status WithExclusive(const std::function<Status()>& fn);
 
+  // --- Read-only replica mode (src/replication/, docs/REPLICATION.md) ---
+
+  /// Puts the scheduler in front of a replication follower's engine:
+  /// ExecuteBlock and ExecuteDdl refuse with kReadOnlyReplica (writes
+  /// belong on the primary), while every read path keeps working. The
+  /// follower applies replicated groups through ApplyReplicated and
+  /// publishes their LSNs with PublishReplicaLsn, so snapshot readers
+  /// pin the same visible-LSN machinery primary sessions use.
+  void EnterReplicaMode() { replica_.store(true, std::memory_order_release); }
+  bool replica() const { return replica_.load(std::memory_order_acquire); }
+
+  /// Runs `fn` (the follower's application of one committed group or one
+  /// DDL record) under the writer-exclusive lock — and, for DDL, the
+  /// schema lock — so replica apply observes exactly the locking
+  /// discipline primary writers do: snapshot readers never see a
+  /// half-applied catalog, and baseline Query/Explain never see a
+  /// half-applied group.
+  Status ApplyReplicated(bool ddl, const std::function<Status()>& fn);
+
+  /// CAS-max publication of the follower's replayed LSN as the visible
+  /// snapshot head (the replica-mode analogue of the publication point
+  /// in ExecuteBlock).
+  void PublishReplicaLsn(uint64_t lsn);
+
   /// Sticky fatal status (OK while the server accepts writes).
   Status fatal() const;
 
@@ -161,6 +185,7 @@ class CommitScheduler {
   Status fatal_;
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
+  std::atomic<bool> replica_{false};
 };
 
 }  // namespace server

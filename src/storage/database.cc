@@ -366,6 +366,11 @@ Status Database::ApplyRedoInsert(std::string_view table, TupleHandle handle,
   }
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(after));
   SOPR_RETURN_NOT_OK(t->Insert(handle, std::move(after)));
+  // With MVCC on (a replication follower applying while readers are
+  // pinned) the mutation left a kPendingLsn sentinel; journal it so the
+  // follower's per-group CommitAll stamps it at the commit LSN. Plain
+  // recovery runs before EnableMvcc and never journals.
+  if (mvcc_enabled_) active_journal().emplace_back(ToLower(table), handle);
   BumpNextHandle(handle + 1);
   return Status::OK();
 }
@@ -382,6 +387,7 @@ Status Database::ApplyRedoDelete(std::string_view table, TupleHandle handle,
                             std::to_string(handle));
   }
   SOPR_RETURN_NOT_OK(t->Erase(handle));
+  if (mvcc_enabled_) active_journal().emplace_back(ToLower(table), handle);
   BumpNextHandle(handle + 1);
   return Status::OK();
 }
@@ -399,6 +405,7 @@ Status Database::ApplyRedoUpdate(std::string_view table, TupleHandle handle,
   }
   SOPR_RETURN_NOT_OK(t->schema().CheckRow(after));
   SOPR_RETURN_NOT_OK(t->Replace(handle, std::move(after)));
+  if (mvcc_enabled_) active_journal().emplace_back(ToLower(table), handle);
   BumpNextHandle(handle + 1);
   return Status::OK();
 }

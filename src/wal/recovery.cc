@@ -2,9 +2,8 @@
 
 #include <unistd.h>
 
-#include <map>
+#include <algorithm>
 #include <utility>
-#include <vector>
 
 #include "common/failpoint.h"
 #include "engine/engine.h"
@@ -16,9 +15,9 @@ namespace wal {
 
 namespace {
 
-/// Re-executes a logged DDL script. The engine has no WAL attached yet,
-/// so nothing is re-logged; rule definitions come back exactly as their
-/// original SQL rendered them.
+/// Re-executes a logged DDL script. The engine has no WAL attached (or,
+/// on a follower, replication suppresses re-logging), so rule
+/// definitions come back exactly as their original SQL rendered them.
 Status ReplayDdl(Engine* engine, const std::string& sql,
                  RecoveryStats* stats) {
   SOPR_FAILPOINT_RETURN("wal.recover.replay");
@@ -104,6 +103,143 @@ Status LoadSnapshot(const std::string& dir, Engine* engine,
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// GroupReplayer
+// ---------------------------------------------------------------------------
+
+GroupReplayer::GroupReplayer(Engine* engine, Options options)
+    : engine_(engine),
+      opts_(std::move(options)),
+      applied_lsn_(opts_.applied_lsn) {}
+
+Status GroupReplayer::Apply(bool ddl, uint64_t lsn,
+                            const std::function<Status()>& apply_fn) {
+  Status applied =
+      opts_.around ? opts_.around(ddl, apply_fn) : apply_fn();
+  if (!applied.ok()) return applied;
+  applied_lsn_ = std::max(applied_lsn_, lsn);
+  if (opts_.applied) opts_.applied(lsn);
+  return Status::OK();
+}
+
+Result<bool> GroupReplayer::Feed(const WalRecord& rec, RecoveryStats* stats) {
+  // Bounded replay: a transaction counts iff its COMMIT record (where
+  // the group is applied) is within the bound. Mutation records of a
+  // later commit stay buffered in open_txns_ until DiscardOpen.
+  if (opts_.through_lsn != 0 && rec.lsn > opts_.through_lsn) return false;
+  const uint64_t prev_lsn = max_lsn_;
+  max_lsn_ = std::max(max_lsn_, rec.lsn);
+  max_txn_id_ = std::max(max_txn_id_, rec.txn_id);
+  if (rec.lsn <= opts_.covers_lsn) return true;  // baked into the snapshot
+  switch (rec.type) {
+    case RecordType::kBegin: {
+      OpenGroup group;
+      group.begin_offset = rec.offset;
+      group.prev_lsn = prev_lsn;
+      if (!open_txns_.emplace(rec.txn_id, std::move(group)).second) {
+        return Status::DataLoss("wal.log: duplicate BEGIN for txn " +
+                                std::to_string(rec.txn_id));
+      }
+      break;
+    }
+    case RecordType::kInsert:
+    case RecordType::kDelete:
+    case RecordType::kUpdate: {
+      auto it = open_txns_.find(rec.txn_id);
+      if (it == open_txns_.end()) {
+        return Status::DataLoss("wal.log: redo record at lsn " +
+                                std::to_string(rec.lsn) +
+                                " for unknown txn " +
+                                std::to_string(rec.txn_id));
+      }
+      it->second.redo.push_back(rec);
+      break;
+    }
+    case RecordType::kCommit: {
+      auto it = open_txns_.find(rec.txn_id);
+      if (it == open_txns_.end()) {
+        return Status::DataLoss("wal.log: COMMIT at lsn " +
+                                std::to_string(rec.lsn) +
+                                " for unknown txn " +
+                                std::to_string(rec.txn_id));
+      }
+      if (rec.lsn <= applied_lsn_) {
+        // Idempotence guard: this group was applied by a previous feed
+        // (a tailer re-fed records after a transient failure). Consume
+        // without re-applying.
+        open_txns_.erase(it);
+        break;
+      }
+      std::vector<WalRecord> redo = std::move(it->second.redo);
+      open_txns_.erase(it);
+      SOPR_RETURN_NOT_OK(Apply(/*ddl=*/false, rec.lsn, [&]() -> Status {
+        for (const WalRecord& r : redo) {
+          SOPR_RETURN_NOT_OK(ReplayMutation(engine_, r, stats));
+        }
+        engine_->db().BumpNextHandle(rec.next_handle);
+        if (opts_.stamp_mvcc && engine_->db().mvcc_enabled()) {
+          // Stamp the group's MVCC versions at its commit LSN so pinned
+          // snapshot readers see exactly the committed prefix (the redo
+          // path journals what it touched; see Database::ApplyRedo*).
+          engine_->db().CommitAll(rec.lsn);
+        }
+        return Status::OK();
+      }));
+      ++stats->committed_txns;
+      break;
+    }
+    case RecordType::kAbort:
+      // Aborted transactions write nothing, but tolerate an explicit
+      // marker: drop the group unreplayed.
+      open_txns_.erase(rec.txn_id);
+      break;
+    case RecordType::kDdl:
+      if (rec.lsn <= applied_lsn_) break;  // idempotence guard (see COMMIT)
+      SOPR_RETURN_NOT_OK(Apply(/*ddl=*/true, rec.lsn, [&]() -> Status {
+        return ReplayDdl(engine_, rec.sql, stats);
+      }));
+      break;
+    case RecordType::kSnapshotHeader:
+      return Status::DataLoss(
+          "wal.log: snapshot header in the main log at lsn " +
+          std::to_string(rec.lsn));
+  }
+  return true;
+}
+
+void GroupReplayer::DiscardOpen(RecoveryStats* stats) {
+  stats->discarded_txns += open_txns_.size();
+  open_txns_.clear();
+}
+
+void GroupReplayer::ResetOpen() { open_txns_.clear(); }
+
+uint64_t GroupReplayer::resume_offset(uint64_t end_of_feed) const {
+  uint64_t offset = end_of_feed;
+  for (const auto& [txn_id, group] : open_txns_) {
+    offset = std::min(offset, group.begin_offset);
+  }
+  return offset;
+}
+
+uint64_t GroupReplayer::resume_lsn(uint64_t last_fed_lsn) const {
+  // The seed must be the highest LSN *before* the resume offset; with
+  // open groups that is the LSN preceding the earliest BEGIN.
+  uint64_t offset = ~uint64_t{0};
+  uint64_t lsn = last_fed_lsn;
+  for (const auto& [txn_id, group] : open_txns_) {
+    if (group.begin_offset < offset) {
+      offset = group.begin_offset;
+      lsn = group.prev_lsn;
+    }
+  }
+  return lsn;
+}
+
+// ---------------------------------------------------------------------------
+// RecoverDatabase
+// ---------------------------------------------------------------------------
+
 Result<RecoveryStats> RecoverDatabase(const std::string& dir,
                                       Engine* engine) {
   return RecoverDatabase(dir, engine, RecoverOptions{});
@@ -115,18 +251,24 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir, Engine* engine,
   RecoveryStats stats;
 
   // A leftover snapshot.tmp is an interrupted checkpoint that never
-  // installed; discard it so a later checkpoint starts clean.
-  ::unlink(WalWriter::SnapshotTmpPath(dir).c_str());
+  // installed; discard it so a later checkpoint starts clean. Never on a
+  // read-only (follower) pass: the primary may be mid-checkpoint.
+  if (!opts.read_only) {
+    ::unlink(WalWriter::SnapshotTmpPath(dir).c_str());
+  }
 
   uint64_t covers_lsn = 0;
   uint64_t last_lsn = 0;
   SOPR_RETURN_NOT_OK(
       LoadSnapshot(dir, engine, &stats, &covers_lsn, &last_lsn));
+  stats.covers_lsn = covers_lsn;
   if (opts.through_lsn != 0 && covers_lsn > opts.through_lsn) {
     return Status::InvalidArgument(
         "RecoverDatabase: through_lsn " + std::to_string(opts.through_lsn) +
-        " predates the installed checkpoint (covers lsn " +
-        std::to_string(covers_lsn) + "); that prefix is no longer in the log");
+        " predates the installed checkpoint, whose covers_lsn is " +
+        std::to_string(covers_lsn) + "; that prefix is no longer in the "
+        "log — bootstrap from the checkpoint (replay the snapshot first) "
+        "or request through_lsn >= " + std::to_string(covers_lsn));
   }
 
   const std::string log_path = WalWriter::LogPath(dir);
@@ -136,7 +278,7 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir, Engine* engine,
     // lost by truncating here. Hard error — never guess.
     return Status::DataLoss("wal.log: " + scan.detail);
   }
-  if (scan.end == ScanEnd::kTornTail) {
+  if (scan.end == ScanEnd::kTornTail && !opts.read_only) {
     SOPR_FAILPOINT_RETURN("wal.recover.truncate");
     if (::truncate(log_path.c_str(), static_cast<off_t>(scan.valid_bytes)) !=
         0) {
@@ -148,71 +290,32 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir, Engine* engine,
 
   // Replay committed transactions in LSN order. Commit batches are
   // written contiguously, so at most the final group can be unfinished —
-  // but recovery tolerates any interleaving as long as groups are
+  // but replay tolerates any interleaving as long as groups are
   // well-formed.
-  std::map<uint64_t, std::vector<WalRecord>> open_txns;
-  uint64_t max_txn_id = 0;
-  for (WalRecord& rec : scan.records) {
-    // Bounded replay: a transaction counts iff its COMMIT record (where
-    // the group is applied) is within the bound. Mutation records of a
-    // later commit stay buffered in open_txns and are discarded below.
-    if (opts.through_lsn != 0 && rec.lsn > opts.through_lsn) break;
-    if (rec.lsn > last_lsn) last_lsn = rec.lsn;
-    if (rec.txn_id > max_txn_id) max_txn_id = rec.txn_id;
-    if (rec.lsn <= covers_lsn) continue;  // baked into the snapshot
-    switch (rec.type) {
-      case RecordType::kBegin:
-        if (!open_txns.emplace(rec.txn_id, std::vector<WalRecord>()).second) {
-          return Status::DataLoss("wal.log: duplicate BEGIN for txn " +
-                                  std::to_string(rec.txn_id));
-        }
-        break;
-      case RecordType::kInsert:
-      case RecordType::kDelete:
-      case RecordType::kUpdate: {
-        auto it = open_txns.find(rec.txn_id);
-        if (it == open_txns.end()) {
-          return Status::DataLoss("wal.log: redo record at lsn " +
-                                  std::to_string(rec.lsn) +
-                                  " for unknown txn " +
-                                  std::to_string(rec.txn_id));
-        }
-        it->second.push_back(std::move(rec));
-        break;
-      }
-      case RecordType::kCommit: {
-        auto it = open_txns.find(rec.txn_id);
-        if (it == open_txns.end()) {
-          return Status::DataLoss("wal.log: COMMIT at lsn " +
-                                  std::to_string(rec.lsn) +
-                                  " for unknown txn " +
-                                  std::to_string(rec.txn_id));
-        }
-        for (const WalRecord& redo : it->second) {
-          SOPR_RETURN_NOT_OK(ReplayMutation(engine, redo, &stats));
-        }
-        engine->db().BumpNextHandle(rec.next_handle);
-        open_txns.erase(it);
-        ++stats.committed_txns;
-        break;
-      }
-      case RecordType::kAbort:
-        // Aborted transactions write nothing, but tolerate an explicit
-        // marker: drop the group unreplayed.
-        open_txns.erase(rec.txn_id);
-        break;
-      case RecordType::kDdl:
-        SOPR_RETURN_NOT_OK(ReplayDdl(engine, rec.sql, &stats));
-        break;
-      case RecordType::kSnapshotHeader:
-        return Status::DataLoss(
-            "wal.log: snapshot header in the main log at lsn " +
-            std::to_string(rec.lsn));
-    }
+  GroupReplayer::Options replay_opts;
+  replay_opts.covers_lsn = covers_lsn;
+  replay_opts.through_lsn = opts.through_lsn;
+  GroupReplayer replayer(engine, replay_opts);
+  uint64_t last_log_lsn = 0;
+  for (const WalRecord& rec : scan.records) {
+    SOPR_ASSIGN_OR_RETURN(bool consumed, replayer.Feed(rec, &stats));
+    if (!consumed) break;
+    last_log_lsn = rec.lsn;
   }
+  last_lsn = std::max(last_lsn, replayer.max_lsn());
+
+  // Incremental resume point for a tailer continuing this replay: the
+  // earliest still-open group's BEGIN (its records must be re-buffered),
+  // else the end of the well-formed prefix.
+  stats.resume_offset = replayer.resume_offset(scan.valid_bytes);
+  stats.resume_lsn = replayer.resume_lsn(last_log_lsn);
+  stats.applied_lsn = replayer.applied_lsn();
+
   // Whatever is still open lost its COMMIT to the torn tail: those
-  // transactions never reached their durability point and are discarded.
-  stats.discarded_txns = open_txns.size();
+  // transactions never reached their durability point and are discarded
+  // (on a read-only pass the primary may still be writing them — the
+  // resume point above lets the tailer pick them up).
+  replayer.DiscardOpen(&stats);
 
   // Certify the recovered state before anyone runs on it.
   Status certified = engine->db().CheckInvariants();
@@ -222,7 +325,7 @@ Result<RecoveryStats> RecoverDatabase(const std::string& dir, Engine* engine,
   }
 
   stats.next_lsn = last_lsn + 1;
-  stats.next_txn_id = max_txn_id + 1;
+  stats.next_txn_id = replayer.max_txn_id() + 1;
   return stats;
 }
 

@@ -421,29 +421,39 @@ std::string AtOffset(uint64_t off) {
 }  // namespace
 
 ScanResult ScanLogImage(std::string_view data) {
+  return ScanLogImage(data, ScanOptions{});
+}
+
+ScanResult ScanLogImage(std::string_view data, const ScanOptions& opts) {
+  // `off` is absolute: data[0] sits at file offset opts.start_offset.
+  // The bounds arithmetic below therefore compares against `end_off`.
+  const uint64_t base = opts.start_offset;
   ScanResult result;
-  result.file_bytes = data.size();
-  uint64_t off = 0;
-  uint64_t last_lsn = 0;
-  while (off < data.size()) {
-    const uint64_t remaining = data.size() - off;
+  result.file_bytes = base + data.size();
+  result.valid_bytes = base;
+  uint64_t off = base;
+  uint64_t last_lsn = opts.last_lsn;
+  const uint64_t end_off = base + data.size();
+  const auto at = [&](uint64_t abs) { return data.data() + (abs - base); };
+  while (off < end_off) {
+    const uint64_t remaining = end_off - off;
     if (remaining < kHeaderSize) {
       result.end = ScanEnd::kTornTail;
       result.detail = "partial record header" + AtOffset(off);
       return result;
     }
-    const uint32_t len = ReadU32(data.data() + off);
-    const uint32_t crc = ReadU32(data.data() + off + 4);
+    const uint32_t len = ReadU32(at(off));
+    const uint32_t crc = ReadU32(at(off) + 4);
     const uint64_t extent = off + kHeaderSize + len;
     if (len < kMinPayload || len > kMaxPayload) {
       // A zero-filled remainder is the signature of filesystem
       // preallocation after a crash: a torn tail, not corruption.
-      if (len == 0 && crc == 0 && AllZero(data.substr(off))) {
+      if (len == 0 && crc == 0 && AllZero(data.substr(off - base))) {
         result.end = ScanEnd::kTornTail;
         result.detail = "zero-filled tail" + AtOffset(off);
         return result;
       }
-      if (extent >= data.size()) {
+      if (extent >= end_off) {
         result.end = ScanEnd::kTornTail;
         result.detail = "implausible record length " + std::to_string(len) +
                         " reaching EOF" + AtOffset(off);
@@ -454,20 +464,20 @@ ScanResult ScanLogImage(std::string_view data) {
                       " mid-log" + AtOffset(off);
       return result;
     }
-    if (extent > data.size()) {
+    if (extent > end_off) {
       result.end = ScanEnd::kTornTail;
       result.detail = "record extends past EOF" + AtOffset(off);
       return result;
     }
-    std::string_view payload = data.substr(off + kHeaderSize, len);
+    std::string_view payload = data.substr(off - base + kHeaderSize, len);
     if (Crc32c(payload) != crc) {
-      if (extent == data.size()) {
+      if (extent == end_off) {
         result.end = ScanEnd::kTornTail;
         result.detail = "checksum mismatch on final record" + AtOffset(off);
       } else {
         result.end = ScanEnd::kCorrupt;
         result.detail = "checksum mismatch mid-log" + AtOffset(off) + " (" +
-                        std::to_string(data.size() - extent) +
+                        std::to_string(end_off - extent) +
                         " valid-looking bytes follow)";
       }
       return result;
@@ -490,6 +500,7 @@ ScanResult ScanLogImage(std::string_view data) {
       return result;
     }
     last_lsn = rec.lsn;
+    rec.offset = off;
     result.records.push_back(std::move(rec));
     off = extent;
     result.valid_bytes = off;
@@ -499,16 +510,35 @@ ScanResult ScanLogImage(std::string_view data) {
 }
 
 Result<ScanResult> ScanLogFile(const std::string& path) {
+  return ScanLogFile(path, ScanOptions{});
+}
+
+Result<ScanResult> ScanLogFile(const std::string& path,
+                               const ScanOptions& opts) {
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
+    if (opts.start_offset != 0) {
+      return Status::InvalidArgument(
+          "ScanLogFile: resume offset " + std::to_string(opts.start_offset) +
+          " into missing file " + path);
+    }
     return ScanResult{};  // missing file: empty, clean
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) {
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<uint64_t>(in.tellg());
+  if (opts.start_offset > size) {
+    return Status::InvalidArgument(
+        "ScanLogFile: resume offset " + std::to_string(opts.start_offset) +
+        " past end of " + path + " (" + std::to_string(size) +
+        " bytes) — was the log rotated?");
+  }
+  in.seekg(static_cast<std::streamoff>(opts.start_offset));
+  std::string buf(size - opts.start_offset, '\0');
+  in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (in.bad() || static_cast<uint64_t>(in.gcount()) != buf.size()) {
     return Status::DataLoss("cannot read wal file " + path);
   }
-  return ScanLogImage(buf.str());
+  return ScanLogImage(buf, opts);
 }
 
 }  // namespace wal

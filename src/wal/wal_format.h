@@ -73,6 +73,10 @@ struct WalRecord {
   Row before;                 // Delete/Update pre-image
   Row after;                  // Insert/Update post-image
   std::string sql;            // Ddl
+  /// Absolute file offset of this record's header. Filled in by the
+  /// scanner (zero in hand-built records); the replication tailer uses
+  /// it to compute durable resume points at record granularity.
+  uint64_t offset = 0;
 
   static WalRecord Begin(uint64_t lsn, uint64_t txn);
   static WalRecord Commit(uint64_t lsn, uint64_t txn, uint64_t next_handle);
@@ -104,10 +108,21 @@ enum class ScanEnd {
 
 struct ScanResult {
   std::vector<WalRecord> records;  // the well-formed prefix
-  uint64_t valid_bytes = 0;        // byte length of that prefix
-  uint64_t file_bytes = 0;         // total bytes examined
+  uint64_t valid_bytes = 0;        // absolute end offset of that prefix
+  uint64_t file_bytes = 0;         // absolute end offset of examined bytes
   ScanEnd end = ScanEnd::kClean;
   std::string detail;              // human-readable reason for torn/corrupt
+};
+
+/// Resume point for an incremental scan: a previous scan (or recovery)
+/// ends at a record boundary; a tailer restarts there instead of
+/// re-reading the whole log. `last_lsn` seeds the LSN-monotonicity check
+/// so a regression across the seam is still caught (it also catches a
+/// log that was rotated underneath the tailer: the fresh log's first
+/// record would decode at offset 0, not at the stale resume offset).
+struct ScanOptions {
+  uint64_t start_offset = 0;  // must be a record boundary
+  uint64_t last_lsn = 0;      // highest LSN consumed before start_offset
 };
 
 /// Scans a serialized log image, verifying framing, checksums, and LSN
@@ -115,10 +130,20 @@ struct ScanResult {
 /// all-zero remainder) is a torn tail — the expected shape of an
 /// interrupted write, safe to truncate; any damage *followed by more
 /// data* is mid-log corruption and must be surfaced, never truncated.
+///
+/// The ScanOptions overloads scan `data` as the file's contents FROM
+/// `start_offset` (i.e. data[0] is file offset start_offset); every
+/// offset in the result is absolute.
 ScanResult ScanLogImage(std::string_view data);
+ScanResult ScanLogImage(std::string_view data, const ScanOptions& opts);
 
 /// Reads and scans a log file. A missing file scans as empty and clean.
+/// The ScanOptions overload reads from opts.start_offset; an offset past
+/// the current end of file is kInvalidArgument (the replication tailer
+/// treats a shrunken file as a checkpoint rotation before scanning).
 Result<ScanResult> ScanLogFile(const std::string& path);
+Result<ScanResult> ScanLogFile(const std::string& path,
+                               const ScanOptions& opts);
 
 }  // namespace wal
 }  // namespace sopr

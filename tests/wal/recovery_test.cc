@@ -429,5 +429,105 @@ TEST_F(RecoveryTest, InvariantsCatchCatalogHeapDisagreement) {
   EXPECT_OK(engine.CheckInvariants());
 }
 
+// --- Incremental resume + read-only bootstrap (docs/REPLICATION.md) ---
+
+TEST_F(RecoveryTest, RecoveryStatsExposeTheIncrementalResumePoint) {
+  std::string dir = MakeTempDir();
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine,
+                         Engine::Open(DurableOptions(dir)));
+    CreatePaperSchema(engine.get());
+    LoadOrgChart(engine.get());
+  }
+  ASSERT_OK_AND_ASSIGN(wal::ScanResult scan,
+                       wal::ScanLogFile(wal::WalWriter::LogPath(dir)));
+  ASSERT_EQ(scan.end, wal::ScanEnd::kClean);
+  ASSERT_FALSE(scan.records.empty());
+
+  Engine replica;
+  ASSERT_OK_AND_ASSIGN(wal::RecoveryStats stats,
+                       wal::RecoverDatabase(dir, &replica));
+  // The resume point continues exactly where the full scan ended: a
+  // tailer starting there with the stats' LSN seed reads nothing old.
+  EXPECT_EQ(stats.resume_offset, scan.valid_bytes);
+  EXPECT_EQ(stats.resume_lsn, scan.records.back().lsn);
+  EXPECT_EQ(stats.applied_lsn, scan.records.back().lsn);
+  EXPECT_EQ(stats.next_lsn, scan.records.back().lsn + 1);
+
+  wal::ScanOptions opts;
+  opts.start_offset = stats.resume_offset;
+  opts.last_lsn = stats.resume_lsn;
+  ASSERT_OK_AND_ASSIGN(wal::ScanResult resumed,
+                       wal::ScanLogFile(wal::WalWriter::LogPath(dir), opts));
+  EXPECT_TRUE(resumed.records.empty());
+  EXPECT_EQ(resumed.end, wal::ScanEnd::kClean);
+}
+
+TEST_F(RecoveryTest, ReadOnlyRecoveryLeavesTheTornTailOnDisk) {
+  // Follower bootstrap must not clean up after a LIVE primary: same torn
+  // tail as TornTailIsTruncatedAndCommittedPrefixKept, but the read-only
+  // recovery leaves every byte in place and instead reports the resume
+  // point just before the tail.
+  std::string dir = MakeTempDir();
+  uint64_t checksum = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine,
+                         Engine::Open(DurableOptions(dir)));
+    CreatePaperSchema(engine.get());
+    LoadOrgChart(engine.get());
+    checksum = engine->StateChecksum();
+  }
+  const std::string log_path = wal::WalWriter::LogPath(dir);
+  std::string bytes = ReadFileBytes(log_path);
+  const uint64_t committed = bytes.size();
+  bytes += std::string("\x40\x00\x00\x00", 4);  // len = 64
+  bytes += "torn";
+  WriteFileBytes(log_path, bytes);
+
+  Engine replica;
+  wal::RecoverOptions opts;
+  opts.read_only = true;
+  ASSERT_OK_AND_ASSIGN(wal::RecoveryStats stats,
+                       wal::RecoverDatabase(dir, &replica, opts));
+  EXPECT_EQ(replica.StateChecksum(), checksum);
+  EXPECT_EQ(stats.resume_offset, committed);
+  EXPECT_EQ(stats.truncated_bytes, 0u);
+  EXPECT_EQ(ReadFileBytes(log_path).size(), bytes.size())
+      << "read-only recovery must not truncate the primary's log";
+}
+
+TEST_F(RecoveryTest, ThroughLsnBehindTheCheckpointNamesItsCoversLsn) {
+  std::string dir = MakeTempDir();
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<Engine> engine,
+                         Engine::Open(DurableOptions(dir)));
+    CreatePaperSchema(engine.get());
+    LoadOrgChart(engine.get());
+    ASSERT_OK(engine->Checkpoint());
+  }
+  ASSERT_OK_AND_ASSIGN(wal::ScanResult snap,
+                       wal::ScanLogFile(wal::WalWriter::SnapshotPath(dir)));
+  ASSERT_FALSE(snap.records.empty());
+  const uint64_t covers = snap.records.front().covers_lsn;
+  ASSERT_GT(covers, 1u);
+
+  Engine replica;
+  wal::RecoverOptions opts;
+  opts.through_lsn = covers - 1;  // a prefix the log no longer holds
+  Result<wal::RecoveryStats> bounded =
+      wal::RecoverDatabase(dir, &replica, opts);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kInvalidArgument);
+  // The message must name the covering checkpoint's covers_lsn so the
+  // caller can bootstrap from the snapshot instead of guessing.
+  EXPECT_NE(bounded.status().message().find(
+                "covers_lsn is " + std::to_string(covers)),
+            std::string::npos)
+      << bounded.status();
+  EXPECT_NE(bounded.status().message().find("bootstrap from the checkpoint"),
+            std::string::npos)
+      << bounded.status();
+}
+
 }  // namespace
 }  // namespace sopr
