@@ -1,0 +1,128 @@
+#include "common/cancel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+
+void CancelToken::Cancel(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;  // first wins
+    reason_ = std::move(reason);
+  }
+  cancelled_.store(true, std::memory_order_release);
+}
+
+std::string CancelToken::reason() const {
+  if (!cancelled()) return "";
+  std::lock_guard<std::mutex> lock(mu_);
+  return reason_;
+}
+
+std::chrono::microseconds Deadline::Remaining() const {
+  if (!has_) return std::chrono::microseconds::max();
+  auto now = CancelClock::now();
+  if (now >= at_) return std::chrono::microseconds(0);
+  return std::chrono::duration_cast<std::chrono::microseconds>(at_ - now);
+}
+
+Deadline Deadline::Earlier(const Deadline& a, const Deadline& b) {
+  if (!a.has_) return b;
+  if (!b.has_) return a;
+  return a.at_ <= b.at_ ? a : b;
+}
+
+CancelContext CancelContext::InheritAmbient() {
+  const CancelContext* ambient = CancelScope::Current();
+  return ambient != nullptr ? *ambient : CancelContext();
+}
+
+void CancelContext::AddToken(CancelTokenPtr token, std::string label) {
+  if (token == nullptr) return;
+  tokens_.push_back(TokenSource{std::move(token), std::move(label)});
+}
+
+void CancelContext::AddDeadline(Deadline deadline, std::string label) {
+  if (!deadline.has_deadline()) return;
+  deadlines_.push_back(DeadlineSource{deadline, std::move(label)});
+}
+
+Deadline CancelContext::deadline() const {
+  Deadline earliest = Deadline::Never();
+  for (const auto& src : deadlines_) {
+    earliest = Deadline::Earlier(earliest, src.deadline);
+  }
+  return earliest;
+}
+
+Status CancelContext::Check(const char* where) const {
+  for (const auto& src : tokens_) {
+    if (src.token->cancelled()) {
+      std::string reason = src.token->reason();
+      return Status::Cancelled(src.label + " cancelled at " + where +
+                               (reason.empty() ? "" : ": " + reason));
+    }
+  }
+  for (const auto& src : deadlines_) {
+    if (src.deadline.Expired()) {
+      return Status::Timeout(src.label + " deadline exceeded at " +
+                             std::string(where));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+const CancelContext*& AmbientSlot() {
+  thread_local const CancelContext* ambient = nullptr;
+  return ambient;
+}
+
+}  // namespace
+
+CancelScope::CancelScope(const CancelContext* ctx) : prev_(AmbientSlot()) {
+  AmbientSlot() = ctx;
+}
+
+CancelScope::~CancelScope() { AmbientSlot() = prev_; }
+
+const CancelContext* CancelScope::Current() { return AmbientSlot(); }
+
+Status CheckCancel(const char* where) {
+  SOPR_FAILPOINT_RETURN("cancel.deliver");
+  const CancelContext* ctx = CancelScope::Current();
+  if (ctx == nullptr) return Status::OK();
+  return ctx->Check(where);
+}
+
+Status CancellableSleep(std::chrono::microseconds dur, const char* where) {
+  const CancelContext* ctx = CancelScope::Current();
+  if (ctx == nullptr || ctx->empty()) {
+    std::this_thread::sleep_for(dur);
+    return Status::OK();
+  }
+  const Deadline wake = Deadline::After(dur);
+  for (;;) {
+    SOPR_RETURN_NOT_OK(ctx->Check(where));
+    // Sleep to the nearest of: requested wake-up, ambient deadline, and
+    // (only when a token needs polling) the poll quantum.
+    auto remaining = wake.Remaining();
+    if (remaining <= std::chrono::microseconds(0)) return Status::OK();
+    auto bound = std::min<std::chrono::microseconds>(
+        remaining, ctx->deadline().Remaining());
+    if (ctx->has_tokens()) {
+      bound = std::min<std::chrono::microseconds>(
+          bound, std::chrono::duration_cast<std::chrono::microseconds>(
+                     kCancelPollQuantum));
+    }
+    if (bound > std::chrono::microseconds(0)) {
+      std::this_thread::sleep_for(bound);
+    }
+  }
+}
+
+}  // namespace sopr

@@ -1,0 +1,171 @@
+#ifndef SOPR_COMMON_CANCEL_H_
+#define SOPR_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sopr {
+
+/// Cooperative cancellation and deadlines (docs/OVERLOAD.md). The paper's
+/// set-oriented semantics make a single statement arbitrarily expensive —
+/// one UPDATE can cascade through rule firings and detached transactions —
+/// so every layer that can block or loop checks an ambient CancelContext:
+/// rule-firing boundaries, scan-loop batches, lock waits, WAL durability
+/// waits, and retry sleeps. Cancellation is cooperative: nothing is torn
+/// down asynchronously; the working thread notices at its next check and
+/// aborts through the normal structural-rollback path.
+
+/// The engine's deadline clock. Monotone: immune to NTP steps and
+/// clock_settime, so a deadline can never jump backwards into the past
+/// (or rescue an expired one).
+using CancelClock = std::chrono::steady_clock;
+
+/// Sticky one-way kill switch, shared (via shared_ptr) between the
+/// cancelling thread — e.g. an operator calling Session::Cancel from
+/// another thread — and the worker that polls it. Once fired it stays
+/// fired; there is no "uncancel".
+class CancelToken {
+ public:
+  /// Trips the token. The first caller's reason wins; later calls are
+  /// no-ops. Safe from any thread.
+  void Cancel(std::string reason);
+
+  /// Lock-free fast path for poll sites.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Reason from the winning Cancel() call ("" while not cancelled).
+  std::string reason() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::string reason_;  // guarded by mu_; written once
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+/// A point on the monotone clock after which work must stop. Value type;
+/// Never() compares later than every real deadline.
+class Deadline {
+ public:
+  Deadline() = default;  // no deadline
+
+  static Deadline Never() { return Deadline(); }
+  static Deadline At(CancelClock::time_point tp) {
+    Deadline d;
+    d.has_ = true;
+    d.at_ = tp;
+    return d;
+  }
+  template <typename Rep, typename Period>
+  static Deadline After(std::chrono::duration<Rep, Period> dur) {
+    return At(CancelClock::now() +
+              std::chrono::duration_cast<CancelClock::duration>(dur));
+  }
+
+  bool has_deadline() const { return has_; }
+  CancelClock::time_point at() const { return at_; }
+  bool Expired() const { return has_ && CancelClock::now() >= at_; }
+
+  /// Time left before expiry; zero when expired, max() when Never.
+  std::chrono::microseconds Remaining() const;
+
+  /// The earlier of two deadlines (Never loses to anything real).
+  static Deadline Earlier(const Deadline& a, const Deadline& b);
+
+ private:
+  bool has_ = false;
+  CancelClock::time_point at_{};
+};
+
+/// The composition of every cancellation source in force for the work on
+/// the current thread: session kill ∪ statement timeout ∪ txn deadline.
+/// Built by the layer that opens a unit of work (Session::Execute, the
+/// rule engine's txn frame) and installed thread-ambiently with a
+/// CancelScope; inner layers check it without signature changes. A value
+/// type — deriving a narrower context is copy + add.
+class CancelContext {
+ public:
+  CancelContext() = default;
+
+  /// Copy of the innermost ambient context (empty if none): the way a
+  /// nested layer composes its own sources on top of its caller's.
+  static CancelContext InheritAmbient();
+
+  void AddToken(CancelTokenPtr token, std::string label);
+  void AddDeadline(Deadline deadline, std::string label);
+
+  bool empty() const { return tokens_.empty() && deadlines_.empty(); }
+  bool has_tokens() const { return !tokens_.empty(); }
+
+  /// Earliest deadline across every source (Never if none): the bound a
+  /// cv wait_until or sleep must respect.
+  Deadline deadline() const;
+
+  /// kCancelled if any token has fired, else kTimeout if any deadline
+  /// has passed, else OK. `where` names the check site for the message.
+  Status Check(const char* where) const;
+
+ private:
+  struct TokenSource {
+    CancelTokenPtr token;
+    std::string label;
+  };
+  struct DeadlineSource {
+    Deadline deadline;
+    std::string label;
+  };
+  std::vector<TokenSource> tokens_;
+  std::vector<DeadlineSource> deadlines_;
+};
+
+/// RAII installer of the thread-ambient CancelContext. Scopes nest (a
+/// detached rule's retry loop runs under a narrower context than the
+/// statement that spawned it); the innermost wins and the destructor
+/// restores the outer one. The context must outlive the scope — both
+/// normally live in the same stack frame.
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelContext* ctx);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// Innermost installed context on this thread, or nullptr.
+  static const CancelContext* Current();
+
+ private:
+  const CancelContext* prev_;
+};
+
+/// The check every cooperative cancellation point calls: evaluates the
+/// ambient context (no-op without one) and the `cancel.deliver` failpoint,
+/// so chaos runs can model an asynchronous kill arriving at any check
+/// site. Cheap when nothing is armed and no context is installed.
+Status CheckCancel(const char* where);
+
+/// Cancellation- and deadline-aware sleep: sleeps up to `dur` but never
+/// past the ambient deadline, polling ambient tokens so a kill cuts the
+/// sleep short. Returns OK when the full duration elapsed, else the
+/// Check() failure. Backoff sleeps (common/retry.h) and detached-rule
+/// retries route through this so they cannot outsleep their budget.
+Status CancellableSleep(std::chrono::microseconds dur, const char* where);
+
+/// Poll quantum for token-bearing waits: a cv wait or sleep that must
+/// notice an asynchronous CancelToken wakes at least this often to check
+/// it (tokens have no cv of their own — deliberately, so no cross-cv
+/// notification protocol exists to get wrong). Bounds cancel latency.
+inline constexpr std::chrono::milliseconds kCancelPollQuantum{2};
+
+}  // namespace sopr
+
+#endif  // SOPR_COMMON_CANCEL_H_

@@ -52,6 +52,20 @@ const char* const kSiteCatalog[] = {
     "lock.acquire",
     "lock.wait",
     "lock.deadlock",
+    // `lock.wait.timeout` fires as a waiter gives up on a lock (deadline
+    // or cancellation) — after its wait-for edges are removed, before the
+    // kLockTimeout/kCancelled status propagates to the caller.
+    "lock.wait.timeout",
+    // Cancellation delivery (common/cancel.cc): fires at every
+    // CheckCancel() point — rule-firing boundaries, scan batches,
+    // cancellable sleeps. An armed failure models an asynchronous kill
+    // arriving at exactly that check; the enclosing txn must abort to S0.
+    "cancel.deliver",
+    // Writer admission control (server/admission.cc): fires as a writer
+    // enters the admission queue, before any queueing decision. An armed
+    // failure models an admission-layer shed (@code Overloaded in chaos);
+    // the statement must fail without touching data.
+    "server.admit.queue",
     // Write-ahead log (wal/wal_writer.cc). `wal.append` fires once per
     // record as a commit/DDL batch is encoded; `wal.write` before each
     // file write; `wal.write.mid` between the two halves of a batch write
@@ -152,6 +166,9 @@ Status ParseCode(const std::string& name, FailpointRegistry::Trigger* out) {
       {"InjectedFault", StatusCode::kInjectedFault},
       {"ResourceExhausted", StatusCode::kResourceExhausted},
       {"Timeout", StatusCode::kTimeout},
+      {"Cancelled", StatusCode::kCancelled},
+      {"LockTimeout", StatusCode::kLockTimeout},
+      {"Overloaded", StatusCode::kOverloaded},
       {"Deadlock", StatusCode::kDeadlock},
       {"ExecutionError", StatusCode::kExecutionError},
       {"DataLoss", StatusCode::kDataLoss},

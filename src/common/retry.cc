@@ -1,7 +1,8 @@
 #include "common/retry.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "common/cancel.h"
 
 namespace sopr {
 
@@ -38,12 +39,18 @@ void Backoff::Reset() {
   current_us_ = static_cast<double>(policy_.initial_delay.count());
 }
 
+Status Backoff::Sleep(const char* where) {
+  return CancellableSleep(NextDelay(), where);
+}
+
 Status RetryWithBackoff(Backoff* backoff, const std::function<Status()>& fn) {
   for (;;) {
     Status attempt = fn();
     if (attempt.code() != StatusCode::kUnavailable) return attempt;
     if (!backoff->ShouldRetry()) return attempt;
-    std::this_thread::sleep_for(backoff->NextDelay());
+    // A cancelled/expired budget beats the retry schedule: surface the
+    // cancellation, not the transient failure being retried.
+    SOPR_RETURN_NOT_OK(backoff->Sleep("retry backoff"));
   }
 }
 

@@ -42,6 +42,12 @@ class Backoff {
   /// should then surface the last failure instead of sleeping).
   std::chrono::microseconds NextDelay();
 
+  /// NextDelay() + a cancellation-aware sleep (common/cancel.h): the
+  /// sleep is clipped to the ambient deadline and cut short by a kill,
+  /// returning that failure — so a detached-rule retry can never sleep
+  /// past its transaction's budget. OK when the delay fully elapsed.
+  Status Sleep(const char* where);
+
   /// True while another attempt is allowed under max_attempts.
   bool ShouldRetry() const;
 

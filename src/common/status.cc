@@ -28,6 +28,12 @@ const char* StatusCodeName(StatusCode code) {
       return "InjectedFault";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kLockTimeout:
+      return "LockTimeout";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
     case StatusCode::kDeadlock:
       return "Deadlock";
     case StatusCode::kDataLoss:

@@ -24,6 +24,9 @@ enum class StatusCode {
   kResourceExhausted, // a resource budget (e.g. undo-log size) was exceeded
   kInjectedFault,     // a fault-injection site (failpoint) fired
   kTimeout,           // the per-transaction wall-clock deadline passed
+  kCancelled,         // the session (or statement) was cancelled by a kill
+  kLockTimeout,       // a lock wait exceeded its deadline; txn rolled back
+  kOverloaded,        // writer admission shed this request; retry later
   kDeadlock,          // this transaction was the victim of a lock cycle
   kDataLoss,          // durable state is corrupt beyond safe recovery
   kIoError,           // the OS rejected a file operation (open/write/fsync)
@@ -79,6 +82,15 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(StatusCode::kLockTimeout, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
   static Status Deadlock(std::string msg) {
     return Status(StatusCode::kDeadlock, std::move(msg));

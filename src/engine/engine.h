@@ -123,7 +123,14 @@ class Engine {
   /// of a lock-victim transaction rides the MVCC undo/journal machinery,
   /// and readers need version latches once writers overlap. Call before
   /// concurrent writers exist (the SessionManager does this).
-  void EnableConcurrentWriters() { db_->EnableWriteLocking(); }
+  void EnableConcurrentWriters() {
+    db_->EnableWriteLocking();
+    // Bound every lock wait by the configured timeout (docs/OVERLOAD.md);
+    // zero disables the per-wait bound.
+    db_->lock_manager()->set_wait_timeout(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            rules_->options().lock_wait_timeout));
+  }
   bool concurrent_writers() const { return db_->lock_manager() != nullptr; }
   /// LSN of the most recent commit — the newest snapshot point.
   uint64_t last_commit_lsn() const { return db_->last_commit_lsn(); }

@@ -4,10 +4,20 @@
 #include <map>
 #include <set>
 
+#include "common/cancel.h"
 #include "common/string_util.h"
 #include "expr/aggregate.h"
 
 namespace sopr {
+
+namespace {
+
+/// Scan/join loops re-check the ambient CancelContext every this many
+/// rows, so a runaway cross product or a giant scan stays interruptible
+/// without paying a check per row (docs/OVERLOAD.md).
+constexpr size_t kCancelCheckBatch = 1024;
+
+}  // namespace
 
 Result<Relation> DatabaseResolver::Resolve(const TableRef& ref) {
   if (ref.kind != TableRefKind::kBase) {
@@ -16,6 +26,7 @@ Result<Relation> DatabaseResolver::Resolve(const TableRef& ref) {
         "' can only be referenced inside a production rule");
   }
   SOPR_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(ref.table));
+  SOPR_RETURN_NOT_OK(CheckCancel("table scan"));
   // A full scan reads every row, so it takes a table S lock: committed
   // writers cannot change the table under this transaction's feet, and
   // re-scans within the fixpoint see a stable set (coarse-grained
@@ -231,6 +242,7 @@ Result<QueryResult> Executor::ExecuteSelect(
   std::vector<Combo> combos;
   std::vector<size_t> joined;
   for (size_t step = 0; step < order.size(); ++step) {
+    SOPR_RETURN_NOT_OK(CheckCancel("join step"));
     size_t next = order[step];
     const Relation& rel = relations[next];
     if (step == 0) {
@@ -288,6 +300,9 @@ Result<QueryResult> Executor::ExecuteSelect(
       next_combos.reserve(combos.size() * rel.rows.size());
       for (const Combo& combo : combos) {
         for (size_t r = 0; r < rel.rows.size(); ++r) {
+          if (next_combos.size() % kCancelCheckBatch == 0) {
+            SOPR_RETURN_NOT_OK(CheckCancel("cross product"));
+          }
           Combo out = combo;
           out.rows[next] = &rel.rows[r];
           out.row_indices[next] = r;
@@ -306,7 +321,11 @@ Result<QueryResult> Executor::ExecuteSelect(
   if (!residual.empty()) {
     std::vector<Combo> filtered;
     filtered.reserve(combos.size());
+    size_t evaluated = 0;
     for (Combo& combo : combos) {
+      if (evaluated++ % kCancelCheckBatch == 0) {
+        SOPR_RETURN_NOT_OK(CheckCancel("filter"));
+      }
       for (size_t i = 0; i < relations.size(); ++i) {
         scope.SetRow(i, combo.rows[i]);
       }
@@ -659,7 +678,11 @@ Result<DmlEffect> Executor::ExecuteDelete(const DeleteStmt& stmt) {
   EvalContext ctx;
   ctx.runner = this;
 
+  size_t scanned = 0;
   for (auto& [handle, row] : snapshot) {
+    if (scanned++ % kCancelCheckBatch == 0) {
+      SOPR_RETURN_NOT_OK(CheckCancel("delete scan"));
+    }
     bool match = true;
     if (stmt.where != nullptr) {
       scope.SetRow(0, &row);
@@ -706,7 +729,11 @@ Result<DmlEffect> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
   ctx.runner = this;
 
   std::vector<std::pair<TupleHandle, Row>> new_rows;
+  size_t scanned = 0;
   for (auto& [handle, row] : snapshot) {
+    if (scanned++ % kCancelCheckBatch == 0) {
+      SOPR_RETURN_NOT_OK(CheckCancel("update scan"));
+    }
     scope.SetRow(0, &row);
     bool match = true;
     if (stmt.where != nullptr) {

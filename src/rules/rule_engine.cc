@@ -210,6 +210,18 @@ Status RuleEngine::Begin() {
   if (frame->has_deadline) {
     frame->deadline_at = std::chrono::steady_clock::now() + options_.txn_deadline;
   }
+  // Compose this transaction's cancellation sources on top of the
+  // caller's (a session installs its kill token and statement timeout
+  // before calling in) and make them ambient for the frame's lifetime:
+  // lock waits, scan batches, and retry sleeps all observe the same
+  // context without signature plumbing. Detached transactions re-derive
+  // from the session scope after this frame dies, so they get their own
+  // deadline window but stay killable.
+  frame->cancel = CancelContext::InheritAmbient();
+  if (frame->has_deadline) {
+    frame->cancel.AddDeadline(Deadline::At(frame->deadline_at), "transaction");
+  }
+  frame->cancel_scope = std::make_unique<CancelScope>(&frame->cancel);
   if (options_.verify_rollback_integrity && db_->lock_manager() == nullptr) {
     // Whole-state checksums are only meaningful without concurrent
     // committers; in locking mode rollback is verified per touched row
@@ -278,13 +290,15 @@ Status RuleEngine::AbortTransaction() {
 }
 
 Status RuleEngine::CheckDeadline(const TxnFrame& frame) const {
-  if (!frame.has_deadline) return Status::OK();
-  if (std::chrono::steady_clock::now() <= frame.deadline_at) {
-    return Status::OK();
+  if (frame.has_deadline &&
+      std::chrono::steady_clock::now() > frame.deadline_at) {
+    return Status::Timeout(
+        "transaction exceeded its deadline of " +
+        std::to_string(options_.txn_deadline.count()) + "ms");
   }
-  return Status::Timeout(
-      "transaction exceeded its deadline of " +
-      std::to_string(options_.txn_deadline.count()) + "ms");
+  // The ambient context covers the remaining sources (session kill,
+  // statement timeout) and gives chaos a delivery point (cancel.deliver).
+  return CheckCancel("rule processing");
 }
 
 Status RuleEngine::RollbackTransaction() {
@@ -537,6 +551,11 @@ Status RuleEngine::ExecuteAction(const Rule& rule, const TransInfo& info,
   TransitionTableResolver resolver(db_, &info);
   Executor executor(db_, &resolver, options_.optimize_queries);
   for (const StmtPtr& op : rule.action()) {
+    Status deadline = CheckDeadline(*Tls().frame);
+    if (!deadline.ok()) {
+      SOPR_RETURN_NOT_OK(AbortTransaction());
+      return deadline;
+    }
     if (op->kind == StmtKind::kCall) {
       const auto& call = static_cast<const CallStmt&>(*op);
       auto it = procedures_.find(call.procedure);
@@ -632,10 +651,21 @@ Status RuleEngine::RunDeferred(std::vector<DeferredFiring> queue,
       if (options_.detached_retry_backoff.count() > 0) {
         auto delay = options_.detached_retry_backoff *
                      (1LL << std::min<size_t>(attempts - 1, 10));
-        std::this_thread::sleep_for(
-            std::min<std::chrono::milliseconds>(
-                std::chrono::duration_cast<std::chrono::milliseconds>(delay),
-                std::chrono::milliseconds(1000)));
+        // Deadline/cancel-aware: the sleep is clipped to the ambient
+        // budget (the session's statement timeout or a kill), and an
+        // interrupted sleep ends the retry schedule — the cancellation,
+        // not the transient failure, is what the caller must see.
+        Status slept = CancellableSleep(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::min<std::chrono::milliseconds>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        delay),
+                    std::chrono::milliseconds(1000))),
+            "detached retry backoff");
+        if (!slept.ok()) {
+          attempt = slept;
+          break;
+        }
       }
     }
     if (!overall.ok()) break;
@@ -707,6 +737,13 @@ Status RuleEngine::CommitImpl(ExecutionTrace* trace,
       // threads: WAL file order, commit-LSN order, and MVCC stamping
       // order must agree (docs/CONCURRENCY.md).
       std::lock_guard<std::mutex> commit_lock(commit_mu_);
+      // Past the point of no return: the transaction survived every
+      // cancellation check; once its batch is staged, an interrupted
+      // durability wait could not be rolled back (the bytes may reach the
+      // log anyway). Shield the commit section from the ambient context —
+      // the scheduler's AwaitDurable, outside this section, stays
+      // cancellable with commit-outcome-unknown semantics.
+      CancelScope commit_shield(nullptr);
       committed = [&]() -> Status {
         if (wal_ != nullptr) {
           // The durability point: the group-commit batch (BEGIN + every

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "query/executor.h"
 #include "rules/rule.h"
@@ -55,6 +56,12 @@ struct RuleEngineOptions {
   /// transaction with kTimeout. Detached transactions get their own
   /// deadline window.
   std::chrono::milliseconds txn_deadline{0};
+  /// Upper bound on any single lock wait once concurrent writers are
+  /// enabled (zero = unbounded; docs/OVERLOAD.md). A waiter that exceeds
+  /// it aborts with kLockTimeout and rolls back, so one stalled holder
+  /// cannot wedge conflicting writers forever. Applied to the lock
+  /// manager by Engine::EnableConcurrentWriters.
+  std::chrono::milliseconds lock_wait_timeout{10000};
   /// Per-transaction undo-log record budget (0 = unlimited). A mutation
   /// that would exceed it fails with kResourceExhausted and the
   /// transaction aborts; rollback itself never needs new log space.
@@ -297,6 +304,14 @@ class RuleEngine {
     UndoLog::Mark start_mark = 0;
     std::chrono::steady_clock::time_point deadline_at{};
     bool has_deadline = false;
+    /// This transaction's cancellation sources — the caller's ambient
+    /// context (session kill, statement timeout) plus the txn deadline —
+    /// installed thread-ambiently for the frame's whole Begin..Commit
+    /// lifetime so lock waits, scans, and sleeps can observe it.
+    /// `cancel` is declared before `cancel_scope`: the scope (which
+    /// restores the outer ambient context) must die first.
+    CancelContext cancel;
+    std::unique_ptr<CancelScope> cancel_scope;
     uint64_t start_checksum = 0;
     TransInfo pending_block;
     std::vector<TransInfo> log;   // kSharedLog: transitions this txn

@@ -1,0 +1,120 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+namespace server {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options), hint_(options.retry_hint) {}
+
+void AdmissionController::set_options(AdmissionOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  hint_ = Backoff(options.retry_hint);
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  AdmissionStats s;
+  s.admitted = admitted_;
+  s.shed_queue_full = shed_queue_full_;
+  s.shed_queue_deadline = shed_queue_deadline_;
+  s.shed_cancelled = shed_cancelled_;
+  s.inflight = inflight_;
+  s.queued = queued_;
+  return s;
+}
+
+Status AdmissionController::ShedLocked(const char* why) {
+  auto delay = std::chrono::duration_cast<std::chrono::milliseconds>(
+      hint_.NextDelay());
+  return Status::Overloaded(
+      std::string("writer admission shed (") + why + "): " +
+      std::to_string(inflight_) + " in flight, " + std::to_string(queued_) +
+      " queued; retry-after-ms=" + std::to_string(delay.count()));
+}
+
+Result<AdmissionController::Slot> AdmissionController::Admit() {
+  // Chaos injects a shed here; litmus schedules park a writer here with a
+  // blocking arm before it ever touches the queue counters.
+  SOPR_FAILPOINT_RETURN("server.admit.queue");
+
+  const CancelContext* cancel = CancelScope::Current();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < options_.max_inflight_writers) {
+    ++inflight_;
+    ++admitted_;
+    hint_.Reset();
+    return Slot(this);
+  }
+  if (queued_ >= options_.max_queued_writers) {
+    ++shed_queue_full_;
+    return ShedLocked("queue full");
+  }
+
+  ++queued_;
+  const Deadline queue_deadline =
+      options_.queue_deadline.count() > 0
+          ? Deadline::After(options_.queue_deadline)
+          : Deadline::Never();
+  while (inflight_ >= options_.max_inflight_writers) {
+    // Bound the park by whichever gives up first: the queue deadline, the
+    // ambient statement/transaction deadline, or (when a kill token is in
+    // scope) the cancellation poll quantum.
+    const Deadline bound = Deadline::Earlier(
+        queue_deadline, cancel != nullptr ? cancel->deadline()
+                                          : Deadline::Never());
+    const bool poll = cancel != nullptr && cancel->has_tokens();
+    if (!bound.has_deadline() && !poll) {
+      cv_.wait(lock);
+    } else {
+      CancelClock::time_point until =
+          bound.has_deadline() ? bound.at() : CancelClock::time_point::max();
+      if (poll) {
+        until = std::min(until, CancelClock::now() + kCancelPollQuantum);
+      }
+      cv_.wait_until(lock, until);
+    }
+    Status interrupted =
+        cancel != nullptr ? cancel->Check("admission queue") : Status::OK();
+    if (!interrupted.ok()) {
+      --queued_;
+      ++shed_cancelled_;
+      cv_.notify_all();
+      return interrupted;
+    }
+    if (queue_deadline.Expired() &&
+        inflight_ >= options_.max_inflight_writers) {
+      --queued_;
+      ++shed_queue_deadline_;
+      Status shed = ShedLocked("queue deadline");
+      cv_.notify_all();
+      return shed;
+    }
+  }
+  --queued_;
+  ++inflight_;
+  ++admitted_;
+  hint_.Reset();
+  return Slot(this);
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --inflight_;
+  cv_.notify_all();
+}
+
+void AdmissionController::Slot::Release() {
+  if (ctrl_ != nullptr) {
+    ctrl_->Release();
+    ctrl_ = nullptr;
+  }
+}
+
+}  // namespace server
+}  // namespace sopr

@@ -1,0 +1,126 @@
+#ifndef SOPR_SERVER_ADMISSION_H_
+#define SOPR_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+
+#include "common/cancel.h"
+#include "common/retry.h"
+#include "common/status.h"
+
+namespace sopr {
+namespace server {
+
+/// Writer admission policy (docs/OVERLOAD.md). Defaults are generous —
+/// far above the container's parallelism — so existing workloads see no
+/// behavior change; an operator (or the overload bench) tightens them to
+/// get real shedding.
+struct AdmissionOptions {
+  /// Writers allowed past admission at once. One stalled writer inside
+  /// its transaction still blocks only the rows it locks; this bound
+  /// caps how much concurrent apply work the engine takes on.
+  size_t max_inflight_writers = 64;
+  /// Writers allowed to WAIT for an in-flight slot. Beyond this the
+  /// request is shed immediately with kOverloaded — under overload a
+  /// deep queue only adds latency, it never adds throughput.
+  size_t max_queued_writers = 256;
+  /// Longest a writer may sit in the admission queue before being shed
+  /// (zero = wait until the ambient CancelContext gives up). A bounded
+  /// queue deadline is what keeps p99 flat when offered load exceeds
+  /// capacity: work that would miss its latency budget anyway is
+  /// refused at the door instead of timing out mid-transaction.
+  std::chrono::microseconds queue_deadline{0};
+  /// Schedule for the retry-after hint attached to every kOverloaded:
+  /// consecutive sheds escalate the suggested delay, a successful
+  /// admission resets it — a crude congestion signal clients can obey
+  /// blindly (common/retry.h has the matching Backoff).
+  RetryPolicy retry_hint{std::chrono::milliseconds(1),
+                         std::chrono::milliseconds(200), 2.0, 0.0, 0};
+};
+
+struct AdmissionStats {
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_queue_deadline = 0;
+  uint64_t shed_cancelled = 0;  // ambient kill/deadline while queued
+  size_t inflight = 0;          // instantaneous
+  size_t queued = 0;            // instantaneous
+};
+
+/// Bounded writer-admission queue in front of the commit scheduler.
+/// Reads never pass through it — when writer admission saturates, the
+/// snapshot-read path keeps serving (graceful degradation is structural,
+/// not a mode).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {});
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Move-only RAII admission slot; releases (waking one queued writer)
+  /// on destruction.
+  class Slot {
+   public:
+    Slot() = default;
+    explicit Slot(AdmissionController* ctrl) : ctrl_(ctrl) {}
+    ~Slot() { Release(); }
+    Slot(Slot&& o) noexcept : ctrl_(o.ctrl_) { o.ctrl_ = nullptr; }
+    Slot& operator=(Slot&& o) noexcept {
+      if (this != &o) {
+        Release();
+        ctrl_ = o.ctrl_;
+        o.ctrl_ = nullptr;
+      }
+      return *this;
+    }
+    bool admitted() const { return ctrl_ != nullptr; }
+
+   private:
+    void Release();
+    AdmissionController* ctrl_ = nullptr;
+  };
+
+  /// Admits the calling writer, queueing (bounded, deadline-shedded)
+  /// when the in-flight limit is reached. Failure modes:
+  ///   kOverloaded — queue full or queue deadline passed; the message
+  ///     carries a "retry-after-ms=<n>" hint that escalates while the
+  ///     system stays saturated.
+  ///   kCancelled / kTimeout — the ambient CancelContext (session kill,
+  ///     statement timeout) gave up first.
+  /// The `server.admit.queue` failpoint fires on entry: chaos injects
+  /// admission-layer sheds there, litmus schedules park writers there.
+  Result<Slot> Admit();
+
+  /// Replaces the policy. Affects future Admit calls; writers already
+  /// in flight or queued finish under the counts they entered with.
+  void set_options(AdmissionOptions options);
+
+  AdmissionStats stats() const;
+
+ private:
+  friend class Slot;
+  void Release();
+  /// Builds the kOverloaded status (mu_ held): escalates the retry-after
+  /// hint and stamps it into the message.
+  Status ShedLocked(const char* why);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  AdmissionOptions options_;
+  Backoff hint_;  // retry-after escalation; guarded by mu_
+  size_t inflight_ = 0;
+  size_t queued_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t shed_queue_full_ = 0;
+  uint64_t shed_queue_deadline_ = 0;
+  uint64_t shed_cancelled_ = 0;
+};
+
+}  // namespace server
+}  // namespace sopr
+
+#endif  // SOPR_SERVER_ADMISSION_H_

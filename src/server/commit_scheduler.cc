@@ -33,6 +33,13 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
   }
   SOPR_RETURN_NOT_OK(CheckFatal());
 
+  // Writer admission (docs/OVERLOAD.md): bounded in-flight writers plus a
+  // bounded, deadline-shedded queue. The slot is held across the whole
+  // block INCLUDING the durability wait — it is the unit of writer work
+  // the server agreed to carry. Reads never pass through here, so when
+  // writer admission saturates the snapshot-read path keeps serving.
+  SOPR_ASSIGN_OR_RETURN(AdmissionController::Slot slot, admission_.Admit());
+
   std::shared_ptr<wal::CommitTicket> ticket;
   CommitReceipt local;
   Result<ExecutionTrace> trace = [&]() -> Result<ExecutionTrace> {
@@ -84,6 +91,17 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
   // batch staged meanwhile.
   Status durable = engine_->AwaitDurable(ticket);
   if (!durable.ok()) {
+    if (durable.code() == StatusCode::kCancelled ||
+        durable.code() == StatusCode::kTimeout) {
+      // INTERRUPTED, not failed: the session's kill/deadline fired while
+      // waiting for the fsync confirmation. The batch remains staged and
+      // a later cohort leader will make it durable — the commit outcome
+      // is unknown to this caller only, so the server must NOT latch
+      // fatal. Counted as committed: the transaction did commit in
+      // memory; only the confirmation was abandoned.
+      committed_.fetch_add(1, std::memory_order_relaxed);
+      return durable;
+    }
     // Committed in memory, not durable, no per-transaction undo possible
     // (see class comment): the whole server stops accepting writes.
     aborted_.fetch_add(1, std::memory_order_relaxed);

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "engine/engine.h"
+#include "server/admission.h"
 #include "storage/mvcc.h"
 
 namespace sopr {
@@ -61,7 +62,11 @@ struct CommitReceipt {
 /// there is no per-transaction undo. The scheduler records the failure
 /// as FATAL: every later write is refused with the sticky status (reads
 /// still work — in-memory state is intact). Restarting the engine
-/// recovers to the durable prefix.
+/// recovers to the durable prefix. An INTERRUPTED wait is different:
+/// kCancelled/kTimeout means the session gave up waiting while the batch
+/// remains staged for a later cohort leader — the commit outcome is
+/// unknown to that caller only, the server stays healthy, and the fatal
+/// latch is NOT tripped (docs/OVERLOAD.md).
 class CommitScheduler {
  public:
   explicit CommitScheduler(Engine* engine)
@@ -152,6 +157,12 @@ class CommitScheduler {
   /// Sticky fatal status (OK while the server accepts writes).
   Status fatal() const;
 
+  /// Writer admission control (docs/OVERLOAD.md): every ExecuteBlock
+  /// passes through it before touching state_mu_; reads and DDL do not.
+  /// Tighten its options to get real shedding under overload.
+  AdmissionController& admission() { return admission_; }
+  const AdmissionController& admission() const { return admission_; }
+
   uint64_t committed() const {
     return committed_.load(std::memory_order_relaxed);
   }
@@ -186,6 +197,7 @@ class CommitScheduler {
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
   std::atomic<bool> replica_{false};
+  AdmissionController admission_;
 };
 
 }  // namespace server

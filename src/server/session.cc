@@ -9,6 +9,62 @@ namespace server {
 
 CommitScheduler& Session::scheduler() { return manager_->scheduler(); }
 
+Session::StatementScope::StatementScope(Session* session) : session_(session) {
+  // The increment itself is the admission check: a racing second
+  // statement sees the count above the limit and is refused before it
+  // touches any session state the first statement is using.
+  const int inflight =
+      session->inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (static_cast<size_t>(inflight) > session->max_inflight_statements_) {
+    status_ = Status::Overloaded(
+        "session " + std::to_string(session->id()) + " already has " +
+        std::to_string(inflight - 1) + " statement(s) in flight (limit " +
+        std::to_string(session->max_inflight_statements_) +
+        "); a session is a single-threaded connection handle");
+    return;
+  }
+  CancelTokenPtr kill = session->KillToken();
+  if (kill->cancelled()) {
+    status_ = Status::Cancelled("session " + std::to_string(session->id()) +
+                                " was killed: " + kill->reason());
+    return;
+  }
+  session->statements_.fetch_add(1, std::memory_order_relaxed);
+  // Compose this statement's cancellation sources on top of whatever the
+  // caller installed, and make them ambient for every layer below —
+  // admission queue, lock waits, scan batches, rule boundaries, the
+  // durability wait.
+  ctx_ = CancelContext::InheritAmbient();
+  ctx_.AddToken(std::move(kill),
+                "session " + std::to_string(session->id()) + " kill");
+  if (session->statement_timeout_.count() > 0) {
+    ctx_.AddDeadline(Deadline::After(session->statement_timeout_),
+                     "statement timeout");
+  }
+  scope_.emplace(&ctx_);
+}
+
+Session::StatementScope::~StatementScope() {
+  scope_.reset();
+  session_->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Session::Cancel(const std::string& reason) {
+  KillToken()->Cancel(reason);
+}
+
+void Session::ResetCancel() {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  kill_ = std::make_shared<CancelToken>();
+}
+
+bool Session::killed() const { return KillToken()->cancelled(); }
+
+CancelTokenPtr Session::KillToken() const {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  return kill_;
+}
+
 bool Session::IsReadOnlyScript(const std::vector<StmtPtr>& stmts) {
   // With the §5.1 select-triggering extension on, a select is a
   // rule-firing operation like any write: it must run in a transaction
@@ -21,6 +77,8 @@ bool Session::IsReadOnlyScript(const std::vector<StmtPtr>& stmts) {
 }
 
 Status Session::Execute(const std::string& sql) {
+  StatementScope stmt(this);
+  SOPR_RETURN_NOT_OK(stmt.admitted());
   // Parsing happens here, on the session's thread, with no engine lock
   // held — the concurrent half of the parse/plan-then-serialize pipeline.
   SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
@@ -75,6 +133,8 @@ Status Session::Execute(const std::string& sql) {
 }
 
 Result<ExecutionTrace> Session::ExecuteBlock(const std::string& sql) {
+  StatementScope stmt(this);
+  SOPR_RETURN_NOT_OK(stmt.admitted());
   SOPR_RETURN_NOT_OK(FailpointRegistry::Instance().EnsureEnvArmed());
   SOPR_ASSIGN_OR_RETURN(std::vector<StmtPtr> stmts, Parser::ParseScript(sql));
   for (const StmtPtr& stmt : stmts) {
@@ -103,6 +163,8 @@ Result<QueryResult> Session::Query(const std::string& sql) {
 }
 
 Result<QueryResult> Session::ExecuteQuery(const std::string& sql) {
+  StatementScope stmt_scope(this);
+  SOPR_RETURN_NOT_OK(stmt_scope.admitted());
   SOPR_ASSIGN_OR_RETURN(StmtPtr stmt, Parser::ParseStatement(sql));
   if (stmt->kind != StmtKind::kSelect) {
     return Status::InvalidArgument("Query expects a select statement");
@@ -123,6 +185,8 @@ Result<Session::Snapshot> Session::PinSnapshot() {
 
 Result<QueryResult> Session::QueryAt(const Snapshot& snapshot,
                                      const std::string& sql) {
+  StatementScope stmt_scope(this);
+  SOPR_RETURN_NOT_OK(stmt_scope.admitted());
   if (!snapshot.pinned()) {
     return Status::InvalidArgument("QueryAt: snapshot is not pinned");
   }

@@ -1,9 +1,15 @@
 #ifndef SOPR_SERVER_SESSION_H_
 #define SOPR_SERVER_SESSION_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 
+#include "common/cancel.h"
 #include "server/commit_scheduler.h"
 
 namespace sopr {
@@ -18,11 +24,14 @@ class SessionManager;
 ///
 /// Threading: different sessions are safe to drive from different
 /// threads concurrently — that is the point. ONE session must be driven
-/// by one thread at a time (like a connection handle).
+/// by one thread at a time (like a connection handle); the in-flight
+/// statement limit enforces that contract with kOverloaded instead of a
+/// race. Cancel() is the one deliberate exception: it is safe from ANY
+/// thread, which is what makes a stalled statement killable.
 class Session {
  public:
   Session(SessionManager* manager, uint64_t id)
-      : manager_(manager), id_(id) {}
+      : manager_(manager), id_(id), kill_(std::make_shared<CancelToken>()) {}
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
@@ -71,25 +80,99 @@ class Session {
   /// lock, never entering the exclusive section.
   Result<std::string> Explain(const std::string& sql);
 
+  // --- Overload protection (docs/OVERLOAD.md) ---
+
+  /// Kills the session — the terminate-backend analogue, safe from ANY
+  /// thread. The in-flight statement observes the kill at its next
+  /// cancellation point (scan batch, rule boundary, lock wait, admission
+  /// queue, durability wait) and its transaction rolls back through the
+  /// normal structural path, releasing every lock it held; subsequent
+  /// statements are refused up front with kCancelled until ResetCancel().
+  void Cancel(const std::string& reason);
+  /// Installs a fresh kill token, reviving a killed session (operator
+  /// un-kill; tests and benches reuse handles).
+  void ResetCancel();
+  bool killed() const;
+
+  /// Per-statement wall-clock budget (zero = none). Composes with the
+  /// engine's per-transaction deadline and the session kill; the earliest
+  /// source fires first and attributes the failure (kTimeout for
+  /// deadlines, kCancelled for the kill).
+  void set_statement_timeout(std::chrono::microseconds timeout) {
+    statement_timeout_ = timeout;
+  }
+  std::chrono::microseconds statement_timeout() const {
+    return statement_timeout_;
+  }
+
+  /// In-flight statement limit (default 1): a session is a
+  /// single-threaded connection handle, so a second statement arriving
+  /// while one is still running is a protocol violation — refused with
+  /// kOverloaded instead of racing the first.
+  void set_max_inflight_statements(size_t n) { max_inflight_statements_ = n; }
+  size_t max_inflight_statements() const { return max_inflight_statements_; }
+
   uint64_t id() const { return id_; }
   /// Receipt of this session's most recent committed DML block (zeroed
   /// before it commits anything).
   const CommitReceipt& last_receipt() const { return last_receipt_; }
-  uint64_t commits() const { return commits_; }
-  uint64_t aborts() const { return aborts_; }
+  uint64_t commits() const {
+    return commits_.load(std::memory_order_relaxed);
+  }
+  uint64_t aborts() const { return aborts_.load(std::memory_order_relaxed); }
+  /// Statements this session started (admitted past the kill and
+  /// in-flight checks), including reads.
+  uint64_t statements() const {
+    return statements_.load(std::memory_order_relaxed);
+  }
+  size_t inflight_statements() const {
+    int n = inflight_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
 
  private:
+  /// RAII around one statement: refuses killed sessions and in-flight
+  /// overflow, installs the session's cancellation sources (kill token,
+  /// statement deadline) thread-ambiently for every layer below, and
+  /// maintains the statement counters.
+  class StatementScope {
+   public:
+    explicit StatementScope(Session* session);
+    ~StatementScope();
+    StatementScope(const StatementScope&) = delete;
+    StatementScope& operator=(const StatementScope&) = delete;
+    /// OK when the statement may run; the refusal otherwise.
+    const Status& admitted() const { return status_; }
+
+   private:
+    Session* session_;
+    CancelContext ctx_;
+    std::optional<CancelScope> scope_;
+    Status status_;
+  };
+
   CommitScheduler& scheduler();
   /// True when the parsed script classifies as read-only (all selects,
   /// and selects do not trigger rules).
   bool IsReadOnlyScript(const std::vector<StmtPtr>& stmts);
+  CancelTokenPtr KillToken() const;
 
   SessionManager* manager_;
   const uint64_t id_;
+  mutable std::mutex cancel_mu_;  // guards kill_ (swapped by ResetCancel)
+  CancelTokenPtr kill_;
+  // Connection options: set by the driving thread between statements.
+  std::chrono::microseconds statement_timeout_{0};
+  size_t max_inflight_statements_ = 1;
+  // Written by the driving thread, read by SessionManager::Inspect from
+  // other threads — hence atomics (relaxed: they are counters, not
+  // synchronization).
+  std::atomic<uint64_t> statements_{0};
+  std::atomic<int> inflight_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
   // Owned by the session's driving thread; no locking needed.
   CommitReceipt last_receipt_;
-  uint64_t commits_ = 0;
-  uint64_t aborts_ = 0;
 };
 
 }  // namespace server

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/retry.h"
+#include "server/admission.h"
 #include "server/commit_scheduler.h"
 #include "server/session.h"
 
@@ -48,7 +50,9 @@ class SessionManager {
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Admits a new session. Fails (kResourceExhausted) beyond
-  /// max_sessions.
+  /// max_sessions with a structured message carrying the current/max
+  /// counts and a "retry-after-ms=<n>" hint that escalates while the
+  /// limit stays saturated and resets once a slot frees up.
   Result<Session*> CreateSession();
   /// Closes (destroys) a session by id. The caller must be done driving
   /// it; outstanding pointers to it dangle.
@@ -56,6 +60,26 @@ class SessionManager {
 
   size_t num_sessions() const;
   void set_max_sessions(size_t n) { max_sessions_ = n; }
+  size_t max_sessions() const { return max_sessions_; }
+
+  /// Point-in-time view of the front end for operator tooling and tests
+  /// (docs/OVERLOAD.md): session slots, per-session statement counters,
+  /// and the writer-admission stats.
+  struct SessionInfo {
+    uint64_t id = 0;
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t statements = 0;
+    size_t inflight_statements = 0;
+    bool killed = false;
+  };
+  struct Snapshot {
+    size_t num_sessions = 0;
+    size_t max_sessions = 0;
+    AdmissionStats admission;
+    std::vector<SessionInfo> sessions;
+  };
+  Snapshot Inspect() const;
 
   Engine& engine() { return *engine_; }
   CommitScheduler& scheduler() { return scheduler_; }
@@ -65,9 +89,14 @@ class SessionManager {
   CommitScheduler scheduler_;
   size_t max_sessions_ = 256;
 
-  mutable std::mutex mu_;  // guards sessions_ / next_session_id_
+  mutable std::mutex mu_;  // guards sessions_ / next_session_id_ / hint
   std::vector<std::unique_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 1;
+  /// Retry-after escalation for CreateSession refusals; jitter-free so
+  /// the hints in error messages are deterministic.
+  Backoff create_hint_{RetryPolicy{std::chrono::milliseconds(10),
+                                   std::chrono::milliseconds(500), 2.0, 0.0,
+                                   0}};
 };
 
 }  // namespace server

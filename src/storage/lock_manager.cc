@@ -71,6 +71,11 @@ Status LockManager::AcquireLocked(std::unique_lock<std::mutex>& lock,
                                   uint64_t txn, const LockKey& key,
                                   LockMode mode) {
   bool hit_wait_site = false;
+  // Snapshot the cancellation sources once per acquisition: the ambient
+  // context (session kill / statement timeout / txn deadline) and the
+  // manager's per-wait bound, started at the first block below.
+  const CancelContext* cancel = CancelScope::Current();
+  Deadline wait_deadline = Deadline::Never();
   for (;;) {
     auto& holders = granted_[key];
     LockMode desired = mode;
@@ -100,6 +105,9 @@ Status LockManager::AcquireLocked(std::unique_lock<std::mutex>& lock,
     // acquisition, not per spurious wakeup.
     if (!hit_wait_site) {
       hit_wait_site = true;
+      if (wait_timeout_ > std::chrono::microseconds(0)) {
+        wait_deadline = Deadline::After(wait_timeout_);
+      }
       lock.unlock();
       Status fp = SOPR_FAILPOINT("lock.wait");
       if (fp.ok()) {
@@ -129,9 +137,45 @@ Status LockManager::AcquireLocked(std::unique_lock<std::mutex>& lock,
     }
     ++waiting_;
     cv_.notify_all();  // wake WaitForWaiters barriers
-    cv_.wait(lock);
+    // Bounded park: wait_until against the earlier of the lock-wait
+    // deadline and the ambient cancel deadline, shortened to the poll
+    // quantum when an asynchronous kill token must be noticed (tokens
+    // have no cv of their own). Unbounded only when nothing bounds it.
+    const Deadline bound = Deadline::Earlier(
+        wait_deadline,
+        cancel != nullptr ? cancel->deadline() : Deadline::Never());
+    const bool poll = cancel != nullptr && cancel->has_tokens();
+    if (!bound.has_deadline() && !poll) {
+      cv_.wait(lock);
+    } else {
+      CancelClock::time_point until =
+          bound.has_deadline() ? bound.at() : CancelClock::time_point::max();
+      if (poll) {
+        until = std::min(until, CancelClock::now() + kCancelPollQuantum);
+      }
+      cv_.wait_until(lock, until);
+    }
     --waiting_;
     waits_for_.erase(txn);
+    // Give up? Attribute in priority order: an explicit kill beats a
+    // deadline, the ambient budget beats the per-wait bound.
+    Status interrupted =
+        cancel != nullptr ? cancel->Check("lock wait") : Status::OK();
+    if (interrupted.ok() && wait_deadline.Expired()) {
+      interrupted = Status::LockTimeout(
+          "lock wait on " + key.table + " (" + LockModeName(mode) +
+          ") exceeded the lock-wait timeout; transaction rolled back");
+    }
+    if (!interrupted.ok()) {
+      // Edges are already erased above, under the mutex — no orphan
+      // wait-for edges survive for later cycle searches to trip on.
+      wait_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      lock.unlock();
+      Status fp = SOPR_FAILPOINT("lock.wait.timeout");
+      lock.lock();
+      if (!fp.ok()) return fp;
+      return interrupted;
+    }
   }
 }
 
@@ -176,6 +220,11 @@ size_t LockManager::HeldKeys(uint64_t txn) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto held = held_.find(txn);
   return held == held_.end() ? 0 : held->second.size();
+}
+
+size_t LockManager::WaitEdgeCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waits_for_.size();
 }
 
 void LockManager::WaitForWaiters(size_t n) const {

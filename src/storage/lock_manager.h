@@ -2,6 +2,7 @@
 #define SOPR_STORAGE_LOCK_MANAGER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -10,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "storage/tuple_handle.h"
 
@@ -37,6 +39,16 @@ const char* LockModeName(LockMode mode);
 /// insertion runs cycle search before the thread sleeps, so the closing
 /// edge of any cycle is always examined by a live thread.
 ///
+/// Waits are bounded (docs/OVERLOAD.md): every park is a wait_until
+/// against the earlier of the manager's lock-wait timeout and the
+/// thread-ambient CancelContext's deadline, polling ambient kill tokens.
+/// A waiter that gives up removes its wait-for edges under the mutex
+/// (nothing orphaned for later cycle searches), hits the
+/// `lock.wait.timeout` site, and returns kLockTimeout — or kCancelled /
+/// kTimeout when the ambient context (session kill, statement or txn
+/// deadline) fired first. The caller rolls the transaction back exactly
+/// like a deadlock victim.
+///
 /// Keys are (table, handle) with handle 0 denoting the table-level lock
 /// (real tuple handles start at 1, storage/tuple_handle.h).
 class LockManager {
@@ -59,8 +71,25 @@ class LockManager {
   /// Releases every lock `txn` holds and wakes all waiters. Idempotent.
   void ReleaseAll(uint64_t txn);
 
+  /// Upper bound on any single lock wait. Zero = no per-wait bound (the
+  /// ambient CancelContext, if any, still bounds it). Affects waits that
+  /// start after the call.
+  void set_wait_timeout(std::chrono::microseconds timeout) {
+    std::lock_guard<std::mutex> lock(mu_);
+    wait_timeout_ = timeout;
+  }
+  std::chrono::microseconds wait_timeout() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wait_timeout_;
+  }
+
   /// Number of distinct keys `txn` currently holds locks on (tests).
   size_t HeldKeys(uint64_t txn) const;
+
+  /// Transactions with outstanding wait-for edges right now (tests: a
+  /// quiesced manager must report 0 — a timed-out waiter may leave no
+  /// orphan edges behind).
+  size_t WaitEdgeCount() const;
 
   /// Test barrier: blocks until at least `n` threads are parked inside a
   /// real conflict wait (the cv wait, not a failpoint block). Lets a
@@ -71,6 +100,11 @@ class LockManager {
   /// Total victim aborts since construction (soak accounting).
   uint64_t deadlocks() const {
     return deadlocks_.load(std::memory_order_relaxed);
+  }
+
+  /// Total waits abandoned on timeout/cancel since construction.
+  uint64_t wait_timeouts() const {
+    return wait_timeouts_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -101,7 +135,10 @@ class LockManager {
   /// each time the waiter re-evaluates its request.
   std::map<uint64_t, std::vector<uint64_t>> waits_for_;
   size_t waiting_ = 0;  // threads parked in the cv wait (test barrier)
+  /// Per-wait bound; new waits snapshot it on first block.
+  std::chrono::microseconds wait_timeout_{std::chrono::seconds(10)};
   std::atomic<uint64_t> deadlocks_{0};
+  std::atomic<uint64_t> wait_timeouts_{0};
 };
 
 }  // namespace sopr

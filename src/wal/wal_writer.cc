@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/cancel.h"
 #include "common/failpoint.h"
 
 namespace sopr {
@@ -348,13 +349,39 @@ void WalWriter::LeadCohortLocked(std::unique_lock<std::mutex>* lock) {
 
 Status WalWriter::AwaitDurable(const CommitTicketPtr& ticket) {
   if (ticket == nullptr) return Status::OK();  // read-only transaction
+  const CancelContext* cancel = CancelScope::Current();
   std::unique_lock<std::mutex> lock(mu_);
   while (!ticket->done) {
     if (!leader_active_ && !staged_.empty()) {
+      // Leading is bounded work (one write + one fsync) and makes the
+      // whole cohort durable — never skipped for cancellation, or a
+      // cancelled waiter could abandon OTHER sessions' staged batches.
       LeadCohortLocked(&lock);
-    } else {
-      cv_.wait(lock);
+      continue;
     }
+    if (cancel == nullptr || cancel->empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    // Another leader is mid-fsync and this waiter's budget may expire.
+    // Giving up does NOT unstage the batch — it is already on the queue
+    // (or in the running cohort) and a later leader/Flush completes it.
+    // So the verdict is "outcome unknown, durability pending", not
+    // "failed": the transaction is committed in memory and must NOT be
+    // rolled back or treated as a durability fault (docs/OVERLOAD.md).
+    Status interrupted = cancel->Check("durability wait");
+    if (!interrupted.ok()) {
+      return Status(interrupted.code(),
+                    "durability wait interrupted; commit outcome unknown "
+                    "(batch remains staged): " + interrupted.message());
+    }
+    const Deadline bound = cancel->deadline();
+    CancelClock::time_point until =
+        bound.has_deadline() ? bound.at() : CancelClock::time_point::max();
+    if (cancel->has_tokens()) {
+      until = std::min(until, CancelClock::now() + kCancelPollQuantum);
+    }
+    cv_.wait_until(lock, until);
   }
   return ticket->status;
 }

@@ -1,0 +1,207 @@
+// Failpoint site-name integrity (docs/FAILURE_SEMANTICS.md). The
+// registry deliberately accepts ANY site string — a typo in a test's
+// ArmBlocking (rules.comit.pre, say) arms a site no code ever hits, and the
+// schedule silently never parks. This suite closes that hole both ways:
+//
+//   1. Every site-shaped string literal in tests/ whose prefix belongs
+//      to the compiled catalog must BE in the catalog (or match a known
+//      dynamic-site pattern / explicit allowlist).
+//   2. Every catalog entry must appear literally in src/ — a site that
+//      was removed from the code but not the catalog would let chaos
+//      suites believe they attacked a place that no longer exists.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Extracts the contents of every double-quoted string literal (handles
+/// \" escapes; good enough for source files — no raw strings in this
+/// repo's tests).
+std::vector<std::string> StringLiterals(const std::string& source) {
+  std::vector<std::string> literals;
+  bool in_string = false;
+  std::string current;
+  for (size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (!in_string) {
+      if (c == '"') {
+        in_string = true;
+        current.clear();
+      }
+      continue;
+    }
+    if (c == '\\' && i + 1 < source.size()) {
+      current += source[++i];
+      continue;
+    }
+    if (c == '"') {
+      in_string = false;
+      literals.push_back(current);
+      continue;
+    }
+    current += c;
+  }
+  return literals;
+}
+
+bool IsSiteShaped(const std::string& token) {
+  if (token.empty() || !std::islower(static_cast<unsigned char>(token[0]))) {
+    return false;
+  }
+  // #include paths ("common/cancel.h") flush at '/' and would leave a
+  // "cancel.h" token whose prefix collides with a real site family.
+  for (const char* ext : {".h", ".cc", ".cpp", ".json", ".md", ".txt"}) {
+    const size_t n = std::string(ext).size();
+    if (token.size() > n && token.compare(token.size() - n, n, ext) == 0) {
+      return false;
+    }
+  }
+  bool has_dot = false;
+  for (size_t i = 0; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c == '.') {
+      // No leading/trailing/doubled dots.
+      if (i == 0 || i + 1 == token.size() || token[i + 1] == '.') {
+        return false;
+      }
+      has_dot = true;
+    } else if (!std::islower(static_cast<unsigned char>(c)) &&
+               !std::isdigit(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return has_dot;
+}
+
+/// Splits a literal into site-candidate tokens: spec strings like
+/// "a.site=once;b.site=nth:2" yield both names, plain site literals
+/// yield themselves.
+std::vector<std::string> SiteTokens(const std::string& literal) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (IsSiteShaped(current)) tokens.push_back(current);
+    current.clear();
+  };
+  for (const char c : literal) {
+    if (std::islower(static_cast<unsigned char>(c)) ||
+        std::isdigit(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      current += c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<fs::path> SourceFiles(const fs::path& root,
+                                  const std::set<std::string>& extensions) {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() &&
+        extensions.count(entry.path().extension().string()) > 0) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(FailpointSiteIntegrity, EveryTestReferencedSiteIsInTheCatalog) {
+  const auto& known = FailpointRegistry::KnownSites();
+  const std::set<std::string> catalog(known.begin(), known.end());
+  ASSERT_FALSE(catalog.empty());
+
+  // Prefixes the catalog claims (e.g. "rules", "wal"): only tokens under
+  // these prefixes are judged, so SQL column references like "accts.bal"
+  // in test strings are never mistaken for sites.
+  std::set<std::string> prefixes;
+  for (const auto& site : catalog) {
+    prefixes.insert(site.substr(0, site.find('.')));
+  }
+
+  // Legitimately uncatalogued names:
+  //   server.pin.acquire — a pure sync point inside PinSnapshot, whose
+  //     failures are deliberately swallowed (a pin cannot fail), so the
+  //     chaos catalog excludes it by design (commit_scheduler.cc).
+  const std::set<std::string> allowlist = {"server.pin.acquire"};
+  // Dynamic per-table wait sites: "lock.wait." + <table> is constructed
+  // at runtime (lock_manager.cc), so any name under this prefix is valid.
+  const std::string kDynamicWaitPrefix = "lock.wait.";
+
+  const fs::path tests_dir(SOPR_TESTS_SOURCE_DIR);
+  ASSERT_TRUE(fs::is_directory(tests_dir)) << tests_dir;
+  std::map<std::string, std::vector<std::string>> unknown;  // site -> files
+  size_t checked = 0;
+  for (const fs::path& file : SourceFiles(tests_dir, {".cc", ".h"})) {
+    const std::string source = ReadFile(file);
+    for (const std::string& literal : StringLiterals(source)) {
+      for (const std::string& token : SiteTokens(literal)) {
+        const std::string prefix = token.substr(0, token.find('.'));
+        if (prefixes.count(prefix) == 0) continue;
+        ++checked;
+        if (catalog.count(token) > 0) continue;
+        if (allowlist.count(token) > 0) continue;
+        if (token.compare(0, kDynamicWaitPrefix.size(), kDynamicWaitPrefix) ==
+            0) {
+          continue;
+        }
+        unknown[token].push_back(file.filename().string());
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u) << "the scan found no site references at all — "
+                            "the extraction is broken";
+  for (const auto& [site, files] : unknown) {
+    std::string where;
+    for (const auto& f : files) where += f + " ";
+    ADD_FAILURE() << "test sources reference failpoint site \"" << site
+                  << "\" (" << where
+                  << ") which the compiled catalog does not know — a typo "
+                     "here arms a site nothing ever hits";
+  }
+}
+
+TEST(FailpointSiteIntegrity, EveryCatalogEntryIsHitSomewhereInSrc) {
+  const fs::path src_dir(SOPR_SRC_SOURCE_DIR);
+  ASSERT_TRUE(fs::is_directory(src_dir)) << src_dir;
+  // Concatenate every non-catalog source; the catalog file itself would
+  // trivially contain each name.
+  std::string all;
+  for (const fs::path& file : SourceFiles(src_dir, {".cc", ".h"})) {
+    if (file.filename() == "failpoint.cc") continue;
+    all += ReadFile(file);
+  }
+  for (const std::string& site : FailpointRegistry::KnownSites()) {
+    EXPECT_NE(all.find("\"" + site + "\""), std::string::npos)
+        << "catalog entry \"" << site
+        << "\" is hit nowhere in src/ — stale catalog entries let chaos "
+           "suites believe they attacked code that no longer exists";
+  }
+}
+
+}  // namespace
+}  // namespace sopr
