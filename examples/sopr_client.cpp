@@ -1,0 +1,144 @@
+// Command-line client for the network front-end (docs/NETWORK.md).
+// Speaks the length-prefixed binary wire protocol through net::Client:
+// connect + handshake, execute scripts (single or pipelined), snapshot
+// reads against a pinned LSN, KILL a session, and dump server stats.
+//
+// Build & run:
+//   cmake --build build
+//   ./build/examples/sopr_client --port 5432 exec "insert into t values (1)"
+//
+// Commands:
+//   exec SQL...           each SQL argument is one autocommit script,
+//                         pipelined in one burst (one group-commit cohort)
+//   query SQL             snapshot read, printed as a table
+//   pinned SQL...         pin a snapshot, run every SQL at that LSN
+//   kill SESSION_ID       cancel a session (its statement rolls back)
+//   stats                 front-end + group-commit counters
+//   ping                  round-trip check
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "query/result_set.h"
+
+namespace {
+
+void Usage() {
+  std::cerr
+      << "usage: sopr_client [--host H] [--port P] COMMAND [ARGS...]\n"
+         "  exec SQL...     pipelined autocommit scripts\n"
+         "  query SQL       snapshot read\n"
+         "  pinned SQL...   repeated reads at one pinned snapshot\n"
+         "  kill SESSION_ID cancel a session\n"
+         "  stats           server counters\n"
+         "  ping            round-trip check\n";
+  std::exit(2);
+}
+
+int Fail(const sopr::Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sopr::net::Client::Options options;
+  options.client_name = "sopr_client-cli";
+
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (options.port == 0 || args.empty()) Usage();
+
+  auto client = sopr::net::Client::Connect(options);
+  if (!client.ok()) return Fail(client.status());
+  sopr::net::Client& c = *client.value();
+
+  const std::string command = args.front();
+  args.erase(args.begin());
+  int rc = 0;
+
+  if (command == "exec") {
+    if (args.empty()) Usage();
+    auto outcomes = c.ExecutePipelined(args);
+    if (!outcomes.ok()) return Fail(outcomes.status());
+    for (size_t i = 0; i < outcomes.value().size(); ++i) {
+      const auto& o = outcomes.value()[i];
+      if (o.status.ok()) {
+        std::cout << "[" << i << "] ok";
+        if (o.commit_lsn != 0) std::cout << " commit_lsn=" << o.commit_lsn;
+        std::cout << "\n";
+      } else {
+        std::cout << "[" << i << "] " << o.status << "\n";
+        rc = 1;
+      }
+    }
+  } else if (command == "query") {
+    if (args.size() != 1) Usage();
+    auto result = c.Query(args[0]);
+    if (!result.ok()) return Fail(result.status());
+    std::cout << sopr::FormatResult(result.value());
+  } else if (command == "pinned") {
+    if (args.empty()) Usage();
+    auto lsn = c.Pin();
+    if (!lsn.ok()) return Fail(lsn.status());
+    std::cout << "pinned snapshot at lsn " << lsn.value() << "\n";
+    for (const std::string& sql : args) {
+      auto result = c.QueryAt(sql);
+      if (!result.ok()) return Fail(result.status());
+      std::cout << sopr::FormatResult(result.value());
+    }
+    (void)c.Unpin();
+  } else if (command == "kill") {
+    if (args.size() != 1) Usage();
+    sopr::Status killed =
+        c.Kill(std::strtoull(args[0].c_str(), nullptr, 10), "sopr_client kill");
+    if (!killed.ok()) return Fail(killed);
+    std::cout << "killed session " << args[0] << "\n";
+  } else if (command == "stats") {
+    auto stats = c.Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    const auto& s = stats.value();
+    std::cout << "sessions: " << s.num_sessions << "/" << s.max_sessions
+              << "\nconnections: active=" << s.connections_active
+              << " accepted=" << s.connections_accepted
+              << " protocol_errors=" << s.protocol_errors
+              << "\nadmission: admitted=" << s.admitted
+              << " shed_queue_full=" << s.shed_queue_full
+              << " shed_queue_deadline=" << s.shed_queue_deadline
+              << " inflight=" << s.admission_inflight
+              << " queued=" << s.admission_queued
+              << "\ngroup_commit: cohorts=" << s.group_commit.cohorts
+              << " batches=" << s.group_commit.batches
+              << " largest_cohort=" << s.group_commit.largest_cohort << "\n";
+    for (const auto& sess : s.sessions) {
+      std::cout << "  session " << sess.id << ": commits=" << sess.commits
+                << " aborts=" << sess.aborts
+                << " statements=" << sess.statements
+                << " inflight=" << sess.inflight_statements
+                << (sess.killed ? " KILLED" : "") << "\n";
+    }
+  } else if (command == "ping") {
+    sopr::Status pong = c.Ping();
+    if (!pong.ok()) return Fail(pong);
+    std::cout << "pong (session " << c.session_id() << ")\n";
+  } else {
+    Usage();
+  }
+
+  c.Close();
+  return rc;
+}

@@ -1,0 +1,95 @@
+// Standalone network server (docs/NETWORK.md): opens (or recovers) a
+// WAL-backed engine and serves it over the TCP wire protocol until
+// SIGINT/SIGTERM. The minimal deployment shape — everything interesting
+// lives in net::Server and server::SessionManager; this binary only
+// parses flags and waits.
+//
+// Build & run:
+//   cmake --build build
+//   ./build/examples/sopr_server --port 5432 --wal-dir /tmp/sopr
+//   ./build/examples/sopr_client --port 5432 exec "create table t (id int)"
+//
+// Flags:
+//   --port P          listen port (0 = ephemeral, printed on stdout)
+//   --wal-dir DIR     WAL directory (created/recovered; required)
+//   --workers N       SQL worker threads (default 4)
+//   --max-sessions N  session-pool bound (default 256)
+//   --fsync-off       skip WAL fsyncs (benchmarks / throwaway data)
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <semaphore.h>
+#include <string>
+
+#include "engine/engine.h"
+#include "net/server.h"
+#include "server/session_manager.h"
+
+namespace {
+
+sem_t g_stop;
+
+void OnSignal(int) { sem_post(&g_stop); }
+
+void Usage() {
+  std::cerr << "usage: sopr_server --wal-dir DIR [--port P] [--workers N]\n"
+               "                   [--max-sessions N] [--fsync-off]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sopr::RuleEngineOptions engine_options;
+  sopr::net::Server::Options server_options;
+  size_t max_sessions = 256;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      server_options.loop.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--wal-dir" && i + 1 < argc) {
+      engine_options.wal_dir = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      server_options.workers = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      max_sessions = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--fsync-off") {
+      engine_options.wal_fsync = sopr::WalFsyncPolicy::kOff;
+    } else {
+      Usage();
+    }
+  }
+  if (engine_options.wal_dir.empty()) Usage();
+
+  auto manager = sopr::server::SessionManager::Open(engine_options);
+  if (!manager.ok()) {
+    std::cerr << "open: " << manager.status() << "\n";
+    return 1;
+  }
+  manager.value()->set_max_sessions(max_sessions);
+
+  auto server =
+      sopr::net::Server::Start(manager.value().get(), server_options);
+  if (!server.ok()) {
+    std::cerr << "listen: " << server.status() << "\n";
+    return 1;
+  }
+  std::cout << "sopr_server listening on port " << server.value()->port()
+            << " (wal-dir " << engine_options.wal_dir << ", "
+            << server_options.workers << " workers, " << max_sessions
+            << " max sessions)\n"
+            << std::flush;
+
+  sem_init(&g_stop, 0, 0);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (sem_wait(&g_stop) != 0) {
+  }
+
+  std::cout << "shutting down\n";
+  server.value()->Shutdown();
+  return 0;
+}

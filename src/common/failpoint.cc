@@ -116,6 +116,18 @@ const char* const kSiteCatalog[] = {
     "repl.promote.begin",
     "repl.promote.truncate",
     "repl.promote.attach",
+    // Network front-end (src/net/event_loop.cc, docs/NETWORK.md).
+    // `net.accept` fires after a TCP accept succeeds but before the
+    // connection is registered — an armed failure refuses it at the door
+    // (clean close, engine untouched). `net.frame.decode` fires per
+    // decoded frame; an armed failure is reported to the client as a
+    // protocol error followed by an orderly close. `net.conn.write`
+    // fires before each socket write; an armed failure models a dead
+    // peer (EPIPE): the connection tears down and any in-flight
+    // statement for it is cancelled.
+    "net.accept",
+    "net.frame.decode",
+    "net.conn.write",
 };
 
 Status ParseMode(const std::string& text, FailpointRegistry::Trigger* out) {

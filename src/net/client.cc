@@ -1,0 +1,256 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sopr {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(const Options& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int on = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + options.host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+
+  auto client = std::unique_ptr<Client>(new Client(fd));
+  PayloadWriter hello;
+  hello.U32(kProtocolVersion);
+  hello.Str(options.client_name);
+  auto reply = client->RoundTrip(FrameType::kHello, hello.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kHelloOk) {
+    // Handshake refusal (session limit, version mismatch): hand the
+    // server's structured error up; retry_after_ms_ is already stashed,
+    // but the Client itself is dead — the server closed after sending.
+    Status refused = client->ErrorFrom(reply.value());
+    uint32_t hint = client->retry_after_ms_;
+    if (hint != 0 && refused.message().find("retry-after-ms=") ==
+                         std::string::npos) {
+      refused = Status(refused.code(), refused.message() +
+                                           " retry-after-ms=" +
+                                           std::to_string(hint));
+    }
+    return refused;
+  }
+  PayloadReader reader(reply.value().payload);
+  auto version = reader.U32();
+  auto sid = version.ok() ? reader.U64() : Result<uint64_t>(version.status());
+  if (!sid.ok()) return sid.status();
+  client->session_id_ = sid.value();
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  (void)SendFrame(FrameType::kGoodbye, std::string_view());
+  // Wait for the server's close so in-flight responses drain: read until
+  // EOF, discarding frames.
+  char buf[4096];
+  while (::read(fd_, buf, sizeof(buf)) > 0) {
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::Abort() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::Unavailable("client closed");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::SendFrame(FrameType type, std::string_view payload) {
+  return SendRaw(EncodeFrame(type, payload));
+}
+
+Result<Frame> Client::ReadFrame() {
+  if (fd_ < 0) return Status::Unavailable("client closed");
+  while (true) {
+    auto next = decoder_.Next();
+    if (!next.ok()) return next.status();
+    if (next.value().has_value()) return std::move(*next.value());
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, std::string_view payload) {
+  Status sent = SendFrame(type, payload);
+  if (!sent.ok()) return sent;
+  return ReadFrame();
+}
+
+Status Client::ErrorFrom(const Frame& frame) {
+  if (frame.type == FrameType::kError) {
+    uint32_t hint = 0;
+    Status status = DecodeError(frame.payload, &hint);
+    retry_after_ms_ = hint;
+    return status;
+  }
+  return Status::Internal(
+      "unexpected response frame type " +
+      std::to_string(static_cast<unsigned>(frame.type)));
+}
+
+Result<uint64_t> Client::Execute(const std::string& sql) {
+  PayloadWriter w;
+  w.Str(sql);
+  auto reply = RoundTrip(FrameType::kExecute, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kOk) return ErrorFrom(reply.value());
+  PayloadReader reader(reply.value().payload);
+  return reader.U64();
+}
+
+Result<std::vector<Client::ExecOutcome>> Client::ExecutePipelined(
+    const std::vector<std::string>& scripts) {
+  // Write every request before reading anything — that burst is what the
+  // server coalesces into one staged run / one group-commit cohort.
+  std::string burst;
+  for (const std::string& sql : scripts) {
+    PayloadWriter w;
+    w.Str(sql);
+    AppendFrame(FrameType::kExecute, w.bytes(), &burst);
+  }
+  Status sent = SendRaw(burst);
+  if (!sent.ok()) return sent;
+
+  std::vector<ExecOutcome> outcomes;
+  outcomes.reserve(scripts.size());
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    auto reply = ReadFrame();
+    if (!reply.ok()) return reply.status();
+    ExecOutcome outcome;
+    if (reply.value().type == FrameType::kOk) {
+      PayloadReader reader(reply.value().payload);
+      auto lsn = reader.U64();
+      if (!lsn.ok()) return lsn.status();
+      outcome.commit_lsn = lsn.value();
+    } else {
+      outcome.status = ErrorFrom(reply.value());
+      if (outcome.status.ok()) {
+        return Status::Internal("kError frame decoded to an OK status");
+      }
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+Result<QueryResult> Client::Query(const std::string& sql) {
+  PayloadWriter w;
+  w.Str(sql);
+  auto reply = RoundTrip(FrameType::kQuery, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kRows) return ErrorFrom(reply.value());
+  PayloadReader reader(reply.value().payload);
+  return reader.GetResult();
+}
+
+Result<uint64_t> Client::Pin() {
+  auto reply = RoundTrip(FrameType::kPin, std::string_view());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kOk) return ErrorFrom(reply.value());
+  PayloadReader reader(reply.value().payload);
+  auto commit_lsn = reader.U64();
+  if (!commit_lsn.ok()) return commit_lsn.status();
+  return reader.U64();  // the pin LSN rides in the second slot
+}
+
+Result<QueryResult> Client::QueryAt(const std::string& sql) {
+  PayloadWriter w;
+  w.Str(sql);
+  auto reply = RoundTrip(FrameType::kQueryAt, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kRows) return ErrorFrom(reply.value());
+  PayloadReader reader(reply.value().payload);
+  return reader.GetResult();
+}
+
+Status Client::Unpin() {
+  auto reply = RoundTrip(FrameType::kUnpin, std::string_view());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kOk) return ErrorFrom(reply.value());
+  return Status::OK();
+}
+
+Status Client::Kill(uint64_t session_id, const std::string& reason) {
+  PayloadWriter w;
+  w.U64(session_id);
+  w.Str(reason);
+  auto reply = RoundTrip(FrameType::kKill, w.bytes());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kOk) return ErrorFrom(reply.value());
+  return Status::OK();
+}
+
+Result<WireStats> Client::Stats() {
+  auto reply = RoundTrip(FrameType::kStats, std::string_view());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kStatsReply) {
+    return ErrorFrom(reply.value());
+  }
+  return DecodeStats(reply.value().payload);
+}
+
+Status Client::Ping() {
+  auto reply = RoundTrip(FrameType::kPing, std::string_view());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type != FrameType::kPong) return ErrorFrom(reply.value());
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace sopr

@@ -1,0 +1,109 @@
+#ifndef SOPR_NET_CLIENT_H_
+#define SOPR_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace sopr {
+namespace net {
+
+/// Blocking client for the wire protocol (docs/NETWORK.md) — the library
+/// behind examples/sopr_client, the network tests, and bench_network.
+///
+/// One Client is one connection is one server-side session: Connect()
+/// performs the kHello handshake (so a max_sessions refusal surfaces as
+/// Connect's error, retry hint included), and the session dies with the
+/// socket. Not thread-safe — a connection is a single-threaded handle on
+/// both ends of the wire.
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    std::string client_name = "sopr-client";
+  };
+
+  /// Connects and completes the handshake. A server-side session-limit
+  /// refusal returns the structured kResourceExhausted error here; its
+  /// retry-after hint is in retry_after_ms().
+  static Result<std::unique_ptr<Client>> Connect(const Options& options);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+
+  /// Executes one autocommit script; returns its commit LSN (0 for reads
+  /// and DDL). A kError response decodes back into the server's Status.
+  Result<uint64_t> Execute(const std::string& sql);
+
+  struct ExecOutcome {
+    Status status;
+    uint64_t commit_lsn = 0;
+  };
+  /// Pipelines all scripts before reading any response: the server sees
+  /// them back-to-back, batches them into one ExecutePipelined run, and
+  /// their commits share a group-commit cohort. Returns one outcome per
+  /// script, in order; fails as a whole only on transport errors.
+  Result<std::vector<ExecOutcome>> ExecutePipelined(
+      const std::vector<std::string>& scripts);
+
+  /// Snapshot read (kQuery).
+  Result<QueryResult> Query(const std::string& sql);
+
+  /// Pins a server-side snapshot for this connection; returns its LSN.
+  /// Subsequent QueryAt calls read that frozen state until Unpin.
+  Result<uint64_t> Pin();
+  Result<QueryResult> QueryAt(const std::string& sql);
+  Status Unpin();
+
+  /// Kills a session by id (0 = this connection's own session).
+  Status Kill(uint64_t session_id, const std::string& reason);
+
+  Result<WireStats> Stats();
+  Status Ping();
+
+  /// Orderly goodbye: the server flushes pending responses, then closes.
+  /// The socket is closed locally afterwards; the Client is done.
+  void Close();
+  /// Drops the socket with no goodbye — the mid-statement-disconnect
+  /// path tests and chaos use.
+  void Abort();
+
+  bool connected() const { return fd_ >= 0; }
+  /// Retry-after hint (ms) carried by the most recent kError response;
+  /// 0 when the last error had none.
+  uint32_t retry_after_ms() const { return retry_after_ms_; }
+
+  // --- Low-level access (tests that speak raw protocol) ---
+
+  /// Writes one frame; does not read a response.
+  Status SendFrame(FrameType type, std::string_view payload);
+  /// Writes pre-encoded bytes verbatim (malformed-frame tests).
+  Status SendRaw(std::string_view bytes);
+  /// Blocks until one complete frame arrives (or the peer closes —
+  /// kUnavailable).
+  Result<Frame> ReadFrame();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  /// One request frame, one response frame.
+  Result<Frame> RoundTrip(FrameType type, std::string_view payload);
+  /// Decodes a kError response into its Status (stashing the hint);
+  /// kInternal for unexpected response types.
+  Status ErrorFrom(const Frame& frame);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  uint32_t retry_after_ms_ = 0;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace sopr
+
+#endif  // SOPR_NET_CLIENT_H_

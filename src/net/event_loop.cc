@@ -1,0 +1,426 @@
+#include "net/event_loop.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+
+namespace sopr {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> EventLoop::Listen(const Options& options,
+                                                     Handler* handler) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return Errno("socket");
+  int on = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options.bind_address);
+  }
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Errno("bind");
+    ::close(listen_fd);
+    return st;
+  }
+  if (::listen(listen_fd, options.listen_backlog) < 0) {
+    Status st = Errno("listen");
+    ::close(listen_fd);
+    return st;
+  }
+  Status nb = SetNonBlocking(listen_fd);
+  if (!nb.ok()) {
+    ::close(listen_fd);
+    return nb;
+  }
+  // Recover the actual port for ephemeral binds.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) <
+      0) {
+    Status st = Errno("getsockname");
+    ::close(listen_fd);
+    return st;
+  }
+
+  const int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) {
+    Status st = Errno("epoll_create1");
+    ::close(listen_fd);
+    return st;
+  }
+  const int wake_fd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd < 0) {
+    Status st = Errno("eventfd");
+    ::close(listen_fd);
+    ::close(epoll_fd);
+    return st;
+  }
+
+  auto loop = std::unique_ptr<EventLoop>(
+      new EventLoop(options, handler, listen_fd, epoll_fd, wake_fd,
+                    ntohs(bound.sin_port)));
+
+  // Register the two permanent fds. Connection ids start at 1, so 0 and
+  // UINT64_MAX are free to tag the listener and the wakeup fd.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = UINT64_MAX;
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, wake_fd, &ev) < 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+  return loop;
+}
+
+EventLoop::EventLoop(Options options, Handler* handler, int listen_fd,
+                     int epoll_fd, int wake_fd, uint16_t port)
+    : options_(std::move(options)),
+      handler_(handler),
+      listen_fd_(listen_fd),
+      epoll_fd_(epoll_fd),
+      wake_fd_(wake_fd),
+      port_(port) {}
+
+EventLoop::~EventLoop() {
+  Stop();
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+  ::close(listen_fd_);
+}
+
+void EventLoop::Start() {
+  if (running_.exchange(true)) return;
+  stop_requested_.store(false);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void EventLoop::Stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  Wake();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  (void)n;  // EAGAIN means a wakeup is already pending — good enough
+}
+
+void EventLoop::Send(uint64_t conn_id, std::string bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_.push_back({ControlOp::kSend, conn_id, std::move(bytes)});
+  }
+  Wake();
+}
+
+void EventLoop::CloseConnection(uint64_t conn_id, bool after_flush) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_.push_back(
+        {after_flush ? ControlOp::kCloseAfterFlush : ControlOp::kClose,
+         conn_id, std::string()});
+  }
+  Wake();
+}
+
+void EventLoop::SetReadPaused(uint64_t conn_id, bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    control_.push_back({paused ? ControlOp::kPause : ControlOp::kResume,
+                        conn_id, std::string()});
+  }
+  Wake();
+}
+
+EventLoop::Counters EventLoop::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 128;
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable epoll failure; Stop() tears down below
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == UINT64_MAX) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      if (tag == 0) {
+        AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // torn down earlier this batch
+      Conn* conn = &it->second;
+      const uint32_t mask = events[i].events;
+      if (mask & (EPOLLHUP | EPOLLERR)) {
+        Teardown(tag, Status::OK());  // peer went away
+        continue;
+      }
+      if (mask & EPOLLOUT) {
+        WriteReady(tag, conn);
+        if (conns_.find(tag) == conns_.end()) continue;
+      }
+      if (mask & (EPOLLIN | EPOLLRDHUP)) {
+        ReadReady(tag, conn);
+      }
+    }
+    HandleControlOps();
+  }
+  // Teardown every remaining connection so the handler sees a close for
+  // each (workers may still hold ids; their sends become no-ops).
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) Teardown(id, Status::OK());
+}
+
+void EventLoop::HandleControlOps() {
+  std::deque<ControlOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops.swap(control_);
+  }
+  for (ControlOp& op : ops) {
+    auto it = conns_.find(op.conn_id);
+    if (it == conns_.end()) continue;  // connection already gone
+    Conn* conn = &it->second;
+    switch (op.kind) {
+      case ControlOp::kSend:
+        conn->output.append(op.bytes);
+        if (conn->output.size() > options_.output_hard_cap) {
+          Teardown(op.conn_id,
+                   Status::ResourceExhausted(
+                       "connection dropped: output buffer exceeded " +
+                       std::to_string(options_.output_hard_cap) + " bytes"));
+          break;
+        }
+        WriteReady(op.conn_id, conn);
+        break;
+      case ControlOp::kClose:
+        Teardown(op.conn_id, Status::OK());
+        break;
+      case ControlOp::kCloseAfterFlush:
+        conn->close_after_flush = true;
+        WriteReady(op.conn_id, conn);
+        break;
+      case ControlOp::kPause:
+        conn->read_paused = true;
+        UpdateInterest(op.conn_id, conn);
+        break;
+      case ControlOp::kResume:
+        conn->read_paused = false;
+        UpdateInterest(op.conn_id, conn);
+        break;
+    }
+  }
+}
+
+void EventLoop::AcceptReady() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.accept_failures;
+      return;
+    }
+    // Chaos: an injected accept failure refuses the connection at the
+    // door — the client sees a clean close, the engine sees nothing.
+    if (!SOPR_FAILPOINT("net.accept").ok()) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.accept_failures;
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof(on));
+
+    const uint64_t id = next_conn_id_++;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLRDHUP;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conns_.emplace(id, std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.accepted;
+      counters_.active = conns_.size();
+    }
+    handler_->OnOpen(id);
+  }
+}
+
+void EventLoop::ReadReady(uint64_t conn_id, Conn* conn) {
+  char buf[kReadChunk];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Teardown(conn_id, Errno("read"));
+      return;
+    }
+    if (n == 0) {
+      // Peer closed. Anything buffered but incomplete is a truncated
+      // frame — not an error by itself, the client just went away.
+      Teardown(conn_id, Status::OK());
+      return;
+    }
+    conn->decoder.Feed(buf, static_cast<size_t>(n));
+    // Decode every complete frame before reading more: a pipelined burst
+    // arrives as one read and must dispatch as individual frames.
+    while (true) {
+      auto next = conn->decoder.Next(options_.max_frame_payload);
+      Status decode = next.ok() ? SOPR_FAILPOINT("net.frame.decode")
+                                : next.status();
+      if (!decode.ok()) {
+        // Oversized header (or injected decode fault): answer with one
+        // error frame and close — the stream cannot be resynchronized.
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.protocol_errors;
+        }
+        conn->output.append(EncodeFrame(
+            FrameType::kError,
+            EncodeError(Status::InvalidArgument("protocol error: " +
+                                                decode.message()),
+                        0)));
+        conn->close_after_flush = true;
+        WriteReady(conn_id, conn);
+        return;
+      }
+      if (!next.value().has_value()) break;
+      handler_->OnFrame(conn_id, std::move(*next.value()));
+      // The handler may have paused reading (dispatch backpressure) or
+      // closed the connection.
+      if (conns_.find(conn_id) == conns_.end()) return;
+    }
+    if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
+    if (conn->read_paused || conn->output_paused_read) break;
+  }
+  UpdateInterest(conn_id, conn);
+}
+
+void EventLoop::WriteReady(uint64_t conn_id, Conn* conn) {
+  while (!conn->output.empty()) {
+    Status inject = SOPR_FAILPOINT("net.conn.write");
+    if (!inject.ok()) {
+      // An injected write fault models a dead peer: the bytes cannot be
+      // delivered, so the connection is torn down (cancelling any
+      // statement still running for it, exactly like a real EPIPE).
+      Teardown(conn_id, inject);
+      return;
+    }
+    const ssize_t n =
+        ::write(conn->fd, conn->output.data(), conn->output.size());
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Teardown(conn_id, Errno("write"));
+      return;
+    }
+    conn->output.erase(0, static_cast<size_t>(n));
+  }
+  if (conn->output.empty() && conn->close_after_flush) {
+    Teardown(conn_id, Status::OK());
+    return;
+  }
+  // Output-watermark backpressure: stop reading new requests while the
+  // peer is slow to drain responses; resume below half the mark.
+  if (conn->output.size() > options_.output_high_watermark) {
+    conn->output_paused_read = true;
+  } else if (conn->output.size() < options_.output_high_watermark / 2) {
+    conn->output_paused_read = false;
+  }
+  conn->want_write = !conn->output.empty();
+  UpdateInterest(conn_id, conn);
+}
+
+void EventLoop::UpdateInterest(uint64_t conn_id, Conn* conn) {
+  epoll_event ev{};
+  ev.data.u64 = conn_id;
+  ev.events = EPOLLRDHUP;  // always watch for peer close
+  if (!conn->read_paused && !conn->output_paused_read) ev.events |= EPOLLIN;
+  if (conn->want_write) ev.events |= EPOLLOUT;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void EventLoop::Teardown(uint64_t conn_id, const Status& why) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  const int fd = it->second.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.closed;
+    counters_.active = conns_.size();
+  }
+  handler_->OnClose(conn_id, why);
+}
+
+}  // namespace net
+}  // namespace sopr

@@ -1,0 +1,157 @@
+#ifndef SOPR_NET_EVENT_LOOP_H_
+#define SOPR_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace sopr {
+namespace net {
+
+/// Single-threaded epoll reactor (docs/NETWORK.md): owns the listening
+/// socket, every connection fd, and their input/output buffers. All
+/// socket I/O happens on the loop thread; workers interact with it only
+/// through the thread-safe Send / CloseConnection / SetReadPaused
+/// entry points, which enqueue control operations and wake the loop via
+/// an eventfd.
+///
+/// Responsibilities split (vs net::Server): the loop knows bytes and
+/// frames — nonblocking accept, edge-level read, incremental frame
+/// decoding, write flushing with backpressure, teardown. It knows
+/// nothing of sessions or SQL; every decoded frame is handed to the
+/// Handler (on the loop thread — handlers must not block; the Server's
+/// handler only queues work for its worker pool).
+class EventLoop {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral; see EventLoop::port()
+    int listen_backlog = 511;
+    size_t max_frame_payload = kMaxPayloadBytes;
+    /// Write backpressure: above the high watermark the loop stops
+    /// READING from the connection (a client that does not drain its
+    /// responses eventually blocks in its own send path — TCP's own
+    /// flow control, surfaced). Reading resumes below half the mark.
+    size_t output_high_watermark = 4u << 20;
+    /// A connection whose output buffer exceeds the hard cap is dropped:
+    /// it has stopped reading entirely and the buffer would otherwise
+    /// grow without bound.
+    size_t output_hard_cap = 64u << 20;
+  };
+
+  struct Handler {
+    virtual ~Handler() = default;
+    /// A new connection completed accept. Loop thread.
+    virtual void OnOpen(uint64_t conn_id) = 0;
+    /// One decoded frame. Loop thread — must not block.
+    virtual void OnFrame(uint64_t conn_id, Frame frame) = 0;
+    /// The connection is gone (peer closed, I/O error, protocol error,
+    /// server-initiated close). Last callback for this id; `why` is OK
+    /// for an orderly close.
+    virtual void OnClose(uint64_t conn_id, const Status& why) = 0;
+  };
+
+  /// Binds and listens (no thread yet — Start()). The bound port is
+  /// available immediately, so tests can Listen on port 0 and connect
+  /// to port() after Start.
+  static Result<std::unique_ptr<EventLoop>> Listen(const Options& options,
+                                                   Handler* handler);
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void Start();
+  /// Stops the loop thread and closes every connection (emitting OnClose
+  /// for each). Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+
+  // --- Thread-safe entry points (any thread) ---
+
+  /// Queues response bytes for `conn_id` and wakes the loop to flush.
+  /// Silently drops if the connection is already gone (the client that
+  /// would have read the response no longer exists).
+  void Send(uint64_t conn_id, std::string bytes);
+  /// Closes `conn_id`. With `after_flush`, pending output is written
+  /// first (the orderly kGoodbye / handshake-refusal path); otherwise
+  /// the close is immediate.
+  void CloseConnection(uint64_t conn_id, bool after_flush);
+  /// Input backpressure for the dispatch layer: while paused, the loop
+  /// keeps watching for peer close (EPOLLRDHUP) but reads no more
+  /// request bytes from this connection.
+  void SetReadPaused(uint64_t conn_id, bool paused);
+
+  struct Counters {
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t accept_failures = 0;  // incl. injected net.accept faults
+    size_t active = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string output;
+    bool read_paused = false;       // dispatch-layer backpressure
+    bool output_paused_read = false;  // output watermark backpressure
+    bool close_after_flush = false;
+    bool want_write = false;  // EPOLLOUT currently registered
+  };
+
+  EventLoop(Options options, Handler* handler, int listen_fd, int epoll_fd,
+            int wake_fd, uint16_t port);
+  void Run();
+  void HandleControlOps();
+  void AcceptReady();
+  void ReadReady(uint64_t conn_id, Conn* conn);
+  void WriteReady(uint64_t conn_id, Conn* conn);
+  /// Recomputes the epoll interest set from the Conn flags.
+  void UpdateInterest(uint64_t conn_id, Conn* conn);
+  void Teardown(uint64_t conn_id, const Status& why);
+  void Wake();
+
+  const Options options_;
+  Handler* const handler_;
+  const int listen_fd_;
+  const int epoll_fd_;
+  const int wake_fd_;
+  const uint16_t port_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  /// Connections live on the loop thread only.
+  std::unordered_map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  /// Cross-thread mailbox: (conn_id, op). Bytes to send, closes, pause
+  /// toggles. Drained by the loop thread on wakeup.
+  struct ControlOp {
+    enum Kind { kSend, kClose, kCloseAfterFlush, kPause, kResume } kind;
+    uint64_t conn_id;
+    std::string bytes;
+  };
+  mutable std::mutex mu_;
+  std::deque<ControlOp> control_;
+  Counters counters_;  // guarded by mu_ (written by loop, read by any)
+};
+
+}  // namespace net
+}  // namespace sopr
+
+#endif  // SOPR_NET_EVENT_LOOP_H_

@@ -1,0 +1,131 @@
+#ifndef SOPR_NET_SERVER_H_
+#define SOPR_NET_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "server/session_manager.h"
+
+namespace sopr {
+namespace net {
+
+/// The network front-end (docs/NETWORK.md): multiplexes every TCP
+/// connection accepted by the EventLoop onto the SessionManager's
+/// bounded session pool and a bounded worker pool.
+///
+/// Lifecycle of a connection:
+///   accept -> kHello handshake -> SessionManager::CreateSession
+///     (a max_sessions refusal becomes a structured kError handshake
+///      response carrying the escalating retry-after hint, then close)
+///   -> request frames queue per connection; a worker drains one
+///      connection's queue at a time (the Session threading contract:
+///      one session, one driving thread), so a pipelined run of EXECUTE
+///      frames goes through Session::ExecutePipelined and rides one (or
+///      few) group-commit cohorts
+///   -> close / kKill -> Session::Cancel (the in-flight statement rolls
+///      back through the normal structural path) -> CloseSession.
+///
+/// Threading: the EventLoop thread decodes frames and runs the
+/// handshake; workers run SQL. Everything they share lives behind the
+/// server mutex or the per-connection state mutex.
+class Server {
+ public:
+  struct Options {
+    EventLoop::Options loop;
+    /// Worker threads driving sessions. The bound on concurrent SQL
+    /// execution from the wire — connections beyond this simply queue.
+    size_t workers = 4;
+    /// Longest pipelined run handed to one ExecutePipelined call. Also
+    /// the per-connection request-queue length above which the loop
+    /// stops reading from the socket (input backpressure).
+    size_t max_pipeline = 64;
+    size_t max_queued_requests = 128;
+  };
+
+  /// Creates the loop (bound + listening) and the worker pool. The
+  /// manager must outlive the server.
+  static Result<std::unique_ptr<Server>> Start(
+      sopr::server::SessionManager* manager, Options options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Stops accepting, closes every connection (cancelling in-flight
+  /// statements), and joins the workers. Idempotent.
+  void Shutdown();
+
+  uint16_t port() const { return loop_->port(); }
+  EventLoop::Counters loop_counters() const { return loop_->counters(); }
+  /// Protocol errors counted at the dispatch layer (bad frame type,
+  /// malformed payload, handshake violations) — the loop counts framing
+  /// errors separately.
+  uint64_t dispatch_protocol_errors() const;
+
+ private:
+  /// Per-connection dispatch state. `mu` guards the queue and flags;
+  /// the Session pointer is written once at handshake.
+  struct Conn {
+    std::mutex mu;
+    std::deque<Frame> requests;
+    bool busy = false;        // a worker is driving this connection
+    bool scheduled = false;   // queued for a worker
+    bool closed = false;      // loop tore the socket down
+    bool hello_done = false;
+    bool read_paused = false;
+    sopr::server::Session* session = nullptr;
+    uint64_t session_id = 0;
+    /// The connection's pinned snapshot (kPin/kQueryAt/kUnpin).
+    std::optional<sopr::server::Session::Snapshot> pin;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  class LoopHandler;
+
+  Server(sopr::server::SessionManager* manager, Options options);
+  void WorkerMain();
+  /// Loop thread: handshake + enqueue; schedules the connection.
+  void OnFrame(uint64_t conn_id, Frame frame);
+  void OnOpen(uint64_t conn_id);
+  void OnClose(uint64_t conn_id, const Status& why);
+  void HandleHello(uint64_t conn_id, const ConnPtr& conn, const Frame& frame);
+  /// Worker thread: drains one scheduled connection.
+  void DriveConn(uint64_t conn_id, const ConnPtr& conn);
+  /// Executes one non-EXECUTE request (query, pin, kill, stats, ...).
+  std::string HandleRequest(uint64_t conn_id, const ConnPtr& conn,
+                            const Frame& frame);
+  std::string StatsReply() const;
+  void SendError(uint64_t conn_id, const Status& status, bool close);
+  /// Removes the session + conn map entries (worker or loop thread,
+  /// whoever gets there after both "closed" and "not busy" hold).
+  void ReapConn(uint64_t conn_id, const ConnPtr& conn);
+  void ScheduleConn(uint64_t conn_id, const ConnPtr& conn);
+
+  sopr::server::SessionManager* const manager_;
+  const Options options_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<LoopHandler> handler_;
+
+  mutable std::mutex mu_;  // guards conns_, ready_, counters
+  std::condition_variable work_cv_;
+  std::unordered_map<uint64_t, ConnPtr> conns_;
+  std::deque<uint64_t> ready_;
+  bool shutdown_ = false;
+  uint64_t dispatch_protocol_errors_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace net
+}  // namespace sopr
+
+#endif  // SOPR_NET_SERVER_H_

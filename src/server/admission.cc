@@ -103,6 +103,18 @@ Result<AdmissionController::Slot> AdmissionController::Admit() {
   return Slot(this);
 }
 
+Result<AdmissionController::Slot> AdmissionController::TryAdmit() {
+  SOPR_FAILPOINT_RETURN("server.admit.queue");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inflight_ < options_.max_inflight_writers) {
+    ++inflight_;
+    ++admitted_;
+    hint_.Reset();
+    return Slot(this);
+  }
+  return Status::Unavailable("writer admission busy (would queue)");
+}
+
 void AdmissionController::Release() {
   std::lock_guard<std::mutex> lock(mu_);
   --inflight_;

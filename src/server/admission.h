@@ -95,6 +95,17 @@ class AdmissionController {
   /// admission-layer sheds there, litmus schedules park writers there.
   Result<Slot> Admit();
 
+  /// Non-blocking admission for pipelined staging (docs/NETWORK.md): a
+  /// Slot when an in-flight slot is immediately free, kUnavailable when
+  /// this writer would have to queue. A pipelining caller holding staged
+  /// commits must NOT queue here — the slots it waits for may be its own
+  /// staged-but-unawaited transactions, which never release until it
+  /// awaits them. On kUnavailable it drains its pipeline (releasing its
+  /// slots) and falls back to the blocking Admit. Counts neither a shed
+  /// nor a queue entry; the `server.admit.queue` failpoint fires like it
+  /// does for Admit.
+  Result<Slot> TryAdmit();
+
   /// Replaces the policy. Affects future Admit calls; writers already
   /// in flight or queued finish under the counts they entered with.
   void set_options(AdmissionOptions options);

@@ -25,6 +25,19 @@ void CommitScheduler::RecordFatal(const Status& failure) {
 
 Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
     const std::vector<StmtPtr>& stmts, CommitReceipt* receipt) {
+  // Stage + await back-to-back: the single-statement path is a pipeline
+  // of one. The exclusive/shared section still ends at WAL staging, so
+  // the durability wait below overlaps the next transaction's apply.
+  StagedCommit staged;
+  Result<ExecutionTrace> trace = ExecuteBlockStaged(stmts, &staged);
+  if (!trace.ok()) return trace;
+  SOPR_RETURN_NOT_OK(AwaitCommit(&staged, receipt));
+  return trace;
+}
+
+Result<ExecutionTrace> CommitScheduler::ExecuteBlockStaged(
+    const std::vector<StmtPtr>& stmts, StagedCommit* staged,
+    AdmissionController::Slot slot) {
   SOPR_FAILPOINT_RETURN("server.submit.pre");
   if (replica()) {
     return Status::ReadOnlyReplica(
@@ -38,7 +51,12 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
   // block INCLUDING the durability wait — it is the unit of writer work
   // the server agreed to carry. Reads never pass through here, so when
   // writer admission saturates the snapshot-read path keeps serving.
-  SOPR_ASSIGN_OR_RETURN(AdmissionController::Slot slot, admission_.Admit());
+  // Pipelined callers pre-acquire their slot with TryAdmit (never queue
+  // while holding staged commits — their own unreleased slots could be
+  // what they are queueing for).
+  if (!slot.admitted()) {
+    SOPR_ASSIGN_OR_RETURN(slot, admission_.Admit());
+  }
 
   std::shared_ptr<wal::CommitTicket> ticket;
   CommitReceipt local;
@@ -86,10 +104,27 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
     return trace;
   }
 
+  staged->slot_ = std::move(slot);
+  staged->ticket_ = std::move(ticket);
+  staged->receipt_ = local;
+  staged->rolled_back_ = trace.value().rolled_back;
+  staged->pending_ = true;
+  return trace;
+}
+
+Status CommitScheduler::AwaitCommit(StagedCommit* staged,
+                                    CommitReceipt* receipt) {
+  if (!staged->pending_) {
+    return Status::InvalidArgument("AwaitCommit: nothing staged");
+  }
+  staged->pending_ = false;
+  // Release the admission slot when this resolves, success or not.
+  AdmissionController::Slot slot = std::move(staged->slot_);
+
   // Durability wait with NO lock held: the next transaction's apply phase
   // overlaps this fsync, and the WAL's cohort leader syncs once for every
   // batch staged meanwhile.
-  Status durable = engine_->AwaitDurable(ticket);
+  Status durable = engine_->AwaitDurable(staged->ticket_);
   if (!durable.ok()) {
     if (durable.code() == StatusCode::kCancelled ||
         durable.code() == StatusCode::kTimeout) {
@@ -110,17 +145,18 @@ Result<ExecutionTrace> CommitScheduler::ExecuteBlock(
   }
   // A rolled-back transaction (a rule's rollback action fired) returns
   // an OK trace but committed nothing.
-  if (trace.value().rolled_back) {
+  if (staged->rolled_back_) {
     aborted_.fetch_add(1, std::memory_order_relaxed);
   } else {
     committed_.fetch_add(1, std::memory_order_relaxed);
   }
   if (receipt != nullptr) {
-    local.commit_lsn = ticket != nullptr ? ticket->last_lsn : 0;
-    *receipt = local;
+    staged->receipt_.commit_lsn =
+        staged->ticket_ != nullptr ? staged->ticket_->last_lsn : 0;
+    *receipt = staged->receipt_;
   }
   SOPR_RETURN_NOT_OK(MaybeCheckpoint());
-  return trace;
+  return Status::OK();
 }
 
 Status CommitScheduler::ExecuteDdl(std::vector<StmtPtr> stmts) {

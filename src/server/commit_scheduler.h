@@ -87,6 +87,58 @@ class CommitScheduler {
   Result<ExecutionTrace> ExecuteBlock(const std::vector<StmtPtr>& stmts,
                                       CommitReceipt* receipt = nullptr);
 
+  // --- Pipelined commit (src/net/, docs/NETWORK.md) ---
+
+  /// A transaction that is committed in memory and staged on the WAL but
+  /// whose durability confirmation is still pending. Produced by
+  /// ExecuteBlockStaged, resolved by AwaitCommit. Move-only; carries the
+  /// writer-admission slot, which is released only when the commit is
+  /// awaited (the slot is the unit of writer work the server agreed to
+  /// carry, durability wait included). Destroying an unawaited
+  /// StagedCommit releases the slot WITHOUT resolving counters — callers
+  /// must AwaitCommit every staged transaction on the success path.
+  class StagedCommit {
+   public:
+    StagedCommit() = default;
+    StagedCommit(StagedCommit&&) = default;
+    StagedCommit& operator=(StagedCommit&&) = default;
+    /// True between a successful ExecuteBlockStaged and its AwaitCommit.
+    bool pending() const { return pending_; }
+
+   private:
+    friend class CommitScheduler;
+    AdmissionController::Slot slot_;
+    std::shared_ptr<wal::CommitTicket> ticket_;
+    CommitReceipt receipt_;
+    bool rolled_back_ = false;
+    bool pending_ = false;
+  };
+
+  /// The stage half of ExecuteBlock: admission, apply + rule fixpoint,
+  /// WAL staging, snapshot publication — everything EXCEPT the
+  /// durability wait, which moves to AwaitCommit. Between the two the
+  /// transaction is committed in memory (visible to snapshot readers and
+  /// to later transactions) but not yet durable. A pipelining caller
+  /// stages a run of transactions back-to-back and then awaits them in
+  /// order: the first AwaitCommit's cohort leader writes and fsyncs every
+  /// batch staged meanwhile, so the whole run rides one (or few)
+  /// group-commit cohorts — the wire-level amplification of the PR 3
+  /// cohort win. `slot`: a pre-acquired admission slot (TryAdmit); when
+  /// empty, this call runs normal blocking admission. On a non-OK trace
+  /// nothing is pending and the abort is counted here.
+  Result<ExecutionTrace> ExecuteBlockStaged(
+      const std::vector<StmtPtr>& stmts, StagedCommit* staged,
+      AdmissionController::Slot slot = AdmissionController::Slot());
+
+  /// The await half: blocks until the staged transaction's cohort is
+  /// durable, resolves the commit/abort counters, fills `receipt`
+  /// (commit_lsn from the WAL ticket), runs the interval checkpoint, and
+  /// releases the admission slot. Same failure domain as ExecuteBlock:
+  /// kCancelled/kTimeout = interrupted (outcome unknown to this caller
+  /// only, counted committed, server healthy); any other failure latches
+  /// the sticky fatal state.
+  Status AwaitCommit(StagedCommit* staged, CommitReceipt* receipt = nullptr);
+
   /// An all-DDL script, applied and logged under the exclusive lock
   /// (drains the group-commit queue so records stay in LSN order).
   Status ExecuteDdl(std::vector<StmtPtr> stmts);

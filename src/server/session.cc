@@ -132,6 +132,170 @@ Status Session::Execute(const std::string& sql) {
   return Status::OK();
 }
 
+std::vector<Session::PipelineResult> Session::ExecutePipelined(
+    const std::vector<std::string>& scripts) {
+  std::vector<PipelineResult> out(scripts.size());
+  if (scripts.empty()) return out;
+
+  // The whole run occupies ONE in-flight statement slot: a pipeline is
+  // still a single thread driving the session, and the slot is what
+  // enforces that contract (a racing statement on another thread is
+  // refused, not raced). Mirrors StatementScope's admission check.
+  const int inflight = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (static_cast<size_t>(inflight) > max_inflight_statements_) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    Status refused = Status::Overloaded(
+        "session " + std::to_string(id()) + " already has " +
+        std::to_string(inflight - 1) + " statement(s) in flight (limit " +
+        std::to_string(max_inflight_statements_) +
+        "); a session is a single-threaded connection handle");
+    for (PipelineResult& r : out) r.status = refused;
+    return out;
+  }
+
+  // One staged-but-unawaited transaction per consecutive DML script.
+  // Each keeps its own CancelContext alive from stage start through its
+  // durability wait so the per-script timeout means the same thing it
+  // does for sequential Execute.
+  struct PendingEntry {
+    size_t index = 0;
+    std::unique_ptr<CancelContext> ctx;
+    CommitScheduler::StagedCommit staged;
+    bool rolled_back = false;
+    std::string rollback_rule;
+  };
+  std::vector<PendingEntry> pending;
+
+  // Awaits every staged commit in stage order. The FIRST wait's cohort
+  // leader writes and fsyncs every batch staged so far in one round —
+  // that is the pipelining win; the rest find their tickets resolved.
+  auto flush = [&] {
+    for (PendingEntry& entry : pending) {
+      CancelScope scope(entry.ctx.get());
+      CommitReceipt receipt;
+      Status durable = scheduler().AwaitCommit(&entry.staged, &receipt);
+      if (!durable.ok()) {
+        ++aborts_;
+        out[entry.index].status = durable;
+        continue;
+      }
+      if (entry.rolled_back) {
+        ++aborts_;
+        out[entry.index].status = Status::RolledBack(
+            "transaction rolled back by rule " + entry.rollback_rule);
+        continue;
+      }
+      ++commits_;
+      last_receipt_ = receipt;
+      out[entry.index].receipt = receipt;
+    }
+    pending.clear();
+  };
+
+  for (size_t i = 0; i < scripts.size(); ++i) {
+    CancelTokenPtr kill = KillToken();
+    if (kill->cancelled()) {
+      out[i].status =
+          Status::Cancelled("session " + std::to_string(id()) +
+                            " was killed: " + kill->reason());
+      continue;
+    }
+    statements_.fetch_add(1, std::memory_order_relaxed);
+    auto ctx = std::make_unique<CancelContext>(CancelContext::InheritAmbient());
+    ctx->AddToken(std::move(kill), "session " + std::to_string(id()) + " kill");
+    if (statement_timeout_.count() > 0) {
+      ctx->AddDeadline(Deadline::After(statement_timeout_),
+                       "statement timeout");
+    }
+    CancelScope scope(ctx.get());
+
+    Status env = FailpointRegistry::Instance().EnsureEnvArmed();
+    if (!env.ok()) {
+      out[i].status = env;
+      continue;
+    }
+    auto parsed = Parser::ParseScript(scripts[i]);
+    if (!parsed.ok()) {
+      out[i].status = parsed.status();
+      continue;
+    }
+    std::vector<StmtPtr> stmts = std::move(parsed).value();
+
+    if (Engine::IsDdlStmt(*stmts[0])) {
+      // DDL drains the WAL group queue itself (AppendDdl flushes), so
+      // the pending tickets resolve under its exclusive section; the
+      // later AwaitCommit calls find them done. No barrier needed.
+      out[i].status = scheduler().ExecuteDdl(std::move(stmts));
+      continue;
+    }
+    bool mixed = false;
+    for (const StmtPtr& stmt : stmts) {
+      if (Engine::IsDdlStmt(*stmt)) {
+        out[i].status = Status::InvalidArgument(
+            "cannot mix DDL and DML in one script: " + stmt->ToString());
+        mixed = true;
+        break;
+      }
+    }
+    if (mixed) continue;
+
+    if (IsReadOnlyScript(stmts) && scheduler().engine()->mvcc_enabled()) {
+      // Same as Execute: one pinned snapshot, results discarded (the
+      // protocol's QUERY frame is the path that returns rows). Staged
+      // commits already published their LSNs, so the pin sees every
+      // earlier script in this run.
+      Snapshot snapshot = scheduler().PinSnapshot();
+      Status read;
+      for (const StmtPtr& stmt : stmts) {
+        const auto& select = static_cast<const SelectStmt&>(*stmt);
+        auto result = scheduler().QueryAt(snapshot, select);
+        if (!result.ok()) {
+          read = result.status();
+          break;
+        }
+      }
+      if (!read.ok()) {
+        ++aborts_;
+        out[i].status = read;
+      } else {
+        ++commits_;
+        last_receipt_ = CommitReceipt{};
+      }
+      continue;
+    }
+
+    // DML: stage without awaiting. Admission must not QUEUE while we
+    // hold staged commits — the in-flight slots we would queue for may
+    // be our own, which release only when we await. TryAdmit either
+    // hands us a free slot now or tells us to drain first.
+    AdmissionController::Slot slot;
+    auto try_slot = scheduler().admission().TryAdmit();
+    if (try_slot.ok()) {
+      slot = std::move(try_slot).value();
+    } else if (!pending.empty()) {
+      flush();
+    }
+    CommitScheduler::StagedCommit staged;
+    auto trace =
+        scheduler().ExecuteBlockStaged(stmts, &staged, std::move(slot));
+    if (!trace.ok()) {
+      ++aborts_;
+      out[i].status = trace.status();
+      continue;
+    }
+    PendingEntry entry;
+    entry.index = i;
+    entry.ctx = std::move(ctx);
+    entry.staged = std::move(staged);
+    entry.rolled_back = trace.value().rolled_back;
+    entry.rollback_rule = trace.value().rollback_rule;
+    pending.push_back(std::move(entry));
+  }
+  flush();
+  inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  return out;
+}
+
 Result<ExecutionTrace> Session::ExecuteBlock(const std::string& sql) {
   StatementScope stmt(this);
   SOPR_RETURN_NOT_OK(stmt.admitted());

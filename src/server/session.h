@@ -61,6 +61,35 @@ class Session {
   /// Like Execute for DML, returning the full execution trace.
   Result<ExecutionTrace> ExecuteBlock(const std::string& sql);
 
+  /// Per-script outcome of a pipelined run (src/net/, docs/NETWORK.md).
+  struct PipelineResult {
+    Status status;
+    /// Receipt of the script's committed transaction (commit_lsn 0 for
+    /// reads, DDL, and failures).
+    CommitReceipt receipt;
+  };
+
+  /// Pipelined execution of autocommit scripts, each its own transaction
+  /// with Execute's exact semantics, EXCEPT that DML durability waits
+  /// are deferred: a run of consecutive DML scripts stages its
+  /// transactions back-to-back and awaits them together, so the whole
+  /// run rides one (or few) group-commit cohorts instead of one fsync
+  /// per script. This is the request-pipelining path of the network
+  /// front-end — the wire protocol queues a connection's statements and
+  /// the driving worker submits them through here.
+  ///
+  /// Outcomes are per script and independent: script i+1 runs even when
+  /// script i failed (each is its own autocommit transaction — there is
+  /// no pipeline-abort state). A staged commit is visible to every later
+  /// script in the run the moment it stages (same read-your-writes as
+  /// sequential Execute); only its durability confirmation is deferred.
+  /// The statement timeout applies per script, measured from the moment
+  /// its staging starts to the end of its durability wait. A session
+  /// kill fails the in-flight script at its next cancellation point and
+  /// refuses the rest.
+  std::vector<PipelineResult> ExecutePipelined(
+      const std::vector<std::string>& scripts);
+
   /// Read-only query. With MVCC on (the SessionManager default) this
   /// pins the newest published snapshot and never blocks on — or blocks —
   /// the writer; otherwise it falls back to the shared-lock path.

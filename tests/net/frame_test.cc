@@ -1,0 +1,266 @@
+// Wire-protocol codec tests (docs/NETWORK.md): payload primitive and
+// typed round-trips, incremental frame decoding under arbitrary byte
+// fragmentation, and — the part that keeps the server alive — malformed
+// input: every truncated, oversized, or garbage payload must come back
+// as a clean kInvalidArgument from the bounds-checked reader, never an
+// out-of-bounds read or a giant allocation.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "test_util.h"
+
+namespace sopr {
+namespace net {
+namespace {
+
+TEST(PayloadCodec, PrimitiveRoundTrip) {
+  PayloadWriter w;
+  w.U8(0xab);
+  w.U32(0xdeadbeefu);
+  w.U64(0x0123456789abcdefull);
+  w.Str("hello");
+  w.Str("");  // empty strings are legal
+
+  PayloadReader r(w.bytes());
+  ASSERT_OK_AND_ASSIGN(uint8_t u8, r.U8());
+  EXPECT_EQ(u8, 0xab);
+  ASSERT_OK_AND_ASSIGN(uint32_t u32, r.U32());
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  ASSERT_OK_AND_ASSIGN(uint64_t u64, r.U64());
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  ASSERT_OK_AND_ASSIGN(std::string s, r.Str());
+  EXPECT_EQ(s, "hello");
+  ASSERT_OK_AND_ASSIGN(std::string empty, r.Str());
+  EXPECT_EQ(empty, "");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(PayloadCodec, LittleEndianOnTheWire) {
+  PayloadWriter w;
+  w.U32(0x01020304u);
+  const std::string& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(b[3]), 0x01);
+}
+
+TEST(PayloadCodec, ValueRoundTripAllTypes) {
+  const std::vector<Value> values = {
+      Value::Null(),          Value::Bool(true),
+      Value::Bool(false),     Value::Int(-42),
+      Value::Int(std::numeric_limits<int64_t>::min()),
+      Value::Double(3.25),    Value::Double(-0.0),
+      Value::String(""),      Value::String("widom & finkelstein"),
+  };
+  PayloadWriter w;
+  for (const Value& v : values) w.Val(v);
+  PayloadReader r(w.bytes());
+  for (const Value& expected : values) {
+    ASSERT_OK_AND_ASSIGN(Value got, r.Val());
+    EXPECT_TRUE(got == expected) << got.ToString();
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(PayloadCodec, QueryResultRoundTrip) {
+  QueryResult result;
+  result.columns = {"name", "salary", "active"};
+  result.rows.push_back(
+      Row({Value::String("Jane"), Value::Double(90000), Value::Bool(true)}));
+  result.rows.push_back(
+      Row({Value::Null(), Value::Int(7), Value::String("x")}));
+
+  PayloadWriter w;
+  w.PutResult(result);
+  PayloadReader r(w.bytes());
+  ASSERT_OK_AND_ASSIGN(QueryResult got, r.GetResult());
+  ASSERT_EQ(got.columns, result.columns);
+  ASSERT_EQ(got.rows.size(), result.rows.size());
+  for (size_t i = 0; i < got.rows.size(); ++i) {
+    EXPECT_TRUE(got.rows[i] == result.rows[i]);
+  }
+}
+
+TEST(PayloadCodec, TruncationIsAlwaysInvalidArgument) {
+  // Every proper prefix of a valid payload must fail cleanly somewhere.
+  PayloadWriter w;
+  w.U32(7);
+  w.Str("payload");
+  w.Val(Value::Int(5));
+  const std::string full = w.bytes();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    PayloadReader r(std::string_view(full).substr(0, cut));
+    auto a = r.U32();
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    auto b = r.Str();
+    if (!b.ok()) {
+      EXPECT_EQ(b.status().code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    auto c = r.Val();
+    EXPECT_FALSE(c.ok()) << "cut=" << cut;
+    EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(PayloadCodec, DeclaredCountsAreCheckedAgainstRemainingBytes) {
+  // A malicious row header declaring 2^32-1 values must be rejected
+  // before any allocation, not reserved for.
+  PayloadWriter w;
+  w.U32(0xffffffffu);
+  PayloadReader r(w.bytes());
+  auto row = r.GetRow();
+  ASSERT_FALSE(row.ok());
+  EXPECT_EQ(row.status().code(), StatusCode::kInvalidArgument);
+
+  PayloadReader r2(w.bytes());
+  auto result = r2.GetResult();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, DecoderReassemblesByteAtATime) {
+  std::string stream;
+  AppendFrame(FrameType::kExecute, "insert into t values (1)", &stream);
+  AppendFrame(FrameType::kPing, "", &stream);
+  AppendFrame(FrameType::kQuery, "select * from t", &stream);
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (char c : stream) {
+    decoder.Feed(&c, 1);
+    while (true) {
+      auto next = decoder.Next();
+      ASSERT_OK(next.status());
+      if (!next.value().has_value()) break;
+      frames.push_back(std::move(*next.value()));
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kExecute);
+  EXPECT_EQ(frames[0].payload, "insert into t values (1)");
+  EXPECT_EQ(frames[1].type, FrameType::kPing);
+  EXPECT_TRUE(frames[1].payload.empty());
+  EXPECT_EQ(frames[2].type, FrameType::kQuery);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodec, PartialFrameIsNotAFrame) {
+  FrameDecoder decoder;
+  std::string frame = EncodeFrame(FrameType::kExecute, "abcdef");
+  decoder.Feed(frame.data(), frame.size() - 1);  // all but the last byte
+  auto next = decoder.Next();
+  ASSERT_OK(next.status());
+  EXPECT_FALSE(next.value().has_value());
+}
+
+TEST(FrameCodec, OversizedDeclaredLengthIsUnrecoverable) {
+  // "GET / HTTP/1.1" — the first 4 bytes read as a huge little-endian
+  // length, which is exactly how random-protocol garbage gets rejected.
+  FrameDecoder decoder;
+  const std::string garbage = "GET / HTTP/1.1\r\n\r\n";
+  decoder.Feed(garbage.data(), garbage.size());
+  auto next = decoder.Next(kMaxPayloadBytes);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, RequestTypePredicate) {
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(FrameType::kHello)));
+  EXPECT_TRUE(IsRequestType(static_cast<uint8_t>(FrameType::kGoodbye)));
+  EXPECT_FALSE(IsRequestType(0x00));
+  EXPECT_FALSE(IsRequestType(0x7f));
+  EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(FrameType::kError)));
+  EXPECT_FALSE(IsRequestType(static_cast<uint8_t>(FrameType::kHelloOk)));
+}
+
+TEST(ErrorCodec, StatusRoundTripWithRetryHint) {
+  const Status in =
+      Status::Overloaded("writer admission queue full retry-after-ms=40");
+  uint32_t retry = 0;
+  const Status out = DecodeError(EncodeError(in, 40), &retry);
+  EXPECT_EQ(out.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(out.message(), in.message());
+  EXPECT_EQ(retry, 40u);
+}
+
+TEST(ErrorCodec, UnknownStatusCodeClampsToInternal) {
+  PayloadWriter w;
+  w.U8(0xee);  // far beyond the enum
+  w.U32(0);
+  w.Str("from the future");
+  uint32_t retry = 9;
+  const Status out = DecodeError(w.bytes(), &retry);
+  EXPECT_EQ(out.code(), StatusCode::kInternal);
+  EXPECT_EQ(retry, 0u);
+}
+
+TEST(ErrorCodec, ParseRetryAfterMs) {
+  EXPECT_EQ(ParseRetryAfterMs("no hint here"), 0u);
+  EXPECT_EQ(ParseRetryAfterMs("shed; retry-after-ms=125 (queue full)"), 125u);
+  EXPECT_EQ(ParseRetryAfterMs("retry-after-ms="), 0u);  // no digits
+  EXPECT_EQ(ParseRetryAfterMs("retry-after-ms=99999999999999"),
+            0xffffffffu);  // clamped
+}
+
+TEST(StatsCodec, RoundTrip) {
+  WireStats in;
+  in.num_sessions = 3;
+  in.max_sessions = 256;
+  in.admitted = 100;
+  in.shed_queue_full = 5;
+  in.shed_queue_deadline = 2;
+  in.shed_cancelled = 1;
+  in.admission_inflight = 4;
+  in.admission_queued = 7;
+  in.group_commit.cohorts = 11;
+  in.group_commit.batches = 44;
+  in.group_commit.largest_cohort = 9;
+  in.group_commit.cohort_size_hist[3] = 17;
+  in.connections_accepted = 1000;
+  in.connections_active = 12;
+  in.protocol_errors = 3;
+  in.sessions.push_back({42, 10, 2, 15, 1, true});
+
+  ASSERT_OK_AND_ASSIGN(WireStats out, DecodeStats(EncodeStats(in)));
+  EXPECT_EQ(out.num_sessions, in.num_sessions);
+  EXPECT_EQ(out.max_sessions, in.max_sessions);
+  EXPECT_EQ(out.admitted, in.admitted);
+  EXPECT_EQ(out.shed_queue_full, in.shed_queue_full);
+  EXPECT_EQ(out.shed_queue_deadline, in.shed_queue_deadline);
+  EXPECT_EQ(out.shed_cancelled, in.shed_cancelled);
+  EXPECT_EQ(out.admission_inflight, in.admission_inflight);
+  EXPECT_EQ(out.admission_queued, in.admission_queued);
+  EXPECT_EQ(out.group_commit.cohorts, in.group_commit.cohorts);
+  EXPECT_EQ(out.group_commit.batches, in.group_commit.batches);
+  EXPECT_EQ(out.group_commit.largest_cohort, in.group_commit.largest_cohort);
+  EXPECT_EQ(out.group_commit.cohort_size_hist, in.group_commit.cohort_size_hist);
+  EXPECT_EQ(out.connections_accepted, in.connections_accepted);
+  EXPECT_EQ(out.connections_active, in.connections_active);
+  EXPECT_EQ(out.protocol_errors, in.protocol_errors);
+  ASSERT_EQ(out.sessions.size(), 1u);
+  EXPECT_EQ(out.sessions[0].id, 42u);
+  EXPECT_EQ(out.sessions[0].commits, 10u);
+  EXPECT_EQ(out.sessions[0].aborts, 2u);
+  EXPECT_EQ(out.sessions[0].statements, 15u);
+  EXPECT_EQ(out.sessions[0].inflight_statements, 1u);
+  EXPECT_TRUE(out.sessions[0].killed);
+
+  // Truncated stats payloads fail cleanly like everything else.
+  const std::string bytes = EncodeStats(in);
+  auto truncated = DecodeStats(std::string_view(bytes).substr(0, 20));
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sopr
