@@ -93,10 +93,13 @@ Status Client::SendRaw(std::string_view bytes) {
   if (fd_ < 0) return Status::Unavailable("client closed");
   size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a server that closed the connection mid-send must
+    // surface as an EPIPE Status, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Errno("write");
+      return Errno("send");
     }
     off += static_cast<size_t>(n);
   }

@@ -134,11 +134,12 @@ void EventLoop::Start() {
 }
 
 void EventLoop::Stop() {
-  if (!running_.load()) return;
+  // The exchange elects exactly one joiner: concurrent Stop() calls (or
+  // Stop racing the destructor) must not both reach thread_.join().
+  if (!running_.exchange(false)) return;
   stop_requested_.store(true);
   Wake();
   if (thread_.joinable()) thread_.join();
-  running_.store(false);
 }
 
 void EventLoop::Wake() {
@@ -261,6 +262,10 @@ void EventLoop::HandleControlOps() {
         break;
       case ControlOp::kResume:
         conn->read_paused = false;
+        // Frames decoded off the socket but held back by the pause sit in
+        // the decoder buffer; dispatch them now — the socket alone would
+        // never re-deliver them.
+        if (!DrainDecoder(op.conn_id, conn)) break;
         UpdateInterest(op.conn_id, conn);
         break;
     }
@@ -314,7 +319,7 @@ void EventLoop::AcceptReady() {
 
 void EventLoop::ReadReady(uint64_t conn_id, Conn* conn) {
   char buf[kReadChunk];
-  while (true) {
+  while (!conn->read_paused && !conn->output_paused_read) {
     const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -329,38 +334,46 @@ void EventLoop::ReadReady(uint64_t conn_id, Conn* conn) {
       return;
     }
     conn->decoder.Feed(buf, static_cast<size_t>(n));
-    // Decode every complete frame before reading more: a pipelined burst
-    // arrives as one read and must dispatch as individual frames.
-    while (true) {
-      auto next = conn->decoder.Next(options_.max_frame_payload);
-      Status decode = next.ok() ? SOPR_FAILPOINT("net.frame.decode")
-                                : next.status();
-      if (!decode.ok()) {
-        // Oversized header (or injected decode fault): answer with one
-        // error frame and close — the stream cannot be resynchronized.
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          ++counters_.protocol_errors;
-        }
-        conn->output.append(EncodeFrame(
-            FrameType::kError,
-            EncodeError(Status::InvalidArgument("protocol error: " +
-                                                decode.message()),
-                        0)));
-        conn->close_after_flush = true;
-        WriteReady(conn_id, conn);
-        return;
-      }
-      if (!next.value().has_value()) break;
-      handler_->OnFrame(conn_id, std::move(*next.value()));
-      // The handler may have paused reading (dispatch backpressure) or
-      // closed the connection.
-      if (conns_.find(conn_id) == conns_.end()) return;
-    }
+    if (!DrainDecoder(conn_id, conn)) return;
     if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
-    if (conn->read_paused || conn->output_paused_read) break;
   }
   UpdateInterest(conn_id, conn);
+}
+
+bool EventLoop::DrainDecoder(uint64_t conn_id, Conn* conn) {
+  // Decode every complete frame before reading more: a pipelined burst
+  // arrives as one read and must dispatch as individual frames. The
+  // handler's return value is hard backpressure — it is honored between
+  // frames, so the dispatch queue can never overshoot by more than the
+  // one frame in flight; the rest stays buffered until Resume.
+  while (!conn->read_paused) {
+    auto next = conn->decoder.Next(options_.max_frame_payload);
+    Status decode =
+        next.ok() ? SOPR_FAILPOINT("net.frame.decode") : next.status();
+    if (!decode.ok()) {
+      // Oversized header (or injected decode fault): answer with one
+      // error frame and close — the stream cannot be resynchronized.
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.protocol_errors;
+      }
+      conn->output.append(EncodeFrame(
+          FrameType::kError,
+          EncodeError(Status::InvalidArgument("protocol error: " +
+                                              decode.message()),
+                      0)));
+      conn->close_after_flush = true;
+      WriteReady(conn_id, conn);
+      return false;
+    }
+    if (!next.value().has_value()) break;
+    const bool keep_reading =
+        handler_->OnFrame(conn_id, std::move(*next.value()));
+    // The handler may have closed the connection.
+    if (conns_.find(conn_id) == conns_.end()) return false;
+    if (!keep_reading) conn->read_paused = true;
+  }
+  return true;
 }
 
 void EventLoop::WriteReady(uint64_t conn_id, Conn* conn) {
@@ -373,12 +386,14 @@ void EventLoop::WriteReady(uint64_t conn_id, Conn* conn) {
       Teardown(conn_id, inject);
       return;
     }
-    const ssize_t n =
-        ::write(conn->fd, conn->output.data(), conn->output.size());
+    // MSG_NOSIGNAL: a peer that hard-closed (RST) mid-flush must surface
+    // as EPIPE -> Teardown, not a process-killing SIGPIPE.
+    const ssize_t n = ::send(conn->fd, conn->output.data(),
+                             conn->output.size(), MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      Teardown(conn_id, Errno("write"));
+      Teardown(conn_id, Errno("send"));
       return;
     }
     conn->output.erase(0, static_cast<size_t>(n));

@@ -53,8 +53,12 @@ class EventLoop {
     virtual ~Handler() = default;
     /// A new connection completed accept. Loop thread.
     virtual void OnOpen(uint64_t conn_id) = 0;
-    /// One decoded frame. Loop thread — must not block.
-    virtual void OnFrame(uint64_t conn_id, Frame frame) = 0;
+    /// One decoded frame. Loop thread — must not block. Returns false to
+    /// pause reading (dispatch backpressure): the loop stops decoding
+    /// immediately — before the next buffered frame — and reads no more
+    /// bytes until SetReadPaused(id, false), so the dispatch queue never
+    /// overshoots its bound by more than the frame just delivered.
+    virtual bool OnFrame(uint64_t conn_id, Frame frame) = 0;
     /// The connection is gone (peer closed, I/O error, protocol error,
     /// server-initiated close). Last callback for this id; `why` is OK
     /// for an orderly close.
@@ -118,6 +122,10 @@ class EventLoop {
   void HandleControlOps();
   void AcceptReady();
   void ReadReady(uint64_t conn_id, Conn* conn);
+  /// Dispatches every complete frame in the decode buffer, honoring the
+  /// handler's pause signal between frames. Returns false when the
+  /// connection was torn down or is closing (conn must not be touched).
+  bool DrainDecoder(uint64_t conn_id, Conn* conn);
   void WriteReady(uint64_t conn_id, Conn* conn);
   /// Recomputes the epoll interest set from the Conn flags.
   void UpdateInterest(uint64_t conn_id, Conn* conn);

@@ -15,8 +15,8 @@ class Server::LoopHandler : public EventLoop::Handler {
  public:
   explicit LoopHandler(Server* server) : server_(server) {}
   void OnOpen(uint64_t conn_id) override { server_->OnOpen(conn_id); }
-  void OnFrame(uint64_t conn_id, Frame frame) override {
-    server_->OnFrame(conn_id, std::move(frame));
+  bool OnFrame(uint64_t conn_id, Frame frame) override {
+    return server_->OnFrame(conn_id, std::move(frame));
   }
   void OnClose(uint64_t conn_id, const Status& why) override {
     server_->OnClose(conn_id, why);
@@ -50,26 +50,31 @@ Server::Server(sopr::server::SessionManager* manager, Options options)
 Server::~Server() { Shutdown(); }
 
 void Server::Shutdown() {
-  // Stop the loop first: every connection tears down, each OnClose
-  // cancels any in-flight statement and marks its Conn closed, so the
-  // workers drain fast.
-  if (loop_) loop_->Stop();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) return;
-    shutdown_ = true;
-  }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  // Workers are gone; reap whatever connections they never got to.
-  std::vector<std::pair<uint64_t, ConnPtr>> leftover;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    leftover.assign(conns_.begin(), conns_.end());
-  }
-  for (auto& [id, conn] : leftover) ReapConn(id, conn);
+  // call_once makes concurrent Shutdown calls safe: exactly one caller
+  // runs the body (stopping the loop and joining the workers — a join
+  // must never race another join of the same thread); late callers block
+  // until it finishes, so "returned from Shutdown" always means "down".
+  std::call_once(shutdown_once_, [this] {
+    // Stop the loop first: every connection tears down, each OnClose
+    // cancels any in-flight statement and marks its Conn closed, so the
+    // workers drain fast.
+    if (loop_) loop_->Stop();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    // Workers are gone; reap whatever connections they never got to.
+    std::vector<std::pair<uint64_t, ConnPtr>> leftover;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      leftover.assign(conns_.begin(), conns_.end());
+    }
+    for (auto& [id, conn] : leftover) ReapConn(id, conn);
+  });
 }
 
 uint64_t Server::dispatch_protocol_errors() const {
@@ -136,7 +141,7 @@ void Server::SendError(uint64_t conn_id, const Status& status, bool close) {
   if (close) loop_->CloseConnection(conn_id, /*after_flush=*/true);
 }
 
-void Server::HandleHello(uint64_t conn_id, const ConnPtr& conn,
+bool Server::HandleHello(uint64_t conn_id, const ConnPtr& conn,
                          const Frame& frame) {
   PayloadReader reader(frame.payload);
   auto version = reader.U32();
@@ -150,7 +155,7 @@ void Server::HandleHello(uint64_t conn_id, const ConnPtr& conn,
     SendError(conn_id,
               Status::InvalidArgument("protocol error: malformed HELLO"),
               /*close=*/true);
-    return;
+    return false;
   }
   if (version.value() != kProtocolVersion) {
     SendError(conn_id,
@@ -159,7 +164,7 @@ void Server::HandleHello(uint64_t conn_id, const ConnPtr& conn,
                   std::to_string(version.value()) + ", server speaks v" +
                   std::to_string(kProtocolVersion)),
               /*close=*/true);
-    return;
+    return false;
   }
   // The session-limit refusal is the handshake's structured error: the
   // kError frame carries kResourceExhausted plus the escalating
@@ -167,7 +172,7 @@ void Server::HandleHello(uint64_t conn_id, const ConnPtr& conn,
   auto session = manager_->CreateSession();
   if (!session.ok()) {
     SendError(conn_id, session.status(), /*close=*/true);
-    return;
+    return false;
   }
   {
     std::lock_guard<std::mutex> lock(conn->mu);
@@ -179,14 +184,15 @@ void Server::HandleHello(uint64_t conn_id, const ConnPtr& conn,
   ok.U32(kProtocolVersion);
   ok.U64(session.value()->id());
   loop_->Send(conn_id, EncodeFrame(FrameType::kHelloOk, ok.bytes()));
+  return true;
 }
 
-void Server::OnFrame(uint64_t conn_id, Frame frame) {
+bool Server::OnFrame(uint64_t conn_id, Frame frame) {
   ConnPtr conn;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = conns_.find(conn_id);
-    if (it == conns_.end()) return;
+    if (it == conns_.end()) return true;
     conn = it->second;
   }
   if (!IsRequestType(static_cast<uint8_t>(frame.type))) {
@@ -199,7 +205,7 @@ void Server::OnFrame(uint64_t conn_id, Frame frame) {
                   "protocol error: unknown or non-request frame type " +
                   std::to_string(static_cast<unsigned>(frame.type))),
               /*close=*/true);
-    return;
+    return false;  // the connection is closing — stop decoding
   }
   bool hello_done;
   {
@@ -218,10 +224,9 @@ void Server::OnFrame(uint64_t conn_id, Frame frame) {
                 Status::InvalidArgument(
                     "protocol error: expected HELLO as first frame"),
                 /*close=*/true);
-      return;
+      return false;
     }
-    HandleHello(conn_id, conn, frame);
-    return;
+    return HandleHello(conn_id, conn, frame);
   }
   if (frame.type == FrameType::kHello) {
     {
@@ -231,26 +236,28 @@ void Server::OnFrame(uint64_t conn_id, Frame frame) {
     SendError(conn_id,
               Status::InvalidArgument("protocol error: duplicate HELLO"),
               /*close=*/true);
-    return;
+    return false;
   }
-  // Queue for a worker; pause the socket when the connection is further
-  // ahead of its worker than the queue allows.
+  // Queue for a worker; pause the socket (via the return value — honored
+  // before the loop decodes the next frame) when the connection is
+  // further ahead of its worker than the queue allows.
   bool schedule = false;
+  bool keep_reading = true;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
-    if (conn->closed) return;
+    if (conn->closed) return true;
     conn->requests.push_back(std::move(frame));
     if (!conn->busy && !conn->scheduled) {
       conn->scheduled = true;
       schedule = true;
     }
-    if (!conn->read_paused &&
-        conn->requests.size() >= options_.max_queued_requests) {
+    if (conn->requests.size() >= options_.max_queued_requests) {
       conn->read_paused = true;
-      loop_->SetReadPaused(conn_id, true);
     }
+    keep_reading = !conn->read_paused;
   }
   if (schedule) ScheduleConn(conn_id, conn);
+  return keep_reading;
 }
 
 void Server::ScheduleConn(uint64_t conn_id, const ConnPtr& /*conn*/) {
@@ -450,25 +457,32 @@ std::string Server::HandleRequest(uint64_t conn_id, const ConnPtr& conn,
           sid.value() == 0 ? session->id() : sid.value();
       // Resolve the target session through the server's own connection
       // table: the KILL control plane reaches any wire session, self
-      // included. Cancel() is safe from this (foreign) thread.
-      server_ns::Session* victim = nullptr;
+      // included. Cancel() must run while the victim conn's mutex is
+      // still held: a Session is destroyed only after ReapConn nulls the
+      // pointer under that mutex, so a non-null pointer observed here is
+      // alive for exactly as long as the lock is — releasing first would
+      // let a concurrent disconnect free the Session under us. Cancel is
+      // a non-blocking token flip, safe under both locks and from this
+      // (foreign) thread.
+      const std::string why = reason.value().empty() ? "killed via wire KILL"
+                                                     : reason.value();
+      bool killed = false;
       {
         std::lock_guard<std::mutex> server_lock(mu_);
         for (auto& [id, other] : conns_) {
           std::lock_guard<std::mutex> other_lock(other->mu);
           if (!other->closed && other->session != nullptr &&
               other->session_id == target) {
-            victim = other->session;
+            other->session->Cancel(why);
+            killed = true;
             break;
           }
         }
       }
-      if (victim == nullptr) {
+      if (!killed) {
         return error_frame(Status::InvalidArgument(
             "KILL: no connected session with id " + std::to_string(target)));
       }
-      victim->Cancel(reason.value().empty() ? "killed via wire KILL"
-                                            : reason.value());
       return ok_frame(0, 0);
     }
     case FrameType::kStats:

@@ -93,11 +93,14 @@ class Server {
 
   Server(sopr::server::SessionManager* manager, Options options);
   void WorkerMain();
-  /// Loop thread: handshake + enqueue; schedules the connection.
-  void OnFrame(uint64_t conn_id, Frame frame);
+  /// Loop thread: handshake + enqueue; schedules the connection. The
+  /// return value is the loop's keep-reading signal — false pauses the
+  /// decode loop before the next frame (input backpressure, fatal
+  /// protocol errors, handshake refusals).
+  bool OnFrame(uint64_t conn_id, Frame frame);
   void OnOpen(uint64_t conn_id);
   void OnClose(uint64_t conn_id, const Status& why);
-  void HandleHello(uint64_t conn_id, const ConnPtr& conn, const Frame& frame);
+  bool HandleHello(uint64_t conn_id, const ConnPtr& conn, const Frame& frame);
   /// Worker thread: drains one scheduled connection.
   void DriveConn(uint64_t conn_id, const ConnPtr& conn);
   /// Executes one non-EXECUTE request (query, pin, kill, stats, ...).
@@ -119,6 +122,7 @@ class Server {
   std::condition_variable work_cv_;
   std::unordered_map<uint64_t, ConnPtr> conns_;
   std::deque<uint64_t> ready_;
+  std::once_flag shutdown_once_;
   bool shutdown_ = false;
   uint64_t dispatch_protocol_errors_ = 0;
 
