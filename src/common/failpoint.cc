@@ -61,6 +61,15 @@ const char* const kSiteCatalog[] = {
     // cancellable sleeps. An armed failure models an asynchronous kill
     // arriving at exactly that check; the enclosing txn must abort to S0.
     "cancel.deliver",
+    // Vectorized execution layer (query/executor.cc, src/exec/):
+    // `exec.batch` fires at every batch boundary of the vectorized
+    // pipeline (pushed filters, residual filters, DML predicate scans)
+    // just before the boundary's cancellation check; `exec.hashjoin.build`
+    // fires as a build/probe hash join is about to build its table. An
+    // armed failure at either site aborts the statement mid-query; the
+    // enclosing transaction must roll back to S0 (docs/EXECUTION.md).
+    "exec.batch",
+    "exec.hashjoin.build",
     // Writer admission control (server/admission.cc): fires as a writer
     // enters the admission queue, before any queueing decision. An armed
     // failure models an admission-layer shed (@code Overloaded in chaos);

@@ -272,8 +272,7 @@ Result<QueryResult> Engine::Query(const std::string& sql) {
 
 Result<QueryResult> Engine::QueryParsed(const SelectStmt& stmt) {
   DatabaseResolver resolver(db_.get());
-  Executor executor(db_.get(), &resolver,
-                    rules_->options().optimize_queries);
+  Executor executor(db_.get(), &resolver, ExecOptionsFrom(rules_->options()));
   return executor.ExecuteSelect(stmt);
 }
 
@@ -282,7 +281,7 @@ Result<QueryResult> Engine::QueryAtSnapshot(const SelectStmt& stmt,
   SnapshotResolver resolver(db_.get(), lsn);
   // The select path never touches the Executor's Database (that member
   // exists for DML), so a null db keeps this path trivially read-only.
-  Executor executor(nullptr, &resolver, rules_->options().optimize_queries);
+  Executor executor(nullptr, &resolver, ExecOptionsFrom(rules_->options()));
   return executor.ExecuteSelect(stmt);
 }
 

@@ -1,0 +1,333 @@
+#include "exec/batch_evaluator.h"
+
+#include <utility>
+
+namespace sopr {
+namespace exec {
+
+namespace {
+
+/// One value per selected position (parallel to the SelVec being
+/// evaluated): either pointers borrowed from storage — column refs and
+/// literals never copy a Value, which is where the batch path beats the
+/// per-row tree walk on string columns — or owned computed results.
+struct Slice {
+  bool borrowed = false;
+  std::vector<const Value*> ptrs;
+  std::vector<Value> vals;
+
+  const Value& at(size_t i) const { return borrowed ? *ptrs[i] : vals[i]; }
+};
+
+struct BatchCtx {
+  Scope* scope;
+  EvalContext* ctx;
+  const RowBatch* batch;
+};
+
+Status EvalValue(const Expr& e, BatchCtx& c, const SelVec& sel, Slice* out);
+Status EvalPred(const Expr& e, BatchCtx& c, const SelVec& sel,
+                std::vector<TriBool>* out);
+
+/// Binds every batch binding of the innermost scope level to the rows at
+/// `pos`, for nodes that drop to per-row scalar evaluation (subqueries,
+/// aggregates) and for the whole-chunk scalar re-run.
+void BindRows(BatchCtx& c, uint32_t pos) {
+  for (size_t b = 0; b < c.batch->num_bindings(); ++b) {
+    c.scope->SetRow(b, c.batch->row(b, pos));
+  }
+}
+
+/// Resolution of a column ref against the batch: either one of the
+/// batch's bindings (gather per position) or an outer-scope binding
+/// (one row, constant across the batch).
+Status ResolveRef(const ColumnRefExpr& ref, BatchCtx& c, bool* in_batch,
+                  size_t* binding, size_t* column, const Row** outer_row) {
+  auto resolved = c.scope->ResolveColumn(ref.qualifier, ref.column);
+  if (!resolved.ok()) return resolved.status();
+  *column = resolved.value().column;
+  const Binding* b = resolved.value().binding;
+  for (size_t i = 0; i < c.scope->num_bindings(); ++i) {
+    if (&c.scope->binding(i) == b) {
+      *in_batch = true;
+      *binding = i;
+      return Status::OK();
+    }
+  }
+  *in_batch = false;
+  *outer_row = b->row;
+  return Status::OK();
+}
+
+/// Short-circuit AND/OR over the batch: the right operand is evaluated
+/// only for positions the left operand did not decide, via a narrowed
+/// selection vector — the same (row, subexpression) pairs the scalar
+/// evaluator visits, operator-at-a-time.
+Status EvalLogical(const BinaryExpr& b, BatchCtx& c, const SelVec& sel,
+                   std::vector<TriBool>* out) {
+  const bool is_and = b.op == BinaryOp::kAnd;
+  std::vector<TriBool> lt;
+  SOPR_RETURN_NOT_OK(EvalPred(*b.left, c, sel, &lt));
+
+  SelVec rhs_sel;
+  std::vector<uint32_t> rhs_idx;  // index into `sel` for each rhs entry
+  for (size_t i = 0; i < sel.size(); ++i) {
+    const bool decided =
+        is_and ? lt[i] == TriBool::kFalse : lt[i] == TriBool::kTrue;
+    if (!decided) {
+      rhs_sel.push_back(sel[i]);
+      rhs_idx.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  std::vector<TriBool> rt;
+  if (!rhs_sel.empty()) {
+    SOPR_RETURN_NOT_OK(EvalPred(*b.right, c, rhs_sel, &rt));
+  }
+
+  *out = std::move(lt);
+  for (size_t j = 0; j < rhs_idx.size(); ++j) {
+    TriBool& slot = (*out)[rhs_idx[j]];
+    slot = is_and ? TriAnd(slot, rt[j]) : TriOr(slot, rt[j]);
+  }
+  return Status::OK();
+}
+
+/// Nodes the batch path evaluates position-at-a-time through the scalar
+/// evaluator (subqueries and aggregate lookups): binds the batch rows
+/// into the scope and calls Evaluate, exactly as the row path does.
+Status EvalPerRowScalar(const Expr& e, BatchCtx& c, const SelVec& sel,
+                        Slice* out) {
+  out->borrowed = false;
+  out->vals.reserve(sel.size());
+  for (uint32_t pos : sel) {
+    BindRows(c, pos);
+    auto v = Evaluate(e, *c.scope, *c.ctx);
+    if (!v.ok()) return v.status();
+    out->vals.push_back(std::move(v).value());
+  }
+  return Status::OK();
+}
+
+Status EvalValue(const Expr& e, BatchCtx& c, const SelVec& sel, Slice* out) {
+  const size_t n = sel.size();
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      out->borrowed = true;
+      out->ptrs.assign(n, &static_cast<const LiteralExpr&>(e).value);
+      return Status::OK();
+    }
+
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      bool in_batch = false;
+      size_t binding = 0, column = 0;
+      const Row* outer_row = nullptr;
+      SOPR_RETURN_NOT_OK(
+          ResolveRef(ref, c, &in_batch, &binding, &column, &outer_row));
+      out->borrowed = true;
+      out->ptrs.resize(n);
+      if (!in_batch) {
+        if (outer_row == nullptr) {
+          return Status::Internal("column " + ref.ToString() +
+                                  " referenced outside row context");
+        }
+        const Value* v = &outer_row->at(column);
+        for (size_t i = 0; i < n; ++i) out->ptrs[i] = v;
+        return Status::OK();
+      }
+      for (size_t i = 0; i < n; ++i) {
+        const Row* row = c.batch->row(binding, sel[i]);
+        if (row == nullptr) {
+          return Status::Internal("column " + ref.ToString() +
+                                  " referenced outside row context");
+        }
+        out->ptrs[i] = &row->at(column);
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kUnary: {
+      const auto& unary = static_cast<const UnaryExpr&>(e);
+      if (unary.op == UnaryOp::kNeg) {
+        Slice operand;
+        SOPR_RETURN_NOT_OK(EvalValue(*unary.operand, c, sel, &operand));
+        out->borrowed = false;
+        out->vals.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          auto v = Value::Negate(operand.at(i));
+          if (!v.ok()) return v.status();
+          out->vals.push_back(std::move(v).value());
+        }
+        return Status::OK();
+      }
+      std::vector<TriBool> t;
+      SOPR_RETURN_NOT_OK(EvalPred(*unary.operand, c, sel, &t));
+      out->borrowed = false;
+      out->vals.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        out->vals.push_back(TriBoolToValue(TriNot(t[i])));
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kBinary: {
+      const auto& binary = static_cast<const BinaryExpr&>(e);
+      if (binary.op == BinaryOp::kAnd || binary.op == BinaryOp::kOr) {
+        std::vector<TriBool> t;
+        SOPR_RETURN_NOT_OK(EvalLogical(binary, c, sel, &t));
+        out->borrowed = false;
+        out->vals.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+          out->vals.push_back(TriBoolToValue(t[i]));
+        }
+        return Status::OK();
+      }
+      Slice left, right;
+      SOPR_RETURN_NOT_OK(EvalValue(*binary.left, c, sel, &left));
+      SOPR_RETURN_NOT_OK(EvalValue(*binary.right, c, sel, &right));
+      out->borrowed = false;
+      out->vals.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        auto v = EvaluateBinaryValue(binary.op, left.at(i), right.at(i));
+        if (!v.ok()) return v.status();
+        out->vals.push_back(std::move(v).value());
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      Slice needle;
+      SOPR_RETURN_NOT_OK(EvalValue(*in.operand, c, sel, &needle));
+      std::vector<Slice> items(in.items.size());
+      for (size_t k = 0; k < in.items.size(); ++k) {
+        SOPR_RETURN_NOT_OK(EvalValue(*in.items[k], c, sel, &items[k]));
+      }
+      out->borrowed = false;
+      out->vals.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Inline MembershipTri over the item slices (no Value copies).
+        bool saw_unknown = false;
+        TriBool t = TriBool::kFalse;
+        for (const Slice& item : items) {
+          TriBool eq = needle.at(i).SqlEquals(item.at(i));
+          if (eq == TriBool::kTrue) {
+            t = TriBool::kTrue;
+            break;
+          }
+          if (eq == TriBool::kUnknown) saw_unknown = true;
+        }
+        if (t != TriBool::kTrue && saw_unknown) t = TriBool::kUnknown;
+        out->vals.push_back(TriBoolToValue(in.negated ? TriNot(t) : t));
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kIsNull: {
+      const auto& isnull = static_cast<const IsNullExpr&>(e);
+      Slice operand;
+      SOPR_RETURN_NOT_OK(EvalValue(*isnull.operand, c, sel, &operand));
+      out->borrowed = false;
+      out->vals.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        bool null = operand.at(i).is_null();
+        out->vals.push_back(Value::Bool(isnull.negated ? !null : null));
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(e);
+      Slice v, lo, hi;
+      SOPR_RETURN_NOT_OK(EvalValue(*between.operand, c, sel, &v));
+      SOPR_RETURN_NOT_OK(EvalValue(*between.low, c, sel, &lo));
+      SOPR_RETURN_NOT_OK(EvalValue(*between.high, c, sel, &hi));
+      out->borrowed = false;
+      out->vals.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        TriBool ge = TriNot(v.at(i).SqlLess(lo.at(i)));
+        TriBool le = TriNot(hi.at(i).SqlLess(v.at(i)));
+        TriBool t = TriAnd(ge, le);
+        out->vals.push_back(TriBoolToValue(between.negated ? TriNot(t) : t));
+      }
+      return Status::OK();
+    }
+
+    case ExprKind::kInSubquery:
+    case ExprKind::kExists:
+    case ExprKind::kScalarSubquery:
+    case ExprKind::kAggregate:
+      return EvalPerRowScalar(e, c, sel, out);
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Status EvalPred(const Expr& e, BatchCtx& c, const SelVec& sel,
+                std::vector<TriBool>* out) {
+  if (e.kind == ExprKind::kBinary) {
+    const auto& binary = static_cast<const BinaryExpr&>(e);
+    if (binary.op == BinaryOp::kAnd || binary.op == BinaryOp::kOr) {
+      return EvalLogical(binary, c, sel, out);
+    }
+  }
+  Slice s;
+  SOPR_RETURN_NOT_OK(EvalValue(e, c, sel, &s));
+  out->resize(sel.size());
+  for (size_t i = 0; i < sel.size(); ++i) {
+    auto t = PredicateTriFromValue(s.at(i));
+    if (!t.ok()) return t.status();
+    (*out)[i] = t.value();
+  }
+  return Status::OK();
+}
+
+/// Position-dependent evaluation errors re-run through the scalar path
+/// for exact row-order error reporting; everything else (cancellation,
+/// timeouts, injected faults, lock trouble surfaced through subqueries)
+/// is position-independent or nondeterministic and propagates as is.
+bool ShouldFallback(StatusCode code) {
+  switch (code) {
+    case StatusCode::kTypeError:
+    case StatusCode::kExecutionError:
+    case StatusCode::kCatalogError:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status EvaluatePredicateBatch(const Expr& expr, Scope* scope,
+                              EvalContext& ctx, const RowBatch& batch,
+                              const SelVec& sel, std::vector<TriBool>* out) {
+  out->clear();
+  if (sel.empty()) return Status::OK();
+  GlobalStats().batches.fetch_add(1, std::memory_order_relaxed);
+
+  BatchCtx c{scope, &ctx, &batch};
+  Status s = EvalPred(expr, c, sel, out);
+  if (s.ok()) return s;
+  if (!ShouldFallback(s.code())) return s;
+
+  // The batch pass hit an evaluation error. Re-run the same positions
+  // row-at-a-time: both passes visit the same (row, subexpression)
+  // pairs, so whatever the row path reports — the same error at its
+  // first erroring row, or (if the batch error was spurious) a clean
+  // result — is the authoritative outcome.
+  GlobalStats().scalar_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  out->clear();
+  out->reserve(sel.size());
+  for (uint32_t pos : sel) {
+    BindRows(c, pos);
+    auto t = EvaluatePredicate(expr, *scope, ctx);
+    if (!t.ok()) return t.status();
+    out->push_back(t.value());
+  }
+  return Status::OK();
+}
+
+}  // namespace exec
+}  // namespace sopr

@@ -1,0 +1,38 @@
+#ifndef SOPR_EXEC_BATCH_EVALUATOR_H_
+#define SOPR_EXEC_BATCH_EVALUATOR_H_
+
+#include <vector>
+
+#include "exec/row_batch.h"
+#include "expr/evaluator.h"
+#include "sql/ast.h"
+
+namespace sopr {
+namespace exec {
+
+/// Evaluates `expr` as a predicate over every selected position of
+/// `batch`, writing one TriBool per entry of `sel` (parallel order).
+///
+/// Contract (the differential-oracle guarantee; docs/EXECUTION.md):
+/// exactly the same (row, subexpression) pairs are evaluated as the
+/// scalar evaluator would visit row-at-a-time — AND/OR short-circuiting
+/// is reproduced per position with lazily narrowed selection vectors —
+/// only the evaluation *order* differs (operator-at-a-time instead of
+/// row-at-a-time). If any position errors, the whole call re-runs the
+/// selected positions row-at-a-time through the scalar evaluator and
+/// returns its first error, so error codes and messages are bit-identical
+/// to the row path. Position-independent failures (cancellation,
+/// timeouts, injected faults, lock errors surfaced through subqueries)
+/// propagate immediately without the re-run.
+///
+/// `scope` must have the batch's bindings at its innermost level; its
+/// row pointers are clobbered (subquery nodes and the scalar re-run bind
+/// rows through it) and are not restored.
+Status EvaluatePredicateBatch(const Expr& expr, Scope* scope,
+                              EvalContext& ctx, const RowBatch& batch,
+                              const SelVec& sel, std::vector<TriBool>* out);
+
+}  // namespace exec
+}  // namespace sopr
+
+#endif  // SOPR_EXEC_BATCH_EVALUATOR_H_

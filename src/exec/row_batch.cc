@@ -1,0 +1,12 @@
+#include "exec/row_batch.h"
+
+namespace sopr {
+namespace exec {
+
+ExecStats& GlobalStats() {
+  static ExecStats stats;
+  return stats;
+}
+
+}  // namespace exec
+}  // namespace sopr

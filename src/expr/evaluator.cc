@@ -47,9 +47,7 @@ Result<Scope::Resolved> Scope::ResolveColumn(const std::string& qualifier,
   return Status::CatalogError("unknown column: " + column);
 }
 
-namespace {
-
-Value TriToValue(TriBool t) {
+Value TriBoolToValue(TriBool t) {
   switch (t) {
     case TriBool::kTrue:
       return Value::Bool(true);
@@ -61,7 +59,7 @@ Value TriToValue(TriBool t) {
   return Value::Null();
 }
 
-Result<TriBool> ValueToTri(const Value& v) {
+Result<TriBool> PredicateTriFromValue(const Value& v) {
   if (v.is_null()) return TriBool::kUnknown;
   if (v.type() == ValueType::kBool) {
     return v.AsBool() ? TriBool::kTrue : TriBool::kFalse;
@@ -71,25 +69,45 @@ Result<TriBool> ValueToTri(const Value& v) {
                            v.ToString());
 }
 
-Result<Value> EvaluateComparison(BinaryOp op, const Value& left,
-                                 const Value& right) {
+Result<Value> EvaluateBinaryValue(BinaryOp op, const Value& left,
+                                  const Value& right) {
   switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Add(left, right);
+    case BinaryOp::kSub:
+      return Value::Subtract(left, right);
+    case BinaryOp::kMul:
+      return Value::Multiply(left, right);
+    case BinaryOp::kDiv:
+      return Value::Divide(left, right);
     case BinaryOp::kEq:
-      return TriToValue(left.SqlEquals(right));
+      return TriBoolToValue(left.SqlEquals(right));
     case BinaryOp::kNe:
-      return TriToValue(TriNot(left.SqlEquals(right)));
+      return TriBoolToValue(TriNot(left.SqlEquals(right)));
     case BinaryOp::kLt:
-      return TriToValue(left.SqlLess(right));
+      return TriBoolToValue(left.SqlLess(right));
     case BinaryOp::kGe:
-      return TriToValue(TriNot(left.SqlLess(right)));
+      return TriBoolToValue(TriNot(left.SqlLess(right)));
     case BinaryOp::kGt:
-      return TriToValue(right.SqlLess(left));
+      return TriBoolToValue(right.SqlLess(left));
     case BinaryOp::kLe:
-      return TriToValue(TriNot(right.SqlLess(left)));
+      return TriBoolToValue(TriNot(right.SqlLess(left)));
     default:
-      return Status::Internal("not a comparison");
+      return Status::Internal("not a value binary operator");
   }
 }
+
+TriBool MembershipTri(const Value& needle, const std::vector<Value>& haystack) {
+  bool saw_unknown = false;
+  for (const Value& candidate : haystack) {
+    TriBool eq = needle.SqlEquals(candidate);
+    if (eq == TriBool::kTrue) return TriBool::kTrue;
+    if (eq == TriBool::kUnknown) saw_unknown = true;
+  }
+  return saw_unknown ? TriBool::kUnknown : TriBool::kFalse;
+}
+
+namespace {
 
 Result<Value> EvaluateScalarSubquery(const SelectStmt& select,
                                      const Scope& scope, EvalContext& ctx) {
@@ -109,17 +127,6 @@ Result<Value> EvaluateScalarSubquery(const SelectStmt& select,
   }
   if (result.rows.empty()) return Value::Null();
   return result.rows[0].at(0);
-}
-
-/// SQL membership test over a list of candidate values.
-TriBool MembershipTri(const Value& needle, const std::vector<Value>& haystack) {
-  bool saw_unknown = false;
-  for (const Value& candidate : haystack) {
-    TriBool eq = needle.SqlEquals(candidate);
-    if (eq == TriBool::kTrue) return TriBool::kTrue;
-    if (eq == TriBool::kUnknown) saw_unknown = true;
-  }
-  return saw_unknown ? TriBool::kUnknown : TriBool::kFalse;
 }
 
 }  // namespace
@@ -146,8 +153,8 @@ Result<Value> Evaluate(const Expr& expr, const Scope& scope,
       SOPR_ASSIGN_OR_RETURN(Value operand,
                             Evaluate(*unary.operand, scope, ctx));
       if (unary.op == UnaryOp::kNeg) return Value::Negate(operand);
-      SOPR_ASSIGN_OR_RETURN(TriBool t, ValueToTri(operand));
-      return TriToValue(TriNot(t));
+      SOPR_ASSIGN_OR_RETURN(TriBool t, PredicateTriFromValue(operand));
+      return TriBoolToValue(TriNot(t));
     }
 
     case ExprKind::kBinary: {
@@ -155,7 +162,7 @@ Result<Value> Evaluate(const Expr& expr, const Scope& scope,
       // Short-circuit logical operators with three-valued logic.
       if (binary.op == BinaryOp::kAnd || binary.op == BinaryOp::kOr) {
         SOPR_ASSIGN_OR_RETURN(Value lv, Evaluate(*binary.left, scope, ctx));
-        SOPR_ASSIGN_OR_RETURN(TriBool lt, ValueToTri(lv));
+        SOPR_ASSIGN_OR_RETURN(TriBool lt, PredicateTriFromValue(lv));
         if (binary.op == BinaryOp::kAnd && lt == TriBool::kFalse) {
           return Value::Bool(false);
         }
@@ -163,24 +170,13 @@ Result<Value> Evaluate(const Expr& expr, const Scope& scope,
           return Value::Bool(true);
         }
         SOPR_ASSIGN_OR_RETURN(Value rv, Evaluate(*binary.right, scope, ctx));
-        SOPR_ASSIGN_OR_RETURN(TriBool rt, ValueToTri(rv));
-        return TriToValue(binary.op == BinaryOp::kAnd ? TriAnd(lt, rt)
-                                                      : TriOr(lt, rt));
+        SOPR_ASSIGN_OR_RETURN(TriBool rt, PredicateTriFromValue(rv));
+        return TriBoolToValue(binary.op == BinaryOp::kAnd ? TriAnd(lt, rt)
+                                                          : TriOr(lt, rt));
       }
       SOPR_ASSIGN_OR_RETURN(Value left, Evaluate(*binary.left, scope, ctx));
       SOPR_ASSIGN_OR_RETURN(Value right, Evaluate(*binary.right, scope, ctx));
-      switch (binary.op) {
-        case BinaryOp::kAdd:
-          return Value::Add(left, right);
-        case BinaryOp::kSub:
-          return Value::Subtract(left, right);
-        case BinaryOp::kMul:
-          return Value::Multiply(left, right);
-        case BinaryOp::kDiv:
-          return Value::Divide(left, right);
-        default:
-          return EvaluateComparison(binary.op, left, right);
-      }
+      return EvaluateBinaryValue(binary.op, left, right);
     }
 
     case ExprKind::kInList: {
@@ -193,7 +189,7 @@ Result<Value> Evaluate(const Expr& expr, const Scope& scope,
         items.push_back(std::move(v));
       }
       TriBool t = MembershipTri(needle, items);
-      return TriToValue(in.negated ? TriNot(t) : t);
+      return TriBoolToValue(in.negated ? TriNot(t) : t);
     }
 
     case ExprKind::kInSubquery: {
@@ -212,7 +208,7 @@ Result<Value> Evaluate(const Expr& expr, const Scope& scope,
       items.reserve(result.rows.size());
       for (const Row& row : result.rows) items.push_back(row.at(0));
       TriBool t = MembershipTri(needle, items);
-      return TriToValue(in.negated ? TriNot(t) : t);
+      return TriBoolToValue(in.negated ? TriNot(t) : t);
     }
 
     case ExprKind::kExists: {
@@ -255,7 +251,7 @@ Result<Value> Evaluate(const Expr& expr, const Scope& scope,
       TriBool ge = TriNot(v.SqlLess(lo));
       TriBool le = TriNot(hi.SqlLess(v));
       TriBool t = TriAnd(ge, le);
-      return TriToValue(between.negated ? TriNot(t) : t);
+      return TriBoolToValue(between.negated ? TriNot(t) : t);
     }
   }
   return Status::Internal("unhandled expression kind");
@@ -264,7 +260,7 @@ Result<Value> Evaluate(const Expr& expr, const Scope& scope,
 Result<TriBool> EvaluatePredicate(const Expr& expr, const Scope& scope,
                                   EvalContext& ctx) {
   SOPR_ASSIGN_OR_RETURN(Value v, Evaluate(expr, scope, ctx));
-  return ValueToTri(v);
+  return PredicateTriFromValue(v);
 }
 
 bool ContainsAggregate(const Expr& expr) {

@@ -5,7 +5,11 @@
 #include <set>
 
 #include "common/cancel.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
+#include "exec/batch_evaluator.h"
+#include "exec/hash_join.h"
+#include "exec/row_batch.h"
 #include "expr/aggregate.h"
 
 namespace sopr {
@@ -16,6 +20,19 @@ namespace {
 /// rows, so a runaway cross product or a giant scan stays interruptible
 /// without paying a check per row (docs/OVERLOAD.md).
 constexpr size_t kCancelCheckBatch = 1024;
+
+/// Mirrors the batch evaluator's fallback classification: these are
+/// row-position-dependent evaluation errors where the vectorized UPDATE
+/// re-runs the whole scan row-at-a-time so the reported error is the one
+/// the row path hits first (it interleaves predicate and assignment
+/// evaluation per row; batches evaluate the predicate stage first).
+/// Everything else (cancellation, timeouts, injected faults, lock
+/// trouble) propagates as is.
+bool IsEvalOrderingError(StatusCode code) {
+  return code == StatusCode::kTypeError ||
+         code == StatusCode::kExecutionError ||
+         code == StatusCode::kCatalogError || code == StatusCode::kInternal;
+}
 
 }  // namespace
 
@@ -156,13 +173,13 @@ Result<QueryResult> Executor::ExecuteSelect(
   // reduces to the classic cross-product-then-filter pipeline.
   QueryPlan plan;
   std::vector<const Expr*> naive_residual;
-  if (optimize_) {
+  if (options_.optimize) {
     plan = QueryPlan::Analyze(stmt.where.get(), binding_infos);
   } else if (stmt.where != nullptr) {
     naive_residual.push_back(stmt.where.get());
   }
   const std::vector<const Expr*>& residual =
-      optimize_ ? plan.residual() : naive_residual;
+      options_.optimize ? plan.residual() : naive_residual;
 
   // Materialize each relation, using an equality-index hint when a pushed
   // filter is `column = literal` (the filter is still re-applied below,
@@ -221,6 +238,11 @@ Result<QueryResult> Executor::ExecuteSelect(
   // 1. Pushed filters: shrink each relation before joining.
   for (const QueryPlan::PushedFilter& filter : plan.pushed()) {
     Relation& rel = relations[filter.binding];
+    if (options_.vectorized) {
+      SOPR_RETURN_NOT_OK(FilterRelationVectorized(*filter.conjunct, &scope,
+                                                  filter.binding, &rel));
+      continue;
+    }
     std::vector<Row> kept_rows;
     std::vector<TupleHandle> kept_handles;
     for (size_t r = 0; r < rel.rows.size(); ++r) {
@@ -260,7 +282,69 @@ Result<QueryResult> Executor::ExecuteSelect(
     }
     std::vector<QueryPlan::JoinEdge> edges = plan.EdgesTo(joined, next);
     std::vector<Combo> next_combos;
-    if (!edges.empty()) {
+    if (!edges.empty() && options_.vectorized) {
+      // Build/probe hash join on `next` keyed by its edge columns. An
+      // armed exec.hashjoin.build failure aborts the statement before
+      // any build work; a KILL delivered while parked here is observed
+      // at the next cancellation check (batch boundaries inside Build).
+      SOPR_FAILPOINT_RETURN("exec.hashjoin.build");
+      std::vector<size_t> key_cols;
+      key_cols.reserve(edges.size());
+      for (const QueryPlan::JoinEdge& edge : edges) {
+        key_cols.push_back(edge.right_column);
+      }
+      exec::JoinHashTable table;
+      SOPR_ASSIGN_OR_RETURN(
+          bool built,
+          table.Build(rel.rows, std::move(key_cols),
+                      options_.max_hash_build_rows));
+      size_t probed = 0;
+      std::vector<const Value*> probe_key(edges.size());
+      std::vector<uint32_t> matches;
+      for (const Combo& combo : combos) {
+        if (probed++ % kCancelCheckBatch == 0) {
+          SOPR_RETURN_NOT_OK(CheckCancel("hash join probe"));
+        }
+        if (built) {
+          for (size_t k = 0; k < edges.size(); ++k) {
+            probe_key[k] =
+                &combo.rows[edges[k].left_binding]->at(edges[k].left_column);
+          }
+          matches.clear();
+          table.Probe(probe_key, &matches);
+          for (uint32_t r : matches) {
+            Combo out = combo;
+            out.rows[next] = &rel.rows[r];
+            out.row_indices[next] = r;
+            next_combos.push_back(std::move(out));
+          }
+        } else {
+          // Build side exceeded the memory budget: nested-loop probe
+          // applying the edge predicates directly (same join semantics,
+          // bounded memory — docs/EXECUTION.md).
+          for (size_t r = 0; r < rel.rows.size(); ++r) {
+            if (r % kCancelCheckBatch == kCancelCheckBatch - 1) {
+              SOPR_RETURN_NOT_OK(CheckCancel("nested loop join"));
+            }
+            bool match = true;
+            for (const QueryPlan::JoinEdge& edge : edges) {
+              if (combo.rows[edge.left_binding]
+                      ->at(edge.left_column)
+                      .SqlEquals(rel.rows[r].at(edge.right_column)) !=
+                  TriBool::kTrue) {
+                match = false;
+                break;
+              }
+            }
+            if (!match) continue;
+            Combo out = combo;
+            out.rows[next] = &rel.rows[r];
+            out.row_indices[next] = r;
+            next_combos.push_back(std::move(out));
+          }
+        }
+      }
+    } else if (!edges.empty()) {
       // Hash join: build on `next` keyed by its edge columns (numerics
       // normalized to double so 2 joins with 2.0); NULL keys never match.
       auto normalize = [](const Value& v) {
@@ -318,7 +402,46 @@ Result<QueryResult> Executor::ExecuteSelect(
   }
 
   // 3. Residual conjuncts over full combos.
-  if (!residual.empty()) {
+  if (!residual.empty() && options_.vectorized) {
+    // Batch-at-a-time: each conjunct narrows the chunk's selection
+    // vector, so conjunct k only sees combos whose earlier conjuncts
+    // were all true — the same pairs the row path evaluates.
+    std::vector<Combo> filtered;
+    filtered.reserve(combos.size());
+    exec::RowBatch batch(scope.num_bindings());
+    for (size_t start = 0; start < combos.size();
+         start += exec::kBatchRows) {
+      SOPR_FAILPOINT_RETURN("exec.batch");
+      SOPR_RETURN_NOT_OK(CheckCancel("batch boundary"));
+      const size_t end = std::min(start + exec::kBatchRows, combos.size());
+      batch.Clear();
+      exec::SelVec sel;
+      sel.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        batch.AppendAllNull();
+        for (size_t b = 0; b < combos[i].rows.size(); ++b) {
+          batch.SetBack(b, combos[i].rows[b]);
+        }
+        sel.push_back(static_cast<uint32_t>(i - start));
+      }
+      for (const Expr* conjunct : residual) {
+        if (sel.empty()) break;
+        std::vector<TriBool> tri;
+        SOPR_RETURN_NOT_OK(exec::EvaluatePredicateBatch(
+            *conjunct, &scope, ctx, batch, sel, &tri));
+        exec::SelVec next_sel;
+        next_sel.reserve(sel.size());
+        for (size_t i = 0; i < sel.size(); ++i) {
+          if (tri[i] == TriBool::kTrue) next_sel.push_back(sel[i]);
+        }
+        sel = std::move(next_sel);
+      }
+      for (uint32_t pos : sel) {
+        filtered.push_back(std::move(combos[start + pos]));
+      }
+    }
+    combos = std::move(filtered);
+  } else if (!residual.empty()) {
     std::vector<Combo> filtered;
     filtered.reserve(combos.size());
     size_t evaluated = 0;
@@ -583,11 +706,79 @@ Status Executor::ApplyOrderAndDistinct(const SelectStmt& stmt,
   return Status::OK();
 }
 
+Status Executor::FilterRelationVectorized(const Expr& conjunct, Scope* scope,
+                                          size_t binding, Relation* rel) {
+  EvalContext ctx;
+  ctx.runner = this;
+  std::vector<Row> kept_rows;
+  std::vector<TupleHandle> kept_handles;
+  exec::RowBatch batch(scope->num_bindings());
+  for (size_t start = 0; start < rel->rows.size();
+       start += exec::kBatchRows) {
+    SOPR_FAILPOINT_RETURN("exec.batch");
+    SOPR_RETURN_NOT_OK(CheckCancel("batch boundary"));
+    const size_t end = std::min(start + exec::kBatchRows, rel->rows.size());
+    batch.Clear();
+    exec::SelVec sel;
+    sel.reserve(end - start);
+    for (size_t r = start; r < end; ++r) {
+      batch.AppendAllNull();
+      batch.SetBack(binding, &rel->rows[r]);
+      sel.push_back(static_cast<uint32_t>(r - start));
+    }
+    std::vector<TriBool> tri;
+    SOPR_RETURN_NOT_OK(exec::EvaluatePredicateBatch(conjunct, scope, ctx,
+                                                    batch, sel, &tri));
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (tri[i] != TriBool::kTrue) continue;
+      kept_rows.push_back(std::move(rel->rows[start + sel[i]]));
+      kept_handles.push_back(rel->handles[start + sel[i]]);
+    }
+  }
+  rel->rows = std::move(kept_rows);
+  rel->handles = std::move(kept_handles);
+  for (size_t b = 0; b < scope->num_bindings(); ++b) {
+    scope->SetRow(b, nullptr);
+  }
+  return Status::OK();
+}
+
+Status Executor::MatchSnapshotVectorized(
+    const Expr& where, Scope* scope,
+    const std::vector<std::pair<TupleHandle, Row>>& snapshot,
+    std::vector<char>* matches) {
+  EvalContext ctx;
+  ctx.runner = this;
+  matches->assign(snapshot.size(), 0);
+  exec::RowBatch batch(scope->num_bindings());
+  for (size_t start = 0; start < snapshot.size();
+       start += exec::kBatchRows) {
+    SOPR_FAILPOINT_RETURN("exec.batch");
+    SOPR_RETURN_NOT_OK(CheckCancel("batch boundary"));
+    const size_t end = std::min(start + exec::kBatchRows, snapshot.size());
+    batch.Clear();
+    exec::SelVec sel;
+    sel.reserve(end - start);
+    for (size_t r = start; r < end; ++r) {
+      batch.AppendAllNull();
+      batch.SetBack(0, &snapshot[r].second);
+      sel.push_back(static_cast<uint32_t>(r - start));
+    }
+    std::vector<TriBool> tri;
+    SOPR_RETURN_NOT_OK(
+        exec::EvaluatePredicateBatch(where, scope, ctx, batch, sel, &tri));
+    for (size_t i = 0; i < sel.size(); ++i) {
+      (*matches)[start + sel[i]] = tri[i] == TriBool::kTrue ? 1 : 0;
+    }
+  }
+  return Status::OK();
+}
+
 Status Executor::SnapshotForDml(
     const Table& table, const std::string& table_name, const Expr* where,
     const TableSchema& schema,
     std::vector<std::pair<TupleHandle, Row>>* snapshot) {
-  if (optimize_ && where != nullptr) {
+  if (options_.optimize && where != nullptr) {
     if (auto hint = FindEqLiteral(where, schema)) {
       if (table.GetIndex(hint->first) != nullptr) {
         std::vector<TupleHandle> handles;
@@ -678,19 +869,31 @@ Result<DmlEffect> Executor::ExecuteDelete(const DeleteStmt& stmt) {
   EvalContext ctx;
   ctx.runner = this;
 
-  size_t scanned = 0;
-  for (auto& [handle, row] : snapshot) {
-    if (scanned++ % kCancelCheckBatch == 0) {
-      SOPR_RETURN_NOT_OK(CheckCancel("delete scan"));
+  if (stmt.where != nullptr && options_.vectorized) {
+    std::vector<char> matches;
+    SOPR_RETURN_NOT_OK(
+        MatchSnapshotVectorized(*stmt.where, &scope, snapshot, &matches));
+    for (size_t r = 0; r < snapshot.size(); ++r) {
+      if (matches[r]) {
+        effect.deleted.emplace_back(snapshot[r].first,
+                                    std::move(snapshot[r].second));
+      }
     }
-    bool match = true;
-    if (stmt.where != nullptr) {
-      scope.SetRow(0, &row);
-      SOPR_ASSIGN_OR_RETURN(TriBool t,
-                            EvaluatePredicate(*stmt.where, scope, ctx));
-      match = (t == TriBool::kTrue);
+  } else {
+    size_t scanned = 0;
+    for (auto& [handle, row] : snapshot) {
+      if (scanned++ % kCancelCheckBatch == 0) {
+        SOPR_RETURN_NOT_OK(CheckCancel("delete scan"));
+      }
+      bool match = true;
+      if (stmt.where != nullptr) {
+        scope.SetRow(0, &row);
+        SOPR_ASSIGN_OR_RETURN(TriBool t,
+                              EvaluatePredicate(*stmt.where, scope, ctx));
+        match = (t == TriBool::kTrue);
+      }
+      if (match) effect.deleted.emplace_back(handle, std::move(row));
     }
-    if (match) effect.deleted.emplace_back(handle, std::move(row));
   }
 
   for (const auto& [handle, row] : effect.deleted) {
@@ -729,8 +932,45 @@ Result<DmlEffect> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
   ctx.runner = this;
 
   std::vector<std::pair<TupleHandle, Row>> new_rows;
+  bool vectorized_done = false;
+  if (stmt.where != nullptr && options_.vectorized) {
+    std::vector<char> matches;
+    Status s =
+        MatchSnapshotVectorized(*stmt.where, &scope, snapshot, &matches);
+    if (s.ok()) {
+      // Predicate stage clean: assignment evaluation below visits the
+      // same rows in the same order as the row path, so any assignment
+      // error already matches it exactly.
+      for (size_t r = 0; r < snapshot.size(); ++r) {
+        if (!matches[r]) continue;
+        auto& [handle, row] = snapshot[r];
+        scope.SetRow(0, &row);
+        Row new_row = row;
+        for (size_t i = 0; i < stmt.assignments.size(); ++i) {
+          SOPR_ASSIGN_OR_RETURN(
+              Value v, Evaluate(*stmt.assignments[i].value, scope, ctx));
+          new_row.at(assigned_cols[i]) = std::move(v);
+        }
+        new_row = CoerceRow(std::move(new_row), schema);
+
+        DmlEffect::UpdatedTuple updated;
+        updated.handle = handle;
+        updated.columns = assigned_cols;
+        updated.old_row = std::move(row);
+        effect.updated.push_back(std::move(updated));
+        new_rows.emplace_back(handle, std::move(new_row));
+      }
+      vectorized_done = true;
+    } else if (!IsEvalOrderingError(s.code())) {
+      return s;
+    }
+    // An evaluation error in the predicate stage falls through to the
+    // full row-at-a-time scan: the row path may hit an assignment error
+    // on an earlier row first, and that is the authoritative outcome.
+  }
   size_t scanned = 0;
   for (auto& [handle, row] : snapshot) {
+    if (vectorized_done) break;
     if (scanned++ % kCancelCheckBatch == 0) {
       SOPR_RETURN_NOT_OK(CheckCancel("update scan"));
     }

@@ -85,6 +85,21 @@ struct SelectedTuple {
   TupleHandle handle = kInvalidHandle;
 };
 
+/// Executor tuning knobs, threaded down from RuleEngineOptions.
+struct ExecOptions {
+  /// Predicate pushdown + equijoin extraction. Off = plain
+  /// cross-product-then-filter (ablation benchmark B9).
+  bool optimize = true;
+  /// Batch-at-a-time predicate evaluation and the unordered build/probe
+  /// hash join (docs/EXECUTION.md). Off = the original row-at-a-time
+  /// pipeline, kept alive as the differential oracle.
+  bool vectorized = true;
+  /// Build-side row cap for the vectorized hash join; exceeding it
+  /// falls back to a nested-loop join with a counted stat instead of
+  /// growing the hash table without bound. 0 = unlimited.
+  size_t max_hash_build_rows = 1u << 20;
+};
+
 /// Set-oriented executor for the paper's SQL subset. Stateless between
 /// statements; all mutations flow through the Database (which records
 /// undo information). DML evaluates its full target set against the
@@ -99,7 +114,10 @@ class Executor : public SubqueryRunner {
   /// cross-product-then-filter pipeline runs (used for differential
   /// testing and the optimizer ablation benchmark).
   Executor(Database* db, TableResolver* resolver, bool optimize = true)
-      : db_(db), resolver_(resolver), optimize_(optimize) {}
+      : db_(db), resolver_(resolver), options_{optimize, true, 1u << 20} {}
+
+  Executor(Database* db, TableResolver* resolver, const ExecOptions& options)
+      : db_(db), resolver_(resolver), options_(options) {}
 
   /// Runs a select. `outer` provides correlation bindings for subqueries.
   /// When `selected` is non-null, handles of base-table tuples that
@@ -148,9 +166,23 @@ class Executor : public SubqueryRunner {
   /// schema exactly.
   static Row CoerceRow(Row row, const TableSchema& schema);
 
+  /// Vectorized pushed-filter: batch-evaluates `conjunct` over binding
+  /// `binding` of `rel` and compacts it to the rows where it is true.
+  /// Fires the `exec.batch` failpoint and checks cancellation at every
+  /// batch boundary.
+  Status FilterRelationVectorized(const Expr& conjunct, Scope* scope,
+                                  size_t binding, Relation* rel);
+
+  /// Vectorized DML predicate scan: batch-evaluates `where` over the
+  /// snapshot rows and sets `matches[i]` for rows where it is true.
+  Status MatchSnapshotVectorized(
+      const Expr& where, Scope* scope,
+      const std::vector<std::pair<TupleHandle, Row>>& snapshot,
+      std::vector<char>* matches);
+
   Database* db_;
   TableResolver* resolver_;
-  bool optimize_;
+  ExecOptions options_;
 };
 
 }  // namespace sopr

@@ -322,7 +322,7 @@ Status RuleEngine::RunOps(const std::vector<const Stmt*>& ops,
   // External blocks may not reference transition tables, but they execute
   // with the same resolver so that the error message is uniform.
   DatabaseResolver resolver(db_);
-  Executor executor(db_, &resolver, options_.optimize_queries);
+  Executor executor(db_, &resolver, ExecOptionsFrom(options_));
   for (const Stmt* op : ops) {
     Status deadline = CheckDeadline(*frame);
     if (!deadline.ok()) {
@@ -473,7 +473,7 @@ Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
       ResetInfo(frame, index);
     }
     TransitionTableResolver resolver(db_, &info);
-    Executor executor(db_, &resolver, options_.optimize_queries);
+    Executor executor(db_, &resolver, ExecOptionsFrom(options_));
     bool condition_holds = true;
     if (rule.condition() != nullptr) {
       Scope scope;
@@ -549,7 +549,7 @@ Status RuleEngine::RunRuleLoop(ExecutionTrace* trace) {
 Status RuleEngine::ExecuteAction(const Rule& rule, const TransInfo& info,
                                  TransInfo* out, ExecutionTrace* trace) {
   TransitionTableResolver resolver(db_, &info);
-  Executor executor(db_, &resolver, options_.optimize_queries);
+  Executor executor(db_, &resolver, ExecOptionsFrom(options_));
   for (const StmtPtr& op : rule.action()) {
     Status deadline = CheckDeadline(*Tls().frame);
     if (!deadline.ok()) {

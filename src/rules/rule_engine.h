@@ -51,6 +51,18 @@ struct RuleEngineOptions {
   /// statement executed through the rule system. Off = plain
   /// cross-product-then-filter (ablation benchmark B9).
   bool optimize_queries = true;
+  /// Vectorized set-oriented execution (docs/EXECUTION.md): rule
+  /// conditions, query filters, DML predicate scans, and transition ⋈
+  /// base joins evaluate batch-at-a-time over columnar RowBatches with
+  /// an unordered build/probe hash join. Off = the original
+  /// row-at-a-time pipeline, kept alive as the differential oracle
+  /// (tests/rules/vectorized_differential_test.cc).
+  bool vectorized_execution = true;
+  /// Build-side row cap for the vectorized hash join (0 = unlimited): a
+  /// join whose build side exceeds it falls back to a nested-loop probe
+  /// with a counted stat (exec::GlobalStats().hash_join_fallbacks)
+  /// instead of growing the hash table without bound.
+  size_t max_hash_build_rows = 1u << 20;
   /// Per-transaction wall-clock deadline (zero = none). Checked between
   /// operations and rule considerations; exceeding it aborts the
   /// transaction with kTimeout. Detached transactions get their own
@@ -91,6 +103,13 @@ struct RuleEngineOptions {
   /// Engine::Checkpoint() calls.
   uint64_t wal_checkpoint_interval = 0;
 };
+
+/// Executor knobs derived from rule-engine options — the single place
+/// the mapping lives, so every Executor construction site agrees.
+inline ExecOptions ExecOptionsFrom(const RuleEngineOptions& o) {
+  return ExecOptions{o.optimize_queries, o.vectorized_execution,
+                     o.max_hash_build_rows};
+}
 
 /// Footnote 8 of the paper: which point a rule's composite transition is
 /// measured from. The main semantics resets a rule's trans-info when its

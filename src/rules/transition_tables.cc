@@ -45,12 +45,10 @@ Result<Relation> TransitionTableResolver::Resolve(const TableRef& ref) {
     case TableRefKind::kInserted:
       // Transition-table rows are this transaction's own writes (X locks
       // held), but the heap structure may be reshaped by concurrent
-      // committers — read through the latched accessor.
-      for (TupleHandle h : info.ins) {
-        SOPR_ASSIGN_OR_RETURN(Row row, table->GetCopy(h));
-        rel.handles.push_back(h);
-        rel.rows.push_back(std::move(row));
-      }
+      // committers — read through the latched accessor, batched so the
+      // whole transition materializes under one latch acquisition.
+      rel.handles.assign(info.ins.begin(), info.ins.end());
+      SOPR_RETURN_NOT_OK(table->GetCopyBatch(rel.handles, &rel.rows));
       break;
 
     case TableRefKind::kDeleted:
@@ -70,19 +68,16 @@ Result<Relation> TransitionTableResolver::Resolve(const TableRef& ref) {
         rel.handles.push_back(h);
         if (ref.kind == TableRefKind::kOldUpdated) {
           rel.rows.push_back(upd.old_row);
-        } else {
-          SOPR_ASSIGN_OR_RETURN(Row row, table->GetCopy(h));
-          rel.rows.push_back(std::move(row));
         }
+      }
+      if (ref.kind == TableRefKind::kNewUpdated) {
+        SOPR_RETURN_NOT_OK(table->GetCopyBatch(rel.handles, &rel.rows));
       }
       break;
 
     case TableRefKind::kSelectedTt:
-      for (TupleHandle h : info.sel) {
-        SOPR_ASSIGN_OR_RETURN(Row row, table->GetCopy(h));
-        rel.handles.push_back(h);
-        rel.rows.push_back(std::move(row));
-      }
+      rel.handles.assign(info.sel.begin(), info.sel.end());
+      SOPR_RETURN_NOT_OK(table->GetCopyBatch(rel.handles, &rel.rows));
       break;
 
     case TableRefKind::kBase:

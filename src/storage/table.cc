@@ -441,6 +441,24 @@ Result<Row> Table::GetCopy(TupleHandle handle) const {
   return it->second;
 }
 
+Status Table::GetCopyBatch(const std::vector<TupleHandle>& handles,
+                           std::vector<Row>* out) const {
+  auto lock = mvcc_ == nullptr
+                  ? std::shared_lock<std::shared_mutex>()
+                  : std::shared_lock<std::shared_mutex>(mvcc_->mu);
+  out->reserve(out->size() + handles.size());
+  for (TupleHandle handle : handles) {
+    auto it = rows_.find(handle);
+    if (it == rows_.end()) {
+      return Status::ExecutionError("no tuple with handle " +
+                                    std::to_string(handle) + " in table " +
+                                    schema_.name());
+    }
+    out->push_back(it->second);
+  }
+  return Status::OK();
+}
+
 void Table::CopyRows(std::vector<std::pair<TupleHandle, Row>>* out) const {
   auto lock = mvcc_ == nullptr
                   ? std::shared_lock<std::shared_mutex>()

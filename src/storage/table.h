@@ -76,6 +76,13 @@ class Table {
   /// Copy-out Get: the row under `handle`, ExecutionError if absent.
   Result<Row> GetCopy(TupleHandle handle) const;
 
+  /// Batched GetCopy: copies the rows under `handles` (in order) under
+  /// one shared-latch acquisition instead of one per row — the
+  /// vectorized transition-table materialization path. Fails on the
+  /// first absent handle with GetCopy's error.
+  Status GetCopyBatch(const std::vector<TupleHandle>& handles,
+                      std::vector<Row>* out) const;
+
   /// Appends every (handle, row) of the current head in handle order.
   void CopyRows(std::vector<std::pair<TupleHandle, Row>>* out) const;
 

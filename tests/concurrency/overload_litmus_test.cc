@@ -434,5 +434,82 @@ TEST(OverloadLitmus, InjectedCancelRollsBackToExactPreState) {
   ASSERT_OK(t1->Execute("update accts set bal = bal + 1 where id = 1"));
 }
 
+// --- Session kill lands at a vectorized batch boundary -------------------
+// The vectorized executor (docs/EXECUTION.md) checks cancellation at
+// chunk granularity. T1's update applies, then its rule action joins the
+// transition table against base accts: T1 parks at exec.hashjoin.build
+// with the user write already in the heap and X locks held. Cancel, then
+// release: the very next batch-granularity check (the probe loop's) must
+// deliver the kill, and the whole transaction — user write AND the
+// half-done rule action — rolls back checksum-exact.
+TEST(OverloadLitmus, SessionCancelAtHashJoinBuildRollsBackExactly) {
+  Fixture f;
+  ASSERT_OK(f.setup->Execute("create table audit (id int, bal int)"));
+  ASSERT_OK(f.setup->Execute(
+      "create rule jn when updated accts.bal "
+      "then insert into audit "
+      "(select a.id, a.bal from new updated accts.bal n, accts a "
+      "where n.id = a.id)"));
+  const uint64_t before = f.db().Checksum();
+
+  ASSERT_OK_AND_ASSIGN(server::Session * t1, f.manager->CreateSession());
+  test::Schedule s;
+  s.BlockAt("exec.hashjoin.build");
+  s.Spawn("joiner", [&] {
+    return t1->Execute("update accts set bal = bal + 1 where id = 1");
+  });
+  s.WaitBlocked("exec.hashjoin.build");
+
+  t1->Cancel("operator kill mid-hash-build");
+  s.Release("exec.hashjoin.build");
+  Status st = s.Join("joiner");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled) << st;
+  EXPECT_EQ(f.db().Checksum(), before)
+      << "a kill delivered at the hash-join batch boundary must roll the "
+         "update and its rule action back to the exact pre-state";
+  f.ExpectClean();
+
+  // The session revives and the same statement then completes, with the
+  // join rule writing its audit rows.
+  t1->ResetCancel();
+  ASSERT_OK(t1->Execute("update accts set bal = bal + 1 where id = 1"));
+  EXPECT_EQ(ScalarInt(f.setup->ExecuteQuery("select count(*) from audit")),
+            1);
+}
+
+// The same contract at the other vectorized site: exec.batch fires once
+// per chunk of a batched predicate scan. The trigger is an insert (which
+// itself never scans), so the first exec.batch hit is inside the RULE
+// ACTION's update scan — the user's insert is already applied when the
+// kill lands, and must vanish whole.
+TEST(OverloadLitmus, SessionCancelAtBatchBoundaryRollsBackExactly) {
+  Fixture f;
+  ASSERT_OK(f.setup->Execute("create table audit (id int, bal int)"));
+  ASSERT_OK(f.setup->Execute("insert into audit values (1, 0)"));
+  ASSERT_OK(f.setup->Execute(
+      "create rule tick when inserted into accts "
+      "then update audit set bal = bal + 1 where bal >= 0"));
+  const uint64_t before = f.db().Checksum();
+
+  ASSERT_OK_AND_ASSIGN(server::Session * t1, f.manager->CreateSession());
+  test::Schedule s;
+  s.BlockAt("exec.batch");
+  s.Spawn("writer", [&] {
+    return t1->Execute("insert into accts values (7, 700)");
+  });
+  s.WaitBlocked("exec.batch");
+
+  t1->Cancel("operator kill at a batch boundary");
+  s.Release("exec.batch");
+  Status st = s.Join("writer");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled) << st;
+  EXPECT_EQ(f.db().Checksum(), before);
+  f.ExpectClean();
+
+  t1->ResetCancel();
+  ASSERT_OK(t1->Execute("insert into accts values (7, 700)"));
+  EXPECT_EQ(ScalarInt(f.setup->ExecuteQuery("select bal from audit")), 1);
+}
+
 }  // namespace
 }  // namespace sopr
