@@ -3,12 +3,40 @@
 
 #include <vector>
 
+#include "exec/column_vector.h"
 #include "exec/row_batch.h"
 #include "expr/evaluator.h"
 #include "sql/ast.h"
 
 namespace sopr {
 namespace exec {
+
+/// The decomposed (hot) columns available to the columnar evaluator for
+/// one batch: (binding, column) -> ColumnVector, indexed by the SAME
+/// positions as the RowBatch. Sparse by design — only columns the
+/// predicate actually touches get decomposed; a lookup miss routes that
+/// leaf to the pointer path.
+class ColumnSet {
+ public:
+  void Add(size_t binding, size_t column, const ColumnVector* cv) {
+    entries_.push_back(Entry{binding, column, cv});
+  }
+  const ColumnVector* Find(size_t binding, size_t column) const {
+    for (const Entry& e : entries_) {
+      if (e.binding == binding && e.column == column) return e.cv;
+    }
+    return nullptr;
+  }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    size_t binding;
+    size_t column;
+    const ColumnVector* cv;
+  };
+  std::vector<Entry> entries_;
+};
 
 /// Evaluates `expr` as a predicate over every selected position of
 /// `batch`, writing one TriBool per entry of `sel` (parallel order).
@@ -31,6 +59,26 @@ namespace exec {
 Status EvaluatePredicateBatch(const Expr& expr, Scope* scope,
                               EvalContext& ctx, const RowBatch& batch,
                               const SelVec& sel, std::vector<TriBool>* out);
+
+/// Columnar variant of EvaluatePredicateBatch: where an expression
+/// subtree is statically typeable over decomposed columns (`cols`), it
+/// runs the branch-light typed kernels of exec/kernels.h; every other
+/// leaf predicate drops to the PR 9 pointer path over the same selection
+/// vector (per-expression fallback, counted in
+/// exec::GlobalStats().pointer_fallback_preds). The differential-oracle
+/// contract is IDENTICAL to EvaluatePredicateBatch — same TriBools, same
+/// visited (row, subexpression) pairs for short-circuiting, same
+/// whole-chunk scalar re-run on evaluation-class errors — because the
+/// kernels reproduce Value's comparison/arithmetic semantics lane-exactly
+/// and anything they cannot type falls back.
+///
+/// `batch` must still carry row pointers for every selected position
+/// (the pointer fallback and the scalar re-run need them); `cols` may be
+/// empty, in which case every leaf falls back.
+Status EvaluatePredicateColumnar(const Expr& expr, Scope* scope,
+                                 EvalContext& ctx, const RowBatch& batch,
+                                 const ColumnSet& cols, const SelVec& sel,
+                                 std::vector<TriBool>* out);
 
 }  // namespace exec
 }  // namespace sopr

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/column_vector.h"
 #include "types/row.h"
 #include "types/value.h"
 
@@ -32,6 +33,19 @@ class JoinHashTable {
   /// cancellation at batch boundaries during the build.
   Result<bool> Build(const std::vector<Row>& rows,
                      std::vector<size_t> key_cols, size_t max_build_rows);
+
+  /// Columnar build: identical table, keys digested by monomorphic bulk
+  /// loops over decomposed key columns (`key_vecs`, parallel to
+  /// `key_cols`, each spanning all of `rows`) instead of a per-row
+  /// Value-type switch. Same normalization (numerics through double
+  /// bits, -0.0 collapsed), same NULL-key skip, same ascending build-row
+  /// bucket order — bucket contents are bit-identical to Build's.
+  /// Counted in exec stats hash_join_columnar_builds (as well as
+  /// hash_join_builds).
+  Result<bool> BuildColumnar(const std::vector<Row>& rows,
+                             std::vector<size_t> key_cols,
+                             size_t max_build_rows,
+                             const std::vector<const ColumnVector*>& key_vecs);
 
   /// Appends to `out` the build-row indices whose key columns all
   /// SqlEquals the probe values (one per key column, same order as

@@ -1,0 +1,482 @@
+#include "exec/kernels.h"
+
+#include <cstdint>
+
+#include "exec/stats.h"
+
+namespace sopr {
+namespace exec {
+
+void NumSlice::Resize(size_t n) {
+  null.assign(n, 0);
+  is_int.assign(n, 0);
+  i64.assign(n, 0);
+  f64.assign(n, 0.0);
+  f64_valid = true;
+  all_int = false;
+  all_double = false;
+}
+
+void NumSlice::EnsureF64() const {
+  if (f64_valid) return;
+  // Only all-int writers defer the widening, so every lane has a valid
+  // i64 payload (dummies at NULL lanes widen to dummy doubles).
+  const size_t n = i64.size();
+  f64.resize(n);
+  const int64_t* src = i64.data();
+  double* dst = f64.data();
+  for (size_t i = 0; i < n; ++i) dst[i] = static_cast<double>(src[i]);
+  f64_valid = true;
+}
+
+void StrSlice::Resize(size_t n) {
+  null.assign(n, 0);
+  str.assign(n, nullptr);
+}
+
+void BoolSlice::Resize(size_t n) {
+  null.assign(n, 0);
+  b.assign(n, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Gathers
+// ---------------------------------------------------------------------------
+
+void GatherNum(const ColumnVector& col, const SelVec& sel, NumSlice* out) {
+  const size_t n = sel.size();
+  const uint8_t* nulls = col.nulls();
+  if (col.tag() == ColumnVector::Tag::kInt64) {
+    // Two streams only; the f64 shadow stays lazy (EnsureF64) so pure
+    // int pipelines never pay the widening.
+    out->null.resize(n);
+    out->is_int.assign(n, 1);
+    out->i64.resize(n);
+    out->f64.clear();
+    out->f64_valid = false;
+    out->all_int = true;
+    out->all_double = false;
+    const int64_t* src = col.i64();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = sel[i];
+      out->null[i] = nulls[p];
+      out->i64[i] = src[p];
+    }
+  } else {
+    out->null.resize(n);
+    out->is_int.assign(n, 0);
+    out->i64.clear();
+    out->f64.resize(n);
+    out->f64_valid = true;
+    out->all_int = false;
+    out->all_double = true;
+    const double* src = col.f64();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = sel[i];
+      out->null[i] = nulls[p];
+      out->f64[i] = src[p];
+    }
+  }
+}
+
+void GatherStr(const ColumnVector& col, const SelVec& sel, StrSlice* out) {
+  const size_t n = sel.size();
+  out->Resize(n);
+  const uint8_t* nulls = col.nulls();
+  const std::string* const* src = col.str();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = sel[i];
+    out->null[i] = nulls[p];
+    out->str[i] = src[p];
+  }
+}
+
+void GatherBool(const ColumnVector& col, const SelVec& sel, BoolSlice* out) {
+  const size_t n = sel.size();
+  out->Resize(n);
+  const uint8_t* nulls = col.nulls();
+  const uint8_t* src = col.b8();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = sel[i];
+    out->null[i] = nulls[p];
+    out->b[i] = src[p];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcasts
+// ---------------------------------------------------------------------------
+
+void BroadcastNum(const Value& v, size_t n, NumSlice* out) {
+  out->Resize(n);
+  if (v.type() == ValueType::kInt) {
+    const int64_t iv = v.AsInt();
+    const double dv = static_cast<double>(iv);
+    for (size_t i = 0; i < n; ++i) {
+      out->is_int[i] = 1;
+      out->i64[i] = iv;
+      out->f64[i] = dv;
+    }
+    out->all_int = true;
+  } else {
+    const double dv = v.AsDouble();
+    for (size_t i = 0; i < n; ++i) out->f64[i] = dv;
+    out->all_double = true;
+  }
+}
+
+void BroadcastStr(const Value& v, size_t n, StrSlice* out) {
+  out->Resize(n);
+  const std::string* s = &v.AsString();
+  for (size_t i = 0; i < n; ++i) out->str[i] = s;
+}
+
+void BroadcastBool(const Value& v, size_t n, BoolSlice* out) {
+  out->Resize(n);
+  const uint8_t b = v.AsBool() ? 1 : 0;
+  for (size_t i = 0; i < n; ++i) out->b[i] = b;
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr TriBool kTriByBool[2] = {TriBool::kFalse, TriBool::kTrue};
+
+/// `Decide(lt, gt, eq) -> bool` composes the six operators from the
+/// primitive relations exactly as EvaluateBinaryValue composes
+/// SqlLess/SqlEquals; instantiating the loop per operator hoists the
+/// switch out of the lane loop so the body stays branch-light.
+template <typename Decide>
+void CmpNumLoop(const NumSlice& a, const NumSlice& b, TriVec* out,
+                Decide decide) {
+  const size_t n = a.null.size();
+  out->resize(n);
+  TriBool* o = out->data();
+  if (a.all_int && b.all_int) {
+    const int64_t* x = a.i64.data();
+    const int64_t* y = b.i64.data();
+    for (size_t i = 0; i < n; ++i) {
+      const bool lt = x[i] < y[i];
+      const bool gt = y[i] < x[i];
+      const bool eq = x[i] == y[i];
+      o[i] = (a.null[i] | b.null[i]) ? TriBool::kUnknown
+                                     : kTriByBool[decide(lt, gt, eq)];
+    }
+    return;
+  }
+  if (a.all_double || b.all_double) {
+    // Every lane pair has at least one double side, so SqlLess/SqlEquals
+    // compare through the widened f64 representation.
+    a.EnsureF64();
+    b.EnsureF64();
+    const double* x = a.f64.data();
+    const double* y = b.f64.data();
+    for (size_t i = 0; i < n; ++i) {
+      const bool lt = x[i] < y[i];
+      const bool gt = y[i] < x[i];
+      const bool eq = x[i] == y[i];
+      o[i] = (a.null[i] | b.null[i]) ? TriBool::kUnknown
+                                     : kTriByBool[decide(lt, gt, eq)];
+    }
+    return;
+  }
+  a.EnsureF64();
+  b.EnsureF64();
+  for (size_t i = 0; i < n; ++i) {
+    bool lt, gt, eq;
+    if (a.is_int[i] & b.is_int[i]) {
+      lt = a.i64[i] < b.i64[i];
+      gt = b.i64[i] < a.i64[i];
+      eq = a.i64[i] == b.i64[i];
+    } else {
+      lt = a.f64[i] < b.f64[i];
+      gt = b.f64[i] < a.f64[i];
+      eq = a.f64[i] == b.f64[i];
+    }
+    o[i] = (a.null[i] | b.null[i]) ? TriBool::kUnknown
+                                   : kTriByBool[decide(lt, gt, eq)];
+  }
+}
+
+template <typename Decide>
+void CmpStrLoop(const StrSlice& a, const StrSlice& b, TriVec* out,
+                Decide decide) {
+  const size_t n = a.null.size();
+  out->resize(n);
+  TriBool* o = out->data();
+  for (size_t i = 0; i < n; ++i) {
+    if (a.null[i] | b.null[i]) {
+      o[i] = TriBool::kUnknown;
+      continue;
+    }
+    const std::string& x = *a.str[i];
+    const std::string& y = *b.str[i];
+    const int c = x.compare(y);
+    o[i] = kTriByBool[decide(c < 0, c > 0, c == 0)];
+  }
+}
+
+}  // namespace
+
+void CmpNum(BinaryOp op, const NumSlice& a, const NumSlice& b, TriVec* out) {
+  GlobalStats().kernel_compare.fetch_add(1, std::memory_order_relaxed);
+  switch (op) {
+    case BinaryOp::kEq:
+      CmpNumLoop(a, b, out, [](bool, bool, bool eq) { return eq; });
+      return;
+    case BinaryOp::kNe:
+      CmpNumLoop(a, b, out, [](bool, bool, bool eq) { return !eq; });
+      return;
+    case BinaryOp::kLt:
+      CmpNumLoop(a, b, out, [](bool lt, bool, bool) { return lt; });
+      return;
+    case BinaryOp::kGe:
+      CmpNumLoop(a, b, out, [](bool lt, bool, bool) { return !lt; });
+      return;
+    case BinaryOp::kGt:
+      CmpNumLoop(a, b, out, [](bool, bool gt, bool) { return gt; });
+      return;
+    case BinaryOp::kLe:
+      CmpNumLoop(a, b, out, [](bool, bool gt, bool) { return !gt; });
+      return;
+    default:
+      FillUnknown(a.null.size(), out);
+      return;
+  }
+}
+
+void CmpStr(BinaryOp op, const StrSlice& a, const StrSlice& b, TriVec* out) {
+  GlobalStats().kernel_compare.fetch_add(1, std::memory_order_relaxed);
+  switch (op) {
+    case BinaryOp::kEq:
+      CmpStrLoop(a, b, out, [](bool, bool, bool eq) { return eq; });
+      return;
+    case BinaryOp::kNe:
+      CmpStrLoop(a, b, out, [](bool, bool, bool eq) { return !eq; });
+      return;
+    case BinaryOp::kLt:
+      CmpStrLoop(a, b, out, [](bool lt, bool, bool) { return lt; });
+      return;
+    case BinaryOp::kGe:
+      CmpStrLoop(a, b, out, [](bool lt, bool, bool) { return !lt; });
+      return;
+    case BinaryOp::kGt:
+      CmpStrLoop(a, b, out, [](bool, bool gt, bool) { return gt; });
+      return;
+    case BinaryOp::kLe:
+      CmpStrLoop(a, b, out, [](bool, bool gt, bool) { return !gt; });
+      return;
+    default:
+      FillUnknown(a.null.size(), out);
+      return;
+  }
+}
+
+void CmpBool(BinaryOp op, const BoolSlice& a, const BoolSlice& b,
+             TriVec* out) {
+  const size_t n = a.null.size();
+  if (op != BinaryOp::kEq && op != BinaryOp::kNe) {
+    // SqlLess over booleans is kUnknown, and so is TriNot of it.
+    FillUnknown(n, out);
+    return;
+  }
+  GlobalStats().kernel_compare.fetch_add(1, std::memory_order_relaxed);
+  out->resize(n);
+  TriBool* o = out->data();
+  const bool want_eq = op == BinaryOp::kEq;
+  for (size_t i = 0; i < n; ++i) {
+    const bool eq = a.b[i] == b.b[i];
+    o[i] = (a.null[i] | b.null[i]) ? TriBool::kUnknown
+                                   : kTriByBool[eq == want_eq];
+  }
+}
+
+void FillUnknown(size_t n, TriVec* out) {
+  out->assign(n, TriBool::kUnknown);
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared Add/Sub/Mul shape: int x int lanes stay exact unless the
+/// checked operation overflows, in which case the lane promotes to the
+/// already-widened double result — precisely Value::Add/Subtract/Multiply.
+template <typename IntOp, typename DblOp>
+bool ArithLoop(const NumSlice& a, const NumSlice& b, NumSlice* out,
+               IntOp int_op, DblOp dbl_op) {
+  const size_t n = a.null.size();
+  if (a.all_int && b.all_int) {
+    // Pure int pipeline: two output streams, f64 stays lazy. Overflow
+    // (rare) falls through to the widened loop below for the remaining
+    // lanes, backfilling the f64 shadow for the lanes already done.
+    out->null.resize(n);
+    out->is_int.assign(n, 1);
+    out->i64.resize(n);
+    out->f64.clear();
+    out->f64_valid = false;
+    out->all_double = false;
+    size_t i = 0;
+    for (; i < n; ++i) {
+      out->null[i] = a.null[i] | b.null[i];
+      int64_t r;
+      if (int_op(a.i64[i], b.i64[i], &r)) break;  // overflow: promote
+      out->i64[i] = r;
+    }
+    if (i == n) {
+      out->all_int = true;
+      return false;
+    }
+    out->f64.resize(n);
+    for (size_t j = 0; j < i; ++j) {
+      out->f64[j] = static_cast<double>(out->i64[j]);
+    }
+    out->f64_valid = true;
+    out->all_int = false;
+    for (; i < n; ++i) {
+      out->null[i] = a.null[i] | b.null[i];
+      int64_t r;
+      if (!int_op(a.i64[i], b.i64[i], &r)) {
+        out->i64[i] = r;
+        out->f64[i] = static_cast<double>(r);
+      } else {
+        // Overflow: the lane's authoritative value is the double
+        // result over the widened operands (Value::Add et al.).
+        out->is_int[i] = 0;
+        out->f64[i] = dbl_op(static_cast<double>(a.i64[i]),
+                             static_cast<double>(b.i64[i]));
+      }
+    }
+    return true;
+  }
+
+  a.EnsureF64();
+  b.EnsureF64();
+  out->Resize(n);
+  bool promoted = false;
+  for (size_t i = 0; i < n; ++i) {
+    out->null[i] = a.null[i] | b.null[i];
+    if (a.is_int[i] & b.is_int[i]) {
+      int64_t r;
+      if (!int_op(a.i64[i], b.i64[i], &r)) {
+        out->is_int[i] = 1;
+        out->i64[i] = r;
+        // Widen from the exact int result (NOT from the widened
+        // operands): they differ above 2^53 and the f64 lane must match
+        // NumericAsDouble of the Value the scalar path would produce.
+        out->f64[i] = static_cast<double>(r);
+        continue;
+      }
+      // Overflow: the lane's authoritative value is the double result.
+      promoted = true;
+    }
+    out->f64[i] = dbl_op(a.f64[i], b.f64[i]);
+  }
+  out->all_int = a.all_int && b.all_int && !promoted;
+  out->all_double = a.all_double && b.all_double;
+  return promoted;
+}
+
+}  // namespace
+
+Status ArithNum(BinaryOp op, const NumSlice& a, const NumSlice& b,
+                NumSlice* out) {
+  GlobalStats().kernel_arith.fetch_add(1, std::memory_order_relaxed);
+  const size_t n = a.null.size();
+  switch (op) {
+    case BinaryOp::kAdd:
+      ArithLoop(
+          a, b, out,
+          [](int64_t x, int64_t y, int64_t* r) {
+            return __builtin_add_overflow(x, y, r);
+          },
+          [](double x, double y) { return x + y; });
+      return Status::OK();
+    case BinaryOp::kSub:
+      ArithLoop(
+          a, b, out,
+          [](int64_t x, int64_t y, int64_t* r) {
+            return __builtin_sub_overflow(x, y, r);
+          },
+          [](double x, double y) { return x - y; });
+      return Status::OK();
+    case BinaryOp::kMul:
+      ArithLoop(
+          a, b, out,
+          [](int64_t x, int64_t y, int64_t* r) {
+            return __builtin_mul_overflow(x, y, r);
+          },
+          [](double x, double y) { return x * y; });
+      return Status::OK();
+    case BinaryOp::kDiv: {
+      // Exactness is decided per lane, so the division loop always
+      // works in the widened representation.
+      a.EnsureF64();
+      b.EnsureF64();
+      out->Resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const uint8_t is_null = a.null[i] | b.null[i];
+        out->null[i] = is_null;
+        if (is_null) continue;  // NULL propagates before the zero check.
+        const double y = b.f64[i];
+        if (y == 0.0) return Status::ExecutionError("division by zero");
+        if ((a.is_int[i] & b.is_int[i]) &&
+            !(a.i64[i] == INT64_MIN && b.i64[i] == -1) &&
+            a.i64[i] % b.i64[i] == 0) {
+          out->is_int[i] = 1;
+          out->i64[i] = a.i64[i] / b.i64[i];
+          out->f64[i] = static_cast<double>(out->i64[i]);
+        } else {
+          out->f64[i] = a.f64[i] / y;
+        }
+      }
+      // Exactness is per-lane, so no slice-wide int/double promise.
+      return Status::OK();
+    }
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+void NegNum(const NumSlice& a, NumSlice* out) {
+  GlobalStats().kernel_arith.fetch_add(1, std::memory_order_relaxed);
+  const size_t n = a.null.size();
+  a.EnsureF64();
+  out->Resize(n);
+  bool promoted = false;
+  for (size_t i = 0; i < n; ++i) {
+    out->null[i] = a.null[i];
+    out->f64[i] = -a.f64[i];
+    if (a.is_int[i]) {
+      if (a.i64[i] == INT64_MIN) {
+        promoted = true;  // -INT64_MIN promotes to double.
+      } else {
+        out->is_int[i] = 1;
+        out->i64[i] = -a.i64[i];
+      }
+    }
+  }
+  out->all_int = a.all_int && !promoted;
+  out->all_double = a.all_double;
+}
+
+// ---------------------------------------------------------------------------
+// Null checks
+// ---------------------------------------------------------------------------
+
+void IsNullMask(const std::vector<uint8_t>& null, bool negated, TriVec* out) {
+  GlobalStats().kernel_null_check.fetch_add(1, std::memory_order_relaxed);
+  const size_t n = null.size();
+  out->resize(n);
+  TriBool* o = out->data();
+  const uint8_t want = negated ? 0 : 1;
+  for (size_t i = 0; i < n; ++i) o[i] = kTriByBool[null[i] == want];
+}
+
+}  // namespace exec
+}  // namespace sopr

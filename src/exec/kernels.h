@@ -1,0 +1,132 @@
+#ifndef SOPR_EXEC_KERNELS_H_
+#define SOPR_EXEC_KERNELS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/column_vector.h"
+#include "exec/row_batch.h"
+#include "sql/ast.h"
+#include "types/value.h"
+
+namespace sopr {
+namespace exec {
+
+/// Dense typed slices: one entry per lane of the selection vector being
+/// evaluated (NOT per batch position — kernels never re-index through
+/// the SelVec; gathers do that once at the leaves). Lanes are at most
+/// kBatchRows, so slices are small, reusable, and cache-resident.
+///
+/// NULL lanes hold defined dummy payloads (0 / 0.0 / nullptr), so loops
+/// may compute every lane branchlessly and mask with the null bytes
+/// afterwards; the SQL observable at a NULL lane is decided by the mask
+/// alone.
+
+/// Numeric lanes. Invariants (non-null lanes): `i64[i]` is valid only
+/// where `is_int[i]`; `f64[i]` holds the value widened to double
+/// whenever `f64_valid` — all-int slices defer the widening (the
+/// gather/arith loops over int columns write two streams instead of
+/// four) and any kernel path that mixes int and double lanes calls
+/// `EnsureF64()` first. This mirrors Value's numeric model exactly —
+/// int64 compares must stay exact (2^63-1 != 2^63-2 even though they
+/// collide as doubles), while int/double mixing compares through double
+/// (`Value::SqlLess`).
+struct NumSlice {
+  std::vector<uint8_t> null;    // 1 = NULL
+  std::vector<uint8_t> is_int;  // 1 = i64 lane, 0 = f64 lane
+  // Lazily-widened shadow of i64 (mutable: EnsureF64 is a cache fill,
+  // not an observable mutation; slices are single-threaded locals).
+  mutable std::vector<double> f64;
+  std::vector<int64_t> i64;
+  mutable bool f64_valid = true;
+  bool all_int = false;     // every lane is an i64 lane
+  bool all_double = false;  // every lane is an f64 lane
+
+  void Resize(size_t n);
+
+  /// Materializes `f64` from `i64` when an all-int slice meets a path
+  /// that reads the widened representation. No-op when already valid.
+  void EnsureF64() const;
+};
+
+/// String lanes; pointers borrow the std::string owned by storage rows
+/// (or by a literal), the RowBatch lifetime discipline.
+struct StrSlice {
+  std::vector<uint8_t> null;
+  std::vector<const std::string*> str;
+
+  void Resize(size_t n);
+};
+
+struct BoolSlice {
+  std::vector<uint8_t> null;
+  std::vector<uint8_t> b;
+
+  void Resize(size_t n);
+};
+
+using TriVec = std::vector<TriBool>;
+
+// ---------------------------------------------------------------------------
+// Gathers: ColumnVector (batch-position indexed) -> dense slice (lane
+// indexed). The column's tag picks which overload applies; int columns
+// pre-widen into f64 so comparison loops never convert per lane.
+// ---------------------------------------------------------------------------
+
+void GatherNum(const ColumnVector& col, const SelVec& sel, NumSlice* out);
+void GatherStr(const ColumnVector& col, const SelVec& sel, StrSlice* out);
+void GatherBool(const ColumnVector& col, const SelVec& sel, BoolSlice* out);
+
+// ---------------------------------------------------------------------------
+// Broadcasts: one constant Value -> every lane. `v` must match the slice
+// type and be non-NULL unless noted; callers route NULL constants to the
+// all-NULL tag instead.
+// ---------------------------------------------------------------------------
+
+void BroadcastNum(const Value& v, size_t n, NumSlice* out);
+void BroadcastStr(const Value& v, size_t n, StrSlice* out);
+void BroadcastBool(const Value& v, size_t n, BoolSlice* out);
+
+// ---------------------------------------------------------------------------
+// Comparison kernels. `op` must be one of kEq/kNe/kLt/kLe/kGt/kGe; the
+// result composes SqlEquals/SqlLess exactly as EvaluateBinaryValue does
+// (kLe is TriNot(b < a), NOT a <= b — the distinction matters for NaN).
+// Each writes out[i] for every lane.
+// ---------------------------------------------------------------------------
+
+void CmpNum(BinaryOp op, const NumSlice& a, const NumSlice& b, TriVec* out);
+void CmpStr(BinaryOp op, const StrSlice& a, const StrSlice& b, TriVec* out);
+/// bool x bool: only equality is defined; ordering is kUnknown
+/// (SqlLess on bools), which FillUnknown also covers.
+void CmpBool(BinaryOp op, const BoolSlice& a, const BoolSlice& b, TriVec* out);
+/// Comparisons whose operand types can never decide (type-mismatched
+/// non-null pairs, or an all-NULL operand): every lane kUnknown.
+void FillUnknown(size_t n, TriVec* out);
+
+// ---------------------------------------------------------------------------
+// Arithmetic kernels (Value::Add/Subtract/Multiply/Divide semantics:
+// NULL propagates before anything else; int lanes overflow-promote to
+// double; division by zero at a non-NULL lane is an ExecutionError).
+// ---------------------------------------------------------------------------
+
+/// `op` one of kAdd/kSub/kMul/kDiv. An error reflects SOME selected lane
+/// failing; the caller's whole-chunk scalar re-run provides the
+/// authoritative row-order error (docs/EXECUTION.md).
+Status ArithNum(BinaryOp op, const NumSlice& a, const NumSlice& b,
+                NumSlice* out);
+
+/// Unary minus (Value::Negate): INT64_MIN promotes to double.
+void NegNum(const NumSlice& a, NumSlice* out);
+
+// ---------------------------------------------------------------------------
+// Null-check kernel: IS [NOT] NULL over a null mask. Always kTrue/kFalse.
+// ---------------------------------------------------------------------------
+
+void IsNullMask(const std::vector<uint8_t>& null, bool negated, TriVec* out);
+
+}  // namespace exec
+}  // namespace sopr
+
+#endif  // SOPR_EXEC_KERNELS_H_

@@ -1,10 +1,13 @@
 #ifndef SOPR_EXEC_ROW_BATCH_H_
 #define SOPR_EXEC_ROW_BATCH_H_
 
-#include <atomic>
 #include <cstdint>
 #include <vector>
 
+// ExecStats historically lived here; it moved to exec/stats.h when the
+// columnar layer grew per-kernel counters. Kept included so existing
+// `#include "exec/row_batch.h"` users still see GlobalStats().
+#include "exec/stats.h"
 #include "types/row.h"
 
 namespace sopr {
@@ -59,19 +62,6 @@ class RowBatch {
   std::vector<std::vector<const Row*>> rows_;  // [binding][position]
   size_t size_ = 0;
 };
-
-/// Process-wide counters for the vectorized layer; monotonically
-/// increasing, read by tests and benches. Relaxed atomics: these are
-/// statistics, not synchronization.
-struct ExecStats {
-  std::atomic<uint64_t> batches{0};            // batch evaluations started
-  std::atomic<uint64_t> scalar_fallbacks{0};   // batch errored -> re-run row-wise
-  std::atomic<uint64_t> hash_join_builds{0};   // unordered hash tables built
-  std::atomic<uint64_t> hash_join_fallbacks{0};  // build-side budget exceeded
-};
-
-/// The process-wide stats instance.
-ExecStats& GlobalStats();
 
 }  // namespace exec
 }  // namespace sopr

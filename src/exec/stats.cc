@@ -1,0 +1,57 @@
+#include "exec/stats.h"
+
+namespace sopr {
+namespace exec {
+
+ExecStats& GlobalStats() {
+  static ExecStats stats;
+  return stats;
+}
+
+ExecStatsSnapshot SnapshotStats() {
+  const ExecStats& s = GlobalStats();
+  ExecStatsSnapshot out;
+  out.batches = s.batches.load(std::memory_order_relaxed);
+  out.scalar_fallbacks = s.scalar_fallbacks.load(std::memory_order_relaxed);
+  out.hash_join_builds = s.hash_join_builds.load(std::memory_order_relaxed);
+  out.hash_join_fallbacks =
+      s.hash_join_fallbacks.load(std::memory_order_relaxed);
+  out.columnar_chunks = s.columnar_chunks.load(std::memory_order_relaxed);
+  out.columns_built = s.columns_built.load(std::memory_order_relaxed);
+  out.columns_rejected = s.columns_rejected.load(std::memory_order_relaxed);
+  out.kernel_compare = s.kernel_compare.load(std::memory_order_relaxed);
+  out.kernel_arith = s.kernel_arith.load(std::memory_order_relaxed);
+  out.kernel_null_check = s.kernel_null_check.load(std::memory_order_relaxed);
+  out.kernel_membership = s.kernel_membership.load(std::memory_order_relaxed);
+  out.kernel_logical = s.kernel_logical.load(std::memory_order_relaxed);
+  out.pointer_fallback_preds =
+      s.pointer_fallback_preds.load(std::memory_order_relaxed);
+  out.hash_join_columnar_builds =
+      s.hash_join_columnar_builds.load(std::memory_order_relaxed);
+  return out;
+}
+
+ExecStatsSnapshot operator-(const ExecStatsSnapshot& a,
+                            const ExecStatsSnapshot& b) {
+  ExecStatsSnapshot d;
+  d.batches = a.batches - b.batches;
+  d.scalar_fallbacks = a.scalar_fallbacks - b.scalar_fallbacks;
+  d.hash_join_builds = a.hash_join_builds - b.hash_join_builds;
+  d.hash_join_fallbacks = a.hash_join_fallbacks - b.hash_join_fallbacks;
+  d.columnar_chunks = a.columnar_chunks - b.columnar_chunks;
+  d.columns_built = a.columns_built - b.columns_built;
+  d.columns_rejected = a.columns_rejected - b.columns_rejected;
+  d.kernel_compare = a.kernel_compare - b.kernel_compare;
+  d.kernel_arith = a.kernel_arith - b.kernel_arith;
+  d.kernel_null_check = a.kernel_null_check - b.kernel_null_check;
+  d.kernel_membership = a.kernel_membership - b.kernel_membership;
+  d.kernel_logical = a.kernel_logical - b.kernel_logical;
+  d.pointer_fallback_preds =
+      a.pointer_fallback_preds - b.pointer_fallback_preds;
+  d.hash_join_columnar_builds =
+      a.hash_join_columnar_builds - b.hash_join_columnar_builds;
+  return d;
+}
+
+}  // namespace exec
+}  // namespace sopr

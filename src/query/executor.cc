@@ -239,8 +239,13 @@ Result<QueryResult> Executor::ExecuteSelect(
   for (const QueryPlan::PushedFilter& filter : plan.pushed()) {
     Relation& rel = relations[filter.binding];
     if (options_.vectorized) {
-      SOPR_RETURN_NOT_OK(FilterRelationVectorized(*filter.conjunct, &scope,
+      if (ColumnarOn()) {
+        SOPR_RETURN_NOT_OK(FilterRelationColumnar(*filter.conjunct, &scope,
                                                   filter.binding, &rel));
+      } else {
+        SOPR_RETURN_NOT_OK(FilterRelationVectorized(*filter.conjunct, &scope,
+                                                    filter.binding, &rel));
+      }
       continue;
     }
     std::vector<Row> kept_rows;
@@ -294,10 +299,38 @@ Result<QueryResult> Executor::ExecuteSelect(
         key_cols.push_back(edge.right_column);
       }
       exec::JoinHashTable table;
-      SOPR_ASSIGN_OR_RETURN(
-          bool built,
-          table.Build(rel.rows, std::move(key_cols),
-                      options_.max_hash_build_rows));
+      bool built = false;
+      bool columnar_built = false;
+      if (ColumnarOn()) {
+        // Decompose the build side's key columns and digest them with
+        // the bulk column-major loops; any column that fails to
+        // decompose drops the whole build back to the row loop.
+        std::vector<exec::ColumnVector> key_storage(key_cols.size());
+        std::vector<const exec::ColumnVector*> key_vecs;
+        key_vecs.reserve(key_cols.size());
+        for (size_t k = 0; k < key_cols.size(); ++k) {
+          const size_t col = key_cols[k];
+          if (col >= rel.schema->num_columns() ||
+              !exec::BuildColumn(rel.rows, col,
+                                 rel.schema->columns()[col].type,
+                                 &key_storage[k])) {
+            break;
+          }
+          key_vecs.push_back(&key_storage[k]);
+        }
+        if (key_vecs.size() == key_cols.size()) {
+          SOPR_ASSIGN_OR_RETURN(
+              built, table.BuildColumnar(rel.rows, key_cols,
+                                         options_.max_hash_build_rows,
+                                         key_vecs));
+          columnar_built = true;
+        }
+      }
+      if (!columnar_built) {
+        SOPR_ASSIGN_OR_RETURN(
+            built, table.Build(rel.rows, std::move(key_cols),
+                               options_.max_hash_build_rows));
+      }
       size_t probed = 0;
       std::vector<const Value*> probe_key(edges.size());
       std::vector<uint32_t> matches;
@@ -409,6 +442,15 @@ Result<QueryResult> Executor::ExecuteSelect(
     std::vector<Combo> filtered;
     filtered.reserve(combos.size());
     exec::RowBatch batch(scope.num_bindings());
+    // Hot columns across every residual conjunct, decomposed per chunk
+    // from the combo rows (the columnar path; empty when it is off).
+    std::vector<std::pair<size_t, size_t>> hot;
+    if (ColumnarOn()) {
+      for (const Expr* conjunct : residual) {
+        CollectHotColumns(*conjunct, scope, &hot);
+      }
+    }
+    std::vector<exec::ColumnVector> hot_storage(hot.size());
     for (size_t start = 0; start < combos.size();
          start += exec::kBatchRows) {
       SOPR_FAILPOINT_RETURN("exec.batch");
@@ -424,11 +466,31 @@ Result<QueryResult> Executor::ExecuteSelect(
         }
         sel.push_back(static_cast<uint32_t>(i - start));
       }
+      exec::ColumnSet colset;
+      for (size_t k = 0; k < hot.size(); ++k) {
+        const size_t b = hot[k].first;
+        const size_t col = hot[k].second;
+        if (col >= relations[b].schema->num_columns()) continue;
+        if (exec::BuildColumnFrom(
+                end - start,
+                [&](size_t i) -> const Row& {
+                  return *combos[start + i].rows[b];
+                },
+                col, relations[b].schema->columns()[col].type,
+                &hot_storage[k])) {
+          colset.Add(b, col, &hot_storage[k]);
+        }
+      }
       for (const Expr* conjunct : residual) {
         if (sel.empty()) break;
         std::vector<TriBool> tri;
-        SOPR_RETURN_NOT_OK(exec::EvaluatePredicateBatch(
-            *conjunct, &scope, ctx, batch, sel, &tri));
+        if (ColumnarOn()) {
+          SOPR_RETURN_NOT_OK(exec::EvaluatePredicateColumnar(
+              *conjunct, &scope, ctx, batch, colset, sel, &tri));
+        } else {
+          SOPR_RETURN_NOT_OK(exec::EvaluatePredicateBatch(
+              *conjunct, &scope, ctx, batch, sel, &tri));
+        }
         exec::SelVec next_sel;
         next_sel.reserve(sel.size());
         for (size_t i = 0; i < sel.size(); ++i) {
@@ -743,6 +805,115 @@ Status Executor::FilterRelationVectorized(const Expr& conjunct, Scope* scope,
   return Status::OK();
 }
 
+void Executor::CollectHotColumns(const Expr& expr, const Scope& scope,
+                                 std::vector<std::pair<size_t, size_t>>* out) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      auto resolved = scope.ResolveColumn(ref.qualifier, ref.column);
+      // Unresolvable references error at evaluation; outer-scope
+      // references broadcast a single value — neither is a hot column.
+      if (!resolved.ok()) return;
+      for (size_t b = 0; b < scope.num_bindings(); ++b) {
+        if (resolved.value().binding != &scope.binding(b)) continue;
+        std::pair<size_t, size_t> key(b, resolved.value().column);
+        if (std::find(out->begin(), out->end(), key) == out->end()) {
+          out->push_back(key);
+        }
+        return;
+      }
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectHotColumns(*static_cast<const UnaryExpr&>(expr).operand, scope,
+                        out);
+      return;
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      CollectHotColumns(*b.left, scope, out);
+      CollectHotColumns(*b.right, scope, out);
+      return;
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      CollectHotColumns(*in.operand, scope, out);
+      for (const ExprPtr& item : in.items) {
+        CollectHotColumns(*item, scope, out);
+      }
+      return;
+    }
+    case ExprKind::kIsNull:
+      CollectHotColumns(*static_cast<const IsNullExpr&>(expr).operand, scope,
+                        out);
+      return;
+    case ExprKind::kBetween: {
+      const auto& bw = static_cast<const BetweenExpr&>(expr);
+      CollectHotColumns(*bw.operand, scope, out);
+      CollectHotColumns(*bw.low, scope, out);
+      CollectHotColumns(*bw.high, scope, out);
+      return;
+    }
+    default:
+      // Literals and aggregates reference no columns; subquery subtrees
+      // always take the pointer path, so their references stay cold.
+      return;
+  }
+}
+
+Status Executor::FilterRelationColumnar(const Expr& conjunct, Scope* scope,
+                                        size_t binding, Relation* rel) {
+  std::vector<std::pair<size_t, size_t>> hot;
+  CollectHotColumns(conjunct, *scope, &hot);
+  EvalContext ctx;
+  ctx.runner = this;
+  std::vector<Row> kept_rows;
+  std::vector<TupleHandle> kept_handles;
+  exec::RowBatch batch(scope->num_bindings());
+  std::vector<exec::ColumnVector> hot_storage(hot.size());
+  for (size_t start = 0; start < rel->rows.size();
+       start += exec::kBatchRows) {
+    SOPR_FAILPOINT_RETURN("exec.batch");
+    SOPR_RETURN_NOT_OK(CheckCancel("batch boundary"));
+    const size_t end = std::min(start + exec::kBatchRows, rel->rows.size());
+    batch.Clear();
+    exec::SelVec sel;
+    sel.reserve(end - start);
+    for (size_t r = start; r < end; ++r) {
+      batch.AppendAllNull();
+      batch.SetBack(binding, &rel->rows[r]);
+      sel.push_back(static_cast<uint32_t>(r - start));
+    }
+    exec::ColumnSet colset;
+    for (size_t k = 0; k < hot.size(); ++k) {
+      // A pushed filter only references its own binding, but resolution
+      // through the full scope can surface others — skip them.
+      if (hot[k].first != binding) continue;
+      const size_t col = hot[k].second;
+      if (col >= rel->schema->num_columns()) continue;
+      if (exec::BuildColumnFrom(
+              end - start,
+              [&](size_t i) -> const Row& { return rel->rows[start + i]; },
+              col, rel->schema->columns()[col].type, &hot_storage[k])) {
+        colset.Add(binding, col, &hot_storage[k]);
+      }
+    }
+    std::vector<TriBool> tri;
+    SOPR_RETURN_NOT_OK(exec::EvaluatePredicateColumnar(
+        conjunct, scope, ctx, batch, colset, sel, &tri));
+    for (size_t i = 0; i < sel.size(); ++i) {
+      if (tri[i] != TriBool::kTrue) continue;
+      kept_rows.push_back(std::move(rel->rows[start + sel[i]]));
+      kept_handles.push_back(rel->handles[start + sel[i]]);
+    }
+  }
+  rel->rows = std::move(kept_rows);
+  rel->handles = std::move(kept_handles);
+  for (size_t b = 0; b < scope->num_bindings(); ++b) {
+    scope->SetRow(b, nullptr);
+  }
+  return Status::OK();
+}
+
 Status Executor::MatchSnapshotVectorized(
     const Expr& where, Scope* scope,
     const std::vector<std::pair<TupleHandle, Row>>& snapshot,
@@ -774,10 +945,66 @@ Status Executor::MatchSnapshotVectorized(
   return Status::OK();
 }
 
+Status Executor::MatchSnapshotColumnar(
+    const Expr& where, Scope* scope,
+    const std::vector<std::pair<TupleHandle, Row>>& snapshot,
+    const std::vector<size_t>& hot_cols,
+    const std::vector<exec::ColumnVector>& cols,
+    const std::vector<char>& built, std::vector<char>* matches) {
+  EvalContext ctx;
+  ctx.runner = this;
+  matches->assign(snapshot.size(), 0);
+  exec::RowBatch batch(scope->num_bindings());
+  std::vector<exec::ColumnVector> window(hot_cols.size());
+  for (size_t start = 0; start < snapshot.size();
+       start += exec::kBatchRows) {
+    SOPR_FAILPOINT_RETURN("exec.batch");
+    SOPR_RETURN_NOT_OK(CheckCancel("batch boundary"));
+    const size_t end = std::min(start + exec::kBatchRows, snapshot.size());
+    batch.Clear();
+    exec::SelVec sel;
+    sel.reserve(end - start);
+    for (size_t r = start; r < end; ++r) {
+      batch.AppendAllNull();
+      batch.SetBack(0, &snapshot[r].second);
+      sel.push_back(static_cast<uint32_t>(r - start));
+    }
+    exec::ColumnSet colset;
+    for (size_t k = 0; k < hot_cols.size() && k < built.size(); ++k) {
+      if (!built[k]) continue;
+      window[k].SliceFrom(cols[k], start, end - start);
+      colset.Add(0, hot_cols[k], &window[k]);
+    }
+    std::vector<TriBool> tri;
+    SOPR_RETURN_NOT_OK(exec::EvaluatePredicateColumnar(
+        where, scope, ctx, batch, colset, sel, &tri));
+    for (size_t i = 0; i < sel.size(); ++i) {
+      (*matches)[start + sel[i]] = tri[i] == TriBool::kTrue ? 1 : 0;
+    }
+  }
+  return Status::OK();
+}
+
 Status Executor::SnapshotForDml(
     const Table& table, const std::string& table_name, const Expr* where,
     const TableSchema& schema,
-    std::vector<std::pair<TupleHandle, Row>>* snapshot) {
+    std::vector<std::pair<TupleHandle, Row>>* snapshot,
+    const std::vector<size_t>* hot_cols,
+    std::vector<exec::ColumnVector>* cols, std::vector<char>* built) {
+  const bool columnar = hot_cols != nullptr && !hot_cols->empty() &&
+                        cols != nullptr && built != nullptr;
+  auto decompose = [&]() {
+    cols->resize(hot_cols->size());
+    built->assign(hot_cols->size(), 0);
+    for (size_t k = 0; k < hot_cols->size(); ++k) {
+      const size_t col = (*hot_cols)[k];
+      if (col >= schema.num_columns()) continue;
+      (*built)[k] = exec::BuildColumnFrom(
+          snapshot->size(),
+          [&](size_t i) -> const Row& { return (*snapshot)[i].second; }, col,
+          schema.columns()[col].type, &(*cols)[k]);
+    }
+  };
   if (options_.optimize && where != nullptr) {
     if (auto hint = FindEqLiteral(where, schema)) {
       if (table.GetIndex(hint->first) != nullptr) {
@@ -794,6 +1021,7 @@ Status Executor::SnapshotForDml(
           if (!row.ok()) continue;
           snapshot->emplace_back(h, std::move(row).value());
         }
+        if (columnar) decompose();
         return Status::OK();
       }
     }
@@ -802,7 +1030,12 @@ Status Executor::SnapshotForDml(
   // (full phantom protection for this scan-then-mutate).
   SOPR_RETURN_NOT_OK(db_->LockForWriteScan(table_name));
   snapshot->reserve(table.size());
-  table.CopyRows(snapshot);
+  if (columnar) {
+    // Copy and decompose under one shared-latch acquisition.
+    table.CopyRowsColumnar(snapshot, *hot_cols, cols, built);
+  } else {
+    table.CopyRows(snapshot);
+  }
   return Status::OK();
 }
 
@@ -857,22 +1090,42 @@ Result<DmlEffect> Executor::ExecuteDelete(const DeleteStmt& stmt) {
   DmlEffect effect;
   effect.table = ToLower(stmt.table);
 
-  // Snapshot, then evaluate the predicate against the pre-statement
-  // state. A `column = literal` conjunct with an index narrows the
-  // snapshot; the full predicate is still evaluated per row.
-  std::vector<std::pair<TupleHandle, Row>> snapshot;
-  SOPR_RETURN_NOT_OK(
-      SnapshotForDml(*table, stmt.table, stmt.where.get(), schema, &snapshot));
-
+  // Scope first: hot-column collection needs it before the snapshot so
+  // the full-scan path can decompose under the same latch as the copy.
   Scope scope;
   SOPR_RETURN_NOT_OK(scope.AddBinding(ToLower(stmt.table), &schema));
   EvalContext ctx;
   ctx.runner = this;
 
+  std::vector<size_t> hot_cols;
+  if (stmt.where != nullptr && ColumnarOn()) {
+    std::vector<std::pair<size_t, size_t>> hot;
+    CollectHotColumns(*stmt.where, scope, &hot);
+    for (const auto& [b, col] : hot) {
+      if (b == 0) hot_cols.push_back(col);
+    }
+  }
+
+  // Snapshot, then evaluate the predicate against the pre-statement
+  // state. A `column = literal` conjunct with an index narrows the
+  // snapshot; the full predicate is still evaluated per row.
+  std::vector<std::pair<TupleHandle, Row>> snapshot;
+  std::vector<exec::ColumnVector> snap_cols;
+  std::vector<char> snap_built;
+  SOPR_RETURN_NOT_OK(SnapshotForDml(*table, stmt.table, stmt.where.get(),
+                                    schema, &snapshot, &hot_cols, &snap_cols,
+                                    &snap_built));
+
   if (stmt.where != nullptr && options_.vectorized) {
     std::vector<char> matches;
-    SOPR_RETURN_NOT_OK(
-        MatchSnapshotVectorized(*stmt.where, &scope, snapshot, &matches));
+    if (ColumnarOn()) {
+      SOPR_RETURN_NOT_OK(MatchSnapshotColumnar(*stmt.where, &scope, snapshot,
+                                               hot_cols, snap_cols, snap_built,
+                                               &matches));
+    } else {
+      SOPR_RETURN_NOT_OK(
+          MatchSnapshotVectorized(*stmt.where, &scope, snapshot, &matches));
+    }
     for (size_t r = 0; r < snapshot.size(); ++r) {
       if (matches[r]) {
         effect.deleted.emplace_back(snapshot[r].first,
@@ -922,21 +1175,37 @@ Result<DmlEffect> Executor::ExecuteUpdate(const UpdateStmt& stmt) {
     assigned_cols.push_back(*idx);
   }
 
-  std::vector<std::pair<TupleHandle, Row>> snapshot;
-  SOPR_RETURN_NOT_OK(
-      SnapshotForDml(*table, stmt.table, stmt.where.get(), schema, &snapshot));
-
   Scope scope;
   SOPR_RETURN_NOT_OK(scope.AddBinding(ToLower(stmt.table), &schema));
   EvalContext ctx;
   ctx.runner = this;
 
+  std::vector<size_t> hot_cols;
+  if (stmt.where != nullptr && ColumnarOn()) {
+    std::vector<std::pair<size_t, size_t>> hot;
+    CollectHotColumns(*stmt.where, scope, &hot);
+    for (const auto& [b, col] : hot) {
+      if (b == 0) hot_cols.push_back(col);
+    }
+  }
+
+  std::vector<std::pair<TupleHandle, Row>> snapshot;
+  std::vector<exec::ColumnVector> snap_cols;
+  std::vector<char> snap_built;
+  SOPR_RETURN_NOT_OK(SnapshotForDml(*table, stmt.table, stmt.where.get(),
+                                    schema, &snapshot, &hot_cols, &snap_cols,
+                                    &snap_built));
+
   std::vector<std::pair<TupleHandle, Row>> new_rows;
   bool vectorized_done = false;
   if (stmt.where != nullptr && options_.vectorized) {
     std::vector<char> matches;
-    Status s =
-        MatchSnapshotVectorized(*stmt.where, &scope, snapshot, &matches);
+    Status s = ColumnarOn()
+                   ? MatchSnapshotColumnar(*stmt.where, &scope, snapshot,
+                                           hot_cols, snap_cols, snap_built,
+                                           &matches)
+                   : MatchSnapshotVectorized(*stmt.where, &scope, snapshot,
+                                             &matches);
     if (s.ok()) {
       // Predicate stage clean: assignment evaluation below visits the
       // same rows in the same order as the row path, so any assignment

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/column_vector.h"
 #include "expr/evaluator.h"
 #include "query/planner.h"
 #include "sql/ast.h"
@@ -94,6 +95,14 @@ struct ExecOptions {
   /// hash join (docs/EXECUTION.md). Off = the original row-at-a-time
   /// pipeline, kept alive as the differential oracle.
   bool vectorized = true;
+  /// Columnar chunks on top of `vectorized` (docs/EXECUTION.md "Columnar
+  /// chunks"): hot predicate/join-key columns decompose into contiguous
+  /// typed arrays at materialization time and the branch-light kernels
+  /// of exec/kernels.h evaluate them, with per-expression fallback to
+  /// the pointer path. Only effective when `vectorized` is also on; off
+  /// = the pointer-vector pipeline, the middle engine of the three-way
+  /// differential oracle.
+  bool columnar = true;
   /// Build-side row cap for the vectorized hash join; exceeding it
   /// falls back to a nested-loop join with a counted stat instead of
   /// growing the hash table without bound. 0 = unlimited.
@@ -114,7 +123,8 @@ class Executor : public SubqueryRunner {
   /// cross-product-then-filter pipeline runs (used for differential
   /// testing and the optimizer ablation benchmark).
   Executor(Database* db, TableResolver* resolver, bool optimize = true)
-      : db_(db), resolver_(resolver), options_{optimize, true, 1u << 20} {}
+      : db_(db), resolver_(resolver),
+        options_{optimize, true, true, 1u << 20} {}
 
   Executor(Database* db, TableResolver* resolver, const ExecOptions& options)
       : db_(db), resolver_(resolver), options_(options) {}
@@ -158,9 +168,17 @@ class Executor : public SubqueryRunner {
   /// when `where` has a `column = literal` conjunct and one exists. With
   /// record locking enabled, candidates are X-locked before they are
   /// copied (the table itself when the predicate is unindexed).
+  /// When `hot_cols` is non-null and non-empty, the snapshot's hot
+  /// columns are also decomposed into `cols` (parallel to `hot_cols`,
+  /// success flags in `built`) — under the same latch acquisition on the
+  /// full-scan path (Table::CopyRowsColumnar), after the per-candidate
+  /// copy loop on the indexed path.
   Status SnapshotForDml(const Table& table, const std::string& table_name,
                         const Expr* where, const TableSchema& schema,
-                        std::vector<std::pair<TupleHandle, Row>>* snapshot);
+                        std::vector<std::pair<TupleHandle, Row>>* snapshot,
+                        const std::vector<size_t>* hot_cols = nullptr,
+                        std::vector<exec::ColumnVector>* cols = nullptr,
+                        std::vector<char>* built = nullptr);
 
   /// Coerces int literals into double columns so stored types match the
   /// schema exactly.
@@ -179,6 +197,34 @@ class Executor : public SubqueryRunner {
       const Expr& where, Scope* scope,
       const std::vector<std::pair<TupleHandle, Row>>& snapshot,
       std::vector<char>* matches);
+
+  /// True when the columnar chunk path is effective: `columnar` layers
+  /// on `vectorized`, so the three engine configurations are row
+  /// (vectorized off), pointer-vector (vectorized on, columnar off) and
+  /// columnar (both on).
+  bool ColumnarOn() const { return options_.vectorized && options_.columnar; }
+
+  /// Appends every (binding, column) pair `expr` references at this
+  /// scope level (not descending into subqueries) to `out`, without
+  /// duplicates — the hot columns worth decomposing for a batch.
+  static void CollectHotColumns(const Expr& expr, const Scope& scope,
+                                std::vector<std::pair<size_t, size_t>>* out);
+
+  /// Columnar pushed-filter: FilterRelationVectorized with the
+  /// conjunct's hot columns decomposed per chunk and evaluated through
+  /// the typed kernels (exec::EvaluatePredicateColumnar).
+  Status FilterRelationColumnar(const Expr& conjunct, Scope* scope,
+                                size_t binding, Relation* rel);
+
+  /// Columnar DML predicate scan: MatchSnapshotVectorized over
+  /// whole-snapshot columns (`cols`/`built` from SnapshotForDml, parallel
+  /// to `hot_cols`), windowed per chunk.
+  Status MatchSnapshotColumnar(
+      const Expr& where, Scope* scope,
+      const std::vector<std::pair<TupleHandle, Row>>& snapshot,
+      const std::vector<size_t>& hot_cols,
+      const std::vector<exec::ColumnVector>& cols,
+      const std::vector<char>& built, std::vector<char>* matches);
 
   Database* db_;
   TableResolver* resolver_;

@@ -58,6 +58,16 @@ struct RuleEngineOptions {
   /// row-at-a-time pipeline, kept alive as the differential oracle
   /// (tests/rules/vectorized_differential_test.cc).
   bool vectorized_execution = true;
+  /// Columnar chunk execution layered on vectorized_execution
+  /// (docs/EXECUTION.md "Columnar chunks"): hot predicate and join-key
+  /// columns decompose into contiguous typed arrays at materialization
+  /// time and branch-light kernels evaluate them, falling back
+  /// per-expression to the pointer path. Independent of
+  /// vectorized_execution so all three engines stay constructible: row
+  /// (vectorized off), pointer-vector (vectorized on, columnar off),
+  /// columnar (both on — the default). No effect when
+  /// vectorized_execution is off.
+  bool columnar_execution = true;
   /// Build-side row cap for the vectorized hash join (0 = unlimited): a
   /// join whose build side exceeds it falls back to a nested-loop probe
   /// with a counted stat (exec::GlobalStats().hash_join_fallbacks)
@@ -108,7 +118,7 @@ struct RuleEngineOptions {
 /// the mapping lives, so every Executor construction site agrees.
 inline ExecOptions ExecOptionsFrom(const RuleEngineOptions& o) {
   return ExecOptions{o.optimize_queries, o.vectorized_execution,
-                     o.max_hash_build_rows};
+                     o.columnar_execution, o.max_hash_build_rows};
 }
 
 /// Footnote 8 of the paper: which point a rule's composite transition is

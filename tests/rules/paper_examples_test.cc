@@ -1,6 +1,10 @@
 // Behavioral reproduction of every worked example in the paper (§3.1 and
 // §4.5). Each test encodes the exact schema, rules, operation blocks, and
 // expected outcome the paper describes in prose; see EXPERIMENTS.md.
+//
+// Every example runs under all three execution engines (row,
+// pointer-vector, columnar — docs/EXECUTION.md), so the paper semantics
+// are pinned independently of execution strategy.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +13,50 @@
 
 namespace sopr {
 namespace {
+
+/// The three execution engines of the differential oracle.
+enum class EngineMode { kRow, kPointerVector, kColumnar };
+
+const char* ModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kRow:
+      return "Row";
+    case EngineMode::kPointerVector:
+      return "PointerVector";
+    case EngineMode::kColumnar:
+      return "Columnar";
+  }
+  return "Unknown";
+}
+
+class PaperExampleTest : public ::testing::TestWithParam<EngineMode> {
+ protected:
+  RuleEngineOptions Options() const {
+    RuleEngineOptions o;
+    switch (GetParam()) {
+      case EngineMode::kRow:
+        o.vectorized_execution = false;
+        break;
+      case EngineMode::kPointerVector:
+        o.columnar_execution = false;
+        break;
+      case EngineMode::kColumnar:
+        break;  // both on by default
+    }
+    return o;
+  }
+};
+
+std::string EngineName(const ::testing::TestParamInfo<EngineMode>& info) {
+  return ModeName(info.param);
+}
+
+#define INSTANTIATE_PAPER_EXAMPLE(fixture)                              \
+  INSTANTIATE_TEST_SUITE_P(Engines, fixture,                            \
+                           ::testing::Values(EngineMode::kRow,          \
+                                             EngineMode::kPointerVector, \
+                                             EngineMode::kColumnar),    \
+                           EngineName)
 
 // --- Example 3.1: cascaded delete for referential integrity -------------
 // "Whenever departments are deleted, delete all employees in the deleted
@@ -19,8 +67,11 @@ constexpr const char* kRule31 =
     "then delete from emp "
     "     where dept_no in (select dept_no from deleted dept)";
 
-TEST(Example31, DeletingDeptDeletesItsEmployees) {
-  Engine engine;
+class Example31 : public PaperExampleTest {};
+INSTANTIATE_PAPER_EXAMPLE(Example31);
+
+TEST_P(Example31, DeletingDeptDeletesItsEmployees) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule31));
@@ -33,9 +84,9 @@ TEST(Example31, DeletingDeptDeletesItsEmployees) {
   EXPECT_EQ(QueryScalar(&engine, "select count(*) from dept"), Value::Int(3));
 }
 
-TEST(Example31, SetOrientedOverMultipleDeletedDepts) {
+TEST_P(Example31, SetOrientedOverMultipleDeletedDepts) {
   // The rule is triggered once by the *set* of deleted departments.
-  Engine engine;
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule31));
@@ -51,8 +102,8 @@ TEST(Example31, SetOrientedOverMultipleDeletedDepts) {
             (std::vector<std::string>{"Jane", "Jim", "Mary"}));
 }
 
-TEST(Example31, NoTriggerWithoutDeptDelete) {
-  Engine engine;
+TEST_P(Example31, NoTriggerWithoutDeptDelete) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule31));
@@ -76,8 +127,11 @@ constexpr const char* kRule32 =
     "then update emp set salary = 0.95 * salary where dept_no = 2; "
     "     update emp set salary = 0.85 * salary where dept_no = 3";
 
-TEST(Example32, RaiseTriggersCuts) {
-  Engine engine;
+class Example32 : public PaperExampleTest {};
+INSTANTIATE_PAPER_EXAMPLE(Example32);
+
+TEST_P(Example32, RaiseTriggersCuts) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule32));
@@ -102,8 +156,8 @@ TEST(Example32, RaiseTriggersCuts) {
             Value::Double(70000));
 }
 
-TEST(Example32, PayCutDoesNotTrigger) {
-  Engine engine;
+TEST_P(Example32, PayCutDoesNotTrigger) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule32));
@@ -122,10 +176,10 @@ TEST(Example32, PayCutDoesNotTrigger) {
             Value::Double(25000));
 }
 
-TEST(Example32, OffsettingUpdatesInOneBlockDoNotTrigger) {
+TEST_P(Example32, OffsettingUpdatesInOneBlockDoNotTrigger) {
   // Set-oriented semantics: the condition sees the NET set of updated
   // salaries, so a raise and an equal cut in one block cancel.
-  Engine engine;
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule32));
@@ -158,8 +212,11 @@ constexpr const char* kRule33 =
     "then delete from emp "
     "     where emp_no = (select mgr_no from dept where dept_no = 5)";
 
-TEST(Example33, OutlierSalaryDeletesDept5Manager) {
-  Engine engine;
+class Example33 : public PaperExampleTest {};
+INSTANTIATE_PAPER_EXAMPLE(Example33);
+
+TEST_P(Example33, OutlierSalaryDeletesDept5Manager) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   // Department 5 managed by Sue (emp_no 60).
@@ -178,8 +235,8 @@ TEST(Example33, OutlierSalaryDeletesDept5Manager) {
                                              "Rich", "Sam"}));
 }
 
-TEST(Example33, BalancedInsertDoesNotFire) {
-  Engine engine;
+TEST_P(Example33, BalancedInsertDoesNotFire) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute("insert into dept values (5, 60)"));
@@ -206,8 +263,11 @@ constexpr const char* kRule41 =
     "     delete from dept "
     "     where mgr_no in (select emp_no from deleted emp)";
 
-TEST(Example41, RecursiveCascadeDeletesWholeSubtree) {
-  Engine engine;
+class Example41 : public PaperExampleTest {};
+INSTANTIATE_PAPER_EXAMPLE(Example41);
+
+TEST_P(Example41, RecursiveCascadeDeletesWholeSubtree) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule41));
@@ -222,8 +282,8 @@ TEST(Example41, RecursiveCascadeDeletesWholeSubtree) {
   EXPECT_EQ(QueryScalar(&engine, "select dept_no from dept"), Value::Int(0));
 }
 
-TEST(Example41, MidLevelDeleteOnlyRemovesSubtree) {
-  Engine engine;
+TEST_P(Example41, MidLevelDeleteOnlyRemovesSubtree) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule41));
@@ -236,10 +296,10 @@ TEST(Example41, MidLevelDeleteOnlyRemovesSubtree) {
   EXPECT_EQ(QueryScalar(&engine, "select count(*) from dept"), Value::Int(3));
 }
 
-TEST(Example41, TerminatesWhenNoFurtherManagers) {
+TEST_P(Example41, TerminatesWhenNoFurtherManagers) {
   // Deleting a leaf employee triggers the rule whose action deletes
   // nothing; the rule is NOT re-triggered (its own transition is empty).
-  Engine engine;
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule41));
@@ -263,11 +323,14 @@ constexpr const char* kRule42 =
     "     where emp_no in (select emp_no from new updated emp.salary) "
     "       and salary > 80K";
 
-TEST(Example42, PaperScenarioBillAndMary) {
+class Example42 : public PaperExampleTest {};
+INSTANTIATE_PAPER_EXAMPLE(Example42);
+
+TEST_P(Example42, PaperScenarioBillAndMary) {
   // Paper: Bill 25K -> 30K, Mary 70K -> 85K. avg(30K, 85K) = 57.5K > 50K,
   // so employees whose salary was updated and now exceeds 80K (Mary) are
   // deleted.
-  Engine engine;
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   ASSERT_OK(engine.Execute("insert into dept values (1, 10)"));
   ASSERT_OK(engine.Execute(
@@ -284,8 +347,8 @@ TEST(Example42, PaperScenarioBillAndMary) {
             Value::Double(30000));
 }
 
-TEST(Example42, LowAverageKeepsEveryone) {
-  Engine engine;
+TEST_P(Example42, LowAverageKeepsEveryone) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   ASSERT_OK(engine.Execute("insert into dept values (1, 10)"));
   ASSERT_OK(engine.Execute(
@@ -304,8 +367,11 @@ TEST(Example42, LowAverageKeepsEveryone) {
 // --- Example 4.3: interleaving of R1 (4.1) and R2 (4.2) ------------------
 // The paper walks through the exact interleaved execution; this test
 // checks both the final state and the firing order.
-TEST(Example43, InterleavedExecutionMatchesPaperTrace) {
-  Engine engine;
+class Example43 : public PaperExampleTest {};
+INSTANTIATE_PAPER_EXAMPLE(Example43);
+
+TEST_P(Example43, InterleavedExecutionMatchesPaperTrace) {
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule41));
@@ -344,13 +410,13 @@ TEST(Example43, InterleavedExecutionMatchesPaperTrace) {
   }
 }
 
-TEST(Example43, WithoutPriorityR1FirstAlsoConverges) {
+TEST_P(Example43, WithoutPriorityR1FirstAlsoConverges) {
   // §4.4: selection strategy affects intermediate traces; with creation-
   // order tie-break and no priority, R1 (defined first) goes first. The
   // final database state here happens to coincide because R1's cascade
   // deletes Mary before R2 ever fires — Mary's salary update is then
   // irrelevant. This test documents that alternative execution.
-  Engine engine;
+  Engine engine(Options());
   CreatePaperSchema(&engine);
   LoadOrgChart(&engine);
   ASSERT_OK(engine.Execute(kRule41));

@@ -1,15 +1,17 @@
-// Engine-level row-vs-vector differential oracle (docs/EXECUTION.md):
-// the vectorized execution layer (src/exec/) must be observationally
-// indistinguishable from the row-at-a-time path it replaces. Three
-// engines differing ONLY in execution strategy — scalar
-// (vectorized_execution = false), vectorized with the hash join, and
-// vectorized with the build-side budget forced to zero (nested-loop
-// fallback) — run identical seeded random workloads over a rule set
-// with cascades, aggregate conditions, NULL-heavy predicates, a
-// transition ⋈ base join, and priorities. After every block: identical
-// status codes, identical firing traces (considered rules, condition
-// outcomes, fired rules, detached flags, rollbacks, retrieved result
-// sets), and bit-identical Database::Checksum / Engine::StateChecksum.
+// Engine-level three-way differential oracle (docs/EXECUTION.md): every
+// execution strategy in src/exec/ must be observationally
+// indistinguishable from the row-at-a-time path it replaces. Four
+// engines differing ONLY in execution strategy — row
+// (vectorized_execution = false), pointer-vector (vectorized on,
+// columnar_execution = false), columnar (both on, typed kernels +
+// column-major hash-join digests), and columnar with the build-side
+// budget forced to zero (nested-loop fallback) — run identical seeded
+// random workloads over a rule set with cascades, aggregate conditions,
+// NULL-heavy predicates, a transition ⋈ base join, and priorities.
+// After every block: identical status codes, identical firing traces
+// (considered rules, condition outcomes, fired rules, detached flags,
+// rollbacks, retrieved result sets), and bit-identical
+// Database::Checksum / Engine::StateChecksum.
 //
 // The suite is deterministic (fixed seeds, no timing dependence), so a
 // 30x rerun is stable by construction; vectorized_differential_tsan_test
@@ -138,26 +140,35 @@ std::string Dump(Engine* engine, const std::string& table,
 
 class VectorizedDifferential : public ::testing::TestWithParam<uint32_t> {};
 
-TEST_P(VectorizedDifferential, RowAndVectorPathsAreBitIdentical) {
+TEST_P(VectorizedDifferential, RowVectorAndColumnarPathsAreBitIdentical) {
   RuleEngineOptions scalar_opts;
   scalar_opts.vectorized_execution = false;
-  RuleEngineOptions vector_opts;
+  RuleEngineOptions vector_opts;  // the PR 9 pointer-vector engine
   vector_opts.vectorized_execution = true;
-  RuleEngineOptions capped_opts;
-  capped_opts.vectorized_execution = true;
+  vector_opts.columnar_execution = false;
+  RuleEngineOptions columnar_opts;
+  columnar_opts.vectorized_execution = true;
+  columnar_opts.columnar_execution = true;
+  RuleEngineOptions capped_opts = columnar_opts;
   capped_opts.max_hash_build_rows = 1;  // multi-row builds all fall back
 
   Engine scalar(scalar_opts);
   Engine vector(vector_opts);
+  Engine columnar(columnar_opts);
   Engine capped(capped_opts);
   DefineRuleSet(&scalar);
   DefineRuleSet(&vector);
+  DefineRuleSet(&columnar);
   DefineRuleSet(&capped);
 
   const uint64_t builds_before =
       exec::GlobalStats().hash_join_builds.load();
+  const uint64_t columnar_builds_before =
+      exec::GlobalStats().hash_join_columnar_builds.load();
   const uint64_t fallbacks_before =
       exec::GlobalStats().hash_join_fallbacks.load();
+  const uint64_t chunks_before =
+      exec::GlobalStats().columnar_chunks.load();
 
   std::mt19937 rng(GetParam() * 7919u + 1);
   for (int step = 0; step < 30; ++step) {
@@ -165,19 +176,27 @@ TEST_P(VectorizedDifferential, RowAndVectorPathsAreBitIdentical) {
 
     auto ts = scalar.ExecuteBlock(block);
     auto tv = vector.ExecuteBlock(block);
+    auto tl = columnar.ExecuteBlock(block);
     auto tc = capped.ExecuteBlock(block);
 
     ASSERT_EQ(ts.ok(), tv.ok()) << "step " << step << ": " << block;
+    ASSERT_EQ(ts.ok(), tl.ok()) << "step " << step << ": " << block;
     ASSERT_EQ(ts.ok(), tc.ok()) << "step " << step << ": " << block;
     if (!ts.ok()) {
       EXPECT_EQ(ts.status().code(), tv.status().code())
           << "step " << step << ": " << block;
       EXPECT_EQ(ts.status().message(), tv.status().message())
           << "step " << step << ": " << block;
+      EXPECT_EQ(ts.status().code(), tl.status().code())
+          << "step " << step << ": " << block;
+      EXPECT_EQ(ts.status().message(), tl.status().message())
+          << "step " << step << ": " << block;
       EXPECT_EQ(ts.status().code(), tc.status().code())
           << "step " << step << ": " << block;
     } else {
       EXPECT_EQ(TraceSig(ts.value()), TraceSig(tv.value()))
+          << "step " << step << ": " << block;
+      EXPECT_EQ(TraceSig(ts.value()), TraceSig(tl.value()))
           << "step " << step << ": " << block;
       EXPECT_EQ(TraceSig(ts.value()), TraceSig(tc.value()))
           << "step " << step << ": " << block;
@@ -187,35 +206,50 @@ TEST_P(VectorizedDifferential, RowAndVectorPathsAreBitIdentical) {
     // values, undo state — everything Checksum folds in.
     ASSERT_EQ(scalar.db().Checksum(), vector.db().Checksum())
         << "step " << step << ": " << block;
+    ASSERT_EQ(scalar.db().Checksum(), columnar.db().Checksum())
+        << "step " << step << ": " << block;
     ASSERT_EQ(scalar.db().Checksum(), capped.db().Checksum())
         << "step " << step << ": " << block;
     ASSERT_EQ(scalar.StateChecksum(), vector.StateChecksum())
+        << "step " << step << ": " << block;
+    ASSERT_EQ(scalar.StateChecksum(), columnar.StateChecksum())
         << "step " << step << ": " << block;
   }
 
   EXPECT_EQ(Dump(&scalar, "t", "a, b"), Dump(&vector, "t", "a, b"));
   EXPECT_EQ(Dump(&scalar, "u", "a, c"), Dump(&vector, "u", "a, c"));
   EXPECT_EQ(Dump(&scalar, "log", "a"), Dump(&vector, "log", "a"));
+  EXPECT_EQ(Dump(&scalar, "t", "a, b"), Dump(&columnar, "t", "a, b"));
+  EXPECT_EQ(Dump(&scalar, "u", "a, c"), Dump(&columnar, "u", "a, c"));
+  EXPECT_EQ(Dump(&scalar, "log", "a"), Dump(&columnar, "log", "a"));
   EXPECT_EQ(Dump(&scalar, "t", "a, b"), Dump(&capped, "t", "a, b"));
 
-  // The workload actually exercised both join strategies: the vectorized
-  // engine built hash tables, the capped engine took the counted
-  // nested-loop fallback. (GlobalStats is process-wide; deltas only.)
+  // The workload actually exercised every strategy: the vectorized
+  // engines built hash tables (the columnar one through the bulk digest
+  // loops), the capped engine took the counted nested-loop fallback, and
+  // the columnar engines evaluated kernel chunks. (GlobalStats is
+  // process-wide; deltas only.)
   EXPECT_GT(exec::GlobalStats().hash_join_builds.load(), builds_before);
+  EXPECT_GT(exec::GlobalStats().hash_join_columnar_builds.load(),
+            columnar_builds_before);
   EXPECT_GT(exec::GlobalStats().hash_join_fallbacks.load(), fallbacks_before);
+  EXPECT_GT(exec::GlobalStats().columnar_chunks.load(), chunks_before);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VectorizedDifferential,
                          ::testing::Range(0u, 10u));
 
 // The paper schema end to end: Example 4.1's cascade plus an aggregate
-// guard, row vs vector, including a rollback path.
+// guard, row vs pointer-vector vs columnar, including a rollback path.
 TEST(VectorizedDifferentialFixed, PaperCascadeAndRollbackMatch) {
   RuleEngineOptions scalar_opts;
   scalar_opts.vectorized_execution = false;
+  RuleEngineOptions vector_opts;
+  vector_opts.columnar_execution = false;
   Engine scalar(scalar_opts);
-  Engine vector;  // vectorized by default
-  for (Engine* e : {&scalar, &vector}) {
+  Engine vector(vector_opts);
+  Engine columnar;  // vectorized + columnar by default
+  for (Engine* e : {&scalar, &vector, &columnar}) {
     CreatePaperSchema(e);
     LoadOrgChart(e);
     ASSERT_OK(e->Execute(
@@ -234,16 +268,23 @@ TEST(VectorizedDifferentialFixed, PaperCascadeAndRollbackMatch) {
                       "'";
     auto ts = scalar.ExecuteBlock(sql);
     auto tv = vector.ExecuteBlock(sql);
+    auto tl = columnar.ExecuteBlock(sql);
     ASSERT_EQ(ts.ok(), tv.ok()) << sql;
+    ASSERT_EQ(ts.ok(), tl.ok()) << sql;
     if (ts.ok()) {
       EXPECT_EQ(TraceSig(ts.value()), TraceSig(tv.value())) << sql;
+      EXPECT_EQ(TraceSig(ts.value()), TraceSig(tl.value())) << sql;
     } else {
       EXPECT_EQ(ts.status().code(), tv.status().code()) << sql;
+      EXPECT_EQ(ts.status().code(), tl.status().code()) << sql;
     }
     ASSERT_EQ(scalar.db().Checksum(), vector.db().Checksum()) << sql;
+    ASSERT_EQ(scalar.db().Checksum(), columnar.db().Checksum()) << sql;
   }
   EXPECT_EQ(Dump(&scalar, "emp", "name, emp_no, salary, dept_no"),
             Dump(&vector, "emp", "name, emp_no, salary, dept_no"));
+  EXPECT_EQ(Dump(&scalar, "emp", "name, emp_no, salary, dept_no"),
+            Dump(&columnar, "emp", "name, emp_no, salary, dept_no"));
 }
 
 }  // namespace
